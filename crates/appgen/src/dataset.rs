@@ -1,0 +1,169 @@
+//! Yearly app-size datasets reproducing Table I.
+//!
+//! The paper measured 22,687 popular Google-Play apps and reports, per
+//! year, the average and median APK size (Table I). Sizes in such corpora
+//! are approximately log-normal; given the paper's mean `m` and median
+//! `med` we calibrate `mu = ln(med)` and `sigma = sqrt(2 ln(m / med))`
+//! (since the log-normal mean is `exp(mu + sigma²/2)`), then draw
+//! deterministic quantile samples. The Table I harness regenerates the
+//! table from these samples.
+
+/// One year's corpus statistics from Table I.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct YearStats {
+    /// Calendar year.
+    pub year: u32,
+    /// Average APK size in MB.
+    pub avg_mb: f64,
+    /// Median APK size in MB.
+    pub median_mb: f64,
+    /// Number of samples the paper had for that year.
+    pub samples: usize,
+}
+
+/// Table I, verbatim.
+pub const PAPER_TABLE1: [YearStats; 5] = [
+    YearStats { year: 2014, avg_mb: 13.8, median_mb: 8.4, samples: 2840 },
+    YearStats { year: 2015, avg_mb: 18.8, median_mb: 12.4, samples: 1375 },
+    YearStats { year: 2016, avg_mb: 21.6, median_mb: 16.2, samples: 3510 },
+    YearStats { year: 2017, avg_mb: 32.9, median_mb: 30.0, samples: 1706 },
+    YearStats { year: 2018, avg_mb: 42.6, median_mb: 38.0, samples: 3178 },
+];
+
+/// Inverse of the standard normal CDF (Acklam's rational approximation,
+/// |error| < 1.15e-9) — used to draw deterministic log-normal quantiles.
+pub fn probit(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "probit domain is (0, 1)");
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_690e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.02425;
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        -probit(1.0 - p)
+    }
+}
+
+/// Draws `n` deterministic APK sizes (bytes) whose distribution matches a
+/// year's Table I statistics: quantile samples of the calibrated
+/// log-normal.
+pub fn year_sizes_bytes(stats: YearStats, n: usize) -> Vec<u64> {
+    assert!(n > 0, "need at least one sample");
+    let mu = stats.median_mb.ln();
+    let ratio = (stats.avg_mb / stats.median_mb).max(1.0001);
+    let sigma = (2.0 * ratio.ln()).sqrt();
+    (0..n)
+        .map(|i| {
+            let q = (i as f64 + 0.5) / n as f64;
+            let mb = (mu + sigma * probit(q)).exp();
+            (mb * 1_048_576.0) as u64
+        })
+        .collect()
+}
+
+/// Summarizes sizes (bytes) into (average MB, median MB).
+pub fn summarize_mb(sizes: &[u64]) -> (f64, f64) {
+    assert!(!sizes.is_empty(), "empty dataset");
+    let mut sorted = sizes.to_vec();
+    sorted.sort_unstable();
+    let avg = sorted.iter().map(|&b| b as f64).sum::<f64>() / sorted.len() as f64 / 1_048_576.0;
+    let median = if sorted.len() % 2 == 1 {
+        sorted[sorted.len() / 2] as f64
+    } else {
+        (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2]) as f64 / 2.0
+    } / 1_048_576.0;
+    (avg, median)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probit_matches_known_values() {
+        assert!((probit(0.5)).abs() < 1e-8);
+        assert!((probit(0.975) - 1.959_964).abs() < 1e-4);
+        assert!((probit(0.025) + 1.959_964).abs() < 1e-4);
+        assert!((probit(0.8413) - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "domain")]
+    fn probit_rejects_out_of_range() {
+        let _ = probit(0.0);
+    }
+
+    #[test]
+    fn year_samples_match_paper_stats() {
+        for stats in PAPER_TABLE1 {
+            let sizes = year_sizes_bytes(stats, 2001);
+            let (avg, median) = summarize_mb(&sizes);
+            let avg_err = (avg - stats.avg_mb).abs() / stats.avg_mb;
+            let med_err = (median - stats.median_mb).abs() / stats.median_mb;
+            assert!(
+                avg_err < 0.05,
+                "{}: avg {avg:.1} vs paper {}",
+                stats.year,
+                stats.avg_mb
+            );
+            assert!(
+                med_err < 0.02,
+                "{}: median {median:.1} vs paper {}",
+                stats.year,
+                stats.median_mb
+            );
+        }
+    }
+
+    #[test]
+    fn sizes_grow_over_years() {
+        let per_year: Vec<f64> = PAPER_TABLE1
+            .iter()
+            .map(|s| summarize_mb(&year_sizes_bytes(*s, 501)).0)
+            .collect();
+        for w in per_year.windows(2) {
+            assert!(w[1] > w[0], "average size must grow year over year");
+        }
+    }
+
+    #[test]
+    fn deterministic_sampling() {
+        let a = year_sizes_bytes(PAPER_TABLE1[4], 144);
+        let b = year_sizes_bytes(PAPER_TABLE1[4], 144);
+        assert_eq!(a, b);
+    }
+}

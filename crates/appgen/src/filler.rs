@@ -1,0 +1,192 @@
+//! Filler code generation: the bulk of a modern app's methods.
+//!
+//! Real apps carry large amounts of code unrelated to any sink — UI
+//! plumbing, libraries, generated protobuf accessors. Whole-app tools pay
+//! for all of it; BackDroid skips it. The filler builds a deterministic
+//! call web reachable from a generated `App` bootstrap class so the
+//! whole-app baseline genuinely has to traverse it.
+
+use backdroid_ir::{
+    BinOp, ClassBuilder, ClassName, Const, InvokeExpr, MethodBuilder, MethodSig, Program, Type,
+    Value,
+};
+use backdroid_manifest::{Component, ComponentKind, Manifest};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Library package prefixes used for filler classes; the first few match
+/// the skipped-library lists of real tools, so a share of the filler is
+/// "library code" in the baseline's sense.
+const PACKAGES: &[&str] = &[
+    "com.google.ads.internal",
+    "com.flurry.sdk",
+    "com.fb.render",
+    "io.fabric.sdk.core",
+    "com.squareup.okhttp.internal",
+    "com.app.ui",
+    "com.app.data",
+    "com.app.net",
+];
+
+/// Adds `classes` filler classes, each with `methods` methods of roughly
+/// `stmts` statements, woven into a call web rooted at a registered
+/// bootstrap activity so the code is reachable for whole-app analysis.
+pub fn add_filler(
+    program: &mut Program,
+    manifest: &mut Manifest,
+    seed: u64,
+    classes: usize,
+    methods: usize,
+    stmts: usize,
+) {
+    if classes == 0 {
+        return;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let methods = methods.max(1);
+    let names: Vec<ClassName> = (0..classes)
+        .map(|i| {
+            let pkg = PACKAGES[i % PACKAGES.len()];
+            ClassName::new(format!("{pkg}.F{i}"))
+        })
+        .collect();
+
+    for (i, name) in names.iter().enumerate() {
+        let mut cb = ClassBuilder::new(name.as_str());
+        for k in 0..methods {
+            let mut mb =
+                MethodBuilder::public_static(name, &format!("m{k}"), vec![Type::Int], Type::Int);
+            let mut acc = mb.param(0);
+            // Intra-class chain m0 -> m1 -> ... so every method of the
+            // class is reachable once m0 is.
+            if k + 1 < methods {
+                acc = mb.invoke_assign(InvokeExpr::call_static(
+                    MethodSig::new(
+                        name.as_str(),
+                        format!("m{}", k + 1),
+                        vec![Type::Int],
+                        Type::Int,
+                    ),
+                    vec![Value::Local(acc)],
+                ));
+            }
+            for _ in 0..stmts {
+                match rng.gen_range(0..4u8) {
+                    0 => {
+                        let c = rng.gen_range(1..100i64);
+                        acc = mb.binop(
+                            BinOp::Add,
+                            Value::Local(acc),
+                            Value::int(c),
+                            Type::Int,
+                        );
+                    }
+                    1 => {
+                        let c = rng.gen_range(1..16i64);
+                        acc = mb.binop(
+                            BinOp::Xor,
+                            Value::Local(acc),
+                            Value::int(c),
+                            Type::Int,
+                        );
+                    }
+                    2 => {
+                        let s = mb.assign_const(Const::str(format!("cfg-{i}-{k}")));
+                        let _ = s;
+                    }
+                    _ => {
+                        // Call a previously generated filler method so the
+                        // call web is connected (whole-app tools must
+                        // traverse these edges).
+                        if i > 0 {
+                            let target = rng.gen_range(0..i);
+                            let tm = rng.gen_range(0..methods);
+                            acc = mb.invoke_assign(InvokeExpr::call_static(
+                                MethodSig::new(
+                                    names[target].as_str(),
+                                    format!("m{tm}"),
+                                    vec![Type::Int],
+                                    Type::Int,
+                                ),
+                                vec![Value::Local(acc)],
+                            ));
+                        }
+                    }
+                }
+            }
+            mb.ret(Value::Local(acc));
+            cb = cb.method(mb.build());
+        }
+        program.add_class(cb.build());
+    }
+
+    // Bootstrap activity that fans out into the filler web, making it
+    // reachable from an entry point.
+    let boot = ClassName::new("com.app.FillerBootActivity");
+    let mut on_create = MethodBuilder::public(&boot, "onCreate", vec![], Type::Void);
+    // Fan out to every class's m0: the whole web is reachable, so a
+    // whole-app tool genuinely pays for all of it.
+    for (t, name) in names.iter().enumerate() {
+        let _ = on_create.invoke_assign(InvokeExpr::call_static(
+            MethodSig::new(name.as_str(), "m0", vec![Type::Int], Type::Int),
+            vec![Value::int(t as i64)],
+        ));
+    }
+    program.add_class(
+        ClassBuilder::new(boot.as_str())
+            .extends("android.app.Activity")
+            .method(on_create.build())
+            .build(),
+    );
+    manifest.register(Component::new(ComponentKind::Activity, boot.as_str()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filler_is_deterministic_and_sized() {
+        let mut p1 = Program::new();
+        let mut m1 = Manifest::new("com.a");
+        add_filler(&mut p1, &mut m1, 9, 20, 4, 6);
+        let mut p2 = Program::new();
+        let mut m2 = Manifest::new("com.a");
+        add_filler(&mut p2, &mut m2, 9, 20, 4, 6);
+        assert_eq!(p1.class_count(), p2.class_count());
+        assert_eq!(p1.stmt_count(), p2.stmt_count());
+        assert_eq!(p1.class_count(), 21); // 20 filler + bootstrap
+        assert!(p1.method_count() >= 80);
+    }
+
+    #[test]
+    fn filler_web_is_rooted_at_a_registered_activity() {
+        let mut p = Program::new();
+        let mut m = Manifest::new("com.a");
+        add_filler(&mut p, &mut m, 3, 5, 3, 4);
+        assert!(m.is_entry_component(&ClassName::new("com.app.FillerBootActivity")));
+    }
+
+    #[test]
+    fn zero_classes_is_a_noop() {
+        let mut p = Program::new();
+        let mut m = Manifest::new("com.a");
+        add_filler(&mut p, &mut m, 1, 0, 5, 5);
+        assert_eq!(p.class_count(), 0);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut p1 = Program::new();
+        let mut m1 = Manifest::new("com.a");
+        add_filler(&mut p1, &mut m1, 1, 10, 4, 8);
+        let mut p2 = Program::new();
+        let mut m2 = Manifest::new("com.a");
+        add_filler(&mut p2, &mut m2, 2, 10, 4, 8);
+        // Same structure counts, but bodies differ.
+        assert_eq!(p1.class_count(), p2.class_count());
+        let d1 = backdroid_dex::dump_image(&backdroid_dex::DexImage::encode(&p1));
+        let d2 = backdroid_dex::dump_image(&backdroid_dex::DexImage::encode(&p2));
+        assert_ne!(d1, d2);
+    }
+}

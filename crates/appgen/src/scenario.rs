@@ -1,0 +1,910 @@
+//! Scenario generators — one per search mechanism the paper's analysis
+//! must defeat.
+//!
+//! Every generator wires one sink path of a particular *shape* into the
+//! program + manifest and appends the matching [`GroundTruth`]. The shapes
+//! mirror the paper's running examples: the LG-TV Runnable/Executor chain
+//! (Fig 4), the Heyzap `<clinit>` (§IV-C), the NanoHTTPD off-path static
+//! field (Fig 6), the ArmSeedCheck unregistered-component FP, the youzu
+//! subclassed-sink FN, and the skipped-library / AsyncTask / onClick blind
+//! spots of §VI-C.
+
+use crate::{BaselineBlindSpot, GroundTruth};
+use backdroid_ir::{
+    ClassBuilder, ClassName, Const, FieldSig, InvokeExpr, MethodBuilder, MethodSig, Modifiers,
+    Program, Type, Value,
+};
+use backdroid_manifest::{Component, ComponentKind, Manifest};
+
+/// The sink family a scenario targets.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SinkKind {
+    /// `javax.crypto.Cipher.getInstance(String)`.
+    Cipher,
+    /// `org.apache.http.conn.ssl.SSLSocketFactory.setHostnameVerifier(..)`.
+    SslVerifier,
+}
+
+impl SinkKind {
+    /// The sink id as reported by `backdroid-core`.
+    pub fn sink_id(self) -> &'static str {
+        match self {
+            SinkKind::Cipher => "crypto.cipher",
+            SinkKind::SslVerifier => "ssl.verifier.factory",
+        }
+    }
+}
+
+/// The code shape wiring a sink to (or away from) an entry point.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Mechanism {
+    /// Sink directly inside a registered activity's `onCreate`.
+    DirectEntry,
+    /// Sink behind a chain of private methods (basic signature search).
+    PrivateChain,
+    /// Sink behind static utility methods (basic signature search).
+    StaticChain,
+    /// Sink called through a non-overriding child class's signature
+    /// (child-class search, §IV-A).
+    ChildClass,
+    /// Sink in an override invoked through the super-class signature
+    /// (advanced search, §IV-B).
+    SuperClassPoly,
+    /// Sink in a `Runnable.run()` handed through wrappers to
+    /// `Executor.execute` (Fig 4; advanced search + async blind spot).
+    InterfaceRunnable,
+    /// Sink in an `OnClickListener.onClick()` callback.
+    CallbackOnClick,
+    /// Sink in an `AsyncTask.doInBackground()`.
+    AsyncTask,
+    /// Sink on a path through a reachable `<clinit>` (Heyzap, §IV-C).
+    ClinitReachable,
+    /// Sink parameter defined in an off-path `<clinit>` (NanoHTTPD/Fig 6).
+    ClinitOffPath,
+    /// Sink in a service started by explicit ICC (const-class Intent).
+    IccExplicit,
+    /// Sink in a service started by implicit ICC (action string).
+    IccImplicit,
+    /// Sink parameter defined in an earlier lifecycle handler (§IV-E).
+    LifecycleChain,
+    /// Two sink calls inside one shared utility method reached from
+    /// several activities — the §IV-F cache-hit shape ("similar paths are
+    /// explored across different sinks").
+    SharedUtility,
+    /// Sink in dead code: never invoked from anywhere (two calls in the
+    /// same method, the §IV-F if-else sink-cache shape).
+    DeadCode,
+    /// Sink in an activity class that is *not* registered in the manifest
+    /// (the Amandroid false-positive shape, §VI-C).
+    UnregisteredComponent,
+    /// Sink inside a package on the baseline's skipped-library list.
+    SkippedLibrary,
+    /// Sink invoked through an app subclass of the platform sink class
+    /// (the BackDroid false-negative shape, §VI-C).
+    IndirectSubclassedSink,
+}
+
+impl Mechanism {
+    /// All mechanisms, for exhaustive tests and mixed workloads.
+    pub fn all() -> &'static [Mechanism] {
+        use Mechanism::*;
+        &[
+            DirectEntry,
+            PrivateChain,
+            StaticChain,
+            ChildClass,
+            SuperClassPoly,
+            InterfaceRunnable,
+            CallbackOnClick,
+            AsyncTask,
+            ClinitReachable,
+            ClinitOffPath,
+            IccExplicit,
+            IccImplicit,
+            LifecycleChain,
+            SharedUtility,
+            DeadCode,
+            UnregisteredComponent,
+            SkippedLibrary,
+            IndirectSubclassedSink,
+        ]
+    }
+}
+
+/// One sink scenario: a mechanism, a sink kind, and whether the parameter
+/// is insecure.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Scenario {
+    /// The wiring shape.
+    pub mechanism: Mechanism,
+    /// The sink family.
+    pub sink: SinkKind,
+    /// Whether the sink parameter is the insecure variant.
+    pub insecure: bool,
+}
+
+impl Scenario {
+    /// Creates a scenario.
+    pub fn new(mechanism: Mechanism, sink: SinkKind, insecure: bool) -> Self {
+        Scenario {
+            mechanism,
+            sink,
+            insecure,
+        }
+    }
+}
+
+/// The `Cipher.getInstance` transformation string per variant.
+pub fn mode_string(insecure: bool) -> &'static str {
+    if insecure {
+        "AES/ECB/PKCS5Padding"
+    } else {
+        "AES/GCM/NoPadding"
+    }
+}
+
+/// The hostname-verifier platform constant per variant.
+pub fn verifier_field(insecure: bool) -> FieldSig {
+    FieldSig::new(
+        "org.apache.http.conn.ssl.SSLSocketFactory",
+        if insecure {
+            "ALLOW_ALL_HOSTNAME_VERIFIER"
+        } else {
+            "STRICT_HOSTNAME_VERIFIER"
+        },
+        Type::object("org.apache.http.conn.ssl.X509HostnameVerifier"),
+    )
+}
+
+/// The sink API signature of a kind.
+pub fn sink_api(kind: SinkKind) -> MethodSig {
+    match kind {
+        SinkKind::Cipher => MethodSig::new(
+            "javax.crypto.Cipher",
+            "getInstance",
+            vec![Type::string()],
+            Type::object("javax.crypto.Cipher"),
+        ),
+        SinkKind::SslVerifier => MethodSig::new(
+            "org.apache.http.conn.ssl.SSLSocketFactory",
+            "setHostnameVerifier",
+            vec![Type::object("org.apache.http.conn.ssl.X509HostnameVerifier")],
+            Type::Void,
+        ),
+    }
+}
+
+/// Emits a sink call whose tracked parameter is `param`.
+fn emit_sink_with_value(mb: &mut MethodBuilder, kind: SinkKind, param: Value) {
+    match kind {
+        SinkKind::Cipher => {
+            mb.invoke(InvokeExpr::call_static(sink_api(kind), vec![param]));
+        }
+        SinkKind::SslVerifier => {
+            let factory = mb.new_object(
+                "org.apache.http.conn.ssl.SSLSocketFactory",
+                vec![],
+                vec![],
+            );
+            mb.invoke(InvokeExpr::call_virtual(sink_api(kind), factory, vec![param]));
+        }
+    }
+}
+
+/// Emits a sink call with the literal insecure/secure parameter inline.
+fn emit_sink_literal(mb: &mut MethodBuilder, kind: SinkKind, insecure: bool) {
+    match kind {
+        SinkKind::Cipher => {
+            let mode = mb.assign_const(Const::str(mode_string(insecure)));
+            emit_sink_with_value(mb, kind, Value::Local(mode));
+        }
+        SinkKind::SslVerifier => {
+            let v = mb.read_static_field(verifier_field(insecure));
+            emit_sink_with_value(mb, kind, Value::Local(v));
+        }
+    }
+}
+
+/// The tracked parameter value type of a sink kind.
+fn param_type(kind: SinkKind) -> Type {
+    match kind {
+        SinkKind::Cipher => Type::string(),
+        SinkKind::SslVerifier => Type::object("org.apache.http.conn.ssl.X509HostnameVerifier"),
+    }
+}
+
+/// Adds the default launcher activity every generated app carries.
+pub fn add_launcher(pkg: &str, program: &mut Program, manifest: &mut Manifest) {
+    let main = ClassName::new(format!("{pkg}.MainActivity"));
+    let mut on_create = MethodBuilder::public(&main, "onCreate", vec![], Type::Void);
+    on_create.ret_void();
+    program.add_class(
+        ClassBuilder::new(main.as_str())
+            .extends("android.app.Activity")
+            .method(on_create.build())
+            .build(),
+    );
+    manifest.register(
+        Component::new(ComponentKind::Activity, main.as_str())
+            .with_action("android.intent.action.MAIN")
+            .exported(),
+    );
+}
+
+/// Emits scenario `s` (the `idx`-th of the app) into the program/manifest
+/// and appends its ground truth.
+pub fn emit(
+    s: &Scenario,
+    idx: usize,
+    pkg: &str,
+    program: &mut Program,
+    manifest: &mut Manifest,
+    ground_truth: &mut Vec<GroundTruth>,
+) {
+    let p = format!("{pkg}.s{idx}");
+    let mut gt = GroundTruth {
+        sink_id: s.sink.sink_id().to_string(),
+        insecure_param: s.insecure,
+        reachable: true,
+        mechanism: s.mechanism,
+        backdroid_can_locate: true,
+        baseline_blind_spot: None,
+    };
+    match s.mechanism {
+        Mechanism::DirectEntry => {
+            let act = entry_activity(&p, program, manifest, |mb| {
+                emit_sink_literal(mb, s.sink, s.insecure);
+            });
+            let _ = act;
+        }
+        Mechanism::PrivateChain => {
+            let act = ClassName::new(format!("{p}.EntryActivity"));
+            let pt = param_type(s.sink);
+            let mut step2 = MethodBuilder::private(&act, "step2", vec![pt.clone()], Type::Void);
+            let arg = step2.param(0);
+            emit_sink_with_value(&mut step2, s.sink, Value::Local(arg));
+            let mut step1 = MethodBuilder::private(&act, "step1", vec![pt.clone()], Type::Void);
+            let this = step1.this();
+            let arg = step1.param(0);
+            step1.invoke(InvokeExpr::call_special(
+                MethodSig::new(act.as_str(), "step2", vec![pt.clone()], Type::Void),
+                this,
+                vec![Value::Local(arg)],
+            ));
+            let mut on_create = MethodBuilder::public(&act, "onCreate", vec![], Type::Void);
+            let this = on_create.this();
+            let v = sink_param_local(&mut on_create, s.sink, s.insecure);
+            on_create.invoke(InvokeExpr::call_special(
+                MethodSig::new(act.as_str(), "step1", vec![pt.clone()], Type::Void),
+                this,
+                vec![Value::Local(v)],
+            ));
+            program.add_class(
+                ClassBuilder::new(act.as_str())
+                    .extends("android.app.Activity")
+                    .method(on_create.build())
+                    .method(step1.build())
+                    .method(step2.build())
+                    .build(),
+            );
+            manifest.register(Component::new(ComponentKind::Activity, act.as_str()));
+        }
+        Mechanism::StaticChain => {
+            let act = ClassName::new(format!("{p}.EntryActivity"));
+            let util = ClassName::new(format!("{p}.CryptoUtil"));
+            let pt = param_type(s.sink);
+            let mut inner =
+                MethodBuilder::public_static(&util, "inner", vec![pt.clone()], Type::Void);
+            let arg = inner.param(0);
+            emit_sink_with_value(&mut inner, s.sink, Value::Local(arg));
+            let mut run = MethodBuilder::public_static(&util, "run", vec![pt.clone()], Type::Void);
+            let arg = run.param(0);
+            run.invoke(InvokeExpr::call_static(
+                MethodSig::new(util.as_str(), "inner", vec![pt.clone()], Type::Void),
+                vec![Value::Local(arg)],
+            ));
+            program.add_class(
+                ClassBuilder::new(util.as_str())
+                    .method(inner.build())
+                    .method(run.build())
+                    .build(),
+            );
+            let mut on_create = MethodBuilder::public(&act, "onCreate", vec![], Type::Void);
+            let v = sink_param_local(&mut on_create, s.sink, s.insecure);
+            on_create.invoke(InvokeExpr::call_static(
+                MethodSig::new(util.as_str(), "run", vec![pt.clone()], Type::Void),
+                vec![Value::Local(v)],
+            ));
+            program.add_class(
+                ClassBuilder::new(act.as_str())
+                    .extends("android.app.Activity")
+                    .method(on_create.build())
+                    .build(),
+            );
+            manifest.register(Component::new(ComponentKind::Activity, act.as_str()));
+        }
+        Mechanism::ChildClass => {
+            let base = ClassName::new(format!("{p}.Worker"));
+            let child = ClassName::new(format!("{p}.ChildWorker"));
+            let pt = param_type(s.sink);
+            let mut do_work =
+                MethodBuilder::public(&base, "doWork", vec![pt.clone()], Type::Void);
+            let arg = do_work.param(0);
+            emit_sink_with_value(&mut do_work, s.sink, Value::Local(arg));
+            let mut bctor = MethodBuilder::constructor(&base, vec![]);
+            bctor.ret_void();
+            program.add_class(
+                ClassBuilder::new(base.as_str())
+                    .method(do_work.build())
+                    .method(bctor.build())
+                    .build(),
+            );
+            let mut cctor = MethodBuilder::constructor(&child, vec![]);
+            cctor.ret_void();
+            program.add_class(
+                ClassBuilder::new(child.as_str())
+                    .extends(base.as_str())
+                    .method(cctor.build())
+                    .build(),
+            );
+            let act = entry_activity(&p, program, manifest, |mb| {
+                let w = mb.new_object(child.as_str(), vec![], vec![]);
+                let v = sink_param_local(mb, s.sink, s.insecure);
+                // Invocation through the CHILD class signature.
+                mb.invoke(InvokeExpr::call_virtual(
+                    MethodSig::new(child.as_str(), "doWork", vec![pt.clone()], Type::Void),
+                    w,
+                    vec![Value::Local(v)],
+                ));
+            });
+            let _ = act;
+        }
+        Mechanism::SuperClassPoly => {
+            let base = ClassName::new(format!("{p}.SuperServer"));
+            let child = ClassName::new(format!("{p}.HttpServer"));
+            let mut b_start = MethodBuilder::public(&base, "start", vec![], Type::Void);
+            b_start.ret_void();
+            let mut bctor = MethodBuilder::constructor(&base, vec![]);
+            bctor.ret_void();
+            program.add_class(
+                ClassBuilder::new(base.as_str())
+                    .method(b_start.build())
+                    .method(bctor.build())
+                    .build(),
+            );
+            // Child override contains the sink.
+            let mut c_start = MethodBuilder::public(&child, "start", vec![], Type::Void);
+            emit_sink_literal(&mut c_start, s.sink, s.insecure);
+            let mut cctor = MethodBuilder::constructor(&child, vec![]);
+            cctor.ret_void();
+            program.add_class(
+                ClassBuilder::new(child.as_str())
+                    .extends(base.as_str())
+                    .method(c_start.build())
+                    .method(cctor.build())
+                    .build(),
+            );
+            entry_activity(&p, program, manifest, |mb| {
+                let obj = mb.new_object(child.as_str(), vec![], vec![]);
+                let up = mb.cast(Type::Object(base.clone()), Value::Local(obj));
+                // Invocation through the SUPER class signature.
+                mb.invoke(InvokeExpr::call_virtual(
+                    MethodSig::new(base.as_str(), "start", vec![], Type::Void),
+                    up,
+                    vec![],
+                ));
+            });
+        }
+        Mechanism::InterfaceRunnable => {
+            gt.baseline_blind_spot = Some(BaselineBlindSpot::AsyncCallback);
+            let task = ClassName::new(format!("{p}.FetchTask"));
+            let util = ClassName::new(format!("{p}.Util"));
+            let pt = param_type(s.sink);
+            let field = FieldSig::new(task.clone(), "mode", pt.clone());
+            let mut ctor = MethodBuilder::constructor(&task, vec![pt.clone()]);
+            let this = ctor.this();
+            let arg = ctor.param(0);
+            ctor.write_instance_field(this, field.clone(), Value::Local(arg));
+            let mut run = MethodBuilder::public(&task, "run", vec![], Type::Void);
+            let this = run.this();
+            let v = run.read_instance_field(this, field.clone());
+            emit_sink_with_value(&mut run, s.sink, Value::Local(v));
+            program.add_class(
+                ClassBuilder::new(task.as_str())
+                    .implements("java.lang.Runnable")
+                    .field("mode", pt.clone(), Modifiers::private())
+                    .method(ctor.build())
+                    .method(run.build())
+                    .build(),
+            );
+            // Util.runInBackground(Runnable) → Executor.execute(Runnable).
+            let runnable = Type::object("java.lang.Runnable");
+            let mut rib = MethodBuilder::public_static(
+                &util,
+                "runInBackground",
+                vec![runnable.clone()],
+                Type::Void,
+            );
+            let exec = rib.local(Type::object("java.util.concurrent.Executor"));
+            let p0 = rib.param(0);
+            rib.invoke(InvokeExpr::call_interface(
+                MethodSig::new(
+                    "java.util.concurrent.Executor",
+                    "execute",
+                    vec![runnable.clone()],
+                    Type::Void,
+                ),
+                exec,
+                vec![Value::Local(p0)],
+            ));
+            program.add_class(ClassBuilder::new(util.as_str()).method(rib.build()).build());
+            entry_activity(&p, program, manifest, |mb| {
+                let v = sink_param_local(mb, s.sink, s.insecure);
+                let t = mb.new_object(task.as_str(), vec![pt.clone()], vec![Value::Local(v)]);
+                mb.invoke(InvokeExpr::call_static(
+                    MethodSig::new(
+                        util.as_str(),
+                        "runInBackground",
+                        vec![runnable.clone()],
+                        Type::Void,
+                    ),
+                    vec![Value::Local(t)],
+                ));
+            });
+        }
+        Mechanism::CallbackOnClick => {
+            gt.baseline_blind_spot = Some(BaselineBlindSpot::AsyncCallback);
+            let handler = ClassName::new(format!("{p}.ClickHandler"));
+            let mut ctor = MethodBuilder::constructor(&handler, vec![]);
+            ctor.ret_void();
+            let mut on_click = MethodBuilder::public(
+                &handler,
+                "onClick",
+                vec![Type::object("android.view.View")],
+                Type::Void,
+            );
+            emit_sink_literal(&mut on_click, s.sink, s.insecure);
+            program.add_class(
+                ClassBuilder::new(handler.as_str())
+                    .implements("android.view.View$OnClickListener")
+                    .method(ctor.build())
+                    .method(on_click.build())
+                    .build(),
+            );
+            entry_activity(&p, program, manifest, |mb| {
+                let h = mb.new_object(handler.as_str(), vec![], vec![]);
+                let view = mb.new_object("android.view.View", vec![], vec![]);
+                mb.invoke(InvokeExpr::call_virtual(
+                    MethodSig::new(
+                        "android.view.View",
+                        "setOnClickListener",
+                        vec![Type::object("android.view.View$OnClickListener")],
+                        Type::Void,
+                    ),
+                    view,
+                    vec![Value::Local(h)],
+                ));
+            });
+        }
+        Mechanism::AsyncTask => {
+            gt.baseline_blind_spot = Some(BaselineBlindSpot::AsyncCallback);
+            let task = ClassName::new(format!("{p}.SyncTask"));
+            let mut ctor = MethodBuilder::constructor(&task, vec![]);
+            ctor.ret_void();
+            let mut dib = MethodBuilder::public(&task, "doInBackground", vec![], Type::Void);
+            emit_sink_literal(&mut dib, s.sink, s.insecure);
+            program.add_class(
+                ClassBuilder::new(task.as_str())
+                    .extends("android.os.AsyncTask")
+                    .method(ctor.build())
+                    .method(dib.build())
+                    .build(),
+            );
+            entry_activity(&p, program, manifest, |mb| {
+                let t = mb.new_object(task.as_str(), vec![], vec![]);
+                mb.invoke(InvokeExpr::call_virtual(
+                    MethodSig::new("android.os.AsyncTask", "execute", vec![], Type::Void),
+                    t,
+                    vec![],
+                ));
+            });
+        }
+        Mechanism::ClinitReachable => {
+            // Heyzap shape: the sink sits under ApiClient.<clinit>; the
+            // class is used by AdModel, which is used by the registered
+            // entry activity.
+            let api = ClassName::new(format!("{p}.ApiClient"));
+            let model = ClassName::new(format!("{p}.AdModel"));
+            let mut setup = MethodBuilder::new(
+                MethodSig::new(api.as_str(), "setup", vec![], Type::Void),
+                Modifiers::private().with_static(),
+            );
+            emit_sink_literal(&mut setup, s.sink, s.insecure);
+            let mut clinit = MethodBuilder::clinit(&api);
+            clinit.invoke(InvokeExpr::call_static(
+                MethodSig::new(api.as_str(), "setup", vec![], Type::Void),
+                vec![],
+            ));
+            let mut get = MethodBuilder::public_static(&api, "endpoint", vec![], Type::string());
+            get.ret(Value::str("https://ads.example.com"));
+            program.add_class(
+                ClassBuilder::new(api.as_str())
+                    .method(setup.build())
+                    .method(clinit.build())
+                    .method(get.build())
+                    .build(),
+            );
+            let mut mctor = MethodBuilder::constructor(&model, vec![]);
+            mctor.ret_void();
+            let mut fetch = MethodBuilder::public(&model, "fetch", vec![], Type::Void);
+            let _e = fetch.invoke_assign(InvokeExpr::call_static(
+                MethodSig::new(api.as_str(), "endpoint", vec![], Type::string()),
+                vec![],
+            ));
+            program.add_class(
+                ClassBuilder::new(model.as_str())
+                    .method(mctor.build())
+                    .method(fetch.build())
+                    .build(),
+            );
+            entry_activity(&p, program, manifest, |mb| {
+                let m = mb.new_object(model.as_str(), vec![], vec![]);
+                mb.invoke(InvokeExpr::call_virtual(
+                    MethodSig::new(model.as_str(), "fetch", vec![], Type::Void),
+                    m,
+                    vec![],
+                ));
+            });
+        }
+        Mechanism::ClinitOffPath => {
+            // NanoHTTPD shape: the sink parameter comes from a static
+            // field whose defining write lives only in <clinit>.
+            let config = ClassName::new(format!("{p}.Config"));
+            let pt = param_type(s.sink);
+            let field = FieldSig::new(config.clone(), "MODE", pt.clone());
+            let mut clinit = MethodBuilder::clinit(&config);
+            match s.sink {
+                SinkKind::Cipher => {
+                    let v = clinit.assign_const(Const::str(mode_string(s.insecure)));
+                    clinit.write_static_field(field.clone(), Value::Local(v));
+                }
+                SinkKind::SslVerifier => {
+                    let v = clinit.read_static_field(verifier_field(s.insecure));
+                    clinit.write_static_field(field.clone(), Value::Local(v));
+                }
+            }
+            program.add_class(
+                ClassBuilder::new(config.as_str())
+                    .field("MODE", pt.clone(), Modifiers::public_static().with_final())
+                    .method(clinit.build())
+                    .build(),
+            );
+            entry_activity(&p, program, manifest, |mb| {
+                let v = mb.read_static_field(field.clone());
+                emit_sink_with_value(mb, s.sink, Value::Local(v));
+            });
+        }
+        Mechanism::IccExplicit | Mechanism::IccImplicit => {
+            let svc = ClassName::new(format!("{p}.WorkService"));
+            let action = format!("{p}.action.WORK");
+            let mut osc = MethodBuilder::public(&svc, "onStartCommand", vec![], Type::Void);
+            emit_sink_literal(&mut osc, s.sink, s.insecure);
+            program.add_class(
+                ClassBuilder::new(svc.as_str())
+                    .extends("android.app.Service")
+                    .method(osc.build())
+                    .build(),
+            );
+            let mut comp = Component::new(ComponentKind::Service, svc.as_str());
+            if s.mechanism == Mechanism::IccImplicit {
+                comp = comp.with_action(action.clone());
+            }
+            manifest.register(comp);
+            let explicit = s.mechanism == Mechanism::IccExplicit;
+            entry_activity(&p, program, manifest, move |mb| {
+                let this = mb.this();
+                let intent = if explicit {
+                    let cls = mb.assign_const(Const::Class(svc.clone()));
+                    mb.new_object(
+                        "android.content.Intent",
+                        vec![
+                            Type::object("android.content.Context"),
+                            Type::object("java.lang.Class"),
+                        ],
+                        vec![Value::Local(this), Value::Local(cls)],
+                    )
+                } else {
+                    let a = mb.assign_const(Const::str(action.clone()));
+                    mb.new_object(
+                        "android.content.Intent",
+                        vec![Type::string()],
+                        vec![Value::Local(a)],
+                    )
+                };
+                mb.invoke(InvokeExpr::call_virtual(
+                    MethodSig::new(
+                        "android.content.Context",
+                        "startService",
+                        vec![Type::object("android.content.Intent")],
+                        Type::object("android.content.ComponentName"),
+                    ),
+                    this,
+                    vec![Value::Local(intent)],
+                ));
+            });
+        }
+        Mechanism::LifecycleChain => {
+            let act = ClassName::new(format!("{p}.EntryActivity"));
+            let pt = param_type(s.sink);
+            let field = FieldSig::new(act.clone(), "mode", pt.clone());
+            let mut on_create = MethodBuilder::public(&act, "onCreate", vec![], Type::Void);
+            let this = on_create.this();
+            let v = sink_param_local(&mut on_create, s.sink, s.insecure);
+            on_create.write_instance_field(this, field.clone(), Value::Local(v));
+            let mut on_resume = MethodBuilder::public(&act, "onResume", vec![], Type::Void);
+            let this = on_resume.this();
+            let v = on_resume.read_instance_field(this, field.clone());
+            emit_sink_with_value(&mut on_resume, s.sink, Value::Local(v));
+            program.add_class(
+                ClassBuilder::new(act.as_str())
+                    .extends("android.app.Activity")
+                    .field("mode", pt, Modifiers::private())
+                    .method(on_create.build())
+                    .method(on_resume.build())
+                    .build(),
+            );
+            manifest.register(Component::new(ComponentKind::Activity, act.as_str()));
+        }
+        Mechanism::DeadCode => {
+            gt.reachable = false;
+            let dead = ClassName::new(format!("{p}.UnusedHelper"));
+            let mut m = MethodBuilder::public(&dead, "neverCalled", vec![], Type::Void);
+            // Two sink calls in one unreachable method — once the first is
+            // proven unreachable, the §IV-F sink cache skips the second.
+            emit_sink_literal(&mut m, s.sink, s.insecure);
+            emit_sink_literal(&mut m, s.sink, false);
+            program.add_class(ClassBuilder::new(dead.as_str()).method(m.build()).build());
+        }
+        Mechanism::SharedUtility => {
+            let util = ClassName::new(format!("{p}.SharedCrypto"));
+            let pt = param_type(s.sink);
+            // helper(mode) contains TWO sink calls (if-else shape): the
+            // second backtrack replays the first's searches → cache hits.
+            let mut helper =
+                MethodBuilder::new(
+                    MethodSig::new(util.as_str(), "helper", vec![pt.clone()], Type::Void),
+                    Modifiers::private().with_static(),
+                );
+            let arg = helper.param(0);
+            emit_sink_with_value(&mut helper, s.sink, Value::Local(arg));
+            emit_sink_literal(&mut helper, s.sink, false);
+            // Retry-style recursion back into run(): the backtrack path
+            // run -> helper -> run closes a cycle, exercising the §IV-F
+            // CrossBackward dead-loop detection.
+            helper.invoke(InvokeExpr::call_static(
+                MethodSig::new(util.as_str(), "run", vec![pt.clone()], Type::Void),
+                vec![Value::Local(arg)],
+            ));
+            let mut run = MethodBuilder::public_static(&util, "run", vec![pt.clone()], Type::Void);
+            let arg = run.param(0);
+            run.invoke(InvokeExpr::call_static(
+                MethodSig::new(util.as_str(), "helper", vec![pt.clone()], Type::Void),
+                vec![Value::Local(arg)],
+            ));
+            program.add_class(
+                ClassBuilder::new(util.as_str())
+                    .method(helper.build())
+                    .method(run.build())
+                    .build(),
+            );
+            // Three distinct registered activities all call run(...).
+            for k in 0..3 {
+                let act = ClassName::new(format!("{p}.Caller{k}Activity"));
+                let mut on_create = MethodBuilder::public(&act, "onCreate", vec![], Type::Void);
+                let v = sink_param_local(&mut on_create, s.sink, s.insecure);
+                on_create.invoke(InvokeExpr::call_static(
+                    MethodSig::new(util.as_str(), "run", vec![pt.clone()], Type::Void),
+                    vec![Value::Local(v)],
+                ));
+                program.add_class(
+                    ClassBuilder::new(act.as_str())
+                        .extends("android.app.Activity")
+                        .method(on_create.build())
+                        .build(),
+                );
+                manifest.register(Component::new(ComponentKind::Activity, act.as_str()));
+            }
+        }
+        Mechanism::UnregisteredComponent => {
+            gt.reachable = false;
+            // ArmSeedCheck/qihoopay FP shape: an Activity-derived class
+            // with a sink in onCreate, deliberately NOT in the manifest.
+            let hidden = ClassName::new(format!("{p}.TstoreActivation"));
+            let mut on_create = MethodBuilder::public(&hidden, "onCreate", vec![], Type::Void);
+            emit_sink_literal(&mut on_create, s.sink, s.insecure);
+            program.add_class(
+                ClassBuilder::new(hidden.as_str())
+                    .extends("android.app.Activity")
+                    .method(on_create.build())
+                    .build(),
+            );
+        }
+        Mechanism::SkippedLibrary => {
+            gt.baseline_blind_spot = Some(BaselineBlindSpot::SkippedLibrary);
+            // The sink lives in a library package from the baseline's
+            // liblist (Amazon/Tencent/Facebook shapes of §VI-C).
+            let helper = ClassName::new(format!("com.facebook.s{idx}.EncryptionHelper"));
+            let pt = param_type(s.sink);
+            let mut enc =
+                MethodBuilder::public_static(&helper, "encrypt", vec![pt.clone()], Type::Void);
+            let arg = enc.param(0);
+            emit_sink_with_value(&mut enc, s.sink, Value::Local(arg));
+            program.add_class(ClassBuilder::new(helper.as_str()).method(enc.build()).build());
+            entry_activity(&p, program, manifest, move |mb| {
+                let v = sink_param_local(mb, s.sink, s.insecure);
+                mb.invoke(InvokeExpr::call_static(
+                    MethodSig::new(helper.as_str(), "encrypt", vec![pt.clone()], Type::Void),
+                    vec![Value::Local(v)],
+                ));
+            });
+        }
+        Mechanism::IndirectSubclassedSink => {
+            gt.backdroid_can_locate = false;
+            // youzu shape: a subclass of the platform sink class invokes
+            // the sink through its own signature.
+            let factory = ClassName::new(format!("{p}.DefaultSSLSocketFactory"));
+            let mut ctor = MethodBuilder::constructor(&factory, vec![]);
+            ctor.ret_void();
+            let mut setup = MethodBuilder::public(&factory, "setup", vec![], Type::Void);
+            let this = setup.this();
+            let v = setup.read_static_field(verifier_field(s.insecure));
+            setup.invoke(InvokeExpr::call_virtual(
+                MethodSig::new(
+                    factory.as_str(),
+                    "setHostnameVerifier",
+                    vec![Type::object("org.apache.http.conn.ssl.X509HostnameVerifier")],
+                    Type::Void,
+                ),
+                this,
+                vec![Value::Local(v)],
+            ));
+            program.add_class(
+                ClassBuilder::new(factory.as_str())
+                    .extends("org.apache.http.conn.ssl.SSLSocketFactory")
+                    .method(ctor.build())
+                    .method(setup.build())
+                    .build(),
+            );
+            entry_activity(&p, program, manifest, move |mb| {
+                let f = mb.new_object(factory.as_str(), vec![], vec![]);
+                mb.invoke(InvokeExpr::call_virtual(
+                    MethodSig::new(factory.as_str(), "setup", vec![], Type::Void),
+                    f,
+                    vec![],
+                ));
+            });
+            // Report under the SSL id regardless of `s.sink` — this shape
+            // only exists for the SSL sink.
+            gt.sink_id = SinkKind::SslVerifier.sink_id().to_string();
+        }
+    }
+    ground_truth.push(gt);
+}
+
+/// Allocates the literal sink-parameter value in the current method and
+/// returns its local.
+fn sink_param_local(
+    mb: &mut MethodBuilder,
+    kind: SinkKind,
+    insecure: bool,
+) -> backdroid_ir::LocalId {
+    match kind {
+        SinkKind::Cipher => mb.assign_const(Const::str(mode_string(insecure))),
+        SinkKind::SslVerifier => mb.read_static_field(verifier_field(insecure)),
+    }
+}
+
+/// Creates and registers `{p}.EntryActivity` whose `onCreate` body is
+/// produced by `body`.
+fn entry_activity(
+    p: &str,
+    program: &mut Program,
+    manifest: &mut Manifest,
+    body: impl FnOnce(&mut MethodBuilder),
+) -> ClassName {
+    let act = ClassName::new(format!("{p}.EntryActivity"));
+    let mut on_create = MethodBuilder::public(&act, "onCreate", vec![], Type::Void);
+    body(&mut on_create);
+    program.add_class(
+        ClassBuilder::new(act.as_str())
+            .extends("android.app.Activity")
+            .method(on_create.build())
+            .build(),
+    );
+    manifest.register(Component::new(ComponentKind::Activity, act.as_str()));
+    act
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_mechanism_generates_a_valid_program() {
+        for (i, &m) in Mechanism::all().iter().enumerate() {
+            let mut program = Program::new();
+            let mut manifest = Manifest::new("com.t");
+            let mut gt = Vec::new();
+            add_launcher("com.t", &mut program, &mut manifest);
+            let s = Scenario::new(m, SinkKind::Cipher, true);
+            emit(&s, i, "com.t", &mut program, &mut manifest, &mut gt);
+            assert_eq!(gt.len(), 1, "{m:?}");
+            assert!(program.class_count() >= 2, "{m:?}");
+            // Encoding/dumping must succeed for every shape.
+            let dump = backdroid_dex::dump_image(&backdroid_dex::DexImage::encode(&program));
+            assert!(!dump.is_empty());
+        }
+    }
+
+    #[test]
+    fn reachability_flags_match_shapes() {
+        for (m, expected) in [
+            (Mechanism::DirectEntry, true),
+            (Mechanism::DeadCode, false),
+            (Mechanism::UnregisteredComponent, false),
+            (Mechanism::SkippedLibrary, true),
+        ] {
+            let mut program = Program::new();
+            let mut manifest = Manifest::new("com.t");
+            let mut gt = Vec::new();
+            add_launcher("com.t", &mut program, &mut manifest);
+            emit(
+                &Scenario::new(m, SinkKind::Cipher, true),
+                0,
+                "com.t",
+                &mut program,
+                &mut manifest,
+                &mut gt,
+            );
+            assert_eq!(gt[0].reachable, expected, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn blind_spots_are_labeled() {
+        let mut program = Program::new();
+        let mut manifest = Manifest::new("com.t");
+        let mut gt = Vec::new();
+        add_launcher("com.t", &mut program, &mut manifest);
+        emit(
+            &Scenario::new(Mechanism::AsyncTask, SinkKind::Cipher, true),
+            0,
+            "com.t",
+            &mut program,
+            &mut manifest,
+            &mut gt,
+        );
+        assert_eq!(
+            gt[0].baseline_blind_spot,
+            Some(BaselineBlindSpot::AsyncCallback)
+        );
+        let mut gt2 = Vec::new();
+        emit(
+            &Scenario::new(Mechanism::IndirectSubclassedSink, SinkKind::SslVerifier, true),
+            1,
+            "com.t",
+            &mut program,
+            &mut manifest,
+            &mut gt2,
+        );
+        assert!(!gt2[0].backdroid_can_locate);
+    }
+
+    #[test]
+    fn secure_variant_uses_safe_parameters() {
+        assert_eq!(mode_string(false), "AES/GCM/NoPadding");
+        assert_eq!(mode_string(true), "AES/ECB/PKCS5Padding");
+        assert_eq!(verifier_field(true).name(), "ALLOW_ALL_HOSTNAME_VERIFIER");
+        assert_eq!(verifier_field(false).name(), "STRICT_HOSTNAME_VERIFIER");
+    }
+}

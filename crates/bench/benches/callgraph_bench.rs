@@ -1,0 +1,38 @@
+//! Benchmarks whole-app call-graph construction: CHA vs SPARK-like RTA vs
+//! the context-sensitive geomPTA-like variant, across app sizes — the
+//! cost asymmetry behind Fig 1.
+
+use backdroid_appgen::AppSpec;
+use backdroid_wholeapp::{build, CgAlgorithm, CgOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_callgraph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("whole_app_callgraph");
+    group.sample_size(20);
+    for classes in [50usize, 200] {
+        let app = AppSpec::named(format!("com.bench.cg{classes}"))
+            .with_filler(classes, 6, 8)
+            .generate();
+        for (name, algo) in [
+            ("cha", CgAlgorithm::Cha),
+            ("spark", CgAlgorithm::Spark),
+            ("geompta", CgAlgorithm::GeomPta),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, classes),
+                &app,
+                |b, app| {
+                    let opts = CgOptions {
+                        algorithm: algo,
+                        ..CgOptions::default()
+                    };
+                    b.iter(|| build(&app.program, &app.manifest, &opts).expect("no budget"));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_callgraph);
+criterion_main!(benches);

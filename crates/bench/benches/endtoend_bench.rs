@@ -1,0 +1,37 @@
+//! End-to-end comparison: BackDroid's full pipeline vs the Amandroid-style
+//! whole-app baseline, at growing app sizes. The gap widening with size is
+//! the paper's central performance claim (§VI-B).
+
+use backdroid_appgen::{AppSpec, Mechanism, Scenario, SinkKind};
+use backdroid_core::{Backdroid, SinkRegistry};
+use backdroid_wholeapp::amandroid::{analyze, AmandroidConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_endtoend(c: &mut Criterion) {
+    let mut group = c.benchmark_group("endtoend");
+    group.sample_size(10);
+    for classes in [30usize, 120, 360] {
+        let app = AppSpec::named(format!("com.bench.e2e{classes}"))
+            .with_scenario(Scenario::new(Mechanism::PrivateChain, SinkKind::Cipher, true))
+            .with_scenario(Scenario::new(Mechanism::StaticChain, SinkKind::SslVerifier, true))
+            .with_filler(classes, 6, 8)
+            .generate();
+        group.bench_with_input(BenchmarkId::new("backdroid", classes), &app, |b, app| {
+            let tool = Backdroid::new();
+            b.iter(|| tool.analyze(&app.program, &app.manifest));
+        });
+        group.bench_with_input(BenchmarkId::new("amandroid", classes), &app, |b, app| {
+            let cfg = AmandroidConfig {
+                error_injection: false,
+                budget_units: u64::MAX,
+                ..AmandroidConfig::default()
+            };
+            let registry = SinkRegistry::crypto_and_ssl();
+            b.iter(|| analyze(&app.name, &app.program, &app.manifest, &registry, &cfg));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_endtoend);
+criterion_main!(benches);

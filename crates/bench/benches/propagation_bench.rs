@@ -1,0 +1,56 @@
+//! Benchmarks the forward constant/points-to propagation over generated
+//! SSGs (paper §V-B).
+
+use backdroid_appgen::{AppSpec, Mechanism, Scenario, SinkKind};
+use backdroid_core::{
+    locate_sinks, slice_sink, AnalysisContext, ForwardAnalysis, SinkRegistry, SlicerConfig, Ssg,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn ssg_for(mech: Mechanism) -> (backdroid_appgen::AndroidApp, Vec<Ssg>) {
+    let app = AppSpec::named(format!("com.bench.fwd.{mech:?}").to_lowercase())
+        .with_scenario(Scenario::new(mech, SinkKind::Cipher, true))
+        .with_filler(30, 5, 8)
+        .generate();
+    let registry = SinkRegistry::crypto_and_ssl();
+    let mut ctx = AnalysisContext::new(&app.program, &app.manifest);
+    let sites = locate_sinks(&mut ctx, &registry, false);
+    let ssgs = sites
+        .iter()
+        .map(|site| {
+            let spec = &registry.sinks()[site.spec_idx];
+            slice_sink(&mut ctx, SlicerConfig::default(), &site.method, site.stmt_idx, spec).ssg
+        })
+        .collect();
+    drop(ctx);
+    (app, ssgs)
+}
+
+fn bench_propagation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forward_propagation");
+    let registry = SinkRegistry::crypto_and_ssl();
+    let cipher_spec = registry.sinks()[0].clone();
+    for mech in [
+        Mechanism::PrivateChain,
+        Mechanism::ClinitOffPath,
+        Mechanism::InterfaceRunnable,
+    ] {
+        let (app, ssgs) = ssg_for(mech);
+        group.bench_with_input(
+            BenchmarkId::new("propagate", format!("{mech:?}")),
+            &(app, ssgs),
+            |b, (app, ssgs)| {
+                b.iter(|| {
+                    for ssg in ssgs {
+                        let mut fwd = ForwardAnalysis::new(&app.program);
+                        let _ = fwd.run(ssg, &cipher_spec);
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_propagation);
+criterion_main!(benches);

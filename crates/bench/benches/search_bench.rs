@@ -1,0 +1,55 @@
+//! Micro-benchmarks for the on-the-fly bytecode search engine: cold
+//! signature searches vs cached replays, at two app sizes.
+
+use backdroid_appgen::{AppSpec, Mechanism, Scenario, SinkKind};
+use backdroid_ir::{MethodSig, Type};
+use backdroid_search::{BytecodeText, SearchCmd, SearchEngine};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn app_dump(classes: usize) -> String {
+    AppSpec::named(format!("com.bench.search{classes}"))
+        .with_scenario(Scenario::new(Mechanism::PrivateChain, SinkKind::Cipher, true))
+        .with_filler(classes, 5, 8)
+        .generate()
+        .dump()
+}
+
+fn bench_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bytecode_search");
+    for classes in [50usize, 300] {
+        let dump = app_dump(classes);
+        let sink = MethodSig::new(
+            "javax.crypto.Cipher",
+            "getInstance",
+            vec![Type::string()],
+            Type::object("javax.crypto.Cipher"),
+        );
+        group.bench_with_input(BenchmarkId::new("index", classes), &dump, |b, dump| {
+            b.iter(|| BytecodeText::index(dump));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("cold_invoke_search", classes),
+            &dump,
+            |b, dump| {
+                b.iter_batched(
+                    || SearchEngine::new(BytecodeText::index(dump)),
+                    |mut engine| engine.run(&SearchCmd::InvokeOf(sink.clone())),
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("cached_invoke_search", classes),
+            &dump,
+            |b, dump| {
+                let mut engine = SearchEngine::new(BytecodeText::index(dump));
+                engine.run(&SearchCmd::InvokeOf(sink.clone()));
+                b.iter(|| engine.run(&SearchCmd::InvokeOf(sink.clone())));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

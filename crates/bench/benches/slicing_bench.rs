@@ -1,0 +1,49 @@
+//! Benchmarks SSG construction (backward slicing with search-driven
+//! backtracking) across scenario shapes.
+
+use backdroid_appgen::{AppSpec, Mechanism, Scenario, SinkKind};
+use backdroid_core::{locate_sinks, slice_sink, AnalysisContext, SinkRegistry, SlicerConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_slicing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ssg_slicing");
+    for (name, mech) in [
+        ("private_chain", Mechanism::PrivateChain),
+        ("interface_runnable", Mechanism::InterfaceRunnable),
+        ("clinit_off_path", Mechanism::ClinitOffPath),
+        ("lifecycle_chain", Mechanism::LifecycleChain),
+    ] {
+        let app = AppSpec::named(format!("com.bench.slice.{name}"))
+            .with_scenario(Scenario::new(mech, SinkKind::Cipher, true))
+            .with_filler(40, 5, 8)
+            .generate();
+        let dump = app.dump();
+        let registry = SinkRegistry::crypto_and_ssl();
+        group.bench_with_input(BenchmarkId::new("slice", name), &app, |b, app| {
+            b.iter_batched(
+                || {
+                    let mut ctx = AnalysisContext::with_dump(&app.program, &app.manifest, &dump);
+                    let sites = locate_sinks(&mut ctx, &registry, false);
+                    (ctx, sites)
+                },
+                |(mut ctx, sites)| {
+                    for site in &sites {
+                        let spec = &registry.sinks()[site.spec_idx];
+                        let _ = slice_sink(
+                            &mut ctx,
+                            SlicerConfig::default(),
+                            &site.method,
+                            site.stmt_idx,
+                            spec,
+                        );
+                    }
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_slicing);
+criterion_main!(benches);

@@ -1,0 +1,163 @@
+//! Regenerates the **§VI-C detection comparison**, both directions:
+//!
+//! * vulnerabilities Amandroid finds that BackDroid must match — the 7
+//!   ECB TPs (all matched), the 17 SSL TPs (15 matched, 2 missed in the
+//!   subclassed-sink shape), and the 6 FPs BackDroid avoids;
+//! * the 54 additional BackDroid detections Amandroid misses, broken down
+//!   into timeouts (28), skipped libraries (8), async/callback handling
+//!   (8), and occasional whole-app errors (10);
+//! * the §IV-C validation that search-reachable `<clinit>`s are truly
+//!   reachable.
+
+use backdroid_appgen::benchset::Profile;
+use backdroid_bench::harness::{benchset_apps, budget_for, run_amandroid_with_budget, run_backdroid_on, scale_from_args};
+use backdroid_core::{Backdroid, BackdroidOptions};
+
+fn main() {
+    let scale = scale_from_args();
+    let apps = benchset_apps(scale);
+    let budget = budget_for(scale);
+    let mut total = 0usize;
+
+    let mut ecb_tp_both = 0usize;
+    let mut ssl_tp_both = 0usize;
+    let mut backdroid_fn = 0usize;
+    let mut backdroid_fn_fixed = 0usize;
+    let mut amandroid_fp = 0usize;
+    let mut backdroid_fp = 0usize;
+    let mut extra = [0usize; 4]; // timeout, skipped-lib, async, error
+    let mut matched_apps = 0usize;
+
+    for ba in apps {
+        total += 1;
+        let bd = run_backdroid_on(&ba.app);
+        let am = run_amandroid_with_budget(&ba.app, budget);
+        let truth = ba.app.true_vulnerabilities();
+
+        match ba.profile {
+            Profile::EcbTp => {
+                if bd.vulnerable >= 1 && am.vulnerable >= 1 {
+                    ecb_tp_both += 1;
+                }
+            }
+            Profile::SslTp => {
+                if bd.vulnerable >= 1 && am.vulnerable >= 1 {
+                    ssl_tp_both += 1;
+                }
+            }
+            Profile::SslTpSubclassed => {
+                if bd.vulnerable == 0 && am.vulnerable >= 1 {
+                    backdroid_fn += 1;
+                }
+                // The §VI-C fix: hierarchy-aware initial search.
+                let fixed = Backdroid::with_options(BackdroidOptions {
+                    hierarchy_initial_search: true,
+                    ..BackdroidOptions::default()
+                })
+                .analyze(&ba.app.program, &ba.app.manifest);
+                if fixed.vulnerable_sinks().iter().count() >= 1 {
+                    backdroid_fn_fixed += 1;
+                }
+            }
+            Profile::AmandroidFp => {
+                // Ground truth says not vulnerable; Amandroid flags it.
+                if am.vulnerable >= 1 && truth == 0 {
+                    amandroid_fp += 1;
+                }
+                if bd.vulnerable >= 1 {
+                    backdroid_fp += 1;
+                }
+            }
+            Profile::TimeoutVictim => {
+                if bd.vulnerable >= 1 && am.timed_out {
+                    extra[0] += 1;
+                }
+            }
+            Profile::SkippedLib => {
+                if bd.vulnerable >= 1 && am.vulnerable == 0 && !am.timed_out {
+                    extra[1] += 1;
+                }
+            }
+            Profile::AsyncCallback => {
+                if bd.vulnerable >= 1 && am.vulnerable == 0 && !am.timed_out {
+                    extra[2] += 1;
+                }
+            }
+            Profile::WholeAppError => {
+                if bd.vulnerable >= 1 && am.errored {
+                    extra[3] += 1;
+                }
+            }
+            Profile::Normal | Profile::TimeoutNoVuln => {
+                if bd.vulnerable == truth {
+                    matched_apps += 1;
+                }
+            }
+        }
+    }
+
+    println!("§VI-C detection comparison over {} apps\n", total);
+    println!("Vulnerabilities detected by Amandroid — BackDroid coverage:");
+    println!("  ECB true positives matched by both:   {ecb_tp_both}   [paper: 7/7]");
+    println!("  SSL true positives matched by both:   {ssl_tp_both}   [paper: 15/17]");
+    println!("  BackDroid false negatives (subclassed sinks): {backdroid_fn}   [paper: 2]");
+    println!("    …recovered with hierarchy-aware initial search: {backdroid_fn_fixed}");
+    println!("  Amandroid false positives (unregistered components): {amandroid_fp}   [paper: 6]");
+    println!("  BackDroid false positives on those apps: {backdroid_fp}   [paper: 0]");
+
+    println!("\nVulnerabilities detected by BackDroid but NOT Amandroid:");
+    println!("  due to baseline timeouts:        {}   [paper: 28]", extra[0]);
+    println!("  due to skipped libraries:        {}   [paper: 8]", extra[1]);
+    println!("  due to async/callback handling:  {}   [paper: 8]", extra[2]);
+    println!("  due to whole-app errors:         {}   [paper: 10]", extra[3]);
+    println!(
+        "  total additional detections:     {}   [paper: 54]",
+        extra.iter().sum::<usize>()
+    );
+    println!("\nClean apps with exact agreement (no spurious findings): {matched_apps}");
+
+    // §IV-C validation: every clinit the recursive search deems reachable
+    // is truly reachable from an entry component.
+    clinit_validation();
+}
+
+/// §IV-C: "Among 37 unique static initializers that are identified by our
+/// recursive search as reachable, all of them are actually reachable."
+fn clinit_validation() {
+    use backdroid_appgen::{AppSpec, Mechanism, Scenario, SinkKind};
+    use backdroid_core::clinit::clinit_reachable;
+    use backdroid_core::AnalysisContext;
+
+    let mut identified = 0usize;
+    let mut confirmed = 0usize;
+    for i in 0..37 {
+        let app = AppSpec::named(format!("com.clinit.v{i}"))
+            .with_seed(i as u64)
+            .with_scenario(Scenario::new(
+                Mechanism::ClinitReachable,
+                SinkKind::SslVerifier,
+                i % 2 == 0,
+            ))
+            .with_filler(6 + i % 8, 4, 5)
+            .generate();
+        let mut ctx = AnalysisContext::new(&app.program, &app.manifest);
+        let class = backdroid_ir::ClassName::new(format!("com.clinit.v{i}.s0.ApiClient"));
+        let r = clinit_reachable(&mut ctx, &class);
+        if r.reachable {
+            identified += 1;
+            // Ground truth: the scenario wires the clinit through an entry
+            // activity, so reachability is genuine.
+            if !r.witness.is_empty()
+                && app
+                    .manifest
+                    .is_entry_component(r.witness.last().expect("non-empty"))
+            {
+                confirmed += 1;
+            }
+        }
+    }
+    println!(
+        "\n§IV-C validation: {identified} reachable <clinit>s identified, {confirmed} confirmed \
+         truly reachable   [paper: 37/37]"
+    );
+}

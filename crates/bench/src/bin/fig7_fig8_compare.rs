@@ -1,0 +1,107 @@
+//! Regenerates **Fig 7** (BackDroid time distribution), **Fig 8**
+//! (Amandroid time distribution), and the §VI-B headline: median
+//! 2.13 min vs 78.15 min ⇒ 37× speedup, 0% vs 35% timeouts.
+//!
+//! Paper reference distributions:
+//! * Fig 7 (BackDroid): 0–1m:42, 1–5m:47, 5–10m:19, 10–20m:18,
+//!   20–30m:12, 30–100m:3, timeout:0
+//! * Fig 8 (Amandroid): 1–5m:16, 5–10m:8, 10–30m:27, 30–100m:23,
+//!   100–300m:17, timeout:50 (35%)
+
+use backdroid_bench::harness::{
+    bucket_label, median, print_histogram, run_benchset, scale_from_args,
+};
+use std::collections::BTreeMap;
+
+fn main() {
+    let scale = scale_from_args();
+    let runs = run_benchset(scale);
+    let total = runs.len();
+
+    // ---- Fig 7: BackDroid ----
+    let bd_edges = [1.0, 5.0, 10.0, 20.0, 30.0, 100.0];
+    let bd_order = ["0m-1m", "1m-5m", "5m-10m", "10m-20m", "20m-30m", "30m-100m", ">100m"];
+    let mut bd_buckets: BTreeMap<String, usize> = BTreeMap::new();
+    let mut bd_minutes = Vec::new();
+    let mut bd_wall = Vec::new();
+    for r in &runs {
+        bd_minutes.push(r.backdroid.minutes);
+        bd_wall.push(r.backdroid.wall_ms);
+        *bd_buckets
+            .entry(bucket_label(&bd_edges, r.backdroid.minutes))
+            .or_insert(0) += 1;
+    }
+    println!("Fig 7: BackDroid analysis time over {total} apps");
+    let rows: Vec<(String, usize)> = bd_order
+        .iter()
+        .map(|o| (o.to_string(), bd_buckets.get(*o).copied().unwrap_or(0)))
+        .collect();
+    print_histogram("  time buckets (scaled min):", &rows);
+    println!("  timeouts: 0/{total} (0%)  [paper: 0]");
+
+    // ---- Fig 8: Amandroid ----
+    let am_edges = [5.0, 10.0, 30.0, 100.0, 300.0];
+    let am_order = ["0m-5m", "5m-10m", "10m-30m", "30m-100m", "100m-300m", "Timeout"];
+    let mut am_buckets: BTreeMap<String, usize> = BTreeMap::new();
+    let mut am_minutes = Vec::new();
+    let mut am_wall = Vec::new();
+    let mut timeouts = 0usize;
+    let mut errors = 0usize;
+    for r in &runs {
+        am_wall.push(r.amandroid.wall_ms);
+        if r.amandroid.errored {
+            errors += 1;
+            continue;
+        }
+        if r.amandroid.timed_out {
+            timeouts += 1;
+            *am_buckets.entry("Timeout".into()).or_insert(0) += 1;
+            // Timed-out apps consumed the full budget (paper's convention
+            // of treating the timeout as the lower-bound analysis time).
+            am_minutes.push(300.0);
+            continue;
+        }
+        am_minutes.push(r.amandroid.minutes);
+        *am_buckets
+            .entry(bucket_label(&am_edges, r.amandroid.minutes))
+            .or_insert(0) += 1;
+    }
+    println!("\nFig 8: Amandroid analysis time over {total} apps (300-min scaled timeout)");
+    let rows: Vec<(String, usize)> = am_order
+        .iter()
+        .map(|o| (o.to_string(), am_buckets.get(*o).copied().unwrap_or(0)))
+        .collect();
+    print_histogram("  time buckets (scaled min):", &rows);
+    println!(
+        "  timeouts: {timeouts}/{total} ({:.0}%)  [paper: 50/141 = 35%]; whole-app errors: {errors}",
+        100.0 * timeouts as f64 / total as f64
+    );
+
+    // ---- §VI-B headline ----
+    let bd_med = median(&bd_minutes);
+    let am_med = median(&am_minutes);
+    println!("\n§VI-B headline:");
+    println!(
+        "  BackDroid median: {bd_med:.2} scaled min   [paper: 2.13 min]   (wall median {:.0} ms)",
+        median(&bd_wall)
+    );
+    println!(
+        "  Amandroid median: {am_med:.2} scaled min   [paper: 78.15 min]  (wall median {:.0} ms)",
+        median(&am_wall)
+    );
+    if bd_med > 0.0 {
+        println!(
+            "  speedup: {:.1}x   [paper: 37x]",
+            am_med / bd_med
+        );
+    }
+    let under_1m = bd_minutes.iter().filter(|&&m| m < 1.0).count();
+    let under_10m = bd_minutes.iter().filter(|&&m| m < 10.0).count();
+    println!(
+        "  BackDroid: {:.0}% apps under 1 min [paper 30%], {:.0}% under 10 min [paper 77%]",
+        100.0 * under_1m as f64 / total as f64,
+        100.0 * under_10m as f64 / total as f64
+    );
+    let over_30 = bd_minutes.iter().filter(|&&m| m > 30.0).count();
+    println!("  BackDroid apps over 30 min: {over_30} [paper: 3]");
+}

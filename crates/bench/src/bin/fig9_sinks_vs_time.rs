@@ -1,0 +1,93 @@
+//! Regenerates **Fig 9**: the relationship between the number of sink API
+//! calls analyzed in each app and BackDroid's analysis time.
+//!
+//! Paper reference: most apps sit under a ~30 s/sink line; all but one
+//! finish within 40 minutes; the single outlier (Huawei Health, 121 sink
+//! calls) takes 81 min — still far below the 300-min baseline timeout.
+
+use backdroid_bench::harness::{benchset_apps, is_timeout_profile, run_backdroid_on, scale_from_args};
+
+fn main() {
+    let scale = scale_from_args();
+    let apps = benchset_apps(scale);
+
+    println!("Fig 9: #sink API calls vs BackDroid analysis time");
+    println!("{:>6} {:>14} {:>12} {:>14}  app", "sinks", "scaled-min", "wall-ms", "sec/sink");
+    let mut points = Vec::new();
+    let mut comparable = Vec::new(); // excludes the outsized timeout apps
+    for ba in apps {
+        let run = run_backdroid_on(&ba.app);
+        let sec_per_sink = if run.sinks_analyzed > 0 {
+            run.minutes * 60.0 / run.sinks_analyzed as f64
+        } else {
+            0.0
+        };
+        println!(
+            "{:>6} {:>14.2} {:>12.1} {:>14.1}  {}",
+            run.sinks_analyzed, run.minutes, run.wall_ms, sec_per_sink, run.app
+        );
+        if !is_timeout_profile(ba.profile) {
+            comparable.push((run.sinks_analyzed, run.minutes));
+        }
+        points.push((run.sinks_analyzed, run.minutes, sec_per_sink));
+    }
+
+    let n = points.len() as f64;
+    let mean_sinks = points.iter().map(|p| p.0 as f64).sum::<f64>() / n;
+    println!(
+        "\n  mean sink calls per app: {mean_sinks:.2}  [paper: 20.93]"
+    );
+    // Linear-trend check: Pearson correlation between sinks and time.
+    let mean_t = points.iter().map(|p| p.1).sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut var_s = 0.0;
+    let mut var_t = 0.0;
+    for (s, t, _) in &points {
+        let ds = *s as f64 - mean_sinks;
+        let dt = t - mean_t;
+        cov += ds * dt;
+        var_s += ds * ds;
+        var_t += dt * dt;
+    }
+    let r = if var_s > 0.0 && var_t > 0.0 {
+        cov / (var_s.sqrt() * var_t.sqrt())
+    } else {
+        0.0
+    };
+    println!("  correlation(sinks, time), all apps = {r:.2}");
+    // The timeout population is deliberately 6-11x oversized in code so
+    // the whole-app baseline exceeds its budget; their dump size swamps
+    // the per-sink signal. The paper's corpus has no such engineered
+    // outliers, so the comparable-size subset is the honest Fig 9 view.
+    let n2 = comparable.len() as f64;
+    if n2 > 1.0 {
+        let ms = comparable.iter().map(|p| p.0 as f64).sum::<f64>() / n2;
+        let mt = comparable.iter().map(|p| p.1).sum::<f64>() / n2;
+        let (mut cov2, mut vs2, mut vt2) = (0.0, 0.0, 0.0);
+        for (s_, t_) in &comparable {
+            let ds = *s_ as f64 - ms;
+            let dt = t_ - mt;
+            cov2 += ds * dt;
+            vs2 += ds * ds;
+            vt2 += dt * dt;
+        }
+        let r2 = if vs2 > 0.0 && vt2 > 0.0 { cov2 / (vs2.sqrt() * vt2.sqrt()) } else { 0.0 };
+        println!(
+            "  correlation(sinks, time), comparable-size apps = {r2:.2}  [paper: strong linear trend]"
+        );
+    }
+    let under_line = points
+        .iter()
+        .filter(|(s, t, _)| *t * 60.0 <= 30.0 * (*s as f64).max(1.0))
+        .count();
+    println!(
+        "  apps under the 30 s/sink line: {under_line}/{}  [paper: all but ~10 dots]",
+        points.len()
+    );
+    if let Some(outlier) = points.iter().max_by(|a, b| a.1.total_cmp(&b.1)) {
+        println!(
+            "  slowest app: {} sinks, {:.1} scaled min  [paper outlier: 121 sinks, 81 min]",
+            outlier.0, outlier.1
+        );
+    }
+}

@@ -1,0 +1,309 @@
+//! Shared harness utilities: running both tools over the benchmark set,
+//! deterministic scaled-time conversion, and distribution bucketing.
+//!
+//! ## Time scaling
+//!
+//! Absolute wall-clock numbers cannot be compared to the paper's i7-4790
+//! testbed, so each tool also reports a *deterministic, machine-independent*
+//! work measure that the harness converts to "scaled minutes":
+//!
+//! * **BackDroid** — dump lines scanned by the search engine (its cost
+//!   driver is grep passes over the dexdump text), divided by
+//!   [`BACKDROID_LINES_PER_MINUTE`].
+//! * **Amandroid baseline** — statement-visit work units, divided by
+//!   `backdroid_wholeapp::WORK_UNITS_PER_MINUTE` (whose 300-minute budget
+//!   is the paper's timeout).
+//!
+//! Real wall-clock milliseconds are reported alongside, unscaled.
+
+use backdroid_appgen::benchset::{bench_app, BenchApp, BenchsetConfig, Profile};
+use backdroid_core::{AnalysisContext, Backdroid, BackdroidOptions};
+use backdroid_wholeapp::amandroid::{analyze, AmandroidConfig, Outcome};
+use backdroid_wholeapp::paper_minutes;
+use serde::Serialize;
+use std::time::Instant;
+
+/// Calibration: dump lines BackDroid scans per scaled minute. Chosen so
+/// the benchmark set's median lands near the paper's 2.13 min.
+pub const BACKDROID_LINES_PER_MINUTE: f64 = 750_000.0;
+
+/// Harness scale.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scale {
+    /// The paper-scale 144-app set.
+    Full,
+    /// A reduced set for quick runs and CI.
+    Small,
+}
+
+impl Scale {
+    /// The corresponding benchmark-set configuration.
+    pub fn config(self) -> BenchsetConfig {
+        match self {
+            Scale::Full => BenchsetConfig::full(),
+            Scale::Small => BenchsetConfig::small(),
+        }
+    }
+}
+
+/// Parses `--small` / `--full` from argv (default full).
+pub fn scale_from_args() -> Scale {
+    if std::env::args().any(|a| a == "--small") {
+        Scale::Small
+    } else {
+        Scale::Full
+    }
+}
+
+/// One BackDroid run result.
+#[derive(Clone, Debug, Serialize)]
+pub struct BackdroidRun {
+    /// App name.
+    pub app: String,
+    /// Scaled analysis time in paper minutes.
+    pub minutes: f64,
+    /// Real wall-clock milliseconds.
+    pub wall_ms: f64,
+    /// Number of sink call sites analyzed.
+    pub sinks_analyzed: usize,
+    /// Vulnerable sinks found.
+    pub vulnerable: usize,
+    /// Search-cache hit rate.
+    pub cache_rate: f64,
+    /// Sink-cache (skip) rate.
+    pub sink_cache_rate: f64,
+    /// Whether any dead method loop was detected.
+    pub loops_detected: bool,
+    /// Most common loop kind, if any.
+    pub top_loop: Option<String>,
+}
+
+/// One baseline run result.
+#[derive(Clone, Debug, Serialize)]
+pub struct AmandroidRun {
+    /// App name.
+    pub app: String,
+    /// Scaled analysis time in paper minutes (capped at the timeout).
+    pub minutes: f64,
+    /// Real wall-clock milliseconds.
+    pub wall_ms: f64,
+    /// Whether the run timed out.
+    pub timed_out: bool,
+    /// Whether the run hit an injected whole-app error.
+    pub errored: bool,
+    /// Vulnerable findings (empty on timeout/error).
+    pub vulnerable: usize,
+}
+
+/// Both tools' results for one benchmark app.
+#[derive(Clone, Debug, Serialize)]
+pub struct BenchRun {
+    /// Population label (Debug-rendered [`Profile`]).
+    pub profile: String,
+    /// BackDroid result.
+    pub backdroid: BackdroidRun,
+    /// Baseline result.
+    pub amandroid: AmandroidRun,
+    /// Ground-truth vulnerable sink paths.
+    pub true_vulns: usize,
+}
+
+/// Converts a BackDroid report to scaled paper minutes: lines scanned by
+/// searches plus one preprocessing pass over the dump.
+pub fn backdroid_minutes(lines_scanned: u64, dump_lines: u64) -> f64 {
+    (lines_scanned as f64 + 3.0 * dump_lines as f64) / BACKDROID_LINES_PER_MINUTE
+}
+
+/// Runs BackDroid on one generated app.
+pub fn run_backdroid_on(app: &backdroid_appgen::AndroidApp) -> BackdroidRun {
+    let start = Instant::now();
+    let dump = app.dump();
+    let dump_lines = dump.lines().count() as u64;
+    let mut ctx = AnalysisContext::with_dump(&app.program, &app.manifest, &dump);
+    let tool = Backdroid::with_options(BackdroidOptions::default());
+    let report = tool.analyze_in(&mut ctx);
+    let wall_ms = start.elapsed().as_secs_f64() * 1_000.0;
+    let cache = ctx.engine.stats();
+    BackdroidRun {
+        app: app.name.clone(),
+        minutes: backdroid_minutes(cache.lines_scanned, dump_lines),
+        wall_ms,
+        sinks_analyzed: report.sinks_analyzed(),
+        vulnerable: report.vulnerable_sinks().len(),
+        cache_rate: cache.rate(),
+        sink_cache_rate: report.sink_cache.rate(),
+        loops_detected: ctx.loops.any(),
+        top_loop: ctx.loops.most_common().map(|k| format!("{k:?}")),
+    }
+}
+
+/// Runs the Amandroid-style baseline on one generated app with the
+/// default (full-scale) budget.
+pub fn run_amandroid_on(app: &backdroid_appgen::AndroidApp) -> AmandroidRun {
+    run_amandroid_with_budget(app, backdroid_wholeapp::DEFAULT_BUDGET_UNITS)
+}
+
+/// Runs the baseline with an explicit work-unit budget (reduced runs scale
+/// the budget together with the code volume so timeout shapes persist).
+pub fn run_amandroid_with_budget(
+    app: &backdroid_appgen::AndroidApp,
+    budget_units: u64,
+) -> AmandroidRun {
+    let start = Instant::now();
+    let cfg = AmandroidConfig {
+        budget_units,
+        ..AmandroidConfig::default()
+    };
+    let registry = backdroid_core::SinkRegistry::crypto_and_ssl();
+    let out = analyze(&app.name, &app.program, &app.manifest, &registry, &cfg);
+    let wall_ms = start.elapsed().as_secs_f64() * 1_000.0;
+    match out {
+        Outcome::Done(r) => AmandroidRun {
+            app: app.name.clone(),
+            minutes: paper_minutes(r.work_units),
+            wall_ms,
+            timed_out: false,
+            errored: false,
+            vulnerable: r.vulnerable().len(),
+        },
+        Outcome::TimedOut { work_units, .. } => AmandroidRun {
+            app: app.name.clone(),
+            minutes: paper_minutes(work_units),
+            wall_ms,
+            timed_out: true,
+            errored: false,
+            vulnerable: 0,
+        },
+        Outcome::Error { .. } => AmandroidRun {
+            app: app.name.clone(),
+            minutes: 0.0,
+            wall_ms,
+            timed_out: false,
+            errored: true,
+            vulnerable: 0,
+        },
+    }
+}
+
+/// The scaled baseline budget for a harness scale: the 300-minute budget
+/// shrinks with the code volume so reduced runs keep the timeout shape.
+pub fn budget_for(scale: Scale) -> u64 {
+    let cfg = scale.config();
+    ((backdroid_wholeapp::DEFAULT_BUDGET_UNITS as f64) * cfg.code_scale).max(1_000.0) as u64
+}
+
+/// Runs both tools over the benchmark set, generating one app at a time
+/// so memory stays bounded at the largest single app.
+pub fn run_benchset(scale: Scale) -> Vec<BenchRun> {
+    let cfg = scale.config();
+    let budget = budget_for(scale);
+    (0..cfg.count)
+        .map(|i| {
+            let ba = bench_app(i, cfg);
+            BenchRun {
+                profile: format!("{:?}", ba.profile),
+                backdroid: run_backdroid_on(&ba.app),
+                amandroid: run_amandroid_with_budget(&ba.app, budget),
+                true_vulns: ba.app.true_vulnerabilities(),
+            }
+        })
+        .collect()
+}
+
+/// Streams the generated benchmark apps with profiles (for harnesses that
+/// need ground truth). Each item is generated on demand and can be
+/// dropped after use.
+pub fn benchset_apps(scale: Scale) -> impl Iterator<Item = BenchApp> {
+    let cfg = scale.config();
+    (0..cfg.count).map(move |i| bench_app(i, cfg))
+}
+
+/// Re-export for harness binaries.
+pub use backdroid_appgen::benchset::Profile as BenchProfile;
+
+/// Median of a sample (0.0 when empty).
+pub fn median(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    if v.len() % 2 == 1 {
+        v[v.len() / 2]
+    } else {
+        (v[v.len() / 2 - 1] + v[v.len() / 2]) / 2.0
+    }
+}
+
+/// Buckets a scaled-minutes value into labeled ranges, e.g.
+/// `bucket_label(&[1.0, 5.0, 10.0], 7.2)` → `"5m-10m"`.
+pub fn bucket_label(edges: &[f64], minutes: f64) -> String {
+    let mut lo = 0.0;
+    for &e in edges {
+        if minutes < e {
+            return format!("{}m-{}m", fmt_edge(lo), fmt_edge(e));
+        }
+        lo = e;
+    }
+    format!(">{}m", fmt_edge(lo))
+}
+
+fn fmt_edge(e: f64) -> String {
+    if e.fract() == 0.0 {
+        format!("{}", e as u64)
+    } else {
+        format!("{e}")
+    }
+}
+
+/// Prints a histogram line for a bucketed distribution.
+pub fn print_histogram(title: &str, labeled: &[(String, usize)]) {
+    println!("{title}");
+    let max = labeled.iter().map(|(_, c)| *c).max().unwrap_or(1).max(1);
+    for (label, count) in labeled {
+        let bar = "#".repeat(count * 40 / max);
+        println!("  {label:<12} {count:>4} {bar}");
+    }
+}
+
+/// Is this profile part of the timeout population?
+pub fn is_timeout_profile(p: Profile) -> bool {
+    matches!(p, Profile::TimeoutVictim | Profile::TimeoutNoVuln)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_and_buckets() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(bucket_label(&[1.0, 5.0, 10.0], 0.4), "0m-1m");
+        assert_eq!(bucket_label(&[1.0, 5.0, 10.0], 7.2), "5m-10m");
+        assert_eq!(bucket_label(&[1.0, 5.0, 10.0], 12.0), ">10m");
+    }
+
+    #[test]
+    fn backdroid_minutes_scaling() {
+        let m = backdroid_minutes(750_000, 0);
+        assert!((m - 1.0).abs() < 1e-9);
+        assert!(backdroid_minutes(0, 1000) > 0.0, "preprocessing counted");
+    }
+
+    #[test]
+    fn runs_one_small_app_both_tools() {
+        use backdroid_appgen::{AppSpec, Mechanism, Scenario, SinkKind};
+        let app = AppSpec::named("com.bench.unit")
+            .with_scenario(Scenario::new(Mechanism::DirectEntry, SinkKind::Cipher, true))
+            .with_filler(6, 3, 4)
+            .generate();
+        let b = run_backdroid_on(&app);
+        assert_eq!(b.vulnerable, 1);
+        assert!(b.minutes > 0.0);
+        let a = run_amandroid_on(&app);
+        assert!(!a.timed_out);
+        assert_eq!(a.vulnerable, 1);
+    }
+}

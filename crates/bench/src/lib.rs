@@ -1,0 +1,28 @@
+//! # backdroid-bench
+//!
+//! The benchmark harness regenerating every table and figure of the
+//! BackDroid paper's evaluation (§II-B, §II-C, §VI). One binary per
+//! artifact:
+//!
+//! | Binary                  | Paper artifact |
+//! |-------------------------|----------------|
+//! | `table1_app_sizes`      | Table I — app-size growth 2014–2018 |
+//! | `fig1_flowdroid_cg`     | Fig 1 — FlowDroid call-graph generation time |
+//! | `fig7_fig8_compare`     | Fig 7 + Fig 8 + the 37× median headline |
+//! | `fig9_sinks_vs_time`    | Fig 9 — #sink calls vs BackDroid time |
+//! | `detection_comparison`  | §VI-C — detection accuracy both ways |
+//! | `cache_stats`           | §IV-F — cache rates and loop statistics |
+//!
+//! Run with `cargo run --release -p backdroid-bench --bin <name>`; pass
+//! `--small` for a reduced, fast configuration.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+
+pub use harness::{
+    backdroid_minutes, bucket_label, median, run_amandroid_on, run_backdroid_on, run_benchset,
+    scale_from_args, AmandroidRun, BackdroidRun, BenchRun, Scale,
+    BACKDROID_LINES_PER_MINUTE,
+};

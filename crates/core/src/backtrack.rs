@@ -1,0 +1,351 @@
+//! Caller location — the decision core of the targeted inter-procedural
+//! analysis. Given a callee method, decide *how* to search for its
+//! callers (basic signature search, child-class extension, advanced
+//! object-flow search, or the special `<clinit>`/ICC/lifecycle handling)
+//! and return the discovered caller edges.
+
+use crate::advanced::advanced_search;
+use crate::clinit;
+use crate::context::AnalysisContext;
+use crate::icc;
+use backdroid_ir::{MethodSig, Modifiers};
+use backdroid_search::SearchCmd;
+
+/// How a caller edge was discovered.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EdgeKind {
+    /// Basic signature search (§IV-A).
+    DirectCall,
+    /// Signature search using a non-overriding child class's signature
+    /// (§IV-A, "searching over a child class").
+    ChildClassCall,
+    /// Advanced search with forward object taint (§IV-B).
+    ObjectFlow,
+    /// Two-time ICC search (§IV-D).
+    Icc,
+    /// Lifecycle-handler domain knowledge (§IV-E).
+    Lifecycle,
+}
+
+/// One step of a maintained call chain (advanced search, §IV-B step 4).
+#[derive(Clone, PartialEq, Debug)]
+pub struct ChainStep {
+    /// The method on the chain.
+    pub method: MethodSig,
+    /// The call-site statement index inside that method, when known (the
+    /// ending step always carries one).
+    pub site_stmt: Option<usize>,
+}
+
+/// One discovered caller.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CallerEdge {
+    /// The caller method backtracking continues from.
+    pub caller: MethodSig,
+    /// The relevant statement index inside the caller (call site for
+    /// direct edges; allocation site for object-flow edges).
+    pub site_stmt: Option<usize>,
+    /// The maintained call chain (object-flow edges only).
+    pub via_chain: Vec<ChainStep>,
+    /// Discovery mechanism.
+    pub kind: EdgeKind,
+}
+
+/// The outcome of one caller-location step.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Reached {
+    /// The callee itself is an entry point (registered lifecycle handler),
+    /// or a `<clinit>` proven reachable from an entry component.
+    EntryPoint,
+    /// Callers found; backtracking continues from each edge.
+    Callers(Vec<CallerEdge>),
+    /// No caller exists: dead code or an uninvoked library path.
+    NoCaller,
+}
+
+/// Locates the callers of `callee` using the appropriate search mechanism.
+///
+/// The decision mirrors §IV:
+/// 1. registered lifecycle handlers are entry points;
+/// 2. `<clinit>` methods get the recursive class-use reachability search;
+/// 3. *signature methods* (static / private / constructor) get the basic
+///    signature search;
+/// 4. other instance methods first try the signature search (plus
+///    child-class signatures for non-overriding subclasses), then fall
+///    back to the advanced object-flow search;
+/// 5. entry methods of registered components can additionally be traced
+///    across ICC to the components that start them.
+pub fn find_callers(ctx: &mut AnalysisContext<'_>, callee: &MethodSig) -> Reached {
+    // (1) Entry points.
+    if ctx.manifest.is_entry_method(callee) {
+        return Reached::EntryPoint;
+    }
+
+    // (2) Static initializers: never explicitly invoked; recursive search.
+    if callee.is_clinit() {
+        return if clinit::clinit_reachable(ctx, callee.class()).reachable {
+            Reached::EntryPoint
+        } else {
+            Reached::NoCaller
+        };
+    }
+
+    let modifiers = ctx
+        .program
+        .method(callee)
+        .map(|m| m.modifiers())
+        .unwrap_or_else(Modifiers::public);
+    let is_signature_method =
+        modifiers.is_static() || modifiers.is_private() || callee.is_init();
+
+    // (3)/(4) basic signature search, with child-class extension.
+    let mut edges = direct_search(ctx, callee, modifiers);
+
+    // (4) fallback: advanced search for complex instance dispatch.
+    if edges.is_empty() && !is_signature_method {
+        edges = advanced_search(ctx, callee);
+    }
+
+    // (5) ICC: lifecycle-shaped methods on component classes can also be
+    // reached via startService/startActivity even when the class is not a
+    // registered entry (plugin-style components); the merged two-time
+    // search finds the launching method.
+    if edges.is_empty() {
+        if let Some(component) = ctx.manifest.component(callee.class()) {
+            edges = icc::icc_callers(ctx, component);
+        }
+    }
+
+    // (6) Reflection: methods invoked only via java.lang.reflect get
+    // synthesized edges from resolved Method.invoke sites (§VII).
+    if edges.is_empty() {
+        edges = crate::reflection::reflective_callers(ctx, callee);
+    }
+
+    if edges.is_empty() {
+        Reached::NoCaller
+    } else {
+        Reached::Callers(edges)
+    }
+}
+
+/// The basic signature-based search (§IV-A): translate the callee's
+/// signature into the bytecode format and grep for its invocations; for
+/// instance methods, additionally search the signatures of child classes
+/// that do not override the callee.
+fn direct_search(
+    ctx: &mut AnalysisContext<'_>,
+    callee: &MethodSig,
+    modifiers: Modifiers,
+) -> Vec<CallerEdge> {
+    let mut edges = Vec::new();
+    let mut add_hits = |ctx: &mut AnalysisContext<'_>, sig: &MethodSig, kind: EdgeKind| {
+        let hits = ctx.engine.run(&SearchCmd::InvokeOf(sig.clone()));
+        for hit in hits {
+            // Self-recursive call sites do not produce progress; the
+            // slicer's path guard would catch them anyway, but skipping
+            // here avoids degenerate single-method "callers".
+            if &hit.method == callee {
+                continue;
+            }
+            let site = ctx
+                .program
+                .method(&hit.method)
+                .and_then(|m| m.body())
+                .and_then(|b| b.call_sites_of(sig).first().copied());
+            edges.push(CallerEdge {
+                caller: hit.method,
+                site_stmt: site,
+                via_chain: Vec::new(),
+                kind,
+            });
+        }
+    };
+
+    add_hits(ctx, callee, EdgeKind::DirectCall);
+
+    // Child-class signatures (instance methods only; a static or private
+    // call site always names the declaring class).
+    if !modifiers.is_static() && !modifiers.is_private() && !callee.is_init() {
+        for child in ctx.program.subclasses_transitive(callee.class()) {
+            let overridden = ctx
+                .program
+                .class(&child)
+                .is_some_and(|c| c.find_method_by_sub_signature(callee).is_some());
+            if overridden {
+                // The child signature now names the overloaded child
+                // method only (§IV-A) — skip it.
+                continue;
+            }
+            let child_sig = callee.on_class(child);
+            add_hits(ctx, &child_sig, EdgeKind::ChildClassCall);
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backdroid_ir::{ClassBuilder, ClassName, InvokeExpr, MethodBuilder, Program, Type};
+    use backdroid_manifest::{Component, ComponentKind, Manifest};
+
+    fn msig(class: &str, name: &str) -> MethodSig {
+        MethodSig::new(class, name, vec![], Type::Void)
+    }
+
+    /// Fig 3 shape: NetcastTVService$1.run() calls the private-ish
+    /// NetcastHttpServer.start(); the signature search must find it.
+    fn fig3_program() -> Program {
+        let mut p = Program::new();
+        let server = ClassName::new("com.connectsdk.service.netcast.NetcastHttpServer");
+        let mut start = MethodBuilder::private(&server, "start", vec![], Type::Void);
+        start.ret_void();
+        let mut ctor = MethodBuilder::constructor(&server, vec![]);
+        ctor.ret_void();
+        p.add_class(
+            ClassBuilder::new(server.as_str())
+                .method(start.build())
+                .method(ctor.build())
+                .build(),
+        );
+        let runner = ClassName::new("com.connectsdk.service.NetcastTVService$1");
+        let mut run = MethodBuilder::public(&runner, "run", vec![], Type::Void);
+        let srv = run.new_object(server.as_str(), vec![], vec![]);
+        run.invoke(InvokeExpr::call_virtual(
+            msig(server.as_str(), "start"),
+            srv,
+            vec![],
+        ));
+        p.add_class(
+            ClassBuilder::new(runner.as_str())
+                .implements("java.lang.Runnable")
+                .method(run.build())
+                .build(),
+        );
+        p
+    }
+
+    #[test]
+    fn basic_search_finds_private_callee_caller() {
+        let p = fig3_program();
+        let m = Manifest::new("com.lge.app1");
+        let mut ctx = AnalysisContext::new(&p, &m);
+        let callee = msig("com.connectsdk.service.netcast.NetcastHttpServer", "start");
+        let Reached::Callers(edges) = find_callers(&mut ctx, &callee) else {
+            panic!("expected callers");
+        };
+        assert_eq!(edges.len(), 1);
+        assert_eq!(
+            edges[0].caller.to_string(),
+            "<com.connectsdk.service.NetcastTVService$1: void run()>"
+        );
+        assert_eq!(edges[0].kind, EdgeKind::DirectCall);
+        assert!(edges[0].site_stmt.is_some());
+    }
+
+    #[test]
+    fn entry_method_short_circuits() {
+        let p = fig3_program();
+        let mut m = Manifest::new("com.lge.app1");
+        m.register(Component::new(
+            ComponentKind::Activity,
+            "com.lge.app1.MainActivity",
+        ));
+        let mut ctx = AnalysisContext::new(&p, &m);
+        let entry = msig("com.lge.app1.MainActivity", "onCreate");
+        assert_eq!(find_callers(&mut ctx, &entry), Reached::EntryPoint);
+    }
+
+    #[test]
+    fn dead_method_has_no_caller() {
+        let p = fig3_program();
+        let m = Manifest::new("com.lge.app1");
+        let mut ctx = AnalysisContext::new(&p, &m);
+        let dead = msig("com.connectsdk.service.NetcastTVService$1", "run");
+        // run() is never invoked and has no constructor-site flow (the
+        // class is never allocated elsewhere): no caller.
+        assert_eq!(find_callers(&mut ctx, &dead), Reached::NoCaller);
+    }
+
+    /// §IV-A child-class rules: not-overridden → extra search on the child
+    /// signature; overridden → no extra search.
+    #[test]
+    fn child_class_search_extends_signatures() {
+        let mut p = Program::new();
+        let base = ClassName::new("com.x.Server");
+        let mut start = MethodBuilder::public(&base, "start", vec![], Type::Void);
+        start.ret_void();
+        p.add_class(ClassBuilder::new(base.as_str()).method(start.build()).build());
+        // Child that does NOT override start().
+        let child = ClassName::new("com.x.ChildServer");
+        let mut other = MethodBuilder::public(&child, "other", vec![], Type::Void);
+        other.ret_void();
+        p.add_class(
+            ClassBuilder::new(child.as_str())
+                .extends(base.as_str())
+                .method(other.build())
+                .build(),
+        );
+        // Caller invokes start() through the child signature.
+        let user = ClassName::new("com.x.User");
+        let mut go = MethodBuilder::public(&user, "go", vec![], Type::Void);
+        let obj = go.new_object(child.as_str(), vec![], vec![]);
+        go.invoke(InvokeExpr::call_virtual(
+            msig(child.as_str(), "start"),
+            obj,
+            vec![],
+        ));
+        p.add_class(ClassBuilder::new(user.as_str()).method(go.build()).build());
+
+        let m = Manifest::new("com.x");
+        let mut ctx = AnalysisContext::new(&p, &m);
+        let Reached::Callers(edges) = find_callers(&mut ctx, &msig(base.as_str(), "start")) else {
+            panic!("expected callers");
+        };
+        assert_eq!(edges.len(), 1, "{edges:?}");
+        assert_eq!(edges[0].kind, EdgeKind::ChildClassCall);
+        assert_eq!(edges[0].caller.to_string(), "<com.x.User: void go()>");
+    }
+
+    #[test]
+    fn overriding_child_is_not_searched() {
+        let mut p = Program::new();
+        let base = ClassName::new("com.x.Server");
+        let mut start = MethodBuilder::public(&base, "start", vec![], Type::Void);
+        start.ret_void();
+        p.add_class(ClassBuilder::new(base.as_str()).method(start.build()).build());
+        // Child that DOES override start().
+        let child = ClassName::new("com.x.ChildServer");
+        let mut cstart = MethodBuilder::public(&child, "start", vec![], Type::Void);
+        cstart.ret_void();
+        p.add_class(
+            ClassBuilder::new(child.as_str())
+                .extends(base.as_str())
+                .method(cstart.build())
+                .build(),
+        );
+        // Caller invokes the child's own start().
+        let user = ClassName::new("com.x.User");
+        let mut go = MethodBuilder::public(&user, "go", vec![], Type::Void);
+        let obj = go.new_object(child.as_str(), vec![], vec![]);
+        go.invoke(InvokeExpr::call_virtual(
+            msig(child.as_str(), "start"),
+            obj,
+            vec![],
+        ));
+        p.add_class(ClassBuilder::new(user.as_str()).method(go.build()).build());
+
+        let m = Manifest::new("com.x");
+        let mut ctx = AnalysisContext::new(&p, &m);
+        // Searching the BASE method must not pick up the child call site,
+        // which targets the overloaded child method only.
+        let r = find_callers(&mut ctx, &msig(base.as_str(), "start"));
+        assert_eq!(r, Reached::NoCaller, "{r:?}");
+        // Searching the CHILD method finds it directly.
+        let Reached::Callers(edges) = find_callers(&mut ctx, &msig(child.as_str(), "start")) else {
+            panic!("expected callers");
+        };
+        assert_eq!(edges[0].kind, EdgeKind::DirectCall);
+    }
+}

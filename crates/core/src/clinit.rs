@@ -1,0 +1,178 @@
+//! Special search over static initializers (paper §IV-C).
+//!
+//! A `<clinit>` is never explicitly invoked — the VM runs it when the
+//! class is first used. Its reachability is therefore decided by a
+//! *recursive class-use search*: find the classes that use the initializer
+//! class, check whether any is a registered entry component, and repeat
+//! over the users until an entry class is found or the frontier dries up.
+//! Only control-flow reachability matters: `<clinit>` has no parameters,
+//! so no dataflow propagates through it (§IV-C).
+
+use crate::context::AnalysisContext;
+use backdroid_ir::ClassName;
+use std::collections::{BTreeSet, VecDeque};
+
+/// The outcome of a `<clinit>` reachability search.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ClinitReachability {
+    /// Whether an entry component transitively uses the class.
+    pub reachable: bool,
+    /// The witness chain from the initializer class up to the entry class
+    /// (empty when unreachable). The Heyzap example of §IV-C produces
+    /// `APIClient → AdModel → HeyzapInterstitialActivity`.
+    pub witness: Vec<ClassName>,
+    /// How many classes the recursive search visited.
+    pub classes_visited: usize,
+}
+
+/// Runs the recursive class-use reachability search for `class`'s
+/// `<clinit>`.
+pub fn clinit_reachable(ctx: &mut AnalysisContext<'_>, class: &ClassName) -> ClinitReachability {
+    // BFS over the "used by" relation, tracking parents for the witness.
+    let mut queue: VecDeque<ClassName> = VecDeque::from([class.clone()]);
+    let mut seen: BTreeSet<ClassName> = BTreeSet::from([class.clone()]);
+    let mut parent: Vec<(ClassName, ClassName)> = Vec::new(); // (child, parent-in-search)
+
+    while let Some(cur) = queue.pop_front() {
+        if ctx.manifest.is_entry_component(&cur) {
+            // Rebuild the witness chain back to the initializer class.
+            let mut witness = vec![cur.clone()];
+            let mut node = cur;
+            while let Some((_, p)) = parent.iter().find(|(c, _)| *c == node).cloned() {
+                witness.push(p.clone());
+                node = p;
+            }
+            witness.reverse();
+            return ClinitReachability {
+                reachable: true,
+                witness,
+                classes_visited: seen.len(),
+            };
+        }
+        for user in ctx.engine.classes_using(&cur) {
+            if seen.insert(user.clone()) {
+                parent.push((user.clone(), cur.clone()));
+                queue.push_back(user);
+            }
+        }
+    }
+    ClinitReachability {
+        reachable: false,
+        witness: Vec::new(),
+        classes_visited: seen.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backdroid_ir::{
+        ClassBuilder, InvokeExpr, MethodBuilder, MethodSig, Program, Type, Value,
+    };
+    use backdroid_manifest::{Component, ComponentKind, Manifest};
+
+    /// The Heyzap shape of §IV-C: APIClient.<clinit> is reachable because
+    /// AdModel uses APIClient, and the registered
+    /// HeyzapInterstitialActivity uses AdModel.
+    fn heyzap_program() -> Program {
+        let mut p = Program::new();
+
+        let api = backdroid_ir::ClassName::new("com.heyzap.internal.APIClient");
+        let mut clinit = MethodBuilder::clinit(&api);
+        clinit.ret_void();
+        let mut get = MethodBuilder::public_static(&api, "get", vec![], Type::string());
+        get.ret(Value::str("https://ads.heyzap.com"));
+        p.add_class(
+            ClassBuilder::new(api.as_str())
+                .method(clinit.build())
+                .method(get.build())
+                .build(),
+        );
+
+        let model = backdroid_ir::ClassName::new("com.heyzap.house.model.AdModel");
+        let mut fetch = MethodBuilder::public(&model, "fetch", vec![], Type::Void);
+        fetch.invoke(InvokeExpr::call_static(
+            MethodSig::new(api.as_str(), "get", vec![], Type::string()),
+            vec![],
+        ));
+        p.add_class(ClassBuilder::new(model.as_str()).method(fetch.build()).build());
+
+        let act = backdroid_ir::ClassName::new("com.heyzap.sdk.ads.HeyzapInterstitialActivity");
+        let mut on_create = MethodBuilder::public(&act, "onCreate", vec![], Type::Void);
+        let m = on_create.new_object(model.as_str(), vec![], vec![]);
+        on_create.invoke(InvokeExpr::call_virtual(
+            MethodSig::new(model.as_str(), "fetch", vec![], Type::Void),
+            m,
+            vec![],
+        ));
+        p.add_class(
+            ClassBuilder::new(act.as_str())
+                .extends("android.app.Activity")
+                .method(on_create.build())
+                .build(),
+        );
+        // AdModel needs a constructor for the new_object call above.
+        // (Add it to the existing class via a fresh build — simplest is a
+        // separate helper class; instead re-open is not possible, so the
+        // ctor was omitted: new-instance alone still references the class
+        // in bytecode, which is what the search needs.)
+        p
+    }
+
+    #[test]
+    fn heyzap_clinit_is_reachable_with_witness() {
+        let p = heyzap_program();
+        let mut man = Manifest::new("com.heyzap.demo");
+        man.register(Component::new(
+            ComponentKind::Activity,
+            "com.heyzap.sdk.ads.HeyzapInterstitialActivity",
+        ));
+        let mut ctx = AnalysisContext::new(&p, &man);
+        let r = clinit_reachable(
+            &mut ctx,
+            &backdroid_ir::ClassName::new("com.heyzap.internal.APIClient"),
+        );
+        assert!(r.reachable);
+        let names: Vec<&str> = r.witness.iter().map(ClassName::as_str).collect();
+        assert_eq!(
+            names,
+            vec![
+                "com.heyzap.internal.APIClient",
+                "com.heyzap.house.model.AdModel",
+                "com.heyzap.sdk.ads.HeyzapInterstitialActivity",
+            ]
+        );
+        assert!(r.classes_visited >= 3);
+    }
+
+    #[test]
+    fn unreferenced_clinit_is_unreachable() {
+        let p = heyzap_program();
+        // No component registered: nothing is an entry.
+        let man = Manifest::new("com.heyzap.demo");
+        let mut ctx = AnalysisContext::new(&p, &man);
+        let r = clinit_reachable(
+            &mut ctx,
+            &backdroid_ir::ClassName::new("com.heyzap.internal.APIClient"),
+        );
+        assert!(!r.reachable);
+        assert!(r.witness.is_empty());
+    }
+
+    #[test]
+    fn directly_registered_class_is_trivially_reachable() {
+        let p = heyzap_program();
+        let mut man = Manifest::new("com.heyzap.demo");
+        man.register(Component::new(
+            ComponentKind::Activity,
+            "com.heyzap.internal.APIClient",
+        ));
+        let mut ctx = AnalysisContext::new(&p, &man);
+        let r = clinit_reachable(
+            &mut ctx,
+            &backdroid_ir::ClassName::new("com.heyzap.internal.APIClient"),
+        );
+        assert!(r.reachable);
+        assert_eq!(r.witness.len(), 1);
+    }
+}

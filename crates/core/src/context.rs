@@ -1,0 +1,72 @@
+//! Shared analysis state: the two "spaces" of Fig 2 (the bytecode search
+//! space and the program analysis space) plus the manifest.
+
+use crate::loops::LoopStats;
+use backdroid_dex::{dump_image, DexImage};
+use backdroid_ir::Program;
+use backdroid_manifest::Manifest;
+use backdroid_search::{BytecodeText, SearchEngine};
+
+/// Everything one app analysis needs: the IR program (program analysis
+/// space), the search engine over the dexdump text (bytecode search
+/// space), the manifest, and the per-app loop counters.
+pub struct AnalysisContext<'a> {
+    /// The app's IR program.
+    pub program: &'a Program,
+    /// The app's manifest.
+    pub manifest: &'a Manifest,
+    /// The bytecode search engine (owns the indexed dump text).
+    pub engine: SearchEngine,
+    /// Loop-detection counters accumulated across the whole app run.
+    pub loops: LoopStats,
+}
+
+impl<'a> AnalysisContext<'a> {
+    /// Builds a context by encoding the program to DEX, disassembling it,
+    /// and indexing the plaintext — the preprocessing step of §III.
+    pub fn new(program: &'a Program, manifest: &'a Manifest) -> Self {
+        let image = DexImage::encode(program);
+        let dump = dump_image(&image);
+        AnalysisContext {
+            program,
+            manifest,
+            engine: SearchEngine::new(BytecodeText::index(&dump)),
+            loops: LoopStats::default(),
+        }
+    }
+
+    /// Builds a context over an already-disassembled dump (lets tests and
+    /// the benchmark harness reuse a dump across runs).
+    pub fn with_dump(program: &'a Program, manifest: &'a Manifest, dump: &str) -> Self {
+        AnalysisContext {
+            program,
+            manifest,
+            engine: SearchEngine::new(BytecodeText::index(dump)),
+            loops: LoopStats::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backdroid_ir::{ClassBuilder, ClassName, MethodBuilder, Type};
+    use backdroid_manifest::{Component, ComponentKind};
+
+    #[test]
+    fn context_builds_engine_from_program() {
+        let name = ClassName::new("com.a.Main");
+        let mut m = MethodBuilder::public(&name, "onCreate", vec![], Type::Void);
+        m.ret_void();
+        let mut p = Program::new();
+        p.add_class(ClassBuilder::new("com.a.Main").method(m.build()).build());
+        let mut man = Manifest::new("com.a");
+        man.register(Component::new(ComponentKind::Activity, "com.a.Main"));
+        let ctx = AnalysisContext::new(&p, &man);
+        assert!(ctx
+            .engine
+            .text()
+            .descriptors()
+            .contains("Lcom/a/Main;"));
+    }
+}

@@ -1,0 +1,201 @@
+//! The per-app BackDroid pipeline (paper §III, Fig 2): preprocess →
+//! locate sinks → search-driven backward slicing into SSGs → forward
+//! constant/points-to propagation → detector verdicts.
+
+use crate::context::AnalysisContext;
+use crate::detect::{judge, Verdict};
+use crate::forward::{DataflowValue, ForwardAnalysis};
+use crate::locate::{locate_sinks, SinkSite};
+use crate::loops::LoopStats;
+use crate::sinks::SinkRegistry;
+use crate::slicer::{slice_sink, SlicerConfig};
+use backdroid_ir::{MethodSig, Program};
+use backdroid_manifest::Manifest;
+use backdroid_search::CacheStats;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Tool options. `Default` reproduces the paper's configuration,
+/// including the exact-signature initial sink search (and therefore the
+/// two §VI-C false negatives); enable `hierarchy_initial_search` for the
+/// proposed fix.
+#[derive(Clone, Debug)]
+pub struct BackdroidOptions {
+    /// The sinks to vet.
+    pub sinks: SinkRegistry,
+    /// Enable the class-hierarchy-aware initial sink search (§VI-C fix).
+    pub hierarchy_initial_search: bool,
+    /// Slicer bounds.
+    pub slicer: SlicerConfig,
+}
+
+impl Default for BackdroidOptions {
+    fn default() -> Self {
+        BackdroidOptions {
+            sinks: SinkRegistry::crypto_and_ssl(),
+            hierarchy_initial_search: false,
+            slicer: SlicerConfig::default(),
+        }
+    }
+}
+
+/// The report for one analyzed sink call site.
+#[derive(Clone, Debug)]
+pub struct SinkReport {
+    /// Sink identifier from the registry.
+    pub sink_id: String,
+    /// The method containing the call.
+    pub site_method: MethodSig,
+    /// Statement index of the call.
+    pub stmt_idx: usize,
+    /// Whether the call is control-flow reachable from an entry point.
+    pub reachable: bool,
+    /// Entry points the backward slice reached.
+    pub entries: Vec<MethodSig>,
+    /// Recovered dataflow values of the tracked parameters.
+    pub param_values: Vec<DataflowValue>,
+    /// The detector verdict.
+    pub verdict: Verdict,
+    /// SSG size (units), a per-sink work measure.
+    pub ssg_units: usize,
+}
+
+/// Sink API call caching statistics (§IV-F: "on average, 13.86% of sink
+/// API calls in each app are cached").
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SinkCacheStats {
+    /// Sink call sites located in total.
+    pub located: u64,
+    /// Sites skipped because their containing method was already proven
+    /// unreachable.
+    pub skipped: u64,
+}
+
+impl SinkCacheStats {
+    /// Cached fraction in `[0, 1]`.
+    pub fn rate(&self) -> f64 {
+        if self.located == 0 {
+            0.0
+        } else {
+            self.skipped as f64 / self.located as f64
+        }
+    }
+}
+
+/// The whole-app analysis report.
+#[derive(Clone, Debug)]
+pub struct AppReport {
+    /// One report per analyzed sink site (skipped sites excluded).
+    pub sink_reports: Vec<SinkReport>,
+    /// Total wall-clock analysis time.
+    pub analysis_time: Duration,
+    /// Search-command cache statistics (§IV-F).
+    pub cache_stats: CacheStats,
+    /// Loop-detection statistics (§IV-F).
+    pub loop_stats: LoopStats,
+    /// Sink API call caching statistics (§IV-F).
+    pub sink_cache: SinkCacheStats,
+}
+
+impl AppReport {
+    /// Reports whose verdict flags a vulnerability on a reachable path.
+    pub fn vulnerable_sinks(&self) -> Vec<&SinkReport> {
+        self.sink_reports
+            .iter()
+            .filter(|r| r.reachable && r.verdict.is_vulnerable())
+            .collect()
+    }
+
+    /// Number of sink call sites analyzed (Fig 9's x-axis).
+    pub fn sinks_analyzed(&self) -> usize {
+        self.sink_reports.len()
+    }
+}
+
+/// The BackDroid tool: targeted and efficient inter-procedural analysis
+/// via on-the-fly bytecode search.
+#[derive(Clone, Debug, Default)]
+pub struct Backdroid {
+    options: BackdroidOptions,
+}
+
+impl Backdroid {
+    /// Creates a tool with the paper's default configuration — BackDroid
+    /// "does not require specific parameter configuration" (§VI-A).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a tool with custom options.
+    pub fn with_options(options: BackdroidOptions) -> Self {
+        Backdroid { options }
+    }
+
+    /// The active options.
+    pub fn options(&self) -> &BackdroidOptions {
+        &self.options
+    }
+
+    /// Analyzes one app.
+    pub fn analyze(&self, program: &Program, manifest: &Manifest) -> AppReport {
+        let start = Instant::now();
+        let mut ctx = AnalysisContext::new(program, manifest);
+        let report = self.analyze_in(&mut ctx);
+        AppReport {
+            analysis_time: start.elapsed(),
+            cache_stats: ctx.engine.stats(),
+            loop_stats: ctx.loops.clone(),
+            ..report
+        }
+    }
+
+    /// Analyzes within a prepared context (used by tests and the bench
+    /// harness to reuse a dump).
+    pub fn analyze_in(&self, ctx: &mut AnalysisContext<'_>) -> AppReport {
+        let start = Instant::now();
+        let sites: Vec<SinkSite> =
+            locate_sinks(ctx, &self.options.sinks, self.options.hierarchy_initial_search);
+
+        let mut sink_cache = SinkCacheStats {
+            located: sites.len() as u64,
+            skipped: 0,
+        };
+        // §IV-F sink API call caching: methods proven unreachable skip
+        // their remaining sink sites.
+        let mut unreachable_methods: HashMap<MethodSig, bool> = HashMap::new();
+
+        let mut reports = Vec::new();
+        for site in sites {
+            if unreachable_methods.get(&site.method).copied() == Some(true) {
+                sink_cache.skipped += 1;
+                continue;
+            }
+            let spec = &self.options.sinks.sinks()[site.spec_idx];
+            let result = slice_sink(ctx, self.options.slicer, &site.method, site.stmt_idx, spec);
+            if !result.reachable {
+                unreachable_methods.insert(site.method.clone(), true);
+            }
+            let mut forward = ForwardAnalysis::new(ctx.program);
+            let values = forward.run(&result.ssg, spec);
+            let verdict = judge(spec.id, &values);
+            reports.push(SinkReport {
+                sink_id: spec.id.to_string(),
+                site_method: site.method,
+                stmt_idx: site.stmt_idx,
+                reachable: result.reachable,
+                entries: result.ssg.entries().to_vec(),
+                param_values: values,
+                verdict,
+                ssg_units: result.ssg.units().len(),
+            });
+        }
+
+        AppReport {
+            sink_reports: reports,
+            analysis_time: start.elapsed(),
+            cache_stats: ctx.engine.stats(),
+            loop_stats: ctx.loops.clone(),
+            sink_cache,
+        }
+    }
+}

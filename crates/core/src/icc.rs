@@ -1,0 +1,209 @@
+//! Special search over Android ICC (paper §IV-D).
+//!
+//! ICC calls (`startService`, `startActivity`, …) pick their callee
+//! dynamically from the `Intent` parameter: explicitly via a target
+//! component class (`const-class`), or implicitly via an action string the
+//! OS resolves. The *two-time search* greps once for the ICC calls and
+//! once for the parameters, then keeps only the ICC calls whose containing
+//! method satisfies both.
+
+use crate::backtrack::{CallerEdge, EdgeKind};
+use crate::context::AnalysisContext;
+use backdroid_manifest::Component;
+use backdroid_search::SearchCmd;
+use std::collections::BTreeSet;
+
+/// Runs the two-time ICC search for `component`: methods that both issue
+/// an ICC call of the component's kind *and* mention the component (by
+/// `const-class` for explicit ICC, or by one of its intent-filter actions
+/// for implicit ICC).
+pub fn icc_callers(ctx: &mut AnalysisContext<'_>, component: &Component) -> Vec<CallerEdge> {
+    // First search: ICC calls of the right kind.
+    let mut icc_hits = Vec::new();
+    for api in component.kind().icc_apis() {
+        icc_hits.extend(ctx.engine.run(&SearchCmd::MethodNameCall(api.to_string())));
+    }
+    if icc_hits.is_empty() {
+        return Vec::new();
+    }
+
+    // Second search: ICC parameters — explicit (const-class) and implicit
+    // (action strings).
+    let mut param_methods = BTreeSet::new();
+    for hit in ctx
+        .engine
+        .run(&SearchCmd::ConstClass(component.class().clone()))
+    {
+        param_methods.insert(hit.method);
+    }
+    for action in component.actions() {
+        for hit in ctx.engine.run(&SearchCmd::ConstString(action.clone())) {
+            param_methods.insert(hit.method);
+        }
+    }
+
+    // Merge: an ICC call is the caller only if its method satisfies both.
+    let mut out = Vec::new();
+    let mut seen = BTreeSet::new();
+    for hit in icc_hits {
+        if !param_methods.contains(&hit.method) {
+            continue;
+        }
+        if !seen.insert(hit.method.clone()) {
+            continue;
+        }
+        out.push(CallerEdge {
+            caller: hit.method.clone(),
+            site_stmt: None,
+            via_chain: Vec::new(),
+            kind: EdgeKind::Icc,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backdroid_ir::{
+        ClassBuilder, ClassName, Const, InvokeExpr, MethodBuilder, MethodSig, Program, Type, Value,
+    };
+    use backdroid_manifest::{ComponentKind, Manifest};
+
+    /// An app where MainActivity starts HttpServerService explicitly
+    /// (const-class Intent) and another method starts something by action
+    /// string only.
+    fn icc_program() -> (Program, Manifest) {
+        let mut p = Program::new();
+        let svc = ClassName::new("com.lge.app1.fota.HttpServerService");
+        let mut on_start = MethodBuilder::public(&svc, "onStartCommand", vec![], Type::Void);
+        on_start.ret_void();
+        p.add_class(
+            ClassBuilder::new(svc.as_str())
+                .extends("android.app.Service")
+                .method(on_start.build())
+                .build(),
+        );
+
+        let act = ClassName::new("com.lge.app1.MainActivity");
+        let mut launch = MethodBuilder::public(&act, "launchServer", vec![], Type::Void);
+        // Intent i = new Intent(this, HttpServerService.class)
+        let cls = launch.assign_const(Const::Class(svc.clone()));
+        let this = launch.this();
+        let intent = launch.new_object(
+            "android.content.Intent",
+            vec![
+                Type::object("android.content.Context"),
+                Type::object("java.lang.Class"),
+            ],
+            vec![Value::Local(this), Value::Local(cls)],
+        );
+        launch.invoke(InvokeExpr::call_virtual(
+            MethodSig::new(
+                "android.content.Context",
+                "startService",
+                vec![Type::object("android.content.Intent")],
+                Type::object("android.content.ComponentName"),
+            ),
+            this,
+            vec![Value::Local(intent)],
+        ));
+        // A second method issues an unrelated startService with no
+        // matching parameter: must not match.
+        let mut other = MethodBuilder::public(&act, "launchOther", vec![], Type::Void);
+        let this2 = other.this();
+        let intent2 = other.new_object("android.content.Intent", vec![], vec![]);
+        other.invoke(InvokeExpr::call_virtual(
+            MethodSig::new(
+                "android.content.Context",
+                "startService",
+                vec![Type::object("android.content.Intent")],
+                Type::object("android.content.ComponentName"),
+            ),
+            this2,
+            vec![Value::Local(intent2)],
+        ));
+        // A third method broadcasts the service's action string.
+        let mut by_action = MethodBuilder::public(&act, "launchByAction", vec![], Type::Void);
+        let this3 = by_action.this();
+        let action = by_action.assign_const(Const::str("com.lge.app1.START_HTTP"));
+        let intent3 = by_action.new_object(
+            "android.content.Intent",
+            vec![Type::string()],
+            vec![Value::Local(action)],
+        );
+        by_action.invoke(InvokeExpr::call_virtual(
+            MethodSig::new(
+                "android.content.Context",
+                "startService",
+                vec![Type::object("android.content.Intent")],
+                Type::object("android.content.ComponentName"),
+            ),
+            this3,
+            vec![Value::Local(intent3)],
+        ));
+        p.add_class(
+            ClassBuilder::new(act.as_str())
+                .extends("android.app.Activity")
+                .method(launch.build())
+                .method(other.build())
+                .method(by_action.build())
+                .build(),
+        );
+
+        let mut man = Manifest::new("com.lge.app1");
+        man.register(backdroid_manifest::Component::new(
+            ComponentKind::Activity,
+            act.as_str(),
+        ));
+        man.register(
+            backdroid_manifest::Component::new(ComponentKind::Service, svc.as_str())
+                .with_action("com.lge.app1.START_HTTP"),
+        );
+        (p, man)
+    }
+
+    #[test]
+    fn explicit_and_implicit_icc_both_match() {
+        let (p, man) = icc_program();
+        let mut ctx = AnalysisContext::new(&p, &man);
+        let component = ctx
+            .manifest
+            .component(&ClassName::new("com.lge.app1.fota.HttpServerService"))
+            .cloned()
+            .unwrap();
+        let edges = icc_callers(&mut ctx, &component);
+        let callers: Vec<String> = edges.iter().map(|e| e.caller.to_string()).collect();
+        assert_eq!(edges.len(), 2, "{callers:?}");
+        assert!(callers
+            .iter()
+            .any(|c| c.contains("launchServer")), "explicit: {callers:?}");
+        assert!(callers
+            .iter()
+            .any(|c| c.contains("launchByAction")), "implicit: {callers:?}");
+        assert!(
+            !callers.iter().any(|c| c.contains("launchOther")),
+            "ICC call without matching parameter must not merge: {callers:?}"
+        );
+        assert!(edges.iter().all(|e| e.kind == EdgeKind::Icc));
+    }
+
+    #[test]
+    fn component_without_references_has_no_icc_caller() {
+        let (p, mut man) = {
+            let (p, man) = icc_program();
+            (p, man)
+        };
+        man.register(backdroid_manifest::Component::new(
+            ComponentKind::Service,
+            "com.lge.app1.GhostService",
+        ));
+        let mut ctx = AnalysisContext::new(&p, &man);
+        let ghost = ctx
+            .manifest
+            .component(&ClassName::new("com.lge.app1.GhostService"))
+            .cloned()
+            .unwrap();
+        assert!(icc_callers(&mut ctx, &ghost).is_empty());
+    }
+}

@@ -1,0 +1,256 @@
+//! Initial sink location by bytecode text search (paper §III step 2:
+//! "BackDroid immediately locates the target sink API calls by performing
+//! a text search of bytecode plaintext").
+//!
+//! The default exact-signature search reproduces the paper's behaviour —
+//! including its two §VI-C false negatives, where an app class *extends*
+//! the platform sink class and invokes the sink through its own signature
+//! (`com.youzu...DefaultSSLSocketFactory.setHostnameVerifier`). The
+//! `hierarchy_aware` extension implements the fix the paper proposes
+//! ("we will address this issue by checking the class hierarchy also in
+//! the initial search").
+
+use crate::context::AnalysisContext;
+use crate::sinks::SinkRegistry;
+use backdroid_ir::MethodSig;
+use backdroid_search::SearchCmd;
+
+/// One located sink call site.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SinkSite {
+    /// Index into the registry's sink list.
+    pub spec_idx: usize,
+    /// The method containing the call.
+    pub method: MethodSig,
+    /// The statement index of the call inside that method.
+    pub stmt_idx: usize,
+    /// The *declared* callee at the site (differs from the spec API when
+    /// found via the hierarchy-aware search).
+    pub declared_callee: MethodSig,
+}
+
+/// Locates all sink call sites for `registry`.
+pub fn locate_sinks(
+    ctx: &mut AnalysisContext<'_>,
+    registry: &SinkRegistry,
+    hierarchy_aware: bool,
+) -> Vec<SinkSite> {
+    let mut out = Vec::new();
+    for (spec_idx, spec) in registry.sinks().iter().enumerate() {
+        // Exact-signature text search.
+        let hits = ctx.engine.run(&SearchCmd::InvokeOf(spec.api.clone()));
+        for hit in hits {
+            let Some(body) = ctx.program.method(&hit.method).and_then(|m| m.body()) else {
+                continue;
+            };
+            for stmt_idx in body.call_sites_of(&spec.api) {
+                out.push(SinkSite {
+                    spec_idx,
+                    method: hit.method.clone(),
+                    stmt_idx,
+                    declared_callee: spec.api.clone(),
+                });
+            }
+        }
+        if !hierarchy_aware {
+            continue;
+        }
+        // Hierarchy-aware extension: calls with the sink's *name* whose
+        // declared class is an app subclass of the sink's platform class.
+        let name_hits = ctx
+            .engine
+            .run(&SearchCmd::MethodNameCall(spec.api.name().to_string()));
+        for hit in name_hits {
+            let Some(body) = ctx.program.method(&hit.method).and_then(|m| m.body()) else {
+                continue;
+            };
+            for (stmt_idx, stmt) in body.stmts().iter().enumerate() {
+                let Some(ie) = stmt.invoke_expr() else { continue };
+                if ie.callee.name() != spec.api.name() {
+                    continue;
+                }
+                if &ie.callee == &spec.api {
+                    continue; // already found by the exact search
+                }
+                // The declared class must be app-defined and inherit from
+                // the platform sink class.
+                if !ctx.program.defines(ie.callee.class()) {
+                    continue;
+                }
+                let inherits = ctx
+                    .program
+                    .superclass_chain(ie.callee.class())
+                    .contains(spec.api.class());
+                if !inherits {
+                    continue;
+                }
+                // The subclass must not override the sink method itself
+                // (if it does, the call targets app code, not the
+                // platform sink).
+                let overridden = ctx
+                    .program
+                    .class(ie.callee.class())
+                    .is_some_and(|c| c.find_method_by_sub_signature(&spec.api).is_some());
+                if overridden {
+                    continue;
+                }
+                out.push(SinkSite {
+                    spec_idx,
+                    method: hit.method.clone(),
+                    stmt_idx,
+                    declared_callee: ie.callee.clone(),
+                });
+            }
+        }
+    }
+    out.sort_by(|a, b| {
+        (a.spec_idx, &a.method, a.stmt_idx).cmp(&(b.spec_idx, &b.method, b.stmt_idx))
+    });
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backdroid_ir::{
+        ClassBuilder, ClassName, InvokeExpr, MethodBuilder, Program, Type, Value,
+    };
+    use backdroid_manifest::Manifest;
+
+    fn cipher_sig() -> MethodSig {
+        MethodSig::new(
+            "javax.crypto.Cipher",
+            "getInstance",
+            vec![Type::string()],
+            Type::object("javax.crypto.Cipher"),
+        )
+    }
+
+    fn direct_sink_program() -> Program {
+        let mut p = Program::new();
+        let cls = ClassName::new("com.a.Crypto");
+        let mut m = MethodBuilder::public(&cls, "encrypt", vec![], Type::Void);
+        m.invoke(InvokeExpr::call_static(
+            cipher_sig(),
+            vec![Value::str("AES/ECB/PKCS5Padding")],
+        ));
+        // Two call sites in one method (if-else shape of §IV-F).
+        m.invoke(InvokeExpr::call_static(
+            cipher_sig(),
+            vec![Value::str("AES/CBC/PKCS5Padding")],
+        ));
+        p.add_class(ClassBuilder::new(cls.as_str()).method(m.build()).build());
+        p
+    }
+
+    #[test]
+    fn exact_search_finds_all_call_sites() {
+        let p = direct_sink_program();
+        let man = Manifest::new("com.a");
+        let mut ctx = AnalysisContext::new(&p, &man);
+        let reg = SinkRegistry::crypto_and_ssl();
+        let sites = locate_sinks(&mut ctx, &reg, false);
+        assert_eq!(sites.len(), 2, "{sites:?}");
+        assert!(sites.iter().all(|s| s.method.name() == "encrypt"));
+        assert_ne!(sites[0].stmt_idx, sites[1].stmt_idx);
+    }
+
+    /// The §VI-C FN shape: an app class extends the platform
+    /// SSLSocketFactory and invokes setHostnameVerifier via its own class
+    /// signature. Exact search misses it; hierarchy-aware finds it.
+    fn subclassed_sink_program() -> Program {
+        let mut p = Program::new();
+        let factory = ClassName::new(
+            "com.youzu.android.framework.http.client.DefaultSSLSocketFactory",
+        );
+        let mut setup = MethodBuilder::public(&factory, "setup", vec![], Type::Void);
+        let this = setup.this();
+        let verifier = setup.read_static_field(backdroid_ir::FieldSig::new(
+            "org.apache.http.conn.ssl.SSLSocketFactory",
+            "ALLOW_ALL_HOSTNAME_VERIFIER",
+            Type::object("org.apache.http.conn.ssl.X509HostnameVerifier"),
+        ));
+        setup.invoke(InvokeExpr::call_virtual(
+            MethodSig::new(
+                factory.as_str(),
+                "setHostnameVerifier",
+                vec![Type::object("org.apache.http.conn.ssl.X509HostnameVerifier")],
+                Type::Void,
+            ),
+            this,
+            vec![Value::Local(verifier)],
+        ));
+        p.add_class(
+            ClassBuilder::new(factory.as_str())
+                .extends("org.apache.http.conn.ssl.SSLSocketFactory")
+                .method(setup.build())
+                .build(),
+        );
+        p
+    }
+
+    #[test]
+    fn subclassed_sink_missed_without_hierarchy_search() {
+        let p = subclassed_sink_program();
+        let man = Manifest::new("com.gta.nslm2");
+        let mut ctx = AnalysisContext::new(&p, &man);
+        let reg = SinkRegistry::crypto_and_ssl();
+        let sites = locate_sinks(&mut ctx, &reg, false);
+        assert!(sites.is_empty(), "paper's FN reproduced: {sites:?}");
+    }
+
+    #[test]
+    fn subclassed_sink_found_with_hierarchy_search() {
+        let p = subclassed_sink_program();
+        let man = Manifest::new("com.gta.nslm2");
+        let mut ctx = AnalysisContext::new(&p, &man);
+        let reg = SinkRegistry::crypto_and_ssl();
+        let sites = locate_sinks(&mut ctx, &reg, true);
+        assert_eq!(sites.len(), 1, "{sites:?}");
+        assert_eq!(
+            sites[0].declared_callee.class().as_str(),
+            "com.youzu.android.framework.http.client.DefaultSSLSocketFactory"
+        );
+    }
+
+    #[test]
+    fn overriding_subclass_is_not_a_platform_sink() {
+        let mut p = subclassed_sink_program();
+        // A second subclass that OVERRIDES setHostnameVerifier: its calls
+        // target app code, not the platform sink.
+        let own = ClassName::new("com.a.OwnFactory");
+        let ssl_param = Type::object("org.apache.http.conn.ssl.X509HostnameVerifier");
+        let mut set = MethodBuilder::public(
+            &own,
+            "setHostnameVerifier",
+            vec![ssl_param.clone()],
+            Type::Void,
+        );
+        set.ret_void();
+        let mut caller = MethodBuilder::public(&own, "setup2", vec![], Type::Void);
+        let this = caller.this();
+        caller.invoke(InvokeExpr::call_virtual(
+            MethodSig::new(
+                own.as_str(),
+                "setHostnameVerifier",
+                vec![ssl_param.clone()],
+                Type::Void,
+            ),
+            this,
+            vec![Value::Const(backdroid_ir::Const::Null)],
+        ));
+        p.add_class(
+            ClassBuilder::new(own.as_str())
+                .extends("org.apache.http.conn.ssl.SSLSocketFactory")
+                .method(set.build())
+                .method(caller.build())
+                .build(),
+        );
+        let man = Manifest::new("com.a");
+        let mut ctx = AnalysisContext::new(&p, &man);
+        let reg = SinkRegistry::crypto_and_ssl();
+        let sites = locate_sinks(&mut ctx, &reg, true);
+        assert_eq!(sites.len(), 1, "only the non-overriding subclass: {sites:?}");
+    }
+}

@@ -1,0 +1,307 @@
+//! Java reflection resolution (paper §VII, Conclusion).
+//!
+//! Reflection (`Class.forName(...).getMethod("name").invoke(obj)`) hides
+//! call edges from any purely syntactic search. The paper's plan — "first
+//! resolve reflection parameters using our on-the-fly backtracking and
+//! then directly build caller edges" — is implemented here: the engine
+//! searches for `Method.invoke` call sites, backtracks the *string
+//! parameters* of the `getMethod`/`forName` calls that produced the
+//! receiver, and when both resolve to constants, synthesizes the caller
+//! edge to the named app method.
+
+use crate::backtrack::{CallerEdge, EdgeKind};
+use crate::context::AnalysisContext;
+use backdroid_ir::{ClassName, LocalId, MethodSig, Place, Rvalue, Stmt, Value};
+use backdroid_search::SearchCmd;
+
+/// One resolved reflective call.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ReflectiveCall {
+    /// The method containing `Method.invoke(...)`.
+    pub caller: MethodSig,
+    /// Statement index of the `invoke` call.
+    pub invoke_stmt: usize,
+    /// The resolved target class (from `Class.forName` / const-class).
+    pub target_class: ClassName,
+    /// The resolved target method name (from `getMethod("...")`).
+    pub target_method: String,
+}
+
+/// Finds and resolves reflective call sites in the app: searches the
+/// bytecode text for `Method.invoke` calls, then resolves each receiver's
+/// `forName`/`getMethod` string parameters by backward scanning within the
+/// containing method (constants and locally assigned strings).
+pub fn resolve_reflective_calls(ctx: &mut AnalysisContext<'_>) -> Vec<ReflectiveCall> {
+    let hits = ctx.engine.run(&SearchCmd::MethodNameCall("invoke".to_string()));
+    let mut out = Vec::new();
+    for hit in hits {
+        let Some(body) = ctx.program.method(&hit.method).and_then(|m| m.body()) else {
+            continue;
+        };
+        for (idx, stmt) in body.stmts().iter().enumerate() {
+            let Some(ie) = stmt.invoke_expr() else { continue };
+            if ie.callee.name() != "invoke"
+                || ie.callee.class().as_str() != "java.lang.reflect.Method"
+            {
+                continue;
+            }
+            let Some(method_obj) = ie.base else { continue };
+            // Backtrack the Method object: find `x = cls.getMethod("name")`.
+            let Some((cls_local, name)) = resolve_get_method(body, idx, method_obj) else {
+                continue;
+            };
+            // Backtrack the Class object: `cls = Class.forName("C")` or a
+            // const-class literal.
+            let Some(target_class) = resolve_class_local(body, idx, cls_local) else {
+                continue;
+            };
+            out.push(ReflectiveCall {
+                caller: hit.method.clone(),
+                invoke_stmt: idx,
+                target_class,
+                target_method: name,
+            });
+        }
+    }
+    out
+}
+
+/// Synthesizes caller edges for a callee that is only invoked via
+/// reflection: any resolved reflective call naming this method becomes a
+/// direct edge (the paper: "directly build caller edges to cache them").
+pub fn reflective_callers(ctx: &mut AnalysisContext<'_>, callee: &MethodSig) -> Vec<CallerEdge> {
+    resolve_reflective_calls(ctx)
+        .into_iter()
+        .filter(|rc| {
+            &rc.target_class == callee.class() && rc.target_method == callee.name()
+        })
+        .map(|rc| CallerEdge {
+            caller: rc.caller,
+            site_stmt: Some(rc.invoke_stmt),
+            via_chain: Vec::new(),
+            kind: EdgeKind::DirectCall,
+        })
+        .collect()
+}
+
+/// Scans backward from `before` for `local = <getMethod("name")>` on the
+/// receiver, returning the class local and the constant method name.
+fn resolve_get_method(
+    body: &backdroid_ir::MethodBody,
+    before: usize,
+    method_local: LocalId,
+) -> Option<(LocalId, String)> {
+    for idx in (0..before).rev() {
+        let Stmt::Assign {
+            place: Place::Local(l),
+            rvalue: Rvalue::Invoke(ie),
+        } = body.stmt(idx)?
+        else {
+            continue;
+        };
+        if *l != method_local {
+            continue;
+        }
+        if ie.callee.name() != "getMethod" && ie.callee.name() != "getDeclaredMethod" {
+            return None;
+        }
+        let base = ie.base?;
+        let name = match ie.args.first()? {
+            Value::Const(backdroid_ir::Const::Str(s)) => s.clone(),
+            Value::Local(nl) => resolve_string_local(body, idx, *nl)?,
+            _ => return None,
+        };
+        return Some((base, name));
+    }
+    None
+}
+
+/// Scans backward for the class a local holds: `Class.forName("C")`, a
+/// const-class literal, or a copy thereof.
+fn resolve_class_local(
+    body: &backdroid_ir::MethodBody,
+    before: usize,
+    cls_local: LocalId,
+) -> Option<ClassName> {
+    for idx in (0..before).rev() {
+        let Stmt::Assign { place, rvalue } = body.stmt(idx)? else {
+            continue;
+        };
+        if place != &Place::Local(cls_local) {
+            continue;
+        }
+        return match rvalue {
+            Rvalue::Invoke(ie) if ie.callee.name() == "forName" => match ie.args.first()? {
+                Value::Const(backdroid_ir::Const::Str(s)) => Some(ClassName::new(s)),
+                Value::Local(nl) => resolve_string_local(body, idx, *nl).map(ClassName::new),
+                _ => None,
+            },
+            Rvalue::Use(Value::Const(backdroid_ir::Const::Class(c))) => Some(c.clone()),
+            Rvalue::Use(Value::Local(src)) => resolve_class_local(body, idx, *src),
+            _ => None,
+        };
+    }
+    None
+}
+
+/// Scans backward for the constant string a local holds.
+fn resolve_string_local(
+    body: &backdroid_ir::MethodBody,
+    before: usize,
+    local: LocalId,
+) -> Option<String> {
+    for idx in (0..before).rev() {
+        let Stmt::Assign { place, rvalue } = body.stmt(idx)? else {
+            continue;
+        };
+        if place != &Place::Local(local) {
+            continue;
+        }
+        return match rvalue {
+            Rvalue::Use(Value::Const(backdroid_ir::Const::Str(s))) => Some(s.clone()),
+            Rvalue::Use(Value::Local(src)) => resolve_string_local(body, idx, *src),
+            _ => None,
+        };
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backdroid_ir::{ClassBuilder, Const, InvokeExpr, MethodBuilder, Program, Type};
+    use backdroid_manifest::Manifest;
+
+    /// Builds: onCreate() { Class c = Class.forName("com.r.Worker");
+    /// Method m = c.getMethod("doWork"); m.invoke(obj); }
+    fn reflective_program(via_forname: bool) -> Program {
+        let mut p = Program::new();
+        let worker = ClassName::new("com.r.Worker");
+        let mut do_work = MethodBuilder::public(&worker, "doWork", vec![], Type::Void);
+        do_work.ret_void();
+        let mut ctor = MethodBuilder::constructor(&worker, vec![]);
+        ctor.ret_void();
+        p.add_class(
+            ClassBuilder::new(worker.as_str())
+                .method(do_work.build())
+                .method(ctor.build())
+                .build(),
+        );
+
+        let act = ClassName::new("com.r.Main");
+        let mut oc = MethodBuilder::public(&act, "onCreate", vec![], Type::Void);
+        let cls = if via_forname {
+            let name = oc.assign_const(Const::str("com.r.Worker"));
+            oc.invoke_assign(InvokeExpr::call_static(
+                MethodSig::new(
+                    "java.lang.Class",
+                    "forName",
+                    vec![Type::string()],
+                    Type::object("java.lang.Class"),
+                ),
+                vec![Value::Local(name)],
+            ))
+        } else {
+            oc.assign_const(Const::Class(worker.clone()))
+        };
+        let mname = oc.assign_const(Const::str("doWork"));
+        let method = oc.invoke_assign(InvokeExpr::call_virtual(
+            MethodSig::new(
+                "java.lang.Class",
+                "getMethod",
+                vec![Type::string()],
+                Type::object("java.lang.reflect.Method"),
+            ),
+            cls,
+            vec![Value::Local(mname)],
+        ));
+        let obj = oc.new_object(worker.as_str(), vec![], vec![]);
+        oc.invoke(InvokeExpr::call_virtual(
+            MethodSig::new(
+                "java.lang.reflect.Method",
+                "invoke",
+                vec![Type::object("java.lang.Object")],
+                Type::object("java.lang.Object"),
+            ),
+            method,
+            vec![Value::Local(obj)],
+        ));
+        p.add_class(
+            ClassBuilder::new(act.as_str())
+                .extends("android.app.Activity")
+                .method(oc.build())
+                .build(),
+        );
+        p
+    }
+
+    #[test]
+    fn forname_reflection_is_resolved() {
+        let p = reflective_program(true);
+        let man = Manifest::new("com.r");
+        let mut ctx = AnalysisContext::new(&p, &man);
+        let calls = resolve_reflective_calls(&mut ctx);
+        assert_eq!(calls.len(), 1, "{calls:?}");
+        assert_eq!(calls[0].target_class.as_str(), "com.r.Worker");
+        assert_eq!(calls[0].target_method, "doWork");
+        assert_eq!(calls[0].caller.name(), "onCreate");
+    }
+
+    #[test]
+    fn const_class_reflection_is_resolved() {
+        let p = reflective_program(false);
+        let man = Manifest::new("com.r");
+        let mut ctx = AnalysisContext::new(&p, &man);
+        let calls = resolve_reflective_calls(&mut ctx);
+        assert_eq!(calls.len(), 1);
+        assert_eq!(calls[0].target_class.as_str(), "com.r.Worker");
+    }
+
+    #[test]
+    fn reflective_caller_edges_are_synthesized() {
+        let p = reflective_program(true);
+        let man = Manifest::new("com.r");
+        let mut ctx = AnalysisContext::new(&p, &man);
+        let callee = MethodSig::new("com.r.Worker", "doWork", vec![], Type::Void);
+        let edges = reflective_callers(&mut ctx, &callee);
+        assert_eq!(edges.len(), 1);
+        assert_eq!(edges[0].caller.name(), "onCreate");
+        // Unrelated method gets no edge.
+        let other = MethodSig::new("com.r.Worker", "otherMethod", vec![], Type::Void);
+        assert!(reflective_callers(&mut ctx, &other).is_empty());
+    }
+
+    #[test]
+    fn unresolvable_dynamic_names_are_skipped() {
+        // The method name comes from a parameter: not resolvable.
+        let mut p = Program::new();
+        let act = ClassName::new("com.r.Dyn");
+        let mut oc = MethodBuilder::public(&act, "run", vec![Type::string()], Type::Void);
+        let dyn_name = oc.param(0);
+        let cls = oc.assign_const(Const::Class(ClassName::new("com.r.Worker")));
+        let method = oc.invoke_assign(InvokeExpr::call_virtual(
+            MethodSig::new(
+                "java.lang.Class",
+                "getMethod",
+                vec![Type::string()],
+                Type::object("java.lang.reflect.Method"),
+            ),
+            cls,
+            vec![Value::Local(dyn_name)],
+        ));
+        oc.invoke(InvokeExpr::call_virtual(
+            MethodSig::new(
+                "java.lang.reflect.Method",
+                "invoke",
+                vec![Type::object("java.lang.Object")],
+                Type::object("java.lang.Object"),
+            ),
+            method,
+            vec![Value::Const(Const::Null)],
+        ));
+        p.add_class(ClassBuilder::new(act.as_str()).method(oc.build()).build());
+        let man = Manifest::new("com.r");
+        let mut ctx = AnalysisContext::new(&p, &man);
+        assert!(resolve_reflective_calls(&mut ctx).is_empty());
+    }
+}

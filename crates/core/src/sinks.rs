@@ -1,0 +1,185 @@
+//! Security-sensitive sink API specifications.
+//!
+//! A *sink* is a platform API whose parameters decide a security property:
+//! the evaluation targets `Cipher.getInstance()` (crypto misuse) and the
+//! two `setHostnameVerifier()` overloads (SSL misconfiguration), the same
+//! sinks the paper stress-tests (§VI-A). The registry also carries the
+//! less common sinks mentioned in §VI-D so downstream users can vet them.
+
+use backdroid_ir::{MethodSig, Type};
+
+/// One sink API specification.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SinkSpec {
+    /// Stable identifier used in reports (`crypto.cipher`, `ssl.verifier`…).
+    pub id: &'static str,
+    /// The platform API signature as invoked in bytecode.
+    pub api: MethodSig,
+    /// Indices of the parameters whose dataflow must be recovered.
+    pub tracked_params: Vec<usize>,
+}
+
+impl SinkSpec {
+    /// Creates a spec tracking the given parameter indices.
+    pub fn new(id: &'static str, api: MethodSig, tracked_params: Vec<usize>) -> Self {
+        SinkSpec {
+            id,
+            api,
+            tracked_params,
+        }
+    }
+}
+
+/// The set of sinks one analysis run targets.
+#[derive(Clone, Debug, Default)]
+pub struct SinkRegistry {
+    sinks: Vec<SinkSpec>,
+}
+
+impl SinkRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The three sink APIs of the paper's evaluation (§VI-A):
+    /// `Cipher.getInstance`, `SSLSocketFactory.setHostnameVerifier`, and
+    /// `HttpsURLConnection.setHostnameVerifier`.
+    pub fn crypto_and_ssl() -> Self {
+        let mut r = Self::new();
+        r.add(SinkSpec::new(
+            "crypto.cipher",
+            MethodSig::new(
+                "javax.crypto.Cipher",
+                "getInstance",
+                vec![Type::string()],
+                Type::object("javax.crypto.Cipher"),
+            ),
+            vec![0],
+        ));
+        r.add(SinkSpec::new(
+            "ssl.verifier.factory",
+            MethodSig::new(
+                "org.apache.http.conn.ssl.SSLSocketFactory",
+                "setHostnameVerifier",
+                vec![Type::object("org.apache.http.conn.ssl.X509HostnameVerifier")],
+                Type::Void,
+            ),
+            vec![0],
+        ));
+        r.add(SinkSpec::new(
+            "ssl.verifier.connection",
+            MethodSig::new(
+                "javax.net.ssl.HttpsURLConnection",
+                "setHostnameVerifier",
+                vec![Type::object("javax.net.ssl.HostnameVerifier")],
+                Type::Void,
+            ),
+            vec![0],
+        ));
+        r
+    }
+
+    /// An extended registry also carrying the uncommon sinks of §VI-D
+    /// (`sendTextMessage`, `ServerSocket`, `LocalServerSocket`).
+    pub fn extended() -> Self {
+        let mut r = Self::crypto_and_ssl();
+        r.add(SinkSpec::new(
+            "sms.send",
+            MethodSig::new(
+                "android.telephony.SmsManager",
+                "sendTextMessage",
+                vec![
+                    Type::string(),
+                    Type::string(),
+                    Type::string(),
+                    Type::object("android.app.PendingIntent"),
+                    Type::object("android.app.PendingIntent"),
+                ],
+                Type::Void,
+            ),
+            vec![0, 2],
+        ));
+        r.add(SinkSpec::new(
+            "socket.server",
+            MethodSig::new(
+                "java.net.ServerSocket",
+                "<init>",
+                vec![Type::Int],
+                Type::Void,
+            ),
+            vec![0],
+        ));
+        r.add(SinkSpec::new(
+            "socket.local",
+            MethodSig::new(
+                "android.net.LocalServerSocket",
+                "<init>",
+                vec![Type::string()],
+                Type::Void,
+            ),
+            vec![0],
+        ));
+        r
+    }
+
+    /// Adds a sink spec.
+    pub fn add(&mut self, spec: SinkSpec) {
+        self.sinks.push(spec);
+    }
+
+    /// All sink specs.
+    pub fn sinks(&self) -> &[SinkSpec] {
+        &self.sinks
+    }
+
+    /// The spec whose API matches `sig` exactly, if any.
+    pub fn spec_for(&self, sig: &MethodSig) -> Option<&SinkSpec> {
+        self.sinks.iter().find(|s| &s.api == sig)
+    }
+
+    /// Specs whose API *name* matches — the hierarchy-aware initial search
+    /// (the §VI-C fix for subclassed sink wrappers) needs the name before
+    /// it can check the class hierarchy.
+    pub fn specs_named(&self, name: &str) -> Vec<&SinkSpec> {
+        self.sinks.iter().filter(|s| s.api.name() == name).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_registry_matches_paper_sinks() {
+        let r = SinkRegistry::crypto_and_ssl();
+        assert_eq!(r.sinks().len(), 3);
+        assert!(r
+            .sinks()
+            .iter()
+            .any(|s| s.api.class().as_str() == "javax.crypto.Cipher"));
+        let by_name = r.specs_named("setHostnameVerifier");
+        assert_eq!(by_name.len(), 2);
+    }
+
+    #[test]
+    fn extended_registry_adds_uncommon_sinks() {
+        let r = SinkRegistry::extended();
+        assert!(r.sinks().len() >= 6);
+        assert!(r.sinks().iter().any(|s| s.id == "sms.send"));
+    }
+
+    #[test]
+    fn spec_lookup_is_exact() {
+        let r = SinkRegistry::crypto_and_ssl();
+        let cipher = MethodSig::new(
+            "javax.crypto.Cipher",
+            "getInstance",
+            vec![Type::string()],
+            Type::object("javax.crypto.Cipher"),
+        );
+        assert!(r.spec_for(&cipher).is_some());
+        let wrong = MethodSig::new("javax.crypto.Cipher", "getInstance", vec![], Type::Void);
+        assert!(r.spec_for(&wrong).is_none());
+    }
+}

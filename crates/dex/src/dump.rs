@@ -1,0 +1,517 @@
+//! The dexdump-style disassembler.
+//!
+//! Produces the *bytecode plaintext* that BackDroid's on-the-fly search
+//! greps (paper §III step 1). The layout mirrors real `dexdump -d` output,
+//! including the quirks the paper has to work around: the per-method
+//! banner line prints the dotted class name with inner-class `$` turned
+//! into `.` (§IV-A step 2: "an inner class needs to add back the symbol
+//! `$`").
+
+use crate::insn::Insn;
+use crate::model::{ClassDef, DexFile, DexImage, EncodedMethod};
+use backdroid_ir::{ClassName, FieldSig, MethodSig, Type};
+use std::fmt::Write as _;
+
+/// The bytecode reference form of a method, as it appears in dexdump
+/// operand positions: `Lcom/a/B;.start:(I)V`.
+pub fn method_ref_string(sig: &MethodSig) -> String {
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "L{};.{}:(",
+        sig.class().as_str().replace('.', "/"),
+        sig.name()
+    );
+    for p in sig.params() {
+        s.push_str(&p.descriptor());
+    }
+    s.push(')');
+    s.push_str(&sig.ret().descriptor());
+    s
+}
+
+/// Parses a bytecode method reference back into a signature.
+/// Inverse of [`method_ref_string`].
+pub fn parse_method_ref(s: &str) -> Option<MethodSig> {
+    // Lcom/a/B;.name:(params)ret
+    let class_end = s.find(";.")?;
+    let class_desc = &s[..class_end + 1];
+    let Type::Object(class) = Type::from_descriptor(class_desc)? else {
+        return None;
+    };
+    let rest = &s[class_end + 2..];
+    let (name, proto) = rest.split_once(":(")?;
+    let (params_str, ret_str) = proto.split_once(')')?;
+    let mut params = Vec::new();
+    let mut cur = params_str;
+    while !cur.is_empty() {
+        let (ty, rest) = Type::parse_descriptor_prefix(cur)?;
+        params.push(ty);
+        cur = rest;
+    }
+    let ret = Type::from_descriptor(ret_str)?;
+    Some(MethodSig::new(class, name, params, ret))
+}
+
+/// The bytecode reference form of a field:
+/// `Lcom/a/B;.httpServer:Lcom/c/D;`.
+pub fn field_ref_string(sig: &FieldSig) -> String {
+    format!(
+        "L{};.{}:{}",
+        sig.class().as_str().replace('.', "/"),
+        sig.name(),
+        sig.ty().descriptor()
+    )
+}
+
+/// Parses a bytecode field reference. Inverse of [`field_ref_string`].
+pub fn parse_field_ref(s: &str) -> Option<FieldSig> {
+    let class_end = s.find(";.")?;
+    let Type::Object(class) = Type::from_descriptor(&s[..class_end + 1])? else {
+        return None;
+    };
+    let rest = &s[class_end + 2..];
+    let (name, ty_str) = rest.split_once(':')?;
+    Some(FieldSig::new(class, name, Type::from_descriptor(ty_str)?))
+}
+
+/// The `Lcom/a/B;` descriptor of a class name.
+pub fn class_descriptor(name: &ClassName) -> String {
+    format!("L{};", name.as_str().replace('.', "/"))
+}
+
+/// The proto string used in method banner/type lines: `(I)V`.
+fn proto_string(sig: &MethodSig) -> String {
+    let mut s = String::from("(");
+    for p in sig.params() {
+        s.push_str(&p.descriptor());
+    }
+    s.push(')');
+    s.push_str(&sig.ret().descriptor());
+    s
+}
+
+/// The dotted banner form dexdump prints inside code listings, with the
+/// inner-class `$` flattened to `.`:
+/// `com.connectsdk.service.NetcastTVService.1.run:()V`.
+pub fn banner_name(sig: &MethodSig) -> String {
+    format!(
+        "{}.{}:{}",
+        sig.class().as_str().replace('$', "."),
+        sig.name(),
+        proto_string(sig)
+    )
+}
+
+fn access_suffix(access: backdroid_ir::Modifiers, is_init: bool) -> String {
+    let mut names = Vec::new();
+    if access.is_public() {
+        names.push("PUBLIC");
+    }
+    if access.is_private() {
+        names.push("PRIVATE");
+    }
+    if access.is_static() {
+        names.push("STATIC");
+    }
+    if access.is_final() {
+        names.push("FINAL");
+    }
+    if access.is_abstract() {
+        names.push("ABSTRACT");
+    }
+    if access.is_interface() {
+        names.push("INTERFACE");
+    }
+    if is_init {
+        names.push("CONSTRUCTOR");
+    }
+    format!("0x{:04x} ({})", access.bits(), names.join(" "))
+}
+
+/// Renders fake code-word hex for an instruction (stable filler so the
+/// dump *looks* like dexdump output; never parsed by the search).
+fn fake_words(insn: &Insn, unit_off: u32) -> String {
+    let op = insn.pseudo_opcode() as u32;
+    let mut words = Vec::new();
+    for k in 0..insn.units().min(3) {
+        let w = (op << 8) ^ (unit_off.wrapping_mul(0x9e37).wrapping_add(k * 0x515d)) & 0xffff;
+        words.push(format!("{:04x}", w & 0xffff));
+    }
+    words.join(" ")
+}
+
+struct Renderer<'a> {
+    dex: &'a DexFile,
+    out: String,
+    /// Fake absolute file offset, advanced per code unit.
+    abs: u32,
+}
+
+impl<'a> Renderer<'a> {
+    fn operand(&self, insn: &Insn) -> String {
+        match insn {
+            Insn::Nop => "nop // spacer".into(),
+            Insn::Move { dst, src } => format!("move-object {dst}, {src}"),
+            Insn::MoveResult { dst, object } => {
+                if *object {
+                    format!("move-result-object {dst}")
+                } else {
+                    format!("move-result {dst}")
+                }
+            }
+            Insn::ConstInt { dst, value } => format!("const {dst}, #int {value}"),
+            Insn::ConstString { dst, idx } => format!(
+                "const-string {dst}, \"{}\" // string@{:04x}",
+                self.dex.string(*idx),
+                idx.0
+            ),
+            Insn::ConstClass { dst, idx } => format!(
+                "const-class {dst}, {} // type@{:04x}",
+                self.dex.type_desc(*idx),
+                idx.0
+            ),
+            Insn::ConstNull { dst } => format!("const/4 {dst}, #int 0 // null"),
+            Insn::NewInstance { dst, idx } => format!(
+                "new-instance {dst}, {} // type@{:04x}",
+                self.dex.type_desc(*idx),
+                idx.0
+            ),
+            Insn::NewArray { dst, size, idx } => format!(
+                "new-array {dst}, {size}, {} // type@{:04x}",
+                self.dex.type_desc(*idx),
+                idx.0
+            ),
+            Insn::ArrayLength { dst, src } => format!("array-length {dst}, {src}"),
+            Insn::CheckCast { reg, idx } => format!(
+                "check-cast {reg}, {} // type@{:04x}",
+                self.dex.type_desc(*idx),
+                idx.0
+            ),
+            Insn::InstanceOf { dst, src, idx } => format!(
+                "instance-of {dst}, {src}, {} // type@{:04x}",
+                self.dex.type_desc(*idx),
+                idx.0
+            ),
+            Insn::Iget { dst, obj, idx, object } => format!(
+                "iget{} {dst}, {obj}, {} // field@{:04x}",
+                if *object { "-object" } else { "" },
+                field_ref_string(self.dex.field_sig(*idx)),
+                idx.0
+            ),
+            Insn::Iput { src, obj, idx, object } => format!(
+                "iput{} {src}, {obj}, {} // field@{:04x}",
+                if *object { "-object" } else { "" },
+                field_ref_string(self.dex.field_sig(*idx)),
+                idx.0
+            ),
+            Insn::Sget { dst, idx, object } => format!(
+                "sget{} {dst}, {} // field@{:04x}",
+                if *object { "-object" } else { "" },
+                field_ref_string(self.dex.field_sig(*idx)),
+                idx.0
+            ),
+            Insn::Sput { src, idx, object } => format!(
+                "sput{} {src}, {} // field@{:04x}",
+                if *object { "-object" } else { "" },
+                field_ref_string(self.dex.field_sig(*idx)),
+                idx.0
+            ),
+            Insn::Aget { dst, arr, index } => format!("aget-object {dst}, {arr}, {index}"),
+            Insn::Aput { src, arr, index } => format!("aput-object {src}, {arr}, {index}"),
+            Insn::Invoke { kind, idx, args } => {
+                let regs = args
+                    .iter()
+                    .map(|r| r.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!(
+                    "{} {{{regs}}}, {} // method@{:04x}",
+                    kind.dex_mnemonic(),
+                    method_ref_string(self.dex.method_sig(*idx)),
+                    idx.0
+                )
+            }
+            Insn::Binop { op, dst, a, b } => {
+                let mnem = match op {
+                    backdroid_ir::BinOp::Add => "add-int",
+                    backdroid_ir::BinOp::Sub => "sub-int",
+                    backdroid_ir::BinOp::Mul => "mul-int",
+                    backdroid_ir::BinOp::Div => "div-int",
+                    backdroid_ir::BinOp::Rem => "rem-int",
+                    backdroid_ir::BinOp::And => "and-int",
+                    backdroid_ir::BinOp::Or => "or-int",
+                    backdroid_ir::BinOp::Xor => "xor-int",
+                    backdroid_ir::BinOp::Shl => "shl-int",
+                    backdroid_ir::BinOp::Shr => "shr-int",
+                    backdroid_ir::BinOp::Ushr => "ushr-int",
+                    backdroid_ir::BinOp::Cmp => "cmp-long",
+                };
+                format!("{mnem} {dst}, {a}, {b}")
+            }
+            Insn::IfTest {
+                mnemonic,
+                a,
+                b,
+                target_units,
+            } => format!("{mnemonic} {a}, {b}, {target_units:04x} // +{target_units:04x}"),
+            Insn::Goto { target_units } => format!("goto {target_units:04x} // +{target_units:04x}"),
+            Insn::ReturnVoid => "return-void".into(),
+            Insn::Return { reg, object } => {
+                if *object {
+                    format!("return-object {reg}")
+                } else {
+                    format!("return {reg}")
+                }
+            }
+            Insn::Throw { reg } => format!("throw {reg}"),
+        }
+    }
+
+    fn render_method(&mut self, class: &ClassDef, k: usize, m: &EncodedMethod) {
+        let _ = writeln!(
+            self.out,
+            "    #{k:<15}: (in {})",
+            class_descriptor(&class.name)
+        );
+        let _ = writeln!(self.out, "      name          : '{}'", m.sig.name());
+        let _ = writeln!(self.out, "      type          : '{}'", proto_string(&m.sig));
+        let _ = writeln!(
+            self.out,
+            "      access        : {}",
+            access_suffix(m.access, m.sig.is_init())
+        );
+        let Some(code) = &m.code else {
+            let _ = writeln!(self.out, "      code          : (none)");
+            let _ = writeln!(self.out);
+            return;
+        };
+        let _ = writeln!(self.out, "      code          -");
+        let _ = writeln!(self.out, "      registers     : {}", code.registers);
+        let _ = writeln!(self.out, "      ins           : {}", m.sig.params().len() + 1);
+        let _ = writeln!(
+            self.out,
+            "      insns size    : {} 16-bit code units",
+            code.total_units
+        );
+        let method_start = self.abs;
+        let _ = writeln!(
+            self.out,
+            "{method_start:06x}:                                       |[{method_start:06x}] {}",
+            banner_name(&m.sig)
+        );
+        for (i, insn) in code.insns.iter().enumerate() {
+            let unit = code.offsets[i];
+            let words = fake_words(insn, unit);
+            let text = self.operand(insn);
+            let abs = method_start + unit * 2;
+            let _ = writeln!(self.out, "{abs:06x}: {words:<21} |{unit:04x}: {text}");
+        }
+        self.abs = method_start + code.total_units * 2 + 12;
+        let _ = writeln!(self.out, "      catches       : (none)");
+        let _ = writeln!(self.out, "      positions     : ");
+        let _ = writeln!(self.out);
+    }
+
+    fn render_class(&mut self, idx: usize, class: &ClassDef) {
+        let _ = writeln!(self.out, "Class #{idx}            -");
+        let _ = writeln!(
+            self.out,
+            "  Class descriptor  : '{}'",
+            class_descriptor(&class.name)
+        );
+        let _ = writeln!(
+            self.out,
+            "  Access flags      : {}",
+            access_suffix(class.access, false)
+        );
+        if let Some(sup) = class.superclass {
+            let _ = writeln!(
+                self.out,
+                "  Superclass        : '{}'",
+                self.dex.type_desc(sup)
+            );
+        }
+        let _ = writeln!(self.out, "  Interfaces        -");
+        for (i, iface) in class.interfaces.iter().enumerate() {
+            let desc = self.dex.type_desc(*iface).to_string();
+            let _ = writeln!(self.out, "    #{i}              : '{desc}'");
+        }
+        let _ = writeln!(self.out, "  Static fields     -");
+        for (i, f) in class
+            .fields
+            .iter()
+            .filter(|f| f.access.is_static())
+            .enumerate()
+        {
+            let _ = writeln!(
+                self.out,
+                "    #{i}              : (in {}) name:'{}' type:'{}'",
+                class_descriptor(&class.name),
+                f.sig.name(),
+                f.sig.ty().descriptor()
+            );
+        }
+        let _ = writeln!(self.out, "  Instance fields   -");
+        for (i, f) in class
+            .fields
+            .iter()
+            .filter(|f| !f.access.is_static())
+            .enumerate()
+        {
+            let _ = writeln!(
+                self.out,
+                "    #{i}              : (in {}) name:'{}' type:'{}'",
+                class_descriptor(&class.name),
+                f.sig.name(),
+                f.sig.ty().descriptor()
+            );
+        }
+        let _ = writeln!(self.out, "  Direct methods    -");
+        let directs: Vec<&EncodedMethod> = class.methods.iter().filter(|m| m.direct).collect();
+        for (k, m) in directs.into_iter().enumerate() {
+            self.render_method(class, k, m);
+        }
+        let _ = writeln!(self.out, "  Virtual methods   -");
+        let virtuals: Vec<&EncodedMethod> = class.methods.iter().filter(|m| !m.direct).collect();
+        for (k, m) in virtuals.into_iter().enumerate() {
+            self.render_method(class, k, m);
+        }
+        let _ = writeln!(self.out);
+    }
+}
+
+/// Disassembles a single dex file.
+pub fn dump_dex(dex: &DexFile) -> String {
+    let mut r = Renderer {
+        dex,
+        out: String::new(),
+        abs: 0x1000,
+    };
+    for (idx, class) in dex.class_defs().iter().enumerate() {
+        r.render_class(idx, class);
+    }
+    r.out
+}
+
+/// Disassembles all dex files of a (merged multidex) image into one
+/// plaintext, as BackDroid's preprocessing step does (paper §III step 1).
+pub fn dump_image(image: &DexImage) -> String {
+    let mut out = String::new();
+    for (i, f) in image.files().iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "Opened 'classes{}.dex', DEX version '038'",
+            if i == 0 { String::new() } else { (i + 1).to_string() }
+        );
+        out.push_str(&dump_dex(f));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backdroid_ir::{ClassBuilder, InvokeExpr, MethodBuilder, Program};
+
+    fn program_with_invoke() -> Program {
+        let caller = ClassName::new("com.connectsdk.service.NetcastTVService$1");
+        let callee = MethodSig::new(
+            "com.connectsdk.service.netcast.NetcastHttpServer",
+            "start",
+            vec![],
+            Type::Void,
+        );
+        let mut run = MethodBuilder::public(&caller, "run", vec![], Type::Void);
+        let srv = run.new_object(
+            "com.connectsdk.service.netcast.NetcastHttpServer",
+            vec![],
+            vec![],
+        );
+        run.invoke(InvokeExpr::call_virtual(callee, srv, vec![]));
+        let mut p = Program::new();
+        p.add_class(
+            ClassBuilder::new(caller.as_str())
+                .implements("java.lang.Runnable")
+                .method(run.build())
+                .build(),
+        );
+        p
+    }
+
+    #[test]
+    fn method_ref_round_trip() {
+        let sig = MethodSig::new(
+            "com.a.B$1",
+            "run",
+            vec![Type::Int, Type::string(), Type::array(Type::Byte)],
+            Type::object("java.lang.Object"),
+        );
+        let s = method_ref_string(&sig);
+        assert_eq!(s, "Lcom/a/B$1;.run:(ILjava/lang/String;[B)Ljava/lang/Object;");
+        assert_eq!(parse_method_ref(&s), Some(sig));
+    }
+
+    #[test]
+    fn field_ref_round_trip() {
+        let sig = FieldSig::new("com.studiosol.util.NanoHTTPD", "myPort", Type::Int);
+        let s = field_ref_string(&sig);
+        assert_eq!(s, "Lcom/studiosol/util/NanoHTTPD;.myPort:I");
+        assert_eq!(parse_field_ref(&s), Some(sig));
+    }
+
+    #[test]
+    fn banner_flattens_inner_class_dollar() {
+        let sig = MethodSig::new(
+            "com.connectsdk.service.NetcastTVService$1",
+            "run",
+            vec![],
+            Type::Void,
+        );
+        assert_eq!(
+            banner_name(&sig),
+            "com.connectsdk.service.NetcastTVService.1.run:()V"
+        );
+    }
+
+    #[test]
+    fn dump_contains_invoke_reference() {
+        let p = program_with_invoke();
+        let img = crate::model::DexImage::encode(&p);
+        let text = dump_image(&img);
+        assert!(text.contains(
+            "invoke-virtual {v1}, Lcom/connectsdk/service/netcast/NetcastHttpServer;.start:()V"
+        ));
+        assert!(text.contains("Class descriptor  : 'Lcom/connectsdk/service/NetcastTVService$1;'"));
+        assert!(text.contains("name          : 'run'"));
+        assert!(text.contains("|[")); // banner line present
+        assert!(text.contains("com.connectsdk.service.NetcastTVService.1.run:()V"));
+    }
+
+    #[test]
+    fn dump_contains_new_instance_and_init() {
+        let p = program_with_invoke();
+        let img = crate::model::DexImage::encode(&p);
+        let text = dump_image(&img);
+        assert!(text
+            .contains("new-instance v1, Lcom/connectsdk/service/netcast/NetcastHttpServer;"));
+        assert!(text.contains(
+            "invoke-direct {v1}, Lcom/connectsdk/service/netcast/NetcastHttpServer;.<init>:()V"
+        ));
+    }
+
+    #[test]
+    fn dump_is_deterministic() {
+        let p = program_with_invoke();
+        let a = dump_image(&crate::model::DexImage::encode(&p));
+        let b = dump_image(&crate::model::DexImage::encode(&p));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parse_method_ref_rejects_garbage() {
+        assert_eq!(parse_method_ref("not a ref"), None);
+        assert_eq!(parse_method_ref("Lcom/a/B;.name:()"), None);
+        assert_eq!(parse_method_ref("Lcom/a/B;.name:(Q)V"), None);
+    }
+}

@@ -1,0 +1,150 @@
+//! Statement-level control-flow graph over a [`MethodBody`].
+//!
+//! The whole-app baseline's worklist dataflow iterates over this graph;
+//! BackDroid itself mostly walks statements linearly but uses successor
+//! information when slicing across branches.
+
+use crate::body::MethodBody;
+use crate::stmt::Stmt;
+
+/// Successor/predecessor tables for one method body, indexed by statement.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    succs: Vec<Vec<usize>>,
+    preds: Vec<Vec<usize>>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `body`.
+    pub fn build(body: &MethodBody) -> Cfg {
+        let n = body.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for (i, stmt) in body.stmts().iter().enumerate() {
+            let mut out = Vec::new();
+            match stmt {
+                Stmt::Return(_) | Stmt::Throw(_) => {}
+                Stmt::Goto(t) => out.push(*t),
+                Stmt::If { target, .. } => {
+                    if i + 1 < n {
+                        out.push(i + 1);
+                    }
+                    out.push(*target);
+                }
+                _ => {
+                    if i + 1 < n {
+                        out.push(i + 1);
+                    }
+                }
+            }
+            out.retain(|t| *t < n);
+            out.dedup();
+            for &t in &out {
+                preds[t].push(i);
+            }
+            succs[i] = out;
+        }
+        Cfg { succs, preds }
+    }
+
+    /// Successor statement indices of `idx`.
+    pub fn succs(&self, idx: usize) -> &[usize] {
+        &self.succs[idx]
+    }
+
+    /// Predecessor statement indices of `idx`.
+    pub fn preds(&self, idx: usize) -> &[usize] {
+        &self.preds[idx]
+    }
+
+    /// Number of statements covered.
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Whether the body was empty.
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+
+    /// Statement indices reachable from index 0.
+    pub fn reachable_from_entry(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.succs.len()];
+        if self.succs.is_empty() {
+            return seen;
+        }
+        let mut stack = vec![0usize];
+        while let Some(i) = stack.pop() {
+            if seen[i] {
+                continue;
+            }
+            seen[i] = true;
+            stack.extend(self.succs[i].iter().copied().filter(|&s| !seen[s]));
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stmt::{CondOp, Stmt, Value};
+
+    fn body_of(stmts: Vec<Stmt>) -> MethodBody {
+        let mut b = MethodBody::new();
+        for s in stmts {
+            b.push(s);
+        }
+        b
+    }
+
+    #[test]
+    fn straight_line() {
+        let b = body_of(vec![Stmt::Nop, Stmt::Nop, Stmt::Return(None)]);
+        let cfg = Cfg::build(&b);
+        assert_eq!(cfg.succs(0), &[1]);
+        assert_eq!(cfg.succs(1), &[2]);
+        assert!(cfg.succs(2).is_empty());
+        assert_eq!(cfg.preds(1), &[0]);
+    }
+
+    #[test]
+    fn branch_has_two_successors() {
+        let b = body_of(vec![
+            Stmt::If {
+                op: CondOp::Eq,
+                a: Value::int(0),
+                b: Value::int(0),
+                target: 3,
+            },
+            Stmt::Nop,
+            Stmt::Return(None),
+            Stmt::Nop,
+            Stmt::Return(None),
+        ]);
+        let cfg = Cfg::build(&b);
+        assert_eq!(cfg.succs(0), &[1, 3]);
+        assert_eq!(cfg.preds(3), &[0]);
+        let reach = cfg.reachable_from_entry();
+        assert!(reach.iter().all(|&r| r));
+    }
+
+    #[test]
+    fn goto_skips_dead_code() {
+        let b = body_of(vec![
+            Stmt::Goto(2),
+            Stmt::Nop, // dead
+            Stmt::Return(None),
+        ]);
+        let cfg = Cfg::build(&b);
+        let reach = cfg.reachable_from_entry();
+        assert_eq!(reach, vec![true, false, true]);
+    }
+
+    #[test]
+    fn empty_body() {
+        let cfg = Cfg::build(&MethodBody::new());
+        assert!(cfg.is_empty());
+        assert!(cfg.reachable_from_entry().is_empty());
+    }
+}

@@ -1,0 +1,55 @@
+//! # backdroid-ir
+//!
+//! A typed, Jimple/Shimple-style intermediate representation for Android
+//! application code, serving as the *program analysis space* of the
+//! BackDroid reproduction (paper §III, Fig 2).
+//!
+//! The IR deliberately mirrors the Soot vocabulary the paper relies on:
+//! `DefinitionStmt`/`AssignStmt`, `InvokeStmt`, `ReturnStmt`, and the six
+//! expression kinds modeled by the forward analysis (`BinopExpr`,
+//! `CastExpr`, `InvokeExpr`, `NewExpr`, `NewArrayExpr`, `PhiExpr`).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use backdroid_ir::{ClassBuilder, ClassName, MethodBuilder, Program, Type, Value};
+//!
+//! let server = ClassName::new("com.example.Server");
+//! let mut ctor = MethodBuilder::constructor(&server, vec![Type::Int]);
+//! ctor.ret_void();
+//! let mut start = MethodBuilder::public(&server, "start", vec![], Type::Void);
+//! start.ret_void();
+//!
+//! let mut program = Program::new();
+//! program.add_class(
+//!     ClassBuilder::new("com.example.Server")
+//!         .method(ctor.build())
+//!         .method(start.build())
+//!         .build(),
+//! );
+//! assert_eq!(program.class_count(), 1);
+//! assert!(program.method(
+//!     &backdroid_ir::MethodSig::new("com.example.Server", "start", vec![], Type::Void)
+//! ).is_some());
+//! # let _ = Value::int(0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod body;
+mod builder;
+mod cfg;
+mod program;
+mod stmt;
+mod types;
+
+pub use body::{Class, FieldDef, Local, Method, MethodBody};
+pub use builder::{ClassBuilder, Label, MethodBuilder};
+pub use cfg::Cfg;
+pub use program::Program;
+pub use stmt::{
+    BinOp, CondOp, Const, IdentityKind, InvokeExpr, InvokeKind, LocalId, Place, Rvalue, Stmt,
+    Value,
+};
+pub use types::{ClassName, FieldSig, MethodSig, Modifiers, Type};

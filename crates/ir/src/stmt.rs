@@ -1,0 +1,605 @@
+//! Statements, values, and expressions — the Shimple-style typed IR.
+//!
+//! The statement vocabulary deliberately mirrors what the paper's analyses
+//! consume: `DefinitionStmt` (identity + assign), `InvokeStmt`, and
+//! `ReturnStmt` are the three tracked statement kinds (§IV-B), while the
+//! expression kinds match the six the forward analysis models (§V-B):
+//! `BinopExpr`, `CastExpr`, `InvokeExpr`, `NewExpr`, `NewArrayExpr`, and
+//! `PhiExpr`.
+
+use crate::types::{ClassName, FieldSig, MethodSig, Type};
+use std::fmt;
+
+/// A numbered local variable (register) inside one method body.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LocalId(pub u32);
+
+impl fmt::Display for LocalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "$r{}", self.0)
+    }
+}
+
+impl fmt::Debug for LocalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "$r{}", self.0)
+    }
+}
+
+/// A compile-time constant.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Const {
+    /// Any integral constant (boolean/byte/short/char/int/long).
+    Int(i64),
+    /// A floating constant.
+    Float(f64),
+    /// A string literal.
+    Str(String),
+    /// A `const-class` literal.
+    Class(ClassName),
+    /// The `null` reference.
+    Null,
+}
+
+impl Const {
+    /// A string constant.
+    pub fn str(s: impl Into<String>) -> Self {
+        Const::Str(s.into())
+    }
+}
+
+impl fmt::Display for Const {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Const::Int(v) => write!(f, "{v}"),
+            Const::Float(v) => write!(f, "{v}"),
+            Const::Str(s) => write!(f, "\"{s}\""),
+            Const::Class(c) => write!(f, "class {c}"),
+            Const::Null => write!(f, "null"),
+        }
+    }
+}
+
+/// An operand: either a local or an immediate constant.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Value {
+    /// A local variable read.
+    Local(LocalId),
+    /// An immediate constant.
+    Const(Const),
+}
+
+impl Value {
+    /// The local, if this value is one.
+    pub fn as_local(&self) -> Option<LocalId> {
+        match self {
+            Value::Local(l) => Some(*l),
+            Value::Const(_) => None,
+        }
+    }
+
+    /// Shorthand for an integer constant value.
+    pub fn int(v: i64) -> Value {
+        Value::Const(Const::Int(v))
+    }
+
+    /// Shorthand for a string constant value.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Const(Const::str(s))
+    }
+}
+
+impl From<LocalId> for Value {
+    fn from(l: LocalId) -> Self {
+        Value::Local(l)
+    }
+}
+
+impl From<Const> for Value {
+    fn from(c: Const) -> Self {
+        Value::Const(c)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Local(l) => write!(f, "{l}"),
+            Value::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// A storage location that can appear on the left of an assignment, or be
+/// read through [`Rvalue::Read`].
+#[derive(Clone, PartialEq, Debug)]
+#[allow(missing_docs)]
+pub enum Place {
+    /// A local variable.
+    Local(LocalId),
+    /// `base.<C: T f>` — an instance field of the object in `base`.
+    InstanceField { base: LocalId, field: FieldSig },
+    /// `<C: T f>` — a static field.
+    StaticField(FieldSig),
+    /// `base[index]` — an array element.
+    ArrayElem { base: LocalId, index: Value },
+}
+
+impl Place {
+    /// The base local the place dereferences, if any.
+    pub fn base_local(&self) -> Option<LocalId> {
+        match self {
+            Place::Local(l) => Some(*l),
+            Place::InstanceField { base, .. } | Place::ArrayElem { base, .. } => Some(*base),
+            Place::StaticField(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Place {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Place::Local(l) => write!(f, "{l}"),
+            Place::InstanceField { base, field } => write!(f, "{base}.{field}"),
+            Place::StaticField(field) => write!(f, "{field}"),
+            Place::ArrayElem { base, index } => write!(f, "{base}[{index}]"),
+        }
+    }
+}
+
+/// Binary operators handled by the forward constant propagation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Ushr,
+    /// Comparison producing an int (used by `cmp`/`cmpl`/`cmpg`).
+    Cmp,
+}
+
+impl BinOp {
+    /// The Jimple operator token.
+    pub fn token(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::And => "&",
+            BinOp::Or => "|",
+            BinOp::Xor => "^",
+            BinOp::Shl => "<<",
+            BinOp::Shr => ">>",
+            BinOp::Ushr => ">>>",
+            BinOp::Cmp => "cmp",
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+/// Conditional operators for [`Stmt::If`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum CondOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl fmt::Display for CondOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CondOp::Eq => "==",
+            CondOp::Ne => "!=",
+            CondOp::Lt => "<",
+            CondOp::Le => "<=",
+            CondOp::Gt => ">",
+            CondOp::Ge => ">=",
+        })
+    }
+}
+
+/// The dispatch kind of an invocation, mirroring the DEX `invoke-*` family.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum InvokeKind {
+    /// `invoke-virtual` — virtual dispatch on the receiver type.
+    Virtual,
+    /// `invoke-direct` / `specialinvoke` — constructors and private methods.
+    Special,
+    /// `invoke-static`.
+    Static,
+    /// `invoke-interface`.
+    Interface,
+    /// `invoke-super`.
+    Super,
+}
+
+impl InvokeKind {
+    /// The Jimple keyword (`virtualinvoke` etc.).
+    pub fn jimple_keyword(self) -> &'static str {
+        match self {
+            InvokeKind::Virtual => "virtualinvoke",
+            InvokeKind::Special => "specialinvoke",
+            InvokeKind::Static => "staticinvoke",
+            InvokeKind::Interface => "interfaceinvoke",
+            InvokeKind::Super => "superinvoke",
+        }
+    }
+
+    /// The dexdump mnemonic (`invoke-virtual` etc.).
+    pub fn dex_mnemonic(self) -> &'static str {
+        match self {
+            InvokeKind::Virtual => "invoke-virtual",
+            InvokeKind::Special => "invoke-direct",
+            InvokeKind::Static => "invoke-static",
+            InvokeKind::Interface => "invoke-interface",
+            InvokeKind::Super => "invoke-super",
+        }
+    }
+}
+
+/// A method invocation expression.
+#[derive(Clone, PartialEq, Debug)]
+pub struct InvokeExpr {
+    /// The dispatch kind.
+    pub kind: InvokeKind,
+    /// The *declared* callee signature as it appears in the bytecode.
+    pub callee: MethodSig,
+    /// The receiver for instance invokes.
+    pub base: Option<LocalId>,
+    /// Argument values (excluding the receiver).
+    pub args: Vec<Value>,
+}
+
+impl InvokeExpr {
+    /// A static call.
+    pub fn call_static(callee: MethodSig, args: Vec<Value>) -> Self {
+        InvokeExpr {
+            kind: InvokeKind::Static,
+            callee,
+            base: None,
+            args,
+        }
+    }
+
+    /// A virtual call on `base`.
+    pub fn call_virtual(callee: MethodSig, base: LocalId, args: Vec<Value>) -> Self {
+        InvokeExpr {
+            kind: InvokeKind::Virtual,
+            callee,
+            base: Some(base),
+            args,
+        }
+    }
+
+    /// A special (constructor/private) call on `base`.
+    pub fn call_special(callee: MethodSig, base: LocalId, args: Vec<Value>) -> Self {
+        InvokeExpr {
+            kind: InvokeKind::Special,
+            callee,
+            base: Some(base),
+            args,
+        }
+    }
+
+    /// An interface call on `base`.
+    pub fn call_interface(callee: MethodSig, base: LocalId, args: Vec<Value>) -> Self {
+        InvokeExpr {
+            kind: InvokeKind::Interface,
+            callee,
+            base: Some(base),
+            args,
+        }
+    }
+
+    /// All operand locals: receiver plus argument locals.
+    pub fn operand_locals(&self) -> Vec<LocalId> {
+        let mut out = Vec::new();
+        if let Some(b) = self.base {
+            out.push(b);
+        }
+        out.extend(self.args.iter().filter_map(Value::as_local));
+        out
+    }
+}
+
+impl fmt::Display for InvokeExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let args = self
+            .args
+            .iter()
+            .map(|a| a.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        match self.base {
+            Some(b) => write!(f, "{} {}.{}({})", self.kind.jimple_keyword(), b, self.callee, args),
+            None => write!(f, "{} {}({})", self.kind.jimple_keyword(), self.callee, args),
+        }
+    }
+}
+
+/// The right-hand side of an assignment.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Rvalue {
+    /// A plain copy of a value.
+    Use(Value),
+    /// A read from a field or array place.
+    Read(Place),
+    /// `a <op> b`.
+    Binop(BinOp, Value, Value),
+    /// `(T) v`.
+    Cast(Type, Value),
+    /// `v instanceof C`.
+    InstanceOf(ClassName, Value),
+    /// `new C` (allocation only; `<init>` is a separate invoke).
+    New(ClassName),
+    /// `new T[len]`.
+    NewArray(Type, Value),
+    /// An invocation whose result is assigned.
+    Invoke(InvokeExpr),
+    /// SSA φ-node merging several locals.
+    Phi(Vec<LocalId>),
+    /// `lengthof v`.
+    Length(Value),
+}
+
+impl Rvalue {
+    /// The invoke expression, if this rvalue is one.
+    pub fn as_invoke(&self) -> Option<&InvokeExpr> {
+        match self {
+            Rvalue::Invoke(ie) => Some(ie),
+            _ => None,
+        }
+    }
+
+    /// Locals read by this rvalue.
+    pub fn operand_locals(&self) -> Vec<LocalId> {
+        fn val(v: &Value, out: &mut Vec<LocalId>) {
+            if let Some(l) = v.as_local() {
+                out.push(l);
+            }
+        }
+        let mut out = Vec::new();
+        match self {
+            Rvalue::Use(v) | Rvalue::Cast(_, v) | Rvalue::InstanceOf(_, v) | Rvalue::Length(v) => {
+                val(v, &mut out)
+            }
+            Rvalue::Read(p) => {
+                if let Some(b) = p.base_local() {
+                    out.push(b);
+                }
+                if let Place::ArrayElem { index, .. } = p {
+                    val(index, &mut out);
+                }
+            }
+            Rvalue::Binop(_, a, b) => {
+                val(a, &mut out);
+                val(b, &mut out);
+            }
+            Rvalue::New(_) => {}
+            Rvalue::NewArray(_, len) => val(len, &mut out),
+            Rvalue::Invoke(ie) => out.extend(ie.operand_locals()),
+            Rvalue::Phi(ls) => out.extend(ls.iter().copied()),
+        }
+        out
+    }
+}
+
+impl fmt::Display for Rvalue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rvalue::Use(v) => write!(f, "{v}"),
+            Rvalue::Read(p) => write!(f, "{p}"),
+            Rvalue::Binop(op, a, b) => write!(f, "{a} {op} {b}"),
+            Rvalue::Cast(t, v) => write!(f, "({t}) {v}"),
+            Rvalue::InstanceOf(c, v) => write!(f, "{v} instanceof {c}"),
+            Rvalue::New(c) => write!(f, "new {c}"),
+            Rvalue::NewArray(t, l) => write!(f, "newarray ({t})[{l}]"),
+            Rvalue::Invoke(ie) => write!(f, "{ie}"),
+            Rvalue::Phi(ls) => write!(
+                f,
+                "Phi({})",
+                ls.iter().map(|l| l.to_string()).collect::<Vec<_>>().join(", ")
+            ),
+            Rvalue::Length(v) => write!(f, "lengthof {v}"),
+        }
+    }
+}
+
+/// The source of an identity statement (`r0 := @this`, `r1 := @parameter0`).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum IdentityKind {
+    /// The implicit receiver, with its declared type.
+    This(ClassName),
+    /// The i-th parameter, with its declared type.
+    Param(usize, Type),
+    /// The caught exception at a handler entry.
+    CaughtException,
+}
+
+impl fmt::Display for IdentityKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IdentityKind::This(c) => write!(f, "@this: {c}"),
+            IdentityKind::Param(i, t) => write!(f, "@parameter{i}: {t}"),
+            IdentityKind::CaughtException => write!(f, "@caughtexception"),
+        }
+    }
+}
+
+/// One IR statement.
+#[derive(Clone, PartialEq, Debug)]
+#[allow(missing_docs)]
+pub enum Stmt {
+    /// `local := @this` / `local := @parameterN` — a `DefinitionStmt`
+    /// binding an implicit input.
+    Identity { local: LocalId, kind: IdentityKind },
+    /// `place = rvalue` — an `AssignStmt` (also a `DefinitionStmt`).
+    Assign { place: Place, rvalue: Rvalue },
+    /// A bare `InvokeStmt` whose result (if any) is discarded.
+    Invoke(InvokeExpr),
+    /// `return` / `return v`.
+    Return(Option<Value>),
+    /// Conditional branch to the statement at index `target`.
+    If {
+        op: CondOp,
+        a: Value,
+        b: Value,
+        target: usize,
+    },
+    /// Unconditional branch to the statement at index `target`.
+    Goto(usize),
+    /// `throw v`.
+    Throw(Value),
+    /// No-op placeholder (also used as a branch landing pad).
+    Nop,
+}
+
+impl Stmt {
+    /// The invoke expression contained in this statement, whether a bare
+    /// `InvokeStmt` or an assigned `Rvalue::Invoke`.
+    pub fn invoke_expr(&self) -> Option<&InvokeExpr> {
+        match self {
+            Stmt::Invoke(ie) => Some(ie),
+            Stmt::Assign { rvalue, .. } => rvalue.as_invoke(),
+            _ => None,
+        }
+    }
+
+    /// Whether this is a `DefinitionStmt` (identity or assignment) — one of
+    /// the three statement kinds the forward object taint tracks (§IV-B).
+    pub fn is_definition(&self) -> bool {
+        matches!(self, Stmt::Identity { .. } | Stmt::Assign { .. })
+    }
+
+    /// The place defined by this statement, if any.
+    pub fn defined_place(&self) -> Option<Place> {
+        match self {
+            Stmt::Identity { local, .. } => Some(Place::Local(*local)),
+            Stmt::Assign { place, .. } => Some(place.clone()),
+            _ => None,
+        }
+    }
+
+    /// Branch targets for control-flow construction.
+    pub fn branch_targets(&self) -> Vec<usize> {
+        match self {
+            Stmt::If { target, .. } => vec![*target],
+            Stmt::Goto(t) => vec![*t],
+            _ => Vec::new(),
+        }
+    }
+
+    /// Whether control never falls through to the next statement.
+    pub fn is_terminator(&self) -> bool {
+        matches!(self, Stmt::Return(_) | Stmt::Goto(_) | Stmt::Throw(_))
+    }
+}
+
+impl fmt::Display for Stmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Stmt::Identity { local, kind } => write!(f, "{local} := {kind}"),
+            Stmt::Assign { place, rvalue } => write!(f, "{place} = {rvalue}"),
+            Stmt::Invoke(ie) => write!(f, "{ie}"),
+            Stmt::Return(None) => write!(f, "return"),
+            Stmt::Return(Some(v)) => write!(f, "return {v}"),
+            Stmt::If { op, a, b, target } => write!(f, "if {a} {op} {b} goto @{target}"),
+            Stmt::Goto(t) => write!(f, "goto @{t}"),
+            Stmt::Throw(v) => write!(f, "throw {v}"),
+            Stmt::Nop => write!(f, "nop"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(name: &str) -> MethodSig {
+        MethodSig::new("com.a.B", name, vec![], Type::Void)
+    }
+
+    #[test]
+    fn invoke_expr_display() {
+        let ie = InvokeExpr::call_virtual(sig("start"), LocalId(13), vec![]);
+        assert_eq!(
+            ie.to_string(),
+            "virtualinvoke $r13.<com.a.B: void start()>()"
+        );
+    }
+
+    #[test]
+    fn stmt_invoke_extraction() {
+        let ie = InvokeExpr::call_static(sig("m"), vec![Value::int(1)]);
+        let bare = Stmt::Invoke(ie.clone());
+        let assigned = Stmt::Assign {
+            place: Place::Local(LocalId(0)),
+            rvalue: Rvalue::Invoke(ie.clone()),
+        };
+        assert_eq!(bare.invoke_expr(), Some(&ie));
+        assert_eq!(assigned.invoke_expr(), Some(&ie));
+        assert_eq!(Stmt::Return(None).invoke_expr(), None);
+    }
+
+    #[test]
+    fn operand_locals() {
+        let rv = Rvalue::Binop(BinOp::Add, Value::Local(LocalId(1)), Value::int(2));
+        assert_eq!(rv.operand_locals(), vec![LocalId(1)]);
+        let read = Rvalue::Read(Place::ArrayElem {
+            base: LocalId(3),
+            index: Value::Local(LocalId(4)),
+        });
+        assert_eq!(read.operand_locals(), vec![LocalId(3), LocalId(4)]);
+        let ie = InvokeExpr::call_virtual(sig("m"), LocalId(5), vec![Value::Local(LocalId(6))]);
+        assert_eq!(
+            Rvalue::Invoke(ie).operand_locals(),
+            vec![LocalId(5), LocalId(6)]
+        );
+    }
+
+    #[test]
+    fn definition_statements() {
+        let id = Stmt::Identity {
+            local: LocalId(0),
+            kind: IdentityKind::This(ClassName::new("com.a.B")),
+        };
+        assert!(id.is_definition());
+        assert_eq!(id.defined_place(), Some(Place::Local(LocalId(0))));
+        assert_eq!(id.to_string(), "$r0 := @this: com.a.B");
+        assert!(!Stmt::Return(None).is_definition());
+    }
+
+    #[test]
+    fn terminators_and_targets() {
+        assert!(Stmt::Return(None).is_terminator());
+        assert!(Stmt::Goto(3).is_terminator());
+        assert_eq!(Stmt::Goto(3).branch_targets(), vec![3]);
+        let iff = Stmt::If {
+            op: CondOp::Eq,
+            a: Value::int(0),
+            b: Value::int(0),
+            target: 7,
+        };
+        assert!(!iff.is_terminator());
+        assert_eq!(iff.branch_targets(), vec![7]);
+    }
+}

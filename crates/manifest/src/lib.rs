@@ -1,0 +1,369 @@
+//! # backdroid-manifest
+//!
+//! The `AndroidManifest.xml` component model plus the Android lifecycle
+//! *domain knowledge* BackDroid's special searches rely on (paper §IV-E).
+//!
+//! Android apps have no `main`: entry points are lifecycle handler methods
+//! (`onCreate()`, `onStartCommand()`, `onReceive()`, …) of components
+//! *registered in the manifest*. Whether a component is registered decides
+//! whether a backtracked path is a true positive — the paper's §VI-C false
+//! positives all stem from Amandroid accepting flows that originate in
+//! unregistered (deactivated) components.
+//!
+//! ```
+//! use backdroid_manifest::{Manifest, Component, ComponentKind};
+//! use backdroid_ir::ClassName;
+//!
+//! let mut m = Manifest::new("com.example.app");
+//! m.register(Component::new(ComponentKind::Activity, "com.example.app.MainActivity"));
+//! assert!(m.is_entry_component(&ClassName::new("com.example.app.MainActivity")));
+//! assert!(!m.is_entry_component(&ClassName::new("com.example.app.Hidden")));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use backdroid_ir::{ClassName, MethodSig, Type};
+use std::collections::BTreeMap;
+
+/// The four Android component kinds.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum ComponentKind {
+    /// `<activity>` — UI screens.
+    Activity,
+    /// `<service>` — background work.
+    Service,
+    /// `<receiver>` — broadcast receivers.
+    Receiver,
+    /// `<provider>` — content providers.
+    Provider,
+}
+
+impl ComponentKind {
+    /// The lifecycle handler method names of this component kind, in their
+    /// canonical invocation order. This is the §IV-E domain-knowledge
+    /// table: "since there are only four kinds of Android components, we
+    /// can simply use domain knowledge to handle all lifecycle handlers."
+    pub fn lifecycle_handlers(self) -> &'static [&'static str] {
+        match self {
+            ComponentKind::Activity => &[
+                "onCreate", "onStart", "onRestoreInstanceState", "onResume", "onPause",
+                "onSaveInstanceState", "onStop", "onRestart", "onDestroy",
+            ],
+            ComponentKind::Service => &[
+                "onCreate", "onStartCommand", "onStart", "onBind", "onUnbind", "onRebind",
+                "onDestroy",
+            ],
+            ComponentKind::Receiver => &["onReceive"],
+            ComponentKind::Provider => &[
+                "onCreate", "query", "insert", "update", "delete", "getType",
+            ],
+        }
+    }
+
+    /// Lifecycle handlers that may run *before* `handler`, per the
+    /// component lifecycle state machine. Used by the special lifecycle
+    /// search to keep backtracking when the dataflow has not finished at
+    /// the reached handler (§IV-E).
+    pub fn predecessors_of(self, handler: &str) -> Vec<&'static str> {
+        let order = self.lifecycle_handlers();
+        match order.iter().position(|h| *h == handler) {
+            Some(pos) => order[..pos].to_vec(),
+            None => Vec::new(),
+        }
+    }
+
+    /// The platform base class of this component kind.
+    pub fn base_class(self) -> ClassName {
+        ClassName::new(match self {
+            ComponentKind::Activity => "android.app.Activity",
+            ComponentKind::Service => "android.app.Service",
+            ComponentKind::Receiver => "android.content.BroadcastReceiver",
+            ComponentKind::Provider => "android.content.ContentProvider",
+        })
+    }
+
+    /// The ICC launch APIs that target this component kind, used by the
+    /// two-time ICC search (§IV-D) to pair ICC calls with parameters.
+    pub fn icc_apis(self) -> &'static [&'static str] {
+        match self {
+            ComponentKind::Activity => &["startActivity", "startActivityForResult"],
+            ComponentKind::Service => &["startService", "bindService", "startForegroundService"],
+            ComponentKind::Receiver => &["sendBroadcast", "sendOrderedBroadcast"],
+            ComponentKind::Provider => &["query", "insert", "update", "delete"],
+        }
+    }
+}
+
+/// One registered (or intentionally unregistered, for FP-shape workloads)
+/// component.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Component {
+    kind: ComponentKind,
+    class: ClassName,
+    actions: Vec<String>,
+    exported: bool,
+}
+
+impl Component {
+    /// Creates a component with no intent filter.
+    pub fn new(kind: ComponentKind, class: impl Into<ClassName>) -> Self {
+        Component {
+            kind,
+            class: class.into(),
+            actions: Vec::new(),
+            exported: false,
+        }
+    }
+
+    /// Adds an intent-filter action (implicit-ICC target).
+    pub fn with_action(mut self, action: impl Into<String>) -> Self {
+        self.actions.push(action.into());
+        self
+    }
+
+    /// Marks the component exported.
+    pub fn exported(mut self) -> Self {
+        self.exported = true;
+        self
+    }
+
+    /// The component kind.
+    pub fn kind(&self) -> ComponentKind {
+        self.kind
+    }
+
+    /// The implementing class.
+    pub fn class(&self) -> &ClassName {
+        &self.class
+    }
+
+    /// Declared intent-filter actions.
+    pub fn actions(&self) -> &[String] {
+        &self.actions
+    }
+
+    /// Whether the component is exported.
+    pub fn is_exported(&self) -> bool {
+        self.exported
+    }
+
+    /// The entry-point method signatures of this component: each lifecycle
+    /// handler as a `void` method (parameter lists are modeled as empty —
+    /// the analyses match handlers by name, as the paper's search does).
+    pub fn entry_methods(&self) -> Vec<MethodSig> {
+        self.kind
+            .lifecycle_handlers()
+            .iter()
+            .map(|h| MethodSig::new(self.class.clone(), *h, vec![], Type::Void))
+            .collect()
+    }
+}
+
+/// The parsed manifest of one app.
+#[derive(Clone, Debug, Default)]
+pub struct Manifest {
+    package: String,
+    components: BTreeMap<ClassName, Component>,
+}
+
+impl Manifest {
+    /// Creates an empty manifest for `package`.
+    pub fn new(package: impl Into<String>) -> Self {
+        Manifest {
+            package: package.into(),
+            components: BTreeMap::new(),
+        }
+    }
+
+    /// The application package name.
+    pub fn package(&self) -> &str {
+        &self.package
+    }
+
+    /// Registers a component.
+    pub fn register(&mut self, component: Component) {
+        self.components
+            .insert(component.class().clone(), component);
+    }
+
+    /// All registered components in deterministic order.
+    pub fn components(&self) -> impl Iterator<Item = &Component> + '_ {
+        self.components.values()
+    }
+
+    /// The registered component implemented by `class`, if any.
+    pub fn component(&self, class: &ClassName) -> Option<&Component> {
+        self.components.get(class)
+    }
+
+    /// Whether `class` is a registered entry component. Unregistered
+    /// components are dead code from the OS's point of view — flows
+    /// starting there are the paper's Amandroid false-positive shape.
+    pub fn is_entry_component(&self, class: &ClassName) -> bool {
+        self.components.contains_key(class)
+    }
+
+    /// Whether `sig` is an entry-point lifecycle handler of a registered
+    /// component (matched by class + handler name).
+    pub fn is_entry_method(&self, sig: &MethodSig) -> bool {
+        self.components
+            .get(sig.class())
+            .is_some_and(|c| c.kind().lifecycle_handlers().contains(&sig.name()))
+    }
+
+    /// Components whose intent filter contains `action` — the implicit-ICC
+    /// resolution used by the two-time ICC search (§IV-D).
+    pub fn components_for_action(&self, action: &str) -> Vec<&Component> {
+        self.components
+            .values()
+            .filter(|c| c.actions().iter().any(|a| a == action))
+            .collect()
+    }
+
+    /// All entry-point method signatures of the app.
+    pub fn entry_methods(&self) -> Vec<MethodSig> {
+        self.components
+            .values()
+            .flat_map(Component::entry_methods)
+            .collect()
+    }
+}
+
+/// Asynchronous-flow domain knowledge: the platform "registration" APIs
+/// whose callee object later receives an implicit callback. The advanced
+/// search does *not* rely on this table to find ending methods (it uses
+/// interface-type matching, §IV-B); the table exists for the *baseline*
+/// whole-app analysis, which (like Amandroid/FlowDroid) hard-codes these
+/// edges — and misses the ones outside the table, reproducing the paper's
+/// "unrobust handling of certain implicit flows" (§VI-C).
+#[derive(Clone, Debug)]
+pub struct AsyncFlowTable {
+    /// (registration API name, callback interface, callback method name)
+    entries: Vec<(&'static str, &'static str, &'static str)>,
+}
+
+impl Default for AsyncFlowTable {
+    fn default() -> Self {
+        Self::baseline()
+    }
+}
+
+impl AsyncFlowTable {
+    /// The conventional table used by prior work: `Thread.start → run`
+    /// and a few friends. Deliberately *excludes* `Executor.execute`
+    /// and `AsyncTask.execute`, the flows the paper shows Amandroid
+    /// missing.
+    pub fn baseline() -> Self {
+        AsyncFlowTable {
+            entries: vec![
+                ("start", "java.lang.Runnable", "run"),
+                ("post", "java.lang.Runnable", "run"),
+                ("postDelayed", "java.lang.Runnable", "run"),
+            ],
+        }
+    }
+
+    /// An extended table that also covers the flows Amandroid misses;
+    /// enabling it on the baseline models a "robust" whole-app tool.
+    pub fn robust() -> Self {
+        let mut t = Self::baseline();
+        t.entries.extend([
+            ("execute", "java.lang.Runnable", "run"),
+            ("submit", "java.lang.Runnable", "run"),
+            ("execute", "android.os.AsyncTask", "doInBackground"),
+            ("setOnClickListener", "android.view.View$OnClickListener", "onClick"),
+            ("schedule", "java.util.TimerTask", "run"),
+        ]);
+        t
+    }
+
+    /// Callback edges for a registration API `name`: the (interface,
+    /// callback method) pairs it triggers.
+    pub fn callbacks_of(&self, api_name: &str) -> Vec<(ClassName, &'static str)> {
+        self.entries
+            .iter()
+            .filter(|(n, _, _)| *n == api_name)
+            .map(|(_, iface, cb)| (ClassName::new(*iface), *cb))
+            .collect()
+    }
+
+    /// Whether any entry registers callbacks via `api_name`.
+    pub fn is_registration_api(&self, api_name: &str) -> bool {
+        self.entries.iter().any(|(n, _, _)| *n == api_name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_tables() {
+        assert!(ComponentKind::Activity
+            .lifecycle_handlers()
+            .contains(&"onResume"));
+        assert_eq!(ComponentKind::Receiver.lifecycle_handlers(), &["onReceive"]);
+        let preds = ComponentKind::Activity.predecessors_of("onResume");
+        assert!(preds.contains(&"onCreate"));
+        assert!(preds.contains(&"onStart"));
+        assert!(!preds.contains(&"onPause"));
+        assert!(ComponentKind::Activity.predecessors_of("onCreate").is_empty());
+        assert!(ComponentKind::Activity.predecessors_of("nonexistent").is_empty());
+    }
+
+    #[test]
+    fn component_entry_methods() {
+        let c = Component::new(ComponentKind::Service, "com.a.SyncService");
+        let entries = c.entry_methods();
+        assert!(entries
+            .iter()
+            .any(|m| m.name() == "onStartCommand" && m.class().as_str() == "com.a.SyncService"));
+    }
+
+    #[test]
+    fn manifest_registration() {
+        let mut m = Manifest::new("com.a");
+        m.register(
+            Component::new(ComponentKind::Activity, "com.a.Main")
+                .with_action("android.intent.action.MAIN"),
+        );
+        assert!(m.is_entry_component(&ClassName::new("com.a.Main")));
+        assert!(!m.is_entry_component(&ClassName::new("com.a.Other")));
+        assert!(m.is_entry_method(&MethodSig::new("com.a.Main", "onCreate", vec![], Type::Void)));
+        assert!(!m.is_entry_method(&MethodSig::new("com.a.Main", "helper", vec![], Type::Void)));
+        assert_eq!(
+            m.components_for_action("android.intent.action.MAIN").len(),
+            1
+        );
+        assert!(m.components_for_action("missing.ACTION").is_empty());
+    }
+
+    #[test]
+    fn entry_methods_cover_all_components() {
+        let mut m = Manifest::new("com.a");
+        m.register(Component::new(ComponentKind::Activity, "com.a.Main"));
+        m.register(Component::new(ComponentKind::Receiver, "com.a.Boot"));
+        let entries = m.entry_methods();
+        assert!(entries.iter().any(|e| e.name() == "onReceive"));
+        assert!(entries.iter().any(|e| e.name() == "onCreate"));
+    }
+
+    #[test]
+    fn async_tables_differ_on_executor() {
+        let base = AsyncFlowTable::baseline();
+        let robust = AsyncFlowTable::robust();
+        assert!(base.is_registration_api("start"));
+        assert!(!base.is_registration_api("execute"));
+        assert!(robust.is_registration_api("execute"));
+        let cbs = robust.callbacks_of("setOnClickListener");
+        assert_eq!(cbs.len(), 1);
+        assert_eq!(cbs[0].1, "onClick");
+    }
+
+    #[test]
+    fn icc_apis_per_kind() {
+        assert!(ComponentKind::Service.icc_apis().contains(&"startService"));
+        assert!(ComponentKind::Activity.icc_apis().contains(&"startActivity"));
+    }
+}

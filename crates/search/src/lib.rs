@@ -1,0 +1,36 @@
+//! # backdroid-search
+//!
+//! The on-the-fly bytecode text search engine (paper §IV): grep-style
+//! commands over a merged dexdump plaintext, with line → method
+//! resolution, inner-class `$` restoration, and the layered caching of
+//! §IV-F whose hit rates the evaluation reports.
+//!
+//! ```
+//! use backdroid_search::{BytecodeText, SearchCmd, SearchEngine};
+//! use backdroid_dex::{dump_image, DexImage};
+//! use backdroid_ir::{ClassBuilder, ClassName, InvokeExpr, MethodBuilder, MethodSig, Program, Type};
+//!
+//! // Build a one-class app whose go() calls Server.start().
+//! let caller = ClassName::new("com.a.Caller");
+//! let callee = MethodSig::new("com.a.Server", "start", vec![], Type::Void);
+//! let mut m = MethodBuilder::public(&caller, "go", vec![], Type::Void);
+//! let srv = m.new_object("com.a.Server", vec![], vec![]);
+//! m.invoke(InvokeExpr::call_virtual(callee.clone(), srv, vec![]));
+//! let mut p = Program::new();
+//! p.add_class(ClassBuilder::new("com.a.Caller").method(m.build()).build());
+//!
+//! // Disassemble, index, and search for the caller of Server.start().
+//! let dump = dump_image(&DexImage::encode(&p));
+//! let mut engine = SearchEngine::new(BytecodeText::index(&dump));
+//! let hits = engine.run(&SearchCmd::InvokeOf(callee));
+//! assert_eq!(hits[0].method.to_string(), "<com.a.Caller: void go()>");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod text;
+
+pub use engine::{CacheStats, Hit, SearchCmd, SearchEngine};
+pub use text::{parse_proto, BytecodeText, MethodSpan};

@@ -1,0 +1,267 @@
+//! The indexed bytecode plaintext.
+//!
+//! [`BytecodeText`] wraps one merged dexdump output and pre-computes the
+//! line → containing-method map that turns a grep hit into a caller
+//! method (paper §IV-A step 2: "identify the corresponding method that
+//! contains the invocation found in the bytecode plaintext").
+
+use backdroid_ir::{ClassName, MethodSig, Type};
+use std::collections::BTreeSet;
+
+/// One method's span inside the dump.
+#[derive(Clone, Debug)]
+pub struct MethodSpan {
+    /// The method defined over this span.
+    pub sig: MethodSig,
+    /// First line index of the span (the `#k : (in L...;)` header).
+    pub start_line: usize,
+    /// One past the last line of the span.
+    pub end_line: usize,
+}
+
+/// The disassembled bytecode plaintext, line-indexed.
+#[derive(Debug)]
+pub struct BytecodeText {
+    lines: Vec<String>,
+    spans: Vec<MethodSpan>,
+    /// For each line, the index into `spans` of the containing method.
+    line_to_span: Vec<Option<usize>>,
+    /// All class descriptors seen (`Lcom/a/B;`), used for `$`-restoration.
+    descriptors: BTreeSet<String>,
+}
+
+impl BytecodeText {
+    /// Indexes a dexdump plaintext.
+    pub fn index(dump: &str) -> BytecodeText {
+        let lines: Vec<String> = dump.lines().map(str::to_string).collect();
+        let mut spans: Vec<MethodSpan> = Vec::new();
+        let mut line_to_span: Vec<Option<usize>> = vec![None; lines.len()];
+        let mut descriptors = BTreeSet::new();
+
+        // Streaming parse state.
+        let mut pending_class: Option<ClassName> = None; // from "(in L...;)"
+        let mut pending_name: Option<String> = None;
+        let mut current_span: Option<usize> = None;
+
+        for (i, line) in lines.iter().enumerate() {
+            let trimmed = line.trim_start();
+            if let Some(rest) = trimmed.strip_prefix("Class descriptor  : '") {
+                if let Some(desc) = rest.strip_suffix('\'') {
+                    descriptors.insert(desc.to_string());
+                }
+                current_span = None;
+                continue;
+            }
+            // Method header: `#0              : (in Lcom/a/B;)`
+            if trimmed.starts_with('#') && trimmed.contains(": (in L") {
+                if let Some(start) = trimmed.find("(in ") {
+                    let desc = trimmed[start + 4..].trim_end_matches(')');
+                    if let Some(Type::Object(c)) = Type::from_descriptor(desc) {
+                        // Close any open span at this header.
+                        if let Some(s) = current_span {
+                            spans[s].end_line = i;
+                        }
+                        current_span = None;
+                        pending_class = Some(c);
+                        pending_name = None;
+                        descriptors.insert(desc.to_string());
+                    }
+                }
+                continue;
+            }
+            if let Some(rest) = trimmed.strip_prefix("name          : '") {
+                if pending_class.is_some() {
+                    pending_name = rest.strip_suffix('\'').map(str::to_string);
+                }
+                continue;
+            }
+            if let Some(rest) = trimmed.strip_prefix("type          : '") {
+                if let (Some(class), Some(name)) = (pending_class.clone(), pending_name.clone()) {
+                    if let Some(proto) = rest.strip_suffix('\'') {
+                        if let Some((params, ret)) = parse_proto(proto) {
+                            let sig = MethodSig::new(class, name, params, ret);
+                            spans.push(MethodSpan {
+                                sig,
+                                start_line: i,
+                                end_line: lines.len(),
+                            });
+                            current_span = Some(spans.len() - 1);
+                            pending_class = None;
+                            pending_name = None;
+                        }
+                    }
+                }
+                continue;
+            }
+            if let Some(s) = current_span {
+                line_to_span[i] = Some(s);
+            }
+        }
+        BytecodeText {
+            lines,
+            spans,
+            line_to_span,
+            descriptors,
+        }
+    }
+
+    /// The raw lines.
+    pub fn lines(&self) -> &[String] {
+        &self.lines
+    }
+
+    /// All method spans in dump order.
+    pub fn spans(&self) -> &[MethodSpan] {
+        &self.spans
+    }
+
+    /// The method containing line `i`, if the line is inside a code item.
+    pub fn method_at_line(&self, i: usize) -> Option<&MethodSig> {
+        let span = self.line_to_span.get(i).copied().flatten()?;
+        Some(&self.spans[span].sig)
+    }
+
+    /// All class descriptors in the dump.
+    pub fn descriptors(&self) -> &BTreeSet<String> {
+        &self.descriptors
+    }
+
+    /// Restores a dotted banner name printed by dexdump
+    /// (`com.a.Outer.1.run:()V`, inner-class `$` flattened to `.`) to the
+    /// real method signature, by testing candidate `$` placements against
+    /// the class descriptors present in the dump (paper §IV-A step 2:
+    /// "an inner class needs to add back the symbol `$`").
+    pub fn restore_banner(&self, banner: &str) -> Option<MethodSig> {
+        let (dotted_and_name, proto) = banner.rsplit_once(':')?;
+        let (dotted_class, name) = dotted_and_name.rsplit_once('.')?;
+        let (params, ret) = parse_proto(proto)?;
+        // Try every split of the dotted class into package + class parts:
+        // the class part joins with `$`, the package part with `.`.
+        let segments: Vec<&str> = dotted_class.split('.').collect();
+        for split in (0..segments.len()).rev() {
+            let pkg = segments[..split].join(".");
+            let cls = segments[split..].join("$");
+            let candidate = if pkg.is_empty() {
+                cls
+            } else {
+                format!("{pkg}.{cls}")
+            };
+            let desc = format!("L{};", candidate.replace('.', "/"));
+            if self.descriptors.contains(&desc) {
+                return Some(MethodSig::new(candidate, name, params, ret));
+            }
+        }
+        None
+    }
+}
+
+/// Parses a proto string `(I[BLjava/lang/String;)V` into parameter types
+/// and return type.
+pub fn parse_proto(proto: &str) -> Option<(Vec<Type>, Type)> {
+    let rest = proto.strip_prefix('(')?;
+    let (params_str, ret_str) = rest.split_once(')')?;
+    let mut params = Vec::new();
+    let mut cur = params_str;
+    while !cur.is_empty() {
+        let (ty, next) = Type::parse_descriptor_prefix(cur)?;
+        params.push(ty);
+        cur = next;
+    }
+    let ret = Type::from_descriptor(ret_str)?;
+    Some((params, ret))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backdroid_dex::{dump_image, DexImage};
+    use backdroid_ir::{ClassBuilder, InvokeExpr, MethodBuilder, Program};
+
+    fn sample_program() -> Program {
+        let outer = ClassName::new("com.a.Outer");
+        let inner = ClassName::new("com.a.Outer$1");
+        let mut run = MethodBuilder::public(&inner, "run", vec![], Type::Void);
+        let this = run.this();
+        run.invoke(InvokeExpr::call_virtual(
+            MethodSig::new("com.a.Server", "start", vec![], Type::Void),
+            this,
+            vec![],
+        ));
+        let mut go = MethodBuilder::public_static(&outer, "go", vec![Type::Int], Type::Int);
+        go.ret(backdroid_ir::Value::int(0));
+        let mut p = Program::new();
+        p.add_class(ClassBuilder::new(inner.as_str()).method(run.build()).build());
+        p.add_class(ClassBuilder::new(outer.as_str()).method(go.build()).build());
+        let mut start = MethodBuilder::public(&ClassName::new("com.a.Server"), "start", vec![], Type::Void);
+        start.ret_void();
+        p.add_class(
+            ClassBuilder::new("com.a.Server")
+                .method(start.build())
+                .build(),
+        );
+        p
+    }
+
+    fn indexed() -> BytecodeText {
+        let p = sample_program();
+        let text = dump_image(&DexImage::encode(&p));
+        BytecodeText::index(&text)
+    }
+
+    #[test]
+    fn spans_cover_all_methods() {
+        let t = indexed();
+        let names: Vec<String> = t.spans().iter().map(|s| s.sig.to_string()).collect();
+        assert!(names.contains(&"<com.a.Outer$1: void run()>".to_string()));
+        assert!(names.contains(&"<com.a.Outer: int go(int)>".to_string()));
+        assert!(names.contains(&"<com.a.Server: void start()>".to_string()));
+    }
+
+    #[test]
+    fn hit_lines_map_to_containing_method() {
+        let t = indexed();
+        let needle = "Lcom/a/Server;.start:()V";
+        let hit_line = t
+            .lines()
+            .iter()
+            .position(|l| l.contains("invoke-virtual") && l.contains(needle))
+            .expect("invoke line present");
+        let m = t.method_at_line(hit_line).expect("line inside a method");
+        assert_eq!(m.to_string(), "<com.a.Outer$1: void run()>");
+    }
+
+    #[test]
+    fn header_lines_have_no_method() {
+        let t = indexed();
+        let header = t
+            .lines()
+            .iter()
+            .position(|l| l.contains("Class descriptor"))
+            .unwrap();
+        assert!(t.method_at_line(header).is_none());
+    }
+
+    #[test]
+    fn banner_restoration_adds_back_dollar() {
+        let t = indexed();
+        let sig = t
+            .restore_banner("com.a.Outer.1.run:()V")
+            .expect("restorable banner");
+        assert_eq!(sig.class().as_str(), "com.a.Outer$1");
+        assert_eq!(sig.name(), "run");
+        // Non-inner class restores too.
+        let sig = t.restore_banner("com.a.Outer.go:(I)I").unwrap();
+        assert_eq!(sig.class().as_str(), "com.a.Outer");
+        // Unknown class yields None.
+        assert!(t.restore_banner("com.b.Missing.run:()V").is_none());
+    }
+
+    #[test]
+    fn proto_parsing() {
+        let (params, ret) = parse_proto("(I[BLjava/lang/String;)V").unwrap();
+        assert_eq!(params.len(), 3);
+        assert_eq!(ret, Type::Void);
+        assert!(parse_proto("no-parens").is_none());
+        assert!(parse_proto("(Q)V").is_none());
+    }
+}

@@ -1,0 +1,429 @@
+//! Whole-app flow-sensitive constant propagation over the call graph —
+//! the expensive dataflow phase of the Amandroid-style baseline.
+//!
+//! Unlike BackDroid's targeted slices, this analysis visits *every*
+//! reachable statement, stores per-statement fact maps (as flow-sensitive
+//! engines do), and iterates method summaries to a global fixpoint. Its
+//! cost therefore scales with app size — the property Fig 8 exposes.
+
+use crate::callgraph::{CallGraph, TimedOut};
+use backdroid_core::sinks::{SinkRegistry, SinkSpec};
+use backdroid_ir::{
+    Const, FieldSig, IdentityKind, InvokeExpr, LocalId, MethodSig, Place, Program, Rvalue, Stmt,
+    Value,
+};
+use std::collections::HashMap;
+
+/// Abstract constant lattice value.
+#[derive(Clone, PartialEq, Debug)]
+pub enum AbstractVal {
+    /// A string constant.
+    Str(String),
+    /// An integral constant.
+    Int(i64),
+    /// A symbolic platform constant (static field of a platform class).
+    PlatformField(FieldSig),
+    /// An object of a known class.
+    Obj(backdroid_ir::ClassName),
+    /// Conflicting or unknown.
+    Top,
+}
+
+/// Lattice join.
+pub fn join(a: &AbstractVal, b: &AbstractVal) -> AbstractVal {
+    if a == b {
+        a.clone()
+    } else {
+        AbstractVal::Top
+    }
+}
+
+/// One sink call observed during the whole-app pass.
+#[derive(Clone, Debug)]
+pub struct SinkObservation {
+    /// The matched sink spec id.
+    pub sink_id: &'static str,
+    /// Containing method.
+    pub method: MethodSig,
+    /// Statement index.
+    pub stmt_idx: usize,
+    /// Abstract values of the tracked parameters.
+    pub params: Vec<AbstractVal>,
+}
+
+/// The dataflow result.
+#[derive(Clone, Debug, Default)]
+pub struct DataflowResult {
+    /// All sink observations (last pass wins).
+    pub sinks: Vec<SinkObservation>,
+    /// Work units consumed.
+    pub work_units: u64,
+    /// Passes until fixpoint (or the cap).
+    pub passes: usize,
+}
+
+/// Matches an invoke against the sink registry: exact platform signature,
+/// or a call through an app subclass of the platform sink class that does
+/// not override the method (the whole-app CHA view naturally covers the
+/// subclassed-wrapper shape BackDroid's §VI-C FNs stem from).
+pub fn match_sink<'r>(
+    program: &Program,
+    registry: &'r SinkRegistry,
+    ie: &InvokeExpr,
+) -> Option<&'r SinkSpec> {
+    if let Some(spec) = registry.spec_for(&ie.callee) {
+        return Some(spec);
+    }
+    for spec in registry.sinks() {
+        if ie.callee.name() != spec.api.name() {
+            continue;
+        }
+        if !program.defines(ie.callee.class()) {
+            continue;
+        }
+        let inherits = program
+            .superclass_chain(ie.callee.class())
+            .contains(spec.api.class());
+        let overridden = program
+            .class(ie.callee.class())
+            .is_some_and(|c| c.find_method_by_sub_signature(&spec.api).is_some());
+        if inherits && !overridden {
+            return Some(spec);
+        }
+    }
+    None
+}
+
+/// Runs the whole-app constant propagation.
+pub fn run(
+    program: &Program,
+    cg: &CallGraph,
+    registry: &SinkRegistry,
+    max_passes: usize,
+    budget_units: Option<u64>,
+    start_units: u64,
+) -> Result<DataflowResult, TimedOut> {
+    let mut result = DataflowResult {
+        work_units: start_units,
+        ..DataflowResult::default()
+    };
+    // Method summaries. Each pass recomputes the summaries from scratch
+    // (joining only within the pass) and compares against the previous
+    // pass — starting from "absent" rather than Top, so late-arriving
+    // constants are not poisoned by first-pass unknowns.
+    let mut param_facts: HashMap<MethodSig, Vec<AbstractVal>> = HashMap::new();
+    let mut ret_facts: HashMap<MethodSig, AbstractVal> = HashMap::new();
+    let mut statics: HashMap<FieldSig, AbstractVal> = HashMap::new();
+    let mut fields: HashMap<FieldSig, AbstractVal> = HashMap::new();
+
+    // `<clinit>` methods run implicitly: seed them as analyzed roots.
+    let mut methods: Vec<MethodSig> = cg.reached.iter().cloned().collect();
+    for class in program.classes() {
+        if let Some(cl) = class.clinit() {
+            if !methods.contains(cl.sig()) {
+                methods.push(cl.sig().clone());
+            }
+        }
+    }
+
+    for pass in 0..max_passes {
+        result.passes = pass + 1;
+        let mut sink_obs: Vec<SinkObservation> = Vec::new();
+        let mut param_next: HashMap<MethodSig, Vec<AbstractVal>> = HashMap::new();
+        let mut ret_next: HashMap<MethodSig, AbstractVal> = HashMap::new();
+        let mut statics_next: HashMap<FieldSig, AbstractVal> = HashMap::new();
+        let mut fields_next: HashMap<FieldSig, AbstractVal> = HashMap::new();
+        for m in &methods {
+            let Some(body) = program.method(m).and_then(|x| x.body()) else {
+                continue;
+            };
+            // Per-statement fact maps (flow-sensitive storage — the cost
+            // driver of whole-app dataflow).
+            let mut env: HashMap<LocalId, AbstractVal> = HashMap::new();
+            let mut per_stmt_out: Vec<HashMap<LocalId, AbstractVal>> =
+                Vec::with_capacity(body.len());
+            for (idx, stmt) in body.stmts().iter().enumerate() {
+                result.work_units += 1;
+                if let Some(b) = budget_units {
+                    if result.work_units > b {
+                        return Err(TimedOut {
+                            work_units: result.work_units,
+                        });
+                    }
+                }
+                match stmt {
+                    Stmt::Identity { local, kind } => match kind {
+                        IdentityKind::Param(i, _) => {
+                            let v = param_facts
+                                .get(m)
+                                .and_then(|ps| ps.get(*i))
+                                .cloned()
+                                .unwrap_or(AbstractVal::Top);
+                            env.insert(*local, v);
+                        }
+                        IdentityKind::This(c) => {
+                            env.insert(*local, AbstractVal::Obj(c.clone()));
+                        }
+                        IdentityKind::CaughtException => {
+                            env.insert(*local, AbstractVal::Top);
+                        }
+                    },
+                    Stmt::Assign { place, rvalue } => {
+                        let v = eval_rvalue(program, &env, &statics, &fields, &ret_facts, rvalue);
+                        match place {
+                            Place::Local(l) => {
+                                env.insert(*l, v);
+                            }
+                            Place::StaticField(f) => {
+                                let merged = match statics_next.get(f) {
+                                    Some(o) => join(o, &v),
+                                    None => v,
+                                };
+                                statics_next.insert(f.clone(), merged);
+                            }
+                            Place::InstanceField { field, .. } => {
+                                let merged = match fields_next.get(field) {
+                                    Some(o) => join(o, &v),
+                                    None => v,
+                                };
+                                fields_next.insert(field.clone(), merged);
+                            }
+                            Place::ArrayElem { .. } => {}
+                        }
+                    }
+                    Stmt::Return(Some(val)) => {
+                        let v = eval_value(&env, val);
+                        let merged = match ret_next.get(m) {
+                            Some(o) => join(o, &v),
+                            None => v,
+                        };
+                        ret_next.insert(m.clone(), merged);
+                    }
+                    _ => {}
+                }
+                // Call-site processing: propagate argument facts into
+                // callee parameter summaries; observe sinks.
+                if let Some(ie) = stmt.invoke_expr() {
+                    if let Some(spec) = match_sink(program, registry, ie) {
+                        let params = spec
+                            .tracked_params
+                            .iter()
+                            .map(|&k| {
+                                ie.args
+                                    .get(k)
+                                    .map(|a| eval_value(&env, a))
+                                    .unwrap_or(AbstractVal::Top)
+                            })
+                            .collect();
+                        sink_obs.push(SinkObservation {
+                            sink_id: spec.id,
+                            method: m.clone(),
+                            stmt_idx: idx,
+                            params,
+                        });
+                    }
+                    if let Some(targets) = cg.edges.get(m) {
+                        for t in targets {
+                            if t.name() != ie.callee.name() {
+                                continue;
+                            }
+                            let arg_facts: Vec<AbstractVal> = (0..t.params().len())
+                                .map(|k| {
+                                    ie.args
+                                        .get(k)
+                                        .map(|a| eval_value(&env, a))
+                                        .unwrap_or(AbstractVal::Top)
+                                })
+                                .collect();
+                            let entry = param_next
+                                .entry(t.clone())
+                                .or_insert_with(|| arg_facts.clone());
+                            for (k, v) in arg_facts.iter().enumerate() {
+                                if k < entry.len() {
+                                    entry[k] = join(&entry[k], v);
+                                }
+                            }
+                        }
+                    }
+                }
+                per_stmt_out.push(env.clone());
+            }
+            let _ = per_stmt_out; // retained until method end, as real engines do
+        }
+        result.sinks = sink_obs;
+        let stable = param_next == param_facts
+            && ret_next == ret_facts
+            && statics_next == statics
+            && fields_next == fields;
+        param_facts = param_next;
+        ret_facts = ret_next;
+        statics = statics_next;
+        fields = fields_next;
+        if stable {
+            break;
+        }
+    }
+    Ok(result)
+}
+
+fn eval_value(env: &HashMap<LocalId, AbstractVal>, v: &Value) -> AbstractVal {
+    match v {
+        Value::Const(Const::Str(s)) => AbstractVal::Str(s.clone()),
+        Value::Const(Const::Int(i)) => AbstractVal::Int(*i),
+        Value::Const(_) => AbstractVal::Top,
+        Value::Local(l) => env.get(l).cloned().unwrap_or(AbstractVal::Top),
+    }
+}
+
+fn eval_rvalue(
+    program: &Program,
+    env: &HashMap<LocalId, AbstractVal>,
+    statics: &HashMap<FieldSig, AbstractVal>,
+    fields: &HashMap<FieldSig, AbstractVal>,
+    rets: &HashMap<MethodSig, AbstractVal>,
+    rvalue: &Rvalue,
+) -> AbstractVal {
+    match rvalue {
+        Rvalue::Use(v) | Rvalue::Cast(_, v) => eval_value(env, v),
+        Rvalue::Read(Place::StaticField(f)) => {
+            if let Some(v) = statics.get(f) {
+                v.clone()
+            } else if f.class().is_platform() && !program.defines(f.class()) {
+                AbstractVal::PlatformField(f.clone())
+            } else {
+                AbstractVal::Top
+            }
+        }
+        Rvalue::Read(Place::InstanceField { field, .. }) => {
+            fields.get(field).cloned().unwrap_or(AbstractVal::Top)
+        }
+        Rvalue::Read(Place::Local(l)) => env.get(l).cloned().unwrap_or(AbstractVal::Top),
+        Rvalue::Read(Place::ArrayElem { .. }) => AbstractVal::Top,
+        Rvalue::New(c) => AbstractVal::Obj(c.clone()),
+        Rvalue::Binop(op, a, b) => {
+            match (op, eval_value(env, a), eval_value(env, b)) {
+                (backdroid_ir::BinOp::Add, AbstractVal::Int(x), AbstractVal::Int(y)) => {
+                    AbstractVal::Int(x.wrapping_add(y))
+                }
+                (backdroid_ir::BinOp::Add, AbstractVal::Str(x), AbstractVal::Str(y)) => {
+                    AbstractVal::Str(format!("{x}{y}"))
+                }
+                (backdroid_ir::BinOp::Xor, AbstractVal::Int(x), AbstractVal::Int(y)) => {
+                    AbstractVal::Int(x ^ y)
+                }
+                _ => AbstractVal::Top,
+            }
+        }
+        Rvalue::Invoke(ie) => rets.get(&ie.callee).cloned().unwrap_or(AbstractVal::Top),
+        _ => AbstractVal::Top,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::{build, CgOptions};
+    use backdroid_core::sinks::SinkRegistry;
+    use backdroid_ir::{ClassBuilder, ClassName, MethodBuilder, Type};
+    use backdroid_manifest::{Component, ComponentKind, Manifest};
+
+    fn ecb_app() -> (Program, Manifest) {
+        let mut p = Program::new();
+        let act = ClassName::new("com.a.Main");
+        let mut on_create = MethodBuilder::public(&act, "onCreate", vec![], Type::Void);
+        let mode = on_create.assign_const(Const::str("AES/ECB/PKCS5Padding"));
+        on_create.invoke(InvokeExpr::call_static(
+            MethodSig::new(
+                "javax.crypto.Cipher",
+                "getInstance",
+                vec![Type::string()],
+                Type::object("javax.crypto.Cipher"),
+            ),
+            vec![Value::Local(mode)],
+        ));
+        p.add_class(
+            ClassBuilder::new(act.as_str())
+                .extends("android.app.Activity")
+                .method(on_create.build())
+                .build(),
+        );
+        let mut m = Manifest::new("com.a");
+        m.register(Component::new(ComponentKind::Activity, "com.a.Main"));
+        (p, m)
+    }
+
+    #[test]
+    fn observes_sink_with_constant_param() {
+        let (p, m) = ecb_app();
+        let cg = build(&p, &m, &CgOptions::default()).unwrap();
+        let reg = SinkRegistry::crypto_and_ssl();
+        let r = run(&p, &cg, &reg, 8, None, cg.work_units).unwrap();
+        assert_eq!(r.sinks.len(), 1);
+        assert_eq!(r.sinks[0].sink_id, "crypto.cipher");
+        assert_eq!(
+            r.sinks[0].params[0],
+            AbstractVal::Str("AES/ECB/PKCS5Padding".into())
+        );
+        assert!(r.work_units > cg.work_units);
+    }
+
+    #[test]
+    fn join_rules() {
+        let a = AbstractVal::Str("x".into());
+        assert_eq!(join(&a, &a), a);
+        assert_eq!(join(&a, &AbstractVal::Int(1)), AbstractVal::Top);
+    }
+
+    #[test]
+    fn budget_times_out_dataflow() {
+        let (p, m) = ecb_app();
+        let cg = build(&p, &m, &CgOptions::default()).unwrap();
+        let reg = SinkRegistry::crypto_and_ssl();
+        let r = run(&p, &cg, &reg, 8, Some(cg.work_units + 1), cg.work_units);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn clinit_statics_are_seeded() {
+        // MODE set only in <clinit>; the whole-app pass must still see it.
+        let mut p = Program::new();
+        let cfg = ClassName::new("com.a.Config");
+        let field = FieldSig::new(cfg.clone(), "MODE", Type::string());
+        let mut clinit = MethodBuilder::clinit(&cfg);
+        let v = clinit.assign_const(Const::str("AES/ECB/PKCS5Padding"));
+        clinit.write_static_field(field.clone(), Value::Local(v));
+        p.add_class(
+            ClassBuilder::new(cfg.as_str())
+                .field("MODE", Type::string(), backdroid_ir::Modifiers::public_static())
+                .method(clinit.build())
+                .build(),
+        );
+        let act = ClassName::new("com.a.Main");
+        let mut on_create = MethodBuilder::public(&act, "onCreate", vec![], Type::Void);
+        let mode = on_create.read_static_field(field);
+        on_create.invoke(InvokeExpr::call_static(
+            MethodSig::new(
+                "javax.crypto.Cipher",
+                "getInstance",
+                vec![Type::string()],
+                Type::object("javax.crypto.Cipher"),
+            ),
+            vec![Value::Local(mode)],
+        ));
+        p.add_class(
+            ClassBuilder::new(act.as_str())
+                .extends("android.app.Activity")
+                .method(on_create.build())
+                .build(),
+        );
+        let mut m = Manifest::new("com.a");
+        m.register(Component::new(ComponentKind::Activity, "com.a.Main"));
+        let cg = build(&p, &m, &CgOptions::default()).unwrap();
+        let reg = SinkRegistry::crypto_and_ssl();
+        let r = run(&p, &cg, &reg, 8, None, 0).unwrap();
+        assert_eq!(
+            r.sinks[0].params[0],
+            AbstractVal::Str("AES/ECB/PKCS5Padding".into())
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! # backdroid-wholeapp
+//!
+//! The whole-app comparators the paper evaluates BackDroid against, built
+//! from scratch:
+//!
+//! * [`callgraph`] — entry-point-driven whole-app call graphs (CHA,
+//!   SPARK-like RTA, and a geomPTA-like context-sensitive variant).
+//! * [`flowdroid`] — decoupled call-graph generation (the Fig 1 baseline).
+//! * [`amandroid`] — whole-app dataflow with the comparator's documented
+//!   behaviours: `liblist.txt` skipping, hard-coded (incomplete)
+//!   async/callback edges, sloppy entry synthesis, a scaled 300-minute
+//!   timeout, and deterministic occasional errors (§VI-C).
+//!
+//! ```
+//! use backdroid_wholeapp::amandroid::{analyze, AmandroidConfig};
+//! use backdroid_core::SinkRegistry;
+//! use backdroid_appgen::{AppSpec, Mechanism, Scenario, SinkKind};
+//!
+//! let app = AppSpec::named("com.example.demo")
+//!     .with_scenario(Scenario::new(Mechanism::DirectEntry, SinkKind::Cipher, true))
+//!     .with_filler(4, 3, 4)
+//!     .generate();
+//! let cfg = AmandroidConfig { error_injection: false, ..AmandroidConfig::default() };
+//! let out = analyze(&app.name, &app.program, &app.manifest,
+//!                   &SinkRegistry::crypto_and_ssl(), &cfg);
+//! assert_eq!(out.report().unwrap().vulnerable().len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod amandroid;
+pub mod callgraph;
+pub mod dataflow;
+pub mod flowdroid;
+
+pub use amandroid::{
+    analyze, paper_minutes, AmandroidConfig, AmandroidFinding, AmandroidReport, Outcome,
+    DEFAULT_BUDGET_UNITS, DEFAULT_LIBLIST, WORK_UNITS_PER_MINUTE,
+};
+pub use callgraph::{build, entry_methods, CallGraph, CgAlgorithm, CgOptions, TimedOut};
+pub use flowdroid::{generate_callgraph, CgOutcome, CgRunStats};

@@ -1,0 +1,112 @@
+//! Privacy-leak detection — the §VII extension: trace sensitive *sources*
+//! (IMEI, location) to exfiltration sinks (SMS, logs) using the same
+//! targeted machinery, paying the forward analysis only for sources that
+//! are actually reachable from entry points.
+//!
+//! ```sh
+//! cargo run --example leak_detection
+//! ```
+
+use backdroid_core::{default_leak_sinks, default_sources, detect_leaks, AnalysisContext};
+use backdroid_ir::{
+    ClassBuilder, ClassName, InvokeExpr, MethodBuilder, MethodSig, Program, Type, Value,
+};
+use backdroid_manifest::{Component, ComponentKind, Manifest};
+
+fn main() {
+    let mut program = Program::new();
+    let act = ClassName::new("com.example.leaky.MainActivity");
+
+    // A helper that texts its argument somewhere.
+    let mut exfil = MethodBuilder::public_static(
+        &act,
+        "report",
+        vec![Type::string()],
+        Type::Void,
+    );
+    let data = exfil.param(0);
+    let sms = exfil.local(Type::object("android.telephony.SmsManager"));
+    exfil.invoke(InvokeExpr::call_virtual(
+        MethodSig::new(
+            "android.telephony.SmsManager",
+            "sendTextMessage",
+            vec![
+                Type::string(),
+                Type::string(),
+                Type::string(),
+                Type::object("android.app.PendingIntent"),
+                Type::object("android.app.PendingIntent"),
+            ],
+            Type::Void,
+        ),
+        sms,
+        vec![
+            Value::str("+15550100"),
+            Value::Const(backdroid_ir::Const::Null),
+            Value::Local(data),
+            Value::Const(backdroid_ir::Const::Null),
+            Value::Const(backdroid_ir::Const::Null),
+        ],
+    ));
+
+    // onCreate reads the IMEI and hands it to the helper; it also logs a
+    // harmless constant (must NOT be reported).
+    let mut on_create = MethodBuilder::public(&act, "onCreate", vec![], Type::Void);
+    let tm = on_create.local(Type::object("android.telephony.TelephonyManager"));
+    let imei = on_create.invoke_assign(InvokeExpr::call_virtual(
+        MethodSig::new(
+            "android.telephony.TelephonyManager",
+            "getDeviceId",
+            vec![],
+            Type::string(),
+        ),
+        tm,
+        vec![],
+    ));
+    on_create.invoke(InvokeExpr::call_static(
+        MethodSig::new(act.as_str(), "report", vec![Type::string()], Type::Void),
+        vec![Value::Local(imei)],
+    ));
+    on_create.invoke(InvokeExpr::call_static(
+        MethodSig::new(
+            "android.util.Log",
+            "d",
+            vec![Type::string(), Type::string()],
+            Type::Int,
+        ),
+        vec![Value::str("tag"), Value::str("started")],
+    ));
+
+    program.add_class(
+        ClassBuilder::new(act.as_str())
+            .extends("android.app.Activity")
+            .method(on_create.build())
+            .method(exfil.build())
+            .build(),
+    );
+    let mut manifest = Manifest::new("com.example.leaky");
+    manifest.register(Component::new(ComponentKind::Activity, act.as_str()));
+
+    let mut ctx = AnalysisContext::new(&program, &manifest);
+    let leaks = detect_leaks(&mut ctx, &default_sources(), &default_leak_sinks());
+
+    println!("detected {} leak(s):", leaks.len());
+    for leak in &leaks {
+        println!(
+            "  {} --> {} at {} (stmt {})",
+            leak.source_id, leak.sink_id, leak.sink_method, leak.sink_stmt
+        );
+        println!(
+            "    path: {}",
+            leak.path
+                .iter()
+                .map(|m| m.name().to_string())
+                .collect::<Vec<_>>()
+                .join(" -> ")
+        );
+    }
+    assert_eq!(leaks.len(), 1);
+    assert_eq!(leaks[0].source_id, "source.imei");
+    assert_eq!(leaks[0].sink_id, "leak.sms");
+    println!("\n==> one IMEI-to-SMS leak found; the constant log line was not flagged.");
+}

@@ -1,0 +1,65 @@
+//! SSL audit: hostname-verifier misconfiguration detection, including the
+//! paper's two tricky shapes — the unregistered-component false-positive
+//! trap and the subclassed-sink wrapper that needs the hierarchy-aware
+//! initial search (§VI-C).
+//!
+//! ```sh
+//! cargo run --example ssl_audit
+//! ```
+
+use backdroid_appgen::{AppSpec, Mechanism, Scenario, SinkKind};
+use backdroid_core::{Backdroid, BackdroidOptions};
+
+fn main() {
+    let app = AppSpec::named("com.example.sslaudit")
+        // A genuine vulnerability: ALLOW_ALL_HOSTNAME_VERIFIER reachable
+        // from a lifecycle chain (field set in onCreate, used in onResume).
+        .with_scenario(Scenario::new(Mechanism::LifecycleChain, SinkKind::SslVerifier, true))
+        // The FP trap: the same misuse inside an activity that is NOT in
+        // the manifest — dead from the OS's point of view.
+        .with_scenario(Scenario::new(
+            Mechanism::UnregisteredComponent,
+            SinkKind::SslVerifier,
+            true,
+        ))
+        // The FN shape: the sink invoked through an app subclass of
+        // SSLSocketFactory.
+        .with_scenario(Scenario::new(
+            Mechanism::IndirectSubclassedSink,
+            SinkKind::SslVerifier,
+            true,
+        ))
+        // A safe configuration for contrast.
+        .with_scenario(Scenario::new(Mechanism::DirectEntry, SinkKind::SslVerifier, false))
+        .with_filler(30, 5, 8)
+        .generate();
+
+    println!("== default configuration (paper behaviour) ==");
+    let report = Backdroid::new().analyze(&app.program, &app.manifest);
+    for sink in &report.sink_reports {
+        println!(
+            "  reachable={:<5} vulnerable={:<5} {}",
+            sink.reachable,
+            sink.verdict.is_vulnerable(),
+            sink.site_method
+        );
+    }
+    let default_found = report.vulnerable_sinks().len();
+    println!(
+        "found {default_found} vulnerable sink(s) — the subclassed wrapper is missed \
+         (the paper's §VI-C false negative), and the unregistered component is \
+         correctly NOT flagged."
+    );
+
+    println!("\n== with the hierarchy-aware initial search (the proposed fix) ==");
+    let fixed = Backdroid::with_options(BackdroidOptions {
+        hierarchy_initial_search: true,
+        ..BackdroidOptions::default()
+    })
+    .analyze(&app.program, &app.manifest);
+    let fixed_found = fixed.vulnerable_sinks().len();
+    println!("found {fixed_found} vulnerable sink(s)");
+    assert_eq!(default_found, 1);
+    assert_eq!(fixed_found, 2);
+    println!("==> fix recovers the subclassed-sink detection without adding FPs.");
+}

@@ -1,0 +1,51 @@
+//! # backdroid-suite
+//!
+//! Umbrella crate for the BackDroid reproduction workspace. It re-exports
+//! the member crates so examples and downstream experiments can depend on
+//! a single package, and it hosts the workspace-level integration tests
+//! (`tests/`) and runnable examples (`examples/`).
+//!
+//! The interesting code lives in the member crates:
+//!
+//! * [`backdroid_ir`] — the typed IR (program analysis space)
+//! * [`backdroid_dex`] — DEX encoding + dexdump-style text (search space)
+//! * [`backdroid_manifest`] — components, entry points, lifecycle tables
+//! * [`backdroid_search`] — the on-the-fly bytecode search engine
+//! * [`backdroid_appgen`] — deterministic app/corpus generation
+//! * [`backdroid_core`] — BackDroid itself
+//! * [`backdroid_wholeapp`] — the Amandroid/FlowDroid-style comparators
+//!
+//! ```
+//! use backdroid_suite::prelude::*;
+//!
+//! let app = AppSpec::named("com.suite.demo")
+//!     .with_scenario(Scenario::new(Mechanism::DirectEntry, SinkKind::Cipher, true))
+//!     .generate();
+//! let report = Backdroid::new().analyze(&app.program, &app.manifest);
+//! assert_eq!(report.vulnerable_sinks().len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use backdroid_appgen;
+pub use backdroid_core;
+pub use backdroid_dex;
+pub use backdroid_ir;
+pub use backdroid_manifest;
+pub use backdroid_search;
+pub use backdroid_wholeapp;
+
+/// One-stop imports for experiments and examples.
+pub mod prelude {
+    pub use backdroid_appgen::{AndroidApp, AppSpec, Mechanism, Scenario, SinkKind};
+    pub use backdroid_core::{
+        Backdroid, BackdroidOptions, DataflowValue, SinkRegistry, Verdict,
+    };
+    pub use backdroid_ir::{
+        ClassBuilder, ClassName, FieldSig, InvokeExpr, MethodBuilder, MethodSig, Program, Type,
+        Value,
+    };
+    pub use backdroid_manifest::{Component, ComponentKind, Manifest};
+    pub use backdroid_wholeapp::{AmandroidConfig, CgAlgorithm};
+}

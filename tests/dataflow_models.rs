@@ -1,0 +1,195 @@
+//! End-to-end tests for the forward analysis's Java/Android API models
+//! (§V-B: "we mimic arithmetic operations and model Android/Java APIs").
+
+use backdroid_core::Backdroid;
+use backdroid_ir::{
+    ClassBuilder, ClassName, Const, InvokeExpr, MethodBuilder, MethodSig, Program, Type, Value,
+};
+use backdroid_manifest::{Component, ComponentKind, Manifest};
+
+fn cipher_sig() -> MethodSig {
+    MethodSig::new(
+        "javax.crypto.Cipher",
+        "getInstance",
+        vec![Type::string()],
+        Type::object("javax.crypto.Cipher"),
+    )
+}
+
+fn analyze(program: Program, act: &str) -> backdroid_core::AppReport {
+    let mut manifest = Manifest::new("com.m");
+    manifest.register(Component::new(ComponentKind::Activity, act));
+    Backdroid::new().analyze(&program, &manifest)
+}
+
+/// StringBuilder construction of the transformation string:
+/// `new StringBuilder("AES").append("/ECB").append("/PKCS5Padding").toString()`.
+#[test]
+fn stringbuilder_chain_is_modeled() {
+    let act = ClassName::new("com.m.Main");
+    let sb_ty = Type::object("java.lang.StringBuilder");
+    let mut oc = MethodBuilder::public(&act, "onCreate", vec![], Type::Void);
+    let sb = oc.new_object(
+        "java.lang.StringBuilder",
+        vec![Type::string()],
+        vec![Value::str("AES")],
+    );
+    for part in ["/ECB", "/PKCS5Padding"] {
+        oc.invoke(InvokeExpr::call_virtual(
+            MethodSig::new(
+                "java.lang.StringBuilder",
+                "append",
+                vec![Type::string()],
+                sb_ty.clone(),
+            ),
+            sb,
+            vec![Value::str(part)],
+        ));
+    }
+    let mode = oc.invoke_assign(InvokeExpr::call_virtual(
+        MethodSig::new("java.lang.StringBuilder", "toString", vec![], Type::string()),
+        sb,
+        vec![],
+    ));
+    oc.invoke(InvokeExpr::call_static(cipher_sig(), vec![Value::Local(mode)]));
+    let mut p = Program::new();
+    p.add_class(
+        ClassBuilder::new(act.as_str())
+            .extends("android.app.Activity")
+            .method(oc.build())
+            .build(),
+    );
+    let report = analyze(p, "com.m.Main");
+    assert_eq!(report.sink_reports.len(), 1);
+    let r = &report.sink_reports[0];
+    assert_eq!(
+        r.param_values[0].as_str(),
+        Some("AES/ECB/PKCS5Padding"),
+        "{:?}",
+        r.param_values
+    );
+    assert!(r.verdict.is_vulnerable());
+}
+
+/// `String.valueOf` + `String.concat` models.
+#[test]
+fn string_valueof_and_concat_are_modeled() {
+    let act = ClassName::new("com.m.Main");
+    let mut oc = MethodBuilder::public(&act, "onCreate", vec![], Type::Void);
+    let a = oc.invoke_assign(InvokeExpr::call_static(
+        MethodSig::new(
+            "java.lang.String",
+            "valueOf",
+            vec![Type::object("java.lang.Object")],
+            Type::string(),
+        ),
+        vec![Value::str("AES/GCM")],
+    ));
+    let full = oc.invoke_assign(InvokeExpr::call_virtual(
+        MethodSig::new(
+            "java.lang.String",
+            "concat",
+            vec![Type::string()],
+            Type::string(),
+        ),
+        a,
+        vec![Value::str("/NoPadding")],
+    ));
+    oc.invoke(InvokeExpr::call_static(cipher_sig(), vec![Value::Local(full)]));
+    let mut p = Program::new();
+    p.add_class(
+        ClassBuilder::new(act.as_str())
+            .extends("android.app.Activity")
+            .method(oc.build())
+            .build(),
+    );
+    let report = analyze(p, "com.m.Main");
+    let r = &report.sink_reports[0];
+    assert_eq!(r.param_values[0].as_str(), Some("AES/GCM/NoPadding"));
+    assert!(!r.verdict.is_vulnerable(), "GCM is safe");
+}
+
+/// `toLowerCase`/`toUpperCase` string models.
+#[test]
+fn case_conversions_are_modeled() {
+    let act = ClassName::new("com.m.Main");
+    let mut oc = MethodBuilder::public(&act, "onCreate", vec![], Type::Void);
+    let lower = oc.assign_const(Const::str("aes/ecb/pkcs5padding"));
+    let upper = oc.invoke_assign(InvokeExpr::call_virtual(
+        MethodSig::new("java.lang.String", "toUpperCase", vec![], Type::string()),
+        lower,
+        vec![],
+    ));
+    oc.invoke(InvokeExpr::call_static(cipher_sig(), vec![Value::Local(upper)]));
+    let mut p = Program::new();
+    p.add_class(
+        ClassBuilder::new(act.as_str())
+            .extends("android.app.Activity")
+            .method(oc.build())
+            .build(),
+    );
+    let report = analyze(p, "com.m.Main");
+    let r = &report.sink_reports[0];
+    assert_eq!(r.param_values[0].as_str(), Some("AES/ECB/PKCS5PADDING"));
+    assert!(r.verdict.is_vulnerable());
+}
+
+/// `Integer.parseInt` on a constant string folds to an int.
+#[test]
+fn parse_int_is_modeled() {
+    use backdroid_core::{locate_sinks, slice_sink, SinkRegistry, SlicerConfig};
+    // ServerSocket(int) sink from the extended registry.
+    let act = ClassName::new("com.m.Main");
+    let mut oc = MethodBuilder::public(&act, "onCreate", vec![], Type::Void);
+    let s = oc.assign_const(Const::str("8089"));
+    let port = oc.invoke_assign(InvokeExpr::call_static(
+        MethodSig::new("java.lang.Integer", "parseInt", vec![Type::string()], Type::Int),
+        vec![Value::Local(s)],
+    ));
+    oc.new_object("java.net.ServerSocket", vec![Type::Int], vec![Value::Local(port)]);
+    let mut p = Program::new();
+    p.add_class(
+        ClassBuilder::new(act.as_str())
+            .extends("android.app.Activity")
+            .method(oc.build())
+            .build(),
+    );
+    let mut manifest = Manifest::new("com.m");
+    manifest.register(Component::new(ComponentKind::Activity, "com.m.Main"));
+    let registry = SinkRegistry::extended();
+    let mut ctx = backdroid_core::AnalysisContext::new(&p, &manifest);
+    let sites = locate_sinks(&mut ctx, &registry, false);
+    let site = sites
+        .iter()
+        .find(|s| registry.sinks()[s.spec_idx].id == "socket.server")
+        .expect("ServerSocket ctor located");
+    let spec = &registry.sinks()[site.spec_idx];
+    let result = slice_sink(&mut ctx, SlicerConfig::default(), &site.method, site.stmt_idx, spec);
+    assert!(result.reachable);
+    let mut fwd = backdroid_core::ForwardAnalysis::new(&p);
+    let values = fwd.run(&result.ssg, spec);
+    assert_eq!(
+        values[0],
+        backdroid_core::DataflowValue::Int(8089),
+        "parseInt folds the constant port (the Fig 6 shape)"
+    );
+}
+
+/// The sink-call cache: two sinks in the same unreachable method — the
+/// second is skipped (§IV-F).
+#[test]
+fn sink_cache_skips_second_call_in_unreachable_method() {
+    let cls = ClassName::new("com.m.Dead");
+    let mut m = MethodBuilder::public(&cls, "never", vec![], Type::Void);
+    for mode in ["AES/ECB/PKCS5Padding", "AES/GCM/NoPadding"] {
+        let v = m.assign_const(Const::str(mode));
+        m.invoke(InvokeExpr::call_static(cipher_sig(), vec![Value::Local(v)]));
+    }
+    let mut p = Program::new();
+    p.add_class(ClassBuilder::new(cls.as_str()).method(m.build()).build());
+    let report = analyze(p, "com.m.MainDoesNotExist");
+    assert_eq!(report.sink_cache.located, 2);
+    assert_eq!(report.sink_cache.skipped, 1, "second call cached away");
+    assert!((report.sink_cache.rate() - 0.5).abs() < 1e-9);
+    assert_eq!(report.sink_reports.len(), 1, "only the first analyzed");
+}

@@ -1,0 +1,98 @@
+//! Integration tests for the corpus/dataset generators: Table I shape,
+//! benchmark-set statistics, and end-to-end determinism.
+
+use backdroid_appgen::benchset::{
+    bench_app, bench_sizes_bytes, profile_of, profiles_for, BenchsetConfig, Profile, LAYOUT_144,
+};
+use backdroid_appgen::dataset::{summarize_mb, year_sizes_bytes, PAPER_TABLE1};
+
+#[test]
+fn table1_shape_doubles_twice_over_five_years() {
+    // The paper's observation: sizes roughly double 2014→2016 and again
+    // 2016→2018.
+    let avg_of = |idx: usize| summarize_mb(&year_sizes_bytes(PAPER_TABLE1[idx], 1001)).0;
+    let y2014 = avg_of(0);
+    let y2016 = avg_of(2);
+    let y2018 = avg_of(4);
+    assert!(y2016 / y2014 > 1.4, "2014→2016 growth: {y2014:.1} → {y2016:.1}");
+    assert!(y2018 / y2016 > 1.7, "2016→2018 growth: {y2016:.1} → {y2018:.1}");
+}
+
+#[test]
+fn benchset_sizes_match_section_via() {
+    let sizes = bench_sizes_bytes(144);
+    let (avg, median) = summarize_mb(&sizes);
+    // §VI-A: average 41.5 MB, median 36.2 MB, min 2.9, max 104.9.
+    assert!((avg - 41.5).abs() < 3.0);
+    assert!((median - 36.2).abs() < 2.0);
+    let min = *sizes.iter().min().unwrap() as f64 / 1_048_576.0;
+    let max = *sizes.iter().max().unwrap() as f64 / 1_048_576.0;
+    assert!((min - 2.9).abs() < 0.01);
+    assert!((max - 104.9).abs() < 0.01);
+}
+
+#[test]
+fn full_layout_reproduces_timeout_share() {
+    let profiles = profiles_for(144);
+    let timeouts = profiles
+        .iter()
+        .filter(|p| matches!(p, Profile::TimeoutVictim | Profile::TimeoutNoVuln))
+        .count();
+    assert_eq!(timeouts, 50, "50/144 ≈ 35% timeout population");
+    // Layout totals must cover the whole set.
+    assert_eq!(LAYOUT_144.iter().map(|(_, n)| n).sum::<usize>(), 144);
+}
+
+#[test]
+fn bench_app_generation_is_deterministic_and_independent() {
+    let cfg = BenchsetConfig::small();
+    let a = bench_app(3, cfg);
+    let b = bench_app(3, cfg);
+    assert_eq!(a.app.name, b.app.name);
+    assert_eq!(a.app.dump(), b.app.dump());
+    assert_eq!(a.profile, b.profile);
+    assert_eq!(profile_of(3, cfg.count), a.profile);
+}
+
+#[test]
+fn timeout_profiles_have_much_more_code() {
+    let cfg = BenchsetConfig::small();
+    let mut timeout_stmts = Vec::new();
+    let mut normal_stmts = Vec::new();
+    for i in 0..cfg.count {
+        match profile_of(i, cfg.count) {
+            Profile::TimeoutVictim | Profile::TimeoutNoVuln => {
+                timeout_stmts.push(bench_app(i, cfg).app.program.stmt_count())
+            }
+            Profile::Normal => normal_stmts.push(bench_app(i, cfg).app.program.stmt_count()),
+            _ => {}
+        }
+    }
+    let avg = |v: &[usize]| v.iter().sum::<usize>() as f64 / v.len().max(1) as f64;
+    assert!(
+        avg(&timeout_stmts) > 3.0 * avg(&normal_stmts),
+        "timeout apps must be much larger: {} vs {}",
+        avg(&timeout_stmts),
+        avg(&normal_stmts)
+    );
+}
+
+#[test]
+fn every_bench_app_has_consistent_ground_truth() {
+    let cfg = BenchsetConfig::small();
+    for i in 0..cfg.count {
+        let ba = bench_app(i, cfg);
+        for gt in &ba.app.ground_truth {
+            // Vulnerable implies insecure AND reachable by definition.
+            if gt.vulnerable() {
+                assert!(gt.insecure_param && gt.reachable);
+            }
+        }
+        match ba.profile {
+            Profile::Normal | Profile::TimeoutNoVuln | Profile::AmandroidFp => {
+                assert_eq!(ba.app.true_vulnerabilities(), 0, "{:?}", ba.profile)
+            }
+            _ => assert!(ba.app.true_vulnerabilities() >= 1, "{:?}", ba.profile),
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Integration tests for the §VII extension modules: reflection-resolved
+//! edges, privacy-leak detection, per-app SSG merging, and the extended
+//! sink registry.
+
+use backdroid_appgen::{AppSpec, Mechanism, Scenario, SinkKind};
+use backdroid_core::{
+    default_leak_sinks, default_sources, detect_leaks, locate_sinks, slice_sink,
+    AnalysisContext, AppSsg, Backdroid, SinkRegistry, SlicerConfig,
+};
+use backdroid_ir::{
+    ClassBuilder, ClassName, Const, InvokeExpr, MethodBuilder, MethodSig, Program, Type, Value,
+};
+use backdroid_manifest::{Component, ComponentKind, Manifest};
+
+/// A sink reachable ONLY through reflection must still be proven
+/// reachable via the synthesized reflective caller edges.
+#[test]
+fn reflective_sink_path_is_reachable() {
+    let mut p = Program::new();
+    let worker = ClassName::new("com.x.CryptoWorker");
+    let mut do_work = MethodBuilder::public(&worker, "doWork", vec![], Type::Void);
+    let mode = do_work.assign_const(Const::str("AES/ECB/PKCS5Padding"));
+    do_work.invoke(InvokeExpr::call_static(
+        MethodSig::new(
+            "javax.crypto.Cipher",
+            "getInstance",
+            vec![Type::string()],
+            Type::object("javax.crypto.Cipher"),
+        ),
+        vec![Value::Local(mode)],
+    ));
+    let mut ctor = MethodBuilder::constructor(&worker, vec![]);
+    ctor.ret_void();
+    p.add_class(
+        ClassBuilder::new(worker.as_str())
+            .method(do_work.build())
+            .method(ctor.build())
+            .build(),
+    );
+    // onCreate invokes doWork ONLY via reflection.
+    let act = ClassName::new("com.x.Main");
+    let mut oc = MethodBuilder::public(&act, "onCreate", vec![], Type::Void);
+    let cname = oc.assign_const(Const::str("com.x.CryptoWorker"));
+    let cls = oc.invoke_assign(InvokeExpr::call_static(
+        MethodSig::new(
+            "java.lang.Class",
+            "forName",
+            vec![Type::string()],
+            Type::object("java.lang.Class"),
+        ),
+        vec![Value::Local(cname)],
+    ));
+    let mname = oc.assign_const(Const::str("doWork"));
+    let method = oc.invoke_assign(InvokeExpr::call_virtual(
+        MethodSig::new(
+            "java.lang.Class",
+            "getMethod",
+            vec![Type::string()],
+            Type::object("java.lang.reflect.Method"),
+        ),
+        cls,
+        vec![Value::Local(mname)],
+    ));
+    let obj = oc.new_object(worker.as_str(), vec![], vec![]);
+    oc.invoke(InvokeExpr::call_virtual(
+        MethodSig::new(
+            "java.lang.reflect.Method",
+            "invoke",
+            vec![Type::object("java.lang.Object")],
+            Type::object("java.lang.Object"),
+        ),
+        method,
+        vec![Value::Local(obj)],
+    ));
+    p.add_class(
+        ClassBuilder::new(act.as_str())
+            .extends("android.app.Activity")
+            .method(oc.build())
+            .build(),
+    );
+    let mut man = Manifest::new("com.x");
+    man.register(Component::new(ComponentKind::Activity, act.as_str()));
+
+    let report = Backdroid::new().analyze(&p, &man);
+    assert_eq!(
+        report.vulnerable_sinks().len(),
+        1,
+        "reflection-only path detected: {:#?}",
+        report.sink_reports
+    );
+}
+
+/// Per-app SSG: merging the slices of an app whose sinks share a utility
+/// method deduplicates the shared units.
+#[test]
+fn per_app_ssg_merges_shared_slices() {
+    let app = AppSpec::named("com.x.appssg")
+        .with_scenario(Scenario::new(Mechanism::SharedUtility, SinkKind::Cipher, true))
+        .with_filler(6, 3, 4)
+        .generate();
+    let registry = SinkRegistry::crypto_and_ssl();
+    let mut ctx = AnalysisContext::new(&app.program, &app.manifest);
+    let sites = locate_sinks(&mut ctx, &registry, false);
+    assert!(sites.len() >= 2, "shared-utility emits two sink calls");
+    let mut ssgs = Vec::new();
+    let mut total_units = 0usize;
+    for site in &sites {
+        let spec = &registry.sinks()[site.spec_idx];
+        let r = slice_sink(&mut ctx, SlicerConfig::default(), &site.method, site.stmt_idx, spec);
+        total_units += r.ssg.units().len();
+        ssgs.push(r.ssg);
+    }
+    let merged = AppSsg::merge(ssgs.iter());
+    assert_eq!(merged.sinks().len(), sites.len());
+    assert!(
+        merged.units().len() < total_units,
+        "shared units deduplicated: {} < {total_units}",
+        merged.units().len()
+    );
+    assert!(AppSsg::dedup_savings(total_units, &merged) > 0.0);
+    // Every edge endpoint valid.
+    for &(f, t, _) in merged.edges() {
+        assert!(f < merged.units().len() && t < merged.units().len());
+    }
+}
+
+/// The extended sink registry finds and judges an open TCP port.
+#[test]
+fn extended_registry_flags_open_port() {
+    use backdroid_core::BackdroidOptions;
+    let mut p = Program::new();
+    let act = ClassName::new("com.x.Server");
+    let mut oc = MethodBuilder::public(&act, "onCreate", vec![], Type::Void);
+    oc.new_object("java.net.ServerSocket", vec![Type::Int], vec![Value::int(8089)]);
+    p.add_class(
+        ClassBuilder::new(act.as_str())
+            .extends("android.app.Activity")
+            .method(oc.build())
+            .build(),
+    );
+    let mut man = Manifest::new("com.x");
+    man.register(Component::new(ComponentKind::Activity, act.as_str()));
+    let tool = Backdroid::with_options(BackdroidOptions {
+        sinks: SinkRegistry::extended(),
+        ..BackdroidOptions::default()
+    });
+    let report = tool.analyze(&p, &man);
+    let vulns = report.vulnerable_sinks();
+    assert_eq!(vulns.len(), 1, "{:#?}", report.sink_reports);
+    assert_eq!(vulns[0].sink_id, "socket.server");
+}
+
+/// Leak detection composes with generated apps: an app with a normal sink
+/// scenario plus a hand-wired leak reports both kinds of findings.
+#[test]
+fn leaks_and_sinks_coexist() {
+    let mut app = AppSpec::named("com.x.both")
+        .with_scenario(Scenario::new(Mechanism::DirectEntry, SinkKind::Cipher, true))
+        .with_filler(5, 3, 4)
+        .generate();
+    // Wire an IMEI→log leak into a new registered activity.
+    let act = ClassName::new("com.x.both.LeakActivity");
+    let mut oc = MethodBuilder::public(&act, "onCreate", vec![], Type::Void);
+    let tm = oc.local(Type::object("android.telephony.TelephonyManager"));
+    let imei = oc.invoke_assign(InvokeExpr::call_virtual(
+        MethodSig::new(
+            "android.telephony.TelephonyManager",
+            "getDeviceId",
+            vec![],
+            Type::string(),
+        ),
+        tm,
+        vec![],
+    ));
+    oc.invoke(InvokeExpr::call_static(
+        MethodSig::new(
+            "android.util.Log",
+            "d",
+            vec![Type::string(), Type::string()],
+            Type::Int,
+        ),
+        vec![Value::str("t"), Value::Local(imei)],
+    ));
+    app.program.add_class(
+        ClassBuilder::new(act.as_str())
+            .extends("android.app.Activity")
+            .method(oc.build())
+            .build(),
+    );
+    app.manifest
+        .register(Component::new(ComponentKind::Activity, act.as_str()));
+
+    let report = Backdroid::new().analyze(&app.program, &app.manifest);
+    assert_eq!(report.vulnerable_sinks().len(), 1);
+    let mut ctx = AnalysisContext::new(&app.program, &app.manifest);
+    let leaks = detect_leaks(&mut ctx, &default_sources(), &default_leak_sinks());
+    assert_eq!(leaks.len(), 1);
+    assert_eq!(leaks[0].sink_id, "leak.log");
+}
