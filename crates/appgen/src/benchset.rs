@@ -98,7 +98,7 @@ pub const ERROR_MODULUS: u64 = 1000;
 fn pick_name(base: &str, want_error: bool) -> String {
     for salt in 0..100_000u32 {
         let name = format!("{base}.v{salt}");
-        let triggers = fnv1a(&name) % ERROR_MODULUS == 0;
+        let triggers = fnv1a(&name).is_multiple_of(ERROR_MODULUS);
         if triggers == want_error {
             return name;
         }
@@ -147,7 +147,7 @@ pub fn profiles_for(count: usize) -> Vec<Profile> {
             remaining -= 1;
         }
         for (k, (p, _)) in LAYOUT_144.iter().enumerate() {
-            out.extend(std::iter::repeat(*p).take(counts[k]));
+            out.extend(std::iter::repeat_n(*p, counts[k]));
         }
     } else {
         for (p, _) in LAYOUT_144.iter().take(count) {
@@ -206,7 +206,7 @@ fn background_scenarios(i: usize, sink_calls: usize) -> Vec<Scenario> {
     (0..sink_calls)
         .map(|k| {
             let mech = mechs[(i + k) % mechs.len()];
-            let sink = if (i + k) % 3 == 0 {
+            let sink = if (i + k).is_multiple_of(3) {
                 SinkKind::SslVerifier
             } else {
                 SinkKind::Cipher
@@ -248,8 +248,7 @@ pub fn bench_app(i: usize, cfg: BenchsetConfig) -> BenchApp {
 
             // Code volume correlates with app size; timeout apps get a
             // large multiplier so the whole-app baseline exceeds budget.
-            let timeout_app =
-                matches!(profile, Profile::TimeoutVictim | Profile::TimeoutNoVuln);
+            let timeout_app = matches!(profile, Profile::TimeoutVictim | Profile::TimeoutNoVuln);
             let base_classes = (size_mb * 3.0 * cfg.code_scale).ceil() as usize + 4;
             let filler_classes = if timeout_app {
                 base_classes * 11
@@ -300,7 +299,7 @@ pub fn bench_app(i: usize, cfg: BenchsetConfig) -> BenchApp {
                     ));
                 }
                 Profile::TimeoutVictim => {
-                    let sink = if i % 2 == 0 {
+                    let sink = if i.is_multiple_of(2) {
                         SinkKind::Cipher
                     } else {
                         SinkKind::SslVerifier
@@ -310,7 +309,7 @@ pub fn bench_app(i: usize, cfg: BenchsetConfig) -> BenchApp {
                 Profile::SkippedLib => {
                     scenarios.push(Scenario::new(
                         Mechanism::SkippedLibrary,
-                        if i % 2 == 0 {
+                        if i.is_multiple_of(2) {
                             SinkKind::Cipher
                         } else {
                             SinkKind::SslVerifier
@@ -329,7 +328,7 @@ pub fn bench_app(i: usize, cfg: BenchsetConfig) -> BenchApp {
                 Profile::WholeAppError => {
                     scenarios.push(Scenario::new(
                         Mechanism::DirectEntry,
-                        if i % 2 == 0 {
+                        if i.is_multiple_of(2) {
                             SinkKind::Cipher
                         } else {
                             SinkKind::SslVerifier

@@ -23,11 +23,36 @@ pub struct YearStats {
 
 /// Table I, verbatim.
 pub const PAPER_TABLE1: [YearStats; 5] = [
-    YearStats { year: 2014, avg_mb: 13.8, median_mb: 8.4, samples: 2840 },
-    YearStats { year: 2015, avg_mb: 18.8, median_mb: 12.4, samples: 1375 },
-    YearStats { year: 2016, avg_mb: 21.6, median_mb: 16.2, samples: 3510 },
-    YearStats { year: 2017, avg_mb: 32.9, median_mb: 30.0, samples: 1706 },
-    YearStats { year: 2018, avg_mb: 42.6, median_mb: 38.0, samples: 3178 },
+    YearStats {
+        year: 2014,
+        avg_mb: 13.8,
+        median_mb: 8.4,
+        samples: 2840,
+    },
+    YearStats {
+        year: 2015,
+        avg_mb: 18.8,
+        median_mb: 12.4,
+        samples: 1375,
+    },
+    YearStats {
+        year: 2016,
+        avg_mb: 21.6,
+        median_mb: 16.2,
+        samples: 3510,
+    },
+    YearStats {
+        year: 2017,
+        avg_mb: 32.9,
+        median_mb: 30.0,
+        samples: 1706,
+    },
+    YearStats {
+        year: 2018,
+        avg_mb: 42.6,
+        median_mb: 38.0,
+        samples: 3178,
+    },
 ];
 
 /// Inverse of the standard normal CDF (Acklam's rational approximation,
@@ -38,7 +63,7 @@ pub fn probit(p: f64) -> f64 {
         -3.969_683_028_665_376e1,
         2.209_460_984_245_205e2,
         -2.759_285_104_469_687e2,
-        1.383_577_518_672_690e2,
+        1.383_577_518_672_69e2,
         -3.066_479_806_614_716e1,
         2.506_628_277_459_239,
     ];

@@ -74,21 +74,11 @@ pub fn add_filler(
                 match rng.gen_range(0..4u8) {
                     0 => {
                         let c = rng.gen_range(1..100i64);
-                        acc = mb.binop(
-                            BinOp::Add,
-                            Value::Local(acc),
-                            Value::int(c),
-                            Type::Int,
-                        );
+                        acc = mb.binop(BinOp::Add, Value::Local(acc), Value::int(c), Type::Int);
                     }
                     1 => {
                         let c = rng.gen_range(1..16i64);
-                        acc = mb.binop(
-                            BinOp::Xor,
-                            Value::Local(acc),
-                            Value::int(c),
-                            Type::Int,
-                        );
+                        acc = mb.binop(BinOp::Xor, Value::Local(acc), Value::int(c), Type::Int);
                     }
                     2 => {
                         let s = mb.assign_const(Const::str(format!("cfg-{i}-{k}")));

@@ -225,7 +225,11 @@ mod tests {
     fn generation_is_deterministic() {
         let spec = AppSpec::named("det")
             .with_seed(42)
-            .with_scenario(Scenario::new(Mechanism::DirectEntry, SinkKind::Cipher, true))
+            .with_scenario(Scenario::new(
+                Mechanism::DirectEntry,
+                SinkKind::Cipher,
+                true,
+            ))
             .with_filler(8, 4, 6);
         let a = spec.generate();
         let b = spec.generate();
@@ -244,10 +248,18 @@ mod tests {
     #[test]
     fn ground_truth_flags() {
         let app = AppSpec::named("gt")
-            .with_scenario(Scenario::new(Mechanism::DirectEntry, SinkKind::Cipher, true))
+            .with_scenario(Scenario::new(
+                Mechanism::DirectEntry,
+                SinkKind::Cipher,
+                true,
+            ))
             .with_scenario(Scenario::new(Mechanism::DeadCode, SinkKind::Cipher, true))
             .generate();
         assert_eq!(app.ground_truth.len(), 2);
-        assert_eq!(app.true_vulnerabilities(), 1, "dead-code sink is not vulnerable");
+        assert_eq!(
+            app.true_vulnerabilities(),
+            1,
+            "dead-code sink is not vulnerable"
+        );
     }
 }

@@ -168,7 +168,9 @@ pub fn sink_api(kind: SinkKind) -> MethodSig {
         SinkKind::SslVerifier => MethodSig::new(
             "org.apache.http.conn.ssl.SSLSocketFactory",
             "setHostnameVerifier",
-            vec![Type::object("org.apache.http.conn.ssl.X509HostnameVerifier")],
+            vec![Type::object(
+                "org.apache.http.conn.ssl.X509HostnameVerifier",
+            )],
             Type::Void,
         ),
     }
@@ -181,12 +183,13 @@ fn emit_sink_with_value(mb: &mut MethodBuilder, kind: SinkKind, param: Value) {
             mb.invoke(InvokeExpr::call_static(sink_api(kind), vec![param]));
         }
         SinkKind::SslVerifier => {
-            let factory = mb.new_object(
-                "org.apache.http.conn.ssl.SSLSocketFactory",
-                vec![],
-                vec![],
-            );
-            mb.invoke(InvokeExpr::call_virtual(sink_api(kind), factory, vec![param]));
+            let factory =
+                mb.new_object("org.apache.http.conn.ssl.SSLSocketFactory", vec![], vec![]);
+            mb.invoke(InvokeExpr::call_virtual(
+                sink_api(kind),
+                factory,
+                vec![param],
+            ));
         }
     }
 }
@@ -327,8 +330,7 @@ pub fn emit(
             let base = ClassName::new(format!("{p}.Worker"));
             let child = ClassName::new(format!("{p}.ChildWorker"));
             let pt = param_type(s.sink);
-            let mut do_work =
-                MethodBuilder::public(&base, "doWork", vec![pt.clone()], Type::Void);
+            let mut do_work = MethodBuilder::public(&base, "doWork", vec![pt.clone()], Type::Void);
             let arg = do_work.param(0);
             emit_sink_with_value(&mut do_work, s.sink, Value::Local(arg));
             let mut bctor = MethodBuilder::constructor(&base, vec![]);
@@ -670,11 +672,10 @@ pub fn emit(
             let pt = param_type(s.sink);
             // helper(mode) contains TWO sink calls (if-else shape): the
             // second backtrack replays the first's searches → cache hits.
-            let mut helper =
-                MethodBuilder::new(
-                    MethodSig::new(util.as_str(), "helper", vec![pt.clone()], Type::Void),
-                    Modifiers::private().with_static(),
-                );
+            let mut helper = MethodBuilder::new(
+                MethodSig::new(util.as_str(), "helper", vec![pt.clone()], Type::Void),
+                Modifiers::private().with_static(),
+            );
             let arg = helper.param(0);
             emit_sink_with_value(&mut helper, s.sink, Value::Local(arg));
             emit_sink_literal(&mut helper, s.sink, false);
@@ -739,7 +740,11 @@ pub fn emit(
                 MethodBuilder::public_static(&helper, "encrypt", vec![pt.clone()], Type::Void);
             let arg = enc.param(0);
             emit_sink_with_value(&mut enc, s.sink, Value::Local(arg));
-            program.add_class(ClassBuilder::new(helper.as_str()).method(enc.build()).build());
+            program.add_class(
+                ClassBuilder::new(helper.as_str())
+                    .method(enc.build())
+                    .build(),
+            );
             entry_activity(&p, program, manifest, move |mb| {
                 let v = sink_param_local(mb, s.sink, s.insecure);
                 mb.invoke(InvokeExpr::call_static(
@@ -762,7 +767,9 @@ pub fn emit(
                 MethodSig::new(
                     factory.as_str(),
                     "setHostnameVerifier",
-                    vec![Type::object("org.apache.http.conn.ssl.X509HostnameVerifier")],
+                    vec![Type::object(
+                        "org.apache.http.conn.ssl.X509HostnameVerifier",
+                    )],
                     Type::Void,
                 ),
                 this,
@@ -890,7 +897,11 @@ mod tests {
         );
         let mut gt2 = Vec::new();
         emit(
-            &Scenario::new(Mechanism::IndirectSubclassedSink, SinkKind::SslVerifier, true),
+            &Scenario::new(
+                Mechanism::IndirectSubclassedSink,
+                SinkKind::SslVerifier,
+                true,
+            ),
             1,
             "com.t",
             &mut program,

@@ -18,17 +18,13 @@ fn bench_callgraph(c: &mut Criterion) {
             ("spark", CgAlgorithm::Spark),
             ("geompta", CgAlgorithm::GeomPta),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(name, classes),
-                &app,
-                |b, app| {
-                    let opts = CgOptions {
-                        algorithm: algo,
-                        ..CgOptions::default()
-                    };
-                    b.iter(|| build(&app.program, &app.manifest, &opts).expect("no budget"));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, classes), &app, |b, app| {
+                let opts = CgOptions {
+                    algorithm: algo,
+                    ..CgOptions::default()
+                };
+                b.iter(|| build(&app.program, &app.manifest, &opts).expect("no budget"));
+            });
         }
     }
     group.finish();

@@ -12,8 +12,16 @@ fn bench_endtoend(c: &mut Criterion) {
     group.sample_size(10);
     for classes in [30usize, 120, 360] {
         let app = AppSpec::named(format!("com.bench.e2e{classes}"))
-            .with_scenario(Scenario::new(Mechanism::PrivateChain, SinkKind::Cipher, true))
-            .with_scenario(Scenario::new(Mechanism::StaticChain, SinkKind::SslVerifier, true))
+            .with_scenario(Scenario::new(
+                Mechanism::PrivateChain,
+                SinkKind::Cipher,
+                true,
+            ))
+            .with_scenario(Scenario::new(
+                Mechanism::StaticChain,
+                SinkKind::SslVerifier,
+                true,
+            ))
             .with_filler(classes, 6, 8)
             .generate();
         group.bench_with_input(BenchmarkId::new("backdroid", classes), &app, |b, app| {

@@ -19,7 +19,14 @@ fn ssg_for(mech: Mechanism) -> (backdroid_appgen::AndroidApp, Vec<Ssg>) {
         .iter()
         .map(|site| {
             let spec = &registry.sinks()[site.spec_idx];
-            slice_sink(&mut ctx, SlicerConfig::default(), &site.method, site.stmt_idx, spec).ssg
+            slice_sink(
+                &mut ctx,
+                SlicerConfig::default(),
+                &site.method,
+                site.stmt_idx,
+                spec,
+            )
+            .ssg
         })
         .collect();
     drop(ctx);

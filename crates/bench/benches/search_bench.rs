@@ -8,7 +8,11 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn app_dump(classes: usize) -> String {
     AppSpec::named(format!("com.bench.search{classes}"))
-        .with_scenario(Scenario::new(Mechanism::PrivateChain, SinkKind::Cipher, true))
+        .with_scenario(Scenario::new(
+            Mechanism::PrivateChain,
+            SinkKind::Cipher,
+            true,
+        ))
         .with_filler(classes, 5, 8)
         .generate()
         .dump()

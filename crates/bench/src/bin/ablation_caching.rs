@@ -25,12 +25,20 @@ fn main() {
     for (name, scenarios, filler) in [
         (
             "single sink",
-            vec![Scenario::new(Mechanism::PrivateChain, SinkKind::Cipher, true)],
+            vec![Scenario::new(
+                Mechanism::PrivateChain,
+                SinkKind::Cipher,
+                true,
+            )],
             30usize,
         ),
         (
             "shared utility (cache-hit)",
-            vec![Scenario::new(Mechanism::SharedUtility, SinkKind::Cipher, true)],
+            vec![Scenario::new(
+                Mechanism::SharedUtility,
+                SinkKind::Cipher,
+                true,
+            )],
             30,
         ),
         (

@@ -36,7 +36,10 @@ fn main() {
     let min = |v: &[f64]| v.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = |v: &[f64]| v.iter().cloned().fold(0.0, f64::max);
 
-    println!("§IV-F implementation-enhancement statistics over {} apps\n", total);
+    println!(
+        "§IV-F implementation-enhancement statistics over {} apps\n",
+        total
+    );
     println!("Search-command caching:");
     println!(
         "  cache rate: avg {:.2}%  min {:.2}%  max {:.2}%   [paper: avg 23.39, min 2.97, max 88.95]",

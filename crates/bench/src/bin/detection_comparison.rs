@@ -10,7 +10,9 @@
 //!   reachable.
 
 use backdroid_appgen::benchset::Profile;
-use backdroid_bench::harness::{benchset_apps, budget_for, run_amandroid_with_budget, run_backdroid_on, scale_from_args};
+use backdroid_bench::harness::{
+    benchset_apps, budget_for, run_amandroid_with_budget, run_backdroid_on, scale_from_args,
+};
 use backdroid_core::{Backdroid, BackdroidOptions};
 
 fn main() {
@@ -55,7 +57,7 @@ fn main() {
                     ..BackdroidOptions::default()
                 })
                 .analyze(&ba.app.program, &ba.app.manifest);
-                if fixed.vulnerable_sinks().iter().count() >= 1 {
+                if !fixed.vulnerable_sinks().is_empty() {
                     backdroid_fn_fixed += 1;
                 }
             }
@@ -106,10 +108,22 @@ fn main() {
     println!("  BackDroid false positives on those apps: {backdroid_fp}   [paper: 0]");
 
     println!("\nVulnerabilities detected by BackDroid but NOT Amandroid:");
-    println!("  due to baseline timeouts:        {}   [paper: 28]", extra[0]);
-    println!("  due to skipped libraries:        {}   [paper: 8]", extra[1]);
-    println!("  due to async/callback handling:  {}   [paper: 8]", extra[2]);
-    println!("  due to whole-app errors:         {}   [paper: 10]", extra[3]);
+    println!(
+        "  due to baseline timeouts:        {}   [paper: 28]",
+        extra[0]
+    );
+    println!(
+        "  due to skipped libraries:        {}   [paper: 8]",
+        extra[1]
+    );
+    println!(
+        "  due to async/callback handling:  {}   [paper: 8]",
+        extra[2]
+    );
+    println!(
+        "  due to whole-app errors:         {}   [paper: 10]",
+        extra[3]
+    );
     println!(
         "  total additional detections:     {}   [paper: 54]",
         extra.iter().sum::<usize>()

@@ -5,7 +5,9 @@
 //! Paper reference distribution: 31 / 44 / 20 / 10 / 5 / 34 (24% timeout),
 //! median 9.76 min under a 5-hour budget.
 
-use backdroid_bench::harness::{benchset_apps, bucket_label, median, print_histogram, scale_from_args};
+use backdroid_bench::harness::{
+    benchset_apps, bucket_label, median, print_histogram, scale_from_args,
+};
 use backdroid_wholeapp::flowdroid::{generate_callgraph, CgOutcome};
 use backdroid_wholeapp::{paper_minutes, WORK_UNITS_PER_MINUTE};
 use std::collections::BTreeMap;
@@ -19,7 +21,9 @@ fn main() {
     let budget = ((300.0 * WORK_UNITS_PER_MINUTE) * scale.config().code_scale) as u64;
 
     let mut buckets: BTreeMap<String, usize> = BTreeMap::new();
-    let order = ["1m-5m", "5m-10m", "10m-20m", "20m-30m", "30m-100m", "Timeout"];
+    let order = [
+        "1m-5m", "5m-10m", "10m-20m", "20m-30m", "30m-100m", "Timeout",
+    ];
     for o in order {
         buckets.insert(o.to_string(), 0);
     }
@@ -34,7 +38,11 @@ fn main() {
                 let m = paper_minutes(stats.work_units).max(1.01);
                 minutes_done.push(m);
                 let label = bucket_label(&[5.0, 10.0, 20.0, 30.0, 100.0], m.max(1.0));
-                let label = if label == "0m-5m" { "1m-5m".into() } else { label };
+                let label = if label == "0m-5m" {
+                    "1m-5m".into()
+                } else {
+                    label
+                };
                 *buckets.entry(label).or_insert(0) += 1;
             }
             CgOutcome::TimedOut { .. } => {

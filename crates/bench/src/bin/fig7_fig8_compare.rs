@@ -20,7 +20,9 @@ fn main() {
 
     // ---- Fig 7: BackDroid ----
     let bd_edges = [1.0, 5.0, 10.0, 20.0, 30.0, 100.0];
-    let bd_order = ["0m-1m", "1m-5m", "5m-10m", "10m-20m", "20m-30m", "30m-100m", ">100m"];
+    let bd_order = [
+        "0m-1m", "1m-5m", "5m-10m", "10m-20m", "20m-30m", "30m-100m", ">100m",
+    ];
     let mut bd_buckets: BTreeMap<String, usize> = BTreeMap::new();
     let mut bd_minutes = Vec::new();
     let mut bd_wall = Vec::new();
@@ -41,7 +43,14 @@ fn main() {
 
     // ---- Fig 8: Amandroid ----
     let am_edges = [5.0, 10.0, 30.0, 100.0, 300.0];
-    let am_order = ["0m-5m", "5m-10m", "10m-30m", "30m-100m", "100m-300m", "Timeout"];
+    let am_order = [
+        "0m-5m",
+        "5m-10m",
+        "10m-30m",
+        "30m-100m",
+        "100m-300m",
+        "Timeout",
+    ];
     let mut am_buckets: BTreeMap<String, usize> = BTreeMap::new();
     let mut am_minutes = Vec::new();
     let mut am_wall = Vec::new();
@@ -90,10 +99,7 @@ fn main() {
         median(&am_wall)
     );
     if bd_med > 0.0 {
-        println!(
-            "  speedup: {:.1}x   [paper: 37x]",
-            am_med / bd_med
-        );
+        println!("  speedup: {:.1}x   [paper: 37x]", am_med / bd_med);
     }
     let under_1m = bd_minutes.iter().filter(|&&m| m < 1.0).count();
     let under_10m = bd_minutes.iter().filter(|&&m| m < 10.0).count();

@@ -5,14 +5,19 @@
 //! finish within 40 minutes; the single outlier (Huawei Health, 121 sink
 //! calls) takes 81 min — still far below the 300-min baseline timeout.
 
-use backdroid_bench::harness::{benchset_apps, is_timeout_profile, run_backdroid_on, scale_from_args};
+use backdroid_bench::harness::{
+    benchset_apps, is_timeout_profile, run_backdroid_on, scale_from_args,
+};
 
 fn main() {
     let scale = scale_from_args();
     let apps = benchset_apps(scale);
 
     println!("Fig 9: #sink API calls vs BackDroid analysis time");
-    println!("{:>6} {:>14} {:>12} {:>14}  app", "sinks", "scaled-min", "wall-ms", "sec/sink");
+    println!(
+        "{:>6} {:>14} {:>12} {:>14}  app",
+        "sinks", "scaled-min", "wall-ms", "sec/sink"
+    );
     let mut points = Vec::new();
     let mut comparable = Vec::new(); // excludes the outsized timeout apps
     for ba in apps {
@@ -34,9 +39,7 @@ fn main() {
 
     let n = points.len() as f64;
     let mean_sinks = points.iter().map(|p| p.0 as f64).sum::<f64>() / n;
-    println!(
-        "\n  mean sink calls per app: {mean_sinks:.2}  [paper: 20.93]"
-    );
+    println!("\n  mean sink calls per app: {mean_sinks:.2}  [paper: 20.93]");
     // Linear-trend check: Pearson correlation between sinks and time.
     let mean_t = points.iter().map(|p| p.1).sum::<f64>() / n;
     let mut cov = 0.0;
@@ -71,7 +74,11 @@ fn main() {
             vs2 += ds * ds;
             vt2 += dt * dt;
         }
-        let r2 = if vs2 > 0.0 && vt2 > 0.0 { cov2 / (vs2.sqrt() * vt2.sqrt()) } else { 0.0 };
+        let r2 = if vs2 > 0.0 && vt2 > 0.0 {
+            cov2 / (vs2.sqrt() * vt2.sqrt())
+        } else {
+            0.0
+        };
         println!(
             "  correlation(sinks, time), comparable-size apps = {r2:.2}  [paper: strong linear trend]"
         );

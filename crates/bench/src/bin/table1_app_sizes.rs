@@ -11,7 +11,10 @@ use backdroid_appgen::AppSpec;
 fn main() {
     let small = std::env::args().any(|a| a == "--small");
     println!("Table I: average and median app sizes, 2014-2018");
-    println!("{:<6} {:>12} {:>12} {:>12} {:>12} {:>9}", "Year", "Avg (paper)", "Avg (ours)", "Med (paper)", "Med (ours)", "#Samples");
+    println!(
+        "{:<6} {:>12} {:>12} {:>12} {:>12} {:>9}",
+        "Year", "Avg (paper)", "Avg (ours)", "Med (paper)", "Med (ours)", "#Samples"
+    );
     for stats in PAPER_TABLE1 {
         let n = if small { 201 } else { stats.samples };
         let sizes = year_sizes_bytes(stats, n);

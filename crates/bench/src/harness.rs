@@ -296,7 +296,11 @@ mod tests {
     fn runs_one_small_app_both_tools() {
         use backdroid_appgen::{AppSpec, Mechanism, Scenario, SinkKind};
         let app = AppSpec::named("com.bench.unit")
-            .with_scenario(Scenario::new(Mechanism::DirectEntry, SinkKind::Cipher, true))
+            .with_scenario(Scenario::new(
+                Mechanism::DirectEntry,
+                SinkKind::Cipher,
+                true,
+            ))
             .with_filler(6, 3, 4)
             .generate();
         let b = run_backdroid_on(&app);

@@ -23,6 +23,5 @@ pub mod harness;
 
 pub use harness::{
     backdroid_minutes, bucket_label, median, run_amandroid_on, run_backdroid_on, run_benchset,
-    scale_from_args, AmandroidRun, BackdroidRun, BenchRun, Scale,
-    BACKDROID_LINES_PER_MINUTE,
+    scale_from_args, AmandroidRun, BackdroidRun, BenchRun, Scale, BACKDROID_LINES_PER_MINUTE,
 };

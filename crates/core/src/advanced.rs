@@ -186,8 +186,8 @@ fn handle_invoke(
     // (or supertype) of the target's class — e.g. the tainted Runnable
     // reaching `Executor.execute(java.lang.Runnable)`. No pre-defined flow
     // table is consulted; the interface class type is the indicator.
-    let callee_is_platform = ie.callee.class().is_platform()
-        && !ctx.program.defines(ie.callee.class());
+    let callee_is_platform =
+        ie.callee.class().is_platform() && !ctx.program.defines(ie.callee.class());
 
     // Ending condition C (asynchronous receiver flows, §IV-B): a platform
     // method invoked *on* the tainted object through a platform supertype
@@ -210,8 +210,7 @@ fn handle_invoke(
         let target_ifaces = ctx.program.interfaces_of(target.class());
         for &k in &tainted_args {
             if let Some(param_class) = ie.callee.params().get(k).and_then(|t| t.class_name()) {
-                if param_class.as_str() != "java.lang.Object"
-                    && target_ifaces.contains(param_class)
+                if param_class.as_str() != "java.lang.Object" && target_ifaces.contains(param_class)
                 {
                     endings.push(chain_with(chain, method, stmt_idx));
                     return;
@@ -313,7 +312,10 @@ fn is_supertype_of(ctx: &AnalysisContext<'_>, maybe_super: &ClassName, class: &C
 
 /// Resolves an invoke to an app-defined concrete method (virtual dispatch
 /// walks up the defined hierarchy).
-fn resolve_app_callee(ctx: &AnalysisContext<'_>, ie: &backdroid_ir::InvokeExpr) -> Option<MethodSig> {
+fn resolve_app_callee(
+    ctx: &AnalysisContext<'_>,
+    ie: &backdroid_ir::InvokeExpr,
+) -> Option<MethodSig> {
     if ctx.program.method(&ie.callee).is_some() {
         return Some(ie.callee.clone());
     }

@@ -95,8 +95,7 @@ pub fn find_callers(ctx: &mut AnalysisContext<'_>, callee: &MethodSig) -> Reache
         .method(callee)
         .map(|m| m.modifiers())
         .unwrap_or_else(Modifiers::public);
-    let is_signature_method =
-        modifiers.is_static() || modifiers.is_private() || callee.is_init();
+    let is_signature_method = modifiers.is_static() || modifiers.is_private() || callee.is_init();
 
     // (3)/(4) basic signature search, with child-class extension.
     let mut edges = direct_search(ctx, callee, modifiers);
@@ -276,7 +275,11 @@ mod tests {
         let base = ClassName::new("com.x.Server");
         let mut start = MethodBuilder::public(&base, "start", vec![], Type::Void);
         start.ret_void();
-        p.add_class(ClassBuilder::new(base.as_str()).method(start.build()).build());
+        p.add_class(
+            ClassBuilder::new(base.as_str())
+                .method(start.build())
+                .build(),
+        );
         // Child that does NOT override start().
         let child = ClassName::new("com.x.ChildServer");
         let mut other = MethodBuilder::public(&child, "other", vec![], Type::Void);
@@ -314,7 +317,11 @@ mod tests {
         let base = ClassName::new("com.x.Server");
         let mut start = MethodBuilder::public(&base, "start", vec![], Type::Void);
         start.ret_void();
-        p.add_class(ClassBuilder::new(base.as_str()).method(start.build()).build());
+        p.add_class(
+            ClassBuilder::new(base.as_str())
+                .method(start.build())
+                .build(),
+        );
         // Child that DOES override start().
         let child = ClassName::new("com.x.ChildServer");
         let mut cstart = MethodBuilder::public(&child, "start", vec![], Type::Void);

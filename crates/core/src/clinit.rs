@@ -66,9 +66,7 @@ pub fn clinit_reachable(ctx: &mut AnalysisContext<'_>, class: &ClassName) -> Cli
 #[cfg(test)]
 mod tests {
     use super::*;
-    use backdroid_ir::{
-        ClassBuilder, InvokeExpr, MethodBuilder, MethodSig, Program, Type, Value,
-    };
+    use backdroid_ir::{ClassBuilder, InvokeExpr, MethodBuilder, MethodSig, Program, Type, Value};
     use backdroid_manifest::{Component, ComponentKind, Manifest};
 
     /// The Heyzap shape of §IV-C: APIClient.<clinit> is reachable because
@@ -95,7 +93,11 @@ mod tests {
             MethodSig::new(api.as_str(), "get", vec![], Type::string()),
             vec![],
         ));
-        p.add_class(ClassBuilder::new(model.as_str()).method(fetch.build()).build());
+        p.add_class(
+            ClassBuilder::new(model.as_str())
+                .method(fetch.build())
+                .build(),
+        );
 
         let act = backdroid_ir::ClassName::new("com.heyzap.sdk.ads.HeyzapInterstitialActivity");
         let mut on_create = MethodBuilder::public(&act, "onCreate", vec![], Type::Void);

@@ -63,10 +63,6 @@ mod tests {
         let mut man = Manifest::new("com.a");
         man.register(Component::new(ComponentKind::Activity, "com.a.Main"));
         let ctx = AnalysisContext::new(&p, &man);
-        assert!(ctx
-            .engine
-            .text()
-            .descriptors()
-            .contains("Lcom/a/Main;"));
+        assert!(ctx.engine.text().descriptors().contains("Lcom/a/Main;"));
     }
 }

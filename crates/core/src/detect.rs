@@ -28,7 +28,7 @@ impl Verdict {
 const ECB_DEFAULT_CIPHERS: &[&str] = &["AES", "DES", "DESEDE", "BLOWFISH", "RC2"];
 
 /// Judges a `Cipher.getInstance` transformation string: explicit `/ECB/`
-/// mode, or a bare block-cipher name (which defaults to ECB) [28], [30].
+/// mode, or a bare block-cipher name (which defaults to ECB) \[28\], \[30\].
 pub fn judge_cipher(values: &[DataflowValue]) -> Verdict {
     let Some(v) = values.first() else {
         return Verdict::Undetermined;
@@ -64,7 +64,7 @@ pub fn judge_cipher(values: &[DataflowValue]) -> Verdict {
 
 /// Judges a `setHostnameVerifier` argument: the permissive
 /// `ALLOW_ALL_HOSTNAME_VERIFIER` constant or an `AllowAllHostnameVerifier`
-/// instance is vulnerable [31], [33], [60].
+/// instance is vulnerable \[31\], \[33\], \[60\].
 pub fn judge_verifier(values: &[DataflowValue]) -> Verdict {
     let Some(v) = values.first() else {
         return Verdict::Undetermined;
@@ -89,7 +89,7 @@ pub fn judge_verifier(values: &[DataflowValue]) -> Verdict {
 }
 
 /// Judges a `new ServerSocket(port)` call: a constant port means the app
-/// opens a TCP listener — the open-port exposure of [70] (§VI-D). Ports
+/// opens a TCP listener — the open-port exposure of \[70\] (§VI-D). Ports
 /// below 1024 would not even bind on Android; flag the rest.
 pub fn judge_server_socket(values: &[DataflowValue]) -> Verdict {
     match values.first() {
@@ -102,7 +102,7 @@ pub fn judge_server_socket(values: &[DataflowValue]) -> Verdict {
 }
 
 /// Judges a `new LocalServerSocket(name)` call: a constant address means
-/// an exposed Unix domain socket (the misuse of [59], §VI-D).
+/// an exposed Unix domain socket (the misuse of \[59\], §VI-D).
 pub fn judge_local_socket(values: &[DataflowValue]) -> Verdict {
     match values.first() {
         Some(DataflowValue::Str(name)) => {
@@ -113,14 +113,12 @@ pub fn judge_local_socket(values: &[DataflowValue]) -> Verdict {
 }
 
 /// Judges `sendTextMessage(dest, .., body, ..)`: a hard-coded premium
-/// short code (3–6 digits) is the classic SMS-malware pattern [82].
+/// short code (3–6 digits) is the classic SMS-malware pattern \[82\].
 pub fn judge_sms(values: &[DataflowValue]) -> Verdict {
     match values.first() {
         Some(DataflowValue::Str(dest)) => {
             let digits = dest.trim_start_matches('+');
-            if !digits.is_empty()
-                && digits.len() <= 6
-                && digits.chars().all(|c| c.is_ascii_digit())
+            if !digits.is_empty() && digits.len() <= 6 && digits.chars().all(|c| c.is_ascii_digit())
             {
                 Verdict::Vulnerable(format!("SMS to hard-coded premium short code {dest}"))
             } else {
@@ -229,7 +227,10 @@ mod tests {
     #[test]
     fn server_socket_ports() {
         assert!(judge_server_socket(&[DataflowValue::Int(8089)]).is_vulnerable());
-        assert_eq!(judge_server_socket(&[DataflowValue::Int(80)]), Verdict::Safe);
+        assert_eq!(
+            judge_server_socket(&[DataflowValue::Int(80)]),
+            Verdict::Safe
+        );
         assert_eq!(
             judge_server_socket(&[DataflowValue::Unknown]),
             Verdict::Undetermined

@@ -153,8 +153,11 @@ impl Backdroid {
     /// harness to reuse a dump).
     pub fn analyze_in(&self, ctx: &mut AnalysisContext<'_>) -> AppReport {
         let start = Instant::now();
-        let sites: Vec<SinkSite> =
-            locate_sinks(ctx, &self.options.sinks, self.options.hierarchy_initial_search);
+        let sites: Vec<SinkSite> = locate_sinks(
+            ctx,
+            &self.options.sinks,
+            self.options.hierarchy_initial_search,
+        );
 
         let mut sink_cache = SinkCacheStats {
             located: sites.len() as u64,

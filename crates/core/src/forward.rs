@@ -157,10 +157,18 @@ impl<'p> ForwardAnalysis<'p> {
         }
         // Extract sink parameter facts.
         let Some(sink) = ssg.sink_unit() else {
-            return spec.tracked_params.iter().map(|_| DataflowValue::Unknown).collect();
+            return spec
+                .tracked_params
+                .iter()
+                .map(|_| DataflowValue::Unknown)
+                .collect();
         };
         let Some(ie) = sink.stmt.invoke_expr() else {
-            return spec.tracked_params.iter().map(|_| DataflowValue::Unknown).collect();
+            return spec
+                .tracked_params
+                .iter()
+                .map(|_| DataflowValue::Unknown)
+                .collect();
         };
         spec.tracked_params
             .iter()
@@ -179,7 +187,9 @@ impl<'p> ForwardAnalysis<'p> {
             match label {
                 SsgEdge::Call if fu.method != tu.method => {
                     // Caller call site → callee: bind parameters.
-                    let Some(ie) = fu.stmt.invoke_expr() else { continue };
+                    let Some(ie) = fu.stmt.invoke_expr() else {
+                        continue;
+                    };
                     changed |= self.bind_params(&fu.method, ie, &tu.method);
                 }
                 SsgEdge::Return if fu.method != tu.method => {
@@ -210,7 +220,9 @@ impl<'p> ForwardAnalysis<'p> {
         let mut changed = false;
         let stmts = body.stmts().to_vec();
         for stmt in &stmts {
-            let Stmt::Identity { local, kind } = stmt else { continue };
+            let Stmt::Identity { local, kind } = stmt else {
+                continue;
+            };
             match kind {
                 IdentityKind::This(_) => {
                     if let Some(b) = ie.base {
@@ -257,7 +269,9 @@ impl<'p> ForwardAnalysis<'p> {
                             self.eval_value(&method, &Value::Local(*base))
                         {
                             let key = (site, field.name().to_string());
-                            if self.members.get(&key) != Some(&fact) && fact != DataflowValue::Unknown {
+                            if self.members.get(&key) != Some(&fact)
+                                && fact != DataflowValue::Unknown
+                            {
                                 self.members.insert(key, fact.clone());
                                 changed = true;
                             }
@@ -395,9 +409,7 @@ impl<'p> ForwardAnalysis<'p> {
                     if let DataflowValue::Str(key_s) = self.eval_value(method, k) {
                         let fact = self.eval_value(method, v);
                         let key = (site, format!("extra:{key_s}"));
-                        if self.members.get(&key) != Some(&fact)
-                            && fact != DataflowValue::Unknown
-                        {
+                        if self.members.get(&key) != Some(&fact) && fact != DataflowValue::Unknown {
                             self.members.insert(key, fact);
                             changed = true;
                         }
@@ -618,9 +630,8 @@ impl<'p> ForwardAnalysis<'p> {
                     return ret.clone();
                 }
                 if self.program.defines(ie.callee.class()) {
-                    if let Some(resolved) = self
-                        .program
-                        .resolve_dispatch(ie.callee.class(), &ie.callee)
+                    if let Some(resolved) =
+                        self.program.resolve_dispatch(ie.callee.class(), &ie.callee)
                     {
                         if let Some(ret) = self.rets.get(&resolved) {
                             return ret.clone();
@@ -679,7 +690,10 @@ mod tests {
             fold_binop(BinOp::Add, &DataflowValue::Unknown, &Int(1)),
             DataflowValue::Unknown
         );
-        assert_eq!(fold_binop(BinOp::Xor, &Int(0b1010), &Int(0b0110)), Int(0b1100));
+        assert_eq!(
+            fold_binop(BinOp::Xor, &Int(0b1010), &Int(0b0110)),
+            Int(0b1100)
+        );
     }
 
     #[test]

@@ -175,12 +175,14 @@ mod tests {
         let edges = icc_callers(&mut ctx, &component);
         let callers: Vec<String> = edges.iter().map(|e| e.caller.to_string()).collect();
         assert_eq!(edges.len(), 2, "{callers:?}");
-        assert!(callers
-            .iter()
-            .any(|c| c.contains("launchServer")), "explicit: {callers:?}");
-        assert!(callers
-            .iter()
-            .any(|c| c.contains("launchByAction")), "implicit: {callers:?}");
+        assert!(
+            callers.iter().any(|c| c.contains("launchServer")),
+            "explicit: {callers:?}"
+        );
+        assert!(
+            callers.iter().any(|c| c.contains("launchByAction")),
+            "implicit: {callers:?}"
+        );
         assert!(
             !callers.iter().any(|c| c.contains("launchOther")),
             "ICC call without matching parameter must not merge: {callers:?}"

@@ -127,12 +127,18 @@ pub fn detect_leaks(
         // Step 1: locate source call sites by text search.
         let hits = ctx.engine.run(&SearchCmd::InvokeOf(source.api.clone()));
         for hit in hits {
-            let Some(body) = ctx.program.method(&hit.method).and_then(|m| m.body()).cloned()
+            let Some(body) = ctx
+                .program
+                .method(&hit.method)
+                .and_then(|m| m.body())
+                .cloned()
             else {
                 continue;
             };
             for (idx, stmt) in body.stmts().iter().enumerate() {
-                let Some(ie) = stmt.invoke_expr() else { continue };
+                let Some(ie) = stmt.invoke_expr() else {
+                    continue;
+                };
                 if ie.callee != source.api {
                     continue;
                 }
@@ -203,10 +209,7 @@ fn forward_taint(
     for (idx, stmt) in body.stmts().iter().enumerate().skip(start) {
         match stmt {
             Stmt::Assign { place, rvalue } => {
-                let flows = rvalue
-                    .operand_locals()
-                    .iter()
-                    .any(|l| tainted.contains(l));
+                let flows = rvalue.operand_locals().iter().any(|l| tainted.contains(l));
                 if flows {
                     if let Place::Local(d) = place {
                         tainted.insert(*d);
@@ -214,8 +217,7 @@ fn forward_taint(
                 }
                 if let Rvalue::Invoke(ie) = rvalue {
                     check_invoke(
-                        ctx, source, method, idx, ie, &tainted, sinks, guard, visited, leaks,
-                        depth,
+                        ctx, source, method, idx, ie, &tainted, sinks, guard, visited, leaks, depth,
                     );
                 }
             }
@@ -261,7 +263,11 @@ fn check_invoke(
         if ie.callee.name() == sink.name && ie.callee.class().as_str() == sink.class {
             leaks.push(Leak {
                 source_id: source.id,
-                source_method: guard.path().first().cloned().unwrap_or_else(|| method.clone()),
+                source_method: guard
+                    .path()
+                    .first()
+                    .cloned()
+                    .unwrap_or_else(|| method.clone()),
                 sink_id: sink.id,
                 sink_method: method.clone(),
                 sink_stmt: stmt_idx,
@@ -358,12 +364,8 @@ mod tests {
     fn leaky_program(registered: bool) -> (Program, Manifest) {
         let mut p = Program::new();
         let act = ClassName::new("com.l.Main");
-        let mut helper = MethodBuilder::public_static(
-            &act,
-            "exfiltrate",
-            vec![Type::string()],
-            Type::Void,
-        );
+        let mut helper =
+            MethodBuilder::public_static(&act, "exfiltrate", vec![Type::string()], Type::Void);
         let data = helper.param(0);
         let sms = helper.local(Type::object("android.telephony.SmsManager"));
         helper.invoke(InvokeExpr::call_virtual(

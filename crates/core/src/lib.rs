@@ -59,8 +59,8 @@ pub mod forward;
 pub mod icc;
 pub mod leak;
 pub mod locate;
-pub mod reflection;
 pub mod loops;
+pub mod reflection;
 pub mod sinks;
 pub mod slicer;
 pub mod ssg;
@@ -70,10 +70,10 @@ pub use context::AnalysisContext;
 pub use detect::{judge, judge_cipher, judge_verifier, Verdict};
 pub use engine::{AppReport, Backdroid, BackdroidOptions, SinkCacheStats, SinkReport};
 pub use forward::{fold_binop, DataflowValue, ForwardAnalysis};
-pub use leak::{detect_leaks, default_leak_sinks, default_sources, Leak, LeakSinkSpec, SourceSpec};
+pub use leak::{default_leak_sinks, default_sources, detect_leaks, Leak, LeakSinkSpec, SourceSpec};
 pub use locate::{locate_sinks, SinkSite};
-pub use reflection::{reflective_callers, resolve_reflective_calls, ReflectiveCall};
 pub use loops::{LoopKind, LoopStats, PathGuard};
+pub use reflection::{reflective_callers, resolve_reflective_calls, ReflectiveCall};
 pub use sinks::{SinkRegistry, SinkSpec};
 pub use slicer::{slice_sink, SliceResult, SlicerConfig};
 pub use ssg::{AppSsg, Ssg, SsgEdge, SsgUnit, TaintSet};

@@ -65,11 +65,13 @@ pub fn locate_sinks(
                 continue;
             };
             for (stmt_idx, stmt) in body.stmts().iter().enumerate() {
-                let Some(ie) = stmt.invoke_expr() else { continue };
+                let Some(ie) = stmt.invoke_expr() else {
+                    continue;
+                };
                 if ie.callee.name() != spec.api.name() {
                     continue;
                 }
-                if &ie.callee == &spec.api {
+                if ie.callee == spec.api {
                     continue; // already found by the exact search
                 }
                 // The declared class must be app-defined and inherit from
@@ -113,9 +115,7 @@ pub fn locate_sinks(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use backdroid_ir::{
-        ClassBuilder, ClassName, InvokeExpr, MethodBuilder, Program, Type, Value,
-    };
+    use backdroid_ir::{ClassBuilder, ClassName, InvokeExpr, MethodBuilder, Program, Type, Value};
     use backdroid_manifest::Manifest;
 
     fn cipher_sig() -> MethodSig {
@@ -161,9 +161,8 @@ mod tests {
     /// signature. Exact search misses it; hierarchy-aware finds it.
     fn subclassed_sink_program() -> Program {
         let mut p = Program::new();
-        let factory = ClassName::new(
-            "com.youzu.android.framework.http.client.DefaultSSLSocketFactory",
-        );
+        let factory =
+            ClassName::new("com.youzu.android.framework.http.client.DefaultSSLSocketFactory");
         let mut setup = MethodBuilder::public(&factory, "setup", vec![], Type::Void);
         let this = setup.this();
         let verifier = setup.read_static_field(backdroid_ir::FieldSig::new(
@@ -175,7 +174,9 @@ mod tests {
             MethodSig::new(
                 factory.as_str(),
                 "setHostnameVerifier",
-                vec![Type::object("org.apache.http.conn.ssl.X509HostnameVerifier")],
+                vec![Type::object(
+                    "org.apache.http.conn.ssl.X509HostnameVerifier",
+                )],
                 Type::Void,
             ),
             this,
@@ -251,6 +252,10 @@ mod tests {
         let mut ctx = AnalysisContext::new(&p, &man);
         let reg = SinkRegistry::crypto_and_ssl();
         let sites = locate_sinks(&mut ctx, &reg, true);
-        assert_eq!(sites.len(), 1, "only the non-overriding subclass: {sites:?}");
+        assert_eq!(
+            sites.len(),
+            1,
+            "only the non-overriding subclass: {sites:?}"
+        );
     }
 }

@@ -54,10 +54,7 @@ impl LoopStats {
 
     /// The most common kind, if any loop was recorded.
     pub fn most_common(&self) -> Option<LoopKind> {
-        self.counts
-            .iter()
-            .max_by_key(|(_, c)| **c)
-            .map(|(k, _)| *k)
+        self.counts.iter().max_by_key(|(_, c)| **c).map(|(k, _)| *k)
     }
 
     /// Merges another stats object into this one.

@@ -32,14 +32,18 @@ pub struct ReflectiveCall {
 /// `forName`/`getMethod` string parameters by backward scanning within the
 /// containing method (constants and locally assigned strings).
 pub fn resolve_reflective_calls(ctx: &mut AnalysisContext<'_>) -> Vec<ReflectiveCall> {
-    let hits = ctx.engine.run(&SearchCmd::MethodNameCall("invoke".to_string()));
+    let hits = ctx
+        .engine
+        .run(&SearchCmd::MethodNameCall("invoke".to_string()));
     let mut out = Vec::new();
     for hit in hits {
         let Some(body) = ctx.program.method(&hit.method).and_then(|m| m.body()) else {
             continue;
         };
         for (idx, stmt) in body.stmts().iter().enumerate() {
-            let Some(ie) = stmt.invoke_expr() else { continue };
+            let Some(ie) = stmt.invoke_expr() else {
+                continue;
+            };
             if ie.callee.name() != "invoke"
                 || ie.callee.class().as_str() != "java.lang.reflect.Method"
             {
@@ -72,9 +76,7 @@ pub fn resolve_reflective_calls(ctx: &mut AnalysisContext<'_>) -> Vec<Reflective
 pub fn reflective_callers(ctx: &mut AnalysisContext<'_>, callee: &MethodSig) -> Vec<CallerEdge> {
     resolve_reflective_calls(ctx)
         .into_iter()
-        .filter(|rc| {
-            &rc.target_class == callee.class() && rc.target_method == callee.name()
-        })
+        .filter(|rc| &rc.target_class == callee.class() && rc.target_method == callee.name())
         .map(|rc| CallerEdge {
             caller: rc.caller,
             site_stmt: Some(rc.invoke_stmt),

@@ -62,7 +62,9 @@ impl SinkRegistry {
             MethodSig::new(
                 "org.apache.http.conn.ssl.SSLSocketFactory",
                 "setHostnameVerifier",
-                vec![Type::object("org.apache.http.conn.ssl.X509HostnameVerifier")],
+                vec![Type::object(
+                    "org.apache.http.conn.ssl.X509HostnameVerifier",
+                )],
                 Type::Void,
             ),
             vec![0],

@@ -134,10 +134,7 @@ impl BackwardSlicer<'_, '_> {
             return;
         }
         let digest = format!("{taints:?}");
-        if !self
-            .seen_frames
-            .insert((method.clone(), from, digest))
-        {
+        if !self.seen_frames.insert((method.clone(), from, digest)) {
             return;
         }
         let Some(body) = self
@@ -158,29 +155,27 @@ impl BackwardSlicer<'_, '_> {
         for idx in (0..from).rev() {
             let stmt = body.stmt(idx).expect("index in range").clone();
             match &stmt {
-                Stmt::Identity { local, kind } => {
-                    if taints.is_tainted(*local) {
-                        // Record which implicit inputs stay tainted past
-                        // the head.
-                        match kind {
-                            IdentityKind::This(_) => {
-                                this_tainted = true;
-                                for (b, f) in taints.instance_fields.clone() {
-                                    if b == *local {
-                                        leftover_fields.insert(f);
-                                    }
+                Stmt::Identity { local, kind } if taints.is_tainted(*local) => {
+                    // Record which implicit inputs stay tainted past
+                    // the head.
+                    match kind {
+                        IdentityKind::This(_) => {
+                            this_tainted = true;
+                            for (b, f) in taints.instance_fields.clone() {
+                                if b == *local {
+                                    leftover_fields.insert(f);
                                 }
                             }
-                            IdentityKind::Param(k, _) => {
-                                leftover_params.insert(*k);
-                            }
-                            IdentityKind::CaughtException => {}
                         }
-                        let u = self.ssg.add_unit(method.clone(), idx, stmt.clone());
-                        self.ssg.add_edge(u, last_unit, SsgEdge::Intra);
-                        last_unit = u;
-                        taints.untaint_local(*local);
+                        IdentityKind::Param(k, _) => {
+                            leftover_params.insert(*k);
+                        }
+                        IdentityKind::CaughtException => {}
                     }
+                    let u = self.ssg.add_unit(method.clone(), idx, stmt.clone());
+                    self.ssg.add_edge(u, last_unit, SsgEdge::Intra);
+                    last_unit = u;
+                    taints.untaint_local(*local);
                 }
                 Stmt::Assign { place, rvalue } => {
                     let relevant = self.assign_relevant(place, rvalue, &taints);
@@ -459,7 +454,9 @@ impl BackwardSlicer<'_, '_> {
         let resolved = if self.ctx.program.method(&ie.callee).is_some() {
             Some(ie.callee.clone())
         } else if self.ctx.program.defines(ie.callee.class()) {
-            self.ctx.program.resolve_dispatch(ie.callee.class(), &ie.callee)
+            self.ctx
+                .program
+                .resolve_dispatch(ie.callee.class(), &ie.callee)
         } else {
             None
         };
@@ -568,9 +565,11 @@ impl BackwardSlicer<'_, '_> {
         // Record the call site and the maintained chain into the SSG.
         let mut link = callee_top_unit;
         if let Some(site_stmt) = edge.site_stmt.and_then(|s| body.stmt(s).cloned()) {
-            let u = self
-                .ssg
-                .add_unit(edge.caller.clone(), edge.site_stmt.expect("some"), site_stmt);
+            let u = self.ssg.add_unit(
+                edge.caller.clone(),
+                edge.site_stmt.expect("some"),
+                site_stmt,
+            );
             self.ssg.add_edge(u, callee_top_unit, SsgEdge::Call);
             link = u;
         }
@@ -699,9 +698,13 @@ impl BackwardSlicer<'_, '_> {
             let Some(class) = self.ctx.program.class(field.class()) else {
                 continue;
             };
-            let Some(clinit) = class.clinit() else { continue };
+            let Some(clinit) = class.clinit() else {
+                continue;
+            };
             let sig = clinit.sig().clone();
-            let Some(body) = clinit.body().cloned() else { continue };
+            let Some(body) = clinit.body().cloned() else {
+                continue;
+            };
             // Only relevant statements enter the static track.
             let mut local_taints: BTreeSet<LocalId> = BTreeSet::new();
             let mut track_units: Vec<usize> = Vec::new();
@@ -766,11 +769,13 @@ mod tests {
     fn lifecycle_predecessor_writes_enter_the_slice() {
         let act = ClassName::new("com.s.Main");
         let field = FieldSig::new(act.clone(), "mode", Type::string());
-        let mut on_create = backdroid_ir::MethodBuilder::public(&act, "onCreate", vec![], Type::Void);
+        let mut on_create =
+            backdroid_ir::MethodBuilder::public(&act, "onCreate", vec![], Type::Void);
         let this = on_create.this();
         let v = on_create.assign_const(Const::str("AES/ECB/PKCS5Padding"));
         on_create.write_instance_field(this, field.clone(), Value::Local(v));
-        let mut on_resume = backdroid_ir::MethodBuilder::public(&act, "onResume", vec![], Type::Void);
+        let mut on_resume =
+            backdroid_ir::MethodBuilder::public(&act, "onResume", vec![], Type::Void);
         let this = on_resume.this();
         let m = on_resume.read_instance_field(this, field.clone());
         on_resume.invoke(InvokeExpr::call_static(cipher_sig(), vec![Value::Local(m)]));
@@ -789,16 +794,23 @@ mod tests {
         let sink_m = MethodSig::new(act.as_str(), "onResume", vec![], Type::Void);
         let body = p.method(&sink_m).unwrap().body().unwrap();
         let sink_idx = body.call_sites_of(&cipher_sig())[0];
-        let r = slice_sink(&mut ctx, SlicerConfig::default(), &sink_m, sink_idx, &cipher_spec());
+        let r = slice_sink(
+            &mut ctx,
+            SlicerConfig::default(),
+            &sink_m,
+            sink_idx,
+            &cipher_spec(),
+        );
         assert!(r.reachable);
         // The onCreate field write is in the SSG.
         assert!(
+            r.ssg.units().iter().any(|u| u.method.name() == "onCreate"),
+            "predecessor handler statements present: {:#?}",
             r.ssg
                 .units()
                 .iter()
-                .any(|u| u.method.name() == "onCreate"),
-            "predecessor handler statements present: {:#?}",
-            r.ssg.units().iter().map(|u| u.method.to_string()).collect::<Vec<_>>()
+                .map(|u| u.method.to_string())
+                .collect::<Vec<_>>()
         );
         // Both onCreate and onResume are recorded as entries.
         assert!(r.ssg.entries().iter().any(|e| e.name() == "onResume"));
@@ -822,7 +834,8 @@ mod tests {
                 .build(),
         );
         let act = ClassName::new("com.s.Main");
-        let mut on_create = backdroid_ir::MethodBuilder::public(&act, "onCreate", vec![], Type::Void);
+        let mut on_create =
+            backdroid_ir::MethodBuilder::public(&act, "onCreate", vec![], Type::Void);
         let m = on_create.read_static_field(field.clone());
         on_create.invoke(InvokeExpr::call_static(cipher_sig(), vec![Value::Local(m)]));
         p.add_class(
@@ -837,7 +850,13 @@ mod tests {
         let sink_m = MethodSig::new(act.as_str(), "onCreate", vec![], Type::Void);
         let body = p.method(&sink_m).unwrap().body().unwrap();
         let sink_idx = body.call_sites_of(&cipher_sig())[0];
-        let r = slice_sink(&mut ctx, SlicerConfig::default(), &sink_m, sink_idx, &cipher_spec());
+        let r = slice_sink(
+            &mut ctx,
+            SlicerConfig::default(),
+            &sink_m,
+            sink_idx,
+            &cipher_spec(),
+        );
         assert!(r.reachable);
         assert!(
             !r.ssg.static_track().is_empty(),
@@ -860,17 +879,30 @@ mod tests {
         let n = 12usize;
         for k in 0..n {
             let mut mb = backdroid_ir::MethodBuilder::new(
-                MethodSig::new(cls.as_str(), format!("f{k}"), vec![Type::string()], Type::Void),
+                MethodSig::new(
+                    cls.as_str(),
+                    format!("f{k}"),
+                    vec![Type::string()],
+                    Type::Void,
+                ),
                 Modifiers::public_static(),
             );
             let arg = mb.param(0);
             if k + 1 < n {
                 mb.invoke(InvokeExpr::call_static(
-                    MethodSig::new(cls.as_str(), format!("f{}", k + 1), vec![Type::string()], Type::Void),
+                    MethodSig::new(
+                        cls.as_str(),
+                        format!("f{}", k + 1),
+                        vec![Type::string()],
+                        Type::Void,
+                    ),
                     vec![Value::Local(arg)],
                 ));
             } else {
-                mb.invoke(InvokeExpr::call_static(cipher_sig(), vec![Value::Local(arg)]));
+                mb.invoke(InvokeExpr::call_static(
+                    cipher_sig(),
+                    vec![Value::Local(arg)],
+                ));
             }
             p = {
                 // add methods one class: build incrementally via single class
@@ -885,17 +917,30 @@ mod tests {
         let mut cb = ClassBuilder::new(cls.as_str());
         for k in 0..n {
             let mut mb = backdroid_ir::MethodBuilder::new(
-                MethodSig::new(cls.as_str(), format!("f{k}"), vec![Type::string()], Type::Void),
+                MethodSig::new(
+                    cls.as_str(),
+                    format!("f{k}"),
+                    vec![Type::string()],
+                    Type::Void,
+                ),
                 Modifiers::public_static(),
             );
             let arg = mb.param(0);
             if k + 1 < n {
                 mb.invoke(InvokeExpr::call_static(
-                    MethodSig::new(cls.as_str(), format!("f{}", k + 1), vec![Type::string()], Type::Void),
+                    MethodSig::new(
+                        cls.as_str(),
+                        format!("f{}", k + 1),
+                        vec![Type::string()],
+                        Type::Void,
+                    ),
                     vec![Value::Local(arg)],
                 ));
             } else {
-                mb.invoke(InvokeExpr::call_static(cipher_sig(), vec![Value::Local(arg)]));
+                mb.invoke(InvokeExpr::call_static(
+                    cipher_sig(),
+                    vec![Value::Local(arg)],
+                ));
             }
             cb = cb.method(mb.build());
         }
@@ -903,10 +948,18 @@ mod tests {
         p2.add_class(cb.build());
         let man = Manifest::new("com.s");
         let mut ctx = AnalysisContext::new(&p2, &man);
-        let sink_m = MethodSig::new(cls.as_str(), format!("f{}", n - 1), vec![Type::string()], Type::Void);
+        let sink_m = MethodSig::new(
+            cls.as_str(),
+            format!("f{}", n - 1),
+            vec![Type::string()],
+            Type::Void,
+        );
         let body = p2.method(&sink_m).unwrap().body().unwrap();
         let sink_idx = body.call_sites_of(&cipher_sig())[0];
-        let tight = SlicerConfig { max_depth: 3, max_units: 10_000 };
+        let tight = SlicerConfig {
+            max_depth: 3,
+            max_units: 10_000,
+        };
         let r = slice_sink(&mut ctx, tight, &sink_m, sink_idx, &cipher_spec());
         // Path cannot reach beyond depth 3; nothing is an entry anyway.
         assert!(!r.reachable);

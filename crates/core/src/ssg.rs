@@ -80,7 +80,8 @@ impl TaintSet {
     /// Untaints `base.field`; if no other tainted field remains on `base`,
     /// the base object is untainted too (the paper's two-step removal).
     pub fn untaint_instance_field(&mut self, base: LocalId, field: &FieldSig) {
-        self.instance_fields.retain(|(b, f)| !(*b == base && f == field));
+        self.instance_fields
+            .retain(|(b, f)| !(*b == base && f == field));
         if !self.instance_fields.iter().any(|(b, _)| *b == base) {
             self.locals.remove(&base);
         }
@@ -161,7 +162,10 @@ impl Ssg {
 
     /// Adds an edge.
     pub fn add_edge(&mut self, from: usize, to: usize, label: SsgEdge) {
-        assert!(from < self.units.len() && to < self.units.len(), "edge endpoint out of range");
+        assert!(
+            from < self.units.len() && to < self.units.len(),
+            "edge endpoint out of range"
+        );
         if !self.edges.contains(&(from, to, label)) {
             self.edges.push((from, to, label));
         }
@@ -269,11 +273,11 @@ impl Ssg {
     /// with the sink unit highlighted and entry-method units shaded.
     pub fn to_dot(&self) -> String {
         use std::fmt::Write as _;
-        let mut out = String::from("digraph ssg {\n  rankdir=BT;\n  node [shape=box, fontsize=9];\n");
+        let mut out =
+            String::from("digraph ssg {\n  rankdir=BT;\n  node [shape=box, fontsize=9];\n");
         let entry_methods: Vec<&MethodSig> = self.entries.iter().collect();
         for u in &self.units {
-            let label = format!("{}\\n{}", u.method, u.stmt)
-                .replace('"', "'");
+            let label = format!("{}\\n{}", u.method, u.stmt).replace('"', "'");
             let mut attrs = format!("label=\"{label}\"");
             if Some(u.id) == self.sink_unit {
                 attrs.push_str(", style=filled, fillcolor=palegreen");
@@ -343,7 +347,10 @@ mod tests {
         t.untaint_instance_field(base, &field("port"));
         assert!(t.is_tainted(base), "base stays while another field tainted");
         t.untaint_instance_field(base, &field("host"));
-        assert!(!t.is_tainted(base), "base removed with last field (paper rule)");
+        assert!(
+            !t.is_tainted(base),
+            "base removed with last field (paper rule)"
+        );
         assert!(t.is_empty());
     }
 

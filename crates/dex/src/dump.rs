@@ -193,13 +193,23 @@ impl<'a> Renderer<'a> {
                 self.dex.type_desc(*idx),
                 idx.0
             ),
-            Insn::Iget { dst, obj, idx, object } => format!(
+            Insn::Iget {
+                dst,
+                obj,
+                idx,
+                object,
+            } => format!(
                 "iget{} {dst}, {obj}, {} // field@{:04x}",
                 if *object { "-object" } else { "" },
                 field_ref_string(self.dex.field_sig(*idx)),
                 idx.0
             ),
-            Insn::Iput { src, obj, idx, object } => format!(
+            Insn::Iput {
+                src,
+                obj,
+                idx,
+                object,
+            } => format!(
                 "iput{} {src}, {obj}, {} // field@{:04x}",
                 if *object { "-object" } else { "" },
                 field_ref_string(self.dex.field_sig(*idx)),
@@ -255,7 +265,9 @@ impl<'a> Renderer<'a> {
                 b,
                 target_units,
             } => format!("{mnemonic} {a}, {b}, {target_units:04x} // +{target_units:04x}"),
-            Insn::Goto { target_units } => format!("goto {target_units:04x} // +{target_units:04x}"),
+            Insn::Goto { target_units } => {
+                format!("goto {target_units:04x} // +{target_units:04x}")
+            }
             Insn::ReturnVoid => "return-void".into(),
             Insn::Return { reg, object } => {
                 if *object {
@@ -288,7 +300,11 @@ impl<'a> Renderer<'a> {
         };
         let _ = writeln!(self.out, "      code          -");
         let _ = writeln!(self.out, "      registers     : {}", code.registers);
-        let _ = writeln!(self.out, "      ins           : {}", m.sig.params().len() + 1);
+        let _ = writeln!(
+            self.out,
+            "      ins           : {}",
+            m.sig.params().len() + 1
+        );
         let _ = writeln!(
             self.out,
             "      insns size    : {} 16-bit code units",
@@ -402,7 +418,11 @@ pub fn dump_image(image: &DexImage) -> String {
         let _ = writeln!(
             out,
             "Opened 'classes{}.dex', DEX version '038'",
-            if i == 0 { String::new() } else { (i + 1).to_string() }
+            if i == 0 {
+                String::new()
+            } else {
+                (i + 1).to_string()
+            }
         );
         out.push_str(&dump_dex(f));
     }
@@ -448,7 +468,10 @@ mod tests {
             Type::object("java.lang.Object"),
         );
         let s = method_ref_string(&sig);
-        assert_eq!(s, "Lcom/a/B$1;.run:(ILjava/lang/String;[B)Ljava/lang/Object;");
+        assert_eq!(
+            s,
+            "Lcom/a/B$1;.run:(ILjava/lang/String;[B)Ljava/lang/Object;"
+        );
         assert_eq!(parse_method_ref(&s), Some(sig));
     }
 
@@ -493,8 +516,9 @@ mod tests {
         let p = program_with_invoke();
         let img = crate::model::DexImage::encode(&p);
         let text = dump_image(&img);
-        assert!(text
-            .contains("new-instance v1, Lcom/connectsdk/service/netcast/NetcastHttpServer;"));
+        assert!(
+            text.contains("new-instance v1, Lcom/connectsdk/service/netcast/NetcastHttpServer;")
+        );
         assert!(text.contains(
             "invoke-direct {v1}, Lcom/connectsdk/service/netcast/NetcastHttpServer;.<init>:()V"
         ));

@@ -38,32 +38,113 @@ pub struct MethodIdx(pub u32);
 #[allow(missing_docs)]
 pub enum Insn {
     Nop,
-    Move { dst: Reg, src: Reg },
+    Move {
+        dst: Reg,
+        src: Reg,
+    },
     /// `move-result` / `move-result-object` after an invoke.
-    MoveResult { dst: Reg, object: bool },
-    ConstInt { dst: Reg, value: i64 },
-    ConstString { dst: Reg, idx: StringIdx },
-    ConstClass { dst: Reg, idx: TypeIdx },
-    ConstNull { dst: Reg },
-    NewInstance { dst: Reg, idx: TypeIdx },
-    NewArray { dst: Reg, size: Reg, idx: TypeIdx },
-    ArrayLength { dst: Reg, src: Reg },
-    CheckCast { reg: Reg, idx: TypeIdx },
-    InstanceOf { dst: Reg, src: Reg, idx: TypeIdx },
-    Iget { dst: Reg, obj: Reg, idx: FieldIdx, object: bool },
-    Iput { src: Reg, obj: Reg, idx: FieldIdx, object: bool },
-    Sget { dst: Reg, idx: FieldIdx, object: bool },
-    Sput { src: Reg, idx: FieldIdx, object: bool },
-    Aget { dst: Reg, arr: Reg, index: Reg },
-    Aput { src: Reg, arr: Reg, index: Reg },
-    Invoke { kind: InvokeKind, idx: MethodIdx, args: Vec<Reg> },
-    Binop { op: BinOp, dst: Reg, a: Reg, b: Reg },
+    MoveResult {
+        dst: Reg,
+        object: bool,
+    },
+    ConstInt {
+        dst: Reg,
+        value: i64,
+    },
+    ConstString {
+        dst: Reg,
+        idx: StringIdx,
+    },
+    ConstClass {
+        dst: Reg,
+        idx: TypeIdx,
+    },
+    ConstNull {
+        dst: Reg,
+    },
+    NewInstance {
+        dst: Reg,
+        idx: TypeIdx,
+    },
+    NewArray {
+        dst: Reg,
+        size: Reg,
+        idx: TypeIdx,
+    },
+    ArrayLength {
+        dst: Reg,
+        src: Reg,
+    },
+    CheckCast {
+        reg: Reg,
+        idx: TypeIdx,
+    },
+    InstanceOf {
+        dst: Reg,
+        src: Reg,
+        idx: TypeIdx,
+    },
+    Iget {
+        dst: Reg,
+        obj: Reg,
+        idx: FieldIdx,
+        object: bool,
+    },
+    Iput {
+        src: Reg,
+        obj: Reg,
+        idx: FieldIdx,
+        object: bool,
+    },
+    Sget {
+        dst: Reg,
+        idx: FieldIdx,
+        object: bool,
+    },
+    Sput {
+        src: Reg,
+        idx: FieldIdx,
+        object: bool,
+    },
+    Aget {
+        dst: Reg,
+        arr: Reg,
+        index: Reg,
+    },
+    Aput {
+        src: Reg,
+        arr: Reg,
+        index: Reg,
+    },
+    Invoke {
+        kind: InvokeKind,
+        idx: MethodIdx,
+        args: Vec<Reg>,
+    },
+    Binop {
+        op: BinOp,
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+    },
     /// `if-<op> vA, vB, +off` — target is a code-unit offset, patched late.
-    IfTest { mnemonic: &'static str, a: Reg, b: Reg, target_units: u32 },
-    Goto { target_units: u32 },
+    IfTest {
+        mnemonic: &'static str,
+        a: Reg,
+        b: Reg,
+        target_units: u32,
+    },
+    Goto {
+        target_units: u32,
+    },
     ReturnVoid,
-    Return { reg: Reg, object: bool },
-    Throw { reg: Reg },
+    Return {
+        reg: Reg,
+        object: bool,
+    },
+    Throw {
+        reg: Reg,
+    },
 }
 
 impl Insn {
@@ -375,10 +456,7 @@ pub fn assemble(body: &MethodBody, pools: &mut dyn PoolResolver) -> CodeItem {
                 match place {
                     Place::Local(l) => {
                         if Reg(l.0) != src {
-                            insns.push(Insn::Move {
-                                dst: Reg(l.0),
-                                src,
-                            });
+                            insns.push(Insn::Move { dst: Reg(l.0), src });
                         }
                     }
                     Place::InstanceField { base, field } => {
@@ -426,7 +504,10 @@ pub fn assemble(body: &MethodBody, pools: &mut dyn PoolResolver) -> CodeItem {
             Stmt::Return(None) => insns.push(Insn::ReturnVoid),
             Stmt::Return(Some(v)) => {
                 let r = mat!(v);
-                insns.push(Insn::Return { reg: r, object: true });
+                insns.push(Insn::Return {
+                    reg: r,
+                    object: true,
+                });
             }
             Stmt::If { op, a, b, target } => {
                 let ra = mat!(a);
@@ -474,9 +555,7 @@ pub fn assemble(body: &MethodBody, pools: &mut dyn PoolResolver) -> CodeItem {
         };
         let unit = offsets.get(insn_target).copied().unwrap_or(0);
         match &mut insns[pos] {
-            Insn::IfTest { target_units, .. } | Insn::Goto { target_units } => {
-                *target_units = unit
-            }
+            Insn::IfTest { target_units, .. } | Insn::Goto { target_units } => *target_units = unit,
             _ => unreachable!("patch target is not a branch"),
         }
     }
@@ -537,11 +616,19 @@ mod tests {
         let m = b.build();
         let mut pools = FakePools::default();
         let code = assemble(m.body().unwrap(), &mut pools);
-        let has_invoke = code
+        let has_invoke = code.insns.iter().any(|i| {
+            matches!(
+                i,
+                Insn::Invoke {
+                    kind: InvokeKind::Virtual,
+                    ..
+                }
+            )
+        });
+        let has_move_result = code
             .insns
             .iter()
-            .any(|i| matches!(i, Insn::Invoke { kind: InvokeKind::Virtual, .. }));
-        let has_move_result = code.insns.iter().any(|i| matches!(i, Insn::MoveResult { .. }));
+            .any(|i| matches!(i, Insn::MoveResult { .. }));
         assert!(has_invoke && has_move_result);
         assert_eq!(code.offsets.len(), code.insns.len());
     }

@@ -151,7 +151,11 @@ impl PoolBuilder {
             shorty.push(Self::shorty_char(p));
         }
         let i = self.protos.len() as u32;
-        self.protos.push(ProtoId { shorty, ret, params });
+        self.protos.push(ProtoId {
+            shorty,
+            ret,
+            params,
+        });
         self.proto_map.insert(key, i);
         i
     }
@@ -367,10 +371,7 @@ impl DexImage {
                     }
                 }
             }
-            let new_refs = class_refs
-                .iter()
-                .filter(|r| !refs.contains(*r))
-                .count();
+            let new_refs = class_refs.iter().filter(|r| !refs.contains(*r)).count();
             if !chunk.is_empty() && refs.len() + new_refs > limit {
                 files.push(DexFile::encode_classes(program, &chunk));
                 chunk.clear();
@@ -480,9 +481,9 @@ mod tests {
             .iter()
             .map(|m| (m.sig.name(), m.direct))
             .collect();
-        assert_eq!(by_name["<init>"], true);
-        assert_eq!(by_name["s"], true);
-        assert_eq!(by_name["v"], false);
+        assert!(by_name["<init>"]);
+        assert!(by_name["s"]);
+        assert!(!by_name["v"]);
     }
 
     #[test]

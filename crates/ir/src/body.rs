@@ -271,7 +271,9 @@ impl Class {
     /// check used when deciding whether a child class needs its own search
     /// signature (§IV-A).
     pub fn find_method_by_sub_signature(&self, sig: &MethodSig) -> Option<&Method> {
-        self.methods.iter().find(|m| m.sig().same_sub_signature(sig))
+        self.methods
+            .iter()
+            .find(|m| m.sig().same_sub_signature(sig))
     }
 
     /// All declared constructors.
@@ -342,7 +344,10 @@ mod tests {
             vec![Value::int(1)],
         )));
         assert_eq!(b.call_sites_of(&callee), vec![1]);
-        assert_eq!(b.call_sites_of(&sig("com.a.B", "missing")), Vec::<usize>::new());
+        assert_eq!(
+            b.call_sites_of(&sig("com.a.B", "missing")),
+            Vec::<usize>::new()
+        );
     }
 
     #[test]
@@ -353,7 +358,11 @@ mod tests {
             MethodBody::new(),
         );
         let privm = Method::new(sig("com.a.B", "p"), Modifiers::private(), MethodBody::new());
-        let ctor = Method::new(sig("com.a.B", "<init>"), Modifiers::public(), MethodBody::new());
+        let ctor = Method::new(
+            sig("com.a.B", "<init>"),
+            Modifiers::public(),
+            MethodBody::new(),
+        );
         let pubm = Method::new(sig("com.a.B", "v"), Modifiers::public(), MethodBody::new());
         assert!(stat.is_signature_method());
         assert!(privm.is_signature_method());

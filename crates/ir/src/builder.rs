@@ -236,7 +236,12 @@ impl MethodBuilder {
 
     /// `local = new C(); specialinvoke local.<init>(args)` — the standard
     /// allocation + constructor pair.
-    pub fn new_object(&mut self, class: impl Into<ClassName>, ctor_params: Vec<Type>, args: Vec<Value>) -> LocalId {
+    pub fn new_object(
+        &mut self,
+        class: impl Into<ClassName>,
+        ctor_params: Vec<Type>,
+        args: Vec<Value>,
+    ) -> LocalId {
         let class = class.into();
         let l = self.fresh(Type::Object(class.clone()));
         self.body.push(Stmt::Assign {
@@ -368,11 +373,7 @@ impl MethodBuilder {
     /// methods instead of panicking).
     pub fn build(mut self) -> Method {
         // Auto-terminate void methods for convenience.
-        let needs_ret = self
-            .body
-            .stmts()
-            .last()
-            .map_or(true, |s| !s.is_terminator());
+        let needs_ret = self.body.stmts().last().is_none_or(|s| !s.is_terminator());
         if needs_ret {
             assert!(
                 self.sig.ret() == &Type::Void,

@@ -49,7 +49,6 @@ pub use builder::{ClassBuilder, Label, MethodBuilder};
 pub use cfg::Cfg;
 pub use program::Program;
 pub use stmt::{
-    BinOp, CondOp, Const, IdentityKind, InvokeExpr, InvokeKind, LocalId, Place, Rvalue, Stmt,
-    Value,
+    BinOp, CondOp, Const, IdentityKind, InvokeExpr, InvokeKind, LocalId, Place, Rvalue, Stmt, Value,
 };
 pub use types::{ClassName, FieldSig, MethodSig, Modifiers, Type};

@@ -214,7 +214,11 @@ impl Program {
     /// when `declared` is invoked on a receiver of runtime class
     /// `receiver`. Walks the superclass chain upward from `receiver`
     /// looking for a sub-signature match, like the JVM's method resolution.
-    pub fn resolve_dispatch(&self, receiver: &ClassName, declared: &MethodSig) -> Option<MethodSig> {
+    pub fn resolve_dispatch(
+        &self,
+        receiver: &ClassName,
+        declared: &MethodSig,
+    ) -> Option<MethodSig> {
         let mut cur = receiver.clone();
         let mut guard = 0;
         loop {
@@ -270,8 +274,8 @@ impl Program {
             if class.name() == target {
                 continue;
             }
-            let mut references = class.superclass() == Some(target)
-                || class.interfaces().contains(target);
+            let mut references =
+                class.superclass() == Some(target) || class.interfaces().contains(target);
             if !references {
                 'outer: for m in class.methods() {
                     let Some(body) = m.body() else { continue };
@@ -324,7 +328,7 @@ impl Program {
 mod tests {
     use super::*;
     use crate::body::{Class, Method, MethodBody};
-    use crate::stmt::{InvokeExpr, LocalId, Rvalue, Stmt, Place};
+    use crate::stmt::{InvokeExpr, LocalId, Place, Rvalue, Stmt};
     use crate::types::{Modifiers, Type};
 
     fn msig(class: &str, name: &str) -> MethodSig {
@@ -353,10 +357,17 @@ mod tests {
 
         let mut sup = Class::new(ClassName::new("com.x.SuperServer"), Modifiers::public());
         sup.add_interface(ClassName::new("com.x.IServer"));
-        sup.add_method(empty_method("com.x.SuperServer", "start", Modifiers::public()));
+        sup.add_method(empty_method(
+            "com.x.SuperServer",
+            "start",
+            Modifiers::public(),
+        ));
         p.add_class(sup);
 
-        let mut mid = Class::new(ClassName::new("com.x.NetcastHttpServer"), Modifiers::public());
+        let mut mid = Class::new(
+            ClassName::new("com.x.NetcastHttpServer"),
+            Modifiers::public(),
+        );
         mid.set_superclass(ClassName::new("com.x.SuperServer"));
         mid.add_method(empty_method(
             "com.x.NetcastHttpServer",
@@ -368,7 +379,11 @@ mod tests {
         let mut child = Class::new(ClassName::new("com.x.ChildServer"), Modifiers::public());
         child.set_superclass(ClassName::new("com.x.NetcastHttpServer"));
         // ChildServer does NOT override start()
-        child.add_method(empty_method("com.x.ChildServer", "stop", Modifiers::public()));
+        child.add_method(empty_method(
+            "com.x.ChildServer",
+            "stop",
+            Modifiers::public(),
+        ));
         p.add_class(child);
 
         p

@@ -330,8 +330,21 @@ impl fmt::Display for InvokeExpr {
             .collect::<Vec<_>>()
             .join(", ");
         match self.base {
-            Some(b) => write!(f, "{} {}.{}({})", self.kind.jimple_keyword(), b, self.callee, args),
-            None => write!(f, "{} {}({})", self.kind.jimple_keyword(), self.callee, args),
+            Some(b) => write!(
+                f,
+                "{} {}.{}({})",
+                self.kind.jimple_keyword(),
+                b,
+                self.callee,
+                args
+            ),
+            None => write!(
+                f,
+                "{} {}({})",
+                self.kind.jimple_keyword(),
+                self.callee,
+                args
+            ),
         }
     }
 }
@@ -417,7 +430,10 @@ impl fmt::Display for Rvalue {
             Rvalue::Phi(ls) => write!(
                 f,
                 "Phi({})",
-                ls.iter().map(|l| l.to_string()).collect::<Vec<_>>().join(", ")
+                ls.iter()
+                    .map(|l| l.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
             ),
             Rvalue::Length(v) => write!(f, "lengthof {v}"),
         }

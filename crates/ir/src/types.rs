@@ -60,8 +60,17 @@ impl ClassName {
     /// they can never be *defined* in a [`crate::Program`], only referenced.
     pub fn is_platform(&self) -> bool {
         const PLATFORM_PREFIXES: &[&str] = &[
-            "java.", "javax.", "android.", "androidx.", "dalvik.", "org.apache.http.",
-            "org.json.", "org.w3c.", "org.xml.", "junit.", "kotlin.",
+            "java.",
+            "javax.",
+            "android.",
+            "androidx.",
+            "dalvik.",
+            "org.apache.http.",
+            "org.json.",
+            "org.w3c.",
+            "org.xml.",
+            "junit.",
+            "kotlin.",
         ];
         PLATFORM_PREFIXES.iter().any(|p| self.0.starts_with(p))
     }

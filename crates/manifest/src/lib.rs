@@ -47,17 +47,29 @@ impl ComponentKind {
     pub fn lifecycle_handlers(self) -> &'static [&'static str] {
         match self {
             ComponentKind::Activity => &[
-                "onCreate", "onStart", "onRestoreInstanceState", "onResume", "onPause",
-                "onSaveInstanceState", "onStop", "onRestart", "onDestroy",
+                "onCreate",
+                "onStart",
+                "onRestoreInstanceState",
+                "onResume",
+                "onPause",
+                "onSaveInstanceState",
+                "onStop",
+                "onRestart",
+                "onDestroy",
             ],
             ComponentKind::Service => &[
-                "onCreate", "onStartCommand", "onStart", "onBind", "onUnbind", "onRebind",
+                "onCreate",
+                "onStartCommand",
+                "onStart",
+                "onBind",
+                "onUnbind",
+                "onRebind",
                 "onDestroy",
             ],
             ComponentKind::Receiver => &["onReceive"],
-            ComponentKind::Provider => &[
-                "onCreate", "query", "insert", "update", "delete", "getType",
-            ],
+            ComponentKind::Provider => {
+                &["onCreate", "query", "insert", "update", "delete", "getType"]
+            }
         }
     }
 
@@ -183,8 +195,7 @@ impl Manifest {
 
     /// Registers a component.
     pub fn register(&mut self, component: Component) {
-        self.components
-            .insert(component.class().clone(), component);
+        self.components.insert(component.class().clone(), component);
     }
 
     /// All registered components in deterministic order.
@@ -272,7 +283,11 @@ impl AsyncFlowTable {
             ("execute", "java.lang.Runnable", "run"),
             ("submit", "java.lang.Runnable", "run"),
             ("execute", "android.os.AsyncTask", "doInBackground"),
-            ("setOnClickListener", "android.view.View$OnClickListener", "onClick"),
+            (
+                "setOnClickListener",
+                "android.view.View$OnClickListener",
+                "onClick",
+            ),
             ("schedule", "java.util.TimerTask", "run"),
         ]);
         t
@@ -308,8 +323,12 @@ mod tests {
         assert!(preds.contains(&"onCreate"));
         assert!(preds.contains(&"onStart"));
         assert!(!preds.contains(&"onPause"));
-        assert!(ComponentKind::Activity.predecessors_of("onCreate").is_empty());
-        assert!(ComponentKind::Activity.predecessors_of("nonexistent").is_empty());
+        assert!(ComponentKind::Activity
+            .predecessors_of("onCreate")
+            .is_empty());
+        assert!(ComponentKind::Activity
+            .predecessors_of("nonexistent")
+            .is_empty());
     }
 
     #[test]
@@ -330,7 +349,12 @@ mod tests {
         );
         assert!(m.is_entry_component(&ClassName::new("com.a.Main")));
         assert!(!m.is_entry_component(&ClassName::new("com.a.Other")));
-        assert!(m.is_entry_method(&MethodSig::new("com.a.Main", "onCreate", vec![], Type::Void)));
+        assert!(m.is_entry_method(&MethodSig::new(
+            "com.a.Main",
+            "onCreate",
+            vec![],
+            Type::Void
+        )));
         assert!(!m.is_entry_method(&MethodSig::new("com.a.Main", "helper", vec![], Type::Void)));
         assert_eq!(
             m.components_for_action("android.intent.action.MAIN").len(),
@@ -364,6 +388,8 @@ mod tests {
     #[test]
     fn icc_apis_per_kind() {
         assert!(ComponentKind::Service.icc_apis().contains(&"startService"));
-        assert!(ComponentKind::Activity.icc_apis().contains(&"startActivity"));
+        assert!(ComponentKind::Activity
+            .icc_apis()
+            .contains(&"startActivity"));
     }
 }

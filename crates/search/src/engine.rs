@@ -204,7 +204,9 @@ impl SearchEngine {
             if !line.contains(desc.as_str()) {
                 continue;
             }
-            if trimmed.starts_with("Superclass") || trimmed.starts_with("#") && trimmed.contains("'") && !trimmed.contains("(in ") {
+            if trimmed.starts_with("Superclass")
+                || trimmed.starts_with("#") && trimmed.contains("'") && !trimmed.contains("(in ")
+            {
                 // Superclass / interface header referencing the target.
                 if let Some(c) = current_class.clone() {
                     push(c);
@@ -227,9 +229,7 @@ mod tests {
     use super::*;
     use crate::text::BytecodeText;
     use backdroid_dex::{dump_image, DexImage};
-    use backdroid_ir::{
-        ClassBuilder, InvokeExpr, MethodBuilder, Modifiers, Program, Type, Value,
-    };
+    use backdroid_ir::{ClassBuilder, InvokeExpr, MethodBuilder, Modifiers, Program, Type, Value};
 
     fn engine_for(p: &Program) -> SearchEngine {
         let dump = dump_image(&DexImage::encode(p));
@@ -245,7 +245,12 @@ mod tests {
         m.invoke(InvokeExpr::call_virtual(callee_sig, srv, vec![]));
         let mode = m.assign_const(backdroid_ir::Const::str("AES/ECB/PKCS5Padding"));
         m.invoke(InvokeExpr::call_static(
-            MethodSig::new("javax.crypto.Cipher", "getInstance", vec![Type::string()], Type::object("javax.crypto.Cipher")),
+            MethodSig::new(
+                "javax.crypto.Cipher",
+                "getInstance",
+                vec![Type::string()],
+                Type::object("javax.crypto.Cipher"),
+            ),
             vec![Value::Local(mode)],
         ));
         p.add_class(ClassBuilder::new(caller.as_str()).method(m.build()).build());
@@ -352,7 +357,10 @@ mod tests {
         let users = e.classes_using(&ClassName::new("com.a.Server"));
         let names: Vec<&str> = users.iter().map(ClassName::as_str).collect();
         assert!(names.contains(&"com.a.Caller"), "code reference: {names:?}");
-        assert!(names.contains(&"com.a.SubServer"), "hierarchy reference: {names:?}");
+        assert!(
+            names.contains(&"com.a.SubServer"),
+            "hierarchy reference: {names:?}"
+        );
         // Cached second call.
         let before = e.stats().hits;
         let _ = e.classes_using(&ClassName::new("com.a.Server"));

@@ -190,9 +190,14 @@ mod tests {
         let mut go = MethodBuilder::public_static(&outer, "go", vec![Type::Int], Type::Int);
         go.ret(backdroid_ir::Value::int(0));
         let mut p = Program::new();
-        p.add_class(ClassBuilder::new(inner.as_str()).method(run.build()).build());
+        p.add_class(
+            ClassBuilder::new(inner.as_str())
+                .method(run.build())
+                .build(),
+        );
         p.add_class(ClassBuilder::new(outer.as_str()).method(go.build()).build());
-        let mut start = MethodBuilder::public(&ClassName::new("com.a.Server"), "start", vec![], Type::Void);
+        let mut start =
+            MethodBuilder::public(&ClassName::new("com.a.Server"), "start", vec![], Type::Void);
         start.ret_void();
         p.add_class(
             ClassBuilder::new("com.a.Server")

@@ -180,7 +180,7 @@ pub fn analyze(
     cfg: &AmandroidConfig,
 ) -> Outcome {
     let start = Instant::now();
-    if cfg.error_injection && fnv1a(app_name) % ERROR_MODULUS == 0 {
+    if cfg.error_injection && fnv1a(app_name).is_multiple_of(ERROR_MODULUS) {
         return Outcome::Error {
             message: "Could not find procedure (key not found)".into(),
             elapsed: start.elapsed(),
@@ -282,7 +282,11 @@ mod tests {
     #[test]
     fn detects_direct_ecb() {
         let app = AppSpec::named("com.t.direct")
-            .with_scenario(Scenario::new(Mechanism::DirectEntry, SinkKind::Cipher, true))
+            .with_scenario(Scenario::new(
+                Mechanism::DirectEntry,
+                SinkKind::Cipher,
+                true,
+            ))
             .with_filler(4, 3, 4)
             .generate();
         let out = analyze(
@@ -307,7 +311,13 @@ mod tests {
             .with_filler(4, 3, 4)
             .generate();
         let reg = SinkRegistry::crypto_and_ssl();
-        let out = analyze(&app.name, &app.program, &app.manifest, &reg, &cfg_no_error());
+        let out = analyze(
+            &app.name,
+            &app.program,
+            &app.manifest,
+            &reg,
+            &cfg_no_error(),
+        );
         assert_eq!(
             out.report().unwrap().vulnerable().len(),
             0,
@@ -336,7 +346,13 @@ mod tests {
             .with_filler(4, 3, 4)
             .generate();
         let reg = SinkRegistry::crypto_and_ssl();
-        let out = analyze(&app.name, &app.program, &app.manifest, &reg, &cfg_no_error());
+        let out = analyze(
+            &app.name,
+            &app.program,
+            &app.manifest,
+            &reg,
+            &cfg_no_error(),
+        );
         assert_eq!(out.report().unwrap().vulnerable().len(), 0);
         // Without the liblist, the finding appears.
         let no_skip = AmandroidConfig {
@@ -359,7 +375,13 @@ mod tests {
             .generate();
         assert_eq!(app.true_vulnerabilities(), 0, "ground truth: not reachable");
         let reg = SinkRegistry::crypto_and_ssl();
-        let out = analyze(&app.name, &app.program, &app.manifest, &reg, &cfg_no_error());
+        let out = analyze(
+            &app.name,
+            &app.program,
+            &app.manifest,
+            &reg,
+            &cfg_no_error(),
+        );
         assert_eq!(
             out.report().unwrap().vulnerable().len(),
             1,
@@ -385,14 +407,24 @@ mod tests {
             .with_filler(4, 3, 4)
             .generate();
         let reg = SinkRegistry::crypto_and_ssl();
-        let out = analyze(&app.name, &app.program, &app.manifest, &reg, &cfg_no_error());
+        let out = analyze(
+            &app.name,
+            &app.program,
+            &app.manifest,
+            &reg,
+            &cfg_no_error(),
+        );
         assert_eq!(out.report().unwrap().vulnerable().len(), 1);
     }
 
     #[test]
     fn small_budget_times_out() {
         let app = AppSpec::named("com.t.big")
-            .with_scenario(Scenario::new(Mechanism::DirectEntry, SinkKind::Cipher, true))
+            .with_scenario(Scenario::new(
+                Mechanism::DirectEntry,
+                SinkKind::Cipher,
+                true,
+            ))
             .with_filler(60, 6, 8)
             .generate();
         let cfg = AmandroidConfig {
@@ -416,7 +448,7 @@ mod tests {
         let mut clean = None;
         for i in 0..100_000 {
             let name = format!("com.t.err{i}");
-            if fnv1a(&name) % ERROR_MODULUS == 0 {
+            if fnv1a(&name).is_multiple_of(ERROR_MODULUS) {
                 trigger.get_or_insert(name);
             } else {
                 clean.get_or_insert(name);

@@ -7,7 +7,7 @@
 //! `geomPTA`-like context-sensitive variant (the Fig 1 configuration) that
 //! re-processes methods per incoming call edge.
 
-use backdroid_ir::{ClassName, InvokeKind, MethodSig, Program, Stmt, Rvalue, Place};
+use backdroid_ir::{ClassName, InvokeKind, MethodSig, Program, Rvalue, Stmt};
 use backdroid_manifest::{AsyncFlowTable, ComponentKind, Manifest};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
@@ -90,7 +90,10 @@ impl CallGraph {
 
     /// Callers of `m`, if any.
     pub fn callers_of(&self, m: &MethodSig) -> Vec<&MethodSig> {
-        self.callers.get(m).map(|s| s.iter().collect()).unwrap_or_default()
+        self.callers
+            .get(m)
+            .map(|s| s.iter().collect())
+            .unwrap_or_default()
     }
 }
 
@@ -194,11 +197,9 @@ pub fn build(
                     }
                 }
             }
-            let _ = stmt.defined_place().map(|p| match p {
-                Place::StaticField(_) => {}
-                _ => {}
-            });
-            let Some(ie) = stmt.invoke_expr() else { continue };
+            let Some(ie) = stmt.invoke_expr() else {
+                continue;
+            };
             let mut targets: Vec<MethodSig> = Vec::new();
             match ie.kind {
                 InvokeKind::Static | InvokeKind::Special | InvokeKind::Super => {
@@ -218,9 +219,11 @@ pub fn build(
                             // RTA refinement: only instantiated receivers.
                             for t in cha {
                                 let cls = t.class();
-                                let feasible = cg.instantiated.iter().any(|ic| {
-                                    ic == cls || program.is_subtype_of(ic, cls)
-                                }) || !program.defines(cls);
+                                let feasible = cg
+                                    .instantiated
+                                    .iter()
+                                    .any(|ic| ic == cls || program.is_subtype_of(ic, cls))
+                                    || !program.defines(cls);
                                 if feasible {
                                     targets.push(t);
                                 }

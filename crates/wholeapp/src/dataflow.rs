@@ -300,20 +300,18 @@ fn eval_rvalue(
         Rvalue::Read(Place::Local(l)) => env.get(l).cloned().unwrap_or(AbstractVal::Top),
         Rvalue::Read(Place::ArrayElem { .. }) => AbstractVal::Top,
         Rvalue::New(c) => AbstractVal::Obj(c.clone()),
-        Rvalue::Binop(op, a, b) => {
-            match (op, eval_value(env, a), eval_value(env, b)) {
-                (backdroid_ir::BinOp::Add, AbstractVal::Int(x), AbstractVal::Int(y)) => {
-                    AbstractVal::Int(x.wrapping_add(y))
-                }
-                (backdroid_ir::BinOp::Add, AbstractVal::Str(x), AbstractVal::Str(y)) => {
-                    AbstractVal::Str(format!("{x}{y}"))
-                }
-                (backdroid_ir::BinOp::Xor, AbstractVal::Int(x), AbstractVal::Int(y)) => {
-                    AbstractVal::Int(x ^ y)
-                }
-                _ => AbstractVal::Top,
+        Rvalue::Binop(op, a, b) => match (op, eval_value(env, a), eval_value(env, b)) {
+            (backdroid_ir::BinOp::Add, AbstractVal::Int(x), AbstractVal::Int(y)) => {
+                AbstractVal::Int(x.wrapping_add(y))
             }
-        }
+            (backdroid_ir::BinOp::Add, AbstractVal::Str(x), AbstractVal::Str(y)) => {
+                AbstractVal::Str(format!("{x}{y}"))
+            }
+            (backdroid_ir::BinOp::Xor, AbstractVal::Int(x), AbstractVal::Int(y)) => {
+                AbstractVal::Int(x ^ y)
+            }
+            _ => AbstractVal::Top,
+        },
         Rvalue::Invoke(ie) => rets.get(&ie.callee).cloned().unwrap_or(AbstractVal::Top),
         _ => AbstractVal::Top,
     }
@@ -394,7 +392,11 @@ mod tests {
         clinit.write_static_field(field.clone(), Value::Local(v));
         p.add_class(
             ClassBuilder::new(cfg.as_str())
-                .field("MODE", Type::string(), backdroid_ir::Modifiers::public_static())
+                .field(
+                    "MODE",
+                    Type::string(),
+                    backdroid_ir::Modifiers::public_static(),
+                )
                 .method(clinit.build())
                 .build(),
         );

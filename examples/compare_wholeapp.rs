@@ -15,9 +15,17 @@ fn main() {
     // A mid-sized app with one async-flow vulnerability (a baseline blind
     // spot) and one ordinary vulnerability (both tools should find it).
     let app = AppSpec::named("com.example.compare")
-        .with_scenario(Scenario::new(Mechanism::StaticChain, SinkKind::Cipher, true))
+        .with_scenario(Scenario::new(
+            Mechanism::StaticChain,
+            SinkKind::Cipher,
+            true,
+        ))
         .with_scenario(Scenario::new(Mechanism::AsyncTask, SinkKind::Cipher, true))
-        .with_scenario(Scenario::new(Mechanism::DirectEntry, SinkKind::SslVerifier, false))
+        .with_scenario(Scenario::new(
+            Mechanism::DirectEntry,
+            SinkKind::SslVerifier,
+            false,
+        ))
         .with_filler(150, 6, 8)
         .generate();
     println!(

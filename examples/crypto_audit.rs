@@ -16,10 +16,26 @@ fn main() {
     //  * three secure (GCM) behind various shapes;
     //  * one insecure but in dead code — must NOT be reported.
     let app = AppSpec::named("com.example.cryptoaudit")
-        .with_scenario(Scenario::new(Mechanism::PrivateChain, SinkKind::Cipher, true))
-        .with_scenario(Scenario::new(Mechanism::InterfaceRunnable, SinkKind::Cipher, true))
-        .with_scenario(Scenario::new(Mechanism::DirectEntry, SinkKind::Cipher, false))
-        .with_scenario(Scenario::new(Mechanism::ClinitOffPath, SinkKind::Cipher, false))
+        .with_scenario(Scenario::new(
+            Mechanism::PrivateChain,
+            SinkKind::Cipher,
+            true,
+        ))
+        .with_scenario(Scenario::new(
+            Mechanism::InterfaceRunnable,
+            SinkKind::Cipher,
+            true,
+        ))
+        .with_scenario(Scenario::new(
+            Mechanism::DirectEntry,
+            SinkKind::Cipher,
+            false,
+        ))
+        .with_scenario(Scenario::new(
+            Mechanism::ClinitOffPath,
+            SinkKind::Cipher,
+            false,
+        ))
         .with_scenario(Scenario::new(Mechanism::AsyncTask, SinkKind::Cipher, false))
         .with_scenario(Scenario::new(Mechanism::DeadCode, SinkKind::Cipher, true))
         .with_filler(40, 5, 8)

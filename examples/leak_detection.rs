@@ -18,12 +18,7 @@ fn main() {
     let act = ClassName::new("com.example.leaky.MainActivity");
 
     // A helper that texts its argument somewhere.
-    let mut exfil = MethodBuilder::public_static(
-        &act,
-        "report",
-        vec![Type::string()],
-        Type::Void,
-    );
+    let mut exfil = MethodBuilder::public_static(&act, "report", vec![Type::string()], Type::Void);
     let data = exfil.param(0);
     let sms = exfil.local(Type::object("android.telephony.SmsManager"));
     exfil.invoke(InvokeExpr::call_virtual(

@@ -14,7 +14,11 @@ fn main() {
     let app = AppSpec::named("com.example.sslaudit")
         // A genuine vulnerability: ALLOW_ALL_HOSTNAME_VERIFIER reachable
         // from a lifecycle chain (field set in onCreate, used in onResume).
-        .with_scenario(Scenario::new(Mechanism::LifecycleChain, SinkKind::SslVerifier, true))
+        .with_scenario(Scenario::new(
+            Mechanism::LifecycleChain,
+            SinkKind::SslVerifier,
+            true,
+        ))
         // The FP trap: the same misuse inside an activity that is NOT in
         // the manifest — dead from the OS's point of view.
         .with_scenario(Scenario::new(
@@ -30,7 +34,11 @@ fn main() {
             true,
         ))
         // A safe configuration for contrast.
-        .with_scenario(Scenario::new(Mechanism::DirectEntry, SinkKind::SslVerifier, false))
+        .with_scenario(Scenario::new(
+            Mechanism::DirectEntry,
+            SinkKind::SslVerifier,
+            false,
+        ))
         .with_filler(30, 5, 8)
         .generate();
 

@@ -39,9 +39,7 @@ pub use backdroid_wholeapp;
 /// One-stop imports for experiments and examples.
 pub mod prelude {
     pub use backdroid_appgen::{AndroidApp, AppSpec, Mechanism, Scenario, SinkKind};
-    pub use backdroid_core::{
-        Backdroid, BackdroidOptions, DataflowValue, SinkRegistry, Verdict,
-    };
+    pub use backdroid_core::{Backdroid, BackdroidOptions, DataflowValue, SinkRegistry, Verdict};
     pub use backdroid_ir::{
         ClassBuilder, ClassName, FieldSig, InvokeExpr, MethodBuilder, MethodSig, Program, Type,
         Value,

@@ -107,7 +107,11 @@ fn fn_asymmetry_on_subclassed_sinks() {
 #[test]
 fn timeout_asymmetry_on_large_apps() {
     let app = AppSpec::named("com.cmp.big")
-        .with_scenario(Scenario::new(Mechanism::StaticChain, SinkKind::Cipher, true))
+        .with_scenario(Scenario::new(
+            Mechanism::StaticChain,
+            SinkKind::Cipher,
+            true,
+        ))
         .with_filler(80, 6, 8)
         .generate();
     // Tight budget: the whole-app tool times out, BackDroid does not care.
@@ -159,11 +163,15 @@ fn backdroid_work_scales_with_sinks_not_app_size() {
     // same sinks, much more code ⇒ bounded growth (one extra scan pass is
     // linear in dump size, not in analysis complexity).
     let few_sinks = AppSpec::named("com.cmp.sinks2")
-        .with_scenarios((0..2).map(|_| Scenario::new(Mechanism::DirectEntry, SinkKind::Cipher, false)))
+        .with_scenarios(
+            (0..2).map(|_| Scenario::new(Mechanism::DirectEntry, SinkKind::Cipher, false)),
+        )
         .with_filler(30, 4, 6)
         .generate();
     let many_sinks = AppSpec::named("com.cmp.sinks12")
-        .with_scenarios((0..12).map(|_| Scenario::new(Mechanism::DirectEntry, SinkKind::Cipher, false)))
+        .with_scenarios(
+            (0..12).map(|_| Scenario::new(Mechanism::DirectEntry, SinkKind::Cipher, false)),
+        )
         .with_filler(30, 4, 6)
         .generate();
     let run = |app: &backdroid_appgen::AndroidApp| {

@@ -47,11 +47,19 @@ fn stringbuilder_chain_is_modeled() {
         ));
     }
     let mode = oc.invoke_assign(InvokeExpr::call_virtual(
-        MethodSig::new("java.lang.StringBuilder", "toString", vec![], Type::string()),
+        MethodSig::new(
+            "java.lang.StringBuilder",
+            "toString",
+            vec![],
+            Type::string(),
+        ),
         sb,
         vec![],
     ));
-    oc.invoke(InvokeExpr::call_static(cipher_sig(), vec![Value::Local(mode)]));
+    oc.invoke(InvokeExpr::call_static(
+        cipher_sig(),
+        vec![Value::Local(mode)],
+    ));
     let mut p = Program::new();
     p.add_class(
         ClassBuilder::new(act.as_str())
@@ -95,7 +103,10 @@ fn string_valueof_and_concat_are_modeled() {
         a,
         vec![Value::str("/NoPadding")],
     ));
-    oc.invoke(InvokeExpr::call_static(cipher_sig(), vec![Value::Local(full)]));
+    oc.invoke(InvokeExpr::call_static(
+        cipher_sig(),
+        vec![Value::Local(full)],
+    ));
     let mut p = Program::new();
     p.add_class(
         ClassBuilder::new(act.as_str())
@@ -120,7 +131,10 @@ fn case_conversions_are_modeled() {
         lower,
         vec![],
     ));
-    oc.invoke(InvokeExpr::call_static(cipher_sig(), vec![Value::Local(upper)]));
+    oc.invoke(InvokeExpr::call_static(
+        cipher_sig(),
+        vec![Value::Local(upper)],
+    ));
     let mut p = Program::new();
     p.add_class(
         ClassBuilder::new(act.as_str())
@@ -143,10 +157,19 @@ fn parse_int_is_modeled() {
     let mut oc = MethodBuilder::public(&act, "onCreate", vec![], Type::Void);
     let s = oc.assign_const(Const::str("8089"));
     let port = oc.invoke_assign(InvokeExpr::call_static(
-        MethodSig::new("java.lang.Integer", "parseInt", vec![Type::string()], Type::Int),
+        MethodSig::new(
+            "java.lang.Integer",
+            "parseInt",
+            vec![Type::string()],
+            Type::Int,
+        ),
         vec![Value::Local(s)],
     ));
-    oc.new_object("java.net.ServerSocket", vec![Type::Int], vec![Value::Local(port)]);
+    oc.new_object(
+        "java.net.ServerSocket",
+        vec![Type::Int],
+        vec![Value::Local(port)],
+    );
     let mut p = Program::new();
     p.add_class(
         ClassBuilder::new(act.as_str())
@@ -164,7 +187,13 @@ fn parse_int_is_modeled() {
         .find(|s| registry.sinks()[s.spec_idx].id == "socket.server")
         .expect("ServerSocket ctor located");
     let spec = &registry.sinks()[site.spec_idx];
-    let result = slice_sink(&mut ctx, SlicerConfig::default(), &site.method, site.stmt_idx, spec);
+    let result = slice_sink(
+        &mut ctx,
+        SlicerConfig::default(),
+        &site.method,
+        site.stmt_idx,
+        spec,
+    );
     assert!(result.reachable);
     let mut fwd = backdroid_core::ForwardAnalysis::new(&p);
     let values = fwd.run(&result.ssg, spec);

@@ -14,8 +14,14 @@ fn table1_shape_doubles_twice_over_five_years() {
     let y2014 = avg_of(0);
     let y2016 = avg_of(2);
     let y2018 = avg_of(4);
-    assert!(y2016 / y2014 > 1.4, "2014→2016 growth: {y2014:.1} → {y2016:.1}");
-    assert!(y2018 / y2016 > 1.7, "2016→2018 growth: {y2016:.1} → {y2018:.1}");
+    assert!(
+        y2016 / y2014 > 1.4,
+        "2014→2016 growth: {y2014:.1} → {y2016:.1}"
+    );
+    assert!(
+        y2018 / y2016 > 1.7,
+        "2016→2018 growth: {y2016:.1} → {y2018:.1}"
+    );
 }
 
 #[test]

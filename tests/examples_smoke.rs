@@ -1,0 +1,38 @@
+//! Smoke test: every file in `examples/` must keep compiling, so the
+//! README quickstart (and the other walkthroughs) can never silently rot.
+//!
+//! Shells out to the same `cargo` that is running the test suite and
+//! builds all example targets. Cargo auto-discovers `examples/*.rs`, so a
+//! newly added example is covered with no registration step.
+
+use std::path::Path;
+use std::process::Command;
+
+#[test]
+fn all_examples_compile() {
+    let manifest_dir = env!("CARGO_MANIFEST_DIR");
+    let examples_dir = Path::new(manifest_dir).join("examples");
+    let sources: Vec<_> = std::fs::read_dir(&examples_dir)
+        .expect("examples/ directory must exist")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "rs"))
+        .collect();
+    assert!(
+        !sources.is_empty(),
+        "examples/ contains no .rs files — the quickstart is gone"
+    );
+
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    let output = Command::new(cargo)
+        .args(["build", "--examples"])
+        .current_dir(manifest_dir)
+        .output()
+        .expect("failed to spawn cargo build --examples");
+    assert!(
+        output.status.success(),
+        "cargo build --examples failed for {} example(s):\n{}",
+        sources.len(),
+        String::from_utf8_lossy(&output.stderr)
+    );
+}

@@ -4,8 +4,8 @@
 
 use backdroid_appgen::{AppSpec, Mechanism, Scenario, SinkKind};
 use backdroid_core::{
-    default_leak_sinks, default_sources, detect_leaks, locate_sinks, slice_sink,
-    AnalysisContext, AppSsg, Backdroid, SinkRegistry, SlicerConfig,
+    default_leak_sinks, default_sources, detect_leaks, locate_sinks, slice_sink, AnalysisContext,
+    AppSsg, Backdroid, SinkRegistry, SlicerConfig,
 };
 use backdroid_ir::{
     ClassBuilder, ClassName, Const, InvokeExpr, MethodBuilder, MethodSig, Program, Type, Value,
@@ -95,7 +95,11 @@ fn reflective_sink_path_is_reachable() {
 #[test]
 fn per_app_ssg_merges_shared_slices() {
     let app = AppSpec::named("com.x.appssg")
-        .with_scenario(Scenario::new(Mechanism::SharedUtility, SinkKind::Cipher, true))
+        .with_scenario(Scenario::new(
+            Mechanism::SharedUtility,
+            SinkKind::Cipher,
+            true,
+        ))
         .with_filler(6, 3, 4)
         .generate();
     let registry = SinkRegistry::crypto_and_ssl();
@@ -106,7 +110,13 @@ fn per_app_ssg_merges_shared_slices() {
     let mut total_units = 0usize;
     for site in &sites {
         let spec = &registry.sinks()[site.spec_idx];
-        let r = slice_sink(&mut ctx, SlicerConfig::default(), &site.method, site.stmt_idx, spec);
+        let r = slice_sink(
+            &mut ctx,
+            SlicerConfig::default(),
+            &site.method,
+            site.stmt_idx,
+            spec,
+        );
         total_units += r.ssg.units().len();
         ssgs.push(r.ssg);
     }
@@ -131,7 +141,11 @@ fn extended_registry_flags_open_port() {
     let mut p = Program::new();
     let act = ClassName::new("com.x.Server");
     let mut oc = MethodBuilder::public(&act, "onCreate", vec![], Type::Void);
-    oc.new_object("java.net.ServerSocket", vec![Type::Int], vec![Value::int(8089)]);
+    oc.new_object(
+        "java.net.ServerSocket",
+        vec![Type::Int],
+        vec![Value::int(8089)],
+    );
     p.add_class(
         ClassBuilder::new(act.as_str())
             .extends("android.app.Activity")
@@ -155,7 +169,11 @@ fn extended_registry_flags_open_port() {
 #[test]
 fn leaks_and_sinks_coexist() {
     let mut app = AppSpec::named("com.x.both")
-        .with_scenario(Scenario::new(Mechanism::DirectEntry, SinkKind::Cipher, true))
+        .with_scenario(Scenario::new(
+            Mechanism::DirectEntry,
+            SinkKind::Cipher,
+            true,
+        ))
         .with_filler(5, 3, 4)
         .generate();
     // Wire an IMEI→log leak into a new registered activity.

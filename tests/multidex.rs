@@ -11,7 +11,11 @@ use backdroid_search::{BytecodeText, SearchCmd, SearchEngine};
 
 fn multidex_app() -> (backdroid_appgen::AndroidApp, DexImage) {
     let app = AppSpec::named("com.md.app")
-        .with_scenario(Scenario::new(Mechanism::PrivateChain, SinkKind::Cipher, true))
+        .with_scenario(Scenario::new(
+            Mechanism::PrivateChain,
+            SinkKind::Cipher,
+            true,
+        ))
         .with_filler(40, 5, 6)
         .generate();
     // A tiny method-ref limit forces many dex files.
@@ -69,9 +73,13 @@ fn search_spans_dex_boundaries() {
 fn full_pipeline_on_multidex_dump() {
     let (app, image) = multidex_app();
     let dump = dump_image(&image);
-    let mut ctx =
-        backdroid_core::AnalysisContext::with_dump(&app.program, &app.manifest, &dump);
+    let mut ctx = backdroid_core::AnalysisContext::with_dump(&app.program, &app.manifest, &dump);
     let report = Backdroid::new().analyze_in(&mut ctx);
-    assert_eq!(report.vulnerable_sinks().len(), 1, "{:#?}", report.sink_reports);
+    assert_eq!(
+        report.vulnerable_sinks().len(),
+        1,
+        "{:#?}",
+        report.sink_reports
+    );
     let _ = SinkRegistry::crypto_and_ssl();
 }

@@ -100,7 +100,11 @@ fn dead_code_sink_is_unreachable() {
 fn unregistered_component_is_not_a_false_positive() {
     // The paper's §VI-C Amandroid FPs: BackDroid must NOT flag flows from
     // components missing in the manifest.
-    let app = app_with(Mechanism::UnregisteredComponent, SinkKind::SslVerifier, true);
+    let app = app_with(
+        Mechanism::UnregisteredComponent,
+        SinkKind::SslVerifier,
+        true,
+    );
     let report = run_backdroid(&app);
     assert_eq!(
         report.vulnerable_sinks().len(),
@@ -113,7 +117,11 @@ fn unregistered_component_is_not_a_false_positive() {
 #[test]
 fn subclassed_sink_is_missed_by_default_and_found_with_fix() {
     // The paper's two BackDroid FNs (com.gta.nslm2 / com.wb.goog.mkx).
-    let app = app_with(Mechanism::IndirectSubclassedSink, SinkKind::SslVerifier, true);
+    let app = app_with(
+        Mechanism::IndirectSubclassedSink,
+        SinkKind::SslVerifier,
+        true,
+    );
     let default_report = run_backdroid(&app);
     assert_eq!(
         default_report.vulnerable_sinks().len(),
@@ -166,20 +174,40 @@ fn analysis_is_deterministic() {
     for (x, y) in a.sink_reports.iter().zip(&b.sink_reports) {
         assert_eq!(x.reachable, y.reachable);
         assert_eq!(x.verdict, y.verdict);
-        assert_eq!(format!("{:?}", x.param_values), format!("{:?}", y.param_values));
+        assert_eq!(
+            format!("{:?}", x.param_values),
+            format!("{:?}", y.param_values)
+        );
     }
 }
 
 #[test]
 fn multiple_scenarios_in_one_app() {
     let app = AppSpec::named("com.it.multi")
-        .with_scenario(Scenario::new(Mechanism::DirectEntry, SinkKind::Cipher, true))
-        .with_scenario(Scenario::new(Mechanism::StaticChain, SinkKind::SslVerifier, true))
-        .with_scenario(Scenario::new(Mechanism::PrivateChain, SinkKind::Cipher, false))
+        .with_scenario(Scenario::new(
+            Mechanism::DirectEntry,
+            SinkKind::Cipher,
+            true,
+        ))
+        .with_scenario(Scenario::new(
+            Mechanism::StaticChain,
+            SinkKind::SslVerifier,
+            true,
+        ))
+        .with_scenario(Scenario::new(
+            Mechanism::PrivateChain,
+            SinkKind::Cipher,
+            false,
+        ))
         .with_scenario(Scenario::new(Mechanism::DeadCode, SinkKind::Cipher, true))
         .with_filler(10, 4, 5)
         .generate();
     let report = run_backdroid(&app);
-    assert_eq!(report.vulnerable_sinks().len(), 2, "{:#?}", report.sink_reports);
+    assert_eq!(
+        report.vulnerable_sinks().len(),
+        2,
+        "{:#?}",
+        report.sink_reports
+    );
     assert!(report.sink_reports.len() >= 4, "all sinks located");
 }

@@ -1,0 +1,261 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of the criterion 0.5 API used by
+//! `crates/bench/benches/*`: [`Criterion`], [`BenchmarkGroup`],
+//! [`BenchmarkId`], [`Bencher::iter`] / [`Bencher::iter_batched`],
+//! [`BatchSize`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Statistics are deliberately simple —
+//! mean/min/max wall-clock per iteration over a fixed sample count —
+//! because the repo's calibrated numbers come from the deterministic
+//! work-unit harness in `backdroid-bench`, not from wall-clock. Swap in
+//! the real `criterion` via the workspace manifests when registry access
+//! is available; no bench source changes are needed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque black box preventing the optimizer from deleting a benchmarked
+/// computation.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// How to account setup values in [`Bencher::iter_batched`]. The shim
+/// times the routine only, so the variants are behaviorally identical;
+/// they exist for source compatibility.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per sample.
+    PerIteration,
+}
+
+/// A benchmark identifier: `function_id/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter rendering.
+    pub fn new<S: Display, P: Display>(function_id: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_id}/{parameter}"),
+        }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Times closures for one benchmark.
+pub struct Bencher {
+    samples: u64,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.total += start.elapsed();
+        self.iters += self.samples;
+    }
+
+    /// Times `routine` over fresh inputs built by `setup`; only the
+    /// routine is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.total += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: u64,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Benchmarks `f` against a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut bencher, input);
+        self.criterion
+            .report(&format!("{}/{}", self.name, id.id), &bencher);
+        self
+    }
+
+    /// Benchmarks a closure with no externally provided input.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.bench_with_input(id, &(), |b, _| f(b))
+    }
+
+    /// Ends the group. (Reports are emitted eagerly; this is a no-op kept
+    /// for API compatibility.)
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group(name);
+        group.bench_function(BenchmarkId::from_parameter("bench"), &mut f);
+        group.finish();
+        self
+    }
+
+    fn report(&mut self, id: &str, bencher: &Bencher) {
+        if bencher.iters == 0 {
+            println!("{id:<60} (no iterations)");
+            return;
+        }
+        let mean = bencher.total.as_secs_f64() / bencher.iters as f64;
+        println!(
+            "{id:<60} {:>12} /iter  ({} iters)",
+            format_seconds(mean),
+            bencher.iters
+        );
+    }
+}
+
+fn format_seconds(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        let mut runs = 0u64;
+        group.bench_with_input(BenchmarkId::new("count", 1), &5u64, |b, n| {
+            b.iter(|| {
+                runs += 1;
+                *n * 2
+            });
+        });
+        group.finish();
+        assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn iter_batched_times_routine_per_input() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_batched");
+        group.sample_size(4);
+        let mut setups = 0u64;
+        let mut routines = 0u64;
+        group.bench_with_input(BenchmarkId::new("batched", "x"), &(), |b, _| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                },
+                |_| {
+                    routines += 1;
+                },
+                BatchSize::SmallInput,
+            );
+        });
+        group.finish();
+        assert_eq!(setups, 4);
+        assert_eq!(routines, 4);
+    }
+}

@@ -1,0 +1,541 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The registry is unreachable from the build environment, so this crate
+//! implements the subset of proptest 1.x the workspace's property tests
+//! use, with deterministic (seeded-by-test-name) case generation and no
+//! shrinking:
+//!
+//! * the [`Strategy`] trait with `prop_map`,
+//! * [`Just`], integer [`std::ops::Range`] strategies, tuple
+//!   strategies, [`prop::collection::vec`], [`prop::option::of`],
+//! * `&str` strategies interpreting a character-class regex subset
+//!   (`[a-z0-9]`, `{m,n}`, `?`, `*`, `+`, literals),
+//! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`],
+//!   [`prop_assert_eq!`] and [`prop_assert_ne!`] macros.
+//!
+//! Failures are ordinary panics; because every stream is derived from the
+//! test's name, a failing case reproduces exactly on re-run. Set
+//! `PROPTEST_CASES` to change the per-test case count (default 64).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::ops::Range;
+
+/// Drives generation for one property test.
+pub struct TestRunner {
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// Creates a runner whose stream is derived from `name` and `case`.
+    pub fn new(name: &str, case: u64) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRunner {
+            rng: StdRng::seed_from_u64(seed ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    fn usize_in(&mut self, range: Range<usize>) -> usize {
+        if range.start + 1 >= range.end {
+            range.start
+        } else {
+            self.rng.gen_range(range)
+        }
+    }
+}
+
+/// The number of cases each `proptest!` test runs (overridable via the
+/// `PROPTEST_CASES` environment variable).
+pub fn cases() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Per-block configuration, settable with
+/// `#![proptest_config(ProptestConfig::with_cases(n))]`.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// How many cases each test in the block runs. The `PROPTEST_CASES`
+    /// environment variable overrides this at run time.
+    pub cases: u64,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases: cases as u64,
+        }
+    }
+
+    /// The effective case count after the environment override.
+    pub fn effective_cases(&self) -> u64 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(self.cases)
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A source of generated values.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Returns a strategy producing `f` applied to this strategy's values.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+    fn generate(&self, runner: &mut TestRunner) -> T {
+        (**self).generate(runner)
+    }
+}
+
+/// Boxes a strategy, erasing its concrete type. Used by [`prop_oneof!`].
+pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+    Box::new(s)
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _runner: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, runner: &mut TestRunner) -> U {
+        (self.f)(self.inner.generate(runner))
+    }
+}
+
+/// Uniform choice among boxed strategies; built by [`prop_oneof!`].
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Creates a union over `options` (must be non-empty).
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, runner: &mut TestRunner) -> T {
+        let idx = runner.usize_in(0..self.options.len());
+        self.options[idx].generate(runner)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                runner.rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types with a canonical "generate anything" strategy, used by [`any`].
+pub trait Arbitrary: Sized {
+    /// Generates an arbitrary value of this type.
+    fn arbitrary(runner: &mut TestRunner) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(runner: &mut TestRunner) -> bool {
+        runner.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(runner: &mut TestRunner) -> $t {
+                runner.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The strategy returned by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, runner: &mut TestRunner) -> T {
+        T::arbitrary(runner)
+    }
+}
+
+/// Generates any value of `T`, mirroring `proptest::prelude::any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(runner),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// Strategy factories grouped as in the real crate's `prop` module.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRunner};
+        use std::ops::Range;
+
+        /// Generates `Vec`s whose length is drawn from `size`.
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+
+        /// The strategy returned by [`vec()`].
+        pub struct VecStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                let len = runner.usize_in(self.size.clone());
+                (0..len).map(|_| self.element.generate(runner)).collect()
+            }
+        }
+    }
+
+    /// `Option` strategies.
+    pub mod option {
+        use super::super::{Strategy, TestRunner};
+
+        /// Generates `Some` from the inner strategy about ¾ of the time.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+
+        /// The strategy returned by [`of`].
+        pub struct OptionStrategy<S> {
+            inner: S,
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                if runner.next_u64().is_multiple_of(4) {
+                    None
+                } else {
+                    Some(self.inner.generate(runner))
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regex-subset string strategies.
+// ---------------------------------------------------------------------------
+
+/// One parsed regex atom with its repetition bounds.
+struct Atom {
+    /// Candidate characters (singleton for a literal).
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let mut atoms = Vec::new();
+    let mut it = pattern.chars().peekable();
+    while let Some(c) = it.next() {
+        let chars = match c {
+            '[' => {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                for d in it.by_ref() {
+                    match d {
+                        ']' => break,
+                        '-' if prev.is_some() => {
+                            // Range: patch the previously pushed char into
+                            // a full range once the upper bound arrives.
+                            prev = Some('-');
+                        }
+                        d => {
+                            if prev == Some('-') {
+                                let lo = *set.last().expect("range without lower bound");
+                                let hi = d;
+                                set.extend(
+                                    ((lo as u32 + 1)..=(hi as u32)).filter_map(char::from_u32),
+                                );
+                                prev = None;
+                            } else {
+                                set.push(d);
+                                prev = Some(d);
+                            }
+                        }
+                    }
+                }
+                assert!(!set.is_empty(), "empty character class in {pattern:?}");
+                set
+            }
+            '\\' => vec![it.next().expect("dangling escape")],
+            c => vec![c],
+        };
+        let (min, max) = match it.peek() {
+            Some('{') => {
+                it.next();
+                let mut spec = String::new();
+                for d in it.by_ref() {
+                    if d == '}' {
+                        break;
+                    }
+                    spec.push(d);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad repeat lower bound"),
+                        hi.trim().parse().expect("bad repeat upper bound"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().expect("bad repeat count");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                it.next();
+                (0, 1)
+            }
+            Some('*') => {
+                it.next();
+                (0, 8)
+            }
+            Some('+') => {
+                it.next();
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        atoms.push(Atom { chars, min, max });
+    }
+    atoms
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, runner: &mut TestRunner) -> String {
+        let mut out = String::new();
+        for atom in parse_pattern(self) {
+            let n = runner.usize_in(atom.min..atom.max + 1);
+            for _ in 0..n {
+                let idx = runner.usize_in(0..atom.chars.len());
+                out.push(atom.chars[idx]);
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, runner: &mut TestRunner) -> String {
+        self.as_str().generate(runner)
+    }
+}
+
+/// Everything a property test module needs, mirroring
+/// `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, boxed, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest,
+        Arbitrary, Just, ProptestConfig, Strategy, TestRunner,
+    };
+}
+
+/// Defines property tests. Each function runs a block-configurable number
+/// of deterministic cases; assertion macros panic, so a failure surfaces
+/// as an ordinary test failure that reproduces on re-run.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            for case in 0..config.effective_cases() {
+                let runner = &mut $crate::TestRunner::new(stringify!($name), case);
+                $(let $arg = $crate::Strategy::generate(&($strat), runner);)*
+                $body
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($rest)*
+        }
+    };
+}
+
+/// Uniform choice among strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::boxed($strat)),+])
+    };
+}
+
+/// Property-test assertion; panics on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Property-test equality assertion; panics on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Property-test inequality assertion; panics on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn regex_subset_shapes() {
+        let runner = &mut TestRunner::new("regex_subset_shapes", 0);
+        for _ in 0..200 {
+            let s = "[a-z][a-z0-9]{0,8}".generate(runner);
+            assert!(!s.is_empty() && s.len() <= 9, "bad length: {s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+            let t = "[A-Z][a-zA-Z0-9]{0,6}".generate(runner);
+            assert!(t.chars().next().unwrap().is_ascii_uppercase());
+            assert!(t.len() <= 7);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name_and_case() {
+        let a = "[a-z]{3,5}".generate(&mut TestRunner::new("t", 7));
+        let b = "[a-z]{3,5}".generate(&mut TestRunner::new("t", 7));
+        assert_eq!(a, b);
+        let c = "[a-z]{3,5}".generate(&mut TestRunner::new("t", 8));
+        // Overwhelmingly likely to differ; equality would suggest the
+        // case index is being ignored.
+        assert!(a != c || a.len() >= 3);
+    }
+
+    proptest! {
+        #[test]
+        fn macro_round_trip(
+            n in 1usize..6,
+            v in prop::collection::vec(0u8..10, 1..4),
+            o in prop::option::of(0u8..3),
+            pick in prop_oneof![Just("x"), Just("y")],
+        ) {
+            prop_assert!((1..6).contains(&n));
+            prop_assert!(!v.is_empty() && v.len() < 4);
+            prop_assert!(v.iter().all(|&b| b < 10));
+            if let Some(k) = o {
+                prop_assert!(k < 3);
+            }
+            prop_assert!(pick == "x" || pick == "y");
+            prop_assert_eq!(1 + 1, 2);
+            prop_assert_ne!(1, 2);
+        }
+
+        #[test]
+        fn tuples_compose(
+            (a, b) in (0u8..4, "[a-z]{1,2}".prop_map(|s| s)),
+        ) {
+            prop_assert!(a < 4);
+            prop_assert!(!b.is_empty() && b.len() <= 2);
+        }
+    }
+}

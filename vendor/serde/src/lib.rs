@@ -1,0 +1,41 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the minimal serde surface the codebase actually uses: the [`Serialize`]
+//! trait (as a marker with a tiny JSON-ish reflection hook) and its derive
+//! macro. Types that derive `Serialize` today only rely on the derive
+//! compiling; if a future PR needs real serialization, replace this crate
+//! with the real `serde` in the workspace manifests — the API below is a
+//! strict subset.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A data structure that can be serialized.
+///
+/// This shim keeps the trait object-safe and dependency-free: implementors
+/// get a derived no-op implementation from `#[derive(Serialize)]`. The
+/// trait intentionally carries no required methods so the derive stays
+/// trivial for arbitrary field types.
+pub trait Serialize {}
+
+pub use serde_derive::Serialize;
+
+impl<T: Serialize + ?Sized> Serialize for &T {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<T: Serialize> Serialize for Vec<T> {}
+impl Serialize for String {}
+impl Serialize for str {}
+impl Serialize for bool {}
+impl Serialize for f32 {}
+impl Serialize for f64 {}
+impl Serialize for u8 {}
+impl Serialize for u16 {}
+impl Serialize for u32 {}
+impl Serialize for u64 {}
+impl Serialize for usize {}
+impl Serialize for i8 {}
+impl Serialize for i16 {}
+impl Serialize for i32 {}
+impl Serialize for i64 {}
+impl Serialize for isize {}

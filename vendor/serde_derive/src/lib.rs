@@ -1,0 +1,80 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` for the shim `serde` crate without
+//! depending on `syn`/`quote` (unavailable offline): it scans the raw
+//! token stream for the item name and generic parameters and emits a
+//! marker-trait impl. Supports plain structs/enums and simple generics
+//! (lifetimes and type parameters, with or without bounds).
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Derives the shim `serde::Serialize` marker trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Find the `struct` / `enum` / `union` keyword, skipping attributes
+    // (`#[...]`) and visibility (`pub`, `pub(...)`).
+    let mut name = None;
+    while i < tokens.len() {
+        if let TokenTree::Ident(id) = &tokens[i] {
+            let s = id.to_string();
+            if s == "struct" || s == "enum" || s == "union" {
+                if let Some(TokenTree::Ident(n)) = tokens.get(i + 1) {
+                    name = Some(n.to_string());
+                    i += 2;
+                }
+                break;
+            }
+        }
+        i += 1;
+    }
+    let name = match name {
+        Some(n) => n,
+        None => return TokenStream::new(),
+    };
+
+    // Collect generic parameter names (without bounds) if a `<...>`
+    // parameter list follows the name.
+    let mut decl_params: Vec<String> = Vec::new();
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        i += 1;
+        let mut depth = 1usize;
+        let mut current: Vec<String> = Vec::new();
+        let mut in_bounds = false;
+        while i < tokens.len() && depth > 0 {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        if !current.is_empty() {
+                            decl_params.push(current.join(""));
+                        }
+                        break;
+                    }
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                    if !current.is_empty() {
+                        decl_params.push(current.join(""));
+                    }
+                    current.clear();
+                    in_bounds = false;
+                }
+                TokenTree::Punct(p) if p.as_char() == ':' && depth == 1 => in_bounds = true,
+                TokenTree::Punct(p) if p.as_char() == '=' && depth == 1 => in_bounds = true,
+                tt if !in_bounds => current.push(tt.to_string()),
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+
+    let generics_decl = if decl_params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", decl_params.join(", "))
+    };
+    let out = format!("impl{generics_decl} serde::Serialize for {name}{generics_decl} {{}}");
+    out.parse().expect("serde_derive shim emitted invalid Rust")
+}
