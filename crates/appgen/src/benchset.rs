@@ -76,6 +76,21 @@ impl BenchsetConfig {
             code_scale: 0.08,
         }
     }
+
+    /// An arbitrary-size configuration — the corpus-scale knob. Every
+    /// count keeps the canonical §VI-C profile proportions (see
+    /// [`profiles_for`]), so CI smoke sets (`sized(8, 0.04)`) and
+    /// production-corpus sweeps (`sized(1000, 1.0)`) both exercise the
+    /// same population mix the paper evaluates. `code_scale` multiplies
+    /// the filler-code volume exactly as in [`BenchsetConfig::small`];
+    /// it is clamped to a small positive floor so every app still has a
+    /// body to analyze.
+    pub fn sized(count: usize, code_scale: f64) -> Self {
+        BenchsetConfig {
+            count: count.max(1),
+            code_scale: code_scale.max(0.01),
+        }
+    }
 }
 
 /// FNV-1a hash of a string — the same function the whole-app baseline

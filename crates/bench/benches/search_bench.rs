@@ -1,9 +1,10 @@
 //! Micro-benchmarks for the on-the-fly bytecode search engine: cold
-//! signature searches vs cached replays, at two app sizes.
+//! signature searches (under both backends) vs cached replays, at two
+//! app sizes.
 
 use backdroid_appgen::{AppSpec, Mechanism, Scenario, SinkKind};
 use backdroid_ir::{MethodSig, Type};
-use backdroid_search::{BytecodeText, SearchCmd, SearchEngine};
+use backdroid_search::{BackendChoice, BytecodeText, SearchCmd, SearchEngine};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn app_dump(classes: usize) -> String {
@@ -37,6 +38,22 @@ fn bench_search(c: &mut Criterion) {
             |b, dump| {
                 b.iter_batched(
                     || SearchEngine::new(BytecodeText::index(dump)),
+                    |mut engine| engine.run(&SearchCmd::InvokeOf(sink.clone())),
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("cold_invoke_search_linear", classes),
+            &dump,
+            |b, dump| {
+                b.iter_batched(
+                    || {
+                        SearchEngine::with_backend(
+                            BytecodeText::index(dump),
+                            BackendChoice::LinearScan,
+                        )
+                    },
                     |mut engine| engine.run(&SearchCmd::InvokeOf(sink.clone())),
                     criterion::BatchSize::SmallInput,
                 );

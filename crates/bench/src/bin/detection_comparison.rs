@@ -8,19 +8,63 @@
 //!   (8), and occasional whole-app errors (10);
 //! * the §IV-C validation that search-reachable `<clinit>`s are truly
 //!   reachable.
+//!
+//! Apps run on the parallel corpus driver (`--threads N`); results fold
+//! in app-index order, so stdout and the `--json` artifact are
+//! byte-identical to a sequential (`--threads 1`) run. `--backend
+//! linear|indexed` selects the search backend — detection output is
+//! provably identical either way.
 
-use backdroid_appgen::benchset::Profile;
+use backdroid_appgen::benchset::{bench_app, Profile};
 use backdroid_bench::harness::{
-    benchset_apps, budget_for, run_amandroid_with_budget, run_backdroid_on, scale_from_args,
+    backend_from_args, budget_for, json_path_from_args, par_map, run_amandroid_with_budget,
+    run_backdroid_with_backend, scale_from_args, threads_from_args, AmandroidRun, BackdroidRun,
 };
+use backdroid_bench::json::{array, JsonObject};
 use backdroid_core::{Backdroid, BackdroidOptions};
+
+/// Everything the §VI-C fold needs from one benchmark app.
+struct AppOutcome {
+    profile: Profile,
+    bd: BackdroidRun,
+    am: AmandroidRun,
+    truth: usize,
+    /// `SslTpSubclassed` only: did the hierarchy-aware initial search
+    /// recover the miss?
+    fixed_recovered: bool,
+}
 
 fn main() {
     let scale = scale_from_args();
-    let apps = benchset_apps(scale);
+    let backend = backend_from_args();
+    let threads = threads_from_args();
+    let cfg = scale.config();
     let budget = budget_for(scale);
-    let mut total = 0usize;
 
+    let outcomes = par_map(cfg.count, threads, |i| {
+        let ba = bench_app(i, cfg);
+        let bd = run_backdroid_with_backend(&ba.app, backend);
+        let am = run_amandroid_with_budget(&ba.app, budget);
+        let fixed_recovered = ba.profile == Profile::SslTpSubclassed && {
+            // The §VI-C fix: hierarchy-aware initial search.
+            let fixed = Backdroid::with_options(BackdroidOptions {
+                hierarchy_initial_search: true,
+                backend,
+                ..BackdroidOptions::default()
+            })
+            .analyze(&ba.app.program, &ba.app.manifest);
+            !fixed.vulnerable_sinks().is_empty()
+        };
+        AppOutcome {
+            profile: ba.profile,
+            bd,
+            am,
+            truth: ba.app.true_vulnerabilities(),
+            fixed_recovered,
+        }
+    });
+
+    let total = outcomes.len();
     let mut ecb_tp_both = 0usize;
     let mut ssl_tp_both = 0usize;
     let mut backdroid_fn = 0usize;
@@ -30,75 +74,68 @@ fn main() {
     let mut extra = [0usize; 4]; // timeout, skipped-lib, async, error
     let mut matched_apps = 0usize;
 
-    for ba in apps {
-        total += 1;
-        let bd = run_backdroid_on(&ba.app);
-        let am = run_amandroid_with_budget(&ba.app, budget);
-        let truth = ba.app.true_vulnerabilities();
-
-        match ba.profile {
+    for o in &outcomes {
+        match o.profile {
             Profile::EcbTp => {
-                if bd.vulnerable >= 1 && am.vulnerable >= 1 {
+                if o.bd.vulnerable >= 1 && o.am.vulnerable >= 1 {
                     ecb_tp_both += 1;
                 }
             }
             Profile::SslTp => {
-                if bd.vulnerable >= 1 && am.vulnerable >= 1 {
+                if o.bd.vulnerable >= 1 && o.am.vulnerable >= 1 {
                     ssl_tp_both += 1;
                 }
             }
             Profile::SslTpSubclassed => {
-                if bd.vulnerable == 0 && am.vulnerable >= 1 {
+                if o.bd.vulnerable == 0 && o.am.vulnerable >= 1 {
                     backdroid_fn += 1;
                 }
-                // The §VI-C fix: hierarchy-aware initial search.
-                let fixed = Backdroid::with_options(BackdroidOptions {
-                    hierarchy_initial_search: true,
-                    ..BackdroidOptions::default()
-                })
-                .analyze(&ba.app.program, &ba.app.manifest);
-                if !fixed.vulnerable_sinks().is_empty() {
+                if o.fixed_recovered {
                     backdroid_fn_fixed += 1;
                 }
             }
             Profile::AmandroidFp => {
                 // Ground truth says not vulnerable; Amandroid flags it.
-                if am.vulnerable >= 1 && truth == 0 {
+                if o.am.vulnerable >= 1 && o.truth == 0 {
                     amandroid_fp += 1;
                 }
-                if bd.vulnerable >= 1 {
+                if o.bd.vulnerable >= 1 {
                     backdroid_fp += 1;
                 }
             }
             Profile::TimeoutVictim => {
-                if bd.vulnerable >= 1 && am.timed_out {
+                if o.bd.vulnerable >= 1 && o.am.timed_out {
                     extra[0] += 1;
                 }
             }
             Profile::SkippedLib => {
-                if bd.vulnerable >= 1 && am.vulnerable == 0 && !am.timed_out {
+                if o.bd.vulnerable >= 1 && o.am.vulnerable == 0 && !o.am.timed_out {
                     extra[1] += 1;
                 }
             }
             Profile::AsyncCallback => {
-                if bd.vulnerable >= 1 && am.vulnerable == 0 && !am.timed_out {
+                if o.bd.vulnerable >= 1 && o.am.vulnerable == 0 && !o.am.timed_out {
                     extra[2] += 1;
                 }
             }
             Profile::WholeAppError => {
-                if bd.vulnerable >= 1 && am.errored {
+                if o.bd.vulnerable >= 1 && o.am.errored {
                     extra[3] += 1;
                 }
             }
             Profile::Normal | Profile::TimeoutNoVuln => {
-                if bd.vulnerable == truth {
+                if o.bd.vulnerable == o.truth {
                     matched_apps += 1;
                 }
             }
         }
     }
 
-    println!("§VI-C detection comparison over {} apps\n", total);
+    println!(
+        "§VI-C detection comparison over {} apps ({} search backend)\n",
+        total,
+        backend.name()
+    );
     println!("Vulnerabilities detected by Amandroid — BackDroid coverage:");
     println!("  ECB true positives matched by both:   {ecb_tp_both}   [paper: 7/7]");
     println!("  SSL true positives matched by both:   {ssl_tp_both}   [paper: 15/17]");
@@ -132,12 +169,51 @@ fn main() {
 
     // §IV-C validation: every clinit the recursive search deems reachable
     // is truly reachable from an entry component.
-    clinit_validation();
+    let (identified, confirmed) = clinit_validation();
+    println!(
+        "\n§IV-C validation: {identified} reachable <clinit>s identified, {confirmed} confirmed \
+         truly reachable   [paper: 37/37]"
+    );
+
+    if let Some(path) = json_path_from_args() {
+        let apps = array(outcomes.iter().map(|o| {
+            JsonObject::new()
+                .str("profile", &format!("{:?}", o.profile))
+                .raw("backdroid", o.bd.to_json())
+                .raw("amandroid", o.am.to_json())
+                .int("true_vulns", o.truth as u64)
+                .bool("fixed_recovered", o.fixed_recovered)
+                .build()
+        }));
+        let summary = JsonObject::new()
+            .str("backend", backend.name())
+            .int("apps", total as u64)
+            .int("ecb_tp_both", ecb_tp_both as u64)
+            .int("ssl_tp_both", ssl_tp_both as u64)
+            .int("backdroid_fn", backdroid_fn as u64)
+            .int("backdroid_fn_fixed", backdroid_fn_fixed as u64)
+            .int("amandroid_fp", amandroid_fp as u64)
+            .int("backdroid_fp", backdroid_fp as u64)
+            .int("extra_timeout", extra[0] as u64)
+            .int("extra_skipped_lib", extra[1] as u64)
+            .int("extra_async", extra[2] as u64)
+            .int("extra_error", extra[3] as u64)
+            .int("clean_matched", matched_apps as u64)
+            .int("clinit_identified", identified as u64)
+            .int("clinit_confirmed", confirmed as u64)
+            .build();
+        let doc = JsonObject::new()
+            .raw("summary", summary)
+            .raw("apps", apps)
+            .build();
+        std::fs::write(&path, doc).expect("write --json artifact");
+        eprintln!("wrote {}", path.display());
+    }
 }
 
 /// §IV-C: "Among 37 unique static initializers that are identified by our
 /// recursive search as reachable, all of them are actually reachable."
-fn clinit_validation() {
+fn clinit_validation() -> (usize, usize) {
     use backdroid_appgen::{AppSpec, Mechanism, Scenario, SinkKind};
     use backdroid_core::clinit::clinit_reachable;
     use backdroid_core::AnalysisContext;
@@ -170,8 +246,5 @@ fn clinit_validation() {
             }
         }
     }
-    println!(
-        "\n§IV-C validation: {identified} reachable <clinit>s identified, {confirmed} confirmed \
-         truly reachable   [paper: 37/37]"
-    );
+    (identified, confirmed)
 }

@@ -1,0 +1,127 @@
+//! Head-to-head over the benchmark corpus: the `LinearScan` oracle vs
+//! the `Indexed` posting-list backend.
+//!
+//! For every generated app this bin runs the full BackDroid pipeline
+//! once per backend and then
+//!
+//! 1. **verifies exact equivalence** — identical vulnerable-sink counts,
+//!    sink sites, cache rates, and linear-model work (any divergence
+//!    aborts the run, making this a corpus-scale oracle check on top of
+//!    the unit/property tests), and
+//! 2. **reports both cost models** — the paper-calibrated grep minutes
+//!    (`lines_scanned`) next to the indexed minutes
+//!    (`postings_touched`), per app and in aggregate.
+//!
+//! Runs on the parallel corpus driver; stdout and `--json` output are
+//! byte-identical for any `--threads` value.
+
+use backdroid_appgen::benchset::bench_app;
+use backdroid_bench::harness::{
+    json_path_from_args, median, par_map, run_backdroid_with_backend, scale_from_args,
+    threads_from_args,
+};
+use backdroid_bench::json::{array, JsonObject};
+use backdroid_core::BackendChoice;
+
+fn main() {
+    let scale = scale_from_args();
+    let threads = threads_from_args();
+    let cfg = scale.config();
+
+    let rows = par_map(cfg.count, threads, |i| {
+        let ba = bench_app(i, cfg);
+        let lin = run_backdroid_with_backend(&ba.app, BackendChoice::LinearScan);
+        let idx = run_backdroid_with_backend(&ba.app, BackendChoice::Indexed);
+        // The oracle check: the indexed backend must be indistinguishable
+        // in everything but the work measure.
+        assert_eq!(
+            lin.vulnerable, idx.vulnerable,
+            "{}: backend verdict divergence",
+            lin.app
+        );
+        assert_eq!(
+            lin.sinks_analyzed, idx.sinks_analyzed,
+            "{}: sink-site divergence",
+            lin.app
+        );
+        assert_eq!(
+            lin.cache_rate, idx.cache_rate,
+            "{}: command-stream divergence",
+            lin.app
+        );
+        assert_eq!(
+            lin.lines_scanned, idx.lines_scanned,
+            "{}: linear-model accounting divergence",
+            lin.app
+        );
+        (lin, idx)
+    });
+
+    println!(
+        "Search backend comparison over {} apps (oracle check: all identical)\n",
+        rows.len()
+    );
+    println!(
+        "{:<22} {:>8} {:>14} {:>16} {:>9}",
+        "app", "sinks", "grep lines", "postings touched", "reduction"
+    );
+    let mut lin_minutes = Vec::new();
+    let mut idx_minutes = Vec::new();
+    let mut lines_total = 0u64;
+    let mut postings_total = 0u64;
+    for (lin, idx) in &rows {
+        let reduction =
+            100.0 * (1.0 - idx.postings_touched as f64 / lin.lines_scanned.max(1) as f64);
+        println!(
+            "{:<22} {:>8} {:>14} {:>16} {:>8.1}%",
+            lin.app, lin.sinks_analyzed, lin.lines_scanned, idx.postings_touched, reduction
+        );
+        lin_minutes.push(lin.minutes);
+        idx_minutes.push(idx.minutes_indexed);
+        lines_total += lin.lines_scanned;
+        postings_total += idx.postings_touched;
+    }
+
+    let lin_med = median(&lin_minutes);
+    let idx_med = median(&idx_minutes);
+    println!("\nAggregate:");
+    println!("  linear grep lines:        {lines_total}");
+    println!("  indexed postings touched: {postings_total}");
+    println!(
+        "  corpus reduction:         {:.1}% of linear scan work avoided",
+        100.0 * (1.0 - postings_total as f64 / lines_total.max(1) as f64)
+    );
+    println!(
+        "  median scaled minutes:    {lin_med:.3} (linear model) vs {idx_med:.3} (indexed model)"
+    );
+    if idx_med > 0.0 {
+        println!("  median model speedup:     {:.1}x", lin_med / idx_med);
+    }
+
+    if let Some(path) = json_path_from_args() {
+        let apps = array(rows.iter().map(|(lin, idx)| {
+            JsonObject::new()
+                .str("app", &lin.app)
+                .int("sinks_analyzed", lin.sinks_analyzed as u64)
+                .int("vulnerable", lin.vulnerable as u64)
+                .int("lines_scanned", lin.lines_scanned)
+                .int("postings_touched", idx.postings_touched)
+                .float("minutes_linear", lin.minutes)
+                .float("minutes_indexed", idx.minutes_indexed)
+                .build()
+        }));
+        let summary = JsonObject::new()
+            .int("apps", rows.len() as u64)
+            .int("lines_scanned_total", lines_total)
+            .int("postings_touched_total", postings_total)
+            .float("median_minutes_linear", lin_med)
+            .float("median_minutes_indexed", idx_med)
+            .build();
+        let doc = JsonObject::new()
+            .raw("summary", summary)
+            .raw("apps", apps)
+            .build();
+        std::fs::write(&path, doc).expect("write --json artifact");
+        eprintln!("wrote {}", path.display());
+    }
+}

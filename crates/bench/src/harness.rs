@@ -1,5 +1,6 @@
-//! Shared harness utilities: running both tools over the benchmark set,
-//! deterministic scaled-time conversion, and distribution bucketing.
+//! Shared harness utilities: running both tools over the benchmark set
+//! (sequentially or with the parallel corpus driver), deterministic
+//! scaled-time conversion, and distribution bucketing.
 //!
 //! ## Time scaling
 //!
@@ -7,21 +8,41 @@
 //! testbed, so each tool also reports a *deterministic, machine-independent*
 //! work measure that the harness converts to "scaled minutes":
 //!
-//! * **BackDroid** — dump lines scanned by the search engine (its cost
-//!   driver is grep passes over the dexdump text), divided by
-//!   [`BACKDROID_LINES_PER_MINUTE`].
+//! * **BackDroid (linear model)** — dump lines a full grep scans for the
+//!   uncached search commands (the paper tool's cost driver), divided by
+//!   [`BACKDROID_LINES_PER_MINUTE`]. Charged identically under either
+//!   search backend, so every figure calibrated against the paper is
+//!   backend-invariant.
+//! * **BackDroid (indexed model)** — posting-list candidate lines the
+//!   `Indexed` backend actually touched (`CacheStats::postings_touched`),
+//!   through the same divisor, so both cost models land on one scale.
 //! * **Amandroid baseline** — statement-visit work units, divided by
 //!   `backdroid_wholeapp::WORK_UNITS_PER_MINUTE` (whose 300-minute budget
 //!   is the paper's timeout).
 //!
-//! Real wall-clock milliseconds are reported alongside, unscaled.
+//! Real wall-clock milliseconds are reported alongside, unscaled. Keep
+//! them out of report stdout and `--json` artifacts: the corpus driver
+//! guarantees byte-identical deterministic output between sequential and
+//! parallel runs, and wall-clock values are the one nondeterministic
+//! field.
+//!
+//! ## The parallel corpus driver
+//!
+//! [`par_map`] fans one closure out over `0..count` with scoped worker
+//! threads and reassembles results **in index order**, so
+//! [`run_benchset_with`] and the report bins produce byte-identical
+//! deterministic output no matter the thread count (`--threads 1` *is*
+//! the sequential path).
 
 use backdroid_appgen::benchset::{bench_app, BenchApp, BenchsetConfig, Profile};
-use backdroid_core::{AnalysisContext, Backdroid, BackdroidOptions};
+use backdroid_core::{AnalysisContext, Backdroid, BackdroidOptions, BackendChoice};
 use backdroid_wholeapp::amandroid::{analyze, AmandroidConfig, Outcome};
 use backdroid_wholeapp::paper_minutes;
 use serde::Serialize;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
+
+use crate::json::{array, JsonObject};
 
 /// Calibration: dump lines BackDroid scans per scaled minute. Chosen so
 /// the benchmark set's median lands near the paper's 2.13 min.
@@ -34,6 +55,15 @@ pub enum Scale {
     Full,
     /// A reduced set for quick runs and CI.
     Small,
+    /// An arbitrary corpus size (the `--count` knob): `code_permille`
+    /// scales the filler-code volume in thousandths (80 ≙ the `Small`
+    /// volume, 1000 ≙ paper scale).
+    Sized {
+        /// Number of generated apps.
+        count: usize,
+        /// Filler-code volume in thousandths of paper scale.
+        code_permille: u32,
+    },
 }
 
 impl Scale {
@@ -42,12 +72,55 @@ impl Scale {
         match self {
             Scale::Full => BenchsetConfig::full(),
             Scale::Small => BenchsetConfig::small(),
+            Scale::Sized {
+                count,
+                code_permille,
+            } => BenchsetConfig::sized(count, code_permille as f64 / 1000.0),
         }
     }
 }
 
-/// Parses `--small` / `--full` from argv (default full).
+/// The value following `--flag` (or embedded as `--flag=value`) in argv.
+fn arg_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+        if let Some(v) = a.strip_prefix(&format!("{flag}=")) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
+/// A present flag with an unparseable value is a hard usage error —
+/// silently falling back to a default would turn a typoed `--count`
+/// smoke run into a full paper-scale sweep.
+fn usage_error(flag: &str, value: &str, expected: &str) -> ! {
+    eprintln!("error: {flag} {value:?} is invalid — expected {expected}");
+    std::process::exit(2)
+}
+
+/// Parses the harness scale from argv: `--small` / `--full` (default
+/// full), or `--count N` (+ optional `--code-permille M`, default 80)
+/// for an arbitrary corpus size.
 pub fn scale_from_args() -> Scale {
+    if let Some(v) = arg_value("--count") {
+        let count = v
+            .parse()
+            .unwrap_or_else(|_| usage_error("--count", &v, "a positive integer"));
+        let code_permille = match arg_value("--code-permille") {
+            Some(m) => m.parse().unwrap_or_else(|_| {
+                usage_error("--code-permille", &m, "an integer (1000 ≙ paper scale)")
+            }),
+            None => 80,
+        };
+        return Scale::Sized {
+            count,
+            code_permille,
+        };
+    }
     if std::env::args().any(|a| a == "--small") {
         Scale::Small
     } else {
@@ -55,15 +128,97 @@ pub fn scale_from_args() -> Scale {
     }
 }
 
+/// Parses `--backend linear|indexed` from argv (default indexed).
+pub fn backend_from_args() -> BackendChoice {
+    match arg_value("--backend") {
+        Some(v) => BackendChoice::parse(&v)
+            .unwrap_or_else(|| usage_error("--backend", &v, "\"linear\" or \"indexed\"")),
+        None => BackendChoice::default(),
+    }
+}
+
+/// Parses `--threads N` from argv; defaults to the machine's available
+/// parallelism.
+pub fn threads_from_args() -> usize {
+    match arg_value("--threads") {
+        Some(v) => v
+            .parse::<usize>()
+            .unwrap_or_else(|_| usage_error("--threads", &v, "a positive integer"))
+            .max(1),
+        None => std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+    }
+}
+
+/// Parses `--json PATH` from argv: where to write the run's JSON
+/// artifact.
+pub fn json_path_from_args() -> Option<std::path::PathBuf> {
+    arg_value("--json").map(std::path::PathBuf::from)
+}
+
+/// The parallel corpus driver: applies `f` to every index in `0..count`
+/// on `threads` scoped workers and returns the results **in index
+/// order**. With `threads <= 1` this is a plain sequential map — the
+/// parallel path is guaranteed to produce the identical `Vec`, so
+/// deterministic report output is byte-identical either way. A worker
+/// panic propagates.
+pub fn par_map<T, F>(count: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.clamp(1, count.max(1));
+    if threads <= 1 {
+        return (0..count).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, T)> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= count {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .flat_map(|w| w.join().expect("corpus worker panicked"))
+            .collect()
+    });
+    indexed.sort_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, t)| t).collect()
+}
+
 /// One BackDroid run result.
 #[derive(Clone, Debug, Serialize)]
 pub struct BackdroidRun {
     /// App name.
     pub app: String,
-    /// Scaled analysis time in paper minutes.
+    /// Search backend the run used (`"linear"` / `"indexed"`).
+    pub backend: String,
+    /// Scaled analysis time in paper minutes (linear cost model —
+    /// backend-invariant, calibrated against the paper).
     pub minutes: f64,
-    /// Real wall-clock milliseconds.
+    /// Scaled analysis time under the indexed cost model
+    /// (`postings_touched`-based; equals the preprocessing floor for
+    /// linear-backend runs, whose indexed work is zero).
+    pub minutes_indexed: f64,
+    /// Real wall-clock milliseconds (nondeterministic — keep out of
+    /// report stdout and JSON artifacts).
     pub wall_ms: f64,
+    /// Linear-model grep lines for the uncached search commands.
+    pub lines_scanned: u64,
+    /// Posting-list candidate lines the indexed backend examined.
+    pub postings_touched: u64,
     /// Number of sink call sites analyzed.
     pub sinks_analyzed: usize,
     /// Vulnerable sinks found.
@@ -76,6 +231,26 @@ pub struct BackdroidRun {
     pub loops_detected: bool,
     /// Most common loop kind, if any.
     pub top_loop: Option<String>,
+}
+
+impl BackdroidRun {
+    /// Deterministic JSON rendering (no wall-clock field).
+    pub fn to_json(&self) -> String {
+        JsonObject::new()
+            .str("app", &self.app)
+            .str("backend", &self.backend)
+            .float("minutes", self.minutes)
+            .float("minutes_indexed", self.minutes_indexed)
+            .int("lines_scanned", self.lines_scanned)
+            .int("postings_touched", self.postings_touched)
+            .int("sinks_analyzed", self.sinks_analyzed as u64)
+            .int("vulnerable", self.vulnerable as u64)
+            .float("cache_rate", self.cache_rate)
+            .float("sink_cache_rate", self.sink_cache_rate)
+            .bool("loops_detected", self.loops_detected)
+            .str("top_loop", self.top_loop.as_deref().unwrap_or(""))
+            .build()
+    }
 }
 
 /// One baseline run result.
@@ -95,6 +270,19 @@ pub struct AmandroidRun {
     pub vulnerable: usize,
 }
 
+impl AmandroidRun {
+    /// Deterministic JSON rendering (no wall-clock field).
+    pub fn to_json(&self) -> String {
+        JsonObject::new()
+            .str("app", &self.app)
+            .float("minutes", self.minutes)
+            .bool("timed_out", self.timed_out)
+            .bool("errored", self.errored)
+            .int("vulnerable", self.vulnerable as u64)
+            .build()
+    }
+}
+
 /// Both tools' results for one benchmark app.
 #[derive(Clone, Debug, Serialize)]
 pub struct BenchRun {
@@ -108,26 +296,67 @@ pub struct BenchRun {
     pub true_vulns: usize,
 }
 
-/// Converts a BackDroid report to scaled paper minutes: lines scanned by
-/// searches plus one preprocessing pass over the dump.
+impl BenchRun {
+    /// Deterministic JSON rendering (no wall-clock fields).
+    pub fn to_json(&self) -> String {
+        JsonObject::new()
+            .str("profile", &self.profile)
+            .raw("backdroid", self.backdroid.to_json())
+            .raw("amandroid", self.amandroid.to_json())
+            .int("true_vulns", self.true_vulns as u64)
+            .build()
+    }
+}
+
+/// Renders a slice of [`BenchRun`]s as a deterministic JSON array.
+pub fn bench_runs_json(runs: &[BenchRun]) -> String {
+    array(runs.iter().map(BenchRun::to_json))
+}
+
+/// Converts a BackDroid report to scaled paper minutes under the linear
+/// cost model: lines a full grep scans for the uncached commands plus
+/// one preprocessing pass over the dump.
 pub fn backdroid_minutes(lines_scanned: u64, dump_lines: u64) -> f64 {
     (lines_scanned as f64 + 3.0 * dump_lines as f64) / BACKDROID_LINES_PER_MINUTE
 }
 
-/// Runs BackDroid on one generated app.
+/// Scaled minutes under the indexed cost model: posting-list candidates
+/// touched plus the same preprocessing pass (index construction rides
+/// along with the dump indexing).
+pub fn backdroid_minutes_indexed(postings_touched: u64, dump_lines: u64) -> f64 {
+    (postings_touched as f64 + 3.0 * dump_lines as f64) / BACKDROID_LINES_PER_MINUTE
+}
+
+/// Runs BackDroid on one generated app with the default (indexed)
+/// backend.
 pub fn run_backdroid_on(app: &backdroid_appgen::AndroidApp) -> BackdroidRun {
+    run_backdroid_with_backend(app, BackendChoice::default())
+}
+
+/// Runs BackDroid on one generated app with an explicit search backend.
+pub fn run_backdroid_with_backend(
+    app: &backdroid_appgen::AndroidApp,
+    backend: BackendChoice,
+) -> BackdroidRun {
     let start = Instant::now();
     let dump = app.dump();
     let dump_lines = dump.lines().count() as u64;
-    let mut ctx = AnalysisContext::with_dump(&app.program, &app.manifest, &dump);
-    let tool = Backdroid::with_options(BackdroidOptions::default());
+    let mut ctx = AnalysisContext::with_dump_backend(&app.program, &app.manifest, &dump, backend);
+    let tool = Backdroid::with_options(BackdroidOptions {
+        backend,
+        ..BackdroidOptions::default()
+    });
     let report = tool.analyze_in(&mut ctx);
     let wall_ms = start.elapsed().as_secs_f64() * 1_000.0;
     let cache = ctx.engine.stats();
     BackdroidRun {
         app: app.name.clone(),
+        backend: backend.name().to_string(),
         minutes: backdroid_minutes(cache.lines_scanned, dump_lines),
+        minutes_indexed: backdroid_minutes_indexed(cache.postings_touched, dump_lines),
         wall_ms,
+        lines_scanned: cache.lines_scanned,
+        postings_touched: cache.postings_touched,
         sinks_analyzed: report.sinks_analyzed(),
         vulnerable: report.vulnerable_sinks().len(),
         cache_rate: cache.rate(),
@@ -192,22 +421,29 @@ pub fn budget_for(scale: Scale) -> u64 {
     ((backdroid_wholeapp::DEFAULT_BUDGET_UNITS as f64) * cfg.code_scale).max(1_000.0) as u64
 }
 
-/// Runs both tools over the benchmark set, generating one app at a time
-/// so memory stays bounded at the largest single app.
+/// Runs both tools over the benchmark set sequentially with the default
+/// backend. Equivalent to `run_benchset_with(scale, default, 1)`.
 pub fn run_benchset(scale: Scale) -> Vec<BenchRun> {
+    run_benchset_with(scale, BackendChoice::default(), 1)
+}
+
+/// Runs both tools over the benchmark set on the parallel corpus driver:
+/// apps are generated and analyzed on `threads` workers (each worker
+/// generates its own apps, so memory stays bounded at `threads` × the
+/// largest single app) and results return in app-index order —
+/// deterministic output regardless of thread count.
+pub fn run_benchset_with(scale: Scale, backend: BackendChoice, threads: usize) -> Vec<BenchRun> {
     let cfg = scale.config();
     let budget = budget_for(scale);
-    (0..cfg.count)
-        .map(|i| {
-            let ba = bench_app(i, cfg);
-            BenchRun {
-                profile: format!("{:?}", ba.profile),
-                backdroid: run_backdroid_on(&ba.app),
-                amandroid: run_amandroid_with_budget(&ba.app, budget),
-                true_vulns: ba.app.true_vulnerabilities(),
-            }
-        })
-        .collect()
+    par_map(cfg.count, threads, |i| {
+        let ba = bench_app(i, cfg);
+        BenchRun {
+            profile: format!("{:?}", ba.profile),
+            backdroid: run_backdroid_with_backend(&ba.app, backend),
+            amandroid: run_amandroid_with_budget(&ba.app, budget),
+            true_vulns: ba.app.true_vulnerabilities(),
+        }
+    })
 }
 
 /// Streams the generated benchmark apps with profiles (for harnesses that
@@ -290,6 +526,7 @@ mod tests {
         let m = backdroid_minutes(750_000, 0);
         assert!((m - 1.0).abs() < 1e-9);
         assert!(backdroid_minutes(0, 1000) > 0.0, "preprocessing counted");
+        assert!(backdroid_minutes_indexed(0, 1000) > 0.0);
     }
 
     #[test]
@@ -309,5 +546,55 @@ mod tests {
         let a = run_amandroid_on(&app);
         assert!(!a.timed_out);
         assert_eq!(a.vulnerable, 1);
+    }
+
+    #[test]
+    fn par_map_is_deterministic_and_ordered() {
+        let square = |i: usize| i * i;
+        let seq: Vec<usize> = par_map(37, 1, square);
+        let par: Vec<usize> = par_map(37, 8, square);
+        assert_eq!(seq, par);
+        assert_eq!(seq[5], 25);
+        assert!(par_map(0, 4, square).is_empty());
+    }
+
+    #[test]
+    fn parallel_benchset_matches_sequential_byte_for_byte() {
+        let scale = Scale::Sized {
+            count: 6,
+            code_permille: 40,
+        };
+        let seq = run_benchset_with(scale, BackendChoice::Indexed, 1);
+        let par = run_benchset_with(scale, BackendChoice::Indexed, 4);
+        assert_eq!(seq.len(), par.len());
+        // The deterministic JSON projection (everything but wall-clock)
+        // must be byte-identical — this is the corpus driver's contract.
+        assert_eq!(bench_runs_json(&seq), bench_runs_json(&par));
+    }
+
+    #[test]
+    fn backends_agree_across_a_sized_benchset() {
+        let scale = Scale::Sized {
+            count: 5,
+            code_permille: 40,
+        };
+        let lin = run_benchset_with(scale, BackendChoice::LinearScan, 2);
+        let idx = run_benchset_with(scale, BackendChoice::Indexed, 2);
+        for (l, x) in lin.iter().zip(&idx) {
+            assert_eq!(
+                l.backdroid.vulnerable, x.backdroid.vulnerable,
+                "{}",
+                l.backdroid.app
+            );
+            assert_eq!(l.backdroid.sinks_analyzed, x.backdroid.sinks_analyzed);
+            assert_eq!(l.backdroid.lines_scanned, x.backdroid.lines_scanned);
+            assert_eq!(l.backdroid.cache_rate, x.backdroid.cache_rate);
+            assert_eq!(l.backdroid.postings_touched, 0);
+            assert!(
+                x.backdroid.postings_touched < x.backdroid.lines_scanned,
+                "indexed work must undercut the linear model on {}",
+                x.backdroid.app
+            );
+        }
     }
 }

@@ -12,16 +12,29 @@
 //! | `fig9_sinks_vs_time`    | Fig 9 — #sink calls vs BackDroid time |
 //! | `detection_comparison`  | §VI-C — detection accuracy both ways |
 //! | `cache_stats`           | §IV-F — cache rates and loop statistics |
+//! | `search_backend_bench`  | linear-vs-indexed search backend cost + equivalence |
 //!
-//! Run with `cargo run --release -p backdroid-bench --bin <name>`; pass
-//! `--small` for a reduced, fast configuration.
+//! Run with `cargo run --release -p backdroid-bench --bin <name>`. Common
+//! flags (parsed by [`harness`]):
+//!
+//! * `--small` / `--count N [--code-permille M]` — corpus size (default:
+//!   the paper-scale 144-app set);
+//! * `--backend linear|indexed` — search backend (default indexed; both
+//!   are hit-for-hit identical, so detection output never changes);
+//! * `--threads N` — parallel corpus driver width (default: all cores;
+//!   deterministic report output is byte-identical for any value);
+//! * `--json PATH` — also write the run's deterministic JSON artifact
+//!   (what the CI `bench-smoke` job uploads and diffs).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod json;
 
 pub use harness::{
-    backdroid_minutes, bucket_label, median, run_amandroid_on, run_backdroid_on, run_benchset,
-    scale_from_args, AmandroidRun, BackdroidRun, BenchRun, Scale, BACKDROID_LINES_PER_MINUTE,
+    backdroid_minutes, backdroid_minutes_indexed, backend_from_args, bucket_label,
+    json_path_from_args, median, par_map, run_amandroid_on, run_backdroid_on,
+    run_backdroid_with_backend, run_benchset, run_benchset_with, scale_from_args,
+    threads_from_args, AmandroidRun, BackdroidRun, BenchRun, Scale, BACKDROID_LINES_PER_MINUTE,
 };

@@ -5,7 +5,7 @@ use crate::loops::LoopStats;
 use backdroid_dex::{dump_image, DexImage};
 use backdroid_ir::Program;
 use backdroid_manifest::Manifest;
-use backdroid_search::{BytecodeText, SearchEngine};
+use backdroid_search::{BackendChoice, BytecodeText, SearchEngine};
 
 /// Everything one app analysis needs: the IR program (program analysis
 /// space), the search engine over the dexdump text (bytecode search
@@ -23,14 +23,24 @@ pub struct AnalysisContext<'a> {
 
 impl<'a> AnalysisContext<'a> {
     /// Builds a context by encoding the program to DEX, disassembling it,
-    /// and indexing the plaintext — the preprocessing step of §III.
+    /// and indexing the plaintext — the preprocessing step of §III. Uses
+    /// the default search backend ([`BackendChoice::Indexed`]).
     pub fn new(program: &'a Program, manifest: &'a Manifest) -> Self {
+        Self::with_backend(program, manifest, BackendChoice::default())
+    }
+
+    /// Builds a context with an explicit search-backend choice.
+    pub fn with_backend(
+        program: &'a Program,
+        manifest: &'a Manifest,
+        backend: BackendChoice,
+    ) -> Self {
         let image = DexImage::encode(program);
         let dump = dump_image(&image);
         AnalysisContext {
             program,
             manifest,
-            engine: SearchEngine::new(BytecodeText::index(&dump)),
+            engine: SearchEngine::with_backend(BytecodeText::index(&dump), backend),
             loops: LoopStats::default(),
         }
     }
@@ -38,10 +48,21 @@ impl<'a> AnalysisContext<'a> {
     /// Builds a context over an already-disassembled dump (lets tests and
     /// the benchmark harness reuse a dump across runs).
     pub fn with_dump(program: &'a Program, manifest: &'a Manifest, dump: &str) -> Self {
+        Self::with_dump_backend(program, manifest, dump, BackendChoice::default())
+    }
+
+    /// Builds a context over an existing dump with an explicit
+    /// search-backend choice.
+    pub fn with_dump_backend(
+        program: &'a Program,
+        manifest: &'a Manifest,
+        dump: &str,
+        backend: BackendChoice,
+    ) -> Self {
         AnalysisContext {
             program,
             manifest,
-            engine: SearchEngine::new(BytecodeText::index(dump)),
+            engine: SearchEngine::with_backend(BytecodeText::index(dump), backend),
             loops: LoopStats::default(),
         }
     }

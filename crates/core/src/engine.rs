@@ -11,7 +11,7 @@ use crate::sinks::SinkRegistry;
 use crate::slicer::{slice_sink, SlicerConfig};
 use backdroid_ir::{MethodSig, Program};
 use backdroid_manifest::Manifest;
-use backdroid_search::CacheStats;
+use backdroid_search::{BackendChoice, CacheStats};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
@@ -27,6 +27,11 @@ pub struct BackdroidOptions {
     pub hierarchy_initial_search: bool,
     /// Slicer bounds.
     pub slicer: SlicerConfig,
+    /// Which search backend the engine executes uncached commands with.
+    /// Both backends are hit-for-hit identical (the property tests
+    /// enforce it); `Indexed` touches only posting-list candidates while
+    /// `LinearScan` reproduces the paper's full-dump grep cost.
+    pub backend: BackendChoice,
 }
 
 impl Default for BackdroidOptions {
@@ -35,6 +40,7 @@ impl Default for BackdroidOptions {
             sinks: SinkRegistry::crypto_and_ssl(),
             hierarchy_initial_search: false,
             slicer: SlicerConfig::default(),
+            backend: BackendChoice::default(),
         }
     }
 }
@@ -139,7 +145,7 @@ impl Backdroid {
     /// Analyzes one app.
     pub fn analyze(&self, program: &Program, manifest: &Manifest) -> AppReport {
         let start = Instant::now();
-        let mut ctx = AnalysisContext::new(program, manifest);
+        let mut ctx = AnalysisContext::with_backend(program, manifest, self.options.backend);
         let report = self.analyze_in(&mut ctx);
         AppReport {
             analysis_time: start.elapsed(),

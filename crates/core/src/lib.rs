@@ -65,6 +65,7 @@ pub mod sinks;
 pub mod slicer;
 pub mod ssg;
 
+pub use backdroid_search::BackendChoice;
 pub use backtrack::{find_callers, CallerEdge, ChainStep, EdgeKind, Reached};
 pub use context::AnalysisContext;
 pub use detect::{judge, judge_cipher, judge_verifier, Verdict};

@@ -1,0 +1,199 @@
+//! Pluggable search execution: the linear-grep oracle and the
+//! posting-list backend.
+//!
+//! A [`SearchBackend`] answers one uncached [`SearchCmd`] (or one
+//! class-level "invoked by" query) over an indexed dump. Two
+//! implementations exist:
+//!
+//! * [`LinearScan`] — the paper's grep: every query walks every dump
+//!   line. Kept as the correctness oracle.
+//! * [`Indexed`] — looks up the [`SearchIndex`](crate::SearchIndex)
+//!   posting list (built lazily on first use) and re-verifies
+//!   only the candidate lines with the very same needle + guard predicate
+//!   the oracle uses, so results are hit-for-hit identical while work
+//!   scales with matches instead of app size.
+//!
+//! Work accounting: the engine charges `lines_scanned` (the linear-model
+//! grep cost) for every cache miss regardless of backend, so detection
+//! output and the paper-calibrated scaled minutes never depend on the
+//! backend choice; [`Indexed`] additionally records the candidate lines
+//! it actually touched in
+//! [`CacheStats::postings_touched`](crate::CacheStats::postings_touched).
+
+use crate::engine::{classes_using_scan, CacheStats, Hit, SearchCmd};
+use crate::text::BytecodeText;
+use backdroid_dex::class_descriptor;
+use backdroid_ir::ClassName;
+
+/// Executes uncached search commands over one dump.
+pub trait SearchBackend: std::fmt::Debug + Send + Sync {
+    /// Short backend name for reports (`"linear"` / `"indexed"`).
+    fn name(&self) -> &'static str;
+
+    /// Answers one search command. `stats` receives the backend-specific
+    /// work measure (the engine has already charged the linear-model
+    /// `lines_scanned`).
+    fn search(&self, text: &BytecodeText, cmd: &SearchCmd, stats: &mut CacheStats) -> Vec<Hit>;
+
+    /// Classes whose code or hierarchy references `target` (the §IV-C
+    /// class-level search).
+    fn classes_using(
+        &self,
+        text: &BytecodeText,
+        target: &ClassName,
+        stats: &mut CacheStats,
+    ) -> Vec<ClassName>;
+}
+
+/// Which backend a [`SearchEngine`](crate::SearchEngine) executes
+/// uncached commands with. Both return identical hits; they differ only
+/// in how much of the dump they touch.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum BackendChoice {
+    /// Full-dump grep per query (the paper's cost model; the oracle).
+    LinearScan,
+    /// Posting-list lookups per query (the default).
+    #[default]
+    Indexed,
+}
+
+impl BackendChoice {
+    /// Instantiates the chosen backend.
+    pub fn backend(self) -> Box<dyn SearchBackend> {
+        match self {
+            BackendChoice::LinearScan => Box::new(LinearScan),
+            BackendChoice::Indexed => Box::new(Indexed),
+        }
+    }
+
+    /// The backend's report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendChoice::LinearScan => "linear",
+            BackendChoice::Indexed => "indexed",
+        }
+    }
+
+    /// Parses `"linear"` / `"indexed"` (as accepted by the bench bins'
+    /// `--backend` flag).
+    pub fn parse(s: &str) -> Option<BackendChoice> {
+        match s {
+            "linear" | "linear-scan" | "linearscan" => Some(BackendChoice::LinearScan),
+            "indexed" | "index" => Some(BackendChoice::Indexed),
+            _ => None,
+        }
+    }
+}
+
+/// The oracle backend: every query greps every dump line.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LinearScan;
+
+impl SearchBackend for LinearScan {
+    fn name(&self) -> &'static str {
+        "linear"
+    }
+
+    fn search(&self, text: &BytecodeText, cmd: &SearchCmd, _stats: &mut CacheStats) -> Vec<Hit> {
+        let needle = cmd.needle();
+        let guard = cmd.line_guard();
+        let mut hits = Vec::new();
+        for (i, line) in text.lines().iter().enumerate() {
+            if !line.contains(needle.as_str()) || !guard(line) {
+                continue;
+            }
+            if let Some(method) = text.method_at_line(i) {
+                hits.push(Hit {
+                    method: method.clone(),
+                    line: i,
+                });
+            }
+        }
+        hits
+    }
+
+    fn classes_using(
+        &self,
+        text: &BytecodeText,
+        target: &ClassName,
+        _stats: &mut CacheStats,
+    ) -> Vec<ClassName> {
+        classes_using_scan(text, target)
+    }
+}
+
+/// The posting-list backend: every query touches only its candidate
+/// lines, each re-verified with the oracle's predicate.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Indexed;
+
+impl SearchBackend for Indexed {
+    fn name(&self) -> &'static str {
+        "indexed"
+    }
+
+    fn search(&self, text: &BytecodeText, cmd: &SearchCmd, stats: &mut CacheStats) -> Vec<Hit> {
+        let needle = cmd.needle();
+        let guard = cmd.line_guard();
+        let candidates = text.search_index().candidates(cmd);
+        stats.postings_touched += candidates.len() as u64;
+        let mut hits = Vec::new();
+        for &i in candidates {
+            let i = i as usize;
+            let line = &text.lines()[i];
+            if !line.contains(needle.as_str()) || !guard(line) {
+                continue;
+            }
+            if let Some(method) = text.method_at_line(i) {
+                hits.push(Hit {
+                    method: method.clone(),
+                    line: i,
+                });
+            }
+        }
+        hits
+    }
+
+    fn classes_using(
+        &self,
+        text: &BytecodeText,
+        target: &ClassName,
+        stats: &mut CacheStats,
+    ) -> Vec<ClassName> {
+        let desc = class_descriptor(target);
+        let index = text.search_index();
+        let candidates = index.class_candidates(&desc);
+        stats.postings_touched += candidates.len() as u64;
+        let mut out: Vec<ClassName> = Vec::new();
+        let mut push = |c: ClassName| {
+            if c != *target && !out.contains(&c) {
+                out.push(c);
+            }
+        };
+        for &i in candidates {
+            let i = i as usize;
+            let line = &text.lines()[i];
+            let trimmed = line.trim_start();
+            // Class-descriptor headers only *define* the section owner;
+            // the linear scan skips them before its contains check.
+            if trimmed.strip_prefix("Class descriptor  : '").is_some() {
+                continue;
+            }
+            if !line.contains(desc.as_str()) {
+                continue;
+            }
+            if trimmed.starts_with("Superclass")
+                || trimmed.starts_with("#") && trimmed.contains("'") && !trimmed.contains("(in ")
+            {
+                if let Some(c) = index.owner_class_of(i) {
+                    push(c.clone());
+                }
+                continue;
+            }
+            if let Some(m) = text.method_at_line(i) {
+                push(m.class().clone());
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,308 @@
+//! The inverted search index: posting lists over the bytecode plaintext.
+//!
+//! BackDroid's thesis is that analysis cost should scale with the
+//! sink-relevant code, not the app size — yet a grep answers every search
+//! command by scanning every dump line. [`SearchIndex`] removes that last
+//! linear factor: one tokenization pass over the lines
+//! [`BytecodeText::index`] indexed (run lazily, on the first indexed
+//! query) builds posting lists keyed by exactly the tokens
+//! [`SearchCmd::canonical`](crate::SearchCmd::canonical) already defines
+//! (method-ref invokes, class descriptors for `new-instance` /
+//! `const-class`, `const-string` literals, field references, and bare
+//! method-name calls), so the [`Indexed`](crate::Indexed) backend touches
+//! only candidate lines instead of the whole dump.
+//!
+//! The index is deliberately a *superset* structure: tokenization is
+//! purely lexical over every line (every `L…;` descriptor occurrence,
+//! every `;.name:(` member reference, every quote-delimited literal), and
+//! the backend re-verifies each candidate with the same needle + opcode
+//! guard the linear grep uses. That is what makes the
+//! [`LinearScan`](crate::LinearScan) oracle and the indexed backend
+//! hit-for-hit identical.
+//!
+//! [`BytecodeText::index`]: crate::BytecodeText::index
+
+use crate::engine::SearchCmd;
+use backdroid_dex::{class_descriptor, field_ref_string, method_ref_string};
+use backdroid_ir::{ClassName, Type};
+use std::collections::HashMap;
+
+/// Sentinel for "line is outside any class section".
+const NO_OWNER: u32 = u32::MAX;
+
+/// Posting lists over one dump: token → ascending line indices.
+#[derive(Debug, Default)]
+pub struct SearchIndex {
+    /// Namespaced token (`i:` invoke ref, `n:` method name, `c:` class
+    /// descriptor, `s:` string literal, `f:` field ref) → ascending,
+    /// deduplicated line indices.
+    postings: HashMap<String, Vec<u32>>,
+    /// Classes seen in `Class descriptor` header lines, in dump order.
+    classes: Vec<ClassName>,
+    /// For each line, index into `classes` of the section owning it
+    /// (`NO_OWNER` before the first class header).
+    owners: Vec<u32>,
+}
+
+impl SearchIndex {
+    /// Tokenizes the dump lines into posting lists. One pass, O(total
+    /// text); built once per [`BytecodeText`](crate::BytecodeText), on
+    /// the first indexed query.
+    pub fn build(lines: &[String]) -> SearchIndex {
+        let mut idx = SearchIndex {
+            postings: HashMap::new(),
+            classes: Vec::new(),
+            owners: Vec::with_capacity(lines.len()),
+        };
+        let mut current_owner = NO_OWNER;
+        for (i, line) in lines.iter().enumerate() {
+            if let Some(rest) = line.trim_start().strip_prefix("Class descriptor  : '") {
+                if let Some(desc) = rest.strip_suffix('\'') {
+                    if let Some(Type::Object(c)) = Type::from_descriptor(desc) {
+                        idx.classes.push(c);
+                        current_owner = (idx.classes.len() - 1) as u32;
+                    }
+                }
+            }
+            idx.owners.push(current_owner);
+            idx.tokenize_line(i as u32, line);
+        }
+        idx
+    }
+
+    fn add(&mut self, key: String, line: u32) {
+        let list = self.postings.entry(key).or_default();
+        if list.last() != Some(&line) {
+            list.push(line);
+        }
+    }
+
+    /// Extracts every lexical token occurrence from one line.
+    fn tokenize_line(&mut self, i: u32, line: &str) {
+        // Quote-delimited literals: enumerate every quote pair so any
+        // needle of the form `"…"` present in the line has its content
+        // keyed (dump lines carry at most one literal, so this stays
+        // quadratic only in theory).
+        let quotes: Vec<usize> = line
+            .char_indices()
+            .filter(|&(_, c)| c == '"')
+            .map(|(p, _)| p)
+            .collect();
+        for (a, &qa) in quotes.iter().enumerate() {
+            for &qb in &quotes[a + 1..] {
+                self.add(format!("s:{}", &line[qa + 1..qb]), i);
+            }
+        }
+
+        // Bare method-name calls: every `;.name:(` occurrence, parsed
+        // lexically so even refs the descriptor scan below cannot parse
+        // still land in the name posting list.
+        let mut p = 0;
+        while let Some(off) = line[p..].find(";.") {
+            let start = p + off + 2;
+            if let Some(colon) = line[start..].find(':') {
+                let name = &line[start..start + colon];
+                if !name.is_empty() && line[start + colon + 1..].starts_with('(') {
+                    self.add(format!("n:{name}"), i);
+                }
+            }
+            p = start;
+        }
+
+        // Class descriptors and member references: try a descriptor parse
+        // at every `L` byte, mirroring how the linear grep's needles can
+        // match at any position.
+        for (p, _) in line.char_indices().filter(|&(_, c)| c == 'L') {
+            let Some(desc_len) = object_descriptor_len(&line[p..]) else {
+                continue;
+            };
+            self.add(format!("c:{}", &line[p..p + desc_len]), i);
+            let rest = &line[p + desc_len..];
+            let Some(member) = rest.strip_prefix('.') else {
+                continue;
+            };
+            let Some(colon) = member.find(':') else {
+                continue;
+            };
+            let name = &member[..colon];
+            if name.is_empty() {
+                continue;
+            }
+            let after = &member[colon + 1..];
+            if after.starts_with('(') {
+                // Method reference: `Lc;.name:(params)ret`.
+                if let Some(proto_len) = proto_prefix_len(after) {
+                    let end = p + desc_len + 1 + colon + 1 + proto_len;
+                    self.add(format!("i:{}", &line[p..end]), i);
+                }
+            } else if let Some((_, rem)) = Type::parse_descriptor_prefix(after) {
+                // Field reference: `Lc;.name:type`.
+                let end = p + desc_len + 1 + colon + 1 + (after.len() - rem.len());
+                self.add(format!("f:{}", &line[p..end]), i);
+            }
+        }
+    }
+
+    /// Candidate lines for a search command — a superset of the lines the
+    /// linear grep would match, in ascending order. The caller must
+    /// re-verify each candidate against the command's needle and guard.
+    pub fn candidates(&self, cmd: &SearchCmd) -> &[u32] {
+        let key = match cmd {
+            SearchCmd::InvokeOf(m) => format!("i:{}", method_ref_string(m)),
+            SearchCmd::MethodNameCall(n) => format!("n:{n}"),
+            SearchCmd::NewInstanceOf(c) | SearchCmd::ConstClass(c) => {
+                format!("c:{}", class_descriptor(c))
+            }
+            SearchCmd::ConstString(s) => format!("s:{s}"),
+            SearchCmd::FieldAccess(f) | SearchCmd::StaticFieldAccess(f) => {
+                format!("f:{}", field_ref_string(f))
+            }
+        };
+        self.postings.get(&key).map_or(&[], Vec::as_slice)
+    }
+
+    /// Candidate lines containing a class descriptor anywhere (code
+    /// operands, `Superclass` / `Interfaces` headers, field headers) —
+    /// the posting list behind the class-level "invoked by" search.
+    pub fn class_candidates(&self, descriptor: &str) -> &[u32] {
+        self.postings
+            .get(&format!("c:{descriptor}"))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// The class whose dump section contains line `i` (tracked from
+    /// `Class descriptor` headers), if any.
+    pub fn owner_class_of(&self, i: usize) -> Option<&ClassName> {
+        let owner = *self.owners.get(i)?;
+        if owner == NO_OWNER {
+            None
+        } else {
+            self.classes.get(owner as usize)
+        }
+    }
+
+    /// Number of distinct tokens indexed.
+    pub fn token_count(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Total postings stored across all tokens.
+    pub fn posting_count(&self) -> usize {
+        self.postings.values().map(Vec::len).sum()
+    }
+}
+
+/// Length of the `Lpkg/Cls;` object descriptor at the start of `s`, if
+/// one is present. Mirrors the `L` branch of
+/// [`Type::parse_descriptor_prefix`]: any non-empty run of characters up
+/// to the first `;`.
+fn object_descriptor_len(s: &str) -> Option<usize> {
+    if !s.starts_with('L') {
+        return None;
+    }
+    let end = s.find(';')?;
+    if end < 2 {
+        return None;
+    }
+    Some(end + 1)
+}
+
+/// Length of the `(params)ret` proto at the start of `s`, if one parses.
+fn proto_prefix_len(s: &str) -> Option<usize> {
+    let mut cur = s.strip_prefix('(')?;
+    loop {
+        if let Some(after_paren) = cur.strip_prefix(')') {
+            let (_, rem) = Type::parse_descriptor_prefix(after_paren)?;
+            return Some(s.len() - rem.len());
+        }
+        let (_, rem) = Type::parse_descriptor_prefix(cur)?;
+        cur = rem;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backdroid_ir::MethodSig;
+
+    fn lines(src: &[&str]) -> Vec<String> {
+        src.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn invoke_refs_are_keyed_exactly() {
+        let idx = SearchIndex::build(&lines(&[
+            "0000: invoke-virtual {v1}, Lcom/a/Server;.start:()V // method@0001",
+            "0002: nop // spacer",
+            "0004: invoke-static {}, Lcom/a/Util;.go:(ILjava/lang/String;)[B // method@0002",
+        ]));
+        let m = MethodSig::new("com.a.Server", "start", vec![], Type::Void);
+        assert_eq!(idx.candidates(&SearchCmd::InvokeOf(m)), &[0]);
+        let g = MethodSig::new(
+            "com.a.Util",
+            "go",
+            vec![Type::Int, Type::string()],
+            Type::array(Type::Byte),
+        );
+        assert_eq!(idx.candidates(&SearchCmd::InvokeOf(g)), &[2]);
+        assert_eq!(
+            idx.candidates(&SearchCmd::MethodNameCall("go".into())),
+            &[2]
+        );
+    }
+
+    #[test]
+    fn string_literal_pairs_cover_substring_needles() {
+        let idx = SearchIndex::build(&lines(&[
+            "0000: const-string v0, \"AES/ECB/PKCS5Padding\" // string@0001",
+        ]));
+        assert_eq!(
+            idx.candidates(&SearchCmd::ConstString("AES/ECB/PKCS5Padding".into())),
+            &[0]
+        );
+        // Partial content is not a full quote-pair token.
+        assert!(idx
+            .candidates(&SearchCmd::ConstString("AES/ECB".into()))
+            .is_empty());
+    }
+
+    #[test]
+    fn class_descriptor_occurrences_index_headers_and_owners() {
+        let idx = SearchIndex::build(&lines(&[
+            "Class #0            -",
+            "  Class descriptor  : 'Lcom/a/Sub;'",
+            "  Superclass        : 'Lcom/a/Base;'",
+            "0000: new-instance v0, Lcom/a/Base; // type@0002",
+        ]));
+        let base = ClassName::new("com.a.Base");
+        assert_eq!(idx.class_candidates("Lcom/a/Base;"), &[2, 3]);
+        assert_eq!(idx.candidates(&SearchCmd::NewInstanceOf(base)), &[2, 3]);
+        assert!(idx.owner_class_of(0).is_none());
+        assert_eq!(idx.owner_class_of(2).unwrap().as_str(), "com.a.Sub");
+        assert_eq!(idx.owner_class_of(3).unwrap().as_str(), "com.a.Sub");
+    }
+
+    #[test]
+    fn field_refs_distinguish_type_suffix() {
+        let idx = SearchIndex::build(&lines(&[
+            "0000: sget v0, Lcom/a/Server;.PORT:I // field@0000",
+            "0001: iget-object v1, v2, Lcom/a/Server;.host:Ljava/lang/String; // field@0001",
+        ]));
+        let port = backdroid_ir::FieldSig::new("com.a.Server", "PORT", Type::Int);
+        assert_eq!(idx.candidates(&SearchCmd::FieldAccess(port.clone())), &[0]);
+        assert_eq!(idx.candidates(&SearchCmd::StaticFieldAccess(port)), &[0]);
+        let host = backdroid_ir::FieldSig::new("com.a.Server", "host", Type::string());
+        assert_eq!(idx.candidates(&SearchCmd::FieldAccess(host)), &[1]);
+    }
+
+    #[test]
+    fn prefix_parsers_reject_garbage() {
+        assert_eq!(object_descriptor_len("not a descriptor"), None);
+        assert_eq!(object_descriptor_len("L;"), None);
+        assert_eq!(object_descriptor_len("Lcom/a/B; trailing"), Some(9));
+        assert_eq!(proto_prefix_len("()V"), Some(3));
+        assert_eq!(proto_prefix_len("(ILjava/lang/String;)[B rest"), Some(23));
+        assert_eq!(proto_prefix_len("(Q)V"), None);
+        assert_eq!(proto_prefix_len("no parens"), None);
+    }
+}

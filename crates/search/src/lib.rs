@@ -5,8 +5,34 @@
 //! resolution, inner-class `$` restoration, and the layered caching of
 //! §IV-F whose hit rates the evaluation reports.
 //!
+//! ## Search backends
+//!
+//! Uncached commands execute through a pluggable [`SearchBackend`]:
+//!
+//! * [`LinearScan`] — the paper's grep, touching every dump line per
+//!   query. Kept as the correctness oracle: its cost is what the bench
+//!   harness's paper-calibrated "scaled minutes" model.
+//! * [`Indexed`] *(default)* — posting lists ([`SearchIndex`]) built by
+//!   one tokenization pass over the text indexed by
+//!   [`BytecodeText::index`] (lazily, on the first indexed query) and
+//!   keyed by the tokens [`SearchCmd::canonical`] defines; each query
+//!   touches only candidate lines, re-verified with the oracle's exact
+//!   needle + guard predicate, so the two backends are **hit-for-hit
+//!   identical** while indexed work scales with matches instead of app
+//!   size.
+//!
+//! Pick a backend per engine with [`SearchEngine::with_backend`] (or
+//! through `backdroid_core::BackdroidOptions::backend` /
+//! `AnalysisContext::with_backend` one layer up). Work accounting in
+//! [`CacheStats`]: `lines_scanned` is the linear-model grep cost, charged
+//! identically under either backend so every detection figure is
+//! backend-invariant; `postings_touched` is the candidate lines the
+//! indexed backend actually examined (zero under the oracle). The bench
+//! harness converts both into scaled minutes to report the two cost
+//! models side by side.
+//!
 //! ```
-//! use backdroid_search::{BytecodeText, SearchCmd, SearchEngine};
+//! use backdroid_search::{BackendChoice, BytecodeText, SearchCmd, SearchEngine};
 //! use backdroid_dex::{dump_image, DexImage};
 //! use backdroid_ir::{ClassBuilder, ClassName, InvokeExpr, MethodBuilder, MethodSig, Program, Type};
 //!
@@ -19,18 +45,27 @@
 //! let mut p = Program::new();
 //! p.add_class(ClassBuilder::new("com.a.Caller").method(m.build()).build());
 //!
-//! // Disassemble, index, and search for the caller of Server.start().
+//! // Disassemble, index, and search for the caller of Server.start() —
+//! // once through the posting lists, once through the linear oracle.
 //! let dump = dump_image(&DexImage::encode(&p));
-//! let mut engine = SearchEngine::new(BytecodeText::index(&dump));
-//! let hits = engine.run(&SearchCmd::InvokeOf(callee));
+//! let mut engine = SearchEngine::new(BytecodeText::index(&dump)); // Indexed by default
+//! let hits = engine.run(&SearchCmd::InvokeOf(callee.clone()));
 //! assert_eq!(hits[0].method.to_string(), "<com.a.Caller: void go()>");
+//!
+//! let mut oracle = SearchEngine::with_backend(BytecodeText::index(&dump), BackendChoice::LinearScan);
+//! assert_eq!(oracle.run(&SearchCmd::InvokeOf(callee)), hits);
+//! assert!(engine.stats().postings_touched < oracle.stats().lines_scanned);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 mod engine;
+mod index;
 mod text;
 
+pub use backend::{BackendChoice, Indexed, LinearScan, SearchBackend};
 pub use engine::{CacheStats, Hit, SearchCmd, SearchEngine};
+pub use index::SearchIndex;
 pub use text::{parse_proto, BytecodeText, MethodSpan};

@@ -5,8 +5,10 @@
 //! method (paper §IV-A step 2: "identify the corresponding method that
 //! contains the invocation found in the bytecode plaintext").
 
+use crate::index::SearchIndex;
 use backdroid_ir::{ClassName, MethodSig, Type};
 use std::collections::BTreeSet;
+use std::sync::OnceLock;
 
 /// One method's span inside the dump.
 #[derive(Clone, Debug)]
@@ -28,6 +30,11 @@ pub struct BytecodeText {
     line_to_span: Vec<Option<usize>>,
     /// All class descriptors seen (`Lcom/a/B;`), used for `$`-restoration.
     descriptors: BTreeSet<String>,
+    /// Posting lists over the lines, built once on first use so the
+    /// [`Indexed`](crate::Indexed) backend answers commands without
+    /// scanning the dump — and the [`LinearScan`](crate::LinearScan)
+    /// oracle never pays the tokenization pass.
+    index: OnceLock<SearchIndex>,
 }
 
 impl BytecodeText {
@@ -102,6 +109,7 @@ impl BytecodeText {
             spans,
             line_to_span,
             descriptors,
+            index: OnceLock::new(),
         }
     }
 
@@ -124,6 +132,13 @@ impl BytecodeText {
     /// All class descriptors in the dump.
     pub fn descriptors(&self) -> &BTreeSet<String> {
         &self.descriptors
+    }
+
+    /// The posting lists over this dump, consumed by the
+    /// [`Indexed`](crate::Indexed) backend. Built by one tokenization
+    /// pass on first access and cached for the text's lifetime.
+    pub fn search_index(&self) -> &SearchIndex {
+        self.index.get_or_init(|| SearchIndex::build(&self.lines))
     }
 
     /// Restores a dotted banner name printed by dexdump

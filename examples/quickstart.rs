@@ -5,7 +5,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use backdroid_core::Backdroid;
+use backdroid_core::{Backdroid, BackdroidOptions, BackendChoice};
 use backdroid_ir::{
     ClassBuilder, ClassName, InvokeExpr, MethodBuilder, MethodSig, Program, Type, Value,
 };
@@ -38,12 +38,23 @@ fn main() {
     let mut manifest = Manifest::new("com.example.quickstart");
     manifest.register(Component::new(ComponentKind::Activity, activity.as_str()));
 
-    // 2. Run BackDroid (no parameter tuning needed — §VI-A).
-    let report = Backdroid::new().analyze(&program, &manifest);
+    // 2. Run BackDroid (no parameter tuning needed — §VI-A). The search
+    //    backend is selectable: `Indexed` (the default) answers each
+    //    search from posting lists, `LinearScan` greps the whole dump
+    //    like the paper's tool — both return identical hits.
+    let report = Backdroid::with_options(BackdroidOptions {
+        backend: BackendChoice::Indexed,
+        ..BackdroidOptions::default()
+    })
+    .analyze(&program, &manifest);
 
     // 3. Inspect the results.
     println!("analysis time: {:?}", report.analysis_time);
     println!("sink calls analyzed: {}", report.sinks_analyzed());
+    println!(
+        "search work: {} grep-equivalent lines (linear model), {} postings touched (indexed)",
+        report.cache_stats.lines_scanned, report.cache_stats.postings_touched
+    );
     for sink in &report.sink_reports {
         println!("\nsink {} at {}", sink.sink_id, sink.site_method);
         println!("  reachable from entry: {}", sink.reachable);

@@ -10,7 +10,8 @@
 //! * [`backdroid_ir`] — the typed IR (program analysis space)
 //! * [`backdroid_dex`] — DEX encoding + dexdump-style text (search space)
 //! * [`backdroid_manifest`] — components, entry points, lifecycle tables
-//! * [`backdroid_search`] — the on-the-fly bytecode search engine
+//! * [`backdroid_search`] — the on-the-fly bytecode search engine with
+//!   selectable backends (linear grep oracle vs inverted index)
 //! * [`backdroid_appgen`] — deterministic app/corpus generation
 //! * [`backdroid_core`] — BackDroid itself
 //! * [`backdroid_wholeapp`] — the Amandroid/FlowDroid-style comparators
@@ -39,7 +40,9 @@ pub use backdroid_wholeapp;
 /// One-stop imports for experiments and examples.
 pub mod prelude {
     pub use backdroid_appgen::{AndroidApp, AppSpec, Mechanism, Scenario, SinkKind};
-    pub use backdroid_core::{Backdroid, BackdroidOptions, DataflowValue, SinkRegistry, Verdict};
+    pub use backdroid_core::{
+        Backdroid, BackdroidOptions, BackendChoice, DataflowValue, SinkRegistry, Verdict,
+    };
     pub use backdroid_ir::{
         ClassBuilder, ClassName, FieldSig, InvokeExpr, MethodBuilder, MethodSig, Program, Type,
         Value,

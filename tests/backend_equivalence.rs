@@ -1,0 +1,202 @@
+//! The indexed search backend's contract: **hit-for-hit identical** to
+//! the `LinearScan` oracle for every `SearchCmd` variant over generated
+//! apps, while touching strictly less of the dump.
+//!
+//! Two layers of enforcement:
+//!
+//! * a proptest driving arbitrary scenario apps through a command
+//!   battery derived from the app's own program (every method, class,
+//!   field, and string literal it defines, plus misses);
+//! * a deterministic sweep over the full small benchset running the
+//!   complete BackDroid pipeline under both backends.
+
+use backdroid_appgen::benchset::{bench_app, BenchsetConfig};
+use backdroid_appgen::{AppSpec, Mechanism, Scenario, SinkKind};
+use backdroid_core::{AnalysisContext, Backdroid, BackdroidOptions, BackendChoice};
+use backdroid_search::{BytecodeText, SearchCmd, SearchEngine};
+use proptest::prelude::*;
+
+/// Every command the app's own program can pose: invokes and name-calls
+/// for each method, allocation/const-class for each class, accesses for
+/// each field, const-string for each literal in the dump — plus a miss
+/// of each kind.
+fn command_battery(app: &backdroid_appgen::AndroidApp, dump: &str) -> Vec<SearchCmd> {
+    let mut cmds = Vec::new();
+    for class in app.program.classes() {
+        cmds.push(SearchCmd::NewInstanceOf(class.name().clone()));
+        cmds.push(SearchCmd::ConstClass(class.name().clone()));
+        for method in class.methods() {
+            cmds.push(SearchCmd::InvokeOf(method.sig().clone()));
+            cmds.push(SearchCmd::MethodNameCall(method.sig().name().to_string()));
+        }
+        for field in class.fields() {
+            cmds.push(SearchCmd::FieldAccess(field.sig().clone()));
+            cmds.push(SearchCmd::StaticFieldAccess(field.sig().clone()));
+        }
+    }
+    // String literals straight from the dump's const-string lines.
+    for line in dump.lines() {
+        if !line.contains("const-string") {
+            continue;
+        }
+        if let Some(open) = line.find('"') {
+            if let Some(close) = line.rfind('"') {
+                if close > open {
+                    cmds.push(SearchCmd::ConstString(line[open + 1..close].to_string()));
+                }
+            }
+        }
+    }
+    // Guaranteed misses of every kind.
+    cmds.push(SearchCmd::InvokeOf(backdroid_ir::MethodSig::new(
+        "com.absent.Nothing",
+        "nowhere",
+        vec![],
+        backdroid_ir::Type::Void,
+    )));
+    cmds.push(SearchCmd::NewInstanceOf(backdroid_ir::ClassName::new(
+        "com.absent.Nothing",
+    )));
+    cmds.push(SearchCmd::ConstString("no such literal anywhere".into()));
+    cmds.push(SearchCmd::MethodNameCall("nowhere".into()));
+    cmds
+}
+
+/// Runs the battery under both backends and asserts identical hits plus
+/// a strict work advantage for the index.
+fn assert_backends_equivalent(app: &backdroid_appgen::AndroidApp) {
+    let dump = app.dump();
+    let mut linear =
+        SearchEngine::with_backend(BytecodeText::index(&dump), BackendChoice::LinearScan);
+    let mut indexed =
+        SearchEngine::with_backend(BytecodeText::index(&dump), BackendChoice::Indexed);
+    for cmd in command_battery(app, &dump) {
+        let l = linear.run(&cmd);
+        let x = indexed.run(&cmd);
+        assert_eq!(l, x, "hit divergence on {}", cmd.canonical());
+    }
+    // The class-level "invoked by" search must agree too.
+    for class in app.program.classes() {
+        assert_eq!(
+            linear.classes_using(class.name()),
+            indexed.classes_using(class.name()),
+            "classes_using divergence on {}",
+            class.name()
+        );
+    }
+    let (ls, xs) = (linear.stats(), indexed.stats());
+    assert_eq!(ls.commands, xs.commands);
+    assert_eq!(ls.hits, xs.hits);
+    assert_eq!(
+        ls.lines_scanned, xs.lines_scanned,
+        "linear-model accounting must be backend-invariant"
+    );
+    assert_eq!(ls.postings_touched, 0);
+    assert!(
+        xs.postings_touched < xs.lines_scanned,
+        "index must touch strictly less than the grep: {} vs {}",
+        xs.postings_touched,
+        xs.lines_scanned
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Arbitrary scenario apps: both backends answer the full command
+    /// battery identically.
+    #[test]
+    fn indexed_equals_linear_on_generated_apps(
+        seed in 0u64..1000,
+        mech_idx in 0usize..14,
+        sink_is_ssl in any::<bool>(),
+        insecure in any::<bool>(),
+        filler in 3usize..12,
+    ) {
+        let mech = [
+            Mechanism::DirectEntry,
+            Mechanism::PrivateChain,
+            Mechanism::StaticChain,
+            Mechanism::ChildClass,
+            Mechanism::SuperClassPoly,
+            Mechanism::InterfaceRunnable,
+            Mechanism::CallbackOnClick,
+            Mechanism::AsyncTask,
+            Mechanism::ClinitReachable,
+            Mechanism::ClinitOffPath,
+            Mechanism::IccExplicit,
+            Mechanism::IccImplicit,
+            Mechanism::LifecycleChain,
+            Mechanism::DeadCode,
+        ][mech_idx];
+        let sink = if sink_is_ssl { SinkKind::SslVerifier } else { SinkKind::Cipher };
+        let app = AppSpec::named("com.eq.prop")
+            .with_seed(seed)
+            .with_scenario(Scenario::new(mech, sink, insecure))
+            .with_filler(filler, 3, 4)
+            .generate();
+        assert_backends_equivalent(&app);
+    }
+}
+
+/// The acceptance check: over the full (small-scale) generated benchset,
+/// the complete pipeline under `Indexed` returns results identical to
+/// `LinearScan` while doing strictly less scan work on every app larger
+/// than the smallest scenario tier.
+#[test]
+fn full_benchset_pipeline_is_identical_and_cheaper() {
+    let cfg = BenchsetConfig::small();
+    let smallest_dump = (0..cfg.count)
+        .map(|i| bench_app(i, cfg).app.dump().lines().count())
+        .min()
+        .expect("non-empty benchset");
+    for i in 0..cfg.count {
+        let ba = bench_app(i, cfg);
+        let run = |backend: BackendChoice| {
+            let mut ctx = AnalysisContext::with_backend(&ba.app.program, &ba.app.manifest, backend);
+            let report = Backdroid::with_options(BackdroidOptions {
+                backend,
+                ..BackdroidOptions::default()
+            })
+            .analyze_in(&mut ctx);
+            (report, ctx.engine.stats())
+        };
+        let (lin_report, lin_stats) = run(BackendChoice::LinearScan);
+        let (idx_report, idx_stats) = run(BackendChoice::Indexed);
+
+        // Hit-for-hit identical pipeline results.
+        assert_eq!(
+            lin_report.sink_reports.len(),
+            idx_report.sink_reports.len(),
+            "{}: sink-site divergence",
+            ba.app.name
+        );
+        for (l, x) in lin_report.sink_reports.iter().zip(&idx_report.sink_reports) {
+            assert_eq!(l.site_method, x.site_method, "{}", ba.app.name);
+            assert_eq!(l.stmt_idx, x.stmt_idx, "{}", ba.app.name);
+            assert_eq!(l.reachable, x.reachable, "{}", ba.app.name);
+            assert_eq!(l.entries, x.entries, "{}", ba.app.name);
+            assert_eq!(l.param_values, x.param_values, "{}", ba.app.name);
+            assert_eq!(l.verdict.is_vulnerable(), x.verdict.is_vulnerable());
+        }
+        assert_eq!(
+            lin_report.vulnerable_sinks().len(),
+            idx_report.vulnerable_sinks().len()
+        );
+        assert_eq!(lin_stats.commands, idx_stats.commands);
+        assert_eq!(lin_stats.hits, idx_stats.hits);
+        assert_eq!(lin_stats.lines_scanned, idx_stats.lines_scanned);
+
+        // Strictly less scan work above the smallest tier.
+        let dump_lines = ba.app.dump().lines().count();
+        if dump_lines > smallest_dump && idx_stats.lines_scanned > 0 {
+            assert!(
+                idx_stats.postings_touched < idx_stats.lines_scanned,
+                "{}: indexed work {} must undercut linear work {}",
+                ba.app.name,
+                idx_stats.postings_touched,
+                idx_stats.lines_scanned
+            );
+        }
+    }
+}

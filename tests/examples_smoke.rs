@@ -1,30 +1,44 @@
-//! Smoke test: every file in `examples/` must keep compiling, so the
-//! README quickstart (and the other walkthroughs) can never silently rot.
+//! Smoke test: every file in `examples/` must keep compiling **and
+//! running**, so the README quickstart (and the other walkthroughs,
+//! including their search-backend wiring) can never silently rot.
 //!
-//! Shells out to the same `cargo` that is running the test suite and
-//! builds all example targets. Cargo auto-discovers `examples/*.rs`, so a
-//! newly added example is covered with no registration step.
+//! Shells out to the same `cargo` that is running the test suite: one
+//! build of all example targets, then one run per discovered example.
+//! Cargo auto-discovers `examples/*.rs`, so a newly added example is
+//! covered with no registration step.
 
 use std::path::Path;
 use std::process::Command;
 
-#[test]
-fn all_examples_compile() {
+fn example_names() -> Vec<String> {
     let manifest_dir = env!("CARGO_MANIFEST_DIR");
     let examples_dir = Path::new(manifest_dir).join("examples");
-    let sources: Vec<_> = std::fs::read_dir(&examples_dir)
+    let mut names: Vec<String> = std::fs::read_dir(&examples_dir)
         .expect("examples/ directory must exist")
         .filter_map(|e| e.ok())
         .map(|e| e.path())
         .filter(|p| p.extension().is_some_and(|ext| ext == "rs"))
+        .filter_map(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
         .collect();
+    names.sort();
+    names
+}
+
+#[test]
+fn all_examples_compile_and_run() {
+    let manifest_dir = env!("CARGO_MANIFEST_DIR");
+    let names = example_names();
     assert!(
-        !sources.is_empty(),
+        !names.is_empty(),
         "examples/ contains no .rs files — the quickstart is gone"
+    );
+    assert!(
+        names.len() >= 5,
+        "expected the five shipped walkthroughs, found only {names:?}"
     );
 
     let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
-    let output = Command::new(cargo)
+    let output = Command::new(&cargo)
         .args(["build", "--examples"])
         .current_dir(manifest_dir)
         .output()
@@ -32,7 +46,25 @@ fn all_examples_compile() {
     assert!(
         output.status.success(),
         "cargo build --examples failed for {} example(s):\n{}",
-        sources.len(),
+        names.len(),
         String::from_utf8_lossy(&output.stderr)
     );
+
+    for name in &names {
+        let output = Command::new(&cargo)
+            .args(["run", "--quiet", "--example", name])
+            .current_dir(manifest_dir)
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn cargo run --example {name}: {e}"));
+        assert!(
+            output.status.success(),
+            "example `{name}` exited with {:?}:\n{}",
+            output.status.code(),
+            String::from_utf8_lossy(&output.stderr)
+        );
+        assert!(
+            !output.stdout.is_empty(),
+            "example `{name}` printed nothing — walkthrough output expected"
+        );
+    }
 }
