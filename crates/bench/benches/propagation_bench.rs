@@ -3,7 +3,7 @@
 
 use backdroid_appgen::{AppSpec, Mechanism, Scenario, SinkKind};
 use backdroid_core::{
-    locate_sinks, slice_sink, AnalysisContext, ForwardAnalysis, SinkRegistry, SlicerConfig, Ssg,
+    locate_sinks, slice_sink, AppArtifacts, ForwardAnalysis, SinkRegistry, SlicerConfig, Ssg,
 };
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -13,7 +13,8 @@ fn ssg_for(mech: Mechanism) -> (backdroid_appgen::AndroidApp, Vec<Ssg>) {
         .with_filler(30, 5, 8)
         .generate();
     let registry = SinkRegistry::crypto_and_ssl();
-    let mut ctx = AnalysisContext::new(&app.program, &app.manifest);
+    let artifacts = AppArtifacts::new(app.program.clone(), app.manifest.clone());
+    let mut ctx = artifacts.task();
     let sites = locate_sinks(&mut ctx, &registry, false);
     let ssgs = sites
         .iter()

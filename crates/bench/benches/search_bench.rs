@@ -38,7 +38,7 @@ fn bench_search(c: &mut Criterion) {
             |b, dump| {
                 b.iter_batched(
                     || SearchEngine::new(BytecodeText::index(dump)),
-                    |mut engine| engine.run(&SearchCmd::InvokeOf(sink.clone())),
+                    |engine| engine.run(&SearchCmd::InvokeOf(sink.clone())),
                     criterion::BatchSize::SmallInput,
                 );
             },
@@ -54,7 +54,7 @@ fn bench_search(c: &mut Criterion) {
                             BackendChoice::LinearScan,
                         )
                     },
-                    |mut engine| engine.run(&SearchCmd::InvokeOf(sink.clone())),
+                    |engine| engine.run(&SearchCmd::InvokeOf(sink.clone())),
                     criterion::BatchSize::SmallInput,
                 );
             },
@@ -63,7 +63,7 @@ fn bench_search(c: &mut Criterion) {
             BenchmarkId::new("cached_invoke_search", classes),
             &dump,
             |b, dump| {
-                let mut engine = SearchEngine::new(BytecodeText::index(dump));
+                let engine = SearchEngine::new(BytecodeText::index(dump));
                 engine.run(&SearchCmd::InvokeOf(sink.clone()));
                 b.iter(|| engine.run(&SearchCmd::InvokeOf(sink.clone())));
             },

@@ -2,7 +2,7 @@
 //! backtracking) across scenario shapes.
 
 use backdroid_appgen::{AppSpec, Mechanism, Scenario, SinkKind};
-use backdroid_core::{locate_sinks, slice_sink, AnalysisContext, SinkRegistry, SlicerConfig};
+use backdroid_core::{locate_sinks, slice_sink, AppArtifacts, SinkRegistry, SlicerConfig};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_slicing(c: &mut Criterion) {
@@ -22,11 +22,15 @@ fn bench_slicing(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("slice", name), &app, |b, app| {
             b.iter_batched(
                 || {
-                    let mut ctx = AnalysisContext::with_dump(&app.program, &app.manifest, &dump);
-                    let sites = locate_sinks(&mut ctx, &registry, false);
-                    (ctx, sites)
+                    // Fresh artifacts per batch: every timed run slices
+                    // against a cold search cache.
+                    let artifacts =
+                        AppArtifacts::from_dump(app.program.clone(), app.manifest.clone(), &dump);
+                    let sites = locate_sinks(&mut artifacts.task(), &registry, false);
+                    (artifacts, sites)
                 },
-                |(mut ctx, sites)| {
+                |(artifacts, sites)| {
+                    let mut ctx = artifacts.task();
                     for site in &sites {
                         let spec = &registry.sinks()[site.spec_idx];
                         let _ = slice_sink(

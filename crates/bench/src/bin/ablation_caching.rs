@@ -7,11 +7,11 @@ use backdroid_core::{Backdroid, BackdroidOptions};
 
 fn run_with_caching(app: &backdroid_appgen::AndroidApp, caching: bool) -> (u64, f64) {
     let start = std::time::Instant::now();
-    let mut ctx = backdroid_core::AnalysisContext::new(&app.program, &app.manifest);
-    ctx.engine.set_caching(caching);
-    let _ = Backdroid::with_options(BackdroidOptions::default()).analyze_in(&mut ctx);
+    let artifacts = backdroid_core::AppArtifacts::new(app.program.clone(), app.manifest.clone());
+    artifacts.engine().set_caching(caching);
+    let report = Backdroid::with_options(BackdroidOptions::default()).analyze_artifacts(&artifacts);
     (
-        ctx.engine.stats().lines_scanned,
+        report.cache_stats.lines_scanned,
         start.elapsed().as_secs_f64() * 1e3,
     )
 }

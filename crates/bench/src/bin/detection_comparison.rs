@@ -17,8 +17,9 @@
 
 use backdroid_appgen::benchset::{bench_app, Profile};
 use backdroid_bench::harness::{
-    backend_from_args, budget_for, json_path_from_args, par_map, run_amandroid_with_budget,
-    run_backdroid_with_backend, scale_from_args, threads_from_args, AmandroidRun, BackdroidRun,
+    backend_from_args, budget_for, intra_threads_from_args, json_path_from_args, par_map,
+    run_amandroid_with_budget, run_backdroid_with, scale_from_args, threads_from_args,
+    AmandroidRun, BackdroidRun,
 };
 use backdroid_bench::json::{array, JsonObject};
 use backdroid_core::{Backdroid, BackdroidOptions};
@@ -38,18 +39,20 @@ fn main() {
     let scale = scale_from_args();
     let backend = backend_from_args();
     let threads = threads_from_args();
+    let intra_threads = intra_threads_from_args();
     let cfg = scale.config();
     let budget = budget_for(scale);
 
     let outcomes = par_map(cfg.count, threads, |i| {
         let ba = bench_app(i, cfg);
-        let bd = run_backdroid_with_backend(&ba.app, backend);
+        let bd = run_backdroid_with(&ba.app, backend, intra_threads);
         let am = run_amandroid_with_budget(&ba.app, budget);
         let fixed_recovered = ba.profile == Profile::SslTpSubclassed && {
             // The §VI-C fix: hierarchy-aware initial search.
             let fixed = Backdroid::with_options(BackdroidOptions {
                 hierarchy_initial_search: true,
                 backend,
+                intra_threads,
                 ..BackdroidOptions::default()
             })
             .analyze(&ba.app.program, &ba.app.manifest);
@@ -216,7 +219,7 @@ fn main() {
 fn clinit_validation() -> (usize, usize) {
     use backdroid_appgen::{AppSpec, Mechanism, Scenario, SinkKind};
     use backdroid_core::clinit::clinit_reachable;
-    use backdroid_core::AnalysisContext;
+    use backdroid_core::AppArtifacts;
 
     let mut identified = 0usize;
     let mut confirmed = 0usize;
@@ -230,7 +233,8 @@ fn clinit_validation() -> (usize, usize) {
             ))
             .with_filler(6 + i % 8, 4, 5)
             .generate();
-        let mut ctx = AnalysisContext::new(&app.program, &app.manifest);
+        let artifacts = AppArtifacts::new(app.program.clone(), app.manifest.clone());
+        let mut ctx = artifacts.task();
         let class = backdroid_ir::ClassName::new(format!("com.clinit.v{i}.s0.ApiClient"));
         let r = clinit_reachable(&mut ctx, &class);
         if r.reachable {

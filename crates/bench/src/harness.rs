@@ -35,7 +35,7 @@
 //! the sequential path).
 
 use backdroid_appgen::benchset::{bench_app, BenchApp, BenchsetConfig, Profile};
-use backdroid_core::{AnalysisContext, Backdroid, BackdroidOptions, BackendChoice};
+use backdroid_core::{AppArtifacts, Backdroid, BackdroidOptions, BackendChoice};
 use backdroid_wholeapp::amandroid::{analyze, AmandroidConfig, Outcome};
 use backdroid_wholeapp::paper_minutes;
 use serde::Serialize;
@@ -134,6 +134,19 @@ pub fn backend_from_args() -> BackendChoice {
         Some(v) => BackendChoice::parse(&v)
             .unwrap_or_else(|| usage_error("--backend", &v, "\"linear\" or \"indexed\"")),
         None => BackendChoice::default(),
+    }
+}
+
+/// Parses `--intra-threads N` from argv: worker threads for the
+/// intra-app sink-task scheduler (default 1, the sequential path; any
+/// value yields byte-identical deterministic output).
+pub fn intra_threads_from_args() -> usize {
+    match arg_value("--intra-threads") {
+        Some(v) => v
+            .parse::<usize>()
+            .unwrap_or_else(|_| usage_error("--intra-threads", &v, "a positive integer"))
+            .max(1),
+        None => 1,
     }
 }
 
@@ -328,27 +341,42 @@ pub fn backdroid_minutes_indexed(postings_touched: u64, dump_lines: u64) -> f64 
 }
 
 /// Runs BackDroid on one generated app with the default (indexed)
-/// backend.
+/// backend, sequentially.
 pub fn run_backdroid_on(app: &backdroid_appgen::AndroidApp) -> BackdroidRun {
-    run_backdroid_with_backend(app, BackendChoice::default())
+    run_backdroid_with(app, BackendChoice::default(), 1)
 }
 
-/// Runs BackDroid on one generated app with an explicit search backend.
+/// Runs BackDroid on one generated app with an explicit search backend,
+/// sequentially.
 pub fn run_backdroid_with_backend(
     app: &backdroid_appgen::AndroidApp,
     backend: BackendChoice,
 ) -> BackdroidRun {
+    run_backdroid_with(app, backend, 1)
+}
+
+/// Runs BackDroid on one generated app with an explicit search backend
+/// and intra-app scheduler width. Every deterministic field of the
+/// result is identical for any `intra_threads` value — only `wall_ms`
+/// may differ.
+pub fn run_backdroid_with(
+    app: &backdroid_appgen::AndroidApp,
+    backend: BackendChoice,
+    intra_threads: usize,
+) -> BackdroidRun {
     let start = Instant::now();
     let dump = app.dump();
     let dump_lines = dump.lines().count() as u64;
-    let mut ctx = AnalysisContext::with_dump_backend(&app.program, &app.manifest, &dump, backend);
+    let artifacts =
+        AppArtifacts::from_dump_backend(app.program.clone(), app.manifest.clone(), &dump, backend);
     let tool = Backdroid::with_options(BackdroidOptions {
         backend,
+        intra_threads,
         ..BackdroidOptions::default()
     });
-    let report = tool.analyze_in(&mut ctx);
+    let report = tool.analyze_artifacts(&artifacts);
     let wall_ms = start.elapsed().as_secs_f64() * 1_000.0;
-    let cache = ctx.engine.stats();
+    let cache = report.cache_stats;
     BackdroidRun {
         app: app.name.clone(),
         backend: backend.name().to_string(),
@@ -361,8 +389,8 @@ pub fn run_backdroid_with_backend(
         vulnerable: report.vulnerable_sinks().len(),
         cache_rate: cache.rate(),
         sink_cache_rate: report.sink_cache.rate(),
-        loops_detected: ctx.loops.any(),
-        top_loop: ctx.loops.most_common().map(|k| format!("{k:?}")),
+        loops_detected: report.loop_stats.any(),
+        top_loop: report.loop_stats.most_common().map(|k| format!("{k:?}")),
     }
 }
 

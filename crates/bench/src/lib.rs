@@ -23,6 +23,10 @@
 //!   are hit-for-hit identical, so detection output never changes);
 //! * `--threads N` — parallel corpus driver width (default: all cores;
 //!   deterministic report output is byte-identical for any value);
+//! * `--intra-threads N` — intra-app sink-task scheduler width (default
+//!   1; reports are byte-identical for any value, only wall-clock
+//!   changes — supported by `fig9_sinks_vs_time`, `detection_comparison`
+//!   and `search_backend_bench`);
 //! * `--json PATH` — also write the run's deterministic JSON artifact
 //!   (what the CI `bench-smoke` job uploads and diffs).
 
@@ -34,7 +38,8 @@ pub mod json;
 
 pub use harness::{
     backdroid_minutes, backdroid_minutes_indexed, backend_from_args, bucket_label,
-    json_path_from_args, median, par_map, run_amandroid_on, run_backdroid_on,
-    run_backdroid_with_backend, run_benchset, run_benchset_with, scale_from_args,
-    threads_from_args, AmandroidRun, BackdroidRun, BenchRun, Scale, BACKDROID_LINES_PER_MINUTE,
+    intra_threads_from_args, json_path_from_args, median, par_map, run_amandroid_on,
+    run_backdroid_on, run_backdroid_with, run_backdroid_with_backend, run_benchset,
+    run_benchset_with, scale_from_args, threads_from_args, AmandroidRun, BackdroidRun, BenchRun,
+    Scale, BACKDROID_LINES_PER_MINUTE,
 };

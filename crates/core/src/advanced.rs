@@ -10,7 +10,7 @@
 //! the object.
 
 use crate::backtrack::{CallerEdge, ChainStep, EdgeKind};
-use crate::context::AnalysisContext;
+use crate::context::TaskContext;
 use crate::loops::{LoopKind, PathGuard};
 use backdroid_ir::{ClassName, LocalId, MethodSig, Rvalue, Stmt, Value};
 use backdroid_search::SearchCmd;
@@ -24,7 +24,7 @@ const MAX_FORWARD_DEPTH: usize = 24;
 /// discovered flow. Each edge's `caller` is the constructor-site method
 /// (the method that `new`s the callee's class) and `via_chain` records the
 /// maintained call chain down to the ending method.
-pub fn advanced_search(ctx: &mut AnalysisContext<'_>, callee: &MethodSig) -> Vec<CallerEdge> {
+pub fn advanced_search(ctx: &mut TaskContext<'_>, callee: &MethodSig) -> Vec<CallerEdge> {
     let class = callee.class().clone();
     // Step 1: search the object constructor(s) — accurately locatable via
     // the signature-based search on `new-instance` (§IV-B step 1).
@@ -82,7 +82,7 @@ pub fn advanced_search(ctx: &mut AnalysisContext<'_>, callee: &MethodSig) -> Vec
 /// `DefinitionStmt`, `InvokeStmt`, and `ReturnStmt`.
 #[allow(clippy::too_many_arguments)]
 fn propagate(
-    ctx: &mut AnalysisContext<'_>,
+    ctx: &mut TaskContext<'_>,
     method: &MethodSig,
     start_idx: usize,
     mut tainted: BTreeSet<LocalId>,
@@ -144,7 +144,7 @@ fn propagate(
 /// ending method, or the taint steps into an app-defined callee.
 #[allow(clippy::too_many_arguments)]
 fn handle_invoke(
-    ctx: &mut AnalysisContext<'_>,
+    ctx: &mut TaskContext<'_>,
     method: &MethodSig,
     stmt_idx: usize,
     ie: &backdroid_ir::InvokeExpr,
@@ -299,7 +299,7 @@ fn chain_with(chain: &PathGuard, ending_method: &MethodSig, site: usize) -> Vec<
 /// Whether `maybe_super` is a supertype (class or interface, app-defined
 /// or platform) of `class` — platform supertypes are tracked by name via
 /// the hierarchy declarations in the IR.
-fn is_supertype_of(ctx: &AnalysisContext<'_>, maybe_super: &ClassName, class: &ClassName) -> bool {
+fn is_supertype_of(ctx: &TaskContext<'_>, maybe_super: &ClassName, class: &ClassName) -> bool {
     if maybe_super == class {
         return true;
     }
@@ -312,10 +312,7 @@ fn is_supertype_of(ctx: &AnalysisContext<'_>, maybe_super: &ClassName, class: &C
 
 /// Resolves an invoke to an app-defined concrete method (virtual dispatch
 /// walks up the defined hierarchy).
-fn resolve_app_callee(
-    ctx: &AnalysisContext<'_>,
-    ie: &backdroid_ir::InvokeExpr,
-) -> Option<MethodSig> {
+fn resolve_app_callee(ctx: &TaskContext<'_>, ie: &backdroid_ir::InvokeExpr) -> Option<MethodSig> {
     if ctx.program.method(&ie.callee).is_some() {
         return Some(ie.callee.clone());
     }
@@ -328,6 +325,7 @@ fn resolve_app_callee(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::context::AppArtifacts;
     use backdroid_ir::{ClassBuilder, InvokeExpr, MethodBuilder, Program, Type};
     use backdroid_manifest::Manifest;
 
@@ -426,7 +424,8 @@ mod tests {
     #[test]
     fn fig4_chain_is_uncovered() {
         let (p, m) = lg_tv_shape();
-        let mut ctx = AnalysisContext::new(&p, &m);
+        let art = AppArtifacts::new(p.clone(), m.clone());
+        let mut ctx = art.task();
         let callee = MethodSig::new(
             "com.connectsdk.service.NetcastTVService$1",
             "run",
@@ -490,7 +489,8 @@ mod tests {
         p.add_class(ClassBuilder::new(user.as_str()).method(go.build()).build());
 
         let m = Manifest::new("com.x");
-        let mut ctx = AnalysisContext::new(&p, &m);
+        let art = AppArtifacts::new(p.clone(), m.clone());
+        let mut ctx = art.task();
         let callee = MethodSig::new(sub.as_str(), "start", vec![], Type::Void);
         let edges = advanced_search(&mut ctx, &callee);
         assert_eq!(edges.len(), 1, "{edges:?}");
@@ -527,7 +527,8 @@ mod tests {
         ));
         p.add_class(ClassBuilder::new(user.as_str()).method(go.build()).build());
         let m = Manifest::new("com.x");
-        let mut ctx = AnalysisContext::new(&p, &m);
+        let art = AppArtifacts::new(p.clone(), m.clone());
+        let mut ctx = art.task();
         let callee = MethodSig::new(cls.as_str(), "onReady", vec![], Type::Void);
         let edges = advanced_search(&mut ctx, &callee);
         assert!(edges.is_empty(), "{edges:?}");
@@ -577,7 +578,8 @@ mod tests {
                 .build(),
         );
         let m = Manifest::new("com.x");
-        let mut ctx = AnalysisContext::new(&p, &m);
+        let art = AppArtifacts::new(p.clone(), m.clone());
+        let mut ctx = art.task();
         let callee = MethodSig::new(cls.as_str(), "run", vec![], Type::Void);
         let _ = advanced_search(&mut ctx, &callee);
         assert!(

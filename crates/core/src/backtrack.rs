@@ -6,7 +6,7 @@
 
 use crate::advanced::advanced_search;
 use crate::clinit;
-use crate::context::AnalysisContext;
+use crate::context::TaskContext;
 use crate::icc;
 use backdroid_ir::{MethodSig, Modifiers};
 use backdroid_search::SearchCmd;
@@ -75,7 +75,7 @@ pub enum Reached {
 ///    back to the advanced object-flow search;
 /// 5. entry methods of registered components can additionally be traced
 ///    across ICC to the components that start them.
-pub fn find_callers(ctx: &mut AnalysisContext<'_>, callee: &MethodSig) -> Reached {
+pub fn find_callers(ctx: &mut TaskContext<'_>, callee: &MethodSig) -> Reached {
     // (1) Entry points.
     if ctx.manifest.is_entry_method(callee) {
         return Reached::EntryPoint;
@@ -133,12 +133,12 @@ pub fn find_callers(ctx: &mut AnalysisContext<'_>, callee: &MethodSig) -> Reache
 /// instance methods, additionally search the signatures of child classes
 /// that do not override the callee.
 fn direct_search(
-    ctx: &mut AnalysisContext<'_>,
+    ctx: &mut TaskContext<'_>,
     callee: &MethodSig,
     modifiers: Modifiers,
 ) -> Vec<CallerEdge> {
     let mut edges = Vec::new();
-    let mut add_hits = |ctx: &mut AnalysisContext<'_>, sig: &MethodSig, kind: EdgeKind| {
+    let mut add_hits = |ctx: &mut TaskContext<'_>, sig: &MethodSig, kind: EdgeKind| {
         let hits = ctx.engine.run(&SearchCmd::InvokeOf(sig.clone()));
         for hit in hits {
             // Self-recursive call sites do not produce progress; the
@@ -186,6 +186,7 @@ fn direct_search(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::context::AppArtifacts;
     use backdroid_ir::{ClassBuilder, ClassName, InvokeExpr, MethodBuilder, Program, Type};
     use backdroid_manifest::{Component, ComponentKind, Manifest};
 
@@ -229,7 +230,8 @@ mod tests {
     fn basic_search_finds_private_callee_caller() {
         let p = fig3_program();
         let m = Manifest::new("com.lge.app1");
-        let mut ctx = AnalysisContext::new(&p, &m);
+        let art = AppArtifacts::new(p.clone(), m.clone());
+        let mut ctx = art.task();
         let callee = msig("com.connectsdk.service.netcast.NetcastHttpServer", "start");
         let Reached::Callers(edges) = find_callers(&mut ctx, &callee) else {
             panic!("expected callers");
@@ -251,7 +253,8 @@ mod tests {
             ComponentKind::Activity,
             "com.lge.app1.MainActivity",
         ));
-        let mut ctx = AnalysisContext::new(&p, &m);
+        let art = AppArtifacts::new(p.clone(), m.clone());
+        let mut ctx = art.task();
         let entry = msig("com.lge.app1.MainActivity", "onCreate");
         assert_eq!(find_callers(&mut ctx, &entry), Reached::EntryPoint);
     }
@@ -260,7 +263,8 @@ mod tests {
     fn dead_method_has_no_caller() {
         let p = fig3_program();
         let m = Manifest::new("com.lge.app1");
-        let mut ctx = AnalysisContext::new(&p, &m);
+        let art = AppArtifacts::new(p.clone(), m.clone());
+        let mut ctx = art.task();
         let dead = msig("com.connectsdk.service.NetcastTVService$1", "run");
         // run() is never invoked and has no constructor-site flow (the
         // class is never allocated elsewhere): no caller.
@@ -302,7 +306,8 @@ mod tests {
         p.add_class(ClassBuilder::new(user.as_str()).method(go.build()).build());
 
         let m = Manifest::new("com.x");
-        let mut ctx = AnalysisContext::new(&p, &m);
+        let art = AppArtifacts::new(p.clone(), m.clone());
+        let mut ctx = art.task();
         let Reached::Callers(edges) = find_callers(&mut ctx, &msig(base.as_str(), "start")) else {
             panic!("expected callers");
         };
@@ -344,7 +349,8 @@ mod tests {
         p.add_class(ClassBuilder::new(user.as_str()).method(go.build()).build());
 
         let m = Manifest::new("com.x");
-        let mut ctx = AnalysisContext::new(&p, &m);
+        let art = AppArtifacts::new(p.clone(), m.clone());
+        let mut ctx = art.task();
         // Searching the BASE method must not pick up the child call site,
         // which targets the overloaded child method only.
         let r = find_callers(&mut ctx, &msig(base.as_str(), "start"));

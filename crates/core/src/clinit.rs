@@ -8,7 +8,7 @@
 //! Only control-flow reachability matters: `<clinit>` has no parameters,
 //! so no dataflow propagates through it (§IV-C).
 
-use crate::context::AnalysisContext;
+use crate::context::TaskContext;
 use backdroid_ir::ClassName;
 use std::collections::{BTreeSet, VecDeque};
 
@@ -27,7 +27,7 @@ pub struct ClinitReachability {
 
 /// Runs the recursive class-use reachability search for `class`'s
 /// `<clinit>`.
-pub fn clinit_reachable(ctx: &mut AnalysisContext<'_>, class: &ClassName) -> ClinitReachability {
+pub fn clinit_reachable(ctx: &mut TaskContext<'_>, class: &ClassName) -> ClinitReachability {
     // BFS over the "used by" relation, tracking parents for the witness.
     let mut queue: VecDeque<ClassName> = VecDeque::from([class.clone()]);
     let mut seen: BTreeSet<ClassName> = BTreeSet::from([class.clone()]);
@@ -66,6 +66,7 @@ pub fn clinit_reachable(ctx: &mut AnalysisContext<'_>, class: &ClassName) -> Cli
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::context::AppArtifacts;
     use backdroid_ir::{ClassBuilder, InvokeExpr, MethodBuilder, MethodSig, Program, Type, Value};
     use backdroid_manifest::{Component, ComponentKind, Manifest};
 
@@ -129,7 +130,8 @@ mod tests {
             ComponentKind::Activity,
             "com.heyzap.sdk.ads.HeyzapInterstitialActivity",
         ));
-        let mut ctx = AnalysisContext::new(&p, &man);
+        let art = AppArtifacts::new(p.clone(), man.clone());
+        let mut ctx = art.task();
         let r = clinit_reachable(
             &mut ctx,
             &backdroid_ir::ClassName::new("com.heyzap.internal.APIClient"),
@@ -152,7 +154,8 @@ mod tests {
         let p = heyzap_program();
         // No component registered: nothing is an entry.
         let man = Manifest::new("com.heyzap.demo");
-        let mut ctx = AnalysisContext::new(&p, &man);
+        let art = AppArtifacts::new(p.clone(), man.clone());
+        let mut ctx = art.task();
         let r = clinit_reachable(
             &mut ctx,
             &backdroid_ir::ClassName::new("com.heyzap.internal.APIClient"),
@@ -169,7 +172,8 @@ mod tests {
             ComponentKind::Activity,
             "com.heyzap.internal.APIClient",
         ));
-        let mut ctx = AnalysisContext::new(&p, &man);
+        let art = AppArtifacts::new(p.clone(), man.clone());
+        let mut ctx = art.task();
         let r = clinit_reachable(
             &mut ctx,
             &backdroid_ir::ClassName::new("com.heyzap.internal.APIClient"),

@@ -1,5 +1,16 @@
-//! Shared analysis state: the two "spaces" of Fig 2 (the bytecode search
-//! space and the program analysis space) plus the manifest.
+//! The analysis session layer: the two "spaces" of Fig 2 (the bytecode
+//! search space and the program analysis space) split into an owned,
+//! thread-shareable [`AppArtifacts`] and a cheap per-task
+//! [`TaskContext`].
+//!
+//! `AppArtifacts` is built **once** per app — encode to DEX, disassemble,
+//! index — and has no lifetime parameter, so it can live in an `Arc` and
+//! serve many concurrent queries against one resident app image (the
+//! multi-tenant service shape; also what `Backdroid`'s intra-app sink
+//! scheduler parallelizes over). `TaskContext` is what one analysis task
+//! carries: borrowed artifacts, a cloned [`SearchEngine`] handle (clones
+//! share the index, caches, and statistics), and the task's private loop
+//! counters.
 
 use crate::loops::LoopStats;
 use backdroid_dex::{dump_image, DexImage};
@@ -7,64 +18,195 @@ use backdroid_ir::Program;
 use backdroid_manifest::Manifest;
 use backdroid_search::{BackendChoice, BytecodeText, SearchEngine};
 
-/// Everything one app analysis needs: the IR program (program analysis
-/// space), the search engine over the dexdump text (bytecode search
-/// space), the manifest, and the per-app loop counters.
-pub struct AnalysisContext<'a> {
+/// The immutable per-app artifacts: the IR program (program analysis
+/// space), the manifest, and the search engine over the indexed dexdump
+/// text (bytecode search space). Owned — no lifetime parameter — and
+/// `Send + Sync`, so one instance can be shared by `Arc` (or plain
+/// reference inside a scope) across any number of analysis tasks.
+///
+/// The engine's command caches use interior mutability, but they are
+/// semantically transparent: they only memoize pure functions of the
+/// dump, so the artifacts behave as an immutable value.
+#[derive(Debug)]
+pub struct AppArtifacts {
+    program: Program,
+    manifest: Manifest,
+    engine: SearchEngine,
+}
+
+/// Encode → disassemble → index: the shared preprocessing step of §III,
+/// used by every constructor (session or deprecated) that starts from a
+/// program.
+fn build_engine(program: &Program, backend: BackendChoice) -> SearchEngine {
+    let image = DexImage::encode(program);
+    let dump = dump_image(&image);
+    SearchEngine::with_backend(BytecodeText::index(&dump), backend)
+}
+
+impl AppArtifacts {
+    /// Builds the artifacts by encoding the program to DEX, disassembling
+    /// it, and indexing the plaintext — the preprocessing step of §III.
+    /// Uses the default search backend ([`BackendChoice::Indexed`]).
+    pub fn new(program: Program, manifest: Manifest) -> Self {
+        Self::with_backend(program, manifest, BackendChoice::default())
+    }
+
+    /// Builds the artifacts with an explicit search-backend choice.
+    pub fn with_backend(program: Program, manifest: Manifest, backend: BackendChoice) -> Self {
+        let engine = build_engine(&program, backend);
+        AppArtifacts {
+            program,
+            manifest,
+            engine,
+        }
+    }
+
+    /// Builds the artifacts over an already-disassembled dump (lets tests
+    /// and the benchmark harness reuse a dump across runs).
+    pub fn from_dump(program: Program, manifest: Manifest, dump: &str) -> Self {
+        Self::from_dump_backend(program, manifest, dump, BackendChoice::default())
+    }
+
+    /// Builds the artifacts over an existing dump with an explicit
+    /// search-backend choice.
+    pub fn from_dump_backend(
+        program: Program,
+        manifest: Manifest,
+        dump: &str,
+        backend: BackendChoice,
+    ) -> Self {
+        AppArtifacts {
+            program,
+            manifest,
+            engine: SearchEngine::with_backend(BytecodeText::index(dump), backend),
+        }
+    }
+
+    /// The app's IR program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The app's manifest.
+    pub fn manifest(&self) -> &Manifest {
+        &self.manifest
+    }
+
+    /// The shared bytecode search engine (one index + cache for every
+    /// task on these artifacts).
+    pub fn engine(&self) -> &SearchEngine {
+        &self.engine
+    }
+
+    /// Starts one analysis task against these artifacts: a cheap
+    /// [`TaskContext`] holding borrowed program/manifest, a cloned engine
+    /// handle (shared index, caches, and statistics), and fresh loop
+    /// counters. Call from as many threads as you like.
+    pub fn task(&self) -> TaskContext<'_> {
+        TaskContext {
+            program: &self.program,
+            manifest: &self.manifest,
+            engine: self.engine.clone(),
+            loops: LoopStats::default(),
+        }
+    }
+}
+
+/// Everything one analysis task needs: the shared app artifacts plus the
+/// task's private state (loop counters; slicer budgets travel separately
+/// in [`crate::SlicerConfig`]).
+///
+/// Creating one is O(1) — the engine field is a handle whose clones share
+/// the underlying index and caches — so the intra-app scheduler makes a
+/// fresh `TaskContext` per sink task.
+pub struct TaskContext<'a> {
     /// The app's IR program.
     pub program: &'a Program,
     /// The app's manifest.
     pub manifest: &'a Manifest,
-    /// The bytecode search engine (owns the indexed dump text).
+    /// The bytecode search engine handle (shared index and caches).
     pub engine: SearchEngine,
-    /// Loop-detection counters accumulated across the whole app run.
+    /// Loop-detection counters accumulated by this task.
     pub loops: LoopStats,
 }
 
-impl<'a> AnalysisContext<'a> {
-    /// Builds a context by encoding the program to DEX, disassembling it,
-    /// and indexing the plaintext — the preprocessing step of §III. Uses
-    /// the default search backend ([`BackendChoice::Indexed`]).
+/// The pre-session name of [`TaskContext`], kept so downstream code keeps
+/// compiling. New code should build an [`AppArtifacts`] and call
+/// [`AppArtifacts::task`].
+#[deprecated(
+    since = "0.2.0",
+    note = "build an `AppArtifacts` and call `.task()`; `AnalysisContext` is now `TaskContext`"
+)]
+pub type AnalysisContext<'a> = TaskContext<'a>;
+
+impl<'a> TaskContext<'a> {
+    /// Assembles a task context from explicit parts — used by the
+    /// scheduler and the deprecated constructors below.
+    pub(crate) fn from_parts(
+        program: &'a Program,
+        manifest: &'a Manifest,
+        engine: SearchEngine,
+    ) -> Self {
+        TaskContext {
+            program,
+            manifest,
+            engine,
+            loops: LoopStats::default(),
+        }
+    }
+
+    /// Builds a self-contained context by encoding the program to DEX,
+    /// disassembling it, and indexing the plaintext.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `AppArtifacts::new(program, manifest).task()` — the session owns the index and can be shared across threads"
+    )]
     pub fn new(program: &'a Program, manifest: &'a Manifest) -> Self {
+        #[allow(deprecated)]
         Self::with_backend(program, manifest, BackendChoice::default())
     }
 
-    /// Builds a context with an explicit search-backend choice.
+    /// Builds a self-contained context with an explicit search-backend
+    /// choice.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `AppArtifacts::with_backend(program, manifest, backend).task()`"
+    )]
     pub fn with_backend(
         program: &'a Program,
         manifest: &'a Manifest,
         backend: BackendChoice,
     ) -> Self {
-        let image = DexImage::encode(program);
-        let dump = dump_image(&image);
-        AnalysisContext {
-            program,
-            manifest,
-            engine: SearchEngine::with_backend(BytecodeText::index(&dump), backend),
-            loops: LoopStats::default(),
-        }
+        Self::from_parts(program, manifest, build_engine(program, backend))
     }
 
-    /// Builds a context over an already-disassembled dump (lets tests and
-    /// the benchmark harness reuse a dump across runs).
+    /// Builds a self-contained context over an already-disassembled dump.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `AppArtifacts::from_dump(program, manifest, dump).task()`"
+    )]
     pub fn with_dump(program: &'a Program, manifest: &'a Manifest, dump: &str) -> Self {
+        #[allow(deprecated)]
         Self::with_dump_backend(program, manifest, dump, BackendChoice::default())
     }
 
-    /// Builds a context over an existing dump with an explicit
-    /// search-backend choice.
+    /// Builds a self-contained context over an existing dump with an
+    /// explicit search-backend choice.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `AppArtifacts::from_dump_backend(program, manifest, dump, backend).task()`"
+    )]
     pub fn with_dump_backend(
         program: &'a Program,
         manifest: &'a Manifest,
         dump: &str,
         backend: BackendChoice,
     ) -> Self {
-        AnalysisContext {
+        Self::from_parts(
             program,
             manifest,
-            engine: SearchEngine::with_backend(BytecodeText::index(dump), backend),
-            loops: LoopStats::default(),
-        }
+            SearchEngine::with_backend(BytecodeText::index(dump), backend),
+        )
     }
 }
 
@@ -73,9 +215,9 @@ mod tests {
     use super::*;
     use backdroid_ir::{ClassBuilder, ClassName, MethodBuilder, Type};
     use backdroid_manifest::{Component, ComponentKind};
+    use std::sync::Arc;
 
-    #[test]
-    fn context_builds_engine_from_program() {
+    fn one_class_app() -> (Program, Manifest) {
         let name = ClassName::new("com.a.Main");
         let mut m = MethodBuilder::public(&name, "onCreate", vec![], Type::Void);
         m.ret_void();
@@ -83,6 +225,48 @@ mod tests {
         p.add_class(ClassBuilder::new("com.a.Main").method(m.build()).build());
         let mut man = Manifest::new("com.a");
         man.register(Component::new(ComponentKind::Activity, "com.a.Main"));
+        (p, man)
+    }
+
+    #[test]
+    fn artifacts_build_engine_from_program() {
+        let (p, man) = one_class_app();
+        let artifacts = AppArtifacts::new(p, man);
+        let ctx = artifacts.task();
+        assert!(ctx.engine.text().descriptors().contains("Lcom/a/Main;"));
+        assert_eq!(ctx.program.method_count(), 1);
+    }
+
+    #[test]
+    fn artifacts_are_owned_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<AppArtifacts>();
+    }
+
+    #[test]
+    fn tasks_share_one_cache_across_threads() {
+        let (p, man) = one_class_app();
+        let artifacts = Arc::new(AppArtifacts::new(p, man));
+        let cmd = backdroid_search::SearchCmd::MethodNameCall("onCreate".into());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let artifacts = Arc::clone(&artifacts);
+                let cmd = cmd.clone();
+                scope.spawn(move || {
+                    let ctx = artifacts.task();
+                    let _ = ctx.engine.run(&cmd);
+                });
+            }
+        });
+        let stats = artifacts.engine().stats();
+        assert_eq!(stats.commands, 4);
+        assert_eq!(stats.hits, 3, "single-flight: one execution, three hits");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_still_work() {
+        let (p, man) = one_class_app();
         let ctx = AnalysisContext::new(&p, &man);
         assert!(ctx.engine.text().descriptors().contains("Lcom/a/Main;"));
     }

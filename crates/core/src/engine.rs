@@ -1,18 +1,43 @@
 //! The per-app BackDroid pipeline (paper §III, Fig 2): preprocess →
 //! locate sinks → search-driven backward slicing into SSGs → forward
 //! constant/points-to propagation → detector verdicts.
+//!
+//! ## The sink-task scheduler
+//!
+//! The paper's headline result is that per-app cost tracks the number of
+//! targeted sinks, not app size — sink slices are independent work items.
+//! [`Backdroid::analyze`] therefore runs as a scheduler over *sink
+//! tasks*: located sink sites are grouped by containing method (the §IV-F
+//! skip rule only couples sites of the same method) and the groups are
+//! analyzed on [`BackdroidOptions::intra_threads`] workers against one
+//! shared [`SearchEngine`]. Determinism contract, for any thread count:
+//!
+//! * reports are emitted in sink-site order (the same order the
+//!   sequential loop produced);
+//! * cache and loop statistics merge commutatively, and the engine's
+//!   single-flight cache charges each unique command exactly once, so
+//!   `CacheStats` (including `lines_scanned` / `postings_touched`) is
+//!   identical to the sequential run;
+//! * the §IV-F unreachable-method sink cache is a proven-unreachable set
+//!   that is correct under any interleaving — a site may *run* instead
+//!   of being skipped, never the reverse — and `skipped` is counted in a
+//!   deterministic post-pass over sink-site order that also drops any
+//!   redundantly produced report.
 
-use crate::context::AnalysisContext;
+use crate::context::{AppArtifacts, TaskContext};
 use crate::detect::{judge, Verdict};
 use crate::forward::{DataflowValue, ForwardAnalysis};
 use crate::locate::{locate_sinks, SinkSite};
 use crate::loops::LoopStats;
 use crate::sinks::SinkRegistry;
 use crate::slicer::{slice_sink, SlicerConfig};
+use backdroid_dex::{dump_image, DexImage};
 use backdroid_ir::{MethodSig, Program};
 use backdroid_manifest::Manifest;
-use backdroid_search::{BackendChoice, CacheStats};
-use std::collections::HashMap;
+use backdroid_search::{BackendChoice, BytecodeText, CacheStats, SearchEngine};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Tool options. `Default` reproduces the paper's configuration,
@@ -32,6 +57,11 @@ pub struct BackdroidOptions {
     /// enforce it); `Indexed` touches only posting-list candidates while
     /// `LinearScan` reproduces the paper's full-dump grep cost.
     pub backend: BackendChoice,
+    /// Worker threads for the intra-app sink-task scheduler. `1` (the
+    /// default) analyzes sink sites sequentially; any value produces
+    /// byte-identical reports and deterministic statistics — see the
+    /// module docs for the determinism contract.
+    pub intra_threads: usize,
 }
 
 impl Default for BackdroidOptions {
@@ -41,12 +71,13 @@ impl Default for BackdroidOptions {
             hierarchy_initial_search: false,
             slicer: SlicerConfig::default(),
             backend: BackendChoice::default(),
+            intra_threads: 1,
         }
     }
 }
 
 /// The report for one analyzed sink call site.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct SinkReport {
     /// Sink identifier from the registry.
     pub sink_id: String,
@@ -68,7 +99,7 @@ pub struct SinkReport {
 
 /// Sink API call caching statistics (§IV-F: "on average, 13.86% of sink
 /// API calls in each app are cached").
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
 pub struct SinkCacheStats {
     /// Sink call sites located in total.
     pub located: u64,
@@ -91,11 +122,17 @@ impl SinkCacheStats {
 /// The whole-app analysis report.
 #[derive(Clone, Debug)]
 pub struct AppReport {
-    /// One report per analyzed sink site (skipped sites excluded).
+    /// One report per analyzed sink site (skipped sites excluded),
+    /// always in sink-site order.
     pub sink_reports: Vec<SinkReport>,
     /// Total wall-clock analysis time.
     pub analysis_time: Duration,
-    /// Search-command cache statistics (§IV-F).
+    /// Search-command cache statistics (§IV-F), measured as a delta
+    /// over the engine's counters so back-to-back analyses on long-lived
+    /// [`AppArtifacts`] each report their own work. The counters are
+    /// engine-wide: analyses that *overlap in time* on the same
+    /// artifacts fold each other's commands into their windows — take
+    /// deltas from non-overlapping runs when the numbers must be exact.
     pub cache_stats: CacheStats,
     /// Loop-detection statistics (§IV-F).
     pub loop_stats: LoopStats,
@@ -125,6 +162,13 @@ pub struct Backdroid {
     options: BackdroidOptions,
 }
 
+/// One sink site's scheduler outcome: its index in sink-site order plus
+/// the report (`None` when the §IV-F skip rule fired in-task).
+type SiteOutcome = (usize, Option<SinkReport>);
+
+/// One sink task's results plus the task's private loop counters.
+type TaskResult = (Vec<SiteOutcome>, LoopStats);
+
 impl Backdroid {
     /// Creates a tool with the paper's default configuration — BackDroid
     /// "does not require specific parameter configuration" (§VI-A).
@@ -142,68 +186,196 @@ impl Backdroid {
         &self.options
     }
 
-    /// Analyzes one app.
+    /// Analyzes one app end to end: preprocess (encode, disassemble,
+    /// index), then run the sink-task scheduler. The reported
+    /// `analysis_time` covers the whole span, timed once.
     pub fn analyze(&self, program: &Program, manifest: &Manifest) -> AppReport {
         let start = Instant::now();
-        let mut ctx = AnalysisContext::with_backend(program, manifest, self.options.backend);
-        let report = self.analyze_in(&mut ctx);
-        AppReport {
-            analysis_time: start.elapsed(),
-            cache_stats: ctx.engine.stats(),
-            loop_stats: ctx.loops.clone(),
-            ..report
+        let image = DexImage::encode(program);
+        let dump = dump_image(&image);
+        let engine = SearchEngine::with_backend(BytecodeText::index(&dump), self.options.backend);
+        self.run_scheduler(program, manifest, &engine, start)
+    }
+
+    /// Analyzes against prebuilt, shareable [`AppArtifacts`] — the
+    /// resident-app-image entry point. Many analyses (even concurrent
+    /// ones from different threads) can target the same artifacts; the
+    /// reports themselves are always exact, while the per-report
+    /// `cache_stats` delta is exact only for analyses that do not
+    /// overlap in time (see [`AppReport::cache_stats`]).
+    pub fn analyze_artifacts(&self, artifacts: &AppArtifacts) -> AppReport {
+        self.run_scheduler(
+            artifacts.program(),
+            artifacts.manifest(),
+            artifacts.engine(),
+            Instant::now(),
+        )
+    }
+
+    /// Analyzes within a prepared task context (compatibility shim for
+    /// pre-session callers; the context's engine handle is shared with
+    /// the scheduler's tasks and its loop counters absorb the run's loop
+    /// statistics).
+    pub fn analyze_in(&self, ctx: &mut TaskContext<'_>) -> AppReport {
+        let report = self.run_scheduler(ctx.program, ctx.manifest, &ctx.engine, Instant::now());
+        ctx.loops.merge(&report.loop_stats);
+        report
+    }
+
+    /// Runs one sink site: slice backward, propagate forward, judge.
+    fn analyze_site(&self, ctx: &mut TaskContext<'_>, site: &SinkSite) -> SinkReport {
+        let spec = &self.options.sinks.sinks()[site.spec_idx];
+        let result = slice_sink(ctx, self.options.slicer, &site.method, site.stmt_idx, spec);
+        let mut forward = ForwardAnalysis::new(ctx.program);
+        let values = forward.run(&result.ssg, spec);
+        let verdict = judge(spec.id, &values);
+        SinkReport {
+            sink_id: spec.id.to_string(),
+            site_method: site.method.clone(),
+            stmt_idx: site.stmt_idx,
+            reachable: result.reachable,
+            entries: result.ssg.entries().to_vec(),
+            param_values: values,
+            verdict,
+            ssg_units: result.ssg.units().len(),
         }
     }
 
-    /// Analyzes within a prepared context (used by tests and the bench
-    /// harness to reuse a dump).
-    pub fn analyze_in(&self, ctx: &mut AnalysisContext<'_>) -> AppReport {
-        let start = Instant::now();
+    /// The sink-task scheduler (see the module docs for the determinism
+    /// contract). `started` is the caller's clock start, so
+    /// `analysis_time` is measured exactly once per report — `analyze`
+    /// includes its preprocessing span, the other entry points start
+    /// here.
+    fn run_scheduler(
+        &self,
+        program: &Program,
+        manifest: &Manifest,
+        engine: &SearchEngine,
+        started: Instant,
+    ) -> AppReport {
+        let stats_before = engine.stats();
+
+        let mut locate_ctx = TaskContext::from_parts(program, manifest, engine.clone());
         let sites: Vec<SinkSite> = locate_sinks(
-            ctx,
+            &mut locate_ctx,
             &self.options.sinks,
             self.options.hierarchy_initial_search,
         );
+        let mut loop_stats = locate_ctx.loops;
 
+        // Group sink sites by containing method: the §IV-F skip rule only
+        // couples same-method sites, so serializing each method's sites
+        // inside one task reproduces the sequential skip decisions
+        // exactly while distinct methods run in parallel.
+        let mut group_of: HashMap<&MethodSig, usize> = HashMap::new();
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        for (i, site) in sites.iter().enumerate() {
+            let g = *group_of.entry(&site.method).or_insert_with(|| {
+                groups.push(Vec::new());
+                groups.len() - 1
+            });
+            groups[g].push(i);
+        }
+
+        // §IV-F sink API call caching: methods proven control-flow
+        // unreachable skip their remaining sink sites. With the
+        // per-method grouping above, each entry is only ever observed by
+        // the group that wrote it; the set stays shared (two uncontended
+        // lock ops per site) so the invariant — a site may over-run,
+        // never under-run, with the post-pass settling the outcome —
+        // holds for any finer-grained scheduling this may grow into.
+        let proven_unreachable: Mutex<HashSet<MethodSig>> = Mutex::new(HashSet::new());
+
+        let run_group = |group: &[usize]| -> TaskResult {
+            let mut ctx = TaskContext::from_parts(program, manifest, engine.clone());
+            let mut out = Vec::with_capacity(group.len());
+            for &i in group {
+                let site = &sites[i];
+                let skip = proven_unreachable
+                    .lock()
+                    .expect("proven-unreachable set poisoned")
+                    .contains(&site.method);
+                if skip {
+                    out.push((i, None));
+                    continue;
+                }
+                let report = self.analyze_site(&mut ctx, site);
+                if !report.reachable {
+                    proven_unreachable
+                        .lock()
+                        .expect("proven-unreachable set poisoned")
+                        .insert(site.method.clone());
+                }
+                out.push((i, Some(report)));
+            }
+            (out, ctx.loops)
+        };
+
+        let threads = self.options.intra_threads.clamp(1, groups.len().max(1));
+        let task_results: Vec<TaskResult> = if threads <= 1 {
+            groups.iter().map(|g| run_group(g)).collect()
+        } else {
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                let workers: Vec<_> = (0..threads)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut local = Vec::new();
+                            loop {
+                                let gi = next.fetch_add(1, Ordering::Relaxed);
+                                if gi >= groups.len() {
+                                    break;
+                                }
+                                local.push(run_group(&groups[gi]));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                workers
+                    .into_iter()
+                    .flat_map(|w| w.join().expect("sink task worker panicked"))
+                    .collect()
+            })
+        };
+
+        // Reassemble per-site outcomes in sink-site order and merge the
+        // per-task loop counters (commutative sums).
+        let mut outcomes: Vec<Option<SinkReport>> = (0..sites.len()).map(|_| None).collect();
+        for (list, loops) in task_results {
+            loop_stats.merge(&loops);
+            for (i, outcome) in list {
+                outcomes[i] = outcome;
+            }
+        }
+
+        // Deterministic §IV-F post-pass: replay the sequential skip rule
+        // over sink-site order. A report produced for a site the rule
+        // skips would be dropped here — unreachable under the per-method
+        // grouping, load-bearing for any over-running scheduler.
+        let mut seen_unreachable: HashSet<MethodSig> = HashSet::new();
         let mut sink_cache = SinkCacheStats {
             located: sites.len() as u64,
             skipped: 0,
         };
-        // §IV-F sink API call caching: methods proven unreachable skip
-        // their remaining sink sites.
-        let mut unreachable_methods: HashMap<MethodSig, bool> = HashMap::new();
-
-        let mut reports = Vec::new();
-        for site in sites {
-            if unreachable_methods.get(&site.method).copied() == Some(true) {
+        let mut reports = Vec::with_capacity(sites.len());
+        for (site, outcome) in sites.iter().zip(outcomes) {
+            if seen_unreachable.contains(&site.method) {
                 sink_cache.skipped += 1;
                 continue;
             }
-            let spec = &self.options.sinks.sinks()[site.spec_idx];
-            let result = slice_sink(ctx, self.options.slicer, &site.method, site.stmt_idx, spec);
-            if !result.reachable {
-                unreachable_methods.insert(site.method.clone(), true);
+            let report = outcome.expect("non-skipped sink site must have been analyzed");
+            if !report.reachable {
+                seen_unreachable.insert(site.method.clone());
             }
-            let mut forward = ForwardAnalysis::new(ctx.program);
-            let values = forward.run(&result.ssg, spec);
-            let verdict = judge(spec.id, &values);
-            reports.push(SinkReport {
-                sink_id: spec.id.to_string(),
-                site_method: site.method,
-                stmt_idx: site.stmt_idx,
-                reachable: result.reachable,
-                entries: result.ssg.entries().to_vec(),
-                param_values: values,
-                verdict,
-                ssg_units: result.ssg.units().len(),
-            });
+            reports.push(report);
         }
 
         AppReport {
             sink_reports: reports,
-            analysis_time: start.elapsed(),
-            cache_stats: ctx.engine.stats(),
-            loop_stats: ctx.loops.clone(),
+            analysis_time: started.elapsed(),
+            cache_stats: engine.stats().since(&stats_before),
+            loop_stats,
             sink_cache,
         }
     }

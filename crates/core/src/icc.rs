@@ -8,7 +8,7 @@
 //! method satisfies both.
 
 use crate::backtrack::{CallerEdge, EdgeKind};
-use crate::context::AnalysisContext;
+use crate::context::TaskContext;
 use backdroid_manifest::Component;
 use backdroid_search::SearchCmd;
 use std::collections::BTreeSet;
@@ -17,7 +17,7 @@ use std::collections::BTreeSet;
 /// an ICC call of the component's kind *and* mention the component (by
 /// `const-class` for explicit ICC, or by one of its intent-filter actions
 /// for implicit ICC).
-pub fn icc_callers(ctx: &mut AnalysisContext<'_>, component: &Component) -> Vec<CallerEdge> {
+pub fn icc_callers(ctx: &mut TaskContext<'_>, component: &Component) -> Vec<CallerEdge> {
     // First search: ICC calls of the right kind.
     let mut icc_hits = Vec::new();
     for api in component.kind().icc_apis() {
@@ -65,6 +65,7 @@ pub fn icc_callers(ctx: &mut AnalysisContext<'_>, component: &Component) -> Vec<
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::context::AppArtifacts;
     use backdroid_ir::{
         ClassBuilder, ClassName, Const, InvokeExpr, MethodBuilder, MethodSig, Program, Type, Value,
     };
@@ -166,7 +167,8 @@ mod tests {
     #[test]
     fn explicit_and_implicit_icc_both_match() {
         let (p, man) = icc_program();
-        let mut ctx = AnalysisContext::new(&p, &man);
+        let art = AppArtifacts::new(p.clone(), man.clone());
+        let mut ctx = art.task();
         let component = ctx
             .manifest
             .component(&ClassName::new("com.lge.app1.fota.HttpServerService"))
@@ -200,7 +202,8 @@ mod tests {
             ComponentKind::Service,
             "com.lge.app1.GhostService",
         ));
-        let mut ctx = AnalysisContext::new(&p, &man);
+        let art = AppArtifacts::new(p.clone(), man.clone());
+        let mut ctx = art.task();
         let ghost = ctx
             .manifest
             .component(&ClassName::new("com.lge.app1.GhostService"))

@@ -10,7 +10,7 @@
 //! search-driven backward walk the sink analysis uses, and only reachable
 //! sources pay for a forward taint propagation into leak sinks.
 
-use crate::context::AnalysisContext;
+use crate::context::TaskContext;
 use crate::loops::{LoopKind, PathGuard};
 use crate::sinks::SinkSpec;
 use crate::slicer::{slice_sink, SlicerConfig};
@@ -118,7 +118,7 @@ pub struct Leak {
 /// source's entry reachability backward, then forward-taint only the
 /// reachable ones into leak sinks.
 pub fn detect_leaks(
-    ctx: &mut AnalysisContext<'_>,
+    ctx: &mut TaskContext<'_>,
     sources: &[SourceSpec],
     sinks: &[LeakSinkSpec],
 ) -> Vec<Leak> {
@@ -189,7 +189,7 @@ const MAX_LEAK_DEPTH: usize = 24;
 /// stepping into app callees that receive tainted arguments.
 #[allow(clippy::too_many_arguments)]
 fn forward_taint(
-    ctx: &mut AnalysisContext<'_>,
+    ctx: &mut TaskContext<'_>,
     source: &SourceSpec,
     method: &MethodSig,
     start: usize,
@@ -233,7 +233,7 @@ fn forward_taint(
 
 #[allow(clippy::too_many_arguments)]
 fn check_invoke(
-    ctx: &mut AnalysisContext<'_>,
+    ctx: &mut TaskContext<'_>,
     source: &SourceSpec,
     method: &MethodSig,
     stmt_idx: usize,
@@ -333,6 +333,7 @@ fn check_invoke(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::context::AppArtifacts;
     use backdroid_ir::{ClassBuilder, ClassName, InvokeExpr, MethodBuilder, Program};
     use backdroid_manifest::{Component, ComponentKind, Manifest};
 
@@ -403,7 +404,8 @@ mod tests {
     #[test]
     fn imei_to_sms_leak_is_detected() {
         let (p, man) = leaky_program(true);
-        let mut ctx = AnalysisContext::new(&p, &man);
+        let art = AppArtifacts::new(p.clone(), man.clone());
+        let mut ctx = art.task();
         let leaks = detect_leaks(&mut ctx, &default_sources(), &default_leak_sinks());
         assert_eq!(leaks.len(), 1, "{leaks:?}");
         let l = &leaks[0];
@@ -418,7 +420,8 @@ mod tests {
         // Same code but the activity is not registered: the backward
         // reachability check prunes the source, so no forward taint runs.
         let (p, man) = leaky_program(false);
-        let mut ctx = AnalysisContext::new(&p, &man);
+        let art = AppArtifacts::new(p.clone(), man.clone());
+        let mut ctx = art.task();
         let leaks = detect_leaks(&mut ctx, &default_sources(), &default_leak_sinks());
         assert!(leaks.is_empty(), "{leaks:?}");
     }
@@ -451,7 +454,8 @@ mod tests {
         );
         let mut man = Manifest::new("com.l");
         man.register(Component::new(ComponentKind::Activity, act.as_str()));
-        let mut ctx = AnalysisContext::new(&p, &man);
+        let art = AppArtifacts::new(p.clone(), man.clone());
+        let mut ctx = art.task();
         let leaks = detect_leaks(&mut ctx, &default_sources(), &default_leak_sinks());
         assert!(leaks.is_empty(), "{leaks:?}");
     }
@@ -480,7 +484,8 @@ mod tests {
         );
         let mut man = Manifest::new("com.l");
         man.register(Component::new(ComponentKind::Activity, act.as_str()));
-        let mut ctx = AnalysisContext::new(&p, &man);
+        let art = AppArtifacts::new(p.clone(), man.clone());
+        let mut ctx = art.task();
         let leaks = detect_leaks(&mut ctx, &default_sources(), &default_leak_sinks());
         assert_eq!(leaks.len(), 1);
         assert_eq!(leaks[0].sink_id, "leak.log");

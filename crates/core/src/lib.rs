@@ -20,6 +20,17 @@
 //!    ([`ForwardAnalysis`]) and **judge** the recovered sink parameters
 //!    ([`judge`]).
 //!
+//! ## Sessions and intra-app parallelism
+//!
+//! The preprocessing products — IR program, manifest, indexed dump —
+//! live in an owned, `Send + Sync` [`AppArtifacts`] with no lifetime
+//! parameter: build it once, share it by `Arc` (a resident app image
+//! serving many queries), and start cheap per-task [`TaskContext`]s with
+//! [`AppArtifacts::task`]. [`Backdroid::analyze`] schedules independent
+//! sink sites over `BackdroidOptions::intra_threads` workers against one
+//! shared search engine; reports and statistics are deterministic for
+//! any thread count (see [`engine`]'s module docs for the contract).
+//!
 //! ```
 //! use backdroid_core::{Backdroid, SinkRegistry};
 //! use backdroid_ir::{ClassBuilder, ClassName, InvokeExpr, MethodBuilder, MethodSig, Program, Type, Value};
@@ -67,7 +78,9 @@ pub mod ssg;
 
 pub use backdroid_search::BackendChoice;
 pub use backtrack::{find_callers, CallerEdge, ChainStep, EdgeKind, Reached};
+#[allow(deprecated)]
 pub use context::AnalysisContext;
+pub use context::{AppArtifacts, TaskContext};
 pub use detect::{judge, judge_cipher, judge_verifier, Verdict};
 pub use engine::{AppReport, Backdroid, BackdroidOptions, SinkCacheStats, SinkReport};
 pub use forward::{fold_binop, DataflowValue, ForwardAnalysis};

@@ -10,7 +10,7 @@
 //! ("we will address this issue by checking the class hierarchy also in
 //! the initial search").
 
-use crate::context::AnalysisContext;
+use crate::context::TaskContext;
 use crate::sinks::SinkRegistry;
 use backdroid_ir::MethodSig;
 use backdroid_search::SearchCmd;
@@ -31,7 +31,7 @@ pub struct SinkSite {
 
 /// Locates all sink call sites for `registry`.
 pub fn locate_sinks(
-    ctx: &mut AnalysisContext<'_>,
+    ctx: &mut TaskContext<'_>,
     registry: &SinkRegistry,
     hierarchy_aware: bool,
 ) -> Vec<SinkSite> {
@@ -115,6 +115,7 @@ pub fn locate_sinks(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::context::AppArtifacts;
     use backdroid_ir::{ClassBuilder, ClassName, InvokeExpr, MethodBuilder, Program, Type, Value};
     use backdroid_manifest::Manifest;
 
@@ -148,7 +149,8 @@ mod tests {
     fn exact_search_finds_all_call_sites() {
         let p = direct_sink_program();
         let man = Manifest::new("com.a");
-        let mut ctx = AnalysisContext::new(&p, &man);
+        let art = AppArtifacts::new(p.clone(), man.clone());
+        let mut ctx = art.task();
         let reg = SinkRegistry::crypto_and_ssl();
         let sites = locate_sinks(&mut ctx, &reg, false);
         assert_eq!(sites.len(), 2, "{sites:?}");
@@ -195,7 +197,8 @@ mod tests {
     fn subclassed_sink_missed_without_hierarchy_search() {
         let p = subclassed_sink_program();
         let man = Manifest::new("com.gta.nslm2");
-        let mut ctx = AnalysisContext::new(&p, &man);
+        let art = AppArtifacts::new(p.clone(), man.clone());
+        let mut ctx = art.task();
         let reg = SinkRegistry::crypto_and_ssl();
         let sites = locate_sinks(&mut ctx, &reg, false);
         assert!(sites.is_empty(), "paper's FN reproduced: {sites:?}");
@@ -205,7 +208,8 @@ mod tests {
     fn subclassed_sink_found_with_hierarchy_search() {
         let p = subclassed_sink_program();
         let man = Manifest::new("com.gta.nslm2");
-        let mut ctx = AnalysisContext::new(&p, &man);
+        let art = AppArtifacts::new(p.clone(), man.clone());
+        let mut ctx = art.task();
         let reg = SinkRegistry::crypto_and_ssl();
         let sites = locate_sinks(&mut ctx, &reg, true);
         assert_eq!(sites.len(), 1, "{sites:?}");
@@ -249,7 +253,8 @@ mod tests {
                 .build(),
         );
         let man = Manifest::new("com.a");
-        let mut ctx = AnalysisContext::new(&p, &man);
+        let art = AppArtifacts::new(p.clone(), man.clone());
+        let mut ctx = art.task();
         let reg = SinkRegistry::crypto_and_ssl();
         let sites = locate_sinks(&mut ctx, &reg, true);
         assert_eq!(

@@ -25,7 +25,7 @@ pub enum LoopKind {
 }
 
 /// Per-app loop counters.
-#[derive(Clone, Debug, Default, Serialize)]
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize)]
 pub struct LoopStats {
     counts: BTreeMap<LoopKind, u64>,
 }

@@ -10,7 +10,7 @@
 //! edge to the named app method.
 
 use crate::backtrack::{CallerEdge, EdgeKind};
-use crate::context::AnalysisContext;
+use crate::context::TaskContext;
 use backdroid_ir::{ClassName, LocalId, MethodSig, Place, Rvalue, Stmt, Value};
 use backdroid_search::SearchCmd;
 
@@ -31,7 +31,7 @@ pub struct ReflectiveCall {
 /// bytecode text for `Method.invoke` calls, then resolves each receiver's
 /// `forName`/`getMethod` string parameters by backward scanning within the
 /// containing method (constants and locally assigned strings).
-pub fn resolve_reflective_calls(ctx: &mut AnalysisContext<'_>) -> Vec<ReflectiveCall> {
+pub fn resolve_reflective_calls(ctx: &mut TaskContext<'_>) -> Vec<ReflectiveCall> {
     let hits = ctx
         .engine
         .run(&SearchCmd::MethodNameCall("invoke".to_string()));
@@ -73,7 +73,7 @@ pub fn resolve_reflective_calls(ctx: &mut AnalysisContext<'_>) -> Vec<Reflective
 /// Synthesizes caller edges for a callee that is only invoked via
 /// reflection: any resolved reflective call naming this method becomes a
 /// direct edge (the paper: "directly build caller edges to cache them").
-pub fn reflective_callers(ctx: &mut AnalysisContext<'_>, callee: &MethodSig) -> Vec<CallerEdge> {
+pub fn reflective_callers(ctx: &mut TaskContext<'_>, callee: &MethodSig) -> Vec<CallerEdge> {
     resolve_reflective_calls(ctx)
         .into_iter()
         .filter(|rc| &rc.target_class == callee.class() && rc.target_method == callee.name())
@@ -171,6 +171,7 @@ fn resolve_string_local(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::context::AppArtifacts;
     use backdroid_ir::{ClassBuilder, Const, InvokeExpr, MethodBuilder, Program, Type};
     use backdroid_manifest::Manifest;
 
@@ -241,7 +242,8 @@ mod tests {
     fn forname_reflection_is_resolved() {
         let p = reflective_program(true);
         let man = Manifest::new("com.r");
-        let mut ctx = AnalysisContext::new(&p, &man);
+        let art = AppArtifacts::new(p.clone(), man.clone());
+        let mut ctx = art.task();
         let calls = resolve_reflective_calls(&mut ctx);
         assert_eq!(calls.len(), 1, "{calls:?}");
         assert_eq!(calls[0].target_class.as_str(), "com.r.Worker");
@@ -253,7 +255,8 @@ mod tests {
     fn const_class_reflection_is_resolved() {
         let p = reflective_program(false);
         let man = Manifest::new("com.r");
-        let mut ctx = AnalysisContext::new(&p, &man);
+        let art = AppArtifacts::new(p.clone(), man.clone());
+        let mut ctx = art.task();
         let calls = resolve_reflective_calls(&mut ctx);
         assert_eq!(calls.len(), 1);
         assert_eq!(calls[0].target_class.as_str(), "com.r.Worker");
@@ -263,7 +266,8 @@ mod tests {
     fn reflective_caller_edges_are_synthesized() {
         let p = reflective_program(true);
         let man = Manifest::new("com.r");
-        let mut ctx = AnalysisContext::new(&p, &man);
+        let art = AppArtifacts::new(p.clone(), man.clone());
+        let mut ctx = art.task();
         let callee = MethodSig::new("com.r.Worker", "doWork", vec![], Type::Void);
         let edges = reflective_callers(&mut ctx, &callee);
         assert_eq!(edges.len(), 1);
@@ -303,7 +307,8 @@ mod tests {
         ));
         p.add_class(ClassBuilder::new(act.as_str()).method(oc.build()).build());
         let man = Manifest::new("com.r");
-        let mut ctx = AnalysisContext::new(&p, &man);
+        let art = AppArtifacts::new(p.clone(), man.clone());
+        let mut ctx = art.task();
         assert!(resolve_reflective_calls(&mut ctx).is_empty());
     }
 }

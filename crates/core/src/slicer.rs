@@ -11,7 +11,7 @@
 //! * raw typed statements are preserved in the SSG for the forward phase.
 
 use crate::backtrack::{find_callers, CallerEdge, Reached};
-use crate::context::AnalysisContext;
+use crate::context::TaskContext;
 use crate::loops::{LoopKind, PathGuard};
 use crate::sinks::SinkSpec;
 use crate::ssg::{Ssg, SsgEdge, TaintSet};
@@ -51,7 +51,7 @@ pub struct SliceResult {
 
 /// Slices backward from the sink call at `(sink_method, sink_stmt)`.
 pub fn slice_sink(
-    ctx: &mut AnalysisContext<'_>,
+    ctx: &mut TaskContext<'_>,
     config: SlicerConfig,
     sink_method: &MethodSig,
     sink_stmt: usize,
@@ -72,7 +72,7 @@ pub fn slice_sink(
 }
 
 struct BackwardSlicer<'c, 'p> {
-    ctx: &'c mut AnalysisContext<'p>,
+    ctx: &'c mut TaskContext<'p>,
     config: SlicerConfig,
     ssg: Ssg,
     reachable: bool,
@@ -745,6 +745,7 @@ impl BackwardSlicer<'_, '_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::context::AppArtifacts;
     use crate::sinks::SinkRegistry;
     use backdroid_ir::{ClassBuilder, ClassName, Const, Modifiers, Program, Type};
     use backdroid_manifest::{Component, ComponentKind, Manifest};
@@ -790,7 +791,8 @@ mod tests {
         );
         let mut man = Manifest::new("com.s");
         man.register(Component::new(ComponentKind::Activity, act.as_str()));
-        let mut ctx = AnalysisContext::new(&p, &man);
+        let art = AppArtifacts::new(p.clone(), man.clone());
+        let mut ctx = art.task();
         let sink_m = MethodSig::new(act.as_str(), "onResume", vec![], Type::Void);
         let body = p.method(&sink_m).unwrap().body().unwrap();
         let sink_idx = body.call_sites_of(&cipher_sig())[0];
@@ -846,7 +848,8 @@ mod tests {
         );
         let mut man = Manifest::new("com.s");
         man.register(Component::new(ComponentKind::Activity, act.as_str()));
-        let mut ctx = AnalysisContext::new(&p, &man);
+        let art = AppArtifacts::new(p.clone(), man.clone());
+        let mut ctx = art.task();
         let sink_m = MethodSig::new(act.as_str(), "onCreate", vec![], Type::Void);
         let body = p.method(&sink_m).unwrap().body().unwrap();
         let sink_idx = body.call_sites_of(&cipher_sig())[0];
@@ -947,7 +950,8 @@ mod tests {
         let mut p2 = Program::new();
         p2.add_class(cb.build());
         let man = Manifest::new("com.s");
-        let mut ctx = AnalysisContext::new(&p2, &man);
+        let art = AppArtifacts::new(p2.clone(), man.clone());
+        let mut ctx = art.task();
         let sink_m = MethodSig::new(
             cls.as_str(),
             format!("f{}", n - 1),

@@ -7,7 +7,11 @@ use crate::backend::{BackendChoice, SearchBackend};
 use crate::text::BytecodeText;
 use backdroid_dex::{class_descriptor, field_ref_string, method_ref_string};
 use backdroid_ir::{ClassName, FieldSig, MethodSig};
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// One search command. Each corresponds to a grep the paper's tool issues
 /// over the dexdump text.
@@ -128,19 +132,80 @@ impl CacheStats {
             self.hits as f64 / self.commands as f64
         }
     }
+
+    /// The work done since an earlier snapshot of the same engine's
+    /// counters (all fields are monotonic, so this is a plain field-wise
+    /// difference). Lets a long-lived shared engine report per-analysis
+    /// statistics.
+    pub fn since(&self, baseline: &CacheStats) -> CacheStats {
+        CacheStats {
+            commands: self.commands.saturating_sub(baseline.commands),
+            hits: self.hits.saturating_sub(baseline.hits),
+            lines_scanned: self.lines_scanned.saturating_sub(baseline.lines_scanned),
+            postings_touched: self
+                .postings_touched
+                .saturating_sub(baseline.postings_touched),
+        }
+    }
 }
 
-/// The per-app search engine: owns the indexed text, the caches, and the
-/// execution backend.
+/// Number of cache shards. Keys hash-distribute across shards so
+/// concurrent tasks rarely contend on the same lock.
+const CACHE_SHARDS: usize = 16;
+
+fn shard_of<K: Hash>(key: &K) -> usize {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() as usize) % CACHE_SHARDS
+}
+
+/// Monotonic engine-wide counters, updated lock-free by concurrent tasks.
+#[derive(Debug, Default)]
+struct SharedStats {
+    commands: AtomicU64,
+    hits: AtomicU64,
+    lines_scanned: AtomicU64,
+    postings_touched: AtomicU64,
+}
+
+impl SharedStats {
+    fn snapshot(&self) -> CacheStats {
+        CacheStats {
+            commands: self.commands.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            lines_scanned: self.lines_scanned.load(Ordering::Relaxed),
+            postings_touched: self.postings_touched.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The shared interior of a [`SearchEngine`]: the indexed text, the
+/// execution backend, the sharded caches, and the atomic counters.
 #[derive(Debug)]
-pub struct SearchEngine {
+struct EngineShared {
     text: BytecodeText,
     backend: Box<dyn SearchBackend>,
     backend_choice: BackendChoice,
-    cache: HashMap<String, Vec<Hit>>,
-    class_use_cache: HashMap<ClassName, Vec<ClassName>>,
-    stats: CacheStats,
-    caching: bool,
+    cmd_cache: Vec<Mutex<HashMap<String, Vec<Hit>>>>,
+    class_use_cache: Vec<Mutex<HashMap<ClassName, Vec<ClassName>>>>,
+    stats: SharedStats,
+    caching: AtomicBool,
+}
+
+/// The per-app search engine: a cheaply cloneable **handle** on one
+/// indexed dump, its caches, and its execution backend.
+///
+/// All methods take `&self`; clones share the text, the command caches,
+/// and the statistics, so one engine can serve many concurrent analysis
+/// tasks against the same app image. The command cache is sharded
+/// (16 lock-striped maps) and **single-flight**: when several tasks miss
+/// the same key simultaneously, exactly one executes the search while
+/// the rest wait on the shard and replay the cached hits. Consequently
+/// `lines_scanned` / `postings_touched` are charged once per unique
+/// uncached command — deterministic under any thread interleaving.
+#[derive(Clone, Debug)]
+pub struct SearchEngine {
+    shared: Arc<EngineShared>,
 }
 
 impl SearchEngine {
@@ -153,54 +218,74 @@ impl SearchEngine {
     /// Creates an engine with an explicit backend choice.
     pub fn with_backend(text: BytecodeText, choice: BackendChoice) -> Self {
         SearchEngine {
-            text,
-            backend: choice.backend(),
-            backend_choice: choice,
-            cache: HashMap::new(),
-            class_use_cache: HashMap::new(),
-            stats: CacheStats::default(),
-            caching: true,
+            shared: Arc::new(EngineShared {
+                text,
+                backend: choice.backend(),
+                backend_choice: choice,
+                cmd_cache: (0..CACHE_SHARDS).map(|_| Mutex::default()).collect(),
+                class_use_cache: (0..CACHE_SHARDS).map(|_| Mutex::default()).collect(),
+                stats: SharedStats::default(),
+                caching: AtomicBool::new(true),
+            }),
         }
     }
 
     /// Disables the search caches — used by the caching ablation bench to
-    /// quantify the §IV-F enhancement.
-    pub fn set_caching(&mut self, enabled: bool) {
-        self.caching = enabled;
+    /// quantify the §IV-F enhancement. Affects every clone of this
+    /// engine.
+    pub fn set_caching(&self, enabled: bool) {
+        self.shared.caching.store(enabled, Ordering::Relaxed);
     }
 
     /// The underlying indexed text.
     pub fn text(&self) -> &BytecodeText {
-        &self.text
+        &self.shared.text
     }
 
     /// The backend executing uncached commands.
     pub fn backend_choice(&self) -> BackendChoice {
-        self.backend_choice
+        self.shared.backend_choice
     }
 
-    /// Cache statistics so far.
+    /// Cache statistics so far, across all clones of this engine.
     pub fn stats(&self) -> CacheStats {
-        self.stats
+        self.shared.stats.snapshot()
+    }
+
+    /// Executes one uncached command, charging both work measures.
+    fn execute(&self, cmd: &SearchCmd) -> Vec<Hit> {
+        let s = &self.shared;
+        // Linear-model work charged regardless of backend; the indexed
+        // backend adds its own postings_touched measure on top.
+        s.stats
+            .lines_scanned
+            .fetch_add(s.text.lines().len() as u64, Ordering::Relaxed);
+        let mut local = CacheStats::default();
+        let hits = s.backend.search(&s.text, cmd, &mut local);
+        s.stats
+            .postings_touched
+            .fetch_add(local.postings_touched, Ordering::Relaxed);
+        hits
     }
 
     /// Runs (or replays from cache) a search command.
-    pub fn run(&mut self, cmd: &SearchCmd) -> Vec<Hit> {
+    pub fn run(&self, cmd: &SearchCmd) -> Vec<Hit> {
+        let s = &self.shared;
+        s.stats.commands.fetch_add(1, Ordering::Relaxed);
+        if !s.caching.load(Ordering::Relaxed) {
+            return self.execute(cmd);
+        }
         let key = cmd.canonical();
-        self.stats.commands += 1;
-        if self.caching {
-            if let Some(hits) = self.cache.get(&key) {
-                self.stats.hits += 1;
-                return hits.clone();
-            }
+        // Single-flight: the shard lock is held across the backend call so
+        // a concurrent requester of the same key waits and replays the
+        // cached hits instead of re-executing (and re-charging) it.
+        let mut shard = s.cmd_cache[shard_of(&key)].lock().expect("cache poisoned");
+        if let Some(hits) = shard.get(&key) {
+            s.stats.hits.fetch_add(1, Ordering::Relaxed);
+            return hits.clone();
         }
-        // Linear-model work charged regardless of backend; the indexed
-        // backend adds its own postings_touched measure on top.
-        self.stats.lines_scanned += self.text.lines().len() as u64;
-        let hits = self.backend.search(&self.text, cmd, &mut self.stats);
-        if self.caching {
-            self.cache.insert(key, hits.clone());
-        }
+        let hits = self.execute(cmd);
+        shard.insert(key, hits.clone());
         hits
     }
 
@@ -209,21 +294,32 @@ impl SearchEngine {
     /// reachability walk uses (§IV-C). Combines code-line hits (mapped to
     /// the containing method's class) with `Superclass`/`Interfaces`
     /// header hits.
-    pub fn classes_using(&mut self, target: &ClassName) -> Vec<ClassName> {
-        self.stats.commands += 1;
-        if self.caching {
-            if let Some(cached) = self.class_use_cache.get(target) {
-                self.stats.hits += 1;
-                return cached.clone();
-            }
+    pub fn classes_using(&self, target: &ClassName) -> Vec<ClassName> {
+        let s = &self.shared;
+        s.stats.commands.fetch_add(1, Ordering::Relaxed);
+        let execute = || {
+            s.stats
+                .lines_scanned
+                .fetch_add(s.text.lines().len() as u64, Ordering::Relaxed);
+            let mut local = CacheStats::default();
+            let out = s.backend.classes_using(&s.text, target, &mut local);
+            s.stats
+                .postings_touched
+                .fetch_add(local.postings_touched, Ordering::Relaxed);
+            out
+        };
+        if !s.caching.load(Ordering::Relaxed) {
+            return execute();
         }
-        self.stats.lines_scanned += self.text.lines().len() as u64;
-        let out = self
-            .backend
-            .classes_using(&self.text, target, &mut self.stats);
-        if self.caching {
-            self.class_use_cache.insert(target.clone(), out.clone());
+        let mut shard = s.class_use_cache[shard_of(target)]
+            .lock()
+            .expect("cache poisoned");
+        if let Some(cached) = shard.get(target) {
+            s.stats.hits.fetch_add(1, Ordering::Relaxed);
+            return cached.clone();
         }
+        let out = execute();
+        shard.insert(target.clone(), out.clone());
         out
     }
 }
@@ -344,7 +440,7 @@ mod tests {
     #[test]
     fn invoke_search_finds_caller() {
         let p = sample();
-        let mut e = engine_for(&p);
+        let e = engine_for(&p);
         let hits = e.run(&SearchCmd::InvokeOf(MethodSig::new(
             "com.a.Server",
             "start",
@@ -358,7 +454,7 @@ mod tests {
     #[test]
     fn new_instance_search_finds_allocation_site() {
         let p = sample();
-        let mut e = engine_for(&p);
+        let e = engine_for(&p);
         let hits = e.run(&SearchCmd::NewInstanceOf(ClassName::new("com.a.Server")));
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].method.class().as_str(), "com.a.Caller");
@@ -367,7 +463,7 @@ mod tests {
     #[test]
     fn const_string_search() {
         let p = sample();
-        let mut e = engine_for(&p);
+        let e = engine_for(&p);
         let hits = e.run(&SearchCmd::ConstString("AES/ECB/PKCS5Padding".into()));
         assert_eq!(hits.len(), 1);
         // Partial strings do not match (quotes delimit).
@@ -378,7 +474,7 @@ mod tests {
     #[test]
     fn static_field_search_excludes_instance_accesses() {
         let p = sample();
-        let mut e = engine_for(&p);
+        let e = engine_for(&p);
         let f = FieldSig::new("com.a.Server", "PORT", Type::Int);
         let hits = e.run(&SearchCmd::StaticFieldAccess(f.clone()));
         assert_eq!(hits.len(), 1);
@@ -390,16 +486,74 @@ mod tests {
     #[test]
     fn method_name_call_matches_any_class() {
         let p = sample();
-        let mut e = engine_for(&p);
+        let e = engine_for(&p);
         let hits = e.run(&SearchCmd::MethodNameCall("getInstance".into()));
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].method.class().as_str(), "com.a.Caller");
     }
 
     #[test]
+    fn clones_share_cache_and_stats() {
+        let p = sample();
+        let e1 = engine_for(&p);
+        let e2 = e1.clone();
+        let cmd = SearchCmd::MethodNameCall("getInstance".into());
+        let first = e1.run(&cmd);
+        // The clone replays from the shared cache: one hit, no new scan.
+        let lines_after_first = e1.stats().lines_scanned;
+        let second = e2.run(&cmd);
+        assert_eq!(first, second);
+        let stats = e2.stats();
+        assert_eq!(stats.commands, 2);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.lines_scanned, lines_after_first);
+    }
+
+    #[test]
+    fn concurrent_same_command_is_single_flight() {
+        let p = sample();
+        let e = engine_for(&p);
+        let cmd = SearchCmd::InvokeOf(MethodSig::new("com.a.Server", "start", vec![], Type::Void));
+        let n = 8;
+        let results: Vec<Vec<Hit>> = std::thread::scope(|scope| {
+            (0..n)
+                .map(|_| {
+                    let e = e.clone();
+                    let cmd = cmd.clone();
+                    scope.spawn(move || e.run(&cmd))
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("worker"))
+                .collect()
+        });
+        for r in &results {
+            assert_eq!(r, &results[0]);
+        }
+        let stats = e.stats();
+        assert_eq!(stats.commands, n as u64);
+        // Exactly one execution was charged, no matter the interleaving.
+        assert_eq!(stats.hits, n as u64 - 1);
+        assert_eq!(stats.lines_scanned, e.text().lines().len() as u64);
+    }
+
+    #[test]
+    fn stats_since_subtracts_a_snapshot() {
+        let p = sample();
+        let e = engine_for(&p);
+        let _ = e.run(&SearchCmd::MethodNameCall("getInstance".into()));
+        let baseline = e.stats();
+        let _ = e.run(&SearchCmd::MethodNameCall("getInstance".into()));
+        let delta = e.stats().since(&baseline);
+        assert_eq!(delta.commands, 1);
+        assert_eq!(delta.hits, 1);
+        assert_eq!(delta.lines_scanned, 0);
+    }
+
+    #[test]
     fn cache_counts_repeat_commands() {
         let p = sample();
-        let mut e = engine_for(&p);
+        let e = engine_for(&p);
         let cmd = SearchCmd::MethodNameCall("getInstance".into());
         let first = e.run(&cmd);
         let second = e.run(&cmd);
@@ -413,7 +567,7 @@ mod tests {
     #[test]
     fn backends_agree_on_every_command() {
         let p = sample();
-        let [mut linear, mut indexed] = engines_for_both(&p);
+        let [linear, indexed] = engines_for_both(&p);
         for cmd in battery() {
             assert_eq!(linear.run(&cmd), indexed.run(&cmd), "{}", cmd.canonical());
         }
@@ -440,7 +594,7 @@ mod tests {
                 .method(m.build())
                 .build(),
         );
-        let [mut linear, mut indexed] = engines_for_both(&p);
+        let [linear, indexed] = engines_for_both(&p);
         for target in ["com.a.Server", "com.a.Caller", "com.absent.Class"] {
             let t = ClassName::new(target);
             assert_eq!(
@@ -464,7 +618,7 @@ mod tests {
                 .method(m.build())
                 .build(),
         );
-        let mut e = engine_for(&p);
+        let e = engine_for(&p);
         let users = e.classes_using(&ClassName::new("com.a.Server"));
         let names: Vec<&str> = users.iter().map(ClassName::as_str).collect();
         assert!(names.contains(&"com.a.Caller"), "code reference: {names:?}");

@@ -23,13 +23,33 @@
 //!
 //! Pick a backend per engine with [`SearchEngine::with_backend`] (or
 //! through `backdroid_core::BackdroidOptions::backend` /
-//! `AnalysisContext::with_backend` one layer up). Work accounting in
+//! `AppArtifacts::with_backend` one layer up). Work accounting in
 //! [`CacheStats`]: `lines_scanned` is the linear-model grep cost, charged
 //! identically under either backend so every detection figure is
 //! backend-invariant; `postings_touched` is the candidate lines the
 //! indexed backend actually examined (zero under the oracle). The bench
 //! harness converts both into scaled minutes to report the two cost
 //! models side by side.
+//!
+//! ## Concurrency model
+//!
+//! [`SearchEngine`] is a cheaply cloneable handle (`Clone` shares one
+//! `Arc`'d interior) whose methods all take `&self`, so one engine can
+//! serve many analysis tasks slicing different sink sites of the same
+//! app in parallel:
+//!
+//! * the command cache and the class-level "invoked by" cache are
+//!   **sharded** — 16 lock-striped hash maps keyed by the canonical
+//!   command text, so concurrent tasks rarely contend;
+//! * cache fills are **single-flight** — the shard lock is held across
+//!   the backend call, so N tasks missing the same key charge exactly
+//!   one execution and N−1 hits, keeping [`CacheStats`] (and therefore
+//!   the paper-calibrated scaled minutes) deterministic under any
+//!   thread interleaving;
+//! * statistics are engine-wide atomic counters; [`CacheStats::since`]
+//!   recovers a per-analysis delta from a long-lived shared engine;
+//! * the posting lists build lazily through a `OnceLock`, so the first
+//!   indexed query from any thread pays the one tokenization pass.
 //!
 //! ```
 //! use backdroid_search::{BackendChoice, BytecodeText, SearchCmd, SearchEngine};
@@ -48,11 +68,11 @@
 //! // Disassemble, index, and search for the caller of Server.start() —
 //! // once through the posting lists, once through the linear oracle.
 //! let dump = dump_image(&DexImage::encode(&p));
-//! let mut engine = SearchEngine::new(BytecodeText::index(&dump)); // Indexed by default
+//! let engine = SearchEngine::new(BytecodeText::index(&dump)); // Indexed by default
 //! let hits = engine.run(&SearchCmd::InvokeOf(callee.clone()));
 //! assert_eq!(hits[0].method.to_string(), "<com.a.Caller: void go()>");
 //!
-//! let mut oracle = SearchEngine::with_backend(BytecodeText::index(&dump), BackendChoice::LinearScan);
+//! let oracle = SearchEngine::with_backend(BytecodeText::index(&dump), BackendChoice::LinearScan);
 //! assert_eq!(oracle.run(&SearchCmd::InvokeOf(callee)), hits);
 //! assert!(engine.stats().postings_touched < oracle.stats().lines_scanned);
 //! ```

@@ -7,7 +7,7 @@
 //! cargo run --example leak_detection
 //! ```
 
-use backdroid_core::{default_leak_sinks, default_sources, detect_leaks, AnalysisContext};
+use backdroid_core::{default_leak_sinks, default_sources, detect_leaks, AppArtifacts};
 use backdroid_ir::{
     ClassBuilder, ClassName, InvokeExpr, MethodBuilder, MethodSig, Program, Type, Value,
 };
@@ -82,7 +82,8 @@ fn main() {
     let mut manifest = Manifest::new("com.example.leaky");
     manifest.register(Component::new(ComponentKind::Activity, act.as_str()));
 
-    let mut ctx = AnalysisContext::new(&program, &manifest);
+    let artifacts = AppArtifacts::new(program, manifest);
+    let mut ctx = artifacts.task();
     let leaks = detect_leaks(&mut ctx, &default_sources(), &default_leak_sinks());
 
     println!("detected {} leak(s):", leaks.len());

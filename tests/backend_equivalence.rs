@@ -12,7 +12,7 @@
 
 use backdroid_appgen::benchset::{bench_app, BenchsetConfig};
 use backdroid_appgen::{AppSpec, Mechanism, Scenario, SinkKind};
-use backdroid_core::{AnalysisContext, Backdroid, BackdroidOptions, BackendChoice};
+use backdroid_core::{AppArtifacts, Backdroid, BackdroidOptions, BackendChoice};
 use backdroid_search::{BytecodeText, SearchCmd, SearchEngine};
 use proptest::prelude::*;
 
@@ -66,10 +66,8 @@ fn command_battery(app: &backdroid_appgen::AndroidApp, dump: &str) -> Vec<Search
 /// a strict work advantage for the index.
 fn assert_backends_equivalent(app: &backdroid_appgen::AndroidApp) {
     let dump = app.dump();
-    let mut linear =
-        SearchEngine::with_backend(BytecodeText::index(&dump), BackendChoice::LinearScan);
-    let mut indexed =
-        SearchEngine::with_backend(BytecodeText::index(&dump), BackendChoice::Indexed);
+    let linear = SearchEngine::with_backend(BytecodeText::index(&dump), BackendChoice::LinearScan);
+    let indexed = SearchEngine::with_backend(BytecodeText::index(&dump), BackendChoice::Indexed);
     for cmd in command_battery(app, &dump) {
         let l = linear.run(&cmd);
         let x = indexed.run(&cmd);
@@ -153,13 +151,18 @@ fn full_benchset_pipeline_is_identical_and_cheaper() {
     for i in 0..cfg.count {
         let ba = bench_app(i, cfg);
         let run = |backend: BackendChoice| {
-            let mut ctx = AnalysisContext::with_backend(&ba.app.program, &ba.app.manifest, backend);
+            let artifacts = AppArtifacts::with_backend(
+                ba.app.program.clone(),
+                ba.app.manifest.clone(),
+                backend,
+            );
             let report = Backdroid::with_options(BackdroidOptions {
                 backend,
                 ..BackdroidOptions::default()
             })
-            .analyze_in(&mut ctx);
-            (report, ctx.engine.stats())
+            .analyze_artifacts(&artifacts);
+            let stats = report.cache_stats;
+            (report, stats)
         };
         let (lin_report, lin_stats) = run(BackendChoice::LinearScan);
         let (idx_report, idx_stats) = run(BackendChoice::Indexed);

@@ -175,9 +175,10 @@ fn backdroid_work_scales_with_sinks_not_app_size() {
         .with_filler(30, 4, 6)
         .generate();
     let run = |app: &backdroid_appgen::AndroidApp| {
-        let mut ctx = backdroid_core::AnalysisContext::new(&app.program, &app.manifest);
-        let _ = Backdroid::new().analyze_in(&mut ctx);
-        ctx.engine.stats().lines_scanned
+        Backdroid::new()
+            .analyze(&app.program, &app.manifest)
+            .cache_stats
+            .lines_scanned
     };
     let few = run(&few_sinks);
     let many = run(&many_sinks);

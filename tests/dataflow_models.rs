@@ -180,7 +180,8 @@ fn parse_int_is_modeled() {
     let mut manifest = Manifest::new("com.m");
     manifest.register(Component::new(ComponentKind::Activity, "com.m.Main"));
     let registry = SinkRegistry::extended();
-    let mut ctx = backdroid_core::AnalysisContext::new(&p, &manifest);
+    let artifacts = backdroid_core::AppArtifacts::new(p.clone(), manifest.clone());
+    let mut ctx = artifacts.task();
     let sites = locate_sinks(&mut ctx, &registry, false);
     let site = sites
         .iter()

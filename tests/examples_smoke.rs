@@ -33,8 +33,12 @@ fn all_examples_compile_and_run() {
         "examples/ contains no .rs files — the quickstart is gone"
     );
     assert!(
-        names.len() >= 5,
-        "expected the five shipped walkthroughs, found only {names:?}"
+        names.len() >= 6,
+        "expected the six shipped walkthroughs, found only {names:?}"
+    );
+    assert!(
+        names.iter().any(|n| n == "parallel_session"),
+        "the shared-session walkthrough must stay shipped: {names:?}"
     );
 
     let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());

@@ -4,7 +4,7 @@
 
 use backdroid_appgen::{AppSpec, Mechanism, Scenario, SinkKind};
 use backdroid_core::{
-    default_leak_sinks, default_sources, detect_leaks, locate_sinks, slice_sink, AnalysisContext,
+    default_leak_sinks, default_sources, detect_leaks, locate_sinks, slice_sink, AppArtifacts,
     AppSsg, Backdroid, SinkRegistry, SlicerConfig,
 };
 use backdroid_ir::{
@@ -103,7 +103,8 @@ fn per_app_ssg_merges_shared_slices() {
         .with_filler(6, 3, 4)
         .generate();
     let registry = SinkRegistry::crypto_and_ssl();
-    let mut ctx = AnalysisContext::new(&app.program, &app.manifest);
+    let artifacts = AppArtifacts::new(app.program.clone(), app.manifest.clone());
+    let mut ctx = artifacts.task();
     let sites = locate_sinks(&mut ctx, &registry, false);
     assert!(sites.len() >= 2, "shared-utility emits two sink calls");
     let mut ssgs = Vec::new();
@@ -210,7 +211,8 @@ fn leaks_and_sinks_coexist() {
 
     let report = Backdroid::new().analyze(&app.program, &app.manifest);
     assert_eq!(report.vulnerable_sinks().len(), 1);
-    let mut ctx = AnalysisContext::new(&app.program, &app.manifest);
+    let artifacts = AppArtifacts::new(app.program.clone(), app.manifest.clone());
+    let mut ctx = artifacts.task();
     let leaks = detect_leaks(&mut ctx, &default_sources(), &default_leak_sinks());
     assert_eq!(leaks.len(), 1);
     assert_eq!(leaks[0].sink_id, "leak.log");

@@ -53,7 +53,7 @@ fn merged_dump_contains_all_dex_headers() {
 fn search_spans_dex_boundaries() {
     let (app, image) = multidex_app();
     let dump = dump_image(&image);
-    let mut engine = SearchEngine::new(BytecodeText::index(&dump));
+    let engine = SearchEngine::new(BytecodeText::index(&dump));
     // The sink API is invoked in a class that may land in any dex file;
     // the merged-text search must still find it.
     let cipher = MethodSig::new(
@@ -73,8 +73,9 @@ fn search_spans_dex_boundaries() {
 fn full_pipeline_on_multidex_dump() {
     let (app, image) = multidex_app();
     let dump = dump_image(&image);
-    let mut ctx = backdroid_core::AnalysisContext::with_dump(&app.program, &app.manifest, &dump);
-    let report = Backdroid::new().analyze_in(&mut ctx);
+    let artifacts =
+        backdroid_core::AppArtifacts::from_dump(app.program.clone(), app.manifest.clone(), &dump);
+    let report = Backdroid::new().analyze_artifacts(&artifacts);
     assert_eq!(
         report.vulnerable_sinks().len(),
         1,

@@ -1,0 +1,124 @@
+//! The intra-app sink-task scheduler's determinism contract: for any
+//! `intra_threads` width and either search backend, `Backdroid` must
+//! produce **identical** `SinkReport` sequences, verdicts, cache
+//! statistics (`lines_scanned` / `postings_touched` included), sink-cache
+//! skip counts, and loop statistics as the sequential run.
+//!
+//! Two layers of enforcement, mirroring `backend_equivalence.rs`:
+//!
+//! * a proptest driving arbitrary scenario apps through sequential vs
+//!   parallel runs at a fuzzed thread count, under both backends;
+//! * a deterministic sweep over the full small benchset at
+//!   `intra_threads = 4`.
+
+use backdroid_appgen::benchset::{bench_app, BenchsetConfig};
+use backdroid_appgen::{AppSpec, Mechanism, Scenario, SinkKind};
+use backdroid_core::{AppArtifacts, AppReport, Backdroid, BackdroidOptions, BackendChoice};
+use proptest::prelude::*;
+
+fn run(
+    app: &backdroid_appgen::AndroidApp,
+    backend: BackendChoice,
+    intra_threads: usize,
+) -> AppReport {
+    // Fresh artifacts per run so the cache statistics cover exactly one
+    // analysis.
+    let artifacts = AppArtifacts::with_backend(app.program.clone(), app.manifest.clone(), backend);
+    Backdroid::with_options(BackdroidOptions {
+        backend,
+        intra_threads,
+        ..BackdroidOptions::default()
+    })
+    .analyze_artifacts(&artifacts)
+}
+
+/// Sequential vs parallel: everything but wall-clock must be equal.
+fn assert_width_invariant(app: &backdroid_appgen::AndroidApp, threads: usize) {
+    for backend in [BackendChoice::LinearScan, BackendChoice::Indexed] {
+        let seq = run(app, backend, 1);
+        let par = run(app, backend, threads);
+        assert_eq!(
+            seq.sink_reports, par.sink_reports,
+            "{}/{:?}: report sequence diverged at {threads} threads",
+            app.name, backend
+        );
+        assert_eq!(
+            seq.vulnerable_sinks().len(),
+            par.vulnerable_sinks().len(),
+            "{}/{:?}: verdict count diverged",
+            app.name,
+            backend
+        );
+        assert_eq!(
+            seq.cache_stats, par.cache_stats,
+            "{}/{:?}: cache statistics (commands/hits/lines_scanned/postings_touched) diverged",
+            app.name, backend
+        );
+        assert_eq!(
+            seq.sink_cache, par.sink_cache,
+            "{}/{:?}: §IV-F skip accounting diverged",
+            app.name, backend
+        );
+        assert_eq!(
+            seq.loop_stats, par.loop_stats,
+            "{}/{:?}: loop statistics diverged",
+            app.name, backend
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Arbitrary scenario apps at a fuzzed scheduler width: sequential
+    /// and parallel runs are indistinguishable under both backends.
+    #[test]
+    fn intra_parallel_equals_sequential_on_generated_apps(
+        seed in 0u64..500,
+        mech_idx in 0usize..14,
+        sink_is_ssl in any::<bool>(),
+        insecure in any::<bool>(),
+        threads in 2usize..9,
+    ) {
+        let mech = [
+            Mechanism::DirectEntry,
+            Mechanism::PrivateChain,
+            Mechanism::StaticChain,
+            Mechanism::ChildClass,
+            Mechanism::SuperClassPoly,
+            Mechanism::InterfaceRunnable,
+            Mechanism::CallbackOnClick,
+            Mechanism::AsyncTask,
+            Mechanism::ClinitReachable,
+            Mechanism::ClinitOffPath,
+            Mechanism::IccExplicit,
+            Mechanism::IccImplicit,
+            Mechanism::LifecycleChain,
+            Mechanism::DeadCode,
+        ][mech_idx];
+        let sink = if sink_is_ssl { SinkKind::SslVerifier } else { SinkKind::Cipher };
+        // Two scenarios so the scheduler has at least two method groups
+        // to spread across workers.
+        let app = AppSpec::named("com.par.prop")
+            .with_seed(seed)
+            .with_scenarios(vec![
+                Scenario::new(mech, sink, insecure),
+                Scenario::new(Mechanism::DirectEntry, SinkKind::Cipher, !insecure),
+            ])
+            .with_filler(6, 3, 4)
+            .generate();
+        assert_width_invariant(&app, threads);
+    }
+}
+
+/// The acceptance sweep: the full small benchset at `intra_threads = 4`,
+/// both backends — multi-sink apps, timeout-profile apps, dead code,
+/// shared utilities, the lot.
+#[test]
+fn benchset_reports_are_width_invariant() {
+    let cfg = BenchsetConfig::small();
+    for i in 0..cfg.count {
+        let ba = bench_app(i, cfg);
+        assert_width_invariant(&ba.app, 4);
+    }
+}

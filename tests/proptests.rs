@@ -1,7 +1,7 @@
 //! Property-based tests over the core data structures and invariants.
 
 use backdroid_appgen::{AppSpec, Mechanism, Scenario, SinkKind};
-use backdroid_core::{locate_sinks, slice_sink, AnalysisContext, SinkRegistry, SlicerConfig};
+use backdroid_core::{locate_sinks, slice_sink, AppArtifacts, SinkRegistry, SlicerConfig};
 use backdroid_dex::{dump_image, method_ref_string, parse_method_ref, DexImage};
 use backdroid_ir::{
     BinOp, ClassBuilder, ClassName, Const, InvokeExpr, MethodBuilder, MethodSig, Program, Type,
@@ -114,7 +114,7 @@ proptest! {
             expected.push(format!("<{caller_class}: void go()>"));
         }
         let dump = dump_image(&DexImage::encode(&program));
-        let mut engine = SearchEngine::new(BytecodeText::index(&dump));
+        let engine = SearchEngine::new(BytecodeText::index(&dump));
         let hits = engine.run(&SearchCmd::InvokeOf(callee));
         let mut found: Vec<String> = hits.iter().map(|h| h.method.to_string()).collect();
         found.sort();
@@ -232,7 +232,8 @@ proptest! {
             .with_filler(4, 3, 4)
             .generate();
         let registry = SinkRegistry::crypto_and_ssl();
-        let mut ctx = AnalysisContext::new(&app.program, &app.manifest);
+        let artifacts = AppArtifacts::new(app.program.clone(), app.manifest.clone());
+        let mut ctx = artifacts.task();
         let sites = locate_sinks(&mut ctx, &registry, false);
         prop_assert!(!sites.is_empty(), "{mech:?}: sink must be locatable");
         for site in sites {
