@@ -51,7 +51,7 @@ pub struct BenchApp {
 }
 
 /// Benchmark-set shape parameters.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub struct BenchsetConfig {
     /// Number of apps (the paper uses 144).
     pub count: usize,
@@ -82,16 +82,74 @@ impl BenchsetConfig {
     /// [`profiles_for`]), so CI smoke sets (`sized(8, 0.04)`) and
     /// production-corpus sweeps (`sized(1000, 1.0)`) both exercise the
     /// same population mix the paper evaluates. `code_scale` multiplies
-    /// the filler-code volume exactly as in [`BenchsetConfig::small`];
-    /// it is clamped to a small positive floor so every app still has a
-    /// body to analyze.
+    /// the filler-code volume exactly as in [`BenchsetConfig::small`].
+    ///
+    /// Degenerate inputs are **clamped** to the documented floors
+    /// (`count >= 1`; a non-finite or non-positive `code_scale` becomes
+    /// [`MIN_CODE_SCALE`], and any positive value is floored there too)
+    /// so every app still has a body to analyze. Callers that would
+    /// rather reject such inputs than run a benchset the user did not
+    /// ask for — e.g. CLI flag parsing — should use
+    /// [`BenchsetConfig::try_sized`].
     pub fn sized(count: usize, code_scale: f64) -> Self {
+        let code_scale = if code_scale.is_finite() && code_scale > 0.0 {
+            code_scale.max(MIN_CODE_SCALE)
+        } else {
+            MIN_CODE_SCALE
+        };
         BenchsetConfig {
             count: count.max(1),
-            code_scale: code_scale.max(0.01),
+            code_scale,
+        }
+    }
+
+    /// The validating form of [`BenchsetConfig::sized`]: errors on
+    /// `count == 0` and on a non-finite or non-positive `code_scale`
+    /// instead of silently clamping to a benchset the caller never
+    /// requested. Valid-but-small `code_scale` values are still floored
+    /// at [`MIN_CODE_SCALE`].
+    pub fn try_sized(count: usize, code_scale: f64) -> Result<Self, BenchsetConfigError> {
+        if count == 0 {
+            return Err(BenchsetConfigError::ZeroCount);
+        }
+        if !code_scale.is_finite() || code_scale <= 0.0 {
+            return Err(BenchsetConfigError::BadCodeScale(code_scale));
+        }
+        Ok(BenchsetConfig {
+            count,
+            code_scale: code_scale.max(MIN_CODE_SCALE),
+        })
+    }
+}
+
+/// The smallest filler-code scale a benchset will generate with: below
+/// this the apps degenerate to empty shells that no longer exercise the
+/// analysis.
+pub const MIN_CODE_SCALE: f64 = 0.01;
+
+/// Why a [`BenchsetConfig::try_sized`] request was rejected.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum BenchsetConfigError {
+    /// `count == 0`: an empty benchset measures nothing.
+    ZeroCount,
+    /// `code_scale` was NaN, infinite, or `<= 0`.
+    BadCodeScale(f64),
+}
+
+impl std::fmt::Display for BenchsetConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BenchsetConfigError::ZeroCount => {
+                write!(f, "benchset count must be at least 1")
+            }
+            BenchsetConfigError::BadCodeScale(v) => {
+                write!(f, "code scale must be a finite positive number, got {v}")
+            }
         }
     }
 }
+
+impl std::error::Error for BenchsetConfigError {}
 
 /// FNV-1a hash of a string — the same function the whole-app baseline
 /// uses for its deterministic occasional-error injection, exposed here so
@@ -404,6 +462,37 @@ mod tests {
         assert!((median - 36.2).abs() < 2.0, "median {median:.1}");
         assert_eq!(sizes[0], (2.9 * 1_048_576.0) as u64);
         assert_eq!(sizes[143], (104.9 * 1_048_576.0) as u64);
+    }
+
+    #[test]
+    fn sized_clamps_degenerate_inputs() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0, -3.0, 1e-9] {
+            let cfg = BenchsetConfig::sized(0, bad);
+            assert_eq!(cfg.count, 1, "count floor for code_scale {bad}");
+            assert_eq!(cfg.code_scale, MIN_CODE_SCALE, "scale floor for {bad}");
+        }
+        let ok = BenchsetConfig::sized(12, 0.5);
+        assert_eq!((ok.count, ok.code_scale), (12, 0.5));
+    }
+
+    #[test]
+    fn try_sized_rejects_degenerate_inputs() {
+        assert_eq!(
+            BenchsetConfig::try_sized(0, 1.0),
+            Err(BenchsetConfigError::ZeroCount)
+        );
+        for bad in [f64::NAN, f64::INFINITY, 0.0, -1.0] {
+            let err = BenchsetConfig::try_sized(4, bad).unwrap_err();
+            assert!(matches!(err, BenchsetConfigError::BadCodeScale(_)), "{bad}");
+            assert!(!err.to_string().is_empty());
+        }
+        let ok = BenchsetConfig::try_sized(4, 0.25).unwrap();
+        assert_eq!((ok.count, ok.code_scale), (4, 0.25));
+        // Tiny-but-valid scales are floored, not rejected.
+        assert_eq!(
+            BenchsetConfig::try_sized(4, 1e-6).unwrap().code_scale,
+            MIN_CODE_SCALE
+        );
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub mod benchset;
 pub mod dataset;
 pub mod filler;
 pub mod scenario;
+pub mod workload;
 
 use backdroid_dex::{apk_size_bytes, dump_image, DexImage};
 use backdroid_ir::Program;

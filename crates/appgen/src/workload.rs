@@ -1,0 +1,232 @@
+//! Deterministic service workload generation: request traces over the
+//! `modern_apps` benchmark set with **Zipf-skewed app popularity** — a
+//! few hot apps absorb most traffic while a long tail stays cold, the
+//! shape a production vetting service actually sees — and a seeded mix
+//! of full analyses, per-sink-class queries, and batched multi-app
+//! requests.
+//!
+//! Everything is a pure function of [`WorkloadConfig`]: the same config
+//! always yields the same trace, so `backdroid-serve` replays and the CI
+//! service-smoke diff are reproducible.
+
+use crate::benchset::BenchsetConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Workload shape parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadConfig {
+    /// Number of apps in the backing benchset (requests index `0..apps`).
+    pub apps: usize,
+    /// Number of requests to generate.
+    pub requests: usize,
+    /// RNG seed; the trace is fully determined by the config.
+    pub seed: u64,
+    /// Zipf skew exponent in thousandths (`1000` ≙ s = 1.0; larger is
+    /// hotter). `0` degenerates to uniform popularity.
+    pub zipf_permille: u32,
+    /// Share of requests (in thousandths) that are sink-class queries.
+    pub query_permille: u32,
+    /// Share of requests (in thousandths) that are multi-app batches.
+    pub batch_permille: u32,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            apps: 24,
+            requests: 200,
+            seed: 7,
+            zipf_permille: 1100,
+            query_permille: 300,
+            batch_permille: 100,
+        }
+    }
+}
+
+impl WorkloadConfig {
+    /// A config sized to a benchset: requests default to ~8× the app
+    /// count so hot apps get plenty of warm hits.
+    pub fn for_benchset(bench: BenchsetConfig, seed: u64) -> Self {
+        WorkloadConfig {
+            apps: bench.count,
+            requests: bench.count * 8,
+            seed,
+            ..WorkloadConfig::default()
+        }
+    }
+}
+
+/// One request of a generated trace.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct WorkloadRequest {
+    /// The primary app index (`0..apps`).
+    pub app: usize,
+    /// The operation.
+    pub op: WorkloadOp,
+}
+
+/// The operation mix a trace exercises.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum WorkloadOp {
+    /// Full-registry analysis of the app.
+    Analyze,
+    /// Query restricted to the named sink classes (`"crypto"`, `"ssl"`).
+    Query(Vec<String>),
+    /// Batched analysis: the primary app plus these extra app indices.
+    Batch(Vec<usize>),
+}
+
+/// A uniform draw in `[0, 1)` from the raw 64-bit stream (the same
+/// construction `Rng::gen_bool` uses).
+fn unit(rng: &mut StdRng) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// The cumulative Zipf distribution over `n` popularity ranks with skew
+/// `s`: entry `r` is `P(rank <= r)`. Rank 0 is the most popular.
+pub fn zipf_cumulative(n: usize, s: f64) -> Vec<f64> {
+    let mut cum = Vec::with_capacity(n);
+    let mut total = 0.0;
+    for rank in 1..=n {
+        total += 1.0 / (rank as f64).powf(s);
+        cum.push(total);
+    }
+    for c in cum.iter_mut() {
+        *c /= total;
+    }
+    cum
+}
+
+/// Generates the trace for `cfg`. App popularity is Zipf over ranks,
+/// with ranks assigned to app indices by a seeded shuffle so popularity
+/// does not correlate with app size or §VI-C profile.
+pub fn generate(cfg: WorkloadConfig) -> Vec<WorkloadRequest> {
+    let apps = cfg.apps.max(1);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Rank → app-index assignment: Fisher–Yates with the trace's RNG.
+    let mut rank_to_app: Vec<usize> = (0..apps).collect();
+    for i in (1..apps).rev() {
+        let j = rng.gen_range(0..i + 1);
+        rank_to_app.swap(i, j);
+    }
+
+    let s = cfg.zipf_permille as f64 / 1000.0;
+    let cum = zipf_cumulative(apps, s);
+    let sample_app = |rng: &mut StdRng| -> usize {
+        let u = unit(rng);
+        let rank = cum.partition_point(|&c| c < u).min(apps - 1);
+        rank_to_app[rank]
+    };
+
+    let mut out = Vec::with_capacity(cfg.requests);
+    for _ in 0..cfg.requests {
+        let app = sample_app(&mut rng);
+        let roll = rng.gen_range(0..1000u32);
+        let op = if roll < cfg.batch_permille && apps > 1 {
+            let extra = rng.gen_range(1..4usize);
+            WorkloadOp::Batch((0..extra).map(|_| sample_app(&mut rng)).collect())
+        } else if roll < cfg.batch_permille + cfg.query_permille {
+            let classes = match rng.gen_range(0..3u32) {
+                0 => vec!["crypto".to_string()],
+                1 => vec!["ssl".to_string()],
+                _ => vec!["crypto".to_string(), "ssl".to_string()],
+            };
+            WorkloadOp::Query(classes)
+        } else {
+            WorkloadOp::Analyze
+        };
+        out.push(WorkloadRequest { app, op });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn traces_are_deterministic_per_seed() {
+        let cfg = WorkloadConfig::default();
+        assert_eq!(generate(cfg), generate(cfg));
+        let other = WorkloadConfig { seed: 8, ..cfg };
+        assert_ne!(generate(cfg), generate(other), "seed must matter");
+    }
+
+    #[test]
+    fn apps_stay_in_range_and_mix_matches_permilles() {
+        let cfg = WorkloadConfig {
+            apps: 10,
+            requests: 2000,
+            ..WorkloadConfig::default()
+        };
+        let trace = generate(cfg);
+        assert_eq!(trace.len(), 2000);
+        let mut queries = 0usize;
+        let mut batches = 0usize;
+        for r in &trace {
+            assert!(r.app < 10);
+            match &r.op {
+                WorkloadOp::Analyze => {}
+                WorkloadOp::Query(classes) => {
+                    queries += 1;
+                    assert!(!classes.is_empty());
+                    assert!(classes.iter().all(|c| c == "crypto" || c == "ssl"));
+                }
+                WorkloadOp::Batch(extra) => {
+                    batches += 1;
+                    assert!(!extra.is_empty() && extra.len() <= 3);
+                    assert!(extra.iter().all(|&a| a < 10));
+                }
+            }
+        }
+        // 30% queries, 10% batches, generous tolerance.
+        assert!((400..=800).contains(&queries), "queries = {queries}");
+        assert!((100..=300).contains(&batches), "batches = {batches}");
+    }
+
+    #[test]
+    fn popularity_is_skewed() {
+        let cfg = WorkloadConfig {
+            apps: 20,
+            requests: 4000,
+            ..WorkloadConfig::default()
+        };
+        let trace = generate(cfg);
+        let mut counts: HashMap<usize, usize> = HashMap::new();
+        for r in &trace {
+            *counts.entry(r.app).or_default() += 1;
+        }
+        let mut sorted: Vec<usize> = counts.values().copied().collect();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        // Zipf s≈1.1 over 20 apps: the hottest app draws ~30% of traffic,
+        // far more than a uniform 5% share.
+        assert!(
+            sorted[0] > trace.len() / 8,
+            "hottest app saw only {} of {} requests",
+            sorted[0],
+            trace.len()
+        );
+        assert!(sorted[0] > 4 * sorted[sorted.len() - 1].max(1));
+    }
+
+    #[test]
+    fn zipf_cumulative_is_monotone_and_normalized() {
+        let cum = zipf_cumulative(16, 1.1);
+        assert_eq!(cum.len(), 16);
+        assert!(cum.windows(2).all(|w| w[0] < w[1]));
+        assert!((cum[15] - 1.0).abs() < 1e-12);
+        // Uniform degenerate case.
+        let flat = zipf_cumulative(4, 0.0);
+        assert!((flat[0] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn for_benchset_scales_requests_with_apps() {
+        let cfg = WorkloadConfig::for_benchset(BenchsetConfig::sized(8, 0.05), 3);
+        assert_eq!(cfg.apps, 8);
+        assert_eq!(cfg.requests, 64);
+    }
+}

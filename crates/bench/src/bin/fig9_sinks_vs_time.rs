@@ -6,13 +6,16 @@
 //! calls) takes 81 min — still far below the 300-min baseline timeout.
 
 use backdroid_bench::harness::{
-    benchset_apps, intra_threads_from_args, is_timeout_profile, run_backdroid_with, scale_from_args,
+    benchset_apps, intra_threads_from_args, is_timeout_profile, json_path_from_args,
+    run_backdroid_with, scale_from_args,
 };
+use backdroid_bench::json::{array, JsonObject};
 use backdroid_core::BackendChoice;
 
 fn main() {
     let scale = scale_from_args();
     let intra_threads = intra_threads_from_args();
+    let json_path = json_path_from_args();
     let apps = benchset_apps(scale);
 
     println!("Fig 9: #sink API calls vs BackDroid analysis time");
@@ -23,6 +26,7 @@ fn main() {
     let mut points = Vec::new();
     let mut comparable = Vec::new(); // excludes the outsized timeout apps
     let mut wall_total = 0.0f64;
+    let mut rows = Vec::new(); // deterministic --json rows (no wall-clock)
     for ba in apps {
         let run = run_backdroid_with(&ba.app, BackendChoice::default(), intra_threads);
         wall_total += run.wall_ms;
@@ -35,6 +39,17 @@ fn main() {
             "{:>6} {:>14.2} {:>12.1} {:>14.1}  {}",
             run.sinks_analyzed, run.minutes, run.wall_ms, sec_per_sink, run.app
         );
+        if json_path.is_some() {
+            rows.push(
+                JsonObject::new()
+                    .str("app", &run.app)
+                    .str("profile", &format!("{:?}", ba.profile))
+                    .int("sinks_analyzed", run.sinks_analyzed as u64)
+                    .float("minutes", run.minutes)
+                    .float("sec_per_sink", sec_per_sink)
+                    .build(),
+            );
+        }
         if !is_timeout_profile(ba.profile) {
             comparable.push((run.sinks_analyzed, run.minutes));
         }
@@ -100,6 +115,16 @@ fn main() {
             "  slowest app: {} sinks, {:.1} scaled min  [paper outlier: 121 sinks, 81 min]",
             outlier.0, outlier.1
         );
+    }
+    if let Some(path) = json_path {
+        let obj = JsonObject::new()
+            .raw("apps", array(rows))
+            .float("mean_sinks", mean_sinks)
+            .float("correlation_all", r)
+            .int("under_30s_per_sink", under_line as u64)
+            .build();
+        std::fs::write(&path, obj + "\n").expect("failed to write --json artifact");
+        eprintln!("wrote JSON artifact to {}", path.display());
     }
     // Wall-clock goes to stderr: the scaled-minutes figures above are
     // deterministic, real time is not.

@@ -1,0 +1,319 @@
+//! Throughput benchmark for the serving layer: drives a seeded
+//! Zipf-skewed workload (see `backdroid_appgen::workload`) through a
+//! [`Service`] on a worker pool and reports requests/sec, cold-load vs
+//! warm-hit latency, and store behaviour (loads, coalesced waits,
+//! evictions, peak residency) under a configurable byte budget.
+//!
+//! Unlike the paper-figure bins, this one's stdout **is** about
+//! wall-clock — it measures a live serving system, and with
+//! `--workers > 1` the hit/miss/eviction counts depend on scheduling
+//! too, so CI uploads its artifact without diffing it. The bin
+//! self-checks the serving layer's two load-bearing claims and exits
+//! non-zero if either fails:
+//!
+//! * the resident store never exceeds its byte budget
+//!   (`peak_resident_bytes <= budget`);
+//! * the mean warm-hit latency is below the mean cold-load latency
+//!   (residency actually amortizes preprocessing). An empty warm
+//!   bucket fails the check rather than skipping it — a workload that
+//!   never hits the store cannot demonstrate residency (only a
+//!   zero-budget store, which by design has no warm hits, skips the
+//!   comparison).
+//!
+//! Flags: `--count N` / `--code-permille M` (benchset), `--requests N`,
+//! `--workers N`, `--budget-mb N`, `--backend linear|indexed`,
+//! `--intra-threads N`, `--seed S`, `--smoke` (small CI preset),
+//! `--json PATH`.
+
+use backdroid_appgen::benchset::BenchsetConfig;
+use backdroid_appgen::workload::{self, WorkloadConfig, WorkloadOp};
+use backdroid_bench::harness::arg_value;
+use backdroid_bench::json::JsonObject;
+use backdroid_bench::{backend_from_args, intra_threads_from_args, json_path_from_args, median};
+use backdroid_service::{Fetch, Service, ServiceConfig};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+fn parsed_arg<T: std::str::FromStr>(flag: &str, default: T) -> T {
+    match arg_value(flag) {
+        Some(v) => v.parse::<T>().unwrap_or_else(|_| {
+            eprintln!("error: {flag} {v:?} is invalid");
+            std::process::exit(2)
+        }),
+        None => default,
+    }
+}
+
+/// How one request was served, for the latency buckets.
+#[derive(Clone, Copy, PartialEq)]
+enum Served {
+    Cold,
+    Warm,
+    Coalesced,
+    Error,
+}
+
+fn classify(fetches: &[Fetch]) -> Served {
+    if fetches.is_empty() {
+        return Served::Error;
+    }
+    if fetches.contains(&Fetch::Miss) {
+        Served::Cold
+    } else if fetches.contains(&Fetch::Coalesced) {
+        Served::Coalesced
+    } else {
+        Served::Warm
+    }
+}
+
+fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (def_count, def_permille, def_requests, def_budget_mb) = if smoke {
+        (8, 40, 60, 4)
+    } else {
+        (24, 80, 200, 64)
+    };
+    let bench = BenchsetConfig::try_sized(
+        parsed_arg("--count", def_count),
+        parsed_arg::<u32>("--code-permille", def_permille) as f64 / 1000.0,
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("error: invalid benchset size: {e}");
+        std::process::exit(2)
+    });
+    let requests = parsed_arg("--requests", def_requests);
+    let workers = parsed_arg::<usize>("--workers", 4).max(1);
+    let budget_mb = parsed_arg::<u64>("--budget-mb", def_budget_mb);
+    let seed = parsed_arg("--seed", 7u64);
+    let backend = backend_from_args();
+    let intra_threads = intra_threads_from_args();
+
+    let wl_cfg = WorkloadConfig {
+        apps: bench.count,
+        requests,
+        seed,
+        ..WorkloadConfig::default()
+    };
+    let trace = workload::generate(wl_cfg);
+    let service = Service::over_benchset(
+        bench,
+        ServiceConfig {
+            budget_bytes: budget_mb * 1024 * 1024,
+            backend,
+            intra_threads,
+            ..ServiceConfig::default()
+        },
+    );
+
+    // Drive the trace on `workers` threads; per-request latency and
+    // serving class are recorded for the cold/warm comparison.
+    let next = AtomicUsize::new(0);
+    let samples: Mutex<Vec<(f64, Served)>> = Mutex::new(Vec::with_capacity(trace.len()));
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut local = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= trace.len() {
+                        break;
+                    }
+                    let req = &trace[i];
+                    let app = req.app.to_string();
+                    let t0 = Instant::now();
+                    let fetches: Vec<Fetch> = match &req.op {
+                        WorkloadOp::Analyze => service
+                            .analyze_app(&app)
+                            .map(|a| vec![a.fetch])
+                            .unwrap_or_default(),
+                        WorkloadOp::Query(classes) => {
+                            let classes: Vec<_> = classes
+                                .iter()
+                                .filter_map(|c| backdroid_service::SinkClass::parse(c))
+                                .collect();
+                            service
+                                .query_sinks(&app, &classes)
+                                .map(|a| vec![a.fetch])
+                                .unwrap_or_default()
+                        }
+                        WorkloadOp::Batch(extra) => {
+                            let ids: Vec<String> = std::iter::once(req.app)
+                                .chain(extra.iter().copied())
+                                .map(|a| a.to_string())
+                                .collect();
+                            service
+                                .analyze_batch(&ids)
+                                .into_iter()
+                                .filter_map(|r| r.ok().map(|a| a.fetch))
+                                .collect()
+                        }
+                    };
+                    let ms = t0.elapsed().as_secs_f64() * 1_000.0;
+                    local.push((ms, classify(&fetches)));
+                }
+                samples.lock().expect("samples poisoned").extend(local);
+            });
+        }
+    });
+    let wall_s = started.elapsed().as_secs_f64();
+    let samples = samples.into_inner().expect("samples poisoned");
+
+    let bucket = |s: Served| -> Vec<f64> {
+        samples
+            .iter()
+            .filter(|(_, c)| *c == s)
+            .map(|(ms, _)| *ms)
+            .collect()
+    };
+    let cold = bucket(Served::Cold);
+    let warm = bucket(Served::Warm);
+    let coalesced = bucket(Served::Coalesced);
+    let errors = samples.iter().filter(|(_, c)| *c == Served::Error).count();
+    let stats = service.stats();
+    let store = stats.store;
+    let budget_bytes = service.store().budget_bytes();
+    let rps = if wall_s > 0.0 {
+        samples.len() as f64 / wall_s
+    } else {
+        0.0
+    };
+
+    println!("service_throughput: resident multi-app serving layer");
+    println!(
+        "  corpus: {} apps (code {:.0}‰), {} requests, seed {seed}",
+        bench.count,
+        bench.code_scale * 1000.0,
+        trace.len()
+    );
+    println!(
+        "  config: backend {}, {} workers, intra-threads {intra_threads}, budget {budget_mb} MiB",
+        backend.name(),
+        workers,
+    );
+    println!(
+        "  throughput: {rps:.1} req/s ({:.1} ms wall for {} requests)",
+        wall_s * 1_000.0,
+        samples.len()
+    );
+    println!(
+        "  latency: cold n={} mean={:.2} ms median={:.2} ms | warm n={} mean={:.3} ms median={:.3} ms | coalesced n={}",
+        cold.len(),
+        mean(&cold),
+        median(&cold),
+        warm.len(),
+        mean(&warm),
+        median(&warm),
+        coalesced.len(),
+    );
+    println!(
+        "  store: {} loads, {} hits, {} coalesced, {} evictions ({} B evicted)",
+        store.loads, store.hits, store.coalesced, store.evictions, store.bytes_evicted
+    );
+    println!(
+        "  residency: peak {} B of {} B budget ({} apps resident at exit), hit rate {:.1}%",
+        store.peak_resident_bytes,
+        budget_bytes,
+        store.resident_apps,
+        100.0 * store.hit_rate(),
+    );
+    println!(
+        "  queue: peak in-flight {} ({} errors)",
+        stats.peak_in_flight, errors
+    );
+
+    if let Some(path) = json_path_from_args() {
+        let obj = JsonObject::new()
+            .int("apps", bench.count as u64)
+            .int("requests", samples.len() as u64)
+            .int("seed", seed)
+            .str("backend", backend.name())
+            .int("workers", workers as u64)
+            .int("intra_threads", intra_threads as u64)
+            .int("budget_bytes", budget_bytes)
+            .int("cold", cold.len() as u64)
+            .int("warm", warm.len() as u64)
+            .int("coalesced", coalesced.len() as u64)
+            .int("errors", errors as u64)
+            .int("loads", store.loads)
+            .int("hits", store.hits)
+            .int("evictions", store.evictions)
+            .int("bytes_evicted", store.bytes_evicted)
+            .int("peak_resident_bytes", store.peak_resident_bytes)
+            .int("peak_in_flight", stats.peak_in_flight)
+            .float("wall_requests_per_sec", rps)
+            .float("wall_cold_mean_ms", mean(&cold))
+            .float("wall_cold_median_ms", median(&cold))
+            .float("wall_warm_mean_ms", mean(&warm))
+            .float("wall_warm_median_ms", median(&warm))
+            .build();
+        std::fs::write(&path, obj + "\n").expect("failed to write --json artifact");
+        eprintln!("wrote JSON artifact to {}", path.display());
+    }
+
+    // Self-checks: the two claims every scaling PR on top of the store
+    // will lean on. A caching store (budget > 0) must actually produce
+    // warm hits on this workload, and cold loads always exist — an
+    // empty bucket is itself a failure, never a silently skipped check.
+    let mut failed = false;
+    if store.peak_resident_bytes > budget_bytes {
+        eprintln!(
+            "FAIL: store exceeded its budget ({} B > {} B)",
+            store.peak_resident_bytes, budget_bytes
+        );
+        failed = true;
+    }
+    let warm_cold_checked = if budget_bytes == 0 {
+        eprintln!("note: zero-budget store — warm<cold comparison not applicable");
+        false
+    } else if cold.is_empty() || warm.is_empty() {
+        eprintln!(
+            "FAIL: warm<cold comparison is vacuous (cold n={}, warm n={}) — \
+             the trace/budget cannot demonstrate residency",
+            cold.len(),
+            warm.len()
+        );
+        failed = true;
+        false
+    } else if mean(&warm) >= mean(&cold) {
+        eprintln!(
+            "FAIL: warm-hit latency ({:.3} ms) is not below cold-load latency ({:.3} ms)",
+            mean(&warm),
+            mean(&cold)
+        );
+        failed = true;
+        false
+    } else {
+        true
+    };
+    if errors > 0 {
+        eprintln!("FAIL: {errors} request(s) errored");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    if warm_cold_checked {
+        eprintln!(
+            "OK: budget respected ({} <= {}), warm {:.3} ms < cold {:.2} ms",
+            store.peak_resident_bytes,
+            budget_bytes,
+            mean(&warm),
+            mean(&cold)
+        );
+    } else {
+        eprintln!(
+            "OK: budget respected ({} <= {})",
+            store.peak_resident_bytes, budget_bytes
+        );
+    }
+}

@@ -4,12 +4,20 @@
 //! the paper's corpus statistics (see `backdroid_appgen::dataset`); a few
 //! fully generated apps per year validate that the DEX encoder's size
 //! accounting is consistent with the sampled sizes.
+//!
+//! `--json PATH` writes the deterministic per-year rows (sampled and
+//! generated sizes are pure functions of the year statistics, so the
+//! artifact is diffable like every other bench artifact).
 
 use backdroid_appgen::dataset::{summarize_mb, year_sizes_bytes, PAPER_TABLE1};
 use backdroid_appgen::AppSpec;
+use backdroid_bench::harness::json_path_from_args;
+use backdroid_bench::json::{array, JsonObject};
 
 fn main() {
     let small = std::env::args().any(|a| a == "--small");
+    let json_path = json_path_from_args();
+    let mut rows = Vec::new();
     println!("Table I: average and median app sizes, 2014-2018");
     println!(
         "{:<6} {:>12} {:>12} {:>12} {:>12} {:>9}",
@@ -23,10 +31,23 @@ fn main() {
             "{:<6} {:>11.1}M {:>11.1}M {:>11.1}M {:>11.1}M {:>9}",
             stats.year, stats.avg_mb, avg, stats.median_mb, median, n
         );
+        if json_path.is_some() {
+            rows.push(
+                JsonObject::new()
+                    .int("year", stats.year as u64)
+                    .float("avg_paper_mb", stats.avg_mb)
+                    .float("avg_ours_mb", avg)
+                    .float("median_paper_mb", stats.median_mb)
+                    .float("median_ours_mb", median)
+                    .int("samples", n as u64)
+                    .build(),
+            );
+        }
     }
 
     // Validate the encoder: generate one real app per year sized to the
     // year's median and confirm the APK-size accounting matches.
+    let mut generated_rows = Vec::new();
     println!("\nEncoder validation (one generated app per year, median-sized):");
     for stats in PAPER_TABLE1 {
         let target = (stats.median_mb * 1_048_576.0) as u64;
@@ -43,5 +64,24 @@ fn main() {
             app.program.class_count(),
             app.program.method_count()
         );
+        if json_path.is_some() {
+            generated_rows.push(
+                JsonObject::new()
+                    .int("year", stats.year as u64)
+                    .float("generated_mb", mb)
+                    .int("classes", app.program.class_count() as u64)
+                    .int("methods", app.program.method_count() as u64)
+                    .build(),
+            );
+        }
+    }
+
+    if let Some(path) = json_path {
+        let obj = JsonObject::new()
+            .raw("years", array(rows))
+            .raw("generated", array(generated_rows))
+            .build();
+        std::fs::write(&path, obj + "\n").expect("failed to write --json artifact");
+        eprintln!("wrote JSON artifact to {}", path.display());
     }
 }

@@ -80,8 +80,10 @@ impl Scale {
     }
 }
 
-/// The value following `--flag` (or embedded as `--flag=value`) in argv.
-fn arg_value(flag: &str) -> Option<String> {
+/// The value following `--flag` (or embedded as `--flag=value`) in
+/// argv. Public so bench bins with bin-specific flags share one parser
+/// instead of copying it.
+pub fn arg_value(flag: &str) -> Option<String> {
     let mut args = std::env::args();
     while let Some(a) = args.next() {
         if a == flag {
@@ -104,18 +106,25 @@ fn usage_error(flag: &str, value: &str, expected: &str) -> ! {
 
 /// Parses the harness scale from argv: `--small` / `--full` (default
 /// full), or `--count N` (+ optional `--code-permille M`, default 80)
-/// for an arbitrary corpus size.
+/// for an arbitrary corpus size. Degenerate sizes (`--count 0`,
+/// `--code-permille 0`) are hard usage errors, checked through
+/// [`BenchsetConfig::try_sized`] — a benchset the user did not ask for
+/// must never run silently.
 pub fn scale_from_args() -> Scale {
     if let Some(v) = arg_value("--count") {
         let count = v
             .parse()
             .unwrap_or_else(|_| usage_error("--count", &v, "a positive integer"));
-        let code_permille = match arg_value("--code-permille") {
+        let code_permille: u32 = match arg_value("--code-permille") {
             Some(m) => m.parse().unwrap_or_else(|_| {
                 usage_error("--code-permille", &m, "an integer (1000 ≙ paper scale)")
             }),
             None => 80,
         };
+        if let Err(e) = BenchsetConfig::try_sized(count, code_permille as f64 / 1000.0) {
+            eprintln!("error: invalid corpus size: {e}");
+            std::process::exit(2)
+        }
         return Scale::Sized {
             count,
             code_permille,

@@ -6,26 +6,11 @@
 //! in these artifacts: the CI `bench-smoke` job diffs sequential against
 //! parallel output, so wall-clock values must stay out.
 
-use std::fmt::Write as _;
-
-/// Escapes a string for a JSON string literal.
-pub fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
-}
+/// Escapes a string for a JSON string literal. One escaper serves the
+/// whole workspace — the serving layer's protocol renderer owns it, and
+/// the CI jobs diff bench artifacts against serve responses
+/// byte-for-byte, so the two must never drift apart.
+pub use backdroid_service::proto::escape;
 
 /// Renders a finite `f64` stably (6 decimal places, enough for scaled
 /// minutes and rates); non-finite values become `null`.

@@ -13,6 +13,7 @@
 //! | `detection_comparison`  | §VI-C — detection accuracy both ways |
 //! | `cache_stats`           | §IV-F — cache rates and loop statistics |
 //! | `search_backend_bench`  | linear-vs-indexed search backend cost + equivalence |
+//! | `service_throughput`    | serving-layer throughput: req/s, cold-vs-warm latency, store evictions |
 //!
 //! Run with `cargo run --release -p backdroid-bench --bin <name>`. Common
 //! flags (parsed by [`harness`]):
@@ -27,8 +28,10 @@
 //!   1; reports are byte-identical for any value, only wall-clock
 //!   changes — supported by `fig9_sinks_vs_time`, `detection_comparison`
 //!   and `search_backend_bench`);
-//! * `--json PATH` — also write the run's deterministic JSON artifact
-//!   (what the CI `bench-smoke` job uploads and diffs).
+//! * `--json PATH` — also write the run's JSON artifact (every report
+//!   bin supports it; all are deterministic and CI-diffable except
+//!   `service_throughput`, whose `wall_*` fields measure a live
+//!   serving system).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,7 +40,7 @@ pub mod harness;
 pub mod json;
 
 pub use harness::{
-    backdroid_minutes, backdroid_minutes_indexed, backend_from_args, bucket_label,
+    arg_value, backdroid_minutes, backdroid_minutes_indexed, backend_from_args, bucket_label,
     intra_threads_from_args, json_path_from_args, median, par_map, run_amandroid_on,
     run_backdroid_on, run_backdroid_with, run_backdroid_with_backend, run_benchset,
     run_benchset_with, scale_from_args, threads_from_args, AmandroidRun, BackdroidRun, BenchRun,

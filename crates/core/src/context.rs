@@ -35,8 +35,7 @@ pub struct AppArtifacts {
 }
 
 /// Encode → disassemble → index: the shared preprocessing step of §III,
-/// used by every constructor (session or deprecated) that starts from a
-/// program.
+/// used by every artifact constructor that starts from a program.
 fn build_engine(program: &Program, backend: BackendChoice) -> SearchEngine {
     let image = DexImage::encode(program);
     let dump = dump_image(&image);
@@ -98,6 +97,24 @@ impl AppArtifacts {
         &self.engine
     }
 
+    /// A deterministic estimate of this resident app image's memory
+    /// footprint in bytes: the indexed dump text (the dominant term —
+    /// see [`BytecodeText::resident_bytes`]) plus per-class, per-method,
+    /// and per-component bookkeeping for the IR program and manifest.
+    ///
+    /// This is the unit the serving layer's byte-budgeted app store
+    /// accounts in; it is a pure function of the app, so store eviction
+    /// decisions replay identically across runs.
+    pub fn estimated_bytes(&self) -> u64 {
+        const PER_CLASS: u64 = 256;
+        const PER_METHOD: u64 = 512;
+        const PER_COMPONENT: u64 = 128;
+        self.engine.text().resident_bytes()
+            + self.program.class_count() as u64 * PER_CLASS
+            + self.program.method_count() as u64 * PER_METHOD
+            + self.manifest.components().count() as u64 * PER_COMPONENT
+    }
+
     /// Starts one analysis task against these artifacts: a cheap
     /// [`TaskContext`] holding borrowed program/manifest, a cloned engine
     /// handle (shared index, caches, and statistics), and fresh loop
@@ -130,18 +147,9 @@ pub struct TaskContext<'a> {
     pub loops: LoopStats,
 }
 
-/// The pre-session name of [`TaskContext`], kept so downstream code keeps
-/// compiling. New code should build an [`AppArtifacts`] and call
-/// [`AppArtifacts::task`].
-#[deprecated(
-    since = "0.2.0",
-    note = "build an `AppArtifacts` and call `.task()`; `AnalysisContext` is now `TaskContext`"
-)]
-pub type AnalysisContext<'a> = TaskContext<'a>;
-
 impl<'a> TaskContext<'a> {
     /// Assembles a task context from explicit parts — used by the
-    /// scheduler and the deprecated constructors below.
+    /// sink-task scheduler.
     pub(crate) fn from_parts(
         program: &'a Program,
         manifest: &'a Manifest,
@@ -153,60 +161,6 @@ impl<'a> TaskContext<'a> {
             engine,
             loops: LoopStats::default(),
         }
-    }
-
-    /// Builds a self-contained context by encoding the program to DEX,
-    /// disassembling it, and indexing the plaintext.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `AppArtifacts::new(program, manifest).task()` — the session owns the index and can be shared across threads"
-    )]
-    pub fn new(program: &'a Program, manifest: &'a Manifest) -> Self {
-        #[allow(deprecated)]
-        Self::with_backend(program, manifest, BackendChoice::default())
-    }
-
-    /// Builds a self-contained context with an explicit search-backend
-    /// choice.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `AppArtifacts::with_backend(program, manifest, backend).task()`"
-    )]
-    pub fn with_backend(
-        program: &'a Program,
-        manifest: &'a Manifest,
-        backend: BackendChoice,
-    ) -> Self {
-        Self::from_parts(program, manifest, build_engine(program, backend))
-    }
-
-    /// Builds a self-contained context over an already-disassembled dump.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `AppArtifacts::from_dump(program, manifest, dump).task()`"
-    )]
-    pub fn with_dump(program: &'a Program, manifest: &'a Manifest, dump: &str) -> Self {
-        #[allow(deprecated)]
-        Self::with_dump_backend(program, manifest, dump, BackendChoice::default())
-    }
-
-    /// Builds a self-contained context over an existing dump with an
-    /// explicit search-backend choice.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `AppArtifacts::from_dump_backend(program, manifest, dump, backend).task()`"
-    )]
-    pub fn with_dump_backend(
-        program: &'a Program,
-        manifest: &'a Manifest,
-        dump: &str,
-        backend: BackendChoice,
-    ) -> Self {
-        Self::from_parts(
-            program,
-            manifest,
-            SearchEngine::with_backend(BytecodeText::index(dump), backend),
-        )
     }
 }
 
@@ -264,10 +218,13 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructors_still_work() {
+    fn estimated_bytes_is_deterministic_and_dominated_by_the_dump() {
         let (p, man) = one_class_app();
-        let ctx = AnalysisContext::new(&p, &man);
-        assert!(ctx.engine.text().descriptors().contains("Lcom/a/Main;"));
+        let a = AppArtifacts::new(p, man);
+        let estimate = a.estimated_bytes();
+        assert!(estimate > a.engine().text().resident_bytes());
+        let (p2, man2) = one_class_app();
+        let b = AppArtifacts::new(p2, man2);
+        assert_eq!(b.estimated_bytes(), estimate, "pure function of the app");
     }
 }

@@ -78,8 +78,6 @@ pub mod ssg;
 
 pub use backdroid_search::BackendChoice;
 pub use backtrack::{find_callers, CallerEdge, ChainStep, EdgeKind, Reached};
-#[allow(deprecated)]
-pub use context::AnalysisContext;
 pub use context::{AppArtifacts, TaskContext};
 pub use detect::{judge, judge_cipher, judge_verifier, Verdict};
 pub use engine::{AppReport, Backdroid, BackdroidOptions, SinkCacheStats, SinkReport};

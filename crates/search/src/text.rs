@@ -10,6 +10,15 @@ use backdroid_ir::{ClassName, MethodSig, Type};
 use std::collections::BTreeSet;
 use std::sync::OnceLock;
 
+/// Estimated heap overhead per stored line / descriptor (String header,
+/// allocator slack, and the `line_to_span` slot) used by
+/// [`BytecodeText::resident_bytes`].
+const PER_LINE_OVERHEAD: u64 = 32;
+
+/// Estimated bytes per [`MethodSpan`] (signature plus indices) used by
+/// [`BytecodeText::resident_bytes`].
+const PER_SPAN_OVERHEAD: u64 = 96;
+
 /// One method's span inside the dump.
 #[derive(Clone, Debug)]
 pub struct MethodSpan {
@@ -116,6 +125,27 @@ impl BytecodeText {
     /// The raw lines.
     pub fn lines(&self) -> &[String] {
         &self.lines
+    }
+
+    /// A deterministic estimate of this text's resident memory footprint
+    /// in bytes: the line contents plus per-line bookkeeping, the method
+    /// spans, and the descriptor set. Deliberately *excludes* the lazily
+    /// built posting-list index so the estimate is a pure function of the
+    /// dump — the serving layer's byte-budgeted app store needs the same
+    /// number whether or not an indexed query ran yet.
+    pub fn resident_bytes(&self) -> u64 {
+        let line_bytes: u64 = self
+            .lines
+            .iter()
+            .map(|l| l.len() as u64 + PER_LINE_OVERHEAD)
+            .sum();
+        let span_bytes = self.spans.len() as u64 * PER_SPAN_OVERHEAD;
+        let desc_bytes: u64 = self
+            .descriptors
+            .iter()
+            .map(|d| d.len() as u64 + PER_LINE_OVERHEAD)
+            .sum();
+        line_bytes + span_bytes + desc_bytes
     }
 
     /// All method spans in dump order.
@@ -274,6 +304,23 @@ mod tests {
         assert_eq!(sig.class().as_str(), "com.a.Outer");
         // Unknown class yields None.
         assert!(t.restore_banner("com.b.Missing.run:()V").is_none());
+    }
+
+    #[test]
+    fn resident_bytes_is_deterministic_and_tracks_content() {
+        let t = indexed();
+        let estimate = t.resident_bytes();
+        assert!(
+            estimate > t.lines().iter().map(|l| l.len() as u64).sum::<u64>(),
+            "estimate must cover at least the line contents"
+        );
+        // A pure function of the dump: re-indexing the same text gives the
+        // same number, and touching the lazy posting index must not move it.
+        let p = sample_program();
+        let again = BytecodeText::index(&dump_image(&DexImage::encode(&p)));
+        assert_eq!(again.resident_bytes(), estimate);
+        let _ = again.search_index();
+        assert_eq!(again.resident_bytes(), estimate);
     }
 
     #[test]

@@ -1,0 +1,263 @@
+//! `backdroid-serve` — the resident analysis service as a CLI, speaking
+//! line-delimited JSON on stdin/stdout so CI (and shell pipelines) can
+//! drive it deterministically.
+//!
+//! ```console
+//! $ backdroid-serve --count 8 --code-permille 40 --emit-trace 60 --seed 7 > trace.jsonl
+//! $ backdroid-serve --count 8 --code-permille 40 --budget-mb 64 --workers 4 < trace.jsonl
+//! ```
+//!
+//! Responses are emitted **in request order** whatever `--workers` is,
+//! and contain only deterministic fields, so the output for one trace is
+//! byte-identical across worker counts, search backends, and store
+//! budgets — `--direct` (a zero-budget store: every request cold-loads,
+//! nothing stays resident) produces the golden direct-analysis run the
+//! CI service-smoke leg diffs the others against. Service and store
+//! statistics go to stderr at EOF.
+
+use backdroid_appgen::benchset::BenchsetConfig;
+use backdroid_appgen::workload::{self, WorkloadConfig};
+use backdroid_core::BackendChoice;
+use backdroid_service::proto::{
+    self, parse_json, parse_request, workload_request_line, Json, RequestOp,
+};
+use backdroid_service::{Service, ServiceConfig};
+use std::collections::BTreeMap;
+use std::io::{BufRead, Write};
+use std::sync::Mutex;
+
+const USAGE: &str = "\
+backdroid-serve — resident multi-app BackDroid analysis service (JSONL on stdin/stdout)
+
+Benchset (the app universe; ids are decimal indices):
+  --count N            apps in the backing benchset (default 24)
+  --code-permille M    filler-code volume in thousandths (default 80)
+
+Serving:
+  --backend B          search backend: linear | indexed (default indexed)
+  --budget-mb N        resident app-store byte budget (default 512)
+  --direct             zero-budget store: every request cold-loads (golden mode)
+  --workers N          request worker threads; output stays in request order (default 1)
+  --intra-threads N    intra-app sink-task scheduler width (default 1)
+
+Trace generation (prints a workload instead of serving):
+  --emit-trace R       emit R seeded requests over the benchset and exit
+  --seed S             workload seed (default 7)
+  --zipf-permille Z    popularity skew, thousandths of s (default 1100)
+  --query-permille Q   share of sink-class queries (default 300)
+  --batch-permille B   share of multi-app batches (default 100)
+";
+
+/// The value following `--flag` (or embedded as `--flag=value`) in argv.
+fn arg_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+        if let Some(v) = a.strip_prefix(&format!("{flag}=")) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
+fn usage_error(flag: &str, value: &str, expected: &str) -> ! {
+    eprintln!("error: {flag} {value:?} is invalid — expected {expected}");
+    std::process::exit(2)
+}
+
+fn parsed_arg<T: std::str::FromStr>(flag: &str, expected: &str) -> Option<T> {
+    arg_value(flag).map(|v| {
+        v.parse::<T>()
+            .unwrap_or_else(|_| usage_error(flag, &v, expected))
+    })
+}
+
+fn has_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
+fn benchset_from_args() -> BenchsetConfig {
+    let count = parsed_arg::<usize>("--count", "a positive integer").unwrap_or(24);
+    let permille =
+        parsed_arg::<u32>("--code-permille", "an integer (1000 ≙ paper scale)").unwrap_or(80);
+    BenchsetConfig::try_sized(count, permille as f64 / 1000.0).unwrap_or_else(|e| {
+        eprintln!("error: invalid benchset size: {e}");
+        std::process::exit(2)
+    })
+}
+
+fn main() {
+    if has_flag("--help") || has_flag("-h") {
+        print!("{USAGE}");
+        return;
+    }
+    let bench = benchset_from_args();
+
+    if let Some(requests) = parsed_arg::<usize>("--emit-trace", "a positive integer") {
+        let cfg = WorkloadConfig {
+            apps: bench.count,
+            requests,
+            seed: parsed_arg("--seed", "an integer").unwrap_or(7),
+            zipf_permille: parsed_arg("--zipf-permille", "an integer").unwrap_or(1100),
+            query_permille: parsed_arg("--query-permille", "an integer").unwrap_or(300),
+            batch_permille: parsed_arg("--batch-permille", "an integer").unwrap_or(100),
+        };
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
+        for (i, req) in workload::generate(cfg).iter().enumerate() {
+            writeln!(out, "{}", workload_request_line(i as u64, req)).expect("stdout closed");
+        }
+        return;
+    }
+
+    let backend = match arg_value("--backend") {
+        Some(v) => BackendChoice::parse(&v)
+            .unwrap_or_else(|| usage_error("--backend", &v, "\"linear\" or \"indexed\"")),
+        None => BackendChoice::default(),
+    };
+    let budget_bytes = if has_flag("--direct") {
+        0
+    } else {
+        parsed_arg::<u64>("--budget-mb", "a byte budget in MiB").unwrap_or(512) * 1024 * 1024
+    };
+    let workers = parsed_arg::<usize>("--workers", "a positive integer")
+        .unwrap_or(1)
+        .max(1);
+    let service = Service::over_benchset(
+        bench,
+        ServiceConfig {
+            budget_bytes,
+            backend,
+            intra_threads: parsed_arg::<usize>("--intra-threads", "a positive integer")
+                .unwrap_or(1)
+                .max(1),
+            ..ServiceConfig::default()
+        },
+    );
+
+    serve(&service, workers);
+
+    let stats = service.stats();
+    eprintln!(
+        "requests={} (analyze={} query={} batch={}) errors={} peak_in_flight={}",
+        stats.requests,
+        stats.analyze_requests,
+        stats.query_requests,
+        stats.batch_requests,
+        stats.errors,
+        stats.peak_in_flight,
+    );
+    let s = stats.store;
+    eprintln!(
+        "store: hits={} misses={} coalesced={} loads={} evictions={} \
+         resident={}B/{}B peak={}B hit_rate={:.3}",
+        s.hits,
+        s.misses,
+        s.coalesced,
+        s.loads,
+        s.evictions,
+        s.resident_bytes,
+        service.store().budget_bytes(),
+        s.peak_resident_bytes,
+        s.hit_rate(),
+    );
+}
+
+/// Handles one input line; `None` means nothing to emit (blank line).
+fn handle(service: &Service, line: &str) -> Option<String> {
+    let line = line.trim();
+    if line.is_empty() {
+        return None;
+    }
+    let request = match parse_request(line) {
+        Ok(r) => r,
+        Err(e) => {
+            // Best-effort id recovery so the caller can correlate the error.
+            let id = parse_json(line)
+                .ok()
+                .and_then(|v| v.get("id").and_then(Json::as_u64))
+                .unwrap_or(0);
+            return Some(proto::render_error(id, &e));
+        }
+    };
+    Some(match request.op {
+        RequestOp::Analyze { app } => match service.analyze_app(&app) {
+            Ok(a) => proto::render_analysis(request.id, "analyze", &a),
+            Err(e) => proto::render_error(request.id, &e.to_string()),
+        },
+        RequestOp::Query { app, classes } => match service.query_sinks(&app, &classes) {
+            Ok(a) => proto::render_analysis(request.id, "query", &a),
+            Err(e) => proto::render_error(request.id, &e.to_string()),
+        },
+        RequestOp::Batch { apps } => proto::render_batch(request.id, &service.analyze_batch(&apps)),
+    })
+}
+
+/// Reassembles worker output in input-sequence order: responses print
+/// exactly as if the trace had been served sequentially.
+struct OrderedEmitter {
+    state: Mutex<(u64, BTreeMap<u64, Option<String>>)>,
+}
+
+impl OrderedEmitter {
+    fn new() -> Self {
+        OrderedEmitter {
+            state: Mutex::new((0, BTreeMap::new())),
+        }
+    }
+
+    fn emit(&self, seq: u64, line: Option<String>) {
+        let mut state = self.state.lock().expect("emitter poisoned");
+        let (next_seq, pending) = &mut *state;
+        pending.insert(seq, line);
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
+        while let Some(next) = pending.remove(next_seq) {
+            *next_seq += 1;
+            if let Some(line) = next {
+                writeln!(out, "{line}").expect("stdout closed");
+            }
+        }
+    }
+}
+
+fn serve(service: &Service, workers: usize) {
+    let stdin = std::io::stdin();
+    if workers <= 1 {
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
+        for line in stdin.lock().lines() {
+            let line = line.expect("stdin read failed");
+            if let Some(resp) = handle(service, &line) {
+                writeln!(out, "{resp}").expect("stdout closed");
+            }
+        }
+        return;
+    }
+    // `StdinLock` is not `Send`, so workers serialize reads on this seq
+    // counter's mutex and call `Stdin::read_line` (which locks
+    // internally) inside the critical section — sequence numbers are
+    // assigned in exact input order.
+    let read_seq: Mutex<u64> = Mutex::new(0);
+    let emitter = OrderedEmitter::new();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let (seq, line) = {
+                    let mut seq = read_seq.lock().expect("stdin reader poisoned");
+                    let mut line = String::new();
+                    let n = stdin.read_line(&mut line).expect("stdin read failed");
+                    if n == 0 {
+                        break;
+                    }
+                    let this = *seq;
+                    *seq += 1;
+                    (this, line)
+                };
+                emitter.emit(seq, handle(service, &line));
+            });
+        }
+    });
+}

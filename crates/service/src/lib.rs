@@ -1,0 +1,53 @@
+//! # backdroid-service
+//!
+//! The serving layer: BackDroid's value proposition (DSN 2021) is that
+//! *targeted* analysis is cheap enough to answer security questions on
+//! demand — this crate turns the owned, `Arc`-shareable
+//! [`AppArtifacts`](backdroid_core::AppArtifacts) session of the core
+//! crate into a resident **multi-app analysis service**:
+//!
+//! * [`AppStore`] keeps many app images resident under a **byte
+//!   budget** with LRU eviction, and loads cold apps **single-flight**
+//!   (N concurrent requests build the image exactly once — the same
+//!   pattern as the search engine's command cache, one layer up).
+//! * [`Service`] answers full analyses, per-sink-class queries, and
+//!   batched multi-app requests against the store, through the existing
+//!   `Backdroid::analyze_artifacts` + `intra_threads` machinery, with
+//!   atomically aggregated [`ServiceStats`].
+//! * [`proto`] is the line-delimited JSON protocol the `backdroid-serve`
+//!   binary speaks on stdin/stdout — deterministic responses that CI
+//!   diffs byte-for-byte across worker counts, backends, and budgets.
+//!
+//! Responses are a pure function of (app, requested sinks): the store
+//! changes *where* artifacts come from, never what analysis reports.
+//!
+//! ```
+//! use backdroid_appgen::{AppSpec, Mechanism, Scenario, SinkKind};
+//! use backdroid_core::AppArtifacts;
+//! use backdroid_service::{Fetch, Service, ServiceConfig};
+//!
+//! // A service over a custom loader (any app id ending in a cipher app).
+//! let service = Service::new(ServiceConfig::default(), |id: &str| {
+//!     let app = AppSpec::named(format!("com.demo.{id}"))
+//!         .with_scenario(Scenario::new(Mechanism::DirectEntry, SinkKind::Cipher, true))
+//!         .with_filler(4, 3, 4)
+//!         .generate();
+//!     Ok(AppArtifacts::new(app.program, app.manifest))
+//! });
+//!
+//! let cold = service.analyze_app("alpha").unwrap();
+//! let warm = service.analyze_app("alpha").unwrap();
+//! assert_eq!(cold.fetch, Fetch::Miss);
+//! assert_eq!(warm.fetch, Fetch::Hit);
+//! assert_eq!(cold.report.sink_reports, warm.report.sink_reports);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod proto;
+pub mod service;
+pub mod store;
+
+pub use service::{AppAnalysis, Service, ServiceConfig, ServiceError, ServiceStats, SinkClass};
+pub use store::{AppStore, Fetch, StoreStats};

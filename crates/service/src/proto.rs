@@ -1,0 +1,662 @@
+//! The line-delimited JSON request/response protocol `backdroid-serve`
+//! speaks on stdin/stdout, plus the deterministic response renderer the
+//! equivalence tests reuse.
+//!
+//! The vendored `serde` stand-in has neither a serializer nor a
+//! deserializer, so this module carries a small hand-rolled JSON reader
+//! and writer. Requests are one JSON object per line:
+//!
+//! ```json
+//! {"id":0,"op":"analyze","app":"3"}
+//! {"id":1,"op":"query","app":"3","sinks":["crypto"]}
+//! {"id":2,"op":"batch","apps":["0","1","0"]}
+//! ```
+//!
+//! Responses mirror the request `id` and contain **only deterministic
+//! fields** — sink reports, verdicts, counts — never wall-clock times,
+//! engine-wide cache counters, or the warm/cold fetch outcome, all of
+//! which depend on scheduling when the server runs multiple workers.
+//! That is what lets CI diff server output byte-for-byte across worker
+//! counts, search backends, and store budgets.
+
+use crate::service::{AppAnalysis, ServiceError, SinkClass};
+use backdroid_appgen::workload::{WorkloadOp, WorkloadRequest};
+use backdroid_core::{SinkReport, Verdict};
+
+// ---------------------------------------------------------------------
+// JSON reading
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value (numbers are kept as `f64`; the protocol only
+/// uses small integer ids and indices, which `f64` holds exactly).
+#[derive(Clone, PartialEq, Debug)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number literal.
+    Num(f64),
+    /// A string literal.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document, rejecting trailing garbage.
+pub fn parse_json(input: &str) -> Result<Json, String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing characters at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    skip_ws(b, pos);
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {}", c as char, *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_literal(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(b, pos, "null", Json::Null),
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_literal(b: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if matches!(b.get(*pos), Some(b'-')) {
+        *pos += 1;
+    }
+    while matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+        *pos += 1;
+    }
+    if matches!(b.get(*pos), Some(b'.')) {
+        *pos += 1;
+        while matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+            *pos += 1;
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        while matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+            *pos += 1;
+        }
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|n| n.is_finite())
+        .map(Json::Num)
+        .ok_or_else(|| format!("invalid number at byte {start}"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let code = parse_hex4(b, *pos + 1)?;
+                        *pos += 4;
+                        if (0xD800..=0xDBFF).contains(&code) {
+                            // High surrogate: must pair with a following
+                            // \uDC00..\uDFFF low surrogate.
+                            if !matches!(b.get(*pos + 1..*pos + 3), Some([b'\\', b'u'])) {
+                                return Err("unpaired high surrogate".into());
+                            }
+                            let low = parse_hex4(b, *pos + 3)?;
+                            if !(0xDC00..=0xDFFF).contains(&low) {
+                                return Err("invalid low surrogate".into());
+                            }
+                            *pos += 6;
+                            let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                            out.push(char::from_u32(combined).ok_or("invalid surrogate pair")?);
+                        } else {
+                            out.push(char::from_u32(code).ok_or("unpaired low surrogate")?);
+                        }
+                    }
+                    _ => return Err(format!("invalid escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(&c) => {
+                // Multi-byte UTF-8 sequences pass through unchanged.
+                let ch_len = utf8_len(c);
+                let chunk = b
+                    .get(*pos..*pos + ch_len)
+                    .and_then(|s| std::str::from_utf8(s).ok())
+                    .ok_or("invalid UTF-8 in string")?;
+                out.push_str(chunk);
+                *pos += ch_len;
+            }
+        }
+    }
+}
+
+/// Reads the four hex digits of a `\u` escape starting at `at`.
+fn parse_hex4(b: &[u8], at: usize) -> Result<u32, String> {
+    let hex = b
+        .get(at..at + 4)
+        .and_then(|h| std::str::from_utf8(h).ok())
+        .ok_or("truncated \\u escape")?;
+    u32::from_str_radix(hex, 16).map_err(|_| "invalid \\u escape".into())
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if matches!(b.get(*pos), Some(b']')) {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(b, pos);
+    if matches!(b.get(*pos), Some(b'}')) {
+        *pos += 1;
+        return Ok(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        expect(b, pos, b':')?;
+        let value = parse_value(b, pos)?;
+        fields.push((key, value));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// JSON writing
+// ---------------------------------------------------------------------
+
+/// Escapes a string for a JSON string literal.
+pub fn escape(s: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn str_field(key: &str, value: &str) -> String {
+    format!("\"{}\":\"{}\"", key, escape(value))
+}
+
+fn arr(items: impl IntoIterator<Item = String>) -> String {
+    format!("[{}]", items.into_iter().collect::<Vec<_>>().join(","))
+}
+
+// ---------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------
+
+/// One parsed protocol request.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Request {
+    /// Caller-chosen id echoed in the response.
+    pub id: u64,
+    /// The operation.
+    pub op: RequestOp,
+}
+
+/// The protocol operations.
+#[derive(Clone, PartialEq, Debug)]
+pub enum RequestOp {
+    /// Full-registry analysis of one app.
+    Analyze {
+        /// App id (benchset index for `backdroid-serve`).
+        app: String,
+    },
+    /// Sink-class-restricted analysis of one app.
+    Query {
+        /// App id.
+        app: String,
+        /// Requested sink classes (empty = full registry).
+        classes: Vec<SinkClass>,
+    },
+    /// Batched multi-app analysis.
+    Batch {
+        /// App ids, analyzed in order.
+        apps: Vec<String>,
+    },
+}
+
+/// An app id may arrive as a JSON string or a small integer.
+fn app_id_of(v: &Json) -> Result<String, String> {
+    match v {
+        Json::Str(s) => Ok(s.clone()),
+        Json::Num(_) => v
+            .as_u64()
+            .map(|n| n.to_string())
+            .ok_or_else(|| "app id must be a string or a non-negative integer".into()),
+        _ => Err("app id must be a string or a non-negative integer".into()),
+    }
+}
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = parse_json(line)?;
+    let id = v
+        .get("id")
+        .and_then(Json::as_u64)
+        .ok_or("request needs a non-negative integer \"id\"")?;
+    let op_name = v
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or("request needs an \"op\" string")?;
+    let app = || -> Result<String, String> {
+        app_id_of(v.get("app").ok_or("request needs an \"app\" field")?)
+    };
+    let op = match op_name {
+        "analyze" => RequestOp::Analyze { app: app()? },
+        "query" => {
+            let classes = match v.get("sinks") {
+                None => Vec::new(),
+                Some(s) => s
+                    .as_arr()
+                    .ok_or("\"sinks\" must be an array of class names")?
+                    .iter()
+                    .map(|c| {
+                        c.as_str()
+                            .and_then(SinkClass::parse)
+                            .ok_or_else(|| format!("unknown sink class {c:?}"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+            };
+            RequestOp::Query {
+                app: app()?,
+                classes,
+            }
+        }
+        "batch" => {
+            let apps = v
+                .get("apps")
+                .and_then(Json::as_arr)
+                .ok_or("batch needs an \"apps\" array")?
+                .iter()
+                .map(app_id_of)
+                .collect::<Result<Vec<_>, _>>()?;
+            RequestOp::Batch { apps }
+        }
+        other => return Err(format!("unknown op {other:?}")),
+    };
+    Ok(Request { id, op })
+}
+
+/// Renders one [`WorkloadRequest`] as a protocol request line — how
+/// `backdroid-serve --emit-trace` turns the generator's output into a
+/// pipeable trace.
+pub fn workload_request_line(id: u64, req: &WorkloadRequest) -> String {
+    match &req.op {
+        WorkloadOp::Analyze => {
+            format!("{{\"id\":{id},\"op\":\"analyze\",\"app\":\"{}\"}}", req.app)
+        }
+        WorkloadOp::Query(classes) => format!(
+            "{{\"id\":{id},\"op\":\"query\",\"app\":\"{}\",\"sinks\":{}}}",
+            req.app,
+            arr(classes.iter().map(|c| format!("\"{}\"", escape(c))))
+        ),
+        WorkloadOp::Batch(extra) => {
+            let apps = std::iter::once(req.app)
+                .chain(extra.iter().copied())
+                .map(|a| format!("\"{a}\""));
+            format!("{{\"id\":{id},\"op\":\"batch\",\"apps\":{}}}", arr(apps))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------
+
+fn verdict_fields(verdict: &Verdict) -> String {
+    match verdict {
+        Verdict::Vulnerable(reason) => format!(
+            "{},{}",
+            str_field("verdict", "vulnerable"),
+            str_field("reason", reason)
+        ),
+        Verdict::Safe => str_field("verdict", "safe"),
+        Verdict::Undetermined => str_field("verdict", "undetermined"),
+    }
+}
+
+fn sink_report_json(r: &SinkReport) -> String {
+    format!(
+        "{{{},{},\"stmt\":{},\"reachable\":{},{},\"entries\":{},\"values\":{},\"ssg_units\":{}}}",
+        str_field("sink", &r.sink_id),
+        str_field("method", &r.site_method.to_string()),
+        r.stmt_idx,
+        r.reachable,
+        verdict_fields(&r.verdict),
+        arr(r
+            .entries
+            .iter()
+            .map(|e| format!("\"{}\"", escape(&e.to_string())))),
+        arr(r
+            .param_values
+            .iter()
+            .map(|v| format!("\"{}\"", escape(&format!("{v:?}"))))),
+        r.ssg_units,
+    )
+}
+
+/// The deterministic body shared by single-app responses and batch
+/// items: app identity, counts, and the per-sink reports. Excludes
+/// wall-clock time, engine-wide cache counters, and fetch outcome.
+fn analysis_fields(a: &AppAnalysis) -> String {
+    format!(
+        "{},{},\"located\":{},\"skipped\":{},\"sinks_analyzed\":{},\"vulnerable\":{},\"reports\":{}",
+        str_field("app", &a.app_id),
+        str_field("name", &a.app_name),
+        a.report.sink_cache.located,
+        a.report.sink_cache.skipped,
+        a.report.sinks_analyzed(),
+        a.report.vulnerable_sinks().len(),
+        arr(a.report.sink_reports.iter().map(sink_report_json)),
+    )
+}
+
+/// Renders a single-app response (`op` is echoed: `"analyze"` or
+/// `"query"`).
+pub fn render_analysis(id: u64, op: &str, a: &AppAnalysis) -> String {
+    format!(
+        "{{\"id\":{id},{},{}}}",
+        str_field("op", op),
+        analysis_fields(a)
+    )
+}
+
+/// Renders a batch response: one result object (or error object) per
+/// requested app, in request order.
+pub fn render_batch(id: u64, items: &[Result<AppAnalysis, ServiceError>]) -> String {
+    let rendered = items.iter().map(|item| match item {
+        Ok(a) => format!("{{{}}}", analysis_fields(a)),
+        Err(e) => format!("{{{}}}", str_field("error", &e.to_string())),
+    });
+    format!(
+        "{{\"id\":{id},{},\"results\":{}}}",
+        str_field("op", "batch"),
+        arr(rendered)
+    )
+}
+
+/// Renders an error response.
+pub fn render_error(id: u64, message: &str) -> String {
+    format!("{{\"id\":{id},{}}}", str_field("error", message))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_arrays_and_objects() {
+        assert_eq!(parse_json("null").unwrap(), Json::Null);
+        assert_eq!(parse_json(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(parse_json("-2.5e1").unwrap(), Json::Num(-25.0));
+        assert_eq!(
+            parse_json("\"a\\n\\\"b\\u0041\"").unwrap(),
+            Json::Str("a\n\"bA".into())
+        );
+        // Astral-plane characters arrive as surrogate pairs.
+        assert_eq!(
+            parse_json("\"\\ud83d\\ude00!\"").unwrap(),
+            Json::Str("\u{1F600}!".into())
+        );
+        for bad in ["\"\\ud83d\"", "\"\\ud83d\\u0041\"", "\"\\ude00\""] {
+            assert!(parse_json(bad).is_err(), "{bad:?}: lone surrogates reject");
+        }
+        let v = parse_json("{\"xs\":[1,2],\"s\":\"ok\",\"b\":false}").unwrap();
+        assert_eq!(v.get("s").and_then(Json::as_str), Some("ok"));
+        assert_eq!(
+            v.get("xs").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(2)
+        );
+        assert_eq!(v.get("b"), Some(&Json::Bool(false)));
+        assert_eq!(parse_json("[]").unwrap(), Json::Arr(vec![]));
+        assert_eq!(parse_json("{}").unwrap(), Json::Obj(vec![]));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["", "{", "[1,", "{\"a\" 1}", "tru", "1 2", "\"open", "nan"] {
+            assert!(parse_json(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn escape_round_trips_through_the_parser() {
+        let nasty = "line1\nline2\t\"quoted\" back\\slash \u{1} ünïcode";
+        let rendered = format!("\"{}\"", escape(nasty));
+        assert_eq!(parse_json(&rendered).unwrap(), Json::Str(nasty.into()));
+    }
+
+    #[test]
+    fn parses_the_three_request_ops() {
+        let r = parse_request("{\"id\":0,\"op\":\"analyze\",\"app\":\"3\"}").unwrap();
+        assert_eq!(r.op, RequestOp::Analyze { app: "3".into() });
+        // Numeric app ids normalize to their decimal string.
+        let r = parse_request("{\"id\":1,\"op\":\"analyze\",\"app\":3}").unwrap();
+        assert_eq!(r.op, RequestOp::Analyze { app: "3".into() });
+        let r = parse_request("{\"id\":2,\"op\":\"query\",\"app\":\"0\",\"sinks\":[\"crypto\"]}")
+            .unwrap();
+        assert_eq!(
+            r.op,
+            RequestOp::Query {
+                app: "0".into(),
+                classes: vec![SinkClass::Crypto]
+            }
+        );
+        let r = parse_request("{\"id\":3,\"op\":\"batch\",\"apps\":[\"0\",1]}").unwrap();
+        assert_eq!(
+            r.op,
+            RequestOp::Batch {
+                apps: vec!["0".into(), "1".into()]
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for bad in [
+            "{\"op\":\"analyze\",\"app\":\"0\"}", // missing id
+            "{\"id\":0,\"app\":\"0\"}",           // missing op
+            "{\"id\":0,\"op\":\"explode\"}",      // unknown op
+            "{\"id\":0,\"op\":\"analyze\"}",      // missing app
+            "{\"id\":0,\"op\":\"query\",\"app\":\"0\",\"sinks\":[\"sms\"]}", // unknown class
+            "{\"id\":0,\"op\":\"batch\"}",        // missing apps
+            "{\"id\":-1,\"op\":\"analyze\",\"app\":\"0\"}", // negative id
+        ] {
+            assert!(parse_request(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn workload_lines_parse_back() {
+        use backdroid_appgen::workload::{WorkloadOp, WorkloadRequest};
+        let lines = [
+            workload_request_line(
+                0,
+                &WorkloadRequest {
+                    app: 4,
+                    op: WorkloadOp::Analyze,
+                },
+            ),
+            workload_request_line(
+                1,
+                &WorkloadRequest {
+                    app: 2,
+                    op: WorkloadOp::Query(vec!["crypto".into(), "ssl".into()]),
+                },
+            ),
+            workload_request_line(
+                2,
+                &WorkloadRequest {
+                    app: 1,
+                    op: WorkloadOp::Batch(vec![0, 3]),
+                },
+            ),
+        ];
+        let parsed: Vec<Request> = lines
+            .iter()
+            .map(|l| parse_request(l).expect("trace lines must parse"))
+            .collect();
+        assert_eq!(parsed[0].op, RequestOp::Analyze { app: "4".into() });
+        assert_eq!(
+            parsed[1].op,
+            RequestOp::Query {
+                app: "2".into(),
+                classes: vec![SinkClass::Crypto, SinkClass::Ssl]
+            }
+        );
+        assert_eq!(
+            parsed[2].op,
+            RequestOp::Batch {
+                apps: vec!["1".into(), "0".into(), "3".into()]
+            }
+        );
+    }
+
+    #[test]
+    fn error_rendering_is_valid_json() {
+        let line = render_error(7, "load failed: app index 99 out of range");
+        let v = parse_json(&line).unwrap();
+        assert_eq!(v.get("id").and_then(Json::as_u64), Some(7));
+        assert!(v.get("error").and_then(Json::as_str).is_some());
+    }
+}

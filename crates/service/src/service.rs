@@ -1,0 +1,443 @@
+//! The serving front end: per-sink-class queries against the resident
+//! [`AppStore`], fanned out over the existing
+//! [`Backdroid::analyze_artifacts`] + `intra_threads` machinery, with
+//! per-request accounting aggregated atomically (the same pattern as
+//! `CacheStats`).
+//!
+//! Every response is a pure function of (app, requested sink classes):
+//! the store only changes *where* the artifacts come from — warm image
+//! vs cold load — never what the analysis reports. That is the
+//! determinism contract `backdroid-serve` and the CI service-smoke leg
+//! enforce byte-for-byte against golden direct-analysis runs.
+
+use crate::store::{AppStore, Fetch, StoreStats};
+use backdroid_appgen::benchset::{bench_app, BenchsetConfig};
+use backdroid_core::{
+    AppArtifacts, AppReport, Backdroid, BackdroidOptions, BackendChoice, SinkRegistry,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A queryable sink class — the request-level granularity one service
+/// call can restrict the registry to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SinkClass {
+    /// Crypto-misuse sinks (`crypto.*`, e.g. `Cipher.getInstance`).
+    Crypto,
+    /// SSL-misconfiguration sinks (`ssl.*`, the verifier setters).
+    Ssl,
+}
+
+impl SinkClass {
+    /// Parses the wire name (`"crypto"` / `"ssl"`).
+    pub fn parse(s: &str) -> Option<SinkClass> {
+        match s {
+            "crypto" => Some(SinkClass::Crypto),
+            "ssl" => Some(SinkClass::Ssl),
+            _ => None,
+        }
+    }
+
+    /// The wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SinkClass::Crypto => "crypto",
+            SinkClass::Ssl => "ssl",
+        }
+    }
+
+    /// Whether a registry sink id (`crypto.cipher`, `ssl.verifier.*`)
+    /// belongs to this class.
+    pub fn matches(self, sink_id: &str) -> bool {
+        sink_id.starts_with(self.name()) && sink_id[self.name().len()..].starts_with('.')
+    }
+}
+
+/// Service configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Byte budget for the resident app store (`0` caches nothing — the
+    /// direct-analysis golden mode).
+    pub budget_bytes: u64,
+    /// Search backend for every loaded app image.
+    pub backend: BackendChoice,
+    /// Intra-app sink-task scheduler width per analysis (see
+    /// [`BackdroidOptions::intra_threads`]).
+    pub intra_threads: usize,
+    /// Fan-out width for one batched multi-app request. Results are
+    /// reassembled in request order, so any width is deterministic.
+    pub batch_threads: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            budget_bytes: 256 * 1024 * 1024,
+            backend: BackendChoice::default(),
+            intra_threads: 1,
+            batch_threads: 4,
+        }
+    }
+}
+
+/// Why a service request failed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ServiceError {
+    /// The store's loader could not produce the app image.
+    Load(String),
+    /// The request itself was malformed (unknown sink class, empty
+    /// batch, …).
+    BadRequest(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Load(m) => write!(f, "load failed: {m}"),
+            ServiceError::BadRequest(m) => write!(f, "bad request: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// One completed per-app analysis, plus how its image was served.
+#[derive(Debug)]
+pub struct AppAnalysis {
+    /// The app id the request named.
+    pub app_id: String,
+    /// The resolved app (package) name.
+    pub app_name: String,
+    /// The full analysis report (deterministic fields only go on the
+    /// wire — see [`crate::proto`]).
+    pub report: AppReport,
+    /// Warm hit, cold load, or coalesced onto another request's load.
+    /// Never rendered into responses: with concurrent workers it depends
+    /// on scheduling.
+    pub fetch: Fetch,
+}
+
+/// Snapshot of the service's request counters plus the store's.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct ServiceStats {
+    /// Requests accepted (analyze + query + batch).
+    pub requests: u64,
+    /// Full-registry single-app analyses.
+    pub analyze_requests: u64,
+    /// Sink-class-restricted single-app queries.
+    pub query_requests: u64,
+    /// Batched multi-app requests.
+    pub batch_requests: u64,
+    /// Requests that returned an error.
+    pub errors: u64,
+    /// Largest number of requests ever in flight at once (queue depth).
+    pub peak_in_flight: u64,
+    /// The app store's counters and residency.
+    pub store: StoreStats,
+}
+
+#[derive(Default)]
+struct Counters {
+    requests: AtomicU64,
+    analyze_requests: AtomicU64,
+    query_requests: AtomicU64,
+    batch_requests: AtomicU64,
+    errors: AtomicU64,
+    in_flight: AtomicU64,
+    peak_in_flight: AtomicU64,
+}
+
+/// Decrements `in_flight` when the request scope ends, whatever path it
+/// took out.
+struct InFlightGuard<'a>(&'a Counters);
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// The resident multi-app analysis service. `Send + Sync`; share one
+/// instance across every request-handling thread.
+pub struct Service {
+    store: AppStore,
+    base: BackdroidOptions,
+    batch_threads: usize,
+    counters: Counters,
+}
+
+impl std::fmt::Debug for Service {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Service")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl Service {
+    /// Creates a service over a custom app loader. The loader builds the
+    /// artifacts for a cold app id; the service fixes the search backend
+    /// and scheduler width via `cfg`-derived [`BackdroidOptions`].
+    pub fn new(
+        cfg: ServiceConfig,
+        loader: impl Fn(&str) -> Result<AppArtifacts, String> + Send + Sync + 'static,
+    ) -> Self {
+        Service {
+            store: AppStore::new(cfg.budget_bytes, loader),
+            base: BackdroidOptions {
+                backend: cfg.backend,
+                intra_threads: cfg.intra_threads.max(1),
+                ..BackdroidOptions::default()
+            },
+            batch_threads: cfg.batch_threads.max(1),
+            counters: Counters::default(),
+        }
+    }
+
+    /// Creates a service whose app ids are decimal indices into the
+    /// `modern_apps` benchmark set (`"0"` … `"count-1"`) — what
+    /// `backdroid-serve` and the throughput bench drive.
+    pub fn over_benchset(bench: BenchsetConfig, cfg: ServiceConfig) -> Self {
+        let backend = cfg.backend;
+        Self::new(cfg, move |id: &str| {
+            let i: usize = id
+                .parse()
+                .map_err(|_| format!("app id {id:?} is not a benchset index"))?;
+            if i >= bench.count {
+                return Err(format!(
+                    "app index {i} out of range (benchset has {} apps)",
+                    bench.count
+                ));
+            }
+            let ba = bench_app(i, bench);
+            Ok(AppArtifacts::with_backend(
+                ba.app.program,
+                ba.app.manifest,
+                backend,
+            ))
+        })
+    }
+
+    /// The underlying app store (budget, residency, LRU order, stats).
+    pub fn store(&self) -> &AppStore {
+        &self.store
+    }
+
+    /// Full-registry analysis of one app.
+    pub fn analyze_app(&self, app_id: &str) -> Result<AppAnalysis, ServiceError> {
+        let _guard = self.begin_request(&self.counters.analyze_requests);
+        self.run(app_id, self.base.sinks.clone())
+    }
+
+    /// Analysis of one app restricted to the given sink classes. An
+    /// empty class list means the full registry (same result as
+    /// [`Service::analyze_app`]).
+    pub fn query_sinks(
+        &self,
+        app_id: &str,
+        classes: &[SinkClass],
+    ) -> Result<AppAnalysis, ServiceError> {
+        let _guard = self.begin_request(&self.counters.query_requests);
+        self.run(app_id, self.registry_for(classes))
+    }
+
+    /// Batched multi-app analysis: fans the apps out over
+    /// `batch_threads` workers against the shared store and returns the
+    /// per-app outcomes **in request order** — deterministic for any
+    /// width.
+    pub fn analyze_batch(&self, app_ids: &[String]) -> Vec<Result<AppAnalysis, ServiceError>> {
+        let _guard = self.begin_request(&self.counters.batch_requests);
+        if app_ids.is_empty() {
+            self.counters.errors.fetch_add(1, Ordering::Relaxed);
+            return vec![Err(ServiceError::BadRequest("empty batch".into()))];
+        }
+        let threads = self.batch_threads.clamp(1, app_ids.len());
+        let registry = self.base.sinks.clone();
+        if threads <= 1 {
+            return app_ids
+                .iter()
+                .map(|id| self.run(id, registry.clone()))
+                .collect();
+        }
+        let next = AtomicU64::new(0);
+        let mut indexed: Vec<(usize, Result<AppAnalysis, ServiceError>)> =
+            std::thread::scope(|scope| {
+                let workers: Vec<_> = (0..threads)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut local = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed) as usize;
+                                if i >= app_ids.len() {
+                                    break;
+                                }
+                                local.push((i, self.run(&app_ids[i], registry.clone())));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                workers
+                    .into_iter()
+                    .flat_map(|w| w.join().expect("batch worker panicked"))
+                    .collect()
+            });
+        indexed.sort_by_key(|&(i, _)| i);
+        indexed.into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// Counter snapshot (service + store).
+    pub fn stats(&self) -> ServiceStats {
+        let c = &self.counters;
+        ServiceStats {
+            requests: c.requests.load(Ordering::Relaxed),
+            analyze_requests: c.analyze_requests.load(Ordering::Relaxed),
+            query_requests: c.query_requests.load(Ordering::Relaxed),
+            batch_requests: c.batch_requests.load(Ordering::Relaxed),
+            errors: c.errors.load(Ordering::Relaxed),
+            peak_in_flight: c.peak_in_flight.load(Ordering::Relaxed),
+            store: self.store.stats(),
+        }
+    }
+
+    /// The registry restricted to `classes` (empty = full registry).
+    fn registry_for(&self, classes: &[SinkClass]) -> SinkRegistry {
+        if classes.is_empty() {
+            return self.base.sinks.clone();
+        }
+        let mut r = SinkRegistry::new();
+        for spec in self.base.sinks.sinks() {
+            if classes.iter().any(|c| c.matches(spec.id)) {
+                r.add(spec.clone());
+            }
+        }
+        r
+    }
+
+    fn begin_request(&self, kind: &AtomicU64) -> InFlightGuard<'_> {
+        let c = &self.counters;
+        c.requests.fetch_add(1, Ordering::Relaxed);
+        kind.fetch_add(1, Ordering::Relaxed);
+        let depth = c.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+        c.peak_in_flight.fetch_max(depth, Ordering::Relaxed);
+        InFlightGuard(c)
+    }
+
+    /// Fetches the image (warm or cold) and runs one analysis with the
+    /// given registry.
+    fn run(&self, app_id: &str, registry: SinkRegistry) -> Result<AppAnalysis, ServiceError> {
+        let (artifacts, fetch) = self.store.get(app_id).map_err(|e| {
+            self.counters.errors.fetch_add(1, Ordering::Relaxed);
+            ServiceError::Load(e)
+        })?;
+        let tool = Backdroid::with_options(BackdroidOptions {
+            sinks: registry,
+            ..self.base.clone()
+        });
+        let report = tool.analyze_artifacts(&artifacts);
+        Ok(AppAnalysis {
+            app_id: app_id.to_string(),
+            app_name: artifacts.manifest().package().to_string(),
+            report,
+            fetch,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_service(budget: u64) -> Service {
+        Service::over_benchset(
+            BenchsetConfig::sized(6, 0.04),
+            ServiceConfig {
+                budget_bytes: budget,
+                ..ServiceConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn sink_class_parsing_and_matching() {
+        assert_eq!(SinkClass::parse("crypto"), Some(SinkClass::Crypto));
+        assert_eq!(SinkClass::parse("ssl"), Some(SinkClass::Ssl));
+        assert_eq!(SinkClass::parse("sms"), None);
+        assert!(SinkClass::Crypto.matches("crypto.cipher"));
+        assert!(!SinkClass::Crypto.matches("cryptographic.other"));
+        assert!(SinkClass::Ssl.matches("ssl.verifier.factory"));
+        assert!(!SinkClass::Ssl.matches("crypto.cipher"));
+    }
+
+    #[test]
+    fn analyze_twice_is_warm_and_identical() {
+        let service = small_service(u64::MAX);
+        let a = service.analyze_app("1").unwrap();
+        let b = service.analyze_app("1").unwrap();
+        assert_eq!(a.fetch, Fetch::Miss);
+        assert_eq!(b.fetch, Fetch::Hit);
+        assert_eq!(a.app_name, b.app_name);
+        assert_eq!(a.report.sink_reports, b.report.sink_reports);
+        let stats = service.stats();
+        assert_eq!(stats.analyze_requests, 2);
+        assert_eq!(stats.store.loads, 1);
+    }
+
+    #[test]
+    fn query_restricts_the_registry() {
+        let service = small_service(u64::MAX);
+        let all = service.analyze_app("0").unwrap();
+        let crypto = service.query_sinks("0", &[SinkClass::Crypto]).unwrap();
+        let ssl = service.query_sinks("0", &[SinkClass::Ssl]).unwrap();
+        assert!(crypto
+            .report
+            .sink_reports
+            .iter()
+            .all(|r| r.sink_id.starts_with("crypto.")));
+        assert!(ssl
+            .report
+            .sink_reports
+            .iter()
+            .all(|r| r.sink_id.starts_with("ssl.")));
+        assert_eq!(
+            crypto.report.sink_reports.len() + ssl.report.sink_reports.len(),
+            all.report.sink_reports.len(),
+            "the two classes partition the full registry's reports"
+        );
+        // Empty class list = full registry.
+        let empty = service.query_sinks("0", &[]).unwrap();
+        assert_eq!(empty.report.sink_reports, all.report.sink_reports);
+    }
+
+    #[test]
+    fn batch_returns_results_in_request_order() {
+        let service = small_service(u64::MAX);
+        let ids: Vec<String> = ["3", "0", "3", "2"].iter().map(|s| s.to_string()).collect();
+        let results = service.analyze_batch(&ids);
+        assert_eq!(results.len(), 4);
+        for (id, r) in ids.iter().zip(&results) {
+            assert_eq!(&r.as_ref().unwrap().app_id, id);
+        }
+        assert_eq!(
+            results[0].as_ref().unwrap().report.sink_reports,
+            results[2].as_ref().unwrap().report.sink_reports,
+            "same app twice in one batch agrees with itself"
+        );
+        assert_eq!(service.stats().store.loads, 3, "three distinct apps");
+    }
+
+    #[test]
+    fn bad_ids_and_empty_batches_error() {
+        let service = small_service(u64::MAX);
+        assert!(matches!(
+            service.analyze_app("99"),
+            Err(ServiceError::Load(_))
+        ));
+        assert!(matches!(
+            service.analyze_app("nope"),
+            Err(ServiceError::Load(_))
+        ));
+        let batch = service.analyze_batch(&[]);
+        assert!(matches!(batch[0], Err(ServiceError::BadRequest(_))));
+        assert_eq!(service.stats().errors, 3);
+    }
+}

@@ -1,0 +1,436 @@
+//! The resident app store: `Arc<AppArtifacts>` keyed by app id, bounded
+//! by a **byte budget** with LRU eviction, and loaded **single-flight**
+//! — when N requests race for a cold app, exactly one builds its image
+//! (encode → disassemble → index) while the rest wait on the in-flight
+//! slot and share the result. This mirrors, one layer up, the sharded
+//! single-flight command cache already proven inside
+//! [`SearchEngine`](backdroid_search::SearchEngine): there the unit of
+//! work is one search command, here it is one whole app image.
+//!
+//! ## Invariants
+//!
+//! * **Budget**: after every insertion settles, the resident total is
+//!   `<= budget_bytes` — least-recently-used images are evicted first
+//!   (an image larger than the whole budget is served to its requester
+//!   and immediately dropped from the store, so the invariant holds even
+//!   then). [`AppStore::resident_bytes`] can therefore never observe an
+//!   over-budget store.
+//! * **Single-flight**: for any interleaving of concurrent `get`s, the
+//!   loader runs exactly once per cold app; `StoreStats::loads` counts
+//!   loader executions and `coalesced` the requests that waited on one.
+//! * **Determinism**: sizes come from
+//!   [`AppArtifacts::estimated_bytes`], a pure function of the app, so
+//!   a given request order always produces the same eviction sequence.
+
+use backdroid_core::AppArtifacts;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// How one [`AppStore::get`] was served.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Fetch {
+    /// The app image was resident — a warm hit.
+    Hit,
+    /// The image was cold; this request ran the loader.
+    Miss,
+    /// The image was cold but another request was already loading it;
+    /// this request waited and shares that load's result.
+    Coalesced,
+}
+
+/// Snapshot of the store's monotonic counters plus its current residency.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct StoreStats {
+    /// Requests served from a resident image.
+    pub hits: u64,
+    /// Requests that found the image cold and ran the loader.
+    pub misses: u64,
+    /// Requests that piggybacked on another request's in-flight load.
+    pub coalesced: u64,
+    /// Loader executions that produced an image.
+    pub loads: u64,
+    /// Loader executions that failed.
+    pub load_failures: u64,
+    /// Images evicted to stay under the byte budget.
+    pub evictions: u64,
+    /// Total estimated bytes of evicted images.
+    pub bytes_evicted: u64,
+    /// Largest resident total ever observed after an insertion settled
+    /// (never exceeds the budget — the store evicts before it reports).
+    pub peak_resident_bytes: u64,
+    /// Estimated bytes currently resident.
+    pub resident_bytes: u64,
+    /// Images currently resident.
+    pub resident_apps: u64,
+}
+
+impl StoreStats {
+    /// Warm-hit fraction over all completed requests, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses + self.coalesced;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Builds the artifacts for one app id. Errors are returned to every
+/// requester coalesced onto the failed load.
+pub type Loader = dyn Fn(&str) -> Result<AppArtifacts, String> + Send + Sync;
+
+/// One in-flight load: requesters park on the condvar until the loading
+/// request publishes the shared result.
+struct LoadSlot {
+    result: Mutex<Option<Result<Arc<AppArtifacts>, String>>>,
+    ready: Condvar,
+}
+
+/// One resident image with its accounting.
+struct Resident {
+    artifacts: Arc<AppArtifacts>,
+    bytes: u64,
+    /// Monotonic recency stamp; the minimum is the LRU victim.
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct StoreInner {
+    resident: HashMap<String, Resident>,
+    loading: HashMap<String, Arc<LoadSlot>>,
+    total_bytes: u64,
+    tick: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    coalesced: AtomicU64,
+    loads: AtomicU64,
+    load_failures: AtomicU64,
+    evictions: AtomicU64,
+    bytes_evicted: AtomicU64,
+    peak_resident_bytes: AtomicU64,
+}
+
+/// The byte-budgeted, single-flight LRU store of resident app images.
+/// All methods take `&self`; the store is `Send + Sync` and meant to be
+/// shared across every request-handling thread of a service.
+pub struct AppStore {
+    budget_bytes: u64,
+    loader: Box<Loader>,
+    inner: Mutex<StoreInner>,
+    counters: Counters,
+}
+
+impl std::fmt::Debug for AppStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AppStore")
+            .field("budget_bytes", &self.budget_bytes)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// What the locking phase of `get` decided to do.
+enum Step {
+    Ready(Arc<AppArtifacts>),
+    Wait(Arc<LoadSlot>),
+    Load(Arc<LoadSlot>),
+}
+
+impl AppStore {
+    /// Creates a store with the given byte budget and loader. A budget of
+    /// `0` caches nothing: every request cold-loads and the image is
+    /// dropped from the store as soon as its requester holds it (this is
+    /// what `backdroid-serve --direct` uses to produce golden
+    /// direct-analysis runs through the identical code path).
+    pub fn new(
+        budget_bytes: u64,
+        loader: impl Fn(&str) -> Result<AppArtifacts, String> + Send + Sync + 'static,
+    ) -> Self {
+        AppStore {
+            budget_bytes,
+            loader: Box::new(loader),
+            inner: Mutex::default(),
+            counters: Counters::default(),
+        }
+    }
+
+    /// The configured byte budget.
+    pub fn budget_bytes(&self) -> u64 {
+        self.budget_bytes
+    }
+
+    /// Estimated bytes currently resident (always `<= budget_bytes`).
+    pub fn resident_bytes(&self) -> u64 {
+        self.lock_inner().total_bytes
+    }
+
+    /// Number of app images currently resident.
+    pub fn resident_apps(&self) -> usize {
+        self.lock_inner().resident.len()
+    }
+
+    /// Whether `app_id` is resident right now (an in-flight load does not
+    /// count).
+    pub fn contains(&self, app_id: &str) -> bool {
+        self.lock_inner().resident.contains_key(app_id)
+    }
+
+    /// Resident app ids from least- to most-recently used — the order
+    /// eviction would take them in.
+    pub fn lru_order(&self) -> Vec<String> {
+        let inner = self.lock_inner();
+        let mut ids: Vec<(u64, String)> = inner
+            .resident
+            .iter()
+            .map(|(k, r)| (r.last_used, k.clone()))
+            .collect();
+        ids.sort();
+        ids.into_iter().map(|(_, k)| k).collect()
+    }
+
+    /// Counter snapshot plus current residency.
+    pub fn stats(&self) -> StoreStats {
+        let (resident_bytes, resident_apps) = {
+            let inner = self.lock_inner();
+            (inner.total_bytes, inner.resident.len() as u64)
+        };
+        let c = &self.counters;
+        StoreStats {
+            hits: c.hits.load(Ordering::Relaxed),
+            misses: c.misses.load(Ordering::Relaxed),
+            coalesced: c.coalesced.load(Ordering::Relaxed),
+            loads: c.loads.load(Ordering::Relaxed),
+            load_failures: c.load_failures.load(Ordering::Relaxed),
+            evictions: c.evictions.load(Ordering::Relaxed),
+            bytes_evicted: c.bytes_evicted.load(Ordering::Relaxed),
+            peak_resident_bytes: c.peak_resident_bytes.load(Ordering::Relaxed),
+            resident_bytes,
+            resident_apps,
+        }
+    }
+
+    /// Returns the resident image for `app_id`, loading it single-flight
+    /// if cold, plus how the request was served. Loader failures are
+    /// shared with every coalesced waiter and **not** cached: the next
+    /// request retries.
+    pub fn get(&self, app_id: &str) -> Result<(Arc<AppArtifacts>, Fetch), String> {
+        let step = {
+            let mut inner = self.lock_inner();
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(r) = inner.resident.get_mut(app_id) {
+                r.last_used = tick;
+                Step::Ready(Arc::clone(&r.artifacts))
+            } else if let Some(slot) = inner.loading.get(app_id) {
+                Step::Wait(Arc::clone(slot))
+            } else {
+                let slot = Arc::new(LoadSlot {
+                    result: Mutex::new(None),
+                    ready: Condvar::new(),
+                });
+                inner.loading.insert(app_id.to_string(), Arc::clone(&slot));
+                Step::Load(slot)
+            }
+        };
+        match step {
+            Step::Ready(artifacts) => {
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                Ok((artifacts, Fetch::Hit))
+            }
+            Step::Wait(slot) => {
+                self.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+                let mut done = slot.result.lock().expect("load slot poisoned");
+                while done.is_none() {
+                    done = slot.ready.wait(done).expect("load slot poisoned");
+                }
+                done.clone()
+                    .expect("checked above")
+                    .map(|a| (a, Fetch::Coalesced))
+            }
+            Step::Load(slot) => {
+                self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                let outcome = self.load_and_insert(app_id);
+                // Publish after the store settled: a racing request either
+                // still holds this slot (and wakes with the shared result)
+                // or arrived after `loading` was cleared and sees the
+                // resident image — never a stale slot.
+                *slot.result.lock().expect("load slot poisoned") = Some(outcome.clone());
+                slot.ready.notify_all();
+                outcome.map(|a| (a, Fetch::Miss))
+            }
+        }
+    }
+
+    /// Runs the loader for one cold app, inserts the image, and evicts
+    /// down to the budget. Returns the image (which the caller holds by
+    /// `Arc` even if the store immediately evicted it).
+    fn load_and_insert(&self, app_id: &str) -> Result<Arc<AppArtifacts>, String> {
+        match (self.loader)(app_id) {
+            Ok(artifacts) => {
+                let bytes = artifacts.estimated_bytes();
+                let artifacts = Arc::new(artifacts);
+                let mut inner = self.lock_inner();
+                inner.loading.remove(app_id);
+                inner.tick += 1;
+                let tick = inner.tick;
+                inner.total_bytes += bytes;
+                inner.resident.insert(
+                    app_id.to_string(),
+                    Resident {
+                        artifacts: Arc::clone(&artifacts),
+                        bytes,
+                        last_used: tick,
+                    },
+                );
+                self.counters.loads.fetch_add(1, Ordering::Relaxed);
+                self.evict_to_budget(&mut inner);
+                self.counters
+                    .peak_resident_bytes
+                    .fetch_max(inner.total_bytes, Ordering::Relaxed);
+                Ok(artifacts)
+            }
+            Err(e) => {
+                self.counters.load_failures.fetch_add(1, Ordering::Relaxed);
+                self.lock_inner().loading.remove(app_id);
+                Err(e)
+            }
+        }
+    }
+
+    /// Evicts least-recently-used images until the resident total fits
+    /// the budget. The entry just inserted carries the newest recency
+    /// stamp, so it goes last — and does go, if it alone overflows the
+    /// budget.
+    fn evict_to_budget(&self, inner: &mut StoreInner) {
+        while inner.total_bytes > self.budget_bytes {
+            let victim = inner
+                .resident
+                .iter()
+                .min_by_key(|(_, r)| r.last_used)
+                .map(|(k, _)| k.clone());
+            let Some(key) = victim else { break };
+            let gone = inner.resident.remove(&key).expect("victim just seen");
+            inner.total_bytes -= gone.bytes;
+            self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+            self.counters
+                .bytes_evicted
+                .fetch_add(gone.bytes, Ordering::Relaxed);
+        }
+    }
+
+    fn lock_inner(&self) -> std::sync::MutexGuard<'_, StoreInner> {
+        self.inner.lock().expect("app store poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backdroid_appgen::{AppSpec, Mechanism, Scenario, SinkKind};
+    use std::sync::atomic::AtomicUsize;
+
+    /// A loader over tiny generated apps; `classes` scales the size so
+    /// tests can pick meaningful budgets.
+    fn tiny_loader(classes: usize) -> impl Fn(&str) -> Result<AppArtifacts, String> {
+        move |id: &str| {
+            if id == "missing" {
+                return Err(format!("unknown app {id:?}"));
+            }
+            let app = AppSpec::named(format!("com.store.{id}"))
+                .with_scenario(Scenario::new(
+                    Mechanism::DirectEntry,
+                    SinkKind::Cipher,
+                    true,
+                ))
+                .with_filler(classes, 3, 4)
+                .generate();
+            Ok(AppArtifacts::new(app.program, app.manifest))
+        }
+    }
+
+    /// Image size for a one-character app id — ids of equal length
+    /// produce equal-sized images (the id feeds the generated class
+    /// names, so its length shows up in the dump).
+    fn one_image_bytes(classes: usize) -> u64 {
+        tiny_loader(classes)("x").unwrap().estimated_bytes()
+    }
+
+    #[test]
+    fn hits_misses_and_lru_eviction() {
+        let bytes = one_image_bytes(4);
+        // Room for two images, not three.
+        let store = AppStore::new(bytes * 2 + bytes / 2, tiny_loader(4));
+        assert_eq!(store.get("a").unwrap().1, Fetch::Miss);
+        assert_eq!(store.get("b").unwrap().1, Fetch::Miss);
+        assert_eq!(store.get("a").unwrap().1, Fetch::Hit, "a is resident");
+        assert_eq!(store.lru_order(), vec!["b".to_string(), "a".to_string()]);
+        // Loading c evicts the least recently used image: b.
+        assert_eq!(store.get("c").unwrap().1, Fetch::Miss);
+        assert_eq!(store.lru_order(), vec!["a".to_string(), "c".to_string()]);
+        assert!(!store.contains("b"));
+        let stats = store.stats();
+        assert_eq!((stats.hits, stats.misses, stats.loads), (1, 3, 3));
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.bytes_evicted, bytes);
+        assert!(stats.resident_bytes <= store.budget_bytes());
+        assert!(stats.peak_resident_bytes <= store.budget_bytes());
+    }
+
+    #[test]
+    fn zero_budget_store_caches_nothing_but_serves_everything() {
+        let store = AppStore::new(0, tiny_loader(3));
+        for _ in 0..3 {
+            let (artifacts, fetch) = store.get("a").unwrap();
+            assert_eq!(fetch, Fetch::Miss, "nothing is ever resident");
+            assert!(artifacts.program().method_count() > 0);
+        }
+        let stats = store.stats();
+        assert_eq!(stats.loads, 3);
+        assert_eq!(stats.evictions, 3);
+        assert_eq!(stats.resident_bytes, 0);
+        assert_eq!(stats.peak_resident_bytes, 0);
+    }
+
+    #[test]
+    fn load_failures_are_reported_and_not_cached() {
+        let store = AppStore::new(u64::MAX, tiny_loader(3));
+        assert!(store.get("missing").is_err());
+        assert!(store.get("missing").is_err(), "failure is retried");
+        let stats = store.stats();
+        assert_eq!(stats.load_failures, 2);
+        assert_eq!(stats.loads, 0);
+        assert_eq!(stats.resident_apps, 0);
+    }
+
+    #[test]
+    fn concurrent_cold_burst_loads_exactly_once() {
+        let calls = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&calls);
+        let store = AppStore::new(u64::MAX, move |id: &str| {
+            c.fetch_add(1, Ordering::SeqCst);
+            // Widen the race window so waiters really coalesce.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            tiny_loader(3)(id)
+        });
+        let n = 8;
+        std::thread::scope(|scope| {
+            for _ in 0..n {
+                scope.spawn(|| {
+                    let (artifacts, _) = store.get("hot").unwrap();
+                    assert!(artifacts.program().method_count() > 0);
+                });
+            }
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "single-flight");
+        let stats = store.stats();
+        assert_eq!(stats.loads, 1);
+        assert_eq!(stats.hits + stats.misses + stats.coalesced, n);
+        assert_eq!(stats.misses, 1);
+    }
+}

@@ -15,6 +15,8 @@
 //! * [`backdroid_appgen`] — deterministic app/corpus generation
 //! * [`backdroid_core`] — BackDroid itself
 //! * [`backdroid_wholeapp`] — the Amandroid/FlowDroid-style comparators
+//! * [`backdroid_service`] — the serving layer: byte-budgeted LRU app
+//!   store with single-flight loading, query front end, JSONL protocol
 //!
 //! ```
 //! use backdroid_suite::prelude::*;
@@ -35,6 +37,7 @@ pub use backdroid_dex;
 pub use backdroid_ir;
 pub use backdroid_manifest;
 pub use backdroid_search;
+pub use backdroid_service;
 pub use backdroid_wholeapp;
 
 /// One-stop imports for experiments and examples.
@@ -48,5 +51,6 @@ pub mod prelude {
         Value,
     };
     pub use backdroid_manifest::{Component, ComponentKind, Manifest};
+    pub use backdroid_service::{Service, ServiceConfig, SinkClass};
     pub use backdroid_wholeapp::{AmandroidConfig, CgAlgorithm};
 }

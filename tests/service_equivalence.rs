@@ -1,0 +1,214 @@
+//! Serving-layer contracts, tier-1 enforced:
+//!
+//! 1. the app store's eviction respects the byte budget and strict LRU
+//!    order;
+//! 2. single-flight loading builds a cold app exactly once under a
+//!    fuzzed concurrent burst;
+//! 3. service responses are **byte-identical** to direct
+//!    `analyze_artifacts` runs — for both search backends, warm or
+//!    cold, through the shared protocol renderer the `backdroid-serve`
+//!    binary uses on the wire.
+
+use backdroid_appgen::benchset::{bench_app, BenchsetConfig};
+use backdroid_appgen::{AppSpec, Mechanism, Scenario, SinkKind};
+use backdroid_core::{AppArtifacts, Backdroid, BackdroidOptions, BackendChoice, SinkRegistry};
+use backdroid_service::proto;
+use backdroid_service::{AppAnalysis, AppStore, Fetch, Service, ServiceConfig, SinkClass};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A loader over small distinct apps. Ids of equal length produce
+/// equal-sized images (the id feeds the generated class names, so its
+/// length shows up in the dump) — the eviction test relies on that.
+fn uniform_loader() -> impl Fn(&str) -> Result<AppArtifacts, String> + Send + Sync + 'static {
+    |id: &str| {
+        let app = AppSpec::named(format!("com.eq.{id}"))
+            .with_scenario(Scenario::new(
+                Mechanism::DirectEntry,
+                SinkKind::Cipher,
+                true,
+            ))
+            .with_filler(5, 3, 4)
+            .generate();
+        Ok(AppArtifacts::new(app.program, app.manifest))
+    }
+}
+
+#[test]
+fn eviction_respects_budget_and_lru_order() {
+    let image_bytes = uniform_loader()("z").unwrap().estimated_bytes();
+    // Room for exactly three images.
+    let budget = image_bytes * 3 + image_bytes / 2;
+    let store = AppStore::new(budget, uniform_loader());
+
+    for id in ["a", "b", "c"] {
+        assert_eq!(store.get(id).unwrap().1, Fetch::Miss);
+    }
+    assert_eq!(store.stats().evictions, 0, "three images fit");
+    assert_eq!(store.lru_order(), ["a", "b", "c"]);
+
+    // Touch `a`: it becomes most recent, `b` is now the LRU victim.
+    assert_eq!(store.get("a").unwrap().1, Fetch::Hit);
+    assert_eq!(store.lru_order(), ["b", "c", "a"]);
+    assert_eq!(store.get("d").unwrap().1, Fetch::Miss);
+    assert_eq!(store.lru_order(), ["c", "a", "d"]);
+    assert!(!store.contains("b"), "b was least recently used");
+
+    // Keep loading: eviction follows LRU order exactly, and at every
+    // observation point the store is within budget.
+    for id in ["e", "f", "g"] {
+        let _ = store.get(id).unwrap();
+        assert!(store.resident_bytes() <= budget);
+        assert_eq!(store.resident_apps(), 3);
+    }
+    assert_eq!(store.lru_order(), ["e", "f", "g"]);
+    let stats = store.stats();
+    assert_eq!(stats.evictions, 4);
+    assert_eq!(stats.bytes_evicted, image_bytes * 4);
+    assert!(stats.peak_resident_bytes <= budget);
+}
+
+#[test]
+fn single_flight_loads_each_app_exactly_once_under_fuzzed_bursts() {
+    for seed in 0..4u64 {
+        let calls = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&calls);
+        let inner = uniform_loader();
+        let store = Arc::new(AppStore::new(u64::MAX, move |id: &str| {
+            c.fetch_add(1, Ordering::SeqCst);
+            // Widen the race window so bursts genuinely overlap.
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            inner(id)
+        }));
+        let apps = ["w", "x", "y"];
+        let threads = 8;
+        let gets_per_thread = 6;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let store = Arc::clone(&store);
+                scope.spawn(move || {
+                    // Deterministic per-thread pseudo-random app order.
+                    let mut state = seed * 1_000_003 + t as u64 * 7919 + 1;
+                    for _ in 0..gets_per_thread {
+                        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        let id = apps[(state >> 33) as usize % apps.len()];
+                        let (artifacts, _) = store.get(id).unwrap();
+                        assert!(artifacts.program().method_count() > 0);
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            calls.load(Ordering::SeqCst),
+            apps.len(),
+            "seed {seed}: every app must load exactly once"
+        );
+        let stats = store.stats();
+        assert_eq!(stats.loads, apps.len() as u64);
+        assert_eq!(stats.misses, apps.len() as u64);
+        assert_eq!(
+            stats.hits + stats.misses + stats.coalesced,
+            (threads * gets_per_thread) as u64
+        );
+    }
+}
+
+/// Renders the direct (store-free) analysis of benchset app `i` with the
+/// given backend and registry, through the same protocol renderer the
+/// service responses use.
+fn direct_response(
+    id: u64,
+    op: &str,
+    i: usize,
+    cfg: BenchsetConfig,
+    backend: BackendChoice,
+    registry: SinkRegistry,
+) -> String {
+    let ba = bench_app(i, cfg);
+    let artifacts = AppArtifacts::with_backend(ba.app.program, ba.app.manifest, backend);
+    let tool = Backdroid::with_options(BackdroidOptions {
+        backend,
+        sinks: registry,
+        ..BackdroidOptions::default()
+    });
+    let report = tool.analyze_artifacts(&artifacts);
+    let analysis = AppAnalysis {
+        app_id: i.to_string(),
+        app_name: artifacts.manifest().package().to_string(),
+        report,
+        fetch: Fetch::Miss,
+    };
+    proto::render_analysis(id, op, &analysis)
+}
+
+#[test]
+fn service_responses_match_direct_analysis_byte_for_byte_on_both_backends() {
+    let cfg = BenchsetConfig::sized(5, 0.04);
+    for backend in [BackendChoice::LinearScan, BackendChoice::Indexed] {
+        let service = Service::over_benchset(
+            cfg,
+            ServiceConfig {
+                budget_bytes: u64::MAX,
+                backend,
+                ..ServiceConfig::default()
+            },
+        );
+        let full = SinkRegistry::crypto_and_ssl();
+        for i in 0..cfg.count {
+            let id = i as u64;
+            let served = service.analyze_app(&i.to_string()).unwrap();
+            let served_json = proto::render_analysis(id, "analyze", &served);
+            assert_eq!(
+                served_json,
+                direct_response(id, "analyze", i, cfg, backend, full.clone()),
+                "backend {backend:?}, app {i}: cold service response must equal direct analysis"
+            );
+            // Warm repeat: resident image, byte-identical response.
+            let warm = service.analyze_app(&i.to_string()).unwrap();
+            assert_eq!(warm.fetch, Fetch::Hit);
+            assert_eq!(proto::render_analysis(id, "analyze", &warm), served_json);
+        }
+        // Sink-class queries against warm images match direct runs with a
+        // filtered registry.
+        for (class, prefix) in [(SinkClass::Crypto, "crypto."), (SinkClass::Ssl, "ssl.")] {
+            let mut filtered = SinkRegistry::new();
+            for spec in full.sinks() {
+                if spec.id.starts_with(prefix) {
+                    filtered.add(spec.clone());
+                }
+            }
+            let served = service.query_sinks("2", &[class]).unwrap();
+            assert_eq!(
+                proto::render_analysis(9, "query", &served),
+                direct_response(9, "query", 2, cfg, backend, filtered),
+                "backend {backend:?}, class {class:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn linear_and_indexed_backends_serve_identical_responses() {
+    let cfg = BenchsetConfig::sized(4, 0.04);
+    let serve_all = |backend: BackendChoice| -> Vec<String> {
+        let service = Service::over_benchset(
+            cfg,
+            ServiceConfig {
+                budget_bytes: u64::MAX,
+                backend,
+                ..ServiceConfig::default()
+            },
+        );
+        (0..cfg.count)
+            .map(|i| {
+                let a = service.analyze_app(&i.to_string()).unwrap();
+                proto::render_analysis(i as u64, "analyze", &a)
+            })
+            .collect()
+    };
+    assert_eq!(
+        serve_all(BackendChoice::LinearScan),
+        serve_all(BackendChoice::Indexed),
+        "responses must never depend on the search backend"
+    );
+}
