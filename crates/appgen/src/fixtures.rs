@@ -1,0 +1,66 @@
+//! Deterministic snapshot fixtures: small generated apps whose shape is
+//! pinned, built for exercising the artifact persistence layer.
+//!
+//! The benchset ([`crate::benchset`]) scales with its config, which is
+//! what throughput work wants — but serialization tests want the
+//! opposite: a *fixed*, mechanism-diverse corpus where every IR
+//! construct the wire format must carry (constructors, statics, inner
+//! classes, `<clinit>` bodies, interface callbacks, intent strings,
+//! unregistered components) is guaranteed present whatever the test's
+//! parameters. Each fixture is a pure function of its index, so snapshot
+//! bytes for fixture `i` are byte-identical across processes and runs —
+//! exactly what a CI job needs to diff.
+
+use crate::scenario::{Mechanism, Scenario, SinkKind};
+use crate::{AndroidApp, AppSpec};
+
+/// Number of distinct snapshot fixtures ([`snapshot_fixture`] accepts
+/// `0..FIXTURE_COUNT`). One per sink-path mechanism: every mechanism
+/// exercises a different slice of the IR + manifest vocabulary.
+pub fn fixture_count() -> usize {
+    Mechanism::all().len()
+}
+
+/// Generates the `i`-th snapshot fixture (`i % fixture_count()`):
+/// a compact app whose characteristic path uses one mechanism, plus a
+/// little filler so bodies, fields, and multiple classes always exist.
+/// Deterministic and independent of every other fixture.
+pub fn snapshot_fixture(i: usize) -> AndroidApp {
+    let mechs = Mechanism::all();
+    let i = i % mechs.len();
+    let mech = mechs[i];
+    let sink = if i.is_multiple_of(2) {
+        SinkKind::Cipher
+    } else {
+        SinkKind::SslVerifier
+    };
+    // Alternate vulnerable/secure parameter shapes so both verdict paths
+    // cross the snapshot boundary.
+    let vulnerable = i % 3 != 2;
+    AppSpec::named(format!("com.fixture.snap{i:02}"))
+        .with_seed(4242 + i as u64)
+        .with_filler(3 + i % 4, 2 + i % 3, 5)
+        .with_scenario(Scenario::new(mech, sink, vulnerable))
+        .generate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_deterministic_and_cover_every_mechanism() {
+        assert_eq!(fixture_count(), Mechanism::all().len());
+        for i in 0..fixture_count() {
+            let a = snapshot_fixture(i);
+            let b = snapshot_fixture(i);
+            assert_eq!(a.dump(), b.dump(), "fixture {i} must be reproducible");
+            assert!(a.program.class_count() >= 3, "fixture {i} too small");
+        }
+        // Distinct fixtures are actually distinct apps.
+        assert_ne!(snapshot_fixture(0).dump(), snapshot_fixture(1).dump());
+        // Indices wrap instead of panicking.
+        let wrapped = snapshot_fixture(fixture_count());
+        assert_eq!(wrapped.dump(), snapshot_fixture(0).dump());
+    }
+}

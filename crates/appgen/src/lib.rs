@@ -32,6 +32,7 @@
 pub mod benchset;
 pub mod dataset;
 pub mod filler;
+pub mod fixtures;
 pub mod scenario;
 pub mod workload;
 

@@ -1,0 +1,152 @@
+//! Snapshot-layer benchmark: for every app in a benchset, measures the
+//! full cold parse (generate → encode → disassemble → index) against
+//! `to_snapshot` (serialize, posting lists included) and
+//! `from_snapshot` (restore), and verifies the restore is *exact* —
+//! re-snapshotting the restored image must reproduce the original bytes,
+//! and analyzing it must reproduce the fresh image's report.
+//!
+//! Stdout reports per-corpus aggregates: snapshot size vs estimated
+//! resident size, restore speedup over the parse, and the verification
+//! verdict. The bin exits non-zero if any app's round-trip diverges or
+//! if restoring is not faster than parsing in aggregate — the invariant
+//! the serving layer's disk tier depends on.
+//!
+//! Flags: `--count N`, `--code-permille M`, `--backend linear|indexed`,
+//! `--smoke` (small CI preset), `--json PATH`.
+
+use backdroid_appgen::benchset::{bench_app, BenchsetConfig};
+use backdroid_bench::harness::arg_value;
+use backdroid_bench::json::JsonObject;
+use backdroid_bench::{backend_from_args, json_path_from_args};
+use backdroid_core::{AppArtifacts, Backdroid, BackdroidOptions};
+use std::time::Instant;
+
+fn parsed_arg<T: std::str::FromStr>(flag: &str, default: T) -> T {
+    match arg_value(flag) {
+        Some(v) => v.parse::<T>().unwrap_or_else(|_| {
+            eprintln!("error: {flag} {v:?} is invalid");
+            std::process::exit(2)
+        }),
+        None => default,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (def_count, def_permille) = if smoke { (8, 40) } else { (24, 80) };
+    let bench = BenchsetConfig::try_sized(
+        parsed_arg("--count", def_count),
+        parsed_arg::<u32>("--code-permille", def_permille) as f64 / 1000.0,
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("error: invalid benchset size: {e}");
+        std::process::exit(2)
+    });
+    let backend = backend_from_args();
+    let tool = Backdroid::with_options(BackdroidOptions {
+        backend,
+        ..BackdroidOptions::default()
+    });
+
+    let mut parse_ms = 0.0f64;
+    let mut snapshot_ms = 0.0f64;
+    let mut restore_ms = 0.0f64;
+    let mut snapshot_bytes = 0u64;
+    let mut estimated_bytes = 0u64;
+    let mut mismatches = 0usize;
+
+    for i in 0..bench.count {
+        let t0 = Instant::now();
+        let ba = bench_app(i, bench);
+        let fresh = AppArtifacts::with_backend(ba.app.program, ba.app.manifest, backend);
+        // The cold path the disk tier replaces also pays the posting-list
+        // build on its first indexed query; charge it here so the
+        // comparison is parse-work vs restore-work, not lazy-vs-eager.
+        let _ = fresh.engine().text().search_index();
+        parse_ms += t0.elapsed().as_secs_f64() * 1_000.0;
+
+        let t1 = Instant::now();
+        let bytes = fresh.to_snapshot();
+        snapshot_ms += t1.elapsed().as_secs_f64() * 1_000.0;
+        snapshot_bytes += bytes.len() as u64;
+        estimated_bytes += fresh.estimated_bytes();
+
+        let t2 = Instant::now();
+        let restored = AppArtifacts::from_snapshot(&bytes, backend)
+            .unwrap_or_else(|e| panic!("app {i}: snapshot failed to restore: {e}"));
+        restore_ms += t2.elapsed().as_secs_f64() * 1_000.0;
+
+        // Exactness: byte-identical re-snapshot, identical analysis.
+        if restored.to_snapshot() != bytes
+            || tool.analyze_artifacts(&restored).sink_reports
+                != tool.analyze_artifacts(&fresh).sink_reports
+        {
+            eprintln!("MISMATCH: app {i} diverged after restore");
+            mismatches += 1;
+        }
+    }
+
+    let n = bench.count as f64;
+    let speedup = if restore_ms > 0.0 {
+        parse_ms / restore_ms
+    } else {
+        0.0
+    };
+    println!("snapshot_bench: persistent app-image snapshots");
+    println!(
+        "  corpus: {} apps (code {:.0}‰), backend {}",
+        bench.count,
+        bench.code_scale * 1000.0,
+        backend.name()
+    );
+    println!(
+        "  cold parse: {:.2} ms/app | to_snapshot: {:.2} ms/app | from_snapshot: {:.2} ms/app",
+        parse_ms / n,
+        snapshot_ms / n,
+        restore_ms / n
+    );
+    println!(
+        "  size: {:.1} KiB/app on disk vs {:.1} KiB/app estimated resident",
+        snapshot_bytes as f64 / n / 1024.0,
+        estimated_bytes as f64 / n / 1024.0
+    );
+    println!(
+        "  restore speedup over cold parse: {speedup:.1}x | round-trip mismatches: {mismatches}"
+    );
+
+    if let Some(path) = json_path_from_args() {
+        let obj = JsonObject::new()
+            .int("apps", bench.count as u64)
+            .str("backend", backend.name())
+            .int("snapshot_bytes_total", snapshot_bytes)
+            .int("estimated_resident_bytes_total", estimated_bytes)
+            .int("mismatches", mismatches as u64)
+            .float("wall_parse_ms_per_app", parse_ms / n)
+            .float("wall_snapshot_ms_per_app", snapshot_ms / n)
+            .float("wall_restore_ms_per_app", restore_ms / n)
+            .float("wall_restore_speedup", speedup)
+            .build();
+        std::fs::write(&path, obj + "\n").expect("failed to write --json artifact");
+        eprintln!("wrote JSON artifact to {}", path.display());
+    }
+
+    let mut failed = false;
+    if mismatches > 0 {
+        eprintln!("FAIL: {mismatches} app(s) did not round-trip exactly");
+        failed = true;
+    }
+    if restore_ms >= parse_ms {
+        eprintln!(
+            "FAIL: restoring ({restore_ms:.1} ms total) is not faster than parsing \
+             ({parse_ms:.1} ms total) — the disk tier would be pointless"
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    eprintln!(
+        "OK: {} apps round-tripped byte-identically, restore {speedup:.1}x faster than parse",
+        bench.count
+    );
+}

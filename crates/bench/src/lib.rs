@@ -13,7 +13,8 @@
 //! | `detection_comparison`  | §VI-C — detection accuracy both ways |
 //! | `cache_stats`           | §IV-F — cache rates and loop statistics |
 //! | `search_backend_bench`  | linear-vs-indexed search backend cost + equivalence |
-//! | `service_throughput`    | serving-layer throughput: req/s, cold-vs-warm latency, store evictions |
+//! | `service_throughput`    | serving-layer throughput: req/s, cold-parse vs disk-warm vs memory-warm latency tiers, store evictions |
+//! | `snapshot_bench`        | snapshot layer: parse vs serialize vs restore cost, round-trip exactness |
 //!
 //! Run with `cargo run --release -p backdroid-bench --bin <name>`. Common
 //! flags (parsed by [`harness`]):

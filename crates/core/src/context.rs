@@ -66,6 +66,24 @@ impl AppArtifacts {
         Self::from_dump_backend(program, manifest, dump, BackendChoice::default())
     }
 
+    /// Reassembles artifacts from already-built parts — the restore path
+    /// of the snapshot layer (see [`crate::snapshot`]): the text arrives
+    /// fully indexed from disk, so no DEX encode, disassembly, or
+    /// tokenization runs. The backend is runtime configuration, chosen
+    /// by the restorer.
+    pub fn from_parts(
+        program: Program,
+        manifest: Manifest,
+        text: BytecodeText,
+        backend: BackendChoice,
+    ) -> Self {
+        AppArtifacts {
+            program,
+            manifest,
+            engine: SearchEngine::with_backend(text, backend),
+        }
+    }
+
     /// Builds the artifacts over an existing dump with an explicit
     /// search-backend choice.
     pub fn from_dump_backend(

@@ -74,6 +74,7 @@ pub mod loops;
 pub mod reflection;
 pub mod sinks;
 pub mod slicer;
+pub mod snapshot;
 pub mod ssg;
 
 pub use backdroid_search::BackendChoice;
@@ -88,4 +89,5 @@ pub use loops::{LoopKind, LoopStats, PathGuard};
 pub use reflection::{reflective_callers, resolve_reflective_calls, ReflectiveCall};
 pub use sinks::{SinkRegistry, SinkSpec};
 pub use slicer::{slice_sink, SliceResult, SlicerConfig};
+pub use snapshot::{SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use ssg::{AppSsg, Ssg, SsgEdge, SsgUnit, TaintSet};

@@ -1,0 +1,323 @@
+//! Persistent app-image snapshots: a compact, versioned, checksummed
+//! binary encoding of [`AppArtifacts`].
+//!
+//! BackDroid's preprocessing — encode to DEX, disassemble, index the
+//! plaintext (§III) — is the whole cost of a cold app load. A snapshot
+//! captures every preprocessing product (IR program, manifest, indexed
+//! [`BytecodeText`] *with* its posting lists), so restoring an app image
+//! is a cheap linear decode instead of a re-parse: the disk tier of the
+//! serving layer's two-tier store persists exactly this format.
+//!
+//! ## Container layout
+//!
+//! ```text
+//! offset  size  field
+//!      0     8  magic  b"BDSNAP\r\n"  (the \r\n catches text-mode mangling)
+//!      8     4  format version, u32 LE   (SNAPSHOT_VERSION)
+//!     12     8  payload length, u64 LE
+//!     20     n  payload: wire-encoded (program, manifest, bytecode text)
+//!   20+n     8  FNV-1a 64 checksum of the payload, u64 LE
+//! ```
+//!
+//! The payload uses the deterministic wire vocabulary of
+//! [`backdroid_ir::wire`], so **equal artifacts encode byte-identically**
+//! — `to_snapshot(from_snapshot(b)) == b` — and CI can diff snapshots
+//! across runs. Decoding is total: truncation, magic/version/checksum
+//! mismatches, and structurally corrupt payloads all surface as
+//! [`SnapshotError`], never as a panic, which is what lets the app store
+//! fall back to a fresh parse when a disk snapshot has rotted.
+//!
+//! The search **backend choice is runtime configuration, not data**: it
+//! is deliberately excluded from the format, and the restorer picks it —
+//! both backends are hit-for-hit identical over the same text, so one
+//! snapshot serves either.
+//!
+//! [`BytecodeText`]: backdroid_search::BytecodeText
+
+use crate::context::AppArtifacts;
+use backdroid_ir::wire::{self, fnv1a64, WireError, WireReader, WireWriter};
+use backdroid_manifest::snapshot::{read_manifest, write_manifest};
+use backdroid_search::{BackendChoice, BytecodeText};
+use std::fmt;
+
+/// The 8-byte container magic. `\r\n` inside the magic makes any
+/// CRLF-translating copy fail loudly at the first check.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"BDSNAP\r\n";
+
+/// The current snapshot format version. Bump on **any** payload layout
+/// change: readers reject other versions and the store re-parses.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Bytes before the payload: magic + version + payload length.
+const HEADER_LEN: usize = 8 + 4 + 8;
+
+/// Why a snapshot failed to load. Every variant is an expected runtime
+/// condition for the disk tier (partially written file, stale format,
+/// bit rot), so loading is total and the caller can fall back to a
+/// fresh parse.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SnapshotError {
+    /// The input ends before the container it promises.
+    Truncated,
+    /// The first 8 bytes are not [`SNAPSHOT_MAGIC`].
+    BadMagic,
+    /// The container is a different format version.
+    VersionMismatch {
+        /// Version found in the container.
+        found: u32,
+        /// Version this build reads ([`SNAPSHOT_VERSION`]).
+        expected: u32,
+    },
+    /// The payload does not hash to the stored checksum.
+    ChecksumMismatch,
+    /// Bytes follow the checksum — the file is not one clean container.
+    TrailingBytes,
+    /// The checksummed payload decoded to something structurally invalid
+    /// (possible only on a hash collision or a buggy writer, so it is
+    /// still reported, never trusted).
+    Decode(WireError),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Truncated => write!(f, "snapshot truncated"),
+            SnapshotError::BadMagic => write!(f, "not a BackDroid snapshot (bad magic)"),
+            SnapshotError::VersionMismatch { found, expected } => {
+                write!(f, "snapshot version {found} (this build reads {expected})")
+            }
+            SnapshotError::ChecksumMismatch => write!(f, "snapshot checksum mismatch"),
+            SnapshotError::TrailingBytes => write!(f, "trailing bytes after snapshot"),
+            SnapshotError::Decode(e) => write!(f, "snapshot payload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<WireError> for SnapshotError {
+    fn from(e: WireError) -> Self {
+        SnapshotError::Decode(e)
+    }
+}
+
+impl AppArtifacts {
+    /// Serializes these artifacts into one self-contained snapshot:
+    /// header, wire-encoded payload (program, manifest, indexed text
+    /// with posting lists), checksum. Forces the lazy posting-list
+    /// index first, so a restored image never re-tokenizes.
+    ///
+    /// Deterministic: equal artifacts produce byte-identical snapshots,
+    /// and `AppArtifacts::from_snapshot(&a.to_snapshot(), _)` followed
+    /// by `to_snapshot` reproduces the input bytes exactly.
+    pub fn to_snapshot(&self) -> Vec<u8> {
+        let mut payload = WireWriter::new();
+        wire::write_program(&mut payload, self.program());
+        write_manifest(&mut payload, self.manifest());
+        self.engine().text().write_wire(&mut payload);
+        let payload = payload.into_bytes();
+
+        let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + 8);
+        out.extend_from_slice(&SNAPSHOT_MAGIC);
+        out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+        out
+    }
+
+    /// Restores artifacts from a snapshot produced by
+    /// [`AppArtifacts::to_snapshot`], wrapping the decoded text in a
+    /// fresh engine on `backend` (the backend is runtime configuration
+    /// and not part of the format). Total: every corruption mode maps
+    /// to a [`SnapshotError`].
+    pub fn from_snapshot(
+        bytes: &[u8],
+        backend: BackendChoice,
+    ) -> Result<AppArtifacts, SnapshotError> {
+        if bytes.len() < HEADER_LEN + 8 {
+            return Err(SnapshotError::Truncated);
+        }
+        if bytes[..8] != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::VersionMismatch {
+                found: version,
+                expected: SNAPSHOT_VERSION,
+            });
+        }
+        let payload_len = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+        let payload_len = usize::try_from(payload_len).map_err(|_| SnapshotError::Truncated)?;
+        let total = HEADER_LEN
+            .checked_add(payload_len)
+            .and_then(|n| n.checked_add(8))
+            .ok_or(SnapshotError::Truncated)?;
+        if bytes.len() < total {
+            return Err(SnapshotError::Truncated);
+        }
+        if bytes.len() > total {
+            return Err(SnapshotError::TrailingBytes);
+        }
+        let payload = &bytes[HEADER_LEN..HEADER_LEN + payload_len];
+        let stored = u64::from_le_bytes(bytes[total - 8..].try_into().expect("8 bytes"));
+        if fnv1a64(payload) != stored {
+            return Err(SnapshotError::ChecksumMismatch);
+        }
+
+        let mut r = WireReader::new(payload);
+        let program = wire::read_program(&mut r)?;
+        let manifest = read_manifest(&mut r)?;
+        let text = BytecodeText::read_wire(&mut r)?;
+        if !r.is_empty() {
+            return Err(SnapshotError::Decode(WireError::Malformed(
+                "unconsumed payload bytes".into(),
+            )));
+        }
+        Ok(AppArtifacts::from_parts(program, manifest, text, backend))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Backdroid, BackdroidOptions};
+    use backdroid_ir::{
+        ClassBuilder, ClassName, InvokeExpr, MethodBuilder, MethodSig, Type, Value,
+    };
+    use backdroid_manifest::{Component, ComponentKind, Manifest};
+
+    fn sample_artifacts() -> AppArtifacts {
+        let act = ClassName::new("com.snap.Main");
+        let mut on_create = MethodBuilder::public(&act, "onCreate", vec![], Type::Void);
+        on_create.invoke(InvokeExpr::call_static(
+            MethodSig::new(
+                "javax.crypto.Cipher",
+                "getInstance",
+                vec![Type::string()],
+                Type::object("javax.crypto.Cipher"),
+            ),
+            vec![Value::str("AES/ECB/PKCS5Padding")],
+        ));
+        let mut program = backdroid_ir::Program::new();
+        program.add_class(
+            ClassBuilder::new("com.snap.Main")
+                .extends("android.app.Activity")
+                .method(on_create.build())
+                .build(),
+        );
+        let mut manifest = Manifest::new("com.snap");
+        manifest.register(Component::new(ComponentKind::Activity, "com.snap.Main"));
+        AppArtifacts::new(program, manifest)
+    }
+
+    #[test]
+    fn snapshot_round_trips_byte_identically_and_preserves_analysis() {
+        let a = sample_artifacts();
+        let bytes = a.to_snapshot();
+        assert_eq!(bytes, a.to_snapshot(), "encoding is deterministic");
+        let b = AppArtifacts::from_snapshot(&bytes, BackendChoice::default()).unwrap();
+        assert_eq!(b.to_snapshot(), bytes, "re-snapshot is byte-identical");
+        assert_eq!(b.estimated_bytes(), a.estimated_bytes());
+        let tool = Backdroid::with_options(BackdroidOptions::default());
+        let fresh = tool.analyze_artifacts(&a);
+        let restored = tool.analyze_artifacts(&b);
+        assert_eq!(fresh.sink_reports, restored.sink_reports);
+        assert_eq!(restored.vulnerable_sinks().len(), 1);
+    }
+
+    #[test]
+    fn one_snapshot_serves_both_backends_identically() {
+        let a = sample_artifacts();
+        let bytes = a.to_snapshot();
+        let indexed = AppArtifacts::from_snapshot(&bytes, BackendChoice::Indexed).unwrap();
+        let linear = AppArtifacts::from_snapshot(&bytes, BackendChoice::LinearScan).unwrap();
+        let tool = Backdroid::with_options(BackdroidOptions::default());
+        assert_eq!(
+            tool.analyze_artifacts(&indexed).sink_reports,
+            tool.analyze_artifacts(&linear).sink_reports
+        );
+    }
+
+    #[test]
+    fn every_corruption_mode_is_detected() {
+        let bytes = sample_artifacts().to_snapshot();
+
+        // Truncation: every strict prefix fails.
+        for cut in (0..bytes.len()).step_by(11) {
+            assert!(
+                AppArtifacts::from_snapshot(&bytes[..cut], BackendChoice::default()).is_err(),
+                "prefix of {cut} bytes loaded"
+            );
+        }
+
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xff;
+        assert_eq!(
+            AppArtifacts::from_snapshot(&bad, BackendChoice::default()).unwrap_err(),
+            SnapshotError::BadMagic
+        );
+
+        // Version bump.
+        let mut bad = bytes.clone();
+        bad[8] = bad[8].wrapping_add(1);
+        assert!(matches!(
+            AppArtifacts::from_snapshot(&bad, BackendChoice::default()).unwrap_err(),
+            SnapshotError::VersionMismatch {
+                found: 2,
+                expected: 1
+            }
+        ));
+
+        // Payload bit flip.
+        let mut bad = bytes.clone();
+        let mid = HEADER_LEN + (bytes.len() - HEADER_LEN - 8) / 2;
+        bad[mid] ^= 0x01;
+        assert_eq!(
+            AppArtifacts::from_snapshot(&bad, BackendChoice::default()).unwrap_err(),
+            SnapshotError::ChecksumMismatch
+        );
+
+        // Checksum bit flip.
+        let mut bad = bytes.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x01;
+        assert_eq!(
+            AppArtifacts::from_snapshot(&bad, BackendChoice::default()).unwrap_err(),
+            SnapshotError::ChecksumMismatch
+        );
+
+        // Trailing garbage.
+        let mut bad = bytes.clone();
+        bad.push(0);
+        assert_eq!(
+            AppArtifacts::from_snapshot(&bad, BackendChoice::default()).unwrap_err(),
+            SnapshotError::TrailingBytes
+        );
+
+        // The pristine bytes still load after all that.
+        assert!(AppArtifacts::from_snapshot(&bytes, BackendChoice::default()).is_ok());
+    }
+
+    #[test]
+    fn errors_render_usefully() {
+        for (e, needle) in [
+            (SnapshotError::Truncated, "truncated"),
+            (SnapshotError::BadMagic, "magic"),
+            (
+                SnapshotError::VersionMismatch {
+                    found: 9,
+                    expected: 1,
+                },
+                "version 9",
+            ),
+            (SnapshotError::ChecksumMismatch, "checksum"),
+            (SnapshotError::TrailingBytes, "trailing"),
+            (SnapshotError::Decode(WireError::Truncated), "payload"),
+        ] {
+            assert!(e.to_string().contains(needle), "{e}");
+        }
+    }
+}

@@ -118,6 +118,22 @@ impl Method {
         }
     }
 
+    /// Reassembles a method from decoded parts, preserving the modifier
+    /// bits exactly (unlike [`Method::new_abstract`], which forces the
+    /// `abstract` bit — a decoded native method must stay bodyless and
+    /// non-abstract). Wire-decoder only.
+    pub(crate) fn from_parts(
+        sig: MethodSig,
+        modifiers: Modifiers,
+        body: Option<MethodBody>,
+    ) -> Self {
+        Method {
+            sig,
+            modifiers,
+            body,
+        }
+    }
+
     /// The signature.
     pub fn sig(&self) -> &MethodSig {
         &self.sig
@@ -187,6 +203,30 @@ impl Class {
             modifiers,
             fields: Vec::new(),
             methods: Vec::new(),
+        }
+    }
+
+    /// Reassembles a class from decoded parts, preserving the superclass
+    /// exactly (including `None`, which [`Class::new`] cannot express —
+    /// it defaults to `java.lang.Object`). The caller is responsible for
+    /// the invariants `add_method` asserts (methods declared on this
+    /// class, no duplicate signatures); the wire decoder validates both
+    /// before constructing.
+    pub(crate) fn from_parts(
+        name: ClassName,
+        superclass: Option<ClassName>,
+        interfaces: Vec<ClassName>,
+        modifiers: Modifiers,
+        fields: Vec<FieldDef>,
+        methods: Vec<Method>,
+    ) -> Self {
+        Class {
+            name,
+            superclass,
+            interfaces,
+            modifiers,
+            fields,
+            methods,
         }
     }
 

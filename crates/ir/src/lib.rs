@@ -43,6 +43,7 @@ mod cfg;
 mod program;
 mod stmt;
 mod types;
+pub mod wire;
 
 pub use body::{Class, FieldDef, Local, Method, MethodBody};
 pub use builder::{ClassBuilder, Label, MethodBuilder};

@@ -528,6 +528,12 @@ impl Modifiers {
         self.bits
     }
 
+    /// Reconstructs a modifier set from its raw bits — the inverse of
+    /// [`Modifiers::bits`], used by the wire decoder.
+    pub fn from_bits(bits: u32) -> Self {
+        Modifiers { bits }
+    }
+
     /// Whether the `static` bit is set.
     pub fn is_static(&self) -> bool {
         self.bits & Self::STATIC != 0

@@ -26,6 +26,8 @@
 use backdroid_ir::{ClassName, MethodSig, Type};
 use std::collections::BTreeMap;
 
+pub mod snapshot;
+
 /// The four Android component kinds.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub enum ComponentKind {

@@ -1,0 +1,129 @@
+//! Wire encoding of the manifest model, layered on
+//! [`backdroid_ir::wire`] — one piece of the app-image snapshot format
+//! the serving layer persists to disk.
+//!
+//! Encoding is deterministic: components are written in the manifest's
+//! canonical (class-name) iteration order, so equal manifests produce
+//! byte-identical encodings.
+
+use crate::{Component, ComponentKind, Manifest};
+use backdroid_ir::wire::{read_class_name, write_class_name, WireError, WireReader, WireWriter};
+
+fn kind_tag(k: ComponentKind) -> u8 {
+    match k {
+        ComponentKind::Activity => 0,
+        ComponentKind::Service => 1,
+        ComponentKind::Receiver => 2,
+        ComponentKind::Provider => 3,
+    }
+}
+
+fn kind_from(tag: u8) -> Result<ComponentKind, WireError> {
+    Ok(match tag {
+        0 => ComponentKind::Activity,
+        1 => ComponentKind::Service,
+        2 => ComponentKind::Receiver,
+        3 => ComponentKind::Provider,
+        _ => {
+            return Err(WireError::Malformed(format!(
+                "unknown component kind tag {tag}"
+            )))
+        }
+    })
+}
+
+/// Encodes a manifest.
+pub fn write_manifest(w: &mut WireWriter, m: &Manifest) {
+    w.put_str(m.package());
+    w.put_len(m.components().count());
+    for c in m.components() {
+        w.put_u8(kind_tag(c.kind()));
+        write_class_name(w, c.class());
+        w.put_len(c.actions().len());
+        for a in c.actions() {
+            w.put_str(a);
+        }
+        w.put_bool(c.is_exported());
+    }
+}
+
+/// Decodes a manifest.
+pub fn read_manifest(r: &mut WireReader<'_>) -> Result<Manifest, WireError> {
+    let package = r.get_str()?.to_string();
+    let mut m = Manifest::new(package);
+    let n = r.get_len(1)?;
+    for _ in 0..n {
+        let kind = kind_from(r.get_u8()?)?;
+        let class = read_class_name(r)?;
+        let mut c = Component::new(kind, class);
+        let actions = r.get_len(1)?;
+        for _ in 0..actions {
+            c = c.with_action(r.get_str()?);
+        }
+        if r.get_bool()? {
+            c = c.exported();
+        }
+        m.register(c);
+    }
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backdroid_ir::{ClassName, MethodSig, Type};
+
+    fn sample() -> Manifest {
+        let mut m = Manifest::new("com.snap.demo");
+        m.register(
+            Component::new(ComponentKind::Activity, "com.snap.demo.Main")
+                .with_action("android.intent.action.MAIN")
+                .exported(),
+        );
+        m.register(Component::new(
+            ComponentKind::Receiver,
+            "com.snap.demo.Boot",
+        ));
+        m
+    }
+
+    #[test]
+    fn manifest_round_trips_byte_identically() {
+        let m = sample();
+        let mut w = WireWriter::new();
+        write_manifest(&mut w, &m);
+        let bytes = w.into_bytes();
+        let back = read_manifest(&mut WireReader::new(&bytes)).unwrap();
+        assert_eq!(back.package(), m.package());
+        assert_eq!(back.components().count(), 2);
+        assert!(back.is_entry_component(&ClassName::new("com.snap.demo.Main")));
+        assert!(back.is_entry_method(&MethodSig::new(
+            "com.snap.demo.Boot",
+            "onReceive",
+            vec![],
+            Type::Void
+        )));
+        assert_eq!(
+            back.components_for_action("android.intent.action.MAIN")
+                .len(),
+            1
+        );
+        let mut w2 = WireWriter::new();
+        write_manifest(&mut w2, &back);
+        assert_eq!(bytes, w2.into_bytes());
+    }
+
+    #[test]
+    fn truncations_and_bad_tags_fail_cleanly() {
+        let mut w = WireWriter::new();
+        write_manifest(&mut w, &sample());
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                read_manifest(&mut WireReader::new(&bytes[..cut])).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+        assert!(matches!(kind_from(9), Err(WireError::Malformed(_))));
+    }
+}

@@ -24,6 +24,7 @@
 
 use crate::engine::SearchCmd;
 use backdroid_dex::{class_descriptor, field_ref_string, method_ref_string};
+use backdroid_ir::wire::{self, WireError, WireReader, WireWriter};
 use backdroid_ir::{ClassName, Type};
 use std::collections::HashMap;
 
@@ -179,6 +180,103 @@ impl SearchIndex {
         } else {
             self.classes.get(owner as usize)
         }
+    }
+
+    /// Wire-encodes the posting lists. Tokens are written in sorted
+    /// order (the in-memory map is hash-ordered) and line indices as
+    /// deltas, so equal indexes produce byte-identical, compact
+    /// encodings — the determinism the snapshot format requires.
+    pub fn write_wire(&self, w: &mut WireWriter) {
+        let mut keys: Vec<&String> = self.postings.keys().collect();
+        keys.sort();
+        w.put_len(keys.len());
+        for key in keys {
+            w.put_str(key);
+            let lines = &self.postings[key];
+            w.put_len(lines.len());
+            let mut prev = 0u32;
+            for (i, &line) in lines.iter().enumerate() {
+                let delta = if i == 0 { line } else { line - prev };
+                w.put_uvarint(delta as u64);
+                prev = line;
+            }
+        }
+        w.put_len(self.classes.len());
+        for c in &self.classes {
+            wire::write_class_name(w, c);
+        }
+        w.put_len(self.owners.len());
+        for &o in &self.owners {
+            // NO_OWNER compresses to one byte instead of a 5-byte varint.
+            w.put_uvarint(if o == NO_OWNER { 0 } else { o as u64 + 1 });
+        }
+    }
+
+    /// Decodes posting lists written by [`SearchIndex::write_wire`],
+    /// validating every structural invariant the query paths rely on:
+    /// strictly ascending deduplicated postings, line indices inside the
+    /// `line_count`-line dump, one owner entry per line, and owner
+    /// references inside the class table.
+    pub fn read_wire(r: &mut WireReader<'_>, line_count: usize) -> Result<SearchIndex, WireError> {
+        let malformed = |m: &str| WireError::Malformed(m.to_string());
+        let n_tokens = r.get_len(1)?;
+        let mut postings = HashMap::with_capacity(n_tokens);
+        let mut prev_key: Option<String> = None;
+        for _ in 0..n_tokens {
+            let key = r.get_str()?.to_string();
+            if prev_key.as_deref().is_some_and(|p| p >= key.as_str()) {
+                return Err(malformed("posting tokens out of order"));
+            }
+            let n_lines = r.get_len(1)?;
+            let mut lines = Vec::with_capacity(n_lines);
+            let mut acc = 0u64;
+            for i in 0..n_lines {
+                let delta = r.get_uvarint()?;
+                if i > 0 && delta == 0 {
+                    return Err(malformed("posting line repeated"));
+                }
+                acc = if i == 0 {
+                    delta
+                } else {
+                    acc.checked_add(delta)
+                        .ok_or_else(|| malformed("posting delta overflows"))?
+                };
+                if acc >= line_count as u64 {
+                    return Err(malformed("posting line outside the dump"));
+                }
+                lines.push(acc as u32);
+            }
+            prev_key = Some(key.clone());
+            postings.insert(key, lines);
+        }
+        let n_classes = r.get_len(1)?;
+        let mut classes = Vec::with_capacity(n_classes);
+        for _ in 0..n_classes {
+            classes.push(wire::read_class_name(r)?);
+        }
+        let n_owners = r.get_len(1)?;
+        if n_owners != line_count {
+            return Err(malformed("owner table does not cover every line"));
+        }
+        let mut owners = Vec::with_capacity(n_owners);
+        for _ in 0..n_owners {
+            let v = r.get_uvarint()?;
+            let owner = if v == 0 {
+                NO_OWNER
+            } else {
+                let idx = v - 1;
+                if idx >= classes.len() as u64 {
+                    return Err(malformed("owner references a missing class"));
+                }
+                idx as u32
+            };
+            owners.push(owner);
+        }
+        Ok(SearchIndex {
+            postings,
+            classes,
+            owners,
+        })
     }
 
     /// Number of distinct tokens indexed.

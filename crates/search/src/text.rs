@@ -6,6 +6,7 @@
 //! contains the invocation found in the bytecode plaintext").
 
 use crate::index::SearchIndex;
+use backdroid_ir::wire::{self, WireError, WireReader, WireWriter};
 use backdroid_ir::{ClassName, MethodSig, Type};
 use std::collections::BTreeSet;
 use std::sync::OnceLock;
@@ -171,6 +172,99 @@ impl BytecodeText {
         self.index.get_or_init(|| SearchIndex::build(&self.lines))
     }
 
+    /// Wire-encodes the indexed text: lines, method spans, the
+    /// line → method map, the descriptor set, **and** the posting-list
+    /// index (built now if no indexed query ran yet) — so a restored
+    /// text never pays the §III parse or the tokenization pass again.
+    /// Deterministic: equal texts encode byte-identically.
+    pub fn write_wire(&self, w: &mut WireWriter) {
+        w.put_len(self.lines.len());
+        for line in &self.lines {
+            w.put_str(line);
+        }
+        w.put_len(self.spans.len());
+        for s in &self.spans {
+            wire::write_method_sig(w, &s.sig);
+            w.put_len(s.start_line);
+            w.put_len(s.end_line);
+        }
+        w.put_len(self.line_to_span.len());
+        for slot in &self.line_to_span {
+            // `None` compresses to one byte; `Some(i)` is `i + 1`.
+            w.put_uvarint(match slot {
+                None => 0,
+                Some(i) => *i as u64 + 1,
+            });
+        }
+        w.put_len(self.descriptors.len());
+        for d in &self.descriptors {
+            w.put_str(d);
+        }
+        self.search_index().write_wire(w);
+    }
+
+    /// Decodes a text written by [`BytecodeText::write_wire`],
+    /// validating the structural invariants the query paths index by
+    /// (span bounds inside the dump, line map entries inside the span
+    /// table, a map entry per line) and pre-populating the posting-list
+    /// index from the snapshot instead of re-tokenizing.
+    pub fn read_wire(r: &mut WireReader<'_>) -> Result<BytecodeText, WireError> {
+        let malformed = |m: &str| WireError::Malformed(m.to_string());
+        let n_lines = r.get_len(1)?;
+        let mut lines = Vec::with_capacity(n_lines);
+        for _ in 0..n_lines {
+            lines.push(r.get_str()?.to_string());
+        }
+        let n_spans = r.get_len(1)?;
+        let mut spans = Vec::with_capacity(n_spans);
+        for _ in 0..n_spans {
+            let sig = wire::read_method_sig(r)?;
+            let start_line = r.get_uvarint()? as usize;
+            let end_line = r.get_uvarint()? as usize;
+            if start_line > end_line || end_line > lines.len() {
+                return Err(malformed("method span outside the dump"));
+            }
+            spans.push(MethodSpan {
+                sig,
+                start_line,
+                end_line,
+            });
+        }
+        let n_map = r.get_len(1)?;
+        if n_map != lines.len() {
+            return Err(malformed("line map does not cover every line"));
+        }
+        let mut line_to_span = Vec::with_capacity(n_map);
+        for _ in 0..n_map {
+            let v = r.get_uvarint()?;
+            let slot = if v == 0 {
+                None
+            } else {
+                let idx = v - 1;
+                if idx >= spans.len() as u64 {
+                    return Err(malformed("line map references a missing span"));
+                }
+                Some(idx as usize)
+            };
+            line_to_span.push(slot);
+        }
+        let n_desc = r.get_len(1)?;
+        let mut descriptors = BTreeSet::new();
+        for _ in 0..n_desc {
+            descriptors.insert(r.get_str()?.to_string());
+        }
+        let index = SearchIndex::read_wire(r, lines.len())?;
+        let cell = OnceLock::new();
+        let _ = cell.set(index);
+        Ok(BytecodeText {
+            lines,
+            spans,
+            line_to_span,
+            descriptors,
+            index: cell,
+        })
+    }
+
     /// Restores a dotted banner name printed by dexdump
     /// (`com.a.Outer.1.run:()V`, inner-class `$` flattened to `.`) to the
     /// real method signature, by testing candidate `$` placements against
@@ -321,6 +415,55 @@ mod tests {
         assert_eq!(again.resident_bytes(), estimate);
         let _ = again.search_index();
         assert_eq!(again.resident_bytes(), estimate);
+    }
+
+    #[test]
+    fn wire_round_trip_preserves_queries_and_bytes() {
+        let t = indexed();
+        let _ = t.search_index(); // force the lazy index before encoding
+        let mut w = WireWriter::new();
+        t.write_wire(&mut w);
+        let bytes = w.into_bytes();
+        let back = BytecodeText::read_wire(&mut WireReader::new(&bytes)).unwrap();
+        assert_eq!(back.lines(), t.lines());
+        assert_eq!(back.descriptors(), t.descriptors());
+        assert_eq!(back.spans().len(), t.spans().len());
+        for i in 0..t.lines().len() {
+            assert_eq!(back.method_at_line(i), t.method_at_line(i), "line {i}");
+        }
+        assert_eq!(
+            back.search_index().posting_count(),
+            t.search_index().posting_count()
+        );
+        assert_eq!(
+            back.search_index().token_count(),
+            t.search_index().token_count()
+        );
+        assert_eq!(
+            back.restore_banner("com.a.Outer.1.run:()V"),
+            t.restore_banner("com.a.Outer.1.run:()V")
+        );
+        // Re-encoding the decoded text is byte-identical.
+        let mut w2 = WireWriter::new();
+        back.write_wire(&mut w2);
+        assert_eq!(bytes, w2.into_bytes());
+        // A restored text never re-tokenizes: its resident estimate still
+        // matches a fresh parse (the index is excluded by design).
+        assert_eq!(back.resident_bytes(), t.resident_bytes());
+    }
+
+    #[test]
+    fn wire_truncations_fail_cleanly() {
+        let t = indexed();
+        let mut w = WireWriter::new();
+        t.write_wire(&mut w);
+        let bytes = w.into_bytes();
+        for cut in (0..bytes.len()).step_by(7) {
+            assert!(
+                BytecodeText::read_wire(&mut WireReader::new(&bytes[..cut])).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
     }
 
     #[test]

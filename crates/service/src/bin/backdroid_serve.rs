@@ -39,6 +39,9 @@ Serving:
   --direct             zero-budget store: every request cold-loads (golden mode)
   --workers N          request worker threads; output stays in request order (default 1)
   --intra-threads N    intra-app sink-task scheduler width (default 1)
+  --snapshot-dir DIR   persistent disk tier: cold loads restore from versioned,
+                       checksummed snapshots in DIR; first parses write them.
+                       Responses are byte-identical with or without it.
 
 Trace generation (prints a workload instead of serving):
   --emit-trace R       emit R seeded requests over the benchset and exit
@@ -133,6 +136,7 @@ fn main() {
             intra_threads: parsed_arg::<usize>("--intra-threads", "a positive integer")
                 .unwrap_or(1)
                 .max(1),
+            snapshot_dir: arg_value("--snapshot-dir").map(std::path::PathBuf::from),
             ..ServiceConfig::default()
         },
     );
@@ -163,6 +167,17 @@ fn main() {
         s.peak_resident_bytes,
         s.hit_rate(),
     );
+    if service.store().disk_tier().is_some() {
+        eprintln!(
+            "disk: hits={} misses={} invalidations={} writes={} bytes_written={} write_failures={}",
+            s.disk_hits,
+            s.disk_misses,
+            s.disk_invalidations,
+            s.disk_writes,
+            s.disk_bytes_written,
+            s.disk_write_failures,
+        );
+    }
 }
 
 /// Handles one input line; `None` means nothing to emit (blank line).
@@ -192,6 +207,7 @@ fn handle(service: &Service, line: &str) -> Option<String> {
             Err(e) => proto::render_error(request.id, &e.to_string()),
         },
         RequestOp::Batch { apps } => proto::render_batch(request.id, &service.analyze_batch(&apps)),
+        RequestOp::Stats => proto::render_stats(request.id, &service.stats()),
     })
 }
 

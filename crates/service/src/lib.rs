@@ -50,4 +50,4 @@ pub mod service;
 pub mod store;
 
 pub use service::{AppAnalysis, Service, ServiceConfig, ServiceError, ServiceStats, SinkClass};
-pub use store::{AppStore, Fetch, StoreStats};
+pub use store::{AppStore, DiskTier, Fetch, StoreStats};

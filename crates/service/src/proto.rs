@@ -353,6 +353,11 @@ pub enum RequestOp {
         /// App ids, analyzed in order.
         apps: Vec<String>,
     },
+    /// Service + store counter snapshot (tier hit rates, disk bytes).
+    /// Operator-facing: counters depend on scheduling and on which tier
+    /// served each request, so traces meant for byte-identical replay
+    /// diffs must not include this op.
+    Stats,
 }
 
 /// An app id may arrive as a JSON string or a small integer.
@@ -412,6 +417,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 .collect::<Result<Vec<_>, _>>()?;
             RequestOp::Batch { apps }
         }
+        "stats" => RequestOp::Stats,
         other => return Err(format!("unknown op {other:?}")),
     };
     Ok(Request { id, op })
@@ -518,6 +524,45 @@ pub fn render_batch(id: u64, items: &[Result<AppAnalysis, ServiceError>]) -> Str
 /// Renders an error response.
 pub fn render_error(id: u64, message: &str) -> String {
     format!("{{\"id\":{id},{}}}", str_field("error", message))
+}
+
+/// Renders a stats response: the service's request counters plus the
+/// store's per-tier counters (memory hits, disk hits/misses/
+/// invalidations, bytes written). Operator-facing, not replay-stable.
+pub fn render_stats(id: u64, stats: &crate::service::ServiceStats) -> String {
+    let s = &stats.store;
+    format!(
+        "{{\"id\":{id},{},\"requests\":{},\"analyze\":{},\"query\":{},\"batch\":{},\
+         \"errors\":{},\"peak_in_flight\":{},\"store\":{{\"hits\":{},\"misses\":{},\
+         \"coalesced\":{},\"loads\":{},\"load_failures\":{},\"evictions\":{},\
+         \"bytes_evicted\":{},\"disk_hits\":{},\"disk_misses\":{},\
+         \"disk_invalidations\":{},\"disk_writes\":{},\"disk_bytes_written\":{},\
+         \"disk_write_failures\":{},\"resident_bytes\":{},\"resident_apps\":{},\
+         \"peak_resident_bytes\":{}}}}}",
+        str_field("op", "stats"),
+        stats.requests,
+        stats.analyze_requests,
+        stats.query_requests,
+        stats.batch_requests,
+        stats.errors,
+        stats.peak_in_flight,
+        s.hits,
+        s.misses,
+        s.coalesced,
+        s.loads,
+        s.load_failures,
+        s.evictions,
+        s.bytes_evicted,
+        s.disk_hits,
+        s.disk_misses,
+        s.disk_invalidations,
+        s.disk_writes,
+        s.disk_bytes_written,
+        s.disk_write_failures,
+        s.resident_bytes,
+        s.resident_apps,
+        s.peak_resident_bytes,
+    )
 }
 
 #[cfg(test)]
@@ -650,6 +695,27 @@ mod tests {
                 apps: vec!["1".into(), "0".into(), "3".into()]
             }
         );
+    }
+
+    #[test]
+    fn stats_op_parses_and_renders_valid_json() {
+        let r = parse_request("{\"id\":9,\"op\":\"stats\"}").unwrap();
+        assert_eq!(r.op, RequestOp::Stats);
+        let line = render_stats(9, &crate::service::ServiceStats::default());
+        let v = parse_json(&line).unwrap();
+        assert_eq!(v.get("id").and_then(Json::as_u64), Some(9));
+        assert_eq!(v.get("op").and_then(Json::as_str), Some("stats"));
+        let store = v.get("store").expect("store object");
+        for key in [
+            "hits",
+            "disk_hits",
+            "disk_misses",
+            "disk_invalidations",
+            "disk_bytes_written",
+            "resident_bytes",
+        ] {
+            assert!(store.get(key).and_then(Json::as_u64).is_some(), "{key}");
+        }
     }
 
     #[test]

@@ -53,7 +53,7 @@ impl SinkClass {
 }
 
 /// Service configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServiceConfig {
     /// Byte budget for the resident app store (`0` caches nothing — the
     /// direct-analysis golden mode).
@@ -66,6 +66,11 @@ pub struct ServiceConfig {
     /// Fan-out width for one batched multi-app request. Results are
     /// reassembled in request order, so any width is deterministic.
     pub batch_threads: usize,
+    /// Optional snapshot directory enabling the store's disk tier:
+    /// cold loads restore from versioned, checksummed snapshots and
+    /// first parses persist them (see [`crate::store::DiskTier`]).
+    /// Responses are byte-identical with or without it.
+    pub snapshot_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -75,6 +80,7 @@ impl Default for ServiceConfig {
             backend: BackendChoice::default(),
             intra_threads: 1,
             batch_threads: 4,
+            snapshot_dir: None,
         }
     }
 }
@@ -181,8 +187,16 @@ impl Service {
         cfg: ServiceConfig,
         loader: impl Fn(&str) -> Result<AppArtifacts, String> + Send + Sync + 'static,
     ) -> Self {
+        let store = match &cfg.snapshot_dir {
+            Some(dir) => AppStore::with_disk_tier(
+                cfg.budget_bytes,
+                crate::store::DiskTier::new(dir, cfg.backend),
+                loader,
+            ),
+            None => AppStore::new(cfg.budget_bytes, loader),
+        };
         Service {
-            store: AppStore::new(cfg.budget_bytes, loader),
+            store,
             base: BackdroidOptions {
                 backend: cfg.backend,
                 intra_threads: cfg.intra_threads.max(1),

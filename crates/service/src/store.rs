@@ -20,10 +20,27 @@
 //!   loader executions and `coalesced` the requests that waited on one.
 //! * **Determinism**: sizes come from
 //!   [`AppArtifacts::estimated_bytes`], a pure function of the app, so
-//!   a given request order always produces the same eviction sequence.
+//!   a given request order always produces the same eviction sequence —
+//!   and a snapshot-restored image has the same estimate as a freshly
+//!   parsed one, so the disk tier never changes eviction decisions.
+//!
+//! ## The disk tier
+//!
+//! With [`AppStore::with_disk_tier`] the store becomes two-tier: cold
+//! requests first try to deserialize a versioned, checksummed
+//! [`AppArtifacts`] snapshot from disk ([`Fetch::Disk`]); only absent or
+//! invalid snapshots fall through to the loader, whose result is
+//! published to the memory tier and then written back. The load slot
+//! makes that write effectively single-flight on the load path;
+//! eviction spilling can race it, which stays safe because every write
+//! goes through a writer-unique temp file and an atomic rename of
+//! identical content. Responses are identical across all three tiers —
+//! the snapshot format round-trips byte-identically — so replays can be
+//! diffed across cold-parse, disk-warm, and memory-warm runs.
 
-use backdroid_core::AppArtifacts;
+use backdroid_core::{AppArtifacts, BackendChoice, SnapshotError};
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -32,11 +49,104 @@ use std::sync::{Arc, Condvar, Mutex};
 pub enum Fetch {
     /// The app image was resident — a warm hit.
     Hit,
-    /// The image was cold; this request ran the loader.
+    /// The image was cold; this request ran the loader (full parse).
     Miss,
+    /// The image was cold in memory but restored from an on-disk
+    /// snapshot — no parse, just a deserialize.
+    Disk,
     /// The image was cold but another request was already loading it;
     /// this request waited and shares that load's result.
     Coalesced,
+}
+
+/// The optional disk tier of the store: a directory of versioned,
+/// checksummed [`AppArtifacts`] snapshots (see `backdroid_core::snapshot`
+/// for the format), plus the backend restored images run their searches
+/// on (runtime configuration, deliberately not part of the format).
+#[derive(Clone, Debug)]
+pub struct DiskTier {
+    dir: PathBuf,
+    backend: BackendChoice,
+}
+
+impl DiskTier {
+    /// A disk tier rooted at `dir` (created on first write if missing).
+    pub fn new(dir: impl Into<PathBuf>, backend: BackendChoice) -> Self {
+        DiskTier {
+            dir: dir.into(),
+            backend,
+        }
+    }
+
+    /// The snapshot directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The snapshot file backing `app_id`. Ids are escaped into a safe
+    /// filename alphabet (`[A-Za-z0-9_-]`, everything else `%XX`), so
+    /// arbitrary loader ids can never traverse out of the directory.
+    pub fn path_for(&self, app_id: &str) -> PathBuf {
+        let mut name = String::with_capacity(app_id.len() + 5);
+        for b in app_id.bytes() {
+            match b {
+                b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_' | b'-' => name.push(b as char),
+                _ => {
+                    name.push('%');
+                    name.push_str(&format!("{b:02X}"));
+                }
+            }
+        }
+        name.push_str(".snap");
+        self.dir.join(name)
+    }
+
+    /// Attempts to restore `app_id` from disk. `Ok(None)` means no
+    /// snapshot exists (a disk miss); `Err` means a snapshot exists but
+    /// is unusable — truncated, corrupt, or a different format version —
+    /// and the caller should invalidate it and re-parse.
+    fn load(&self, app_id: &str) -> Result<Option<AppArtifacts>, SnapshotError> {
+        let bytes = match std::fs::read(self.path_for(app_id)) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            // Unreadable (permissions, transient I/O): treat as absent
+            // rather than repeatedly invalidating a file we cannot see.
+            Err(_) => return Ok(None),
+        };
+        AppArtifacts::from_snapshot(&bytes, self.backend).map(Some)
+    }
+
+    /// Writes `artifacts` as the snapshot for `app_id`, atomically
+    /// (writer-unique temp file + rename) so a crashed writer can never
+    /// leave a half-snapshot that later loads as truncated-but-present,
+    /// and concurrent writers (an eviction spill racing a first load in
+    /// this or another process) cannot clobber each other's temp bytes —
+    /// both write the same content, and the last rename wins whole.
+    /// Returns the snapshot size on success; failures are reported,
+    /// counted by the store, and otherwise non-fatal — the disk tier is
+    /// a cache.
+    fn store(&self, app_id: &str, artifacts: &AppArtifacts) -> std::io::Result<u64> {
+        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+        std::fs::create_dir_all(&self.dir)?;
+        let bytes = artifacts.to_snapshot();
+        let path = self.path_for(app_id);
+        let tmp = path.with_extension(format!(
+            "snap.tmp-{}-{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&tmp, &bytes)?;
+        if let Err(e) = std::fs::rename(&tmp, &path) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e);
+        }
+        Ok(bytes.len() as u64)
+    }
+
+    /// Best-effort removal of an invalid snapshot.
+    fn invalidate(&self, app_id: &str) {
+        let _ = std::fs::remove_file(self.path_for(app_id));
+    }
 }
 
 /// Snapshot of the store's monotonic counters plus its current residency.
@@ -48,7 +158,8 @@ pub struct StoreStats {
     pub misses: u64,
     /// Requests that piggybacked on another request's in-flight load.
     pub coalesced: u64,
-    /// Loader executions that produced an image.
+    /// Images produced and inserted: loader executions plus snapshot
+    /// restores ([`StoreStats::disk_hits`] counts the restores alone).
     pub loads: u64,
     /// Loader executions that failed.
     pub load_failures: u64,
@@ -56,6 +167,22 @@ pub struct StoreStats {
     pub evictions: u64,
     /// Total estimated bytes of evicted images.
     pub bytes_evicted: u64,
+    /// Cold requests served by deserializing an on-disk snapshot
+    /// instead of re-parsing (zero when no disk tier is configured).
+    pub disk_hits: u64,
+    /// Cold requests that found no snapshot on disk and ran the loader.
+    pub disk_misses: u64,
+    /// Snapshots found unusable — truncated, checksum mismatch, or a
+    /// different format version — deleted, and re-parsed from source.
+    pub disk_invalidations: u64,
+    /// Snapshots written (on first load, and by eviction spilling when
+    /// a victim's snapshot went missing).
+    pub disk_writes: u64,
+    /// Total snapshot bytes written to the disk tier.
+    pub disk_bytes_written: u64,
+    /// Snapshot writes that failed (full disk, permissions). Non-fatal:
+    /// the image is still served from memory.
+    pub disk_write_failures: u64,
     /// Largest resident total ever observed after an insertion settled
     /// (never exceeds the budget — the store evicts before it reports).
     pub peak_resident_bytes: u64,
@@ -67,8 +194,9 @@ pub struct StoreStats {
 
 impl StoreStats {
     /// Warm-hit fraction over all completed requests, in `[0, 1]`.
+    /// Disk hits count as requests but not as (memory-)warm hits.
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses + self.coalesced;
+        let total = self.hits + self.misses + self.disk_hits + self.coalesced;
         if total == 0 {
             0.0
         } else {
@@ -82,9 +210,11 @@ impl StoreStats {
 pub type Loader = dyn Fn(&str) -> Result<AppArtifacts, String> + Send + Sync;
 
 /// One in-flight load: requesters park on the condvar until the loading
-/// request publishes the shared result.
+/// request publishes the shared result (the image plus how the loading
+/// request produced it — waiters report [`Fetch::Coalesced`] regardless).
 struct LoadSlot {
-    result: Mutex<Option<Result<Arc<AppArtifacts>, String>>>,
+    #[allow(clippy::type_complexity)]
+    result: Mutex<Option<Result<(Arc<AppArtifacts>, Fetch), String>>>,
     ready: Condvar,
 }
 
@@ -114,14 +244,29 @@ struct Counters {
     evictions: AtomicU64,
     bytes_evicted: AtomicU64,
     peak_resident_bytes: AtomicU64,
+    disk_hits: AtomicU64,
+    disk_misses: AtomicU64,
+    disk_invalidations: AtomicU64,
+    disk_writes: AtomicU64,
+    disk_bytes_written: AtomicU64,
+    disk_write_failures: AtomicU64,
 }
 
-/// The byte-budgeted, single-flight LRU store of resident app images.
-/// All methods take `&self`; the store is `Send + Sync` and meant to be
+/// The byte-budgeted, single-flight LRU store of resident app images,
+/// optionally backed by an on-disk snapshot tier ([`DiskTier`]). All
+/// methods take `&self`; the store is `Send + Sync` and meant to be
 /// shared across every request-handling thread of a service.
+///
+/// With a disk tier, a cold `get` first tries to deserialize the app's
+/// snapshot ([`Fetch::Disk`]); only if the snapshot is absent or invalid
+/// does the loader re-parse, after which the fresh image's snapshot is
+/// written **single-flight** (the in-flight load slot already guarantees
+/// one writer per app). Eviction *spills*: a victim whose snapshot went
+/// missing is re-written on its way out, so evicted apps stay disk-warm.
 pub struct AppStore {
     budget_bytes: u64,
     loader: Box<Loader>,
+    disk: Option<DiskTier>,
     inner: Mutex<StoreInner>,
     counters: Counters,
 }
@@ -155,6 +300,25 @@ impl AppStore {
         AppStore {
             budget_bytes,
             loader: Box::new(loader),
+            disk: None,
+            inner: Mutex::default(),
+            counters: Counters::default(),
+        }
+    }
+
+    /// Creates a two-tier store: the in-memory LRU backed by an on-disk
+    /// snapshot directory. A zero byte budget combined with a disk tier
+    /// keeps nothing in memory but still serves every repeat request
+    /// from its snapshot — the pure "disk-warm" configuration.
+    pub fn with_disk_tier(
+        budget_bytes: u64,
+        disk: DiskTier,
+        loader: impl Fn(&str) -> Result<AppArtifacts, String> + Send + Sync + 'static,
+    ) -> Self {
+        AppStore {
+            budget_bytes,
+            loader: Box::new(loader),
+            disk: Some(disk),
             inner: Mutex::default(),
             counters: Counters::default(),
         }
@@ -163,6 +327,11 @@ impl AppStore {
     /// The configured byte budget.
     pub fn budget_bytes(&self) -> u64 {
         self.budget_bytes
+    }
+
+    /// The disk tier, if one is configured.
+    pub fn disk_tier(&self) -> Option<&DiskTier> {
+        self.disk.as_ref()
     }
 
     /// Estimated bytes currently resident (always `<= budget_bytes`).
@@ -210,6 +379,12 @@ impl AppStore {
             evictions: c.evictions.load(Ordering::Relaxed),
             bytes_evicted: c.bytes_evicted.load(Ordering::Relaxed),
             peak_resident_bytes: c.peak_resident_bytes.load(Ordering::Relaxed),
+            disk_hits: c.disk_hits.load(Ordering::Relaxed),
+            disk_misses: c.disk_misses.load(Ordering::Relaxed),
+            disk_invalidations: c.disk_invalidations.load(Ordering::Relaxed),
+            disk_writes: c.disk_writes.load(Ordering::Relaxed),
+            disk_bytes_written: c.disk_bytes_written.load(Ordering::Relaxed),
+            disk_write_failures: c.disk_write_failures.load(Ordering::Relaxed),
             resident_bytes,
             resident_apps,
         }
@@ -251,10 +426,9 @@ impl AppStore {
                 }
                 done.clone()
                     .expect("checked above")
-                    .map(|a| (a, Fetch::Coalesced))
+                    .map(|(a, _)| (a, Fetch::Coalesced))
             }
             Step::Load(slot) => {
-                self.counters.misses.fetch_add(1, Ordering::Relaxed);
                 let outcome = self.load_and_insert(app_id);
                 // Publish after the store settled: a racing request either
                 // still holds this slot (and wakes with the shared result)
@@ -262,52 +436,129 @@ impl AppStore {
                 // resident image — never a stale slot.
                 *slot.result.lock().expect("load slot poisoned") = Some(outcome.clone());
                 slot.ready.notify_all();
-                outcome.map(|a| (a, Fetch::Miss))
+                outcome
             }
         }
     }
 
-    /// Runs the loader for one cold app, inserts the image, and evicts
-    /// down to the budget. Returns the image (which the caller holds by
-    /// `Arc` even if the store immediately evicted it).
-    fn load_and_insert(&self, app_id: &str) -> Result<Arc<AppArtifacts>, String> {
+    /// Serves one cold app: snapshot restore if the disk tier has a
+    /// valid one, else the loader; inserts the image (publishing it to
+    /// racing requests), evicts down to the budget, then writes the
+    /// snapshot. Returns the image (which the caller holds by `Arc`
+    /// even if the store immediately evicted it) and how it was
+    /// produced.
+    fn load_and_insert(&self, app_id: &str) -> Result<(Arc<AppArtifacts>, Fetch), String> {
+        let c = &self.counters;
+        // Disk tier first: a valid snapshot skips the parse entirely.
+        if let Some(disk) = &self.disk {
+            match disk.load(app_id) {
+                Ok(Some(artifacts)) => {
+                    c.disk_hits.fetch_add(1, Ordering::Relaxed);
+                    let artifacts = self.insert(app_id, artifacts);
+                    return Ok((artifacts, Fetch::Disk));
+                }
+                Ok(None) => {
+                    c.disk_misses.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    // Truncated / corrupt / version-bumped snapshot:
+                    // invalidate it and fall back to a fresh parse.
+                    c.disk_invalidations.fetch_add(1, Ordering::Relaxed);
+                    disk.invalidate(app_id);
+                }
+            }
+        }
+        c.misses.fetch_add(1, Ordering::Relaxed);
         match (self.loader)(app_id) {
             Ok(artifacts) => {
-                let bytes = artifacts.estimated_bytes();
-                let artifacts = Arc::new(artifacts);
-                let mut inner = self.lock_inner();
-                inner.loading.remove(app_id);
-                inner.tick += 1;
-                let tick = inner.tick;
-                inner.total_bytes += bytes;
-                inner.resident.insert(
-                    app_id.to_string(),
-                    Resident {
-                        artifacts: Arc::clone(&artifacts),
-                        bytes,
-                        last_used: tick,
-                    },
-                );
-                self.counters.loads.fetch_add(1, Ordering::Relaxed);
-                self.evict_to_budget(&mut inner);
-                self.counters
-                    .peak_resident_bytes
-                    .fetch_max(inner.total_bytes, Ordering::Relaxed);
-                Ok(artifacts)
+                // Publish before persisting: once `insert` returns, the
+                // image is resident and racing requests take warm hits
+                // instead of parking on the load slot for the duration
+                // of the snapshot write. The insert's eviction pass may
+                // already have spilled this id (zero-budget stores evict
+                // immediately), hence the existence check.
+                let artifacts = self.insert(app_id, artifacts);
+                if self
+                    .disk
+                    .as_ref()
+                    .is_some_and(|d| !d.path_for(app_id).exists())
+                {
+                    self.spill(app_id, &artifacts);
+                }
+                Ok((artifacts, Fetch::Miss))
             }
             Err(e) => {
-                self.counters.load_failures.fetch_add(1, Ordering::Relaxed);
+                c.load_failures.fetch_add(1, Ordering::Relaxed);
                 self.lock_inner().loading.remove(app_id);
                 Err(e)
             }
         }
     }
 
+    /// Inserts a freshly produced image, evicts down to the budget, and
+    /// spills any victim whose snapshot went missing — all snapshot I/O
+    /// happens outside the store lock.
+    fn insert(&self, app_id: &str, artifacts: AppArtifacts) -> Arc<AppArtifacts> {
+        let bytes = artifacts.estimated_bytes();
+        let artifacts = Arc::new(artifacts);
+        let victims = {
+            let mut inner = self.lock_inner();
+            inner.loading.remove(app_id);
+            inner.tick += 1;
+            let tick = inner.tick;
+            inner.total_bytes += bytes;
+            inner.resident.insert(
+                app_id.to_string(),
+                Resident {
+                    artifacts: Arc::clone(&artifacts),
+                    bytes,
+                    last_used: tick,
+                },
+            );
+            self.counters.loads.fetch_add(1, Ordering::Relaxed);
+            let victims = self.evict_to_budget(&mut inner);
+            self.counters
+                .peak_resident_bytes
+                .fetch_max(inner.total_bytes, Ordering::Relaxed);
+            victims
+        };
+        if let Some(disk) = &self.disk {
+            for (id, gone) in &victims {
+                if !disk.path_for(id).exists() {
+                    self.spill(id, gone);
+                }
+            }
+        }
+        artifacts
+    }
+
+    /// Writes `artifacts` to the disk tier (if configured), counting
+    /// bytes written; failures are counted and otherwise ignored — the
+    /// snapshot tier is a cache, never a correctness dependency.
+    fn spill(&self, app_id: &str, artifacts: &AppArtifacts) {
+        let Some(disk) = &self.disk else { return };
+        match disk.store(app_id, artifacts) {
+            Ok(written) => {
+                self.counters.disk_writes.fetch_add(1, Ordering::Relaxed);
+                self.counters
+                    .disk_bytes_written
+                    .fetch_add(written, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.counters
+                    .disk_write_failures
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
     /// Evicts least-recently-used images until the resident total fits
-    /// the budget. The entry just inserted carries the newest recency
-    /// stamp, so it goes last — and does go, if it alone overflows the
-    /// budget.
-    fn evict_to_budget(&self, inner: &mut StoreInner) {
+    /// the budget, returning the victims so the caller can spill them to
+    /// the disk tier outside the lock. The entry just inserted carries
+    /// the newest recency stamp, so it goes last — and does go, if it
+    /// alone overflows the budget.
+    fn evict_to_budget(&self, inner: &mut StoreInner) -> Vec<(String, Arc<AppArtifacts>)> {
+        let mut victims = Vec::new();
         while inner.total_bytes > self.budget_bytes {
             let victim = inner
                 .resident
@@ -321,7 +572,9 @@ impl AppStore {
             self.counters
                 .bytes_evicted
                 .fetch_add(gone.bytes, Ordering::Relaxed);
+            victims.push((key, gone.artifacts));
         }
+        victims
     }
 
     fn lock_inner(&self) -> std::sync::MutexGuard<'_, StoreInner> {
@@ -406,6 +659,123 @@ mod tests {
         assert_eq!(stats.load_failures, 2);
         assert_eq!(stats.loads, 0);
         assert_eq!(stats.resident_apps, 0);
+    }
+
+    /// A scratch directory under the target-adjacent temp root, removed
+    /// on drop (no tempfile crate in the vendored stack).
+    struct ScratchDir(std::path::PathBuf);
+
+    impl ScratchDir {
+        fn new(tag: &str) -> Self {
+            let dir = std::env::temp_dir()
+                .join(format!("backdroid-store-test-{tag}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            ScratchDir(dir)
+        }
+    }
+
+    impl Drop for ScratchDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn disk_tier_serves_repeat_cold_loads_from_snapshots() {
+        let scratch = ScratchDir::new("serve");
+        let tier = DiskTier::new(&scratch.0, backdroid_core::BackendChoice::default());
+        // Zero budget: nothing stays in memory, so every repeat request
+        // must come back from disk.
+        let store = AppStore::with_disk_tier(0, tier, tiny_loader(3));
+        let (first, fetch) = store.get("a").unwrap();
+        assert_eq!(fetch, Fetch::Miss, "no snapshot yet: full parse");
+        let (second, fetch) = store.get("a").unwrap();
+        assert_eq!(fetch, Fetch::Disk, "restored from the snapshot");
+        assert_eq!(
+            first.to_snapshot(),
+            second.to_snapshot(),
+            "parsed and restored images snapshot identically"
+        );
+        let stats = store.stats();
+        assert_eq!(
+            (stats.misses, stats.disk_hits, stats.disk_misses),
+            (1, 1, 1)
+        );
+        assert_eq!(stats.disk_writes, 1, "single-flight write on first load");
+        assert!(stats.disk_bytes_written > 0);
+        assert_eq!(stats.loads, 2, "both requests produced an image");
+    }
+
+    #[test]
+    fn corrupt_and_version_bumped_snapshots_fall_back_to_reparse() {
+        let scratch = ScratchDir::new("corrupt");
+        let tier = DiskTier::new(&scratch.0, backdroid_core::BackendChoice::default());
+        let path = tier.path_for("a");
+        let store = AppStore::with_disk_tier(0, tier, tiny_loader(3));
+        store.get("a").unwrap();
+
+        // Flip one payload byte: checksum mismatch → invalidate → reparse.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let (_, fetch) = store.get("a").unwrap();
+        assert_eq!(fetch, Fetch::Miss, "corrupt snapshot must not serve");
+        let stats = store.stats();
+        assert_eq!(stats.disk_invalidations, 1);
+        assert_eq!(stats.disk_writes, 2, "reparse re-wrote the snapshot");
+
+        // Bump the version field: same invalidation path.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[8] = bytes[8].wrapping_add(1);
+        std::fs::write(&path, &bytes).unwrap();
+        let (_, fetch) = store.get("a").unwrap();
+        assert_eq!(fetch, Fetch::Miss);
+        assert_eq!(store.stats().disk_invalidations, 2);
+
+        // Truncate: same again.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 3]).unwrap();
+        let (_, fetch) = store.get("a").unwrap();
+        assert_eq!(fetch, Fetch::Miss);
+        assert_eq!(store.stats().disk_invalidations, 3);
+
+        // The re-written snapshot serves again.
+        assert_eq!(store.get("a").unwrap().1, Fetch::Disk);
+    }
+
+    #[test]
+    fn eviction_spills_missing_snapshots_to_disk() {
+        let scratch = ScratchDir::new("spill");
+        let bytes = one_image_bytes(4);
+        let tier = DiskTier::new(&scratch.0, backdroid_core::BackendChoice::default());
+        let path_a = tier.path_for("a");
+        let store = AppStore::with_disk_tier(bytes * 2 + bytes / 2, tier, tiny_loader(4));
+        store.get("a").unwrap();
+        store.get("b").unwrap();
+        // Delete a's snapshot behind the store's back, then force its
+        // eviction: the spill must restore the file.
+        std::fs::remove_file(&path_a).unwrap();
+        store.get("c").unwrap(); // evicts a (LRU)
+        assert!(!store.contains("a"));
+        assert!(path_a.exists(), "eviction spilled the missing snapshot");
+        // And the spilled snapshot is served on the next request for a.
+        assert_eq!(store.get("a").unwrap().1, Fetch::Disk);
+    }
+
+    #[test]
+    fn app_ids_escape_into_safe_filenames() {
+        let tier = DiskTier::new("/tmp/x", backdroid_core::BackendChoice::default());
+        let p = tier.path_for("../../etc/passwd");
+        let name = p.file_name().unwrap().to_string_lossy().into_owned();
+        assert_eq!(name, "%2E%2E%2F%2E%2E%2Fetc%2Fpasswd.snap");
+        assert_eq!(p.parent().unwrap(), std::path::Path::new("/tmp/x"));
+        // Distinct ids never collide.
+        assert_ne!(tier.path_for("a.b"), tier.path_for("a%2Eb"));
+        assert_eq!(
+            tier.path_for("7").file_name().unwrap().to_string_lossy(),
+            "7.snap"
+        );
     }
 
     #[test]

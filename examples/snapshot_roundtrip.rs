@@ -1,0 +1,66 @@
+//! Persistence walkthrough: snapshot an analyzed app image to bytes,
+//! restore it, and show the restored image answers identically — the
+//! invariant the serving layer's `--snapshot-dir` disk tier depends on.
+//!
+//! Run with `cargo run --example snapshot_roundtrip`.
+
+use backdroid_appgen::fixtures::{fixture_count, snapshot_fixture};
+use backdroid_core::{AppArtifacts, Backdroid, BackendChoice};
+
+fn main() {
+    let tool = Backdroid::new();
+    println!("snapshot round-trip over {} fixtures", fixture_count());
+
+    let mut total_snapshot = 0u64;
+    let mut total_resident = 0u64;
+    for i in 0..fixture_count() {
+        // Cold path: generate → encode → disassemble → index.
+        let app = snapshot_fixture(i);
+        let fresh = AppArtifacts::new(app.program, app.manifest);
+        let fresh_report = tool.analyze_artifacts(&fresh);
+
+        // Persist: one self-contained, versioned, checksummed buffer.
+        let bytes = fresh.to_snapshot();
+
+        // Restore: no re-parse, no re-tokenization — and the backend is
+        // chosen at restore time, because one snapshot serves both.
+        let restored = AppArtifacts::from_snapshot(&bytes, BackendChoice::default())
+            .expect("a just-written snapshot always restores");
+        let restored_report = tool.analyze_artifacts(&restored);
+
+        assert_eq!(
+            fresh_report.sink_reports, restored_report.sink_reports,
+            "fixture {i}: a restored image must answer identically"
+        );
+        assert_eq!(
+            restored.to_snapshot(),
+            bytes,
+            "fixture {i}: re-snapshotting is byte-identical"
+        );
+        total_snapshot += bytes.len() as u64;
+        total_resident += fresh.estimated_bytes();
+        println!(
+            "  fixture {i:2}: {:6} B snapshot, {:2} sinks analyzed, {} vulnerable — identical after restore",
+            bytes.len(),
+            fresh_report.sinks_analyzed(),
+            fresh_report.vulnerable_sinks().len(),
+        );
+    }
+    println!(
+        "all fixtures round-tripped: {:.0} KiB on disk for {:.0} KiB resident ({}% of resident size)",
+        total_snapshot as f64 / 1024.0,
+        total_resident as f64 / 1024.0,
+        total_snapshot * 100 / total_resident.max(1),
+    );
+
+    // Corruption is a cache miss, not a crash: flip one payload byte.
+    let app = snapshot_fixture(0);
+    let artifacts = AppArtifacts::new(app.program, app.manifest);
+    let mut bytes = artifacts.to_snapshot();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    match AppArtifacts::from_snapshot(&bytes, BackendChoice::default()) {
+        Err(e) => println!("corrupted snapshot correctly rejected: {e}"),
+        Ok(_) => unreachable!("checksum must catch a payload bit flip"),
+    }
+}

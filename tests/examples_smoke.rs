@@ -33,12 +33,16 @@ fn all_examples_compile_and_run() {
         "examples/ contains no .rs files — the quickstart is gone"
     );
     assert!(
-        names.len() >= 6,
-        "expected the six shipped walkthroughs, found only {names:?}"
+        names.len() >= 8,
+        "expected the eight shipped walkthroughs, found only {names:?}"
     );
     assert!(
         names.iter().any(|n| n == "parallel_session"),
         "the shared-session walkthrough must stay shipped: {names:?}"
+    );
+    assert!(
+        names.iter().any(|n| n == "snapshot_roundtrip"),
+        "the persistence walkthrough must stay shipped: {names:?}"
     );
 
     let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
