@@ -29,6 +29,17 @@ pub struct WorkloadConfig {
     pub query_permille: u32,
     /// Share of requests (in thousandths) that are multi-app batches.
     pub batch_permille: u32,
+    /// Share of analyze requests (in thousandths) that open a **burst**:
+    /// 2–5 immediate repeats of the same hot app, the arrival pattern a
+    /// trending upload produces. `0` (the default) draws nothing extra
+    /// from the RNG, so existing traces are unchanged byte-for-byte.
+    pub burst_permille: u32,
+    /// Share of requests (in thousandths) that carry a `deadline_ms`
+    /// field. `0` (the default) draws nothing extra from the RNG.
+    pub deadline_permille: u32,
+    /// The deadline attached to deadline-carrying requests, in
+    /// milliseconds from submission.
+    pub deadline_ms: u64,
 }
 
 impl Default for WorkloadConfig {
@@ -40,6 +51,9 @@ impl Default for WorkloadConfig {
             zipf_permille: 1100,
             query_permille: 300,
             batch_permille: 100,
+            burst_permille: 0,
+            deadline_permille: 0,
+            deadline_ms: 50,
         }
     }
 }
@@ -64,6 +78,9 @@ pub struct WorkloadRequest {
     pub app: usize,
     /// The operation.
     pub op: WorkloadOp,
+    /// Optional per-request deadline (milliseconds from submission),
+    /// drawn per [`WorkloadConfig::deadline_permille`].
+    pub deadline_ms: Option<u64>,
 }
 
 /// The operation mix a trace exercises.
@@ -120,8 +137,11 @@ pub fn generate(cfg: WorkloadConfig) -> Vec<WorkloadRequest> {
         rank_to_app[rank]
     };
 
+    // The burst/deadline knobs draw from the RNG **only when enabled**,
+    // so a config with both at 0 reproduces the exact pre-knob stream —
+    // committed traces and seeded goldens stay byte-identical.
     let mut out = Vec::with_capacity(cfg.requests);
-    for _ in 0..cfg.requests {
+    while out.len() < cfg.requests {
         let app = sample_app(&mut rng);
         let roll = rng.gen_range(0..1000u32);
         let op = if roll < cfg.batch_permille && apps > 1 {
@@ -137,7 +157,33 @@ pub fn generate(cfg: WorkloadConfig) -> Vec<WorkloadRequest> {
         } else {
             WorkloadOp::Analyze
         };
-        out.push(WorkloadRequest { app, op });
+        let deadline = |rng: &mut StdRng| {
+            (cfg.deadline_permille > 0 && rng.gen_range(0..1000u32) < cfg.deadline_permille)
+                .then_some(cfg.deadline_ms)
+        };
+        let is_analyze = matches!(op, WorkloadOp::Analyze);
+        let deadline_ms = deadline(&mut rng);
+        out.push(WorkloadRequest {
+            app,
+            op,
+            deadline_ms,
+        });
+        // A burst re-hits the same app immediately: the hot-upload
+        // arrival pattern that exercises shard-local warmth.
+        if is_analyze && cfg.burst_permille > 0 && rng.gen_range(0..1000u32) < cfg.burst_permille {
+            let repeats = rng.gen_range(2..6usize);
+            for _ in 0..repeats {
+                if out.len() >= cfg.requests {
+                    break;
+                }
+                let deadline_ms = deadline(&mut rng);
+                out.push(WorkloadRequest {
+                    app,
+                    op: WorkloadOp::Analyze,
+                    deadline_ms,
+                });
+            }
+        }
     }
     out
 }
@@ -210,6 +256,45 @@ mod tests {
             trace.len()
         );
         assert!(sorted[0] > 4 * sorted[sorted.len() - 1].max(1));
+    }
+
+    #[test]
+    fn disabled_knobs_draw_nothing_and_attach_nothing() {
+        let trace = generate(WorkloadConfig::default());
+        assert!(
+            trace.iter().all(|r| r.deadline_ms.is_none()),
+            "deadline_permille 0 must never attach deadlines"
+        );
+    }
+
+    #[test]
+    fn bursts_repeat_hot_apps_and_deadlines_are_attached() {
+        let cfg = WorkloadConfig {
+            apps: 8,
+            requests: 400,
+            burst_permille: 300,
+            deadline_permille: 250,
+            ..WorkloadConfig::default()
+        };
+        let trace = generate(cfg);
+        assert_eq!(trace.len(), 400, "bursts must respect the request count");
+        let with_deadline = trace.iter().filter(|r| r.deadline_ms.is_some()).count();
+        assert!(
+            (40..=200).contains(&with_deadline),
+            "~25% of 400 requests should carry deadlines, got {with_deadline}"
+        );
+        assert!(trace
+            .iter()
+            .all(|r| r.deadline_ms.is_none_or(|d| d == cfg.deadline_ms)));
+        let bursts = trace
+            .windows(3)
+            .filter(|w| {
+                w.iter()
+                    .all(|r| r.op == WorkloadOp::Analyze && r.app == w[0].app)
+            })
+            .count();
+        assert!(bursts > 0, "burst_permille 300 must produce repeat runs");
+        assert_eq!(generate(cfg), generate(cfg), "knobs stay deterministic");
     }
 
     #[test]

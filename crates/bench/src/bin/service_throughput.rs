@@ -1,8 +1,9 @@
 //! Throughput benchmark for the serving layer: drives a seeded
 //! Zipf-skewed workload (see `backdroid_appgen::workload`) through a
-//! [`Service`] on a worker pool and reports requests/sec, cold-load vs
-//! warm-hit latency, and store behaviour (loads, coalesced waits,
-//! evictions, peak residency) under a configurable byte budget.
+//! [`Service`] on a worker pool — or, with `--shards N`, through a
+//! [`ShardPool`] router — and reports requests/sec, p50/p99 latency,
+//! cold-load vs warm-hit latency, and store behaviour (loads, coalesced
+//! waits, evictions, peak residency) under a configurable byte budget.
 //!
 //! Unlike the paper-figure bins, this one's stdout **is** about
 //! wall-clock — it measures a live serving system, and with
@@ -12,32 +13,48 @@
 //! non-zero if either fails:
 //!
 //! * the resident store never exceeds its byte budget
-//!   (`peak_resident_bytes <= budget`);
+//!   (`peak_resident_bytes <= budget`; summed across shards when
+//!   sharded);
 //! * the mean warm-hit latency is below the mean cold-load latency
 //!   (residency actually amortizes preprocessing). An empty warm
 //!   bucket fails the check rather than skipping it — a workload that
 //!   never hits the store cannot demonstrate residency (only a
 //!   zero-budget store, which by design has no warm hits, skips the
-//!   comparison).
+//!   comparison, as do sharded runs, whose per-request latencies are
+//!   sojourn times that include queue wait).
+//!
+//! In sharded mode requests travel as protocol lines through
+//! [`ShardPool::submit_line`], so serving-tier classification is
+//! approximated by first-touch: the first request naming an app is
+//! counted cold, every later one warm (each app lives on exactly one
+//! shard, so first-touch is exact absent evictions). The report then
+//! adds per-shard request counts and req/s.
 //!
 //! Flags: `--count N` / `--code-permille M` (benchset), `--requests N`,
-//! `--workers N`, `--budget-mb N`, `--backend linear|indexed`,
+//! `--workers N` (per shard when sharded), `--shards N`,
+//! `--budget-mb N` (per shard), `--backend linear|indexed`,
 //! `--intra-threads N`, `--seed S`, `--smoke` (small CI preset),
-//! `--json PATH`, and `--snapshot-dir DIR` to enable the store's disk
-//! tier — latencies are then reported in three tiers (cold-parse vs
-//! disk-warm vs memory-warm), and a second run against the populated
-//! directory serves its first-touch loads from snapshots. When both
-//! cold and disk tiers appear in one run, the bin additionally
-//! self-checks disk-warm < cold-parse.
+//! `--json PATH`, `--baseline PATH` (check machine-independent ratios
+//! against a committed `BENCH_*.json` envelope, see
+//! `backdroid_bench::baseline`), and `--snapshot-dir DIR` to enable the
+//! store's disk tier — latencies are then reported in three tiers
+//! (cold-parse vs disk-warm vs memory-warm), and a second run against
+//! the populated directory serves its first-touch loads from snapshots.
+//! When both cold and disk tiers appear in one run, the bin
+//! additionally self-checks disk-warm < cold-parse.
 
 use backdroid_appgen::benchset::BenchsetConfig;
 use backdroid_appgen::workload::{self, WorkloadConfig, WorkloadOp};
 use backdroid_bench::harness::arg_value;
-use backdroid_bench::json::JsonObject;
-use backdroid_bench::{backend_from_args, intra_threads_from_args, json_path_from_args, median};
-use backdroid_service::{Fetch, Service, ServiceConfig};
+use backdroid_bench::json::{array, JsonObject};
+use backdroid_bench::{
+    backend_from_args, intra_threads_from_args, json_path_from_args, median, percentile, Baseline,
+};
+use backdroid_service::proto::workload_request_line;
+use backdroid_service::{Fetch, Responder, Service, ServiceConfig, ShardPool, ShardPoolConfig};
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 fn parsed_arg<T: std::str::FromStr>(flag: &str, default: T) -> T {
@@ -101,6 +118,7 @@ fn main() {
     });
     let requests = parsed_arg("--requests", def_requests);
     let workers = parsed_arg::<usize>("--workers", 4).max(1);
+    let shards = parsed_arg::<usize>("--shards", 0);
     let budget_mb = parsed_arg::<u64>("--budget-mb", def_budget_mb);
     let seed = parsed_arg("--seed", 7u64);
     let backend = backend_from_args();
@@ -114,70 +132,141 @@ fn main() {
     };
     let snapshot_dir = arg_value("--snapshot-dir").map(std::path::PathBuf::from);
     let trace = workload::generate(wl_cfg);
-    let service = Service::over_benchset(
-        bench,
-        ServiceConfig {
-            budget_bytes: budget_mb * 1024 * 1024,
-            backend,
-            intra_threads,
-            snapshot_dir: snapshot_dir.clone(),
-            ..ServiceConfig::default()
-        },
-    );
+    let service_cfg = ServiceConfig {
+        budget_bytes: budget_mb * 1024 * 1024,
+        backend,
+        intra_threads,
+        snapshot_dir: snapshot_dir.clone(),
+        ..ServiceConfig::default()
+    };
 
-    // Drive the trace on `workers` threads; per-request latency and
-    // serving class are recorded for the cold/warm comparison.
-    let next = AtomicUsize::new(0);
-    let samples: Mutex<Vec<(f64, Served)>> = Mutex::new(Vec::with_capacity(trace.len()));
+    // Drive the trace and record per-request latency + serving class;
+    // sharded runs also attribute each request to its routed shard.
     let started = Instant::now();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
-                let mut local = Vec::new();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= trace.len() {
-                        break;
-                    }
-                    let req = &trace[i];
-                    let app = req.app.to_string();
-                    let t0 = Instant::now();
-                    let fetches: Vec<Fetch> = match &req.op {
-                        WorkloadOp::Analyze => service
-                            .analyze_app(&app)
-                            .map(|a| vec![a.fetch])
-                            .unwrap_or_default(),
-                        WorkloadOp::Query(classes) => {
-                            let classes: Vec<_> = classes
-                                .iter()
-                                .filter_map(|c| backdroid_service::SinkClass::parse(c))
-                                .collect();
-                            service
-                                .query_sinks(&app, &classes)
-                                .map(|a| vec![a.fetch])
-                                .unwrap_or_default()
-                        }
-                        WorkloadOp::Batch(extra) => {
-                            let ids: Vec<String> = std::iter::once(req.app)
-                                .chain(extra.iter().copied())
-                                .map(|a| a.to_string())
-                                .collect();
-                            service
-                                .analyze_batch(&ids)
-                                .into_iter()
-                                .filter_map(|r| r.ok().map(|a| a.fetch))
-                                .collect()
-                        }
-                    };
-                    let ms = t0.elapsed().as_secs_f64() * 1_000.0;
-                    local.push((ms, classify(&fetches)));
+    let (samples, stats, shard_counts) = if shards > 0 {
+        let pool = ShardPool::new(
+            ShardPoolConfig {
+                shards,
+                workers_per_shard: workers,
+                queue_capacity: 64,
+            },
+            {
+                let service_cfg = service_cfg.clone();
+                move |_| Service::over_benchset(bench, service_cfg.clone())
+            },
+        );
+        // (shard, class, start) per seq, pushed before its submit so the
+        // responder always finds the entry.
+        let submitted: Arc<Mutex<Vec<(usize, Served, Instant)>>> =
+            Arc::new(Mutex::new(Vec::with_capacity(trace.len())));
+        let results: Arc<Mutex<Vec<(usize, f64, Served)>>> =
+            Arc::new(Mutex::new(Vec::with_capacity(trace.len())));
+        let responder: Responder = {
+            let submitted = Arc::clone(&submitted);
+            let results = Arc::clone(&results);
+            Arc::new(move |seq, response| {
+                let (shard, class, t0) =
+                    submitted.lock().expect("submitted poisoned")[seq as usize];
+                let ms = t0.elapsed().as_secs_f64() * 1_000.0;
+                let class = match &response {
+                    Some(line) if line.contains("\"error\"") => Served::Error,
+                    Some(_) => class,
+                    None => Served::Error,
+                };
+                results
+                    .lock()
+                    .expect("results poisoned")
+                    .push((shard, ms, class));
+            })
+        };
+        let mut seen: HashSet<usize> = HashSet::new();
+        for (seq, req) in trace.iter().enumerate() {
+            // First-touch classification: cold iff any app this request
+            // names has never been requested before (batch extras load
+            // their apps too).
+            let mut fresh = seen.insert(req.app);
+            if let WorkloadOp::Batch(extra) = &req.op {
+                for &a in extra {
+                    fresh |= seen.insert(a);
                 }
-                samples.lock().expect("samples poisoned").extend(local);
-            });
+            }
+            let class = if fresh { Served::Cold } else { Served::Warm };
+            let shard = pool.route(&req.app.to_string());
+            submitted
+                .lock()
+                .expect("submitted poisoned")
+                .push((shard, class, Instant::now()));
+            pool.submit_line(
+                seq as u64,
+                &workload_request_line(seq as u64, req),
+                &responder,
+            );
         }
-    });
+        pool.drain();
+        let stats = pool.stats();
+        pool.shutdown();
+        let results = std::mem::take(&mut *results.lock().expect("results poisoned"));
+        let mut shard_counts = vec![0u64; shards];
+        for &(shard, _, _) in &results {
+            shard_counts[shard] += 1;
+        }
+        let samples: Vec<(f64, Served)> = results.into_iter().map(|(_, ms, c)| (ms, c)).collect();
+        (samples, stats, shard_counts)
+    } else {
+        let service = Service::over_benchset(bench, service_cfg);
+        let next = AtomicUsize::new(0);
+        let samples: Mutex<Vec<(f64, Served)>> = Mutex::new(Vec::with_capacity(trace.len()));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= trace.len() {
+                            break;
+                        }
+                        let req = &trace[i];
+                        let app = req.app.to_string();
+                        let t0 = Instant::now();
+                        let fetches: Vec<Fetch> = match &req.op {
+                            WorkloadOp::Analyze => service
+                                .analyze_app(&app)
+                                .map(|a| vec![a.fetch])
+                                .unwrap_or_default(),
+                            WorkloadOp::Query(classes) => {
+                                let classes: Vec<_> = classes
+                                    .iter()
+                                    .filter_map(|c| backdroid_service::SinkClass::parse(c))
+                                    .collect();
+                                service
+                                    .query_sinks(&app, &classes)
+                                    .map(|a| vec![a.fetch])
+                                    .unwrap_or_default()
+                            }
+                            WorkloadOp::Batch(extra) => {
+                                let ids: Vec<String> = std::iter::once(req.app)
+                                    .chain(extra.iter().copied())
+                                    .map(|a| a.to_string())
+                                    .collect();
+                                service
+                                    .analyze_batch(&ids)
+                                    .into_iter()
+                                    .filter_map(|r| r.ok().map(|a| a.fetch))
+                                    .collect()
+                            }
+                        };
+                        let ms = t0.elapsed().as_secs_f64() * 1_000.0;
+                        local.push((ms, classify(&fetches)));
+                    }
+                    samples.lock().expect("samples poisoned").extend(local);
+                });
+            }
+        });
+        let stats = service.stats();
+        let samples = samples.into_inner().expect("samples poisoned");
+        (samples, stats, Vec::new())
+    };
     let wall_s = started.elapsed().as_secs_f64();
-    let samples = samples.into_inner().expect("samples poisoned");
 
     let bucket = |s: Served| -> Vec<f64> {
         samples
@@ -191,9 +280,14 @@ fn main() {
     let warm = bucket(Served::Warm);
     let coalesced = bucket(Served::Coalesced);
     let errors = samples.iter().filter(|(_, c)| *c == Served::Error).count();
-    let stats = service.stats();
+    let all_ms: Vec<f64> = samples.iter().map(|(ms, _)| *ms).collect();
+    let p50 = percentile(&all_ms, 50.0);
+    let p99 = percentile(&all_ms, 99.0);
     let store = stats.store;
-    let budget_bytes = service.store().budget_bytes();
+    // The budget the peak is judged against: per shard in sharded mode
+    // (aggregated peaks are summed the same way).
+    let budget_bytes = budget_mb * 1024 * 1024 * shards.max(1) as u64;
+
     let rps = if wall_s > 0.0 {
         samples.len() as f64 / wall_s
     } else {
@@ -208,15 +302,28 @@ fn main() {
         trace.len()
     );
     println!(
-        "  config: backend {}, {} workers, intra-threads {intra_threads}, budget {budget_mb} MiB",
+        "  config: backend {}, {} workers, intra-threads {intra_threads}, budget {budget_mb} MiB{}",
         backend.name(),
         workers,
+        if shards > 0 {
+            format!(" per shard, {shards} shards")
+        } else {
+            String::new()
+        },
     );
     println!(
-        "  throughput: {rps:.1} req/s ({:.1} ms wall for {} requests)",
+        "  throughput: {rps:.1} req/s ({:.1} ms wall for {} requests), p50 {p50:.3} ms, p99 {p99:.2} ms",
         wall_s * 1_000.0,
         samples.len()
     );
+    for (i, n) in shard_counts.iter().enumerate() {
+        let shard_rps = if wall_s > 0.0 {
+            *n as f64 / wall_s
+        } else {
+            0.0
+        };
+        println!("  shard {i}: {n} requests, {shard_rps:.1} req/s");
+    }
     println!(
         "  latency tiers: cold-parse n={} mean={:.2} ms median={:.2} ms | disk-warm n={} mean={:.3} ms median={:.3} ms | memory-warm n={} mean={:.3} ms median={:.3} ms | coalesced n={}",
         cold.len(),
@@ -258,12 +365,23 @@ fn main() {
     );
 
     if let Some(path) = json_path_from_args() {
+        let shard_rps: Vec<String> = shard_counts
+            .iter()
+            .map(|n| {
+                backdroid_bench::json::num(if wall_s > 0.0 {
+                    *n as f64 / wall_s
+                } else {
+                    0.0
+                })
+            })
+            .collect();
         let obj = JsonObject::new()
             .int("apps", bench.count as u64)
             .int("requests", samples.len() as u64)
             .int("seed", seed)
             .str("backend", backend.name())
             .int("workers", workers as u64)
+            .int("shards", shards as u64)
             .int("intra_threads", intra_threads as u64)
             .int("budget_bytes", budget_bytes)
             .int("cold", cold.len() as u64)
@@ -281,7 +399,14 @@ fn main() {
             .int("disk_bytes_written", store.disk_bytes_written)
             .int("peak_resident_bytes", store.peak_resident_bytes)
             .int("peak_in_flight", stats.peak_in_flight)
+            .raw(
+                "shard_requests",
+                array(shard_counts.iter().map(|n| n.to_string())),
+            )
+            .raw("wall_shard_requests_per_sec", array(shard_rps))
             .float("wall_requests_per_sec", rps)
+            .float("wall_p50_ms", p50)
+            .float("wall_p99_ms", p99)
             .float("wall_cold_mean_ms", mean(&cold))
             .float("wall_cold_median_ms", median(&cold))
             .float("wall_disk_mean_ms", mean(&disk))
@@ -308,17 +433,25 @@ fn main() {
     // Baseline for the residency comparison: cold parses when the run
     // had any, else disk-warm restores (a re-run against a populated
     // --snapshot-dir legitimately never cold-parses).
-    let (baseline, baseline_label) = if !cold.is_empty() {
+    let (tier_base, tier_label) = if !cold.is_empty() {
         (&cold, "cold")
     } else {
         (&disk, "disk")
     };
-    let warm_cold_checked = if budget_bytes == 0 {
+    let warm_cold_checked = if shards > 0 {
+        // Sharded latencies are sojourn times (queue wait included), so
+        // tier means compare backlog, not service cost — not a claim to
+        // enforce. The unsharded runs (and snapshot_bench) own it.
+        eprintln!(
+            "note: sharded run — warm<cold comparison skipped (latencies include queue wait)"
+        );
+        false
+    } else if budget_mb == 0 {
         eprintln!("note: zero-budget store — warm<cold comparison not applicable");
         false
-    } else if baseline.is_empty() || warm.is_empty() {
+    } else if tier_base.is_empty() || warm.is_empty() {
         eprintln!(
-            "FAIL: warm<{baseline_label} comparison is vacuous (cold n={}, disk n={}, warm n={}) — \
+            "FAIL: warm<{tier_label} comparison is vacuous (cold n={}, disk n={}, warm n={}) — \
              the trace/budget cannot demonstrate residency",
             cold.len(),
             disk.len(),
@@ -326,11 +459,11 @@ fn main() {
         );
         failed = true;
         false
-    } else if mean(&warm) >= mean(baseline) {
+    } else if mean(&warm) >= mean(tier_base) {
         eprintln!(
-            "FAIL: warm-hit latency ({:.3} ms) is not below {baseline_label}-load latency ({:.3} ms)",
+            "FAIL: warm-hit latency ({:.3} ms) is not below {tier_label}-load latency ({:.3} ms)",
             mean(&warm),
-            mean(baseline)
+            mean(tier_base)
         );
         failed = true;
         false
@@ -340,7 +473,7 @@ fn main() {
     // When both tiers below memory were exercised, the disk tier must
     // actually amortize preprocessing: a restore beating a full parse is
     // the snapshot layer's entire reason to exist.
-    if !cold.is_empty() && !disk.is_empty() && mean(&disk) >= mean(&cold) {
+    if shards == 0 && !cold.is_empty() && !disk.is_empty() && mean(&disk) >= mean(&cold) {
         eprintln!(
             "FAIL: disk-warm latency ({:.3} ms) is not below cold-parse latency ({:.3} ms)",
             mean(&disk),
@@ -352,16 +485,48 @@ fn main() {
         eprintln!("FAIL: {errors} request(s) errored");
         failed = true;
     }
+    if shards > 0 {
+        let total: u64 = shard_counts.iter().sum();
+        if total != trace.len() as u64 {
+            eprintln!(
+                "FAIL: sharded run answered {total} of {} requests",
+                trace.len()
+            );
+            failed = true;
+        }
+    }
+
+    // Committed machine-independent envelope (--baseline): ratios and
+    // counts only — the same file holds on any machine.
+    let mut metrics: Vec<(&str, f64)> = vec![
+        ("errors", errors as f64),
+        ("hit_rate", store.hit_rate()),
+        (
+            "budget_utilization",
+            if budget_bytes > 0 {
+                store.peak_resident_bytes as f64 / budget_bytes as f64
+            } else {
+                0.0
+            },
+        ),
+    ];
+    if shards == 0 && !cold.is_empty() && mean(&cold) > 0.0 && !warm.is_empty() {
+        metrics.push(("warm_cold_ratio", mean(&warm) / mean(&cold)));
+    }
+    if !Baseline::enforce_from_args("service_throughput", &metrics) {
+        failed = true;
+    }
+
     if failed {
         std::process::exit(1);
     }
     if warm_cold_checked {
         eprintln!(
-            "OK: budget respected ({} <= {}), warm {:.3} ms < {baseline_label} {:.2} ms",
+            "OK: budget respected ({} <= {}), warm {:.3} ms < {tier_label} {:.2} ms",
             store.peak_resident_bytes,
             budget_bytes,
             mean(&warm),
-            mean(baseline)
+            mean(tier_base)
         );
     } else {
         eprintln!(

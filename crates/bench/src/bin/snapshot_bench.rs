@@ -11,13 +11,21 @@
 //! if restoring is not faster than parsing in aggregate — the invariant
 //! the serving layer's disk tier depends on.
 //!
+//! The restore must also be *behaviourally* identical to the fresh
+//! build at the search-engine level: analyzing the restored image must
+//! touch exactly as many index postings as analyzing the fresh one
+//! (`postings_touched` parity), proving the snapshot carried the
+//! posting lists rather than rebuilding different ones.
+//!
 //! Flags: `--count N`, `--code-permille M`, `--backend linear|indexed`,
-//! `--smoke` (small CI preset), `--json PATH`.
+//! `--smoke` (small CI preset), `--json PATH`, `--baseline PATH`
+//! (check machine-independent ratios — restore speedup, size ratio,
+//! postings parity — against a committed `BENCH_*.json` envelope).
 
 use backdroid_appgen::benchset::{bench_app, BenchsetConfig};
 use backdroid_bench::harness::arg_value;
 use backdroid_bench::json::JsonObject;
-use backdroid_bench::{backend_from_args, json_path_from_args};
+use backdroid_bench::{backend_from_args, json_path_from_args, Baseline};
 use backdroid_core::{AppArtifacts, Backdroid, BackdroidOptions};
 use std::time::Instant;
 
@@ -54,6 +62,8 @@ fn main() {
     let mut snapshot_bytes = 0u64;
     let mut estimated_bytes = 0u64;
     let mut mismatches = 0usize;
+    let mut postings_fresh = 0u64;
+    let mut postings_restored = 0u64;
 
     for i in 0..bench.count {
         let t0 = Instant::now();
@@ -84,6 +94,11 @@ fn main() {
             eprintln!("MISMATCH: app {i} diverged after restore");
             mismatches += 1;
         }
+        // Engine-level parity: the restored index must drive the same
+        // postings traffic the fresh one does (both 0 under --backend
+        // linear, which has no postings).
+        postings_restored += restored.engine().stats().postings_touched;
+        postings_fresh += fresh.engine().stats().postings_touched;
     }
 
     let n = bench.count as f64;
@@ -113,6 +128,10 @@ fn main() {
     println!(
         "  restore speedup over cold parse: {speedup:.1}x | round-trip mismatches: {mismatches}"
     );
+    println!(
+        "  postings touched: {postings_fresh} fresh vs {postings_restored} restored ({:.1}/app)",
+        postings_fresh as f64 / n
+    );
 
     if let Some(path) = json_path_from_args() {
         let obj = JsonObject::new()
@@ -121,6 +140,8 @@ fn main() {
             .int("snapshot_bytes_total", snapshot_bytes)
             .int("estimated_resident_bytes_total", estimated_bytes)
             .int("mismatches", mismatches as u64)
+            .int("postings_touched_fresh", postings_fresh)
+            .int("postings_touched_restored", postings_restored)
             .float("wall_parse_ms_per_app", parse_ms / n)
             .float("wall_snapshot_ms_per_app", snapshot_ms / n)
             .float("wall_restore_ms_per_app", restore_ms / n)
@@ -142,6 +163,39 @@ fn main() {
         );
         failed = true;
     }
+    if postings_restored != postings_fresh {
+        eprintln!(
+            "FAIL: restored images touched {postings_restored} postings where fresh builds \
+             touched {postings_fresh} — the snapshot did not carry the index faithfully"
+        );
+        failed = true;
+    }
+
+    // Committed machine-independent envelope (--baseline): ratios and
+    // counts only, no absolute wall-clock.
+    let postings_parity = if postings_fresh == 0 {
+        1.0
+    } else {
+        postings_restored as f64 / postings_fresh as f64
+    };
+    let metrics: Vec<(&str, f64)> = vec![
+        ("mismatches", mismatches as f64),
+        ("wall_restore_speedup", speedup),
+        ("postings_parity", postings_parity),
+        ("postings_per_app", postings_fresh as f64 / n),
+        (
+            "snapshot_resident_ratio",
+            if estimated_bytes > 0 {
+                snapshot_bytes as f64 / estimated_bytes as f64
+            } else {
+                0.0
+            },
+        ),
+    ];
+    if !Baseline::enforce_from_args("snapshot_bench", &metrics) {
+        failed = true;
+    }
+
     if failed {
         std::process::exit(1);
     }

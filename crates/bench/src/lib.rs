@@ -32,13 +32,19 @@
 //! * `--json PATH` — also write the run's JSON artifact (every report
 //!   bin supports it; all are deterministic and CI-diffable except
 //!   `service_throughput`, whose `wall_*` fields measure a live
-//!   serving system).
+//!   serving system);
+//! * `--baseline PATH` — check the run against a committed
+//!   machine-independent `BENCH_*.json` envelope (see [`baseline`];
+//!   supported by `service_throughput` and `snapshot_bench`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod harness;
 pub mod json;
+
+pub use baseline::{baseline_path_from_args, percentile, Band, Baseline};
 
 pub use harness::{
     arg_value, backdroid_minutes, backdroid_minutes_indexed, backend_from_args, bucket_label,

@@ -1,30 +1,33 @@
-//! `backdroid-serve` — the resident analysis service as a CLI, speaking
-//! line-delimited JSON on stdin/stdout so CI (and shell pipelines) can
-//! drive it deterministically.
+//! `backdroid-serve` — the resident analysis service as a CLI: JSONL on
+//! stdin/stdout, optionally sharded over N single-service workers, and
+//! optionally served over a length-framed socket transport.
 //!
 //! ```console
 //! $ backdroid-serve --count 8 --code-permille 40 --emit-trace 60 --seed 7 > trace.jsonl
 //! $ backdroid-serve --count 8 --code-permille 40 --budget-mb 64 --workers 4 < trace.jsonl
+//! $ backdroid-serve --count 8 --code-permille 40 --shards 4 < trace.jsonl
+//! $ backdroid-serve --count 8 --code-permille 40 --shards 4 --listen tcp:127.0.0.1:7411 --once &
+//! $ backdroid-serve --connect tcp:127.0.0.1:7411 < trace.jsonl
 //! ```
 //!
-//! Responses are emitted **in request order** whatever `--workers` is,
-//! and contain only deterministic fields, so the output for one trace is
-//! byte-identical across worker counts, search backends, and store
-//! budgets — `--direct` (a zero-budget store: every request cold-loads,
-//! nothing stays resident) produces the golden direct-analysis run the
-//! CI service-smoke leg diffs the others against. Service and store
-//! statistics go to stderr at EOF.
+//! Responses are emitted **in request order** whatever the worker or
+//! shard count, and contain only deterministic fields, so the output
+//! for one trace is byte-identical across worker counts, shard counts,
+//! search backends, store budgets, and the stdin/socket transports —
+//! `--direct` (a zero-budget store: every request cold-loads, nothing
+//! stays resident) produces the golden direct-analysis run the CI
+//! service-smoke and shard-smoke legs diff the others against. Service,
+//! store, and pool statistics go to stderr at EOF.
 
 use backdroid_appgen::benchset::BenchsetConfig;
 use backdroid_appgen::workload::{self, WorkloadConfig};
 use backdroid_core::BackendChoice;
-use backdroid_service::proto::{
-    self, parse_json, parse_request, workload_request_line, Json, RequestOp,
-};
-use backdroid_service::{Service, ServiceConfig};
-use std::collections::BTreeMap;
-use std::io::{BufRead, Write};
-use std::sync::Mutex;
+use backdroid_service::proto::{self, parse_json, parse_request, workload_request_line, Json};
+use backdroid_service::shard::execute_request;
+use backdroid_service::transport::{write_frame, Endpoint, FrameReader, OrderedEmitter};
+use backdroid_service::{Responder, Service, ServiceConfig, ShardPool, ShardPoolConfig};
+use std::io::{BufRead, Read, Write};
+use std::sync::{Arc, Mutex};
 
 const USAGE: &str = "\
 backdroid-serve — resident multi-app BackDroid analysis service (JSONL on stdin/stdout)
@@ -35,13 +38,25 @@ Benchset (the app universe; ids are decimal indices):
 
 Serving:
   --backend B          search backend: linear | indexed (default indexed)
-  --budget-mb N        resident app-store byte budget (default 512)
+  --budget-mb N        resident app-store byte budget (default 512; per shard when sharded)
   --direct             zero-budget store: every request cold-loads (golden mode)
-  --workers N          request worker threads; output stays in request order (default 1)
+  --workers N          request worker threads — per shard when sharded (default 1)
   --intra-threads N    intra-app sink-task scheduler width (default 1)
   --snapshot-dir DIR   persistent disk tier: cold loads restore from versioned,
                        checksummed snapshots in DIR; first parses write them.
+                       Shared across shards, so restarted shards come back warm.
                        Responses are byte-identical with or without it.
+
+Sharding & socket transport:
+  --shards N           route requests by app-id hash over N shard services, each
+                       with its own app store; admin ops kill_shard/restart_shard
+                       take shards down and bring them back disk-warm
+  --queue-depth N      bounded per-shard queue; submission blocks when full (default 64)
+  --listen EP          serve the length-framed binary protocol on a socket
+                       (EP = tcp:HOST:PORT or unix:PATH) instead of stdin
+  --once               with --listen: serve exactly one connection, then exit
+  --connect EP         client mode: frame stdin lines to a listening server and
+                       print its responses — byte-identical to a local replay
 
 Trace generation (prints a workload instead of serving):
   --emit-trace R       emit R seeded requests over the benchset and exit
@@ -49,6 +64,9 @@ Trace generation (prints a workload instead of serving):
   --zipf-permille Z    popularity skew, thousandths of s (default 1100)
   --query-permille Q   share of sink-class queries (default 300)
   --batch-permille B   share of multi-app batches (default 100)
+  --burst-permille U   share of analyzes opening a 2-5 repeat hot burst (default 0)
+  --deadline-permille D share of requests carrying a deadline (default 0)
+  --deadline-ms MS     the deadline attached to those requests (default 50)
 ";
 
 /// The value following `--flag` (or embedded as `--flag=value`) in argv.
@@ -81,6 +99,12 @@ fn has_flag(flag: &str) -> bool {
     std::env::args().any(|a| a == flag)
 }
 
+fn endpoint_arg(flag: &str) -> Option<Endpoint> {
+    arg_value(flag).map(|v| {
+        Endpoint::parse(&v).unwrap_or_else(|e| usage_error(flag, &v, &format!("an endpoint: {e}")))
+    })
+}
+
 fn benchset_from_args() -> BenchsetConfig {
     let count = parsed_arg::<usize>("--count", "a positive integer").unwrap_or(24);
     let permille =
@@ -96,6 +120,13 @@ fn main() {
         print!("{USAGE}");
         return;
     }
+
+    // Client mode needs no benchset: it only pumps frames.
+    if let Some(endpoint) = endpoint_arg("--connect") {
+        run_client(&endpoint);
+        return;
+    }
+
     let bench = benchset_from_args();
 
     if let Some(requests) = parsed_arg::<usize>("--emit-trace", "a positive integer") {
@@ -106,6 +137,9 @@ fn main() {
             zipf_permille: parsed_arg("--zipf-permille", "an integer").unwrap_or(1100),
             query_permille: parsed_arg("--query-permille", "an integer").unwrap_or(300),
             batch_permille: parsed_arg("--batch-permille", "an integer").unwrap_or(100),
+            burst_permille: parsed_arg("--burst-permille", "an integer").unwrap_or(0),
+            deadline_permille: parsed_arg("--deadline-permille", "an integer").unwrap_or(0),
+            deadline_ms: parsed_arg("--deadline-ms", "milliseconds").unwrap_or(50),
         };
         let stdout = std::io::stdout();
         let mut out = stdout.lock();
@@ -128,21 +162,47 @@ fn main() {
     let workers = parsed_arg::<usize>("--workers", "a positive integer")
         .unwrap_or(1)
         .max(1);
-    let service = Service::over_benchset(
-        bench,
-        ServiceConfig {
-            budget_bytes,
-            backend,
-            intra_threads: parsed_arg::<usize>("--intra-threads", "a positive integer")
-                .unwrap_or(1)
-                .max(1),
-            snapshot_dir: arg_value("--snapshot-dir").map(std::path::PathBuf::from),
-            ..ServiceConfig::default()
-        },
-    );
+    let service_cfg = ServiceConfig {
+        budget_bytes,
+        backend,
+        intra_threads: parsed_arg::<usize>("--intra-threads", "a positive integer")
+            .unwrap_or(1)
+            .max(1),
+        snapshot_dir: arg_value("--snapshot-dir").map(std::path::PathBuf::from),
+        ..ServiceConfig::default()
+    };
 
+    let shards = parsed_arg::<usize>("--shards", "a positive integer");
+    let listen = endpoint_arg("--listen");
+
+    // The socket transport always serves through a pool (of one shard
+    // if --shards was not given), so both transports share one path.
+    if shards.is_some() || listen.is_some() {
+        let pool = ShardPool::new(
+            ShardPoolConfig {
+                shards: shards.unwrap_or(1),
+                workers_per_shard: workers,
+                queue_capacity: parsed_arg::<usize>("--queue-depth", "a positive integer")
+                    .unwrap_or(64)
+                    .max(1),
+            },
+            move |_| Service::over_benchset(bench, service_cfg.clone()),
+        );
+        match &listen {
+            Some(endpoint) => serve_socket(&pool, endpoint, has_flag("--once")),
+            None => serve_stdin_sharded(&pool),
+        }
+        print_pool_stats(&pool);
+        pool.shutdown();
+        return;
+    }
+
+    let service = Service::over_benchset(bench, service_cfg);
     serve(&service, workers);
+    print_service_stats(&service);
+}
 
+fn print_service_stats(service: &Service) {
     let stats = service.stats();
     eprintln!(
         "requests={} (analyze={} query={} batch={}) errors={} peak_in_flight={}",
@@ -180,61 +240,66 @@ fn main() {
     }
 }
 
-/// Handles one input line; `None` means nothing to emit (blank line).
+fn print_pool_stats(pool: &ShardPool) {
+    let p = pool.pool_stats();
+    eprintln!(
+        "pool: shards={} alive={} rerouted={} deadline_expired={} no_shard_errors={} \
+         kills={} restarts={}",
+        p.shards, p.alive, p.rerouted, p.deadline_expired, p.no_shard_errors, p.kills, p.restarts,
+    );
+    let agg = pool.stats();
+    let s = agg.store;
+    eprintln!(
+        "aggregate: requests={} (analyze={} query={} batch={}) errors={} hits={} misses={} \
+         coalesced={} loads={} evictions={} disk_hits={} disk_writes={} hit_rate={:.3}",
+        agg.requests,
+        agg.analyze_requests,
+        agg.query_requests,
+        agg.batch_requests,
+        agg.errors,
+        s.hits,
+        s.misses,
+        s.coalesced,
+        s.loads,
+        s.evictions,
+        s.disk_hits,
+        s.disk_writes,
+        s.hit_rate(),
+    );
+    for i in 0..pool.shard_count() {
+        match pool.shard_stats(i) {
+            Some(s) => eprintln!(
+                "shard {i}: requests={} errors={} hits={} misses={} loads={} disk_hits={} \
+                 resident_apps={}",
+                s.requests,
+                s.errors,
+                s.store.hits,
+                s.store.misses,
+                s.store.loads,
+                s.store.disk_hits,
+                s.store.resident_apps,
+            ),
+            None => eprintln!("shard {i}: down"),
+        }
+    }
+}
+
+/// Handles one input line against a single (unsharded) service; `None`
+/// means nothing to emit (blank line, admin no-ops).
 fn handle(service: &Service, line: &str) -> Option<String> {
     let line = line.trim();
     if line.is_empty() {
         return None;
     }
-    let request = match parse_request(line) {
-        Ok(r) => r,
+    match parse_request(line) {
+        Ok(request) => execute_request(service, &request),
         Err(e) => {
             // Best-effort id recovery so the caller can correlate the error.
             let id = parse_json(line)
                 .ok()
                 .and_then(|v| v.get("id").and_then(Json::as_u64))
                 .unwrap_or(0);
-            return Some(proto::render_error(id, &e));
-        }
-    };
-    Some(match request.op {
-        RequestOp::Analyze { app } => match service.analyze_app(&app) {
-            Ok(a) => proto::render_analysis(request.id, "analyze", &a),
-            Err(e) => proto::render_error(request.id, &e.to_string()),
-        },
-        RequestOp::Query { app, classes } => match service.query_sinks(&app, &classes) {
-            Ok(a) => proto::render_analysis(request.id, "query", &a),
-            Err(e) => proto::render_error(request.id, &e.to_string()),
-        },
-        RequestOp::Batch { apps } => proto::render_batch(request.id, &service.analyze_batch(&apps)),
-        RequestOp::Stats => proto::render_stats(request.id, &service.stats()),
-    })
-}
-
-/// Reassembles worker output in input-sequence order: responses print
-/// exactly as if the trace had been served sequentially.
-struct OrderedEmitter {
-    state: Mutex<(u64, BTreeMap<u64, Option<String>>)>,
-}
-
-impl OrderedEmitter {
-    fn new() -> Self {
-        OrderedEmitter {
-            state: Mutex::new((0, BTreeMap::new())),
-        }
-    }
-
-    fn emit(&self, seq: u64, line: Option<String>) {
-        let mut state = self.state.lock().expect("emitter poisoned");
-        let (next_seq, pending) = &mut *state;
-        pending.insert(seq, line);
-        let stdout = std::io::stdout();
-        let mut out = stdout.lock();
-        while let Some(next) = pending.remove(next_seq) {
-            *next_seq += 1;
-            if let Some(line) = next {
-                writeln!(out, "{line}").expect("stdout closed");
-            }
+            Some(proto::render_error(id, &e))
         }
     }
 }
@@ -257,7 +322,13 @@ fn serve(service: &Service, workers: usize) {
     // internally) inside the critical section — sequence numbers are
     // assigned in exact input order.
     let read_seq: Mutex<u64> = Mutex::new(0);
-    let emitter = OrderedEmitter::new();
+    let emitter = OrderedEmitter::new(|line: Option<String>| {
+        if let Some(line) = line {
+            let stdout = std::io::stdout();
+            let mut out = stdout.lock();
+            writeln!(out, "{line}").expect("stdout closed");
+        }
+    });
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
@@ -276,4 +347,174 @@ fn serve(service: &Service, workers: usize) {
             });
         }
     });
+}
+
+/// Stdout responder over an ordered emitter: `None` completions are
+/// swallowed, so sharded stdin output matches the sequential server's.
+fn stdout_responder() -> (Responder, Arc<OrderedEmitter>) {
+    let emitter = Arc::new(OrderedEmitter::new(|line: Option<String>| {
+        if let Some(line) = line {
+            let stdout = std::io::stdout();
+            let mut out = stdout.lock();
+            writeln!(out, "{line}").expect("stdout closed");
+        }
+    }));
+    let sink = Arc::clone(&emitter);
+    let responder: Responder = Arc::new(move |seq, line| sink.emit(seq, line));
+    (responder, emitter)
+}
+
+fn serve_stdin_sharded(pool: &ShardPool) {
+    let (responder, emitter) = stdout_responder();
+    let stdin = std::io::stdin();
+    let mut seq = 0u64;
+    for line in stdin.lock().lines() {
+        let line = line.expect("stdin read failed");
+        pool.submit_line(seq, &line, &responder);
+        seq += 1;
+    }
+    pool.drain();
+    emitter.wait_for(seq);
+}
+
+/// Serves one accepted connection: each request frame is one protocol
+/// line; each gets exactly one response frame back, in request order
+/// (an empty frame for "no output"), so the client stays in lockstep.
+fn serve_connection(pool: &ShardPool, reader: impl Read, writer: impl Write + Send + 'static) {
+    let writer = Mutex::new(writer);
+    let emitter = Arc::new(OrderedEmitter::new(move |line: Option<String>| {
+        let mut w = writer.lock().expect("connection writer poisoned");
+        let payload = line.as_deref().unwrap_or("");
+        if write_frame(&mut *w, payload.as_bytes())
+            .and_then(|()| w.flush())
+            .is_err()
+        {
+            // The client went away; keep draining silently.
+        }
+    }));
+    let sink = Arc::clone(&emitter);
+    let responder: Responder = Arc::new(move |seq, line| sink.emit(seq, line));
+    let mut frames = FrameReader::new(reader);
+    let mut seq = 0u64;
+    loop {
+        match frames.read_frame() {
+            Ok(Some(payload)) => {
+                let line = String::from_utf8_lossy(&payload).into_owned();
+                pool.submit_line(seq, &line, &responder);
+                seq += 1;
+            }
+            Ok(None) => break,
+            Err(e) => {
+                eprintln!("connection dropped: {e}");
+                break;
+            }
+        }
+    }
+    pool.drain();
+    emitter.wait_for(seq);
+}
+
+fn serve_socket(pool: &ShardPool, endpoint: &Endpoint, once: bool) {
+    match endpoint {
+        Endpoint::Tcp(addr) => {
+            let listener = std::net::TcpListener::bind(addr).unwrap_or_else(|e| {
+                usage_error("--listen", addr, &format!("a bindable address ({e})"))
+            });
+            eprintln!("listening on {endpoint}");
+            loop {
+                let (stream, _) = listener.accept().expect("accept failed");
+                let reader = stream.try_clone().expect("stream clone failed");
+                serve_connection(pool, reader, stream);
+                if once {
+                    break;
+                }
+            }
+        }
+        Endpoint::Unix(path) => {
+            let _ = std::fs::remove_file(path);
+            let listener = std::os::unix::net::UnixListener::bind(path).unwrap_or_else(|e| {
+                usage_error(
+                    "--listen",
+                    &path.display().to_string(),
+                    &format!("a bindable path ({e})"),
+                )
+            });
+            eprintln!("listening on {endpoint}");
+            loop {
+                let (stream, _) = listener.accept().expect("accept failed");
+                let reader = stream.try_clone().expect("stream clone failed");
+                serve_connection(pool, reader, stream);
+                if once {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Client mode: frame stdin lines to the server, print every non-empty
+/// response payload to stdout. Output is byte-identical to a local
+/// stdin replay of the same trace.
+fn run_client(endpoint: &Endpoint) {
+    match endpoint {
+        Endpoint::Tcp(addr) => {
+            let stream = std::net::TcpStream::connect(addr).unwrap_or_else(|e| {
+                usage_error("--connect", addr, &format!("a reachable server ({e})"))
+            });
+            let reader = stream.try_clone().expect("stream clone failed");
+            let writer = stream.try_clone().expect("stream clone failed");
+            pump_client(reader, writer, move || {
+                let _ = stream.shutdown(std::net::Shutdown::Write);
+            });
+        }
+        Endpoint::Unix(path) => {
+            let stream = std::os::unix::net::UnixStream::connect(path).unwrap_or_else(|e| {
+                usage_error(
+                    "--connect",
+                    &path.display().to_string(),
+                    &format!("a reachable server ({e})"),
+                )
+            });
+            let reader = stream.try_clone().expect("stream clone failed");
+            let writer = stream.try_clone().expect("stream clone failed");
+            pump_client(reader, writer, move || {
+                let _ = stream.shutdown(std::net::Shutdown::Write);
+            });
+        }
+    }
+}
+
+fn pump_client(
+    reader: impl Read + Send + 'static,
+    mut writer: impl Write,
+    half_close: impl FnOnce(),
+) {
+    let printer = std::thread::spawn(move || {
+        let mut frames = FrameReader::new(reader);
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
+        loop {
+            match frames.read_frame() {
+                Ok(Some(payload)) => {
+                    if !payload.is_empty() {
+                        out.write_all(&payload).expect("stdout closed");
+                        out.write_all(b"\n").expect("stdout closed");
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    eprintln!("error: server connection lost: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    });
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line.expect("stdin read failed");
+        write_frame(&mut writer, line.as_bytes()).expect("server closed the connection");
+    }
+    writer.flush().expect("server closed the connection");
+    half_close();
+    printer.join().expect("response printer panicked");
 }

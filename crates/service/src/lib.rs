@@ -17,6 +17,13 @@
 //! * [`proto`] is the line-delimited JSON protocol the `backdroid-serve`
 //!   binary speaks on stdin/stdout — deterministic responses that CI
 //!   diffs byte-for-byte across worker counts, backends, and budgets.
+//! * [`shard`] scales that out: a [`ShardPool`] of N single-service
+//!   shards behind a consistent-hash router, with bounded queues
+//!   (backpressure), per-request deadlines, and kill/restart that spills
+//!   through the snapshot tier and comes back disk-warm.
+//! * [`transport`] is the length-framed binary socket protocol
+//!   (`tcp:`/`unix:` endpoints) `backdroid-serve --listen`/`--connect`
+//!   speak — one JSONL line per frame, responses 1:1 in request order.
 //!
 //! Responses are a pure function of (app, requested sinks): the store
 //! changes *where* artifacts come from, never what analysis reports.
@@ -47,7 +54,11 @@
 
 pub mod proto;
 pub mod service;
+pub mod shard;
 pub mod store;
+pub mod transport;
 
 pub use service::{AppAnalysis, Service, ServiceConfig, ServiceError, ServiceStats, SinkClass};
+pub use shard::{PoolStats, Responder, ShardPool, ShardPoolConfig};
 pub use store::{AppStore, DiskTier, Fetch, StoreStats};
+pub use transport::{Endpoint, FrameReader, OrderedEmitter};

@@ -331,6 +331,11 @@ pub struct Request {
     pub id: u64,
     /// The operation.
     pub op: RequestOp,
+    /// Optional deadline in milliseconds from submission. A sharded
+    /// server answers a request still queued past its deadline with a
+    /// deterministic `"deadline exceeded"` error instead of analyzing
+    /// it. Absent (the default) = no deadline.
+    pub deadline_ms: Option<u64>,
 }
 
 /// The protocol operations.
@@ -356,8 +361,24 @@ pub enum RequestOp {
     /// Service + store counter snapshot (tier hit rates, disk bytes).
     /// Operator-facing: counters depend on scheduling and on which tier
     /// served each request, so traces meant for byte-identical replay
-    /// diffs must not include this op.
+    /// diffs must not include this op. A sharded server renders the
+    /// aggregate across every shard (live + retired).
     Stats,
+    /// Admin op: take shard N down (queue re-routed, memory tier
+    /// dropped). Produces **no output** and is a no-op on an unsharded
+    /// server, so a trace spliced with admin lines still diffs
+    /// byte-for-byte against any golden.
+    KillShard {
+        /// The shard index to kill.
+        shard: u64,
+    },
+    /// Admin op: bring shard N back disk-warm over the shared snapshot
+    /// directory. Silent and unsharded-safe, like
+    /// [`RequestOp::KillShard`].
+    RestartShard {
+        /// The shard index to restart.
+        shard: u64,
+    },
 }
 
 /// An app id may arrive as a JSON string or a small integer.
@@ -418,21 +439,50 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             RequestOp::Batch { apps }
         }
         "stats" => RequestOp::Stats,
+        "kill_shard" | "restart_shard" => {
+            let shard = v
+                .get("shard")
+                .and_then(Json::as_u64)
+                .ok_or("admin ops need a non-negative integer \"shard\"")?;
+            if op_name == "kill_shard" {
+                RequestOp::KillShard { shard }
+            } else {
+                RequestOp::RestartShard { shard }
+            }
+        }
         other => return Err(format!("unknown op {other:?}")),
     };
-    Ok(Request { id, op })
+    let deadline_ms = match v.get("deadline_ms") {
+        None => None,
+        Some(d) => Some(
+            d.as_u64()
+                .ok_or("\"deadline_ms\" must be a non-negative integer")?,
+        ),
+    };
+    Ok(Request {
+        id,
+        op,
+        deadline_ms,
+    })
 }
 
 /// Renders one [`WorkloadRequest`] as a protocol request line — how
 /// `backdroid-serve --emit-trace` turns the generator's output into a
 /// pipeable trace.
 pub fn workload_request_line(id: u64, req: &WorkloadRequest) -> String {
+    let deadline = req
+        .deadline_ms
+        .map(|ms| format!(",\"deadline_ms\":{ms}"))
+        .unwrap_or_default();
     match &req.op {
         WorkloadOp::Analyze => {
-            format!("{{\"id\":{id},\"op\":\"analyze\",\"app\":\"{}\"}}", req.app)
+            format!(
+                "{{\"id\":{id},\"op\":\"analyze\",\"app\":\"{}\"{deadline}}}",
+                req.app
+            )
         }
         WorkloadOp::Query(classes) => format!(
-            "{{\"id\":{id},\"op\":\"query\",\"app\":\"{}\",\"sinks\":{}}}",
+            "{{\"id\":{id},\"op\":\"query\",\"app\":\"{}\",\"sinks\":{}{deadline}}}",
             req.app,
             arr(classes.iter().map(|c| format!("\"{}\"", escape(c))))
         ),
@@ -440,7 +490,10 @@ pub fn workload_request_line(id: u64, req: &WorkloadRequest) -> String {
             let apps = std::iter::once(req.app)
                 .chain(extra.iter().copied())
                 .map(|a| format!("\"{a}\""));
-            format!("{{\"id\":{id},\"op\":\"batch\",\"apps\":{}}}", arr(apps))
+            format!(
+                "{{\"id\":{id},\"op\":\"batch\",\"apps\":{}{deadline}}}",
+                arr(apps)
+            )
         }
     }
 }
@@ -660,6 +713,7 @@ mod tests {
                 &WorkloadRequest {
                     app: 4,
                     op: WorkloadOp::Analyze,
+                    deadline_ms: None,
                 },
             ),
             workload_request_line(
@@ -667,6 +721,7 @@ mod tests {
                 &WorkloadRequest {
                     app: 2,
                     op: WorkloadOp::Query(vec!["crypto".into(), "ssl".into()]),
+                    deadline_ms: Some(40),
                 },
             ),
             workload_request_line(
@@ -674,6 +729,7 @@ mod tests {
                 &WorkloadRequest {
                     app: 1,
                     op: WorkloadOp::Batch(vec![0, 3]),
+                    deadline_ms: None,
                 },
             ),
         ];
@@ -695,6 +751,30 @@ mod tests {
                 apps: vec!["1".into(), "0".into(), "3".into()]
             }
         );
+        assert_eq!(parsed[0].deadline_ms, None);
+        assert_eq!(
+            parsed[1].deadline_ms,
+            Some(40),
+            "deadline survives the wire"
+        );
+    }
+
+    #[test]
+    fn admin_ops_and_deadlines_parse() {
+        let r = parse_request("{\"id\":9,\"op\":\"kill_shard\",\"shard\":2}").unwrap();
+        assert_eq!(r.op, RequestOp::KillShard { shard: 2 });
+        let r = parse_request("{\"id\":10,\"op\":\"restart_shard\",\"shard\":0}").unwrap();
+        assert_eq!(r.op, RequestOp::RestartShard { shard: 0 });
+        let r = parse_request("{\"id\":0,\"op\":\"analyze\",\"app\":\"1\",\"deadline_ms\":25}")
+            .unwrap();
+        assert_eq!(r.deadline_ms, Some(25));
+        for bad in [
+            "{\"id\":9,\"op\":\"kill_shard\"}",
+            "{\"id\":9,\"op\":\"kill_shard\",\"shard\":-1}",
+            "{\"id\":0,\"op\":\"analyze\",\"app\":\"1\",\"deadline_ms\":\"soon\"}",
+        ] {
+            assert!(parse_request(bad).is_err(), "{bad:?} must not parse");
+        }
     }
 
     #[test]

@@ -141,6 +141,23 @@ pub struct ServiceStats {
     pub store: StoreStats,
 }
 
+impl ServiceStats {
+    /// Folds another service's counters into this one (see
+    /// [`StoreStats::absorb`] for the aggregation semantics) — used by
+    /// the shard pool to answer the `stats` op with fleet-wide totals.
+    /// `peak_in_flight` sums, an upper bound on true simultaneous
+    /// depth across shards.
+    pub fn absorb(&mut self, other: &ServiceStats) {
+        self.requests += other.requests;
+        self.analyze_requests += other.analyze_requests;
+        self.query_requests += other.query_requests;
+        self.batch_requests += other.batch_requests;
+        self.errors += other.errors;
+        self.peak_in_flight += other.peak_in_flight;
+        self.store.absorb(&other.store);
+    }
+}
+
 #[derive(Default)]
 struct Counters {
     requests: AtomicU64,

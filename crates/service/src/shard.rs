@@ -1,0 +1,657 @@
+//! The sharded serving topology: N shard workers, each owning one
+//! [`Service`] (and therefore one [`crate::AppStore`]), behind a router
+//! that consistent-hashes app ids so **every app image is resident on
+//! exactly one shard** — the market-scale layout where no single
+//! process can hold the whole store.
+//!
+//! * **Routing** — `fnv1a64(app_id) % shards` (the same hash the
+//!   snapshot checksums use), probing forward past dead shards; batch
+//!   requests route by their first app.
+//! * **Admission control** — each shard has a bounded queue;
+//!   [`ShardPool::submit_line`] blocks when the target queue is full
+//!   (backpressure to the reader), never drops.
+//! * **Deadlines** — a request carrying `"deadline_ms"` that is still
+//!   queued when its deadline passes is answered with a deterministic
+//!   error instead of being analyzed.
+//! * **Crash + restart** — [`ShardPool::kill_shard`] takes a shard
+//!   down: its queue is re-routed to surviving shards, its in-flight
+//!   work completes (so no response is ever lost or duplicated), its
+//!   counters are folded into the pool's retired total, and its memory
+//!   tier is dropped. [`ShardPool::restart_shard`] brings it back with
+//!   a fresh [`Service`] over the **shared snapshot directory**, so the
+//!   restarted shard is disk-warm (PR-5's tier) instead of re-parsing.
+//!
+//! Responses stay a pure function of (app, requested sinks), so a
+//! sharded replay — at any shard count, across a kill/restart — is
+//! byte-identical to the single-process `--direct` golden. The
+//! `tests/shard_equivalence.rs` and `tests/shard_fault_injection.rs`
+//! tiers enforce exactly that.
+
+use crate::proto::{self, parse_json, parse_request, Json, Request, RequestOp};
+use crate::service::{Service, ServiceStats};
+use backdroid_ir::wire::fnv1a64;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Delivers one completed response: the submission sequence number and
+/// the rendered line (`None` = nothing to emit — blank input, admin
+/// ops). Shared by every job of one input stream, typically an
+/// [`crate::transport::OrderedEmitter`] closure.
+pub type Responder = Arc<dyn Fn(u64, Option<String>) + Send + Sync>;
+
+/// Builds the `Service` for one (re)started shard. Every shard gets the
+/// same configuration — in particular the same snapshot directory, which
+/// is what makes restarts disk-warm.
+pub type ShardFactory = dyn Fn(usize) -> Service + Send + Sync;
+
+/// Shard-pool configuration.
+#[derive(Clone, Debug)]
+pub struct ShardPoolConfig {
+    /// Number of shards (each owns one `Service` + `AppStore`).
+    pub shards: usize,
+    /// Worker threads per shard draining its queue.
+    pub workers_per_shard: usize,
+    /// Bounded per-shard queue depth; submission blocks when full.
+    pub queue_capacity: usize,
+}
+
+impl Default for ShardPoolConfig {
+    fn default() -> Self {
+        ShardPoolConfig {
+            shards: 4,
+            workers_per_shard: 1,
+            queue_capacity: 64,
+        }
+    }
+}
+
+/// Pool-level counters (everything the per-shard [`ServiceStats`] can't
+/// see): routing, admission, and lifecycle events.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct PoolStats {
+    /// Configured shard count.
+    pub shards: u64,
+    /// Shards currently alive.
+    pub alive: u64,
+    /// Jobs enqueued on a non-primary shard because the primary was
+    /// dead (includes queue re-routes after a kill).
+    pub rerouted: u64,
+    /// Requests answered with a deterministic deadline error because
+    /// they were still queued when their deadline passed.
+    pub deadline_expired: u64,
+    /// Requests that found no live shard at all.
+    pub no_shard_errors: u64,
+    /// `kill_shard` calls that took a live shard down.
+    pub kills: u64,
+    /// `restart_shard` calls that brought a dead shard back.
+    pub restarts: u64,
+}
+
+/// One queued request.
+struct Job {
+    seq: u64,
+    req: Request,
+    respond: Responder,
+    deadline: Option<Instant>,
+}
+
+struct ShardState {
+    queue: VecDeque<Job>,
+    /// The shard's service; `None` exactly while the shard is dead.
+    service: Option<Arc<Service>>,
+    alive: bool,
+    in_flight: usize,
+    /// Worker threads currently attached to this shard.
+    workers: usize,
+}
+
+struct Shard {
+    state: Mutex<ShardState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    /// Signalled when `in_flight`/`workers` drop or the queue empties.
+    settled: Condvar,
+}
+
+impl Shard {
+    fn lock(&self) -> MutexGuard<'_, ShardState> {
+        self.state.lock().expect("shard poisoned")
+    }
+}
+
+struct PoolInner {
+    shards: Vec<Shard>,
+    factory: Box<ShardFactory>,
+    queue_capacity: usize,
+    workers_per_shard: usize,
+    running: AtomicBool,
+    rerouted: AtomicU64,
+    deadline_expired: AtomicU64,
+    no_shard_errors: AtomicU64,
+    kills: AtomicU64,
+    restarts: AtomicU64,
+    /// Stats folded in from killed shards, so aggregate counters stay
+    /// monotonic across restarts.
+    retired: Mutex<ServiceStats>,
+}
+
+/// The sharded service pool. `submit_line` may be called from any
+/// number of reader threads; responses are delivered through each job's
+/// [`Responder`] from whichever shard worker completed it.
+pub struct ShardPool {
+    inner: Arc<PoolInner>,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for ShardPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardPool")
+            .field("pool", &self.pool_stats())
+            .finish()
+    }
+}
+
+/// Runs one already-parsed request against a service and renders the
+/// response line. `None` means the op produces no output: the admin ops
+/// (`kill_shard` / `restart_shard`), which are pool-level and a no-op
+/// on a plain service — keeping them silent means a trace spliced with
+/// admin lines still diffs byte-for-byte against an unsharded golden.
+pub fn execute_request(service: &Service, req: &Request) -> Option<String> {
+    Some(match &req.op {
+        RequestOp::Analyze { app } => match service.analyze_app(app) {
+            Ok(a) => proto::render_analysis(req.id, "analyze", &a),
+            Err(e) => proto::render_error(req.id, &e.to_string()),
+        },
+        RequestOp::Query { app, classes } => match service.query_sinks(app, classes) {
+            Ok(a) => proto::render_analysis(req.id, "query", &a),
+            Err(e) => proto::render_error(req.id, &e.to_string()),
+        },
+        RequestOp::Batch { apps } => proto::render_batch(req.id, &service.analyze_batch(apps)),
+        RequestOp::Stats => proto::render_stats(req.id, &service.stats()),
+        RequestOp::KillShard { .. } | RequestOp::RestartShard { .. } => return None,
+    })
+}
+
+impl ShardPool {
+    /// Creates the pool and spawns `shards × workers_per_shard` workers.
+    /// The factory builds each shard's `Service` — called again on every
+    /// [`ShardPool::restart_shard`].
+    pub fn new(
+        cfg: ShardPoolConfig,
+        factory: impl Fn(usize) -> Service + Send + Sync + 'static,
+    ) -> Self {
+        let shards = cfg.shards.max(1);
+        let workers_per_shard = cfg.workers_per_shard.max(1);
+        let inner = Arc::new(PoolInner {
+            shards: (0..shards)
+                .map(|i| Shard {
+                    state: Mutex::new(ShardState {
+                        queue: VecDeque::new(),
+                        service: Some(Arc::new(factory(i))),
+                        alive: true,
+                        in_flight: 0,
+                        workers: workers_per_shard,
+                    }),
+                    not_empty: Condvar::new(),
+                    not_full: Condvar::new(),
+                    settled: Condvar::new(),
+                })
+                .collect(),
+            factory: Box::new(factory),
+            queue_capacity: cfg.queue_capacity.max(1),
+            workers_per_shard,
+            running: AtomicBool::new(true),
+            rerouted: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
+            no_shard_errors: AtomicU64::new(0),
+            kills: AtomicU64::new(0),
+            restarts: AtomicU64::new(0),
+            retired: Mutex::new(ServiceStats::default()),
+        });
+        let pool = ShardPool {
+            inner,
+            handles: Mutex::new(Vec::new()),
+        };
+        for i in 0..shards {
+            pool.spawn_workers(i);
+        }
+        pool
+    }
+
+    /// Number of configured shards.
+    pub fn shard_count(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// The shard `app_id` hashes to — where its image is resident while
+    /// that shard is alive.
+    pub fn route(&self, app_id: &str) -> usize {
+        (fnv1a64(app_id.as_bytes()) % self.inner.shards.len() as u64) as usize
+    }
+
+    /// Submits one input line. Parse errors, `stats`, and the admin ops
+    /// are answered on the calling thread; analyze/query/batch jobs are
+    /// routed to their shard's queue (blocking while it is full). Every
+    /// submission produces exactly one `respond(seq, …)` call.
+    pub fn submit_line(&self, seq: u64, line: &str, respond: &Responder) {
+        let line = line.trim();
+        if line.is_empty() {
+            respond(seq, None);
+            return;
+        }
+        let req = match parse_request(line) {
+            Ok(r) => r,
+            Err(e) => {
+                let id = parse_json(line)
+                    .ok()
+                    .and_then(|v| v.get("id").and_then(Json::as_u64))
+                    .unwrap_or(0);
+                respond(seq, Some(proto::render_error(id, &e)));
+                return;
+            }
+        };
+        match &req.op {
+            RequestOp::Stats => {
+                respond(seq, Some(proto::render_stats(req.id, &self.stats())));
+            }
+            &RequestOp::KillShard { shard } => {
+                self.kill_shard(shard as usize);
+                respond(seq, None);
+            }
+            &RequestOp::RestartShard { shard } => {
+                self.restart_shard(shard as usize);
+                respond(seq, None);
+            }
+            RequestOp::Analyze { .. } | RequestOp::Query { .. } | RequestOp::Batch { .. } => {
+                let primary = match &req.op {
+                    RequestOp::Batch { apps } => apps.first().cloned().unwrap_or_default(),
+                    RequestOp::Analyze { app } | RequestOp::Query { app, .. } => app.clone(),
+                    _ => unreachable!(),
+                };
+                let deadline = req
+                    .deadline_ms
+                    .map(|ms| Instant::now() + Duration::from_millis(ms));
+                self.route_job(
+                    self.route(&primary),
+                    Job {
+                        seq,
+                        req,
+                        respond: Arc::clone(respond),
+                        deadline,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Enqueues `job` on `primary`, probing forward past dead shards.
+    fn route_job(&self, primary: usize, job: Job) {
+        let n = self.inner.shards.len();
+        let mut job = job;
+        for k in 0..n {
+            let idx = (primary + k) % n;
+            match self.try_enqueue(idx, job) {
+                Ok(()) => {
+                    if k > 0 {
+                        self.inner.rerouted.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return;
+                }
+                Err(returned) => job = returned,
+            }
+        }
+        self.inner.no_shard_errors.fetch_add(1, Ordering::Relaxed);
+        (job.respond)(
+            job.seq,
+            Some(proto::render_error(job.req.id, "no shard available")),
+        );
+    }
+
+    /// Blocking bounded put; `Err(job)` if the shard is (or went) dead.
+    fn try_enqueue(&self, idx: usize, job: Job) -> Result<(), Job> {
+        let shard = &self.inner.shards[idx];
+        let mut state = shard.lock();
+        loop {
+            if !state.alive || !self.inner.running.load(Ordering::Relaxed) {
+                return Err(job);
+            }
+            if state.queue.len() < self.inner.queue_capacity {
+                state.queue.push_back(job);
+                shard.not_empty.notify_one();
+                return Ok(());
+            }
+            state = shard.not_full.wait(state).expect("shard poisoned");
+        }
+    }
+
+    /// Takes shard `idx` down: stops its workers (the current in-flight
+    /// request completes and is answered — nothing is lost), re-routes
+    /// everything still queued, folds its counters into the retired
+    /// total, and drops its service (memory tier gone; its snapshots
+    /// stay on disk). Returns `false` if the index is out of range or
+    /// the shard was already dead.
+    pub fn kill_shard(&self, idx: usize) -> bool {
+        let Some(shard) = self.inner.shards.get(idx) else {
+            return false;
+        };
+        let stranded = {
+            let mut state = shard.lock();
+            if !state.alive {
+                return false;
+            }
+            state.alive = false;
+            shard.not_empty.notify_all();
+            shard.not_full.notify_all();
+            std::mem::take(&mut state.queue)
+        };
+        self.inner.kills.fetch_add(1, Ordering::Relaxed);
+        // Wait for the workers to finish their in-flight requests and
+        // detach, then retire the service's counters and drop it.
+        {
+            let mut state = shard.lock();
+            while state.workers > 0 || state.in_flight > 0 {
+                state = shard.settled.wait(state).expect("shard poisoned");
+            }
+            let service = state.service.take().expect("dead shard kept a service");
+            let mut retired = self.inner.retired.lock().expect("retired stats poisoned");
+            retired.absorb(&service.stats());
+        }
+        // Re-route the stranded queue through the normal router, which
+        // now probes past this shard — each displaced job is counted as
+        // rerouted by `route_job`'s probe.
+        for job in stranded {
+            let primary = match &job.req.op {
+                RequestOp::Batch { apps } => apps.first().cloned().unwrap_or_default(),
+                RequestOp::Analyze { app } | RequestOp::Query { app, .. } => app.clone(),
+                _ => String::new(),
+            };
+            self.route_job(self.route(&primary), job);
+        }
+        true
+    }
+
+    /// Brings a dead shard back with a fresh service from the factory —
+    /// over the shared snapshot directory, so first touches are disk
+    /// restores, not re-parses. Returns `false` if the index is out of
+    /// range or the shard is already alive.
+    pub fn restart_shard(&self, idx: usize) -> bool {
+        let Some(shard) = self.inner.shards.get(idx) else {
+            return false;
+        };
+        {
+            let mut state = shard.lock();
+            if state.alive {
+                return false;
+            }
+            state.service = Some(Arc::new((self.inner.factory)(idx)));
+            state.alive = true;
+            state.workers = self.inner.workers_per_shard;
+        }
+        self.inner.restarts.fetch_add(1, Ordering::Relaxed);
+        self.spawn_workers(idx);
+        true
+    }
+
+    /// Blocks until every live shard's queue is empty and nothing is in
+    /// flight — all submitted responses delivered.
+    pub fn drain(&self) {
+        for shard in &self.inner.shards {
+            let mut state = shard.lock();
+            while state.alive && (!state.queue.is_empty() || state.in_flight > 0) {
+                state = shard.settled.wait(state).expect("shard poisoned");
+            }
+        }
+    }
+
+    /// Aggregated service + store counters: the retired totals of every
+    /// killed shard plus the live shards' current counters — what the
+    /// JSONL `stats` op renders, so tier hit rates stay meaningful
+    /// across the whole pool.
+    pub fn stats(&self) -> ServiceStats {
+        let mut agg = *self.inner.retired.lock().expect("retired stats poisoned");
+        for shard in &self.inner.shards {
+            if let Some(service) = &shard.lock().service {
+                agg.absorb(&service.stats());
+            }
+        }
+        agg
+    }
+
+    /// One live shard's own counters (`None` while it is dead) — the
+    /// per-shard view `service_throughput --shards` reports.
+    pub fn shard_stats(&self, idx: usize) -> Option<ServiceStats> {
+        self.inner
+            .shards
+            .get(idx)?
+            .lock()
+            .service
+            .as_ref()
+            .map(|s| s.stats())
+    }
+
+    /// Routing/admission/lifecycle counters.
+    pub fn pool_stats(&self) -> PoolStats {
+        let inner = &self.inner;
+        PoolStats {
+            shards: inner.shards.len() as u64,
+            alive: inner.shards.iter().filter(|s| s.lock().alive).count() as u64,
+            rerouted: inner.rerouted.load(Ordering::Relaxed),
+            deadline_expired: inner.deadline_expired.load(Ordering::Relaxed),
+            no_shard_errors: inner.no_shard_errors.load(Ordering::Relaxed),
+            kills: inner.kills.load(Ordering::Relaxed),
+            restarts: inner.restarts.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops every worker after its current request and joins them.
+    /// Called by `Drop`; anything still queued is dropped unanswered,
+    /// so [`ShardPool::drain`] first for a graceful exit.
+    pub fn shutdown(&self) {
+        self.inner.running.store(false, Ordering::Relaxed);
+        for shard in &self.inner.shards {
+            shard.not_empty.notify_all();
+            shard.not_full.notify_all();
+        }
+        let handles = std::mem::take(&mut *self.handles.lock().expect("handles poisoned"));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    fn spawn_workers(&self, idx: usize) {
+        let mut handles = self.handles.lock().expect("handles poisoned");
+        for _ in 0..self.inner.workers_per_shard {
+            let inner = Arc::clone(&self.inner);
+            handles.push(std::thread::spawn(move || worker_loop(&inner, idx)));
+        }
+    }
+}
+
+impl Drop for ShardPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(inner: &PoolInner, idx: usize) {
+    let shard = &inner.shards[idx];
+    loop {
+        let (job, service) = {
+            let mut state = shard.lock();
+            loop {
+                if !inner.running.load(Ordering::Relaxed) || !state.alive {
+                    state.workers -= 1;
+                    shard.settled.notify_all();
+                    return;
+                }
+                if let Some(job) = state.queue.pop_front() {
+                    state.in_flight += 1;
+                    shard.not_full.notify_all();
+                    let service =
+                        Arc::clone(state.service.as_ref().expect("live shard has a service"));
+                    break (job, service);
+                }
+                state = shard.not_empty.wait(state).expect("shard poisoned");
+            }
+        };
+        let response = if job.deadline.is_some_and(|d| Instant::now() > d) {
+            inner.deadline_expired.fetch_add(1, Ordering::Relaxed);
+            Some(proto::render_error(job.req.id, "deadline exceeded"))
+        } else {
+            execute_request(&service, &job.req)
+        };
+        (job.respond)(job.seq, response);
+        drop(service);
+        let mut state = shard.lock();
+        state.in_flight -= 1;
+        if state.in_flight == 0 {
+            // Wakes both `drain` (queue empty, nothing in flight) and a
+            // `kill_shard` waiting out the in-flight work.
+            shard.settled.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+    use backdroid_appgen::benchset::BenchsetConfig;
+    use std::collections::BTreeMap;
+
+    fn pool(shards: usize) -> ShardPool {
+        let bench = BenchsetConfig::sized(6, 0.04);
+        ShardPool::new(
+            ShardPoolConfig {
+                shards,
+                ..ShardPoolConfig::default()
+            },
+            move |_| {
+                Service::over_benchset(
+                    bench,
+                    ServiceConfig {
+                        budget_bytes: u64::MAX,
+                        ..ServiceConfig::default()
+                    },
+                )
+            },
+        )
+    }
+
+    type Collected = Arc<Mutex<BTreeMap<u64, Option<String>>>>;
+
+    fn collecting_responder() -> (Responder, Collected) {
+        let seen: Collected = Arc::default();
+        let sink = Arc::clone(&seen);
+        let responder: Responder = Arc::new(move |seq, line| {
+            let prev = sink.lock().unwrap().insert(seq, line);
+            assert!(prev.is_none(), "duplicate response for seq {seq}");
+        });
+        (responder, seen)
+    }
+
+    #[test]
+    fn routes_are_stable_and_cover_all_shards() {
+        let p = pool(4);
+        for id in ["0", "1", "2", "17", "com.app.x"] {
+            assert_eq!(p.route(id), p.route(id));
+            assert!(p.route(id) < 4);
+        }
+        let covered: std::collections::BTreeSet<usize> =
+            (0..64).map(|i| p.route(&i.to_string())).collect();
+        assert!(covered.len() > 1, "hashing must spread apps across shards");
+    }
+
+    #[test]
+    fn submits_answer_exactly_once_and_drain_waits() {
+        let p = pool(2);
+        let (responder, seen) = collecting_responder();
+        for seq in 0..8u64 {
+            let line = format!(
+                "{{\"id\":{seq},\"op\":\"analyze\",\"app\":\"{}\"}}",
+                seq % 3
+            );
+            p.submit_line(seq, &line, &responder);
+        }
+        p.submit_line(8, "", &responder);
+        p.submit_line(9, "not json", &responder);
+        p.drain();
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 10, "every submission answered exactly once");
+        assert_eq!(seen[&8], None, "blank line produces no output");
+        assert!(seen[&9].as_ref().unwrap().contains("\"error\""));
+    }
+
+    #[test]
+    fn kill_reroutes_and_restart_revives() {
+        let p = pool(3);
+        let (responder, seen) = collecting_responder();
+        let victim = p.route("1");
+        assert!(p.kill_shard(victim));
+        assert!(!p.kill_shard(victim), "second kill is a no-op");
+        p.submit_line(0, "{\"id\":0,\"op\":\"analyze\",\"app\":\"1\"}", &responder);
+        p.drain();
+        assert!(seen.lock().unwrap()[&0]
+            .as_ref()
+            .unwrap()
+            .contains("\"app\":\"1\""));
+        let ps = p.pool_stats();
+        assert_eq!((ps.kills, ps.alive), (1, 2));
+        assert!(ps.rerouted >= 1, "the dead primary was probed past");
+        assert!(p.restart_shard(victim));
+        assert!(!p.restart_shard(victim), "second restart is a no-op");
+        assert_eq!(p.pool_stats().alive, 3);
+        // Same request id, so the rendered line must be byte-identical.
+        p.submit_line(1, "{\"id\":0,\"op\":\"analyze\",\"app\":\"1\"}", &responder);
+        p.drain();
+        let seen = seen.lock().unwrap();
+        assert_eq!(
+            seen[&1], seen[&0],
+            "the revived shard serves the identical response"
+        );
+    }
+
+    #[test]
+    fn expired_deadlines_get_deterministic_errors() {
+        let p = pool(1);
+        let (responder, seen) = collecting_responder();
+        // deadline_ms 0: expired the moment a worker dequeues it.
+        p.submit_line(
+            0,
+            "{\"id\":0,\"op\":\"analyze\",\"app\":\"0\",\"deadline_ms\":0}",
+            &responder,
+        );
+        p.drain();
+        assert_eq!(
+            seen.lock().unwrap()[&0].as_deref(),
+            Some("{\"id\":0,\"error\":\"deadline exceeded\"}"),
+        );
+        assert_eq!(p.pool_stats().deadline_expired, 1);
+    }
+
+    #[test]
+    fn stats_aggregate_across_kill_and_restart() {
+        let p = pool(2);
+        let (responder, _seen) = collecting_responder();
+        for seq in 0..6u64 {
+            let line = format!(
+                "{{\"id\":{seq},\"op\":\"analyze\",\"app\":\"{}\"}}",
+                seq % 4
+            );
+            p.submit_line(seq, &line, &responder);
+        }
+        p.drain();
+        let before = p.stats();
+        assert_eq!(before.requests, 6);
+        p.kill_shard(0);
+        p.restart_shard(0);
+        let after = p.stats();
+        assert_eq!(
+            after.requests, 6,
+            "retired counters keep the aggregate monotonic across restarts"
+        );
+        assert_eq!(after.analyze_requests, before.analyze_requests);
+    }
+}

@@ -1,0 +1,459 @@
+//! The length-framed binary socket transport `backdroid-serve` speaks
+//! with `--listen` / `--connect`: a hand-rolled frame codec over the
+//! same varint vocabulary as the snapshot wire format
+//! ([`backdroid_ir::wire`]), carried over TCP or Unix-domain sockets —
+//! no new dependencies, the same ethos as the JSONL parser.
+//!
+//! ## Frame format
+//!
+//! ```text
+//! frame = magic u8 (0xBD) · payload length (LEB128 uvarint) · payload
+//! ```
+//!
+//! The payload is one protocol line (see [`crate::proto`]) — requests in
+//! one direction, responses in the other. An **empty payload** is the
+//! explicit "no output" response (blank input lines, admin ops), which
+//! keeps requests and responses 1:1 per connection so a client never has
+//! to guess how many frames are coming.
+//!
+//! Two properties mirror the snapshot layer's, and are enforced by
+//! `tests/transport_proto.rs`:
+//!
+//! * **Determinism** — encoding is a pure function of the payload, so
+//!   replies relayed over the socket diff byte-for-byte against a
+//!   stdin/stdout run of the same trace.
+//! * **Total decoding** — [`decode_frame`] never panics and never
+//!   allocates ahead of its input: a bad magic byte, an overlong length
+//!   varint, or a length above the cap is a typed [`FrameError`]; a
+//!   frame that is merely incomplete is [`FrameDecode::NeedMore`], never
+//!   an error, so a streaming reader can wait for the rest.
+
+use backdroid_ir::wire::WireWriter;
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+use std::path::PathBuf;
+use std::sync::{Condvar, Mutex};
+
+/// First byte of every frame — rejects line-oriented traffic (and
+/// random garbage) before a length is ever trusted.
+pub const FRAME_MAGIC: u8 = 0xBD;
+
+/// Default cap on one frame's payload. Responses carry rendered sink
+/// reports for one app and stay far below this; anything larger is a
+/// corrupt or hostile length and must not trigger an allocation.
+pub const MAX_FRAME_BYTES: u64 = 64 * 1024 * 1024;
+
+/// Why a frame failed to decode. Incomplete input is *not* an error —
+/// see [`FrameDecode::NeedMore`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum FrameError {
+    /// The first byte was not [`FRAME_MAGIC`]: the peer is not speaking
+    /// this protocol (or the stream lost sync). Unrecoverable for the
+    /// connection.
+    BadMagic(u8),
+    /// The length varint was malformed (longer than 10 bytes or
+    /// overflowing 64 bits).
+    BadLength,
+    /// The declared payload length exceeds the cap — decoding stops
+    /// before allocating.
+    TooLarge {
+        /// The length the frame claimed.
+        len: u64,
+        /// The cap it exceeded.
+        max: u64,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadMagic(b) => write!(f, "bad frame magic {b:#04x}"),
+            FrameError::BadLength => write!(f, "malformed frame length varint"),
+            FrameError::TooLarge { len, max } => {
+                write!(f, "frame payload of {len} bytes exceeds the {max}-byte cap")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// The outcome of [`decode_frame`] on a buffer that held no error.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum FrameDecode {
+    /// A complete frame: its payload and the total bytes it consumed
+    /// from the front of the buffer.
+    Frame {
+        /// The frame's payload bytes.
+        payload: Vec<u8>,
+        /// Bytes consumed from the buffer (header + payload).
+        consumed: usize,
+    },
+    /// The buffer holds a valid frame prefix but not the whole frame
+    /// yet — read more bytes and retry.
+    NeedMore,
+}
+
+/// Encodes one frame: magic, uvarint payload length, payload bytes.
+/// The header is written with the snapshot format's [`WireWriter`], so
+/// both on-disk and on-wire layers share one varint definition.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.put_u8(FRAME_MAGIC);
+    w.put_uvarint(payload.len() as u64);
+    let mut out = w.into_bytes();
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Decodes one frame from the front of `buf`, with payloads capped at
+/// `max_payload` bytes. Total: every input is either a frame, a typed
+/// error, or an honest request for more bytes — never a panic, and
+/// never an allocation sized by unvalidated input.
+pub fn decode_frame(buf: &[u8], max_payload: u64) -> Result<FrameDecode, FrameError> {
+    let Some(&first) = buf.first() else {
+        return Ok(FrameDecode::NeedMore);
+    };
+    if first != FRAME_MAGIC {
+        return Err(FrameError::BadMagic(first));
+    }
+    // Inline LEB128 decode so an incomplete varint is NeedMore, not an
+    // error (WireReader's Truncated conflates the two).
+    let mut len: u64 = 0;
+    let mut at = 1usize;
+    loop {
+        let Some(&byte) = buf.get(at) else {
+            return Ok(FrameDecode::NeedMore);
+        };
+        let shift = (at - 1) * 7;
+        if at > 10 || (shift == 63 && (byte & 0x7f) > 1) {
+            return Err(FrameError::BadLength);
+        }
+        len |= ((byte & 0x7f) as u64) << shift;
+        at += 1;
+        if byte & 0x80 == 0 {
+            break;
+        }
+    }
+    if len > max_payload {
+        return Err(FrameError::TooLarge {
+            len,
+            max: max_payload,
+        });
+    }
+    let len = len as usize;
+    let Some(payload) = buf.get(at..at + len) else {
+        return Ok(FrameDecode::NeedMore);
+    };
+    Ok(FrameDecode::Frame {
+        payload: payload.to_vec(),
+        consumed: at + len,
+    })
+}
+
+/// Writes one frame to a stream.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    w.write_all(&encode_frame(payload))
+}
+
+/// A buffering frame reader over any byte stream.
+#[derive(Debug)]
+pub struct FrameReader<R: Read> {
+    inner: R,
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed by returned frames.
+    consumed: usize,
+    max_payload: u64,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// A reader with the default [`MAX_FRAME_BYTES`] payload cap.
+    pub fn new(inner: R) -> Self {
+        Self::with_max_payload(inner, MAX_FRAME_BYTES)
+    }
+
+    /// A reader with an explicit payload cap.
+    pub fn with_max_payload(inner: R, max_payload: u64) -> Self {
+        FrameReader {
+            inner,
+            buf: Vec::new(),
+            consumed: 0,
+            max_payload,
+        }
+    }
+
+    /// Reads the next frame's payload. `Ok(None)` means the stream
+    /// ended cleanly on a frame boundary; EOF mid-frame, bad magic, and
+    /// oversized lengths become `io::Error`s (the connection is
+    /// unrecoverable once framing is lost).
+    pub fn read_frame(&mut self) -> io::Result<Option<Vec<u8>>> {
+        loop {
+            match decode_frame(&self.buf[self.consumed..], self.max_payload) {
+                Ok(FrameDecode::Frame { payload, consumed }) => {
+                    self.consumed += consumed;
+                    // Reclaim the buffer once everything buffered was used.
+                    if self.consumed == self.buf.len() {
+                        self.buf.clear();
+                        self.consumed = 0;
+                    }
+                    return Ok(Some(payload));
+                }
+                Ok(FrameDecode::NeedMore) => {
+                    let mut chunk = [0u8; 8192];
+                    let n = self.inner.read(&mut chunk)?;
+                    if n == 0 {
+                        return if self.consumed == self.buf.len() {
+                            Ok(None)
+                        } else {
+                            Err(io::Error::new(
+                                io::ErrorKind::UnexpectedEof,
+                                "stream ended mid-frame",
+                            ))
+                        };
+                    }
+                    if self.consumed > 0 {
+                        self.buf.drain(..self.consumed);
+                        self.consumed = 0;
+                    }
+                    self.buf.extend_from_slice(&chunk[..n]);
+                }
+                Err(e) => return Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+            }
+        }
+    }
+}
+
+/// A serve/connect address: `tcp:HOST:PORT` or `unix:PATH`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Endpoint {
+    /// A TCP socket address (`tcp:127.0.0.1:7411`).
+    Tcp(String),
+    /// A Unix-domain socket path (`unix:/tmp/backdroid.sock`).
+    Unix(PathBuf),
+}
+
+impl Endpoint {
+    /// Parses `tcp:HOST:PORT` / `unix:PATH`.
+    pub fn parse(s: &str) -> Result<Endpoint, String> {
+        if let Some(addr) = s.strip_prefix("tcp:") {
+            if addr
+                .rsplit_once(':')
+                .is_none_or(|(h, p)| h.is_empty() || p.parse::<u16>().is_err())
+            {
+                return Err(format!("{addr:?} is not HOST:PORT"));
+            }
+            Ok(Endpoint::Tcp(addr.to_string()))
+        } else if let Some(path) = s.strip_prefix("unix:") {
+            if path.is_empty() {
+                return Err("unix: endpoint needs a path".into());
+            }
+            Ok(Endpoint::Unix(PathBuf::from(path)))
+        } else {
+            Err(format!(
+                "{s:?} is not an endpoint — expected tcp:HOST:PORT or unix:PATH"
+            ))
+        }
+    }
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Tcp(addr) => write!(f, "tcp:{addr}"),
+            Endpoint::Unix(path) => write!(f, "unix:{}", path.display()),
+        }
+    }
+}
+
+/// Reassembles out-of-order completions into input-sequence order:
+/// response `seq` reaches the sink exactly once, in ascending `seq`
+/// order, whatever order workers finish in. `None` completions are
+/// delivered to the sink too (it decides whether "no output" is
+/// skipped, as stdout mode does, or an empty frame, as the socket
+/// transport does).
+pub struct OrderedEmitter {
+    #[allow(clippy::type_complexity)]
+    state: Mutex<(u64, BTreeMap<u64, Option<String>>)>,
+    advanced: Condvar,
+    #[allow(clippy::type_complexity)]
+    sink: Box<dyn Fn(Option<String>) + Send + Sync>,
+}
+
+impl std::fmt::Debug for OrderedEmitter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.state.lock().expect("emitter poisoned");
+        f.debug_struct("OrderedEmitter")
+            .field("next_seq", &state.0)
+            .field("pending", &state.1.len())
+            .finish()
+    }
+}
+
+impl OrderedEmitter {
+    /// An emitter delivering ordered completions to `sink`.
+    pub fn new(sink: impl Fn(Option<String>) + Send + Sync + 'static) -> Self {
+        OrderedEmitter {
+            state: Mutex::new((0, BTreeMap::new())),
+            advanced: Condvar::new(),
+            sink: Box::new(sink),
+        }
+    }
+
+    /// Records completion `seq` and flushes every now-contiguous
+    /// completion to the sink, in order.
+    pub fn emit(&self, seq: u64, line: Option<String>) {
+        let mut state = self.state.lock().expect("emitter poisoned");
+        state.1.insert(seq, line);
+        loop {
+            let next_seq = state.0;
+            let Some(next) = state.1.remove(&next_seq) else {
+                break;
+            };
+            state.0 += 1;
+            // The sink runs under the lock, which serializes output and
+            // keeps `wait_for` exact; sinks are plain writes.
+            (self.sink)(next);
+        }
+        self.advanced.notify_all();
+    }
+
+    /// Blocks until every completion below `n` has been flushed.
+    pub fn wait_for(&self, n: u64) {
+        let mut state = self.state.lock().expect("emitter poisoned");
+        while state.0 < n {
+            state = self.advanced.wait(state).expect("emitter poisoned");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_and_concatenate() {
+        for payload in [&b""[..], b"x", b"{\"id\":0}", &[0u8; 300]] {
+            let enc = encode_frame(payload);
+            match decode_frame(&enc, MAX_FRAME_BYTES).unwrap() {
+                FrameDecode::Frame {
+                    payload: got,
+                    consumed,
+                } => {
+                    assert_eq!(got, payload);
+                    assert_eq!(consumed, enc.len());
+                }
+                other => panic!("expected a frame, got {other:?}"),
+            }
+        }
+        // Two concatenated frames decode in sequence.
+        let mut stream = encode_frame(b"first");
+        stream.extend_from_slice(&encode_frame(b"second"));
+        let FrameDecode::Frame { payload, consumed } =
+            decode_frame(&stream, MAX_FRAME_BYTES).unwrap()
+        else {
+            panic!("first frame");
+        };
+        assert_eq!(payload, b"first");
+        let FrameDecode::Frame { payload, .. } =
+            decode_frame(&stream[consumed..], MAX_FRAME_BYTES).unwrap()
+        else {
+            panic!("second frame");
+        };
+        assert_eq!(payload, b"second");
+    }
+
+    #[test]
+    fn truncation_is_need_more_and_garbage_is_typed() {
+        let enc = encode_frame(b"hello frame");
+        for cut in 0..enc.len() {
+            assert_eq!(
+                decode_frame(&enc[..cut], MAX_FRAME_BYTES).unwrap(),
+                FrameDecode::NeedMore,
+                "prefix of {cut} bytes"
+            );
+        }
+        assert_eq!(
+            decode_frame(b"{\"id\":0}", MAX_FRAME_BYTES),
+            Err(FrameError::BadMagic(b'{'))
+        );
+        // A length over the cap is rejected before any allocation.
+        let mut huge = vec![FRAME_MAGIC];
+        huge.extend_from_slice(&[0xff, 0xff, 0xff, 0xff, 0x7f]); // ~34 GiB
+        assert!(matches!(
+            decode_frame(&huge, MAX_FRAME_BYTES),
+            Err(FrameError::TooLarge { .. })
+        ));
+        // An overlong varint is malformed, not a hang.
+        let mut overlong = vec![FRAME_MAGIC];
+        overlong.extend_from_slice(&[0x80; 11]);
+        assert_eq!(
+            decode_frame(&overlong, MAX_FRAME_BYTES),
+            Err(FrameError::BadLength)
+        );
+    }
+
+    #[test]
+    fn frame_reader_streams_and_reports_mid_frame_eof() {
+        let mut stream = Vec::new();
+        for p in ["a", "", "long line payload"] {
+            stream.extend_from_slice(&encode_frame(p.as_bytes()));
+        }
+        let mut r = FrameReader::new(&stream[..]);
+        assert_eq!(r.read_frame().unwrap().as_deref(), Some(&b"a"[..]));
+        assert_eq!(r.read_frame().unwrap().as_deref(), Some(&b""[..]));
+        assert_eq!(
+            r.read_frame().unwrap().as_deref(),
+            Some(&b"long line payload"[..])
+        );
+        assert_eq!(r.read_frame().unwrap(), None, "clean EOF on the boundary");
+
+        let cut = &stream[..stream.len() - 3];
+        let mut r = FrameReader::new(cut);
+        r.read_frame().unwrap();
+        r.read_frame().unwrap();
+        assert!(r.read_frame().is_err(), "EOF mid-frame is an error");
+    }
+
+    #[test]
+    fn endpoints_parse_and_render() {
+        assert_eq!(
+            Endpoint::parse("tcp:127.0.0.1:7411").unwrap(),
+            Endpoint::Tcp("127.0.0.1:7411".into())
+        );
+        assert_eq!(
+            Endpoint::parse("unix:/tmp/bd.sock").unwrap(),
+            Endpoint::Unix(PathBuf::from("/tmp/bd.sock"))
+        );
+        for bad in [
+            "127.0.0.1:7411",
+            "tcp:nohost",
+            "tcp::77",
+            "unix:",
+            "tcp:h:x",
+        ] {
+            assert!(Endpoint::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+        assert_eq!(
+            Endpoint::parse("tcp:[::1]:7411").unwrap().to_string(),
+            "tcp:[::1]:7411"
+        );
+    }
+
+    #[test]
+    fn ordered_emitter_reorders_and_waits() {
+        let out = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let sink_out = std::sync::Arc::clone(&out);
+        let em = OrderedEmitter::new(move |line| {
+            sink_out.lock().unwrap().push(line);
+        });
+        em.emit(2, Some("two".into()));
+        em.emit(0, Some("zero".into()));
+        assert_eq!(out.lock().unwrap().len(), 1, "seq 1 still pending");
+        em.emit(1, None);
+        em.wait_for(3);
+        assert_eq!(
+            *out.lock().unwrap(),
+            vec![Some("zero".to_string()), None, Some("two".to_string())]
+        );
+    }
+}

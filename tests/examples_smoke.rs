@@ -33,8 +33,12 @@ fn all_examples_compile_and_run() {
         "examples/ contains no .rs files — the quickstart is gone"
     );
     assert!(
-        names.len() >= 8,
-        "expected the eight shipped walkthroughs, found only {names:?}"
+        names.len() >= 9,
+        "expected the nine shipped walkthroughs, found only {names:?}"
+    );
+    assert!(
+        names.iter().any(|n| n == "sharded_serve"),
+        "the sharded-serving walkthrough must stay shipped: {names:?}"
     );
     assert!(
         names.iter().any(|n| n == "parallel_session"),

@@ -1,0 +1,158 @@
+//! Frame-codec contracts for the socket transport, tier-1 enforced:
+//!
+//! * encoding/decoding round-trips arbitrary payloads, alone and
+//!   concatenated into a stream;
+//! * decoding is **total** — truncated, oversized, and garbage inputs
+//!   produce `NeedMore` or a typed error, never a panic and never a
+//!   phantom frame;
+//! * [`FrameReader`] reassembles frames across arbitrary chunk splits
+//!   and distinguishes clean EOF (frame boundary) from mid-frame EOF.
+
+use backdroid_service::transport::{
+    decode_frame, encode_frame, FrameDecode, FrameError, FrameReader, MAX_FRAME_BYTES,
+};
+use proptest::prelude::*;
+
+/// Feeds `stream` to a [`FrameReader`] through a reader that yields at
+/// most `chunk` bytes per `read` call, collecting every decoded frame.
+fn read_all_chunked(stream: &[u8], chunk: usize) -> std::io::Result<Vec<Vec<u8>>> {
+    struct Chunked<'a> {
+        data: &'a [u8],
+        chunk: usize,
+    }
+    impl std::io::Read for Chunked<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            let n = self.chunk.min(self.data.len()).min(buf.len());
+            buf[..n].copy_from_slice(&self.data[..n]);
+            self.data = &self.data[n..];
+            Ok(n)
+        }
+    }
+    let mut reader = FrameReader::new(Chunked {
+        data: stream,
+        chunk: chunk.max(1),
+    });
+    let mut frames = Vec::new();
+    while let Some(frame) = reader.read_frame()? {
+        frames.push(frame);
+    }
+    Ok(frames)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// encode → decode is the identity, and the decoder reports exactly
+    /// the encoded length as consumed.
+    #[test]
+    fn frames_round_trip(payload in prop::collection::vec(any::<u8>(), 0..512)) {
+        let encoded = encode_frame(&payload);
+        match decode_frame(&encoded, MAX_FRAME_BYTES) {
+            Ok(FrameDecode::Frame { payload: got, consumed }) => {
+                prop_assert_eq!(got, payload);
+                prop_assert_eq!(consumed, encoded.len());
+            }
+            other => prop_assert!(false, "decode failed: {:?}", other),
+        }
+    }
+
+    /// A concatenated stream of frames decodes back to the same payload
+    /// sequence, whatever chunk size the wire delivers.
+    #[test]
+    fn streams_reassemble_across_any_chunking(
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 0..8),
+        chunk in 1usize..48,
+    ) {
+        let mut stream = Vec::new();
+        for p in &payloads {
+            stream.extend_from_slice(&encode_frame(p));
+        }
+        let frames = read_all_chunked(&stream, chunk).expect("valid stream");
+        prop_assert_eq!(frames, payloads);
+    }
+
+    /// Every proper prefix of a valid frame is incomplete — `NeedMore`,
+    /// never an error and never a shorter phantom frame.
+    #[test]
+    fn truncation_is_need_more(
+        payload in prop::collection::vec(any::<u8>(), 1..256),
+        cut_seed in any::<u64>(),
+    ) {
+        let encoded = encode_frame(&payload);
+        let cut = (cut_seed % encoded.len() as u64) as usize; // 0..len: a proper prefix
+        match decode_frame(&encoded[..cut], MAX_FRAME_BYTES) {
+            Ok(FrameDecode::NeedMore) => {}
+            other => prop_assert!(false, "prefix of {} bytes gave {:?}", cut, other),
+        }
+    }
+
+    /// Decoding arbitrary garbage is total: it returns a frame, asks for
+    /// more, or rejects with a typed error — and a returned frame can
+    /// only happen when the bytes really start with a valid encoding.
+    #[test]
+    fn garbage_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        match decode_frame(&bytes, MAX_FRAME_BYTES) {
+            Ok(FrameDecode::Frame { payload, consumed }) => {
+                prop_assert_eq!(&encode_frame(&payload), &bytes[..consumed]);
+            }
+            Ok(FrameDecode::NeedMore) | Err(_) => {}
+        }
+    }
+
+    /// A frame whose declared length exceeds the cap is rejected before
+    /// any allocation, with the offending length in the error.
+    #[test]
+    fn oversized_lengths_are_rejected(extra in 1u64..1_000_000) {
+        let max = 4096u64;
+        let mut bytes = encode_frame(&[]);
+        bytes.truncate(1); // keep only the magic
+        // LEB128-encode an over-cap length by hand.
+        let mut len = max + extra;
+        loop {
+            let b = (len & 0x7f) as u8;
+            len >>= 7;
+            if len == 0 { bytes.push(b); break; }
+            bytes.push(b | 0x80);
+        }
+        match decode_frame(&bytes, max) {
+            Err(FrameError::TooLarge { len, max: m }) => {
+                prop_assert_eq!(len, max + extra);
+                prop_assert_eq!(m, max);
+            }
+            other => prop_assert!(false, "expected TooLarge, got {:?}", other),
+        }
+    }
+}
+
+#[test]
+fn wrong_magic_and_malformed_varints_are_typed_errors() {
+    // A JSONL client speaking to the framed port: first byte is '{'.
+    assert!(matches!(
+        decode_frame(b"{\"id\":0}", MAX_FRAME_BYTES),
+        Err(FrameError::BadMagic(b'{'))
+    ));
+    // A varint that never terminates within the 10-byte u64 limit.
+    let mut runaway = vec![0xBD];
+    runaway.extend_from_slice(&[0x80; 11]);
+    assert!(matches!(
+        decode_frame(&runaway, MAX_FRAME_BYTES),
+        Err(FrameError::BadLength)
+    ));
+}
+
+#[test]
+fn frame_reader_reports_mid_frame_eof_as_error() {
+    let encoded = encode_frame(b"cut short");
+    let truncated = &encoded[..encoded.len() - 3];
+    let mut reader = FrameReader::new(truncated);
+    let err = reader.read_frame().expect_err("mid-frame EOF must error");
+    assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+
+    // Clean EOF at a frame boundary is a normal end of stream.
+    let mut reader = FrameReader::new(&encoded[..]);
+    assert_eq!(
+        reader.read_frame().unwrap().as_deref(),
+        Some(&b"cut short"[..])
+    );
+    assert!(reader.read_frame().unwrap().is_none());
+}
