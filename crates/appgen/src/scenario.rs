@@ -23,6 +23,12 @@ pub enum SinkKind {
     Cipher,
     /// `org.apache.http.conn.ssl.SSLSocketFactory.setHostnameVerifier(..)`.
     SslVerifier,
+    /// `android.webkit.WebView.addJavascriptInterface(Object, String)`.
+    WebViewJsInterface,
+    /// `new java.util.Random(long)` — constant-seed weak PRNG.
+    PrngSeed,
+    /// `java.lang.Runtime.exec(String)` — shell command injection.
+    ExecCommand,
 }
 
 impl SinkKind {
@@ -31,6 +37,9 @@ impl SinkKind {
         match self {
             SinkKind::Cipher => "crypto.cipher",
             SinkKind::SslVerifier => "ssl.verifier.factory",
+            SinkKind::WebViewJsInterface => "webview.jsinterface",
+            SinkKind::PrngSeed => "prng.seed",
+            SinkKind::ExecCommand => "exec.command",
         }
     }
 }
@@ -156,6 +165,21 @@ pub fn verifier_field(insecure: bool) -> FieldSig {
     )
 }
 
+/// The JavaScript interface name the insecure WebView variant exports.
+pub const JS_BRIDGE_NAME: &str = "jsBridge";
+
+/// The constant seed of the insecure PRNG variant.
+pub const PRNG_SEED: i64 = 20210621;
+
+/// The `Runtime.exec` command string per variant.
+pub fn exec_command(insecure: bool) -> &'static str {
+    if insecure {
+        "su -c id"
+    } else {
+        "getprop ro.build.version.sdk"
+    }
+}
+
 /// The sink API signature of a kind.
 pub fn sink_api(kind: SinkKind) -> MethodSig {
     match kind {
@@ -172,6 +196,21 @@ pub fn sink_api(kind: SinkKind) -> MethodSig {
                 "org.apache.http.conn.ssl.X509HostnameVerifier",
             )],
             Type::Void,
+        ),
+        SinkKind::WebViewJsInterface => MethodSig::new(
+            "android.webkit.WebView",
+            "addJavascriptInterface",
+            vec![Type::object("java.lang.Object"), Type::string()],
+            Type::Void,
+        ),
+        SinkKind::PrngSeed => {
+            MethodSig::new("java.util.Random", "<init>", vec![Type::Long], Type::Void)
+        }
+        SinkKind::ExecCommand => MethodSig::new(
+            "java.lang.Runtime",
+            "exec",
+            vec![Type::string()],
+            Type::object("java.lang.Process"),
         ),
     }
 }
@@ -191,28 +230,45 @@ fn emit_sink_with_value(mb: &mut MethodBuilder, kind: SinkKind, param: Value) {
                 vec![param],
             ));
         }
+        SinkKind::WebViewJsInterface => {
+            let webview = mb.new_object("android.webkit.WebView", vec![], vec![]);
+            let bridge = mb.new_object("java.lang.Object", vec![], vec![]);
+            mb.invoke(InvokeExpr::call_virtual(
+                sink_api(kind),
+                webview,
+                vec![Value::Local(bridge), param],
+            ));
+        }
+        SinkKind::PrngSeed => {
+            let _rng = mb.new_object("java.util.Random", vec![Type::Long], vec![param]);
+        }
+        SinkKind::ExecCommand => {
+            let rt = mb.invoke_assign(InvokeExpr::call_static(
+                MethodSig::new(
+                    "java.lang.Runtime",
+                    "getRuntime",
+                    vec![],
+                    Type::object("java.lang.Runtime"),
+                ),
+                vec![],
+            ));
+            mb.invoke(InvokeExpr::call_virtual(sink_api(kind), rt, vec![param]));
+        }
     }
 }
 
 /// Emits a sink call with the literal insecure/secure parameter inline.
 fn emit_sink_literal(mb: &mut MethodBuilder, kind: SinkKind, insecure: bool) {
-    match kind {
-        SinkKind::Cipher => {
-            let mode = mb.assign_const(Const::str(mode_string(insecure)));
-            emit_sink_with_value(mb, kind, Value::Local(mode));
-        }
-        SinkKind::SslVerifier => {
-            let v = mb.read_static_field(verifier_field(insecure));
-            emit_sink_with_value(mb, kind, Value::Local(v));
-        }
-    }
+    let v = sink_param_local(mb, kind, insecure);
+    emit_sink_with_value(mb, kind, Value::Local(v));
 }
 
 /// The tracked parameter value type of a sink kind.
 fn param_type(kind: SinkKind) -> Type {
     match kind {
-        SinkKind::Cipher => Type::string(),
+        SinkKind::Cipher | SinkKind::WebViewJsInterface | SinkKind::ExecCommand => Type::string(),
         SinkKind::SslVerifier => Type::object("org.apache.http.conn.ssl.X509HostnameVerifier"),
+        SinkKind::PrngSeed => Type::Long,
     }
 }
 
@@ -565,16 +621,8 @@ pub fn emit(
             let pt = param_type(s.sink);
             let field = FieldSig::new(config.clone(), "MODE", pt.clone());
             let mut clinit = MethodBuilder::clinit(&config);
-            match s.sink {
-                SinkKind::Cipher => {
-                    let v = clinit.assign_const(Const::str(mode_string(s.insecure)));
-                    clinit.write_static_field(field.clone(), Value::Local(v));
-                }
-                SinkKind::SslVerifier => {
-                    let v = clinit.read_static_field(verifier_field(s.insecure));
-                    clinit.write_static_field(field.clone(), Value::Local(v));
-                }
-            }
+            let v = sink_param_local(&mut clinit, s.sink, s.insecure);
+            clinit.write_static_field(field.clone(), Value::Local(v));
             program.add_class(
                 ClassBuilder::new(config.as_str())
                     .field("MODE", pt.clone(), Modifiers::public_static().with_final())
@@ -808,6 +856,35 @@ fn sink_param_local(
     match kind {
         SinkKind::Cipher => mb.assign_const(Const::str(mode_string(insecure))),
         SinkKind::SslVerifier => mb.read_static_field(verifier_field(insecure)),
+        SinkKind::WebViewJsInterface => {
+            if insecure {
+                mb.assign_const(Const::str(JS_BRIDGE_NAME))
+            } else {
+                // A runtime-derived name: unresolvable by constant
+                // propagation, so the verdict stays Undetermined.
+                mb.invoke_assign(InvokeExpr::call_static(
+                    MethodSig::new(
+                        "java.lang.System",
+                        "getProperty",
+                        vec![Type::string()],
+                        Type::string(),
+                    ),
+                    vec![Value::str("bridge.name")],
+                ))
+            }
+        }
+        SinkKind::PrngSeed => {
+            if insecure {
+                mb.assign_const(Const::Int(PRNG_SEED))
+            } else {
+                // A time-derived seed: unresolvable, verdict Undetermined.
+                mb.invoke_assign(InvokeExpr::call_static(
+                    MethodSig::new("java.lang.System", "nanoTime", vec![], Type::Long),
+                    vec![],
+                ))
+            }
+        }
+        SinkKind::ExecCommand => mb.assign_const(Const::str(exec_command(insecure))),
     }
 }
 
@@ -917,5 +994,40 @@ mod tests {
         assert_eq!(mode_string(true), "AES/ECB/PKCS5Padding");
         assert_eq!(verifier_field(true).name(), "ALLOW_ALL_HOSTNAME_VERIFIER");
         assert_eq!(verifier_field(false).name(), "STRICT_HOSTNAME_VERIFIER");
+        assert_eq!(exec_command(true), "su -c id");
+        assert_eq!(exec_command(false), "getprop ro.build.version.sdk");
+    }
+
+    #[test]
+    fn new_sink_kinds_generate_valid_programs_across_mechanisms() {
+        for kind in [
+            SinkKind::WebViewJsInterface,
+            SinkKind::PrngSeed,
+            SinkKind::ExecCommand,
+        ] {
+            for (i, &m) in [
+                Mechanism::DirectEntry,
+                Mechanism::PrivateChain,
+                Mechanism::StaticChain,
+                Mechanism::ClinitOffPath,
+                Mechanism::DeadCode,
+            ]
+            .iter()
+            .enumerate()
+            {
+                for insecure in [true, false] {
+                    let mut program = Program::new();
+                    let mut manifest = Manifest::new("com.t");
+                    let mut gt = Vec::new();
+                    add_launcher("com.t", &mut program, &mut manifest);
+                    let s = Scenario::new(m, kind, insecure);
+                    emit(&s, i, "com.t", &mut program, &mut manifest, &mut gt);
+                    assert_eq!(gt[0].sink_id, kind.sink_id(), "{kind:?}/{m:?}");
+                    let dump =
+                        backdroid_dex::dump_image(&backdroid_dex::DexImage::encode(&program));
+                    assert!(!dump.is_empty(), "{kind:?}/{m:?}");
+                }
+            }
+        }
     }
 }

@@ -3,7 +3,7 @@
 //! the paper's central performance claim (§VI-B).
 
 use backdroid_appgen::{AppSpec, Mechanism, Scenario, SinkKind};
-use backdroid_core::{Backdroid, SinkRegistry};
+use backdroid_core::{Backdroid, DetectorRegistry};
 use backdroid_wholeapp::amandroid::{analyze, AmandroidConfig};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -34,7 +34,7 @@ fn bench_endtoend(c: &mut Criterion) {
                 budget_units: u64::MAX,
                 ..AmandroidConfig::default()
             };
-            let registry = SinkRegistry::crypto_and_ssl();
+            let registry = DetectorRegistry::paper();
             b.iter(|| analyze(&app.name, &app.program, &app.manifest, &registry, &cfg));
         });
     }

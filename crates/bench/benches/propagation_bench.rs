@@ -3,7 +3,7 @@
 
 use backdroid_appgen::{AppSpec, Mechanism, Scenario, SinkKind};
 use backdroid_core::{
-    locate_sinks, slice_sink, AppArtifacts, ForwardAnalysis, SinkRegistry, SlicerConfig, Ssg,
+    locate_sinks, slice_sink, AppArtifacts, DetectorRegistry, ForwardAnalysis, SlicerConfig, Ssg,
 };
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -12,7 +12,7 @@ fn ssg_for(mech: Mechanism) -> (backdroid_appgen::AndroidApp, Vec<Ssg>) {
         .with_scenario(Scenario::new(mech, SinkKind::Cipher, true))
         .with_filler(30, 5, 8)
         .generate();
-    let registry = SinkRegistry::crypto_and_ssl();
+    let registry = DetectorRegistry::paper().sink_registry();
     let artifacts = AppArtifacts::new(app.program.clone(), app.manifest.clone());
     let mut ctx = artifacts.task();
     let sites = locate_sinks(&mut ctx, &registry, false);
@@ -36,7 +36,7 @@ fn ssg_for(mech: Mechanism) -> (backdroid_appgen::AndroidApp, Vec<Ssg>) {
 
 fn bench_propagation(c: &mut Criterion) {
     let mut group = c.benchmark_group("forward_propagation");
-    let registry = SinkRegistry::crypto_and_ssl();
+    let registry = DetectorRegistry::paper().sink_registry();
     let cipher_spec = registry.sinks()[0].clone();
     for mech in [
         Mechanism::PrivateChain,

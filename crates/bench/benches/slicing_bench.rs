@@ -2,7 +2,7 @@
 //! backtracking) across scenario shapes.
 
 use backdroid_appgen::{AppSpec, Mechanism, Scenario, SinkKind};
-use backdroid_core::{locate_sinks, slice_sink, AppArtifacts, SinkRegistry, SlicerConfig};
+use backdroid_core::{locate_sinks, slice_sink, AppArtifacts, DetectorRegistry, SlicerConfig};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_slicing(c: &mut Criterion) {
@@ -18,7 +18,7 @@ fn bench_slicing(c: &mut Criterion) {
             .with_filler(40, 5, 8)
             .generate();
         let dump = app.dump();
-        let registry = SinkRegistry::crypto_and_ssl();
+        let registry = DetectorRegistry::paper().sink_registry();
         group.bench_with_input(BenchmarkId::new("slice", name), &app, |b, app| {
             b.iter_batched(
                 || {

@@ -178,6 +178,26 @@ fn main() {
          truly reachable   [paper: 37/37]"
     );
 
+    // PR-7 detector classes: per-class precision/recall over dedicated
+    // ground-truth apps (positives, negatives, and obfuscated variants).
+    let class_scores = new_class_scores(backend, intra_threads, budget);
+    println!("\nNew detector classes (registry-defined) — per-class scoring:");
+    println!("  class     TP  FP  FN  precision  recall   baseline TP/FP/FN");
+    for s in &class_scores {
+        println!(
+            "  {:<8}  {:>2}  {:>2}  {:>2}  {:>9.2}  {:>6.2}   {}/{}/{}",
+            s.class,
+            s.tp,
+            s.fp,
+            s.fn_,
+            s.precision(),
+            s.recall(),
+            s.am_tp,
+            s.am_fp,
+            s.am_fn,
+        );
+    }
+
     if let Some(path) = json_path_from_args() {
         let apps = array(outcomes.iter().map(|o| {
             JsonObject::new()
@@ -186,6 +206,19 @@ fn main() {
                 .raw("amandroid", o.am.to_json())
                 .int("true_vulns", o.truth as u64)
                 .bool("fixed_recovered", o.fixed_recovered)
+                .build()
+        }));
+        let classes = array(class_scores.iter().map(|s| {
+            JsonObject::new()
+                .str("class", s.class)
+                .int("tp", s.tp as u64)
+                .int("fp", s.fp as u64)
+                .int("fn", s.fn_ as u64)
+                .float("precision", s.precision())
+                .float("recall", s.recall())
+                .int("baseline_tp", s.am_tp as u64)
+                .int("baseline_fp", s.am_fp as u64)
+                .int("baseline_fn", s.am_fn as u64)
                 .build()
         }));
         let summary = JsonObject::new()
@@ -207,11 +240,129 @@ fn main() {
             .build();
         let doc = JsonObject::new()
             .raw("summary", summary)
+            .raw("classes", classes)
             .raw("apps", apps)
             .build();
         std::fs::write(&path, doc).expect("write --json artifact");
         eprintln!("wrote {}", path.display());
     }
+}
+
+/// Per-class confusion counts for one PR-7 detector class, for BackDroid
+/// and the Amandroid-style baseline side by side.
+struct ClassScore {
+    class: &'static str,
+    tp: usize,
+    fp: usize,
+    fn_: usize,
+    am_tp: usize,
+    am_fp: usize,
+    am_fn: usize,
+}
+
+impl ClassScore {
+    fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+}
+
+/// Scores the three registry-defined detector classes over dedicated
+/// ground-truth apps: a direct positive, a direct negative (the secure
+/// variant resolves to an unmodeled platform value or a benign command),
+/// two obfuscated positives (static-field chain and `<clinit>`-assigned
+/// constant), and a dead-code negative the §IV-F reachability pass must
+/// prune.
+fn new_class_scores(
+    backend: backdroid_core::BackendChoice,
+    intra_threads: usize,
+    budget: u64,
+) -> Vec<ClassScore> {
+    use backdroid_appgen::{AppSpec, Mechanism, Scenario, SinkKind};
+    use backdroid_core::DetectorRegistry;
+    use backdroid_wholeapp::amandroid::{analyze, AmandroidConfig, Outcome};
+
+    let cases: [(&'static str, SinkKind); 3] = [
+        ("webview", SinkKind::WebViewJsInterface),
+        ("prng", SinkKind::PrngSeed),
+        ("exec", SinkKind::ExecCommand),
+    ];
+    let shapes: [(Mechanism, bool); 5] = [
+        (Mechanism::DirectEntry, true),
+        (Mechanism::DirectEntry, false),
+        (Mechanism::StaticChain, true),
+        (Mechanism::ClinitOffPath, true),
+        (Mechanism::DeadCode, true),
+    ];
+    cases
+        .iter()
+        .map(|&(class, kind)| {
+            let mut score = ClassScore {
+                class,
+                tp: 0,
+                fp: 0,
+                fn_: 0,
+                am_tp: 0,
+                am_fp: 0,
+                am_fn: 0,
+            };
+            for (i, &(mech, insecure)) in shapes.iter().enumerate() {
+                let app = AppSpec::named(format!("com.cls.{class}{i}"))
+                    .with_seed(i as u64)
+                    .with_scenario(Scenario::new(mech, kind, insecure))
+                    .with_filler(6 + i, 3, 4)
+                    .generate();
+                let truth = app.true_vulnerabilities() > 0;
+                let bd = Backdroid::with_options(BackdroidOptions {
+                    backend,
+                    intra_threads,
+                    detectors: DetectorRegistry::full(),
+                    ..BackdroidOptions::default()
+                })
+                .analyze(&app.program, &app.manifest);
+                let flagged = !bd.vulnerable_sinks().is_empty();
+                match (truth, flagged) {
+                    (true, true) => score.tp += 1,
+                    (false, true) => score.fp += 1,
+                    (true, false) => score.fn_ += 1,
+                    (false, false) => {}
+                }
+                let cfg = AmandroidConfig {
+                    budget_units: budget,
+                    error_injection: false,
+                    ..AmandroidConfig::default()
+                };
+                let am_flagged = match analyze(
+                    &app.name,
+                    &app.program,
+                    &app.manifest,
+                    &DetectorRegistry::full(),
+                    &cfg,
+                ) {
+                    Outcome::Done(r) => !r.vulnerable().is_empty(),
+                    Outcome::TimedOut { .. } | Outcome::Error { .. } => false,
+                };
+                match (truth, am_flagged) {
+                    (true, true) => score.am_tp += 1,
+                    (false, true) => score.am_fp += 1,
+                    (true, false) => score.am_fn += 1,
+                    (false, false) => {}
+                }
+            }
+            score
+        })
+        .collect()
 }
 
 /// §IV-C: "Among 37 unique static initializers that are identified by our

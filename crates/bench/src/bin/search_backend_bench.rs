@@ -16,6 +16,7 @@
 //! byte-identical for any `--threads` value.
 
 use backdroid_appgen::benchset::bench_app;
+use backdroid_bench::baseline::Baseline;
 use backdroid_bench::harness::{
     intra_threads_from_args, json_path_from_args, median, par_map, run_backdroid_with,
     scale_from_args, threads_from_args,
@@ -182,5 +183,32 @@ fn main() {
             .build();
         std::fs::write(&path, doc).expect("write --json artifact");
         eprintln!("wrote {}", path.display());
+    }
+
+    // PR-7: the committed machine-independent envelope
+    // (`BENCH_search_backend.json`, enforced when `--baseline` is
+    // given). Counts, ratios, and model minutes only — the oracle
+    // asserts above already pin exact backend equivalence, so the bands
+    // track the *work* trajectory: how much linear scanning the index
+    // avoids on the fixed corpus.
+    let metrics = [
+        ("apps", rows.len() as f64),
+        ("lines_scanned_total", lines_total as f64),
+        ("postings_touched_total", postings_total as f64),
+        (
+            "postings_reduction",
+            1.0 - postings_total as f64 / lines_total.max(1) as f64,
+        ),
+        (
+            "model_speedup",
+            if idx_med > 0.0 {
+                lin_med / idx_med
+            } else {
+                0.0
+            },
+        ),
+    ];
+    if !Baseline::enforce_from_args("search_backend_bench", &metrics) {
+        std::process::exit(1);
     }
 }

@@ -233,16 +233,10 @@ fn main() {
                                 .analyze_app(&app)
                                 .map(|a| vec![a.fetch])
                                 .unwrap_or_default(),
-                            WorkloadOp::Query(classes) => {
-                                let classes: Vec<_> = classes
-                                    .iter()
-                                    .filter_map(|c| backdroid_service::SinkClass::parse(c))
-                                    .collect();
-                                service
-                                    .query_sinks(&app, &classes)
-                                    .map(|a| vec![a.fetch])
-                                    .unwrap_or_default()
-                            }
+                            WorkloadOp::Query(detectors) => service
+                                .query_detectors(&app, detectors)
+                                .map(|a| vec![a.fetch])
+                                .unwrap_or_default(),
                             WorkloadOp::Batch(extra) => {
                                 let ids: Vec<String> = std::iter::once(req.app)
                                     .chain(extra.iter().copied())

@@ -420,7 +420,7 @@ pub fn run_amandroid_with_budget(
         budget_units,
         ..AmandroidConfig::default()
     };
-    let registry = backdroid_core::SinkRegistry::crypto_and_ssl();
+    let registry = backdroid_core::DetectorRegistry::paper();
     let out = analyze(&app.name, &app.program, &app.manifest, &registry, &cfg);
     let wall_ms = start.elapsed().as_secs_f64() * 1_000.0;
     match out {

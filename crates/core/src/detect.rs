@@ -130,15 +130,17 @@ pub fn judge_sms(values: &[DataflowValue]) -> Verdict {
 }
 
 /// Dispatches to the right judge by sink id.
+///
+/// Deprecated: the hardcoded dispatch is replaced by
+/// [`crate::DetectorRegistry::judge`], where an unknown sink id is a
+/// typed [`crate::DetectorError`] instead of this function's silent
+/// `Undetermined`. This forward keeps the legacy
+/// unknown-id-means-`Undetermined` contract for one PR.
+#[deprecated(note = "use `DetectorRegistry::judge`, which fails typed on unknown sink ids")]
 pub fn judge(sink_id: &str, values: &[DataflowValue]) -> Verdict {
-    match sink_id {
-        "crypto.cipher" => judge_cipher(values),
-        id if id.starts_with("ssl.verifier") => judge_verifier(values),
-        "socket.server" => judge_server_socket(values),
-        "socket.local" => judge_local_socket(values),
-        "sms.send" => judge_sms(values),
-        _ => Verdict::Undetermined,
-    }
+    crate::DetectorRegistry::extended()
+        .judge(sink_id, values)
+        .unwrap_or(Verdict::Undetermined)
 }
 
 #[cfg(test)]
@@ -219,6 +221,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn judge_dispatches_by_sink_id() {
         assert!(judge("crypto.cipher", &s("AES/ECB/PKCS5Padding")).is_vulnerable());
         assert_eq!(judge("unknown.sink", &s("x")), Verdict::Undetermined);

@@ -25,7 +25,8 @@
 //!   redundantly produced report.
 
 use crate::context::{AppArtifacts, TaskContext};
-use crate::detect::{judge, Verdict};
+use crate::detect::Verdict;
+use crate::detector::DetectorRegistry;
 use crate::forward::{DataflowValue, ForwardAnalysis};
 use crate::locate::{locate_sinks, SinkSite};
 use crate::loops::LoopStats;
@@ -46,8 +47,9 @@ use std::time::{Duration, Instant};
 /// proposed fix.
 #[derive(Clone, Debug)]
 pub struct BackdroidOptions {
-    /// The sinks to vet.
-    pub sinks: SinkRegistry,
+    /// The detectors to run; their sink specs (flattened in registry
+    /// order) are the sinks the pipeline locates and slices.
+    pub detectors: DetectorRegistry,
     /// Enable the class-hierarchy-aware initial sink search (§VI-C fix).
     pub hierarchy_initial_search: bool,
     /// Slicer bounds.
@@ -67,7 +69,7 @@ pub struct BackdroidOptions {
 impl Default for BackdroidOptions {
     fn default() -> Self {
         BackdroidOptions {
-            sinks: SinkRegistry::crypto_and_ssl(),
+            detectors: DetectorRegistry::paper(),
             hierarchy_initial_search: false,
             slicer: SlicerConfig::default(),
             backend: BackendChoice::default(),
@@ -222,13 +224,23 @@ impl Backdroid {
         report
     }
 
-    /// Runs one sink site: slice backward, propagate forward, judge.
-    fn analyze_site(&self, ctx: &mut TaskContext<'_>, site: &SinkSite) -> SinkReport {
-        let spec = &self.options.sinks.sinks()[site.spec_idx];
+    /// Runs one sink site: slice backward, propagate forward, judge via
+    /// the detector registry's rule for the sink.
+    fn analyze_site(
+        &self,
+        ctx: &mut TaskContext<'_>,
+        site: &SinkSite,
+        sinks: &SinkRegistry,
+    ) -> SinkReport {
+        let spec = &sinks.sinks()[site.spec_idx];
         let result = slice_sink(ctx, self.options.slicer, &site.method, site.stmt_idx, spec);
         let mut forward = ForwardAnalysis::new(ctx.program);
         let values = forward.run(&result.ssg, spec);
-        let verdict = judge(spec.id, &values);
+        let verdict = self
+            .options
+            .detectors
+            .judge(&spec.id, &values)
+            .expect("located sink spec belongs to the options' detector registry");
         SinkReport {
             sink_id: spec.id.to_string(),
             site_method: site.method.clone(),
@@ -255,10 +267,11 @@ impl Backdroid {
     ) -> AppReport {
         let stats_before = engine.stats();
 
+        let sinks = self.options.detectors.sink_registry();
         let mut locate_ctx = TaskContext::from_parts(program, manifest, engine.clone());
         let sites: Vec<SinkSite> = locate_sinks(
             &mut locate_ctx,
-            &self.options.sinks,
+            &sinks,
             self.options.hierarchy_initial_search,
         );
         let mut loop_stats = locate_ctx.loops;
@@ -299,7 +312,7 @@ impl Backdroid {
                     out.push((i, None));
                     continue;
                 }
-                let report = self.analyze_site(&mut ctx, site);
+                let report = self.analyze_site(&mut ctx, site, &sinks);
                 if !report.reachable {
                     proven_unreachable
                         .lock()

@@ -18,7 +18,7 @@
 //!    ([`Ssg`], [`slice_sink`]).
 //! 4. **Propagate** constants and points-to facts forward over the SSG
 //!    ([`ForwardAnalysis`]) and **judge** the recovered sink parameters
-//!    ([`judge`]).
+//!    through the [`DetectorRegistry`]'s verdict rules.
 //!
 //! ## Sessions and intra-app parallelism
 //!
@@ -32,7 +32,7 @@
 //! any thread count (see [`engine`]'s module docs for the contract).
 //!
 //! ```
-//! use backdroid_core::{Backdroid, SinkRegistry};
+//! use backdroid_core::{Backdroid, DetectorRegistry};
 //! use backdroid_ir::{ClassBuilder, ClassName, InvokeExpr, MethodBuilder, MethodSig, Program, Type, Value};
 //! use backdroid_manifest::{Component, ComponentKind, Manifest};
 //!
@@ -54,7 +54,7 @@
 //!
 //! let report = Backdroid::new().analyze(&program, &manifest);
 //! assert_eq!(report.vulnerable_sinks().len(), 1);
-//! # let _ = SinkRegistry::crypto_and_ssl();
+//! # assert!(DetectorRegistry::paper().contains("crypto"));
 //! ```
 
 #![forbid(unsafe_code)]
@@ -65,6 +65,7 @@ pub mod backtrack;
 pub mod clinit;
 pub mod context;
 pub mod detect;
+pub mod detector;
 pub mod engine;
 pub mod forward;
 pub mod icc;
@@ -80,7 +81,10 @@ pub mod ssg;
 pub use backdroid_search::BackendChoice;
 pub use backtrack::{find_callers, CallerEdge, ChainStep, EdgeKind, Reached};
 pub use context::{AppArtifacts, TaskContext};
-pub use detect::{judge, judge_cipher, judge_verifier, Verdict};
+#[allow(deprecated)]
+pub use detect::judge;
+pub use detect::{judge_cipher, judge_verifier, Verdict};
+pub use detector::{DetectorError, DetectorRegistry, DetectorSpec, RuleFn, VerdictRule};
 pub use engine::{AppReport, Backdroid, BackdroidOptions, SinkCacheStats, SinkReport};
 pub use forward::{fold_binop, DataflowValue, ForwardAnalysis};
 pub use leak::{default_leak_sinks, default_sources, detect_leaks, Leak, LeakSinkSpec, SourceSpec};

@@ -151,7 +151,7 @@ mod tests {
         let man = Manifest::new("com.a");
         let art = AppArtifacts::new(p.clone(), man.clone());
         let mut ctx = art.task();
-        let reg = SinkRegistry::crypto_and_ssl();
+        let reg = crate::DetectorRegistry::paper().sink_registry();
         let sites = locate_sinks(&mut ctx, &reg, false);
         assert_eq!(sites.len(), 2, "{sites:?}");
         assert!(sites.iter().all(|s| s.method.name() == "encrypt"));
@@ -199,7 +199,7 @@ mod tests {
         let man = Manifest::new("com.gta.nslm2");
         let art = AppArtifacts::new(p.clone(), man.clone());
         let mut ctx = art.task();
-        let reg = SinkRegistry::crypto_and_ssl();
+        let reg = crate::DetectorRegistry::paper().sink_registry();
         let sites = locate_sinks(&mut ctx, &reg, false);
         assert!(sites.is_empty(), "paper's FN reproduced: {sites:?}");
     }
@@ -210,7 +210,7 @@ mod tests {
         let man = Manifest::new("com.gta.nslm2");
         let art = AppArtifacts::new(p.clone(), man.clone());
         let mut ctx = art.task();
-        let reg = SinkRegistry::crypto_and_ssl();
+        let reg = crate::DetectorRegistry::paper().sink_registry();
         let sites = locate_sinks(&mut ctx, &reg, true);
         assert_eq!(sites.len(), 1, "{sites:?}");
         assert_eq!(
@@ -255,7 +255,7 @@ mod tests {
         let man = Manifest::new("com.a");
         let art = AppArtifacts::new(p.clone(), man.clone());
         let mut ctx = art.task();
-        let reg = SinkRegistry::crypto_and_ssl();
+        let reg = crate::DetectorRegistry::paper().sink_registry();
         let sites = locate_sinks(&mut ctx, &reg, true);
         assert_eq!(
             sites.len(),

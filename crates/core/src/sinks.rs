@@ -3,16 +3,18 @@
 //! A *sink* is a platform API whose parameters decide a security property:
 //! the evaluation targets `Cipher.getInstance()` (crypto misuse) and the
 //! two `setHostnameVerifier()` overloads (SSL misconfiguration), the same
-//! sinks the paper stress-tests (§VI-A). The registry also carries the
-//! less common sinks mentioned in §VI-D so downstream users can vet them.
+//! sinks the paper stress-tests (§VI-A). Sink specs are now owned by
+//! detectors — build a [`crate::DetectorRegistry`] and flatten it with
+//! [`crate::DetectorRegistry::sink_registry`]; the constructors here are
+//! deprecated forwards kept for one PR.
 
-use backdroid_ir::{MethodSig, Type};
+use backdroid_ir::MethodSig;
 
 /// One sink API specification.
 #[derive(Clone, PartialEq, Debug)]
 pub struct SinkSpec {
     /// Stable identifier used in reports (`crypto.cipher`, `ssl.verifier`…).
-    pub id: &'static str,
+    pub id: String,
     /// The platform API signature as invoked in bytecode.
     pub api: MethodSig,
     /// Indices of the parameters whose dataflow must be recovered.
@@ -21,9 +23,9 @@ pub struct SinkSpec {
 
 impl SinkSpec {
     /// Creates a spec tracking the given parameter indices.
-    pub fn new(id: &'static str, api: MethodSig, tracked_params: Vec<usize>) -> Self {
+    pub fn new(id: impl Into<String>, api: MethodSig, tracked_params: Vec<usize>) -> Self {
         SinkSpec {
-            id,
+            id: id.into(),
             api,
             tracked_params,
         }
@@ -45,84 +47,16 @@ impl SinkRegistry {
     /// The three sink APIs of the paper's evaluation (§VI-A):
     /// `Cipher.getInstance`, `SSLSocketFactory.setHostnameVerifier`, and
     /// `HttpsURLConnection.setHostnameVerifier`.
+    #[deprecated(note = "use `DetectorRegistry::paper().sink_registry()`")]
     pub fn crypto_and_ssl() -> Self {
-        let mut r = Self::new();
-        r.add(SinkSpec::new(
-            "crypto.cipher",
-            MethodSig::new(
-                "javax.crypto.Cipher",
-                "getInstance",
-                vec![Type::string()],
-                Type::object("javax.crypto.Cipher"),
-            ),
-            vec![0],
-        ));
-        r.add(SinkSpec::new(
-            "ssl.verifier.factory",
-            MethodSig::new(
-                "org.apache.http.conn.ssl.SSLSocketFactory",
-                "setHostnameVerifier",
-                vec![Type::object(
-                    "org.apache.http.conn.ssl.X509HostnameVerifier",
-                )],
-                Type::Void,
-            ),
-            vec![0],
-        ));
-        r.add(SinkSpec::new(
-            "ssl.verifier.connection",
-            MethodSig::new(
-                "javax.net.ssl.HttpsURLConnection",
-                "setHostnameVerifier",
-                vec![Type::object("javax.net.ssl.HostnameVerifier")],
-                Type::Void,
-            ),
-            vec![0],
-        ));
-        r
+        crate::DetectorRegistry::paper().sink_registry()
     }
 
     /// An extended registry also carrying the uncommon sinks of §VI-D
     /// (`sendTextMessage`, `ServerSocket`, `LocalServerSocket`).
+    #[deprecated(note = "use `DetectorRegistry::extended().sink_registry()`")]
     pub fn extended() -> Self {
-        let mut r = Self::crypto_and_ssl();
-        r.add(SinkSpec::new(
-            "sms.send",
-            MethodSig::new(
-                "android.telephony.SmsManager",
-                "sendTextMessage",
-                vec![
-                    Type::string(),
-                    Type::string(),
-                    Type::string(),
-                    Type::object("android.app.PendingIntent"),
-                    Type::object("android.app.PendingIntent"),
-                ],
-                Type::Void,
-            ),
-            vec![0, 2],
-        ));
-        r.add(SinkSpec::new(
-            "socket.server",
-            MethodSig::new(
-                "java.net.ServerSocket",
-                "<init>",
-                vec![Type::Int],
-                Type::Void,
-            ),
-            vec![0],
-        ));
-        r.add(SinkSpec::new(
-            "socket.local",
-            MethodSig::new(
-                "android.net.LocalServerSocket",
-                "<init>",
-                vec![Type::string()],
-                Type::Void,
-            ),
-            vec![0],
-        ));
-        r
+        crate::DetectorRegistry::extended().sink_registry()
     }
 
     /// Adds a sink spec.
@@ -151,10 +85,11 @@ impl SinkRegistry {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use backdroid_ir::Type;
 
     #[test]
     fn default_registry_matches_paper_sinks() {
-        let r = SinkRegistry::crypto_and_ssl();
+        let r = crate::DetectorRegistry::paper().sink_registry();
         assert_eq!(r.sinks().len(), 3);
         assert!(r
             .sinks()
@@ -166,14 +101,27 @@ mod tests {
 
     #[test]
     fn extended_registry_adds_uncommon_sinks() {
-        let r = SinkRegistry::extended();
+        let r = crate::DetectorRegistry::extended().sink_registry();
         assert!(r.sinks().len() >= 6);
         assert!(r.sinks().iter().any(|s| s.id == "sms.send"));
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_forward_to_the_detector_registry() {
+        assert_eq!(
+            SinkRegistry::crypto_and_ssl().sinks(),
+            crate::DetectorRegistry::paper().sink_registry().sinks()
+        );
+        assert_eq!(
+            SinkRegistry::extended().sinks(),
+            crate::DetectorRegistry::extended().sink_registry().sinks()
+        );
+    }
+
+    #[test]
     fn spec_lookup_is_exact() {
-        let r = SinkRegistry::crypto_and_ssl();
+        let r = crate::DetectorRegistry::paper().sink_registry();
         let cipher = MethodSig::new(
             "javax.crypto.Cipher",
             "getInstance",

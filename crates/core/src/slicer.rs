@@ -746,12 +746,11 @@ impl BackwardSlicer<'_, '_> {
 mod tests {
     use super::*;
     use crate::context::AppArtifacts;
-    use crate::sinks::SinkRegistry;
     use backdroid_ir::{ClassBuilder, ClassName, Const, Modifiers, Program, Type};
     use backdroid_manifest::{Component, ComponentKind, Manifest};
 
     fn cipher_spec() -> SinkSpec {
-        SinkRegistry::crypto_and_ssl().sinks()[0].clone()
+        crate::DetectorRegistry::paper().sink_registry().sinks()[0].clone()
     }
 
     fn cipher_sig() -> MethodSig {

@@ -10,7 +10,7 @@
 //!   budget** with LRU eviction, and loads cold apps **single-flight**
 //!   (N concurrent requests build the image exactly once — the same
 //!   pattern as the search engine's command cache, one layer up).
-//! * [`Service`] answers full analyses, per-sink-class queries, and
+//! * [`Service`] answers full analyses, per-detector queries, and
 //!   batched multi-app requests against the store, through the existing
 //!   `Backdroid::analyze_artifacts` + `intra_threads` machinery, with
 //!   atomically aggregated [`ServiceStats`].
@@ -25,8 +25,9 @@
 //!   (`tcp:`/`unix:` endpoints) `backdroid-serve --listen`/`--connect`
 //!   speak — one JSONL line per frame, responses 1:1 in request order.
 //!
-//! Responses are a pure function of (app, requested sinks): the store
-//! changes *where* artifacts come from, never what analysis reports.
+//! Responses are a pure function of (app, requested detectors): the
+//! store changes *where* artifacts come from, never what analysis
+//! reports.
 //!
 //! ```
 //! use backdroid_appgen::{AppSpec, Mechanism, Scenario, SinkKind};
@@ -58,7 +59,9 @@ pub mod shard;
 pub mod store;
 pub mod transport;
 
-pub use service::{AppAnalysis, Service, ServiceConfig, ServiceError, ServiceStats, SinkClass};
+#[allow(deprecated)]
+pub use service::SinkClass;
+pub use service::{AppAnalysis, Service, ServiceConfig, ServiceError, ServiceStats};
 pub use shard::{PoolStats, Responder, ShardPool, ShardPoolConfig};
 pub use store::{AppStore, DiskTier, Fetch, StoreStats};
 pub use transport::{Endpoint, FrameReader, OrderedEmitter};

@@ -19,7 +19,7 @@
 //! That is what lets CI diff server output byte-for-byte across worker
 //! counts, search backends, and store budgets.
 
-use crate::service::{AppAnalysis, ServiceError, SinkClass};
+use crate::service::{AppAnalysis, ServiceError};
 use backdroid_appgen::workload::{WorkloadOp, WorkloadRequest};
 use backdroid_core::{SinkReport, Verdict};
 
@@ -346,12 +346,17 @@ pub enum RequestOp {
         /// App id (benchset index for `backdroid-serve`).
         app: String,
     },
-    /// Sink-class-restricted analysis of one app.
+    /// Detector-restricted analysis of one app.
     Query {
         /// App id.
         app: String,
-        /// Requested sink classes (empty = full registry).
-        classes: Vec<SinkClass>,
+        /// Requested detector ids (empty = every registered detector).
+        /// The wire key stays `"sinks"` for compatibility, and the
+        /// legacy class names `"crypto"`/`"ssl"` are also detector ids,
+        /// so old clients keep working unchanged. Unknown ids parse
+        /// fine and are answered by the service with a deterministic
+        /// error response.
+        detectors: Vec<String>,
     },
     /// Batched multi-app analysis.
     Batch {
@@ -410,22 +415,22 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     let op = match op_name {
         "analyze" => RequestOp::Analyze { app: app()? },
         "query" => {
-            let classes = match v.get("sinks") {
+            let detectors = match v.get("sinks") {
                 None => Vec::new(),
                 Some(s) => s
                     .as_arr()
-                    .ok_or("\"sinks\" must be an array of class names")?
+                    .ok_or("\"sinks\" must be an array of detector ids")?
                     .iter()
                     .map(|c| {
                         c.as_str()
-                            .and_then(SinkClass::parse)
-                            .ok_or_else(|| format!("unknown sink class {c:?}"))
+                            .map(str::to_string)
+                            .ok_or_else(|| format!("detector id must be a string, got {c:?}"))
                     })
                     .collect::<Result<Vec<_>, _>>()?,
             };
             RequestOp::Query {
                 app: app()?,
-                classes,
+                detectors,
             }
         }
         "batch" => {
@@ -677,7 +682,18 @@ mod tests {
             r.op,
             RequestOp::Query {
                 app: "0".into(),
-                classes: vec![SinkClass::Crypto]
+                detectors: vec!["crypto".into()]
+            }
+        );
+        // Detector ids beyond the legacy classes parse too; unknown ids
+        // are the service's responsibility, not the parser's.
+        let r = parse_request("{\"id\":2,\"op\":\"query\",\"app\":\"0\",\"sinks\":[\"webview\"]}")
+            .unwrap();
+        assert_eq!(
+            r.op,
+            RequestOp::Query {
+                app: "0".into(),
+                detectors: vec!["webview".into()]
             }
         );
         let r = parse_request("{\"id\":3,\"op\":\"batch\",\"apps\":[\"0\",1]}").unwrap();
@@ -696,7 +712,7 @@ mod tests {
             "{\"id\":0,\"app\":\"0\"}",           // missing op
             "{\"id\":0,\"op\":\"explode\"}",      // unknown op
             "{\"id\":0,\"op\":\"analyze\"}",      // missing app
-            "{\"id\":0,\"op\":\"query\",\"app\":\"0\",\"sinks\":[\"sms\"]}", // unknown class
+            "{\"id\":0,\"op\":\"query\",\"app\":\"0\",\"sinks\":[1]}", // non-string detector id
             "{\"id\":0,\"op\":\"batch\"}",        // missing apps
             "{\"id\":-1,\"op\":\"analyze\",\"app\":\"0\"}", // negative id
         ] {
@@ -742,7 +758,7 @@ mod tests {
             parsed[1].op,
             RequestOp::Query {
                 app: "2".into(),
-                classes: vec![SinkClass::Crypto, SinkClass::Ssl]
+                detectors: vec!["crypto".into(), "ssl".into()]
             }
         );
         assert_eq!(

@@ -1,10 +1,10 @@
-//! The serving front end: per-sink-class queries against the resident
+//! The serving front end: per-detector queries against the resident
 //! [`AppStore`], fanned out over the existing
 //! [`Backdroid::analyze_artifacts`] + `intra_threads` machinery, with
 //! per-request accounting aggregated atomically (the same pattern as
 //! `CacheStats`).
 //!
-//! Every response is a pure function of (app, requested sink classes):
+//! Every response is a pure function of (app, requested detectors):
 //! the store only changes *where* the artifacts come from — warm image
 //! vs cold load — never what the analysis reports. That is the
 //! determinism contract `backdroid-serve` and the CI service-smoke leg
@@ -13,12 +13,18 @@
 use crate::store::{AppStore, Fetch, StoreStats};
 use backdroid_appgen::benchset::{bench_app, BenchsetConfig};
 use backdroid_core::{
-    AppArtifacts, AppReport, Backdroid, BackdroidOptions, BackendChoice, SinkRegistry,
+    AppArtifacts, AppReport, Backdroid, BackdroidOptions, BackendChoice, DetectorRegistry,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// A queryable sink class — the request-level granularity one service
-/// call can restrict the registry to.
+/// A queryable sink class — the closed pre-registry enum.
+///
+/// Deprecated: requests now name [`DetectorRegistry`] detector ids
+/// directly (plain strings on the wire), so any registered detector is
+/// queryable without touching this crate. The legacy wire names
+/// (`"crypto"` / `"ssl"`) are detector ids in every built-in registry
+/// and keep parsing unchanged.
+#[deprecated(note = "query detectors by id string via `Service::query_detectors`")]
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum SinkClass {
     /// Crypto-misuse sinks (`crypto.*`, e.g. `Cipher.getInstance`).
@@ -27,6 +33,7 @@ pub enum SinkClass {
     Ssl,
 }
 
+#[allow(deprecated)]
 impl SinkClass {
     /// Parses the wire name (`"crypto"` / `"ssl"`).
     pub fn parse(s: &str) -> Option<SinkClass> {
@@ -71,6 +78,10 @@ pub struct ServiceConfig {
     /// first parses persist them (see [`crate::store::DiskTier`]).
     /// Responses are byte-identical with or without it.
     pub snapshot_dir: Option<std::path::PathBuf>,
+    /// The detectors this service instance runs. Defaults to the
+    /// paper's set ([`DetectorRegistry::paper`]); query requests may
+    /// restrict to a subset by detector id.
+    pub detectors: DetectorRegistry,
 }
 
 impl Default for ServiceConfig {
@@ -81,6 +92,7 @@ impl Default for ServiceConfig {
             intra_threads: 1,
             batch_threads: 4,
             snapshot_dir: None,
+            detectors: DetectorRegistry::paper(),
         }
     }
 }
@@ -90,9 +102,11 @@ impl Default for ServiceConfig {
 pub enum ServiceError {
     /// The store's loader could not produce the app image.
     Load(String),
-    /// The request itself was malformed (unknown sink class, empty
-    /// batch, …).
+    /// The request itself was malformed (empty batch, …).
     BadRequest(String),
+    /// A query named a detector id this service has not registered —
+    /// a deterministic error response, never a silent non-verdict.
+    UnknownDetector(String),
 }
 
 impl std::fmt::Display for ServiceError {
@@ -100,6 +114,7 @@ impl std::fmt::Display for ServiceError {
         match self {
             ServiceError::Load(m) => write!(f, "load failed: {m}"),
             ServiceError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ServiceError::UnknownDetector(id) => write!(f, "unknown detector id {id:?}"),
         }
     }
 }
@@ -217,6 +232,7 @@ impl Service {
             base: BackdroidOptions {
                 backend: cfg.backend,
                 intra_threads: cfg.intra_threads.max(1),
+                detectors: cfg.detectors,
                 ..BackdroidOptions::default()
             },
             batch_threads: cfg.batch_threads.max(1),
@@ -256,19 +272,45 @@ impl Service {
     /// Full-registry analysis of one app.
     pub fn analyze_app(&self, app_id: &str) -> Result<AppAnalysis, ServiceError> {
         let _guard = self.begin_request(&self.counters.analyze_requests);
-        self.run(app_id, self.base.sinks.clone())
+        self.run(app_id, self.base.detectors.clone())
     }
 
-    /// Analysis of one app restricted to the given sink classes. An
-    /// empty class list means the full registry (same result as
-    /// [`Service::analyze_app`]).
+    /// Analysis of one app restricted to the given detector ids. An
+    /// empty id list means every registered detector (same result as
+    /// [`Service::analyze_app`]). An unknown id is a deterministic
+    /// [`ServiceError::UnknownDetector`], never a silent non-verdict.
+    pub fn query_detectors<S: AsRef<str>>(
+        &self,
+        app_id: &str,
+        ids: &[S],
+    ) -> Result<AppAnalysis, ServiceError> {
+        let _guard = self.begin_request(&self.counters.query_requests);
+        let detectors = if ids.is_empty() {
+            self.base.detectors.clone()
+        } else {
+            self.base.detectors.select(ids).map_err(|e| {
+                self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                match e {
+                    backdroid_core::DetectorError::UnknownDetector(id) => {
+                        ServiceError::UnknownDetector(id)
+                    }
+                    other => ServiceError::BadRequest(other.to_string()),
+                }
+            })?
+        };
+        self.run(app_id, detectors)
+    }
+
+    /// Analysis of one app restricted to the given sink classes.
+    #[deprecated(note = "query detectors by id string via `Service::query_detectors`")]
+    #[allow(deprecated)]
     pub fn query_sinks(
         &self,
         app_id: &str,
         classes: &[SinkClass],
     ) -> Result<AppAnalysis, ServiceError> {
-        let _guard = self.begin_request(&self.counters.query_requests);
-        self.run(app_id, self.registry_for(classes))
+        let ids: Vec<&str> = classes.iter().map(|c| c.name()).collect();
+        self.query_detectors(app_id, &ids)
     }
 
     /// Batched multi-app analysis: fans the apps out over
@@ -282,7 +324,7 @@ impl Service {
             return vec![Err(ServiceError::BadRequest("empty batch".into()))];
         }
         let threads = self.batch_threads.clamp(1, app_ids.len());
-        let registry = self.base.sinks.clone();
+        let registry = self.base.detectors.clone();
         if threads <= 1 {
             return app_ids
                 .iter()
@@ -330,20 +372,6 @@ impl Service {
         }
     }
 
-    /// The registry restricted to `classes` (empty = full registry).
-    fn registry_for(&self, classes: &[SinkClass]) -> SinkRegistry {
-        if classes.is_empty() {
-            return self.base.sinks.clone();
-        }
-        let mut r = SinkRegistry::new();
-        for spec in self.base.sinks.sinks() {
-            if classes.iter().any(|c| c.matches(spec.id)) {
-                r.add(spec.clone());
-            }
-        }
-        r
-    }
-
     fn begin_request(&self, kind: &AtomicU64) -> InFlightGuard<'_> {
         let c = &self.counters;
         c.requests.fetch_add(1, Ordering::Relaxed);
@@ -354,14 +382,14 @@ impl Service {
     }
 
     /// Fetches the image (warm or cold) and runs one analysis with the
-    /// given registry.
-    fn run(&self, app_id: &str, registry: SinkRegistry) -> Result<AppAnalysis, ServiceError> {
+    /// given detector registry.
+    fn run(&self, app_id: &str, detectors: DetectorRegistry) -> Result<AppAnalysis, ServiceError> {
         let (artifacts, fetch) = self.store.get(app_id).map_err(|e| {
             self.counters.errors.fetch_add(1, Ordering::Relaxed);
             ServiceError::Load(e)
         })?;
         let tool = Backdroid::with_options(BackdroidOptions {
-            sinks: registry,
+            detectors,
             ..self.base.clone()
         });
         let report = tool.analyze_artifacts(&artifacts);
@@ -389,6 +417,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn sink_class_parsing_and_matching() {
         assert_eq!(SinkClass::parse("crypto"), Some(SinkClass::Crypto));
         assert_eq!(SinkClass::parse("ssl"), Some(SinkClass::Ssl));
@@ -417,8 +446,8 @@ mod tests {
     fn query_restricts_the_registry() {
         let service = small_service(u64::MAX);
         let all = service.analyze_app("0").unwrap();
-        let crypto = service.query_sinks("0", &[SinkClass::Crypto]).unwrap();
-        let ssl = service.query_sinks("0", &[SinkClass::Ssl]).unwrap();
+        let crypto = service.query_detectors("0", &["crypto"]).unwrap();
+        let ssl = service.query_detectors("0", &["ssl"]).unwrap();
         assert!(crypto
             .report
             .sink_reports
@@ -432,11 +461,39 @@ mod tests {
         assert_eq!(
             crypto.report.sink_reports.len() + ssl.report.sink_reports.len(),
             all.report.sink_reports.len(),
-            "the two classes partition the full registry's reports"
+            "the two detectors partition the full registry's reports"
         );
-        // Empty class list = full registry.
-        let empty = service.query_sinks("0", &[]).unwrap();
+        // Empty id list = every registered detector.
+        let empty = service.query_detectors("0", &[] as &[&str]).unwrap();
         assert_eq!(empty.report.sink_reports, all.report.sink_reports);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_query_sinks_forwards_to_query_detectors() {
+        let service = small_service(u64::MAX);
+        let via_class = service.query_sinks("0", &[SinkClass::Crypto]).unwrap();
+        let via_id = service.query_detectors("0", &["crypto"]).unwrap();
+        assert_eq!(via_class.report.sink_reports, via_id.report.sink_reports);
+    }
+
+    #[test]
+    fn unknown_detector_ids_error_deterministically() {
+        let service = small_service(u64::MAX);
+        let before = service.stats().errors;
+        let err = service
+            .query_detectors("0", &["crypto", "sms"])
+            .unwrap_err();
+        assert_eq!(err, ServiceError::UnknownDetector("sms".into()));
+        assert_eq!(err.to_string(), "unknown detector id \"sms\"");
+        assert_eq!(service.stats().errors, before + 1);
+        // Deterministic: asking again yields the identical error.
+        assert_eq!(
+            service
+                .query_detectors("0", &["crypto", "sms"])
+                .unwrap_err(),
+            err
+        );
     }
 
     #[test]

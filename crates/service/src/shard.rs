@@ -164,7 +164,7 @@ pub fn execute_request(service: &Service, req: &Request) -> Option<String> {
             Ok(a) => proto::render_analysis(req.id, "analyze", &a),
             Err(e) => proto::render_error(req.id, &e.to_string()),
         },
-        RequestOp::Query { app, classes } => match service.query_sinks(app, classes) {
+        RequestOp::Query { app, detectors } => match service.query_detectors(app, detectors) {
             Ok(a) => proto::render_analysis(req.id, "query", &a),
             Err(e) => proto::render_error(req.id, &e.to_string()),
         },

@@ -12,9 +12,9 @@
 
 use crate::callgraph::{build, CgAlgorithm, CgOptions};
 use crate::dataflow::{self, AbstractVal};
-use backdroid_core::detect::{judge, Verdict};
+use backdroid_core::detect::Verdict;
+use backdroid_core::detector::DetectorRegistry;
 use backdroid_core::forward::DataflowValue;
-use backdroid_core::sinks::SinkRegistry;
 use backdroid_ir::{MethodSig, Program};
 use backdroid_manifest::{AsyncFlowTable, Manifest};
 use std::time::{Duration, Instant};
@@ -171,12 +171,13 @@ pub fn fnv1a(s: &str) -> u64 {
 /// Error-injection modulus.
 pub const ERROR_MODULUS: u64 = 1000;
 
-/// Runs the whole-app baseline on one app.
+/// Runs the whole-app baseline on one app, vetting the given detectors'
+/// sinks and judging through their rules.
 pub fn analyze(
     app_name: &str,
     program: &Program,
     manifest: &Manifest,
-    sinks: &SinkRegistry,
+    detectors: &DetectorRegistry,
     cfg: &AmandroidConfig,
 ) -> Outcome {
     let start = Instant::now();
@@ -208,10 +209,11 @@ pub fn analyze(
         }
     };
 
+    let sinks = detectors.sink_registry();
     let df = match dataflow::run(
         program,
         &cg,
-        sinks,
+        &sinks,
         cfg.max_passes,
         Some(cfg.budget_units),
         cg.work_units,
@@ -234,7 +236,9 @@ pub fn analyze(
                 .first()
                 .map(to_dataflow_value)
                 .unwrap_or(DataflowValue::Unknown);
-            let verdict = judge(obs.sink_id, std::slice::from_ref(&param));
+            let verdict = detectors
+                .judge(&obs.sink_id, std::slice::from_ref(&param))
+                .expect("observed sink spec belongs to the detector registry");
             AmandroidFinding {
                 sink_id: obs.sink_id.to_string(),
                 method: obs.method.clone(),
@@ -293,7 +297,7 @@ mod tests {
             &app.name,
             &app.program,
             &app.manifest,
-            &SinkRegistry::crypto_and_ssl(),
+            &DetectorRegistry::paper(),
             &cfg_no_error(),
         );
         let report = out.report().expect("done");
@@ -310,7 +314,7 @@ mod tests {
             ))
             .with_filler(4, 3, 4)
             .generate();
-        let reg = SinkRegistry::crypto_and_ssl();
+        let reg = DetectorRegistry::paper();
         let out = analyze(
             &app.name,
             &app.program,
@@ -345,7 +349,7 @@ mod tests {
             ))
             .with_filler(4, 3, 4)
             .generate();
-        let reg = SinkRegistry::crypto_and_ssl();
+        let reg = DetectorRegistry::paper();
         let out = analyze(
             &app.name,
             &app.program,
@@ -374,7 +378,7 @@ mod tests {
             .with_filler(4, 3, 4)
             .generate();
         assert_eq!(app.true_vulnerabilities(), 0, "ground truth: not reachable");
-        let reg = SinkRegistry::crypto_and_ssl();
+        let reg = DetectorRegistry::paper();
         let out = analyze(
             &app.name,
             &app.program,
@@ -406,7 +410,7 @@ mod tests {
             ))
             .with_filler(4, 3, 4)
             .generate();
-        let reg = SinkRegistry::crypto_and_ssl();
+        let reg = DetectorRegistry::paper();
         let out = analyze(
             &app.name,
             &app.program,
@@ -435,7 +439,7 @@ mod tests {
             &app.name,
             &app.program,
             &app.manifest,
-            &SinkRegistry::crypto_and_ssl(),
+            &DetectorRegistry::paper(),
             &cfg,
         );
         assert!(matches!(out, Outcome::TimedOut { .. }));
@@ -459,7 +463,7 @@ mod tests {
         }
         let app = AppSpec::named("x").with_filler(2, 2, 2).generate();
         let cfg = AmandroidConfig::default();
-        let reg = SinkRegistry::crypto_and_ssl();
+        let reg = DetectorRegistry::paper();
         let out = analyze(&trigger.unwrap(), &app.program, &app.manifest, &reg, &cfg);
         assert!(matches!(out, Outcome::Error { .. }));
         let out = analyze(&clean.unwrap(), &app.program, &app.manifest, &reg, &cfg);

@@ -42,7 +42,7 @@ pub fn join(a: &AbstractVal, b: &AbstractVal) -> AbstractVal {
 #[derive(Clone, Debug)]
 pub struct SinkObservation {
     /// The matched sink spec id.
-    pub sink_id: &'static str,
+    pub sink_id: String,
     /// Containing method.
     pub method: MethodSig,
     /// Statement index.
@@ -216,7 +216,7 @@ pub fn run(
                             })
                             .collect();
                         sink_obs.push(SinkObservation {
-                            sink_id: spec.id,
+                            sink_id: spec.id.clone(),
                             method: m.clone(),
                             stmt_idx: idx,
                             params,
@@ -321,7 +321,7 @@ fn eval_rvalue(
 mod tests {
     use super::*;
     use crate::callgraph::{build, CgOptions};
-    use backdroid_core::sinks::SinkRegistry;
+    use backdroid_core::DetectorRegistry;
     use backdroid_ir::{ClassBuilder, ClassName, MethodBuilder, Type};
     use backdroid_manifest::{Component, ComponentKind, Manifest};
 
@@ -354,7 +354,7 @@ mod tests {
     fn observes_sink_with_constant_param() {
         let (p, m) = ecb_app();
         let cg = build(&p, &m, &CgOptions::default()).unwrap();
-        let reg = SinkRegistry::crypto_and_ssl();
+        let reg = DetectorRegistry::paper().sink_registry();
         let r = run(&p, &cg, &reg, 8, None, cg.work_units).unwrap();
         assert_eq!(r.sinks.len(), 1);
         assert_eq!(r.sinks[0].sink_id, "crypto.cipher");
@@ -376,7 +376,7 @@ mod tests {
     fn budget_times_out_dataflow() {
         let (p, m) = ecb_app();
         let cg = build(&p, &m, &CgOptions::default()).unwrap();
-        let reg = SinkRegistry::crypto_and_ssl();
+        let reg = DetectorRegistry::paper().sink_registry();
         let r = run(&p, &cg, &reg, 8, Some(cg.work_units + 1), cg.work_units);
         assert!(r.is_err());
     }
@@ -421,7 +421,7 @@ mod tests {
         let mut m = Manifest::new("com.a");
         m.register(Component::new(ComponentKind::Activity, "com.a.Main"));
         let cg = build(&p, &m, &CgOptions::default()).unwrap();
-        let reg = SinkRegistry::crypto_and_ssl();
+        let reg = DetectorRegistry::paper().sink_registry();
         let r = run(&p, &cg, &reg, 8, None, 0).unwrap();
         assert_eq!(
             r.sinks[0].params[0],

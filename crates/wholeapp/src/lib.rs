@@ -13,7 +13,7 @@
 //!
 //! ```
 //! use backdroid_wholeapp::amandroid::{analyze, AmandroidConfig};
-//! use backdroid_core::SinkRegistry;
+//! use backdroid_core::DetectorRegistry;
 //! use backdroid_appgen::{AppSpec, Mechanism, Scenario, SinkKind};
 //!
 //! let app = AppSpec::named("com.example.demo")
@@ -22,7 +22,7 @@
 //!     .generate();
 //! let cfg = AmandroidConfig { error_injection: false, ..AmandroidConfig::default() };
 //! let out = analyze(&app.name, &app.program, &app.manifest,
-//!                   &SinkRegistry::crypto_and_ssl(), &cfg);
+//!                   &DetectorRegistry::paper(), &cfg);
 //! assert_eq!(out.report().unwrap().vulnerable().len(), 1);
 //! ```
 

@@ -6,7 +6,7 @@
 //! ```
 
 use backdroid_appgen::{AppSpec, Mechanism, Scenario, SinkKind};
-use backdroid_core::{Backdroid, SinkRegistry};
+use backdroid_core::{Backdroid, DetectorRegistry};
 use backdroid_wholeapp::amandroid::{analyze, AmandroidConfig, Outcome};
 use backdroid_wholeapp::paper_minutes;
 use std::time::Instant;
@@ -53,7 +53,7 @@ fn main() {
         error_injection: false,
         ..AmandroidConfig::default()
     };
-    let registry = SinkRegistry::crypto_and_ssl();
+    let registry = DetectorRegistry::paper();
     let t = Instant::now();
     let out = analyze(&app.name, &app.program, &app.manifest, &registry, &cfg);
     let am_ms = t.elapsed().as_secs_f64() * 1e3;

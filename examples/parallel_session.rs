@@ -14,7 +14,8 @@
 
 use backdroid_appgen::{AppSpec, Mechanism, Scenario, SinkKind};
 use backdroid_core::{
-    locate_sinks, slice_sink, AppArtifacts, Backdroid, BackdroidOptions, SinkRegistry, SlicerConfig,
+    locate_sinks, slice_sink, AppArtifacts, Backdroid, BackdroidOptions, DetectorRegistry,
+    SlicerConfig,
 };
 use std::sync::Arc;
 
@@ -34,7 +35,7 @@ fn main() {
     // Preprocess once: encode → disassemble → index. After this, the
     // artifacts are immutable and thread-shareable.
     let artifacts = Arc::new(AppArtifacts::new(app.program, app.manifest));
-    let registry = SinkRegistry::crypto_and_ssl();
+    let registry = DetectorRegistry::paper().sink_registry();
 
     // Locate the sink sites, then slice each one on its own thread
     // against the same Arc-shared image.

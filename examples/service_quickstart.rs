@@ -12,7 +12,7 @@
 //! line-delimited JSON protocol on stdin/stdout.
 
 use backdroid_appgen::benchset::BenchsetConfig;
-use backdroid_service::{Fetch, Service, ServiceConfig, SinkClass};
+use backdroid_service::{Fetch, Service, ServiceConfig};
 
 fn main() {
     // Eight generated "modern apps"; ids are benchset indices "0".."7".
@@ -46,13 +46,11 @@ fn main() {
     assert_eq!(warm.fetch, Fetch::Hit);
     assert_eq!(warm.report.sink_reports, cold.report.sink_reports);
 
-    // Per-sink-class queries restrict the registry per request.
-    let crypto = service
-        .query_sinks("3", &[SinkClass::Crypto])
-        .expect("query");
-    let ssl = service.query_sinks("3", &[SinkClass::Ssl]).expect("query");
+    // Per-detector queries restrict the registry per request.
+    let crypto = service.query_detectors("3", &["crypto"]).expect("query");
+    let ssl = service.query_detectors("3", &["ssl"]).expect("query");
     println!(
-        "class queries on the warm image: crypto={} reports, ssl={} reports (full={})",
+        "detector queries on the warm image: crypto={} reports, ssl={} reports (full={})",
         crypto.report.sink_reports.len(),
         ssl.report.sink_reports.len(),
         cold.report.sink_reports.len()

@@ -44,13 +44,14 @@ pub use backdroid_wholeapp;
 pub mod prelude {
     pub use backdroid_appgen::{AndroidApp, AppSpec, Mechanism, Scenario, SinkKind};
     pub use backdroid_core::{
-        Backdroid, BackdroidOptions, BackendChoice, DataflowValue, SinkRegistry, Verdict,
+        Backdroid, BackdroidOptions, BackendChoice, DataflowValue, DetectorRegistry, DetectorSpec,
+        SinkRegistry, Verdict, VerdictRule,
     };
     pub use backdroid_ir::{
         ClassBuilder, ClassName, FieldSig, InvokeExpr, MethodBuilder, MethodSig, Program, Type,
         Value,
     };
     pub use backdroid_manifest::{Component, ComponentKind, Manifest};
-    pub use backdroid_service::{Service, ServiceConfig, SinkClass};
+    pub use backdroid_service::{Service, ServiceConfig};
     pub use backdroid_wholeapp::{AmandroidConfig, CgAlgorithm};
 }

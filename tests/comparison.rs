@@ -2,7 +2,7 @@
 //! shared apps, reproducing the §VI-C agreement/disagreement matrix.
 
 use backdroid_appgen::{AppSpec, BaselineBlindSpot, Mechanism, Scenario, SinkKind};
-use backdroid_core::{Backdroid, SinkRegistry};
+use backdroid_core::{Backdroid, DetectorRegistry};
 use backdroid_wholeapp::amandroid::{analyze, AmandroidConfig, Outcome};
 
 fn baseline_cfg() -> AmandroidConfig {
@@ -14,7 +14,7 @@ fn baseline_cfg() -> AmandroidConfig {
 
 fn run_both(app: &backdroid_appgen::AndroidApp) -> (usize, usize) {
     let bd = Backdroid::new().analyze(&app.program, &app.manifest);
-    let registry = SinkRegistry::crypto_and_ssl();
+    let registry = DetectorRegistry::paper();
     let am = analyze(
         &app.name,
         &app.program,
@@ -119,7 +119,7 @@ fn timeout_asymmetry_on_large_apps() {
         budget_units: 2_000,
         ..baseline_cfg()
     };
-    let registry = SinkRegistry::crypto_and_ssl();
+    let registry = DetectorRegistry::paper();
     let am = analyze(&app.name, &app.program, &app.manifest, &registry, &cfg);
     assert!(matches!(am, Outcome::TimedOut { .. }));
     let bd = Backdroid::new().analyze(&app.program, &app.manifest);
@@ -132,7 +132,7 @@ fn robust_baseline_closes_the_async_gap() {
         .with_scenario(Scenario::new(Mechanism::AsyncTask, SinkKind::Cipher, true))
         .with_filler(6, 3, 4)
         .generate();
-    let registry = SinkRegistry::crypto_and_ssl();
+    let registry = DetectorRegistry::paper();
     let robust = AmandroidConfig {
         robust_async: true,
         ..baseline_cfg()

@@ -151,7 +151,7 @@ fn case_conversions_are_modeled() {
 /// `Integer.parseInt` on a constant string folds to an int.
 #[test]
 fn parse_int_is_modeled() {
-    use backdroid_core::{locate_sinks, slice_sink, SinkRegistry, SlicerConfig};
+    use backdroid_core::{locate_sinks, slice_sink, DetectorRegistry, SlicerConfig};
     // ServerSocket(int) sink from the extended registry.
     let act = ClassName::new("com.m.Main");
     let mut oc = MethodBuilder::public(&act, "onCreate", vec![], Type::Void);
@@ -179,7 +179,7 @@ fn parse_int_is_modeled() {
     );
     let mut manifest = Manifest::new("com.m");
     manifest.register(Component::new(ComponentKind::Activity, "com.m.Main"));
-    let registry = SinkRegistry::extended();
+    let registry = DetectorRegistry::extended().sink_registry();
     let artifacts = backdroid_core::AppArtifacts::new(p.clone(), manifest.clone());
     let mut ctx = artifacts.task();
     let sites = locate_sinks(&mut ctx, &registry, false);

@@ -5,7 +5,7 @@
 use backdroid_appgen::{AppSpec, Mechanism, Scenario, SinkKind};
 use backdroid_core::{
     default_leak_sinks, default_sources, detect_leaks, locate_sinks, slice_sink, AppArtifacts,
-    AppSsg, Backdroid, SinkRegistry, SlicerConfig,
+    AppSsg, Backdroid, DetectorRegistry, SlicerConfig,
 };
 use backdroid_ir::{
     ClassBuilder, ClassName, Const, InvokeExpr, MethodBuilder, MethodSig, Program, Type, Value,
@@ -102,7 +102,7 @@ fn per_app_ssg_merges_shared_slices() {
         ))
         .with_filler(6, 3, 4)
         .generate();
-    let registry = SinkRegistry::crypto_and_ssl();
+    let registry = DetectorRegistry::paper().sink_registry();
     let artifacts = AppArtifacts::new(app.program.clone(), app.manifest.clone());
     let mut ctx = artifacts.task();
     let sites = locate_sinks(&mut ctx, &registry, false);
@@ -156,7 +156,7 @@ fn extended_registry_flags_open_port() {
     let mut man = Manifest::new("com.x");
     man.register(Component::new(ComponentKind::Activity, act.as_str()));
     let tool = Backdroid::with_options(BackdroidOptions {
-        sinks: SinkRegistry::extended(),
+        detectors: DetectorRegistry::extended(),
         ..BackdroidOptions::default()
     });
     let report = tool.analyze(&p, &man);

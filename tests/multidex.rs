@@ -4,7 +4,7 @@
 //! across the merged dump.
 
 use backdroid_appgen::{AppSpec, Mechanism, Scenario, SinkKind};
-use backdroid_core::{Backdroid, SinkRegistry};
+use backdroid_core::{Backdroid, DetectorRegistry};
 use backdroid_dex::{dump_image, DexImage};
 use backdroid_ir::{MethodSig, Type};
 use backdroid_search::{BytecodeText, SearchCmd, SearchEngine};
@@ -82,5 +82,5 @@ fn full_pipeline_on_multidex_dump() {
         "{:#?}",
         report.sink_reports
     );
-    let _ = SinkRegistry::crypto_and_ssl();
+    let _ = DetectorRegistry::paper();
 }

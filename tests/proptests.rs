@@ -1,7 +1,7 @@
 //! Property-based tests over the core data structures and invariants.
 
 use backdroid_appgen::{AppSpec, Mechanism, Scenario, SinkKind};
-use backdroid_core::{locate_sinks, slice_sink, AppArtifacts, SinkRegistry, SlicerConfig};
+use backdroid_core::{locate_sinks, slice_sink, AppArtifacts, DetectorRegistry, SlicerConfig};
 use backdroid_dex::{dump_image, method_ref_string, parse_method_ref, DexImage};
 use backdroid_ir::{
     BinOp, ClassBuilder, ClassName, Const, InvokeExpr, MethodBuilder, MethodSig, Program, Type,
@@ -231,7 +231,7 @@ proptest! {
             .with_scenario(Scenario::new(mech, SinkKind::Cipher, insecure))
             .with_filler(4, 3, 4)
             .generate();
-        let registry = SinkRegistry::crypto_and_ssl();
+        let registry = DetectorRegistry::paper().sink_registry();
         let artifacts = AppArtifacts::new(app.program.clone(), app.manifest.clone());
         let mut ctx = artifacts.task();
         let sites = locate_sinks(&mut ctx, &registry, false);

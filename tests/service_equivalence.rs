@@ -11,9 +11,9 @@
 
 use backdroid_appgen::benchset::{bench_app, BenchsetConfig};
 use backdroid_appgen::{AppSpec, Mechanism, Scenario, SinkKind};
-use backdroid_core::{AppArtifacts, Backdroid, BackdroidOptions, BackendChoice, SinkRegistry};
+use backdroid_core::{AppArtifacts, Backdroid, BackdroidOptions, BackendChoice, DetectorRegistry};
 use backdroid_service::proto;
-use backdroid_service::{AppAnalysis, AppStore, Fetch, Service, ServiceConfig, SinkClass};
+use backdroid_service::{AppAnalysis, AppStore, Fetch, Service, ServiceConfig};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -122,13 +122,13 @@ fn direct_response(
     i: usize,
     cfg: BenchsetConfig,
     backend: BackendChoice,
-    registry: SinkRegistry,
+    detectors: DetectorRegistry,
 ) -> String {
     let ba = bench_app(i, cfg);
     let artifacts = AppArtifacts::with_backend(ba.app.program, ba.app.manifest, backend);
     let tool = Backdroid::with_options(BackdroidOptions {
         backend,
-        sinks: registry,
+        detectors,
         ..BackdroidOptions::default()
     });
     let report = tool.analyze_artifacts(&artifacts);
@@ -153,7 +153,7 @@ fn service_responses_match_direct_analysis_byte_for_byte_on_both_backends() {
                 ..ServiceConfig::default()
             },
         );
-        let full = SinkRegistry::crypto_and_ssl();
+        let full = DetectorRegistry::paper();
         for i in 0..cfg.count {
             let id = i as u64;
             let served = service.analyze_app(&i.to_string()).unwrap();
@@ -168,20 +168,15 @@ fn service_responses_match_direct_analysis_byte_for_byte_on_both_backends() {
             assert_eq!(warm.fetch, Fetch::Hit);
             assert_eq!(proto::render_analysis(id, "analyze", &warm), served_json);
         }
-        // Sink-class queries against warm images match direct runs with a
-        // filtered registry.
-        for (class, prefix) in [(SinkClass::Crypto, "crypto."), (SinkClass::Ssl, "ssl.")] {
-            let mut filtered = SinkRegistry::new();
-            for spec in full.sinks() {
-                if spec.id.starts_with(prefix) {
-                    filtered.add(spec.clone());
-                }
-            }
-            let served = service.query_sinks("2", &[class]).unwrap();
+        // Detector queries against warm images match direct runs with a
+        // restricted registry.
+        for id in ["crypto", "ssl"] {
+            let filtered = full.select(&[id]).unwrap();
+            let served = service.query_detectors("2", &[id]).unwrap();
             assert_eq!(
                 proto::render_analysis(9, "query", &served),
                 direct_response(9, "query", 2, cfg, backend, filtered),
-                "backend {backend:?}, class {class:?}"
+                "backend {backend:?}, detector {id:?}"
             );
         }
     }
