@@ -13,11 +13,18 @@
 //! cost model, so stdout is byte-identical to a sequential run (wall
 //! clock goes to stderr). When the indexed backend ran, the indexed cost
 //! model's median is reported alongside.
+//!
+//! `--json PATH` writes the bucket counts and headline numbers as an
+//! artifact; `--baseline PATH` checks them against the committed
+//! `BENCH_figures.json` envelope, pinning the reproduced figure *shape*
+//! (bucket-by-bucket bands, medians, speedup) in-repo.
 
+use backdroid_bench::baseline::Baseline;
 use backdroid_bench::harness::{
-    backend_from_args, bucket_label, median, print_histogram, run_benchset_with, scale_from_args,
-    threads_from_args,
+    backend_from_args, bucket_label, json_path_from_args, median, print_histogram,
+    run_benchset_with, scale_from_args, threads_from_args,
 };
+use backdroid_bench::json::JsonObject;
 use std::collections::BTreeMap;
 
 fn main() {
@@ -140,4 +147,44 @@ fn main() {
         median(&am_wall),
         threads
     );
+
+    // The figure shape as machine-independent metrics: per-bucket
+    // counts plus the headline medians and speedup, all computed from
+    // the deterministic scaled-minute models.
+    let speedup = if bd_med > 0.0 { am_med / bd_med } else { 0.0 };
+    let mut metrics: Vec<(String, f64)> = vec![
+        ("apps".into(), total as f64),
+        ("bd_median_minutes".into(), bd_med),
+        ("am_median_minutes".into(), am_med),
+        ("model_speedup".into(), speedup),
+        ("am_timeouts".into(), timeouts as f64),
+        ("am_errors".into(), errors as f64),
+        ("bd_over_30m".into(), over_30 as f64),
+    ];
+    for label in bd_order {
+        metrics.push((
+            format!("fig7_{label}"),
+            bd_buckets.get(label).copied().unwrap_or(0) as f64,
+        ));
+    }
+    for label in am_order {
+        metrics.push((
+            format!("fig8_{label}"),
+            am_buckets.get(label).copied().unwrap_or(0) as f64,
+        ));
+    }
+
+    if let Some(path) = json_path_from_args() {
+        let mut obj = JsonObject::new();
+        for (name, value) in &metrics {
+            obj = obj.float(name, *value);
+        }
+        std::fs::write(&path, obj.build() + "\n").expect("write --json artifact");
+        eprintln!("wrote {}", path.display());
+    }
+
+    let borrowed: Vec<(&str, f64)> = metrics.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+    if !Baseline::enforce_from_args("fig7_fig8_compare", &borrowed) {
+        std::process::exit(1);
+    }
 }

@@ -14,6 +14,13 @@
 //!
 //! Runs on the parallel corpus driver; stdout and `--json` output are
 //! byte-identical for any `--threads` value.
+//!
+//! A third leg micro-benchmarks the **symbol-interned probe path**: the
+//! same token set is probed through the intern table (hash the needle's
+//! parts, compare one arena slice) and through a string-keyed map fed
+//! with `format!`-ed keys (the pre-interning hot path). Both sides must
+//! agree probe-for-probe; the wall-clock speedup goes to stderr and the
+//! corpus-wide interned-symbol count is reported and banded.
 
 use backdroid_appgen::benchset::bench_app;
 use backdroid_bench::baseline::Baseline;
@@ -23,6 +30,74 @@ use backdroid_bench::harness::{
 };
 use backdroid_bench::json::{array, JsonObject};
 use backdroid_core::BackendChoice;
+use backdroid_dex::{dump_image, DexImage};
+use backdroid_search::{BytecodeText, SymbolTable};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Probes every index token of the corpus through the intern table and
+/// through a string-keyed map with `format!`-ed keys, verifying
+/// hit-for-hit agreement. Returns `(symbols_total, interned_speedup)`;
+/// the speedup is wall-clock, so callers report it on stderr only.
+fn interned_probe_microbench(texts: &[BytecodeText]) -> (u64, f64) {
+    const ROUNDS: usize = 40;
+    let mut symbols_total = 0u64;
+    let mut interned_ns = 0u128;
+    let mut string_ns = 0u128;
+    for text in texts {
+        let index = text.search_index();
+        symbols_total += index.token_count() as u64;
+        // Both probe representations over the same postings. The tokens
+        // split into the (2-byte namespace prefix, payload) parts the
+        // query path presents.
+        let mut table = SymbolTable::new();
+        let mut string_map: HashMap<String, u32> = HashMap::new();
+        let probes: Vec<(&str, &str, u32)> = index
+            .iter_postings()
+            .map(|(tok, lines)| {
+                table.intern(&[tok]);
+                string_map.insert(tok.to_string(), lines.len() as u32);
+                (&tok[..2], &tok[2..], lines.len() as u32)
+            })
+            .collect();
+
+        let t = Instant::now();
+        let mut interned_hits = 0u64;
+        for _ in 0..ROUNDS {
+            for &(prefix, payload, _) in &probes {
+                if table.lookup(&[prefix, payload]).is_some() {
+                    interned_hits += 1;
+                }
+            }
+        }
+        interned_ns += t.elapsed().as_nanos();
+
+        let t = Instant::now();
+        let mut string_hits = 0u64;
+        for _ in 0..ROUNDS {
+            for &(prefix, payload, expect) in &probes {
+                // The pre-interning hot path: format a fresh key per
+                // probe, then hash + compare it against the map's keys.
+                if string_map.get(&format!("{prefix}{payload}")) == Some(&expect) {
+                    string_hits += 1;
+                }
+            }
+        }
+        string_ns += t.elapsed().as_nanos();
+
+        assert_eq!(
+            interned_hits, string_hits,
+            "interned and string-keyed probes disagreed"
+        );
+        assert_eq!(interned_hits as usize, probes.len() * ROUNDS);
+    }
+    let speedup = if interned_ns > 0 {
+        string_ns as f64 / interned_ns as f64
+    } else {
+        0.0
+    };
+    (symbols_total, speedup)
+}
 
 fn main() {
     let scale = scale_from_args();
@@ -118,11 +193,23 @@ fn main() {
         }
     }
 
+    // Symbol-interned probe path: rebuild the corpus texts once and
+    // drive every index token through both key representations.
+    let texts: Vec<BytecodeText> = (0..cfg.count)
+        .map(|i| {
+            BytecodeText::index(&dump_image(&DexImage::encode(
+                &bench_app(i, cfg).app.program,
+            )))
+        })
+        .collect();
+    let (symbols_total, probe_speedup) = interned_probe_microbench(&texts);
+
     let lin_med = median(&lin_minutes);
     let idx_med = median(&idx_minutes);
     println!("\nAggregate:");
     println!("  linear grep lines:        {lines_total}");
     println!("  indexed postings touched: {postings_total}");
+    println!("  interned symbols:         {symbols_total}");
     println!(
         "  corpus reduction:         {:.1}% of linear scan work avoided",
         100.0 * (1.0 - postings_total as f64 / lines_total.max(1) as f64)
@@ -133,6 +220,11 @@ fn main() {
     if idx_med > 0.0 {
         println!("  median model speedup:     {:.1}x", lin_med / idx_med);
     }
+    // Wall-clock to stderr: the interned probe vs the format!-keyed map.
+    eprintln!(
+        "interned-probe speedup: {probe_speedup:.2}x over string-keyed probes \
+         ({symbols_total} symbols, hit-for-hit identical)"
+    );
     // Wall-clock lines go to stderr so stdout stays deterministic. The
     // linear backend is where intra-app parallelism pays: its per-site
     // grep work dominates, while the indexed backend is usually bound by
@@ -174,6 +266,7 @@ fn main() {
             .int("apps", rows.len() as u64)
             .int("lines_scanned_total", lines_total)
             .int("postings_touched_total", postings_total)
+            .int("symbols_total", symbols_total)
             .float("median_minutes_linear", lin_med)
             .float("median_minutes_indexed", idx_med)
             .build();
@@ -195,6 +288,7 @@ fn main() {
         ("apps", rows.len() as f64),
         ("lines_scanned_total", lines_total as f64),
         ("postings_touched_total", postings_total as f64),
+        ("symbols_total", symbols_total as f64),
         (
             "postings_reduction",
             1.0 - postings_total as f64 / lines_total.max(1) as f64,

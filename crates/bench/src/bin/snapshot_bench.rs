@@ -7,9 +7,19 @@
 //!
 //! Stdout reports per-corpus aggregates: snapshot size vs estimated
 //! resident size, restore speedup over the parse, and the verification
-//! verdict. The bin exits non-zero if any app's round-trip diverges or
-//! if restoring is not faster than parsing in aggregate — the invariant
-//! the serving layer's disk tier depends on.
+//! verdict. The bin exits non-zero if any app's round-trip diverges, if
+//! full-touch restoring is not faster than parsing in aggregate, or if
+//! a manifest-only lazy restore is not faster than the full decode —
+//! the two invariants the serving layer's disk tier depends on.
+//!
+//! Two restore modes are timed separately:
+//! * **full-touch** — `from_snapshot` plus forcing the text arena and
+//!   posting lists, the cost of a disk-warm load that immediately
+//!   searches (what the cold parse is compared against);
+//! * **manifest-only** — `from_snapshot` plus store accounting
+//!   (`estimated_bytes`, package name) with the lazy text/index
+//!   sections verified to stay unmaterialized — the disk-warm-restore
+//!   latency a request that never searches actually pays.
 //!
 //! The restore must also be *behaviourally* identical to the fresh
 //! build at the search-engine level: analyzing the restored image must
@@ -59,6 +69,7 @@ fn main() {
     let mut parse_ms = 0.0f64;
     let mut snapshot_ms = 0.0f64;
     let mut restore_ms = 0.0f64;
+    let mut lazy_ms = 0.0f64;
     let mut snapshot_bytes = 0u64;
     let mut estimated_bytes = 0u64;
     let mut mismatches = 0usize;
@@ -84,7 +95,32 @@ fn main() {
         let t2 = Instant::now();
         let restored = AppArtifacts::from_snapshot(&bytes, backend)
             .unwrap_or_else(|e| panic!("app {i}: snapshot failed to restore: {e}"));
+        // Full-touch: force the lazy sections the way a first analysis
+        // would, so the parse comparison stays work-for-work fair.
+        let _ = restored.program();
+        let text = restored.engine().text();
+        let _ = text.search_index();
+        if text.line_count() > 0 {
+            let _ = text.line(0);
+        }
         restore_ms += t2.elapsed().as_secs_f64() * 1_000.0;
+
+        // Manifest-only: restore again and touch nothing but the header
+        // facts the app store reads — the lazy sections must stay parked.
+        let t3 = Instant::now();
+        let lazy = AppArtifacts::from_snapshot(&bytes, backend)
+            .unwrap_or_else(|e| panic!("app {i}: lazy restore failed: {e}"));
+        let _ = lazy.estimated_bytes();
+        let _ = lazy.manifest().package();
+        lazy_ms += t3.elapsed().as_secs_f64() * 1_000.0;
+        let lazy_text = lazy.engine().text();
+        if lazy.is_program_materialized()
+            || lazy_text.is_body_materialized()
+            || lazy_text.is_index_materialized()
+        {
+            eprintln!("MISMATCH: app {i} manifest-only restore materialized a lazy section");
+            mismatches += 1;
+        }
 
         // Exactness: byte-identical re-snapshot, identical analysis.
         if restored.to_snapshot() != bytes
@@ -121,6 +157,15 @@ fn main() {
         restore_ms / n
     );
     println!(
+        "  manifest-only lazy restore: {:.3} ms/app ({:.1}x below the full decode)",
+        lazy_ms / n,
+        if lazy_ms > 0.0 {
+            restore_ms / lazy_ms
+        } else {
+            0.0
+        }
+    );
+    println!(
         "  size: {:.1} KiB/app on disk vs {:.1} KiB/app estimated resident",
         snapshot_bytes as f64 / n / 1024.0,
         estimated_bytes as f64 / n / 1024.0
@@ -145,7 +190,16 @@ fn main() {
             .float("wall_parse_ms_per_app", parse_ms / n)
             .float("wall_snapshot_ms_per_app", snapshot_ms / n)
             .float("wall_restore_ms_per_app", restore_ms / n)
+            .float("wall_lazy_restore_ms_per_app", lazy_ms / n)
             .float("wall_restore_speedup", speedup)
+            .float(
+                "wall_lazy_restore_speedup",
+                if lazy_ms > 0.0 {
+                    restore_ms / lazy_ms
+                } else {
+                    0.0
+                },
+            )
             .build();
         std::fs::write(&path, obj + "\n").expect("failed to write --json artifact");
         eprintln!("wrote JSON artifact to {}", path.display());
@@ -160,6 +214,13 @@ fn main() {
         eprintln!(
             "FAIL: restoring ({restore_ms:.1} ms total) is not faster than parsing \
              ({parse_ms:.1} ms total) — the disk tier would be pointless"
+        );
+        failed = true;
+    }
+    if lazy_ms >= restore_ms {
+        eprintln!(
+            "FAIL: a manifest-only restore ({lazy_ms:.1} ms total) is not faster than the \
+             eager full decode ({restore_ms:.1} ms total) — the lazy sections buy nothing"
         );
         failed = true;
     }
@@ -181,6 +242,14 @@ fn main() {
     let metrics: Vec<(&str, f64)> = vec![
         ("mismatches", mismatches as f64),
         ("wall_restore_speedup", speedup),
+        (
+            "wall_lazy_restore_speedup",
+            if lazy_ms > 0.0 {
+                restore_ms / lazy_ms
+            } else {
+                0.0
+            },
+        ),
         ("postings_parity", postings_parity),
         ("postings_per_app", postings_fresh as f64 / n),
         (

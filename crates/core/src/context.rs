@@ -14,9 +14,71 @@
 
 use crate::loops::LoopStats;
 use backdroid_dex::{dump_image, DexImage};
+use backdroid_ir::wire::{self, WireReader};
 use backdroid_ir::Program;
 use backdroid_manifest::Manifest;
 use backdroid_search::{BackendChoice, BytecodeText, SearchEngine};
+use std::sync::{Mutex, OnceLock};
+
+/// The IR-program half of the artifacts, restorable lazily.
+///
+/// A snapshot restore parks the wire-encoded program blob here along
+/// with the class/method counts read from the section's count prefix,
+/// so [`AppArtifacts::estimated_bytes`] answers without decoding; the
+/// full decode runs once, on the first [`AppArtifacts::program`] touch.
+/// Freshly-built artifacts store the program directly and never defer.
+#[derive(Debug)]
+struct LazyProgram {
+    cell: OnceLock<Program>,
+    pending: Mutex<Option<Vec<u8>>>,
+    class_count: usize,
+    method_count: usize,
+}
+
+impl LazyProgram {
+    fn ready(program: Program) -> Self {
+        let class_count = program.class_count();
+        let method_count = program.method_count();
+        let cell = OnceLock::new();
+        cell.set(program).expect("fresh cell");
+        LazyProgram {
+            cell,
+            pending: Mutex::new(None),
+            class_count,
+            method_count,
+        }
+    }
+
+    fn deferred(blob: Vec<u8>, class_count: usize, method_count: usize) -> Self {
+        LazyProgram {
+            cell: OnceLock::new(),
+            pending: Mutex::new(Some(blob)),
+            class_count,
+            method_count,
+        }
+    }
+
+    fn get(&self) -> &Program {
+        self.cell.get_or_init(|| {
+            let blob = self
+                .pending
+                .lock()
+                .expect("lazy program lock")
+                .take()
+                .unwrap_or_default();
+            // The blob passed its section checksum at load time, so the
+            // decode cannot fail on bytes a writer produced; an empty
+            // program is the total fallback (same stance as the lazy
+            // text sections).
+            let mut r = WireReader::new(&blob);
+            wire::read_program(&mut r).unwrap_or_default()
+        })
+    }
+
+    fn is_materialized(&self) -> bool {
+        self.cell.get().is_some()
+    }
+}
 
 /// The immutable per-app artifacts: the IR program (program analysis
 /// space), the manifest, and the search engine over the indexed dexdump
@@ -29,7 +91,7 @@ use backdroid_search::{BackendChoice, BytecodeText, SearchEngine};
 /// dump, so the artifacts behave as an immutable value.
 #[derive(Debug)]
 pub struct AppArtifacts {
-    program: Program,
+    program: LazyProgram,
     manifest: Manifest,
     engine: SearchEngine,
 }
@@ -54,7 +116,7 @@ impl AppArtifacts {
     pub fn with_backend(program: Program, manifest: Manifest, backend: BackendChoice) -> Self {
         let engine = build_engine(&program, backend);
         AppArtifacts {
-            program,
+            program: LazyProgram::ready(program),
             manifest,
             engine,
         }
@@ -78,7 +140,27 @@ impl AppArtifacts {
         backend: BackendChoice,
     ) -> Self {
         AppArtifacts {
-            program,
+            program: LazyProgram::ready(program),
+            manifest,
+            engine: SearchEngine::with_backend(text, backend),
+        }
+    }
+
+    /// Reassembles artifacts with the program still wire-encoded: the
+    /// snapshot restore path parks the blob (plus the counts from its
+    /// prefix) and decodes it only when [`AppArtifacts::program`] is
+    /// first touched. `pub(crate)` — only [`crate::snapshot`] can vouch
+    /// that the blob passed its checksum.
+    pub(crate) fn from_deferred_parts(
+        program_blob: Vec<u8>,
+        class_count: usize,
+        method_count: usize,
+        manifest: Manifest,
+        text: BytecodeText,
+        backend: BackendChoice,
+    ) -> Self {
+        AppArtifacts {
+            program: LazyProgram::deferred(program_blob, class_count, method_count),
             manifest,
             engine: SearchEngine::with_backend(text, backend),
         }
@@ -93,15 +175,24 @@ impl AppArtifacts {
         backend: BackendChoice,
     ) -> Self {
         AppArtifacts {
-            program,
+            program: LazyProgram::ready(program),
             manifest,
             engine: SearchEngine::with_backend(BytecodeText::index(dump), backend),
         }
     }
 
-    /// The app's IR program.
+    /// The app's IR program. On a snapshot-restored image the first call
+    /// decodes the parked program section; fresh builds pay nothing.
     pub fn program(&self) -> &Program {
-        &self.program
+        self.program.get()
+    }
+
+    /// Whether the IR program has been decoded. Always `true` for fresh
+    /// builds; on a snapshot-restored image it flips on the first
+    /// [`AppArtifacts::program`] touch. Observability for the lazy-restore
+    /// tests and benchmarks.
+    pub fn is_program_materialized(&self) -> bool {
+        self.program.is_materialized()
     }
 
     /// The app's manifest.
@@ -128,8 +219,8 @@ impl AppArtifacts {
         const PER_METHOD: u64 = 512;
         const PER_COMPONENT: u64 = 128;
         self.engine.text().resident_bytes()
-            + self.program.class_count() as u64 * PER_CLASS
-            + self.program.method_count() as u64 * PER_METHOD
+            + self.program.class_count as u64 * PER_CLASS
+            + self.program.method_count as u64 * PER_METHOD
             + self.manifest.components().count() as u64 * PER_COMPONENT
     }
 
@@ -139,7 +230,7 @@ impl AppArtifacts {
     /// counters. Call from as many threads as you like.
     pub fn task(&self) -> TaskContext<'_> {
         TaskContext {
-            program: &self.program,
+            program: self.program.get(),
             manifest: &self.manifest,
             engine: self.engine.clone(),
             loops: LoopStats::default(),

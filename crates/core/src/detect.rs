@@ -129,20 +129,6 @@ pub fn judge_sms(values: &[DataflowValue]) -> Verdict {
     }
 }
 
-/// Dispatches to the right judge by sink id.
-///
-/// Deprecated: the hardcoded dispatch is replaced by
-/// [`crate::DetectorRegistry::judge`], where an unknown sink id is a
-/// typed [`crate::DetectorError`] instead of this function's silent
-/// `Undetermined`. This forward keeps the legacy
-/// unknown-id-means-`Undetermined` contract for one PR.
-#[deprecated(note = "use `DetectorRegistry::judge`, which fails typed on unknown sink ids")]
-pub fn judge(sink_id: &str, values: &[DataflowValue]) -> Verdict {
-    crate::DetectorRegistry::extended()
-        .judge(sink_id, values)
-        .unwrap_or(Verdict::Undetermined)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -221,10 +207,13 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn judge_dispatches_by_sink_id() {
-        assert!(judge("crypto.cipher", &s("AES/ECB/PKCS5Padding")).is_vulnerable());
-        assert_eq!(judge("unknown.sink", &s("x")), Verdict::Undetermined);
+    fn registry_judge_dispatches_by_sink_id() {
+        let reg = crate::DetectorRegistry::extended();
+        assert!(reg
+            .judge("crypto.cipher", &s("AES/ECB/PKCS5Padding"))
+            .unwrap()
+            .is_vulnerable());
+        assert!(reg.judge("unknown.sink", &s("x")).is_err());
     }
 
     #[test]

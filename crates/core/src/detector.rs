@@ -1,10 +1,9 @@
 //! The data-driven detector registry: detection as *data*, not code.
 //!
 //! The paper's evaluation hardwires two detectors (crypto misuse and
-//! SSL misconfiguration, §VI-A); the legacy `judge()` dispatch and the
-//! `SinkRegistry::crypto_and_ssl()` / `extended()` constructors froze
-//! that choice into the API. This module replaces both with a
-//! first-class abstraction:
+//! SSL misconfiguration, §VI-A); earlier revisions of this codebase
+//! froze that choice into hardcoded constructors and a closed dispatch.
+//! This module replaces both with a first-class abstraction:
 //!
 //! * [`DetectorSpec`] — one detector: a stable id, the [`SinkSpec`]s it
 //!   targets, and a declarative [`VerdictRule`];
@@ -15,12 +14,11 @@
 //!   with **typed errors** ([`DetectorError`]) for unknown ids instead
 //!   of the old silent `Undetermined` fallback.
 //!
-//! The built-in registries reproduce the legacy constructors exactly:
-//! [`DetectorRegistry::paper`] flattens to the same sink list (same
-//! order, same ids) as the deprecated `SinkRegistry::crypto_and_ssl()`,
-//! and its rules are verdict-for-verdict, byte-for-byte identical to the
-//! legacy `judge_*` functions — the `detector_registry` property test
-//! fuzzes that equivalence. [`DetectorRegistry::full`] adds the three
+//! The built-in registries preserve the historical sink lists exactly:
+//! [`DetectorRegistry::paper`] flattens to the paper's three sinks (same
+//! order, same ids), and its rules are verdict-for-verdict identical to
+//! the standalone `judge_*` functions — the `detector_registry` property
+//! test fuzzes that equivalence. [`DetectorRegistry::full`] adds the three
 //! post-paper classes (WebView JS-interface exposure, weak PRNG seeding,
 //! `Runtime.exec` command injection).
 
@@ -318,12 +316,11 @@ impl std::fmt::Display for DetectorError {
 
 impl std::error::Error for DetectorError {}
 
-/// The ordered set of detectors one analysis run vets. Replaces the
-/// legacy `SinkRegistry` constructors: [`DetectorRegistry::sink_registry`]
-/// flattens the detectors (in registration order) into the sink list the
-/// locate/slice pipeline consumes, and [`DetectorRegistry::judge`]
-/// replaces the hardcoded `judge()` dispatch with a registry lookup that
-/// fails typed on unknown sink ids.
+/// The ordered set of detectors one analysis run vets.
+/// [`DetectorRegistry::sink_registry`] flattens the detectors (in
+/// registration order) into the sink list the locate/slice pipeline
+/// consumes, and [`DetectorRegistry::judge`] dispatches verdicts through
+/// a registry lookup that fails typed on unknown sink ids.
 #[derive(Clone, Debug, Default)]
 pub struct DetectorRegistry {
     detectors: Vec<DetectorSpec>,
@@ -336,8 +333,8 @@ impl DetectorRegistry {
     }
 
     /// The paper's evaluation set (§VI-A): the `crypto` and `ssl`
-    /// detectors. Flattens to the exact sink list (ids and order) of the
-    /// deprecated `SinkRegistry::crypto_and_ssl()`.
+    /// detectors, flattening to `Cipher.getInstance` plus the two
+    /// `setHostnameVerifier` overloads.
     pub fn paper() -> Self {
         let mut r = Self::new();
         for spec in [crypto_detector(), ssl_detector()] {
@@ -347,8 +344,7 @@ impl DetectorRegistry {
     }
 
     /// The paper set plus the uncommon §VI-D detectors (`sms`,
-    /// `socket.server`, `socket.local`). Flattens to the exact sink list
-    /// of the deprecated `SinkRegistry::extended()`.
+    /// `socket.server`, `socket.local`).
     pub fn extended() -> Self {
         let mut r = Self::paper();
         for spec in [
@@ -415,8 +411,8 @@ impl DetectorRegistry {
             .ok_or_else(|| DetectorError::UnknownDetector(id.to_string()))
     }
 
-    /// The verdict rule owning `sink_id`, or a typed error — the fix for
-    /// the legacy `judge()`'s silent `_ => Undetermined` fallback.
+    /// The verdict rule owning `sink_id`, or a typed error — an unknown
+    /// sink id never degrades to a silent `Undetermined`.
     pub fn rule_for(&self, sink_id: &str) -> Result<&VerdictRule, DetectorError> {
         self.detectors
             .iter()
@@ -452,8 +448,7 @@ impl DetectorRegistry {
 
     /// Flattens the detectors (registration order, then per-detector
     /// sink order) into the [`SinkRegistry`] the locate/slice pipeline
-    /// consumes. For the built-in registries this reproduces the
-    /// deprecated constructors' sink lists exactly.
+    /// consumes.
     pub fn sink_registry(&self) -> SinkRegistry {
         let mut r = SinkRegistry::new();
         for d in &self.detectors {

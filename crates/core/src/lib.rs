@@ -81,8 +81,6 @@ pub mod ssg;
 pub use backdroid_search::BackendChoice;
 pub use backtrack::{find_callers, CallerEdge, ChainStep, EdgeKind, Reached};
 pub use context::{AppArtifacts, TaskContext};
-#[allow(deprecated)]
-pub use detect::judge;
 pub use detect::{judge_cipher, judge_verifier, Verdict};
 pub use detector::{DetectorError, DetectorRegistry, DetectorSpec, RuleFn, VerdictRule};
 pub use engine::{AppReport, Backdroid, BackdroidOptions, SinkCacheStats, SinkReport};

@@ -3,10 +3,9 @@
 //! A *sink* is a platform API whose parameters decide a security property:
 //! the evaluation targets `Cipher.getInstance()` (crypto misuse) and the
 //! two `setHostnameVerifier()` overloads (SSL misconfiguration), the same
-//! sinks the paper stress-tests (§VI-A). Sink specs are now owned by
+//! sinks the paper stress-tests (§VI-A). Sink specs are owned by
 //! detectors — build a [`crate::DetectorRegistry`] and flatten it with
-//! [`crate::DetectorRegistry::sink_registry`]; the constructors here are
-//! deprecated forwards kept for one PR.
+//! [`crate::DetectorRegistry::sink_registry`].
 
 use backdroid_ir::MethodSig;
 
@@ -42,21 +41,6 @@ impl SinkRegistry {
     /// An empty registry.
     pub fn new() -> Self {
         Self::default()
-    }
-
-    /// The three sink APIs of the paper's evaluation (§VI-A):
-    /// `Cipher.getInstance`, `SSLSocketFactory.setHostnameVerifier`, and
-    /// `HttpsURLConnection.setHostnameVerifier`.
-    #[deprecated(note = "use `DetectorRegistry::paper().sink_registry()`")]
-    pub fn crypto_and_ssl() -> Self {
-        crate::DetectorRegistry::paper().sink_registry()
-    }
-
-    /// An extended registry also carrying the uncommon sinks of §VI-D
-    /// (`sendTextMessage`, `ServerSocket`, `LocalServerSocket`).
-    #[deprecated(note = "use `DetectorRegistry::extended().sink_registry()`")]
-    pub fn extended() -> Self {
-        crate::DetectorRegistry::extended().sink_registry()
     }
 
     /// Adds a sink spec.
@@ -104,19 +88,6 @@ mod tests {
         let r = crate::DetectorRegistry::extended().sink_registry();
         assert!(r.sinks().len() >= 6);
         assert!(r.sinks().iter().any(|s| s.id == "sms.send"));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructors_forward_to_the_detector_registry() {
-        assert_eq!(
-            SinkRegistry::crypto_and_ssl().sinks(),
-            crate::DetectorRegistry::paper().sink_registry().sinks()
-        );
-        assert_eq!(
-            SinkRegistry::extended().sinks(),
-            crate::DetectorRegistry::extended().sink_registry().sinks()
-        );
     }
 
     #[test]

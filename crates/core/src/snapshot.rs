@@ -5,7 +5,7 @@
 //! plaintext (§III) — is the whole cost of a cold app load. A snapshot
 //! captures every preprocessing product (IR program, manifest, indexed
 //! [`BytecodeText`] *with* its posting lists), so restoring an app image
-//! is a cheap linear decode instead of a re-parse: the disk tier of the
+//! is a cheap decode instead of a re-parse: the disk tier of the
 //! serving layer's two-tier store persists exactly this format.
 //!
 //! ## Container layout
@@ -15,9 +15,38 @@
 //!      0     8  magic  b"BDSNAP\r\n"  (the \r\n catches text-mode mangling)
 //!      8     4  format version, u32 LE   (SNAPSHOT_VERSION)
 //!     12     8  payload length, u64 LE
-//!     20     n  payload: wire-encoded (program, manifest, bytecode text)
-//!   20+n     8  FNV-1a 64 checksum of the payload, u64 LE
+//!     20     n  payload: section directory + section blobs
+//!   20+n     8  checksum of the section directory, u64 LE
 //! ```
+//!
+//! The payload opens with a **section directory** — a section count
+//! byte, then per section its id byte, varint length, and a checksum of
+//! the blob — followed by the blobs in id order. Checksums are
+//! lane-widened FNV-1a ([`backdroid_ir::wire::fnv1a64_wide`]), and every
+//! payload byte is covered by exactly one: blobs by their directory
+//! entries, the directory itself by the trailer — so a restore makes a
+//! single fast hash pass over the file.
+//!
+//! ```text
+//! id  section   contents                                decoded
+//!  0  program   class/method counts + wire IR program   on first touch
+//!  1  manifest  wire-encoded manifest                   eagerly
+//!  2  text      dump arena + line table + descs         on first touch
+//!  3  spans     method spans + line → span map          on first touch
+//!  4  symbols   interned search tokens                  on first touch
+//!  5  postings  flattened posting lists + owners        on first touch
+//! ```
+//!
+//! Each section is independently checksummed, but only the manifest is
+//! *decoded* eagerly: the program section parks its blob behind a
+//! `OnceLock` inside [`AppArtifacts`] (its count prefix answers the
+//! store's `estimated_bytes` accounting up front), and the text and
+//! index sections park inside [`BytecodeText::from_sections`] after
+//! structural validation — a disk-warm load that only answers
+//! manifest-level questions never pays the program decode, the arena
+//! copy, or the posting-list build, so restore cost scales with what a
+//! request reads, not with app size (the paper's §IV search-cost
+//! argument applied to the persistence layer).
 //!
 //! The payload uses the deterministic wire vocabulary of
 //! [`backdroid_ir::wire`], so **equal artifacts encode byte-identically**
@@ -33,9 +62,10 @@
 //! snapshot serves either.
 //!
 //! [`BytecodeText`]: backdroid_search::BytecodeText
+//! [`BytecodeText::from_sections`]: backdroid_search::BytecodeText::from_sections
 
 use crate::context::AppArtifacts;
-use backdroid_ir::wire::{self, fnv1a64, WireError, WireReader, WireWriter};
+use backdroid_ir::wire::{self, fnv1a64_wide, WireError, WireReader, WireWriter};
 use backdroid_manifest::snapshot::{read_manifest, write_manifest};
 use backdroid_search::{BackendChoice, BytecodeText};
 use std::fmt;
@@ -46,10 +76,15 @@ pub const SNAPSHOT_MAGIC: [u8; 8] = *b"BDSNAP\r\n";
 
 /// The current snapshot format version. Bump on **any** payload layout
 /// change: readers reject other versions and the store re-parses.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// Version 2 introduced the section directory and the interned,
+/// arena-backed text sections.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Bytes before the payload: magic + version + payload length.
 const HEADER_LEN: usize = 8 + 4 + 8;
+
+/// Number of payload sections; ids `0..SECTION_COUNT` in order.
+const SECTION_COUNT: usize = 6;
 
 /// Why a snapshot failed to load. Every variant is an expected runtime
 /// condition for the disk tier (partially written file, stale format,
@@ -68,7 +103,8 @@ pub enum SnapshotError {
         /// Version this build reads ([`SNAPSHOT_VERSION`]).
         expected: u32,
     },
-    /// The payload does not hash to the stored checksum.
+    /// The payload (or one of its sections) does not hash to the stored
+    /// checksum.
     ChecksumMismatch,
     /// Bytes follow the checksum — the file is not one clean container.
     TrailingBytes,
@@ -101,28 +137,76 @@ impl From<WireError> for SnapshotError {
     }
 }
 
+fn malformed(m: &str) -> SnapshotError {
+    SnapshotError::Decode(WireError::Malformed(m.to_string()))
+}
+
+/// Decodes one fully-consumed section blob.
+fn decode_section<T>(
+    blob: &[u8],
+    read: impl FnOnce(&mut WireReader<'_>) -> Result<T, WireError>,
+) -> Result<T, SnapshotError> {
+    let mut r = WireReader::new(blob);
+    let value = read(&mut r)?;
+    if !r.is_empty() {
+        return Err(malformed("unconsumed section bytes"));
+    }
+    Ok(value)
+}
+
 impl AppArtifacts {
     /// Serializes these artifacts into one self-contained snapshot:
-    /// header, wire-encoded payload (program, manifest, indexed text
-    /// with posting lists), checksum. Forces the lazy posting-list
-    /// index first, so a restored image never re-tokenizes.
+    /// header, section directory, wire-encoded section blobs (program,
+    /// manifest, text arena, method spans, symbol table, posting
+    /// lists), checksum. Forces the lazy posting-list index first, so a
+    /// restored image never re-tokenizes.
     ///
     /// Deterministic: equal artifacts produce byte-identical snapshots,
     /// and `AppArtifacts::from_snapshot(&a.to_snapshot(), _)` followed
     /// by `to_snapshot` reproduces the input bytes exactly.
     pub fn to_snapshot(&self) -> Vec<u8> {
-        let mut payload = WireWriter::new();
-        wire::write_program(&mut payload, self.program());
-        write_manifest(&mut payload, self.manifest());
-        self.engine().text().write_wire(&mut payload);
-        let payload = payload.into_bytes();
+        let text = self.engine().text();
+        let mut sections: Vec<Vec<u8>> = Vec::with_capacity(SECTION_COUNT);
+        for id in 0..SECTION_COUNT {
+            let mut w = WireWriter::new();
+            match id {
+                0 => {
+                    // Count prefix: lets a restore answer
+                    // `estimated_bytes` without decoding the program.
+                    let program = self.program();
+                    w.put_len(program.class_count());
+                    w.put_len(program.method_count());
+                    wire::write_program(&mut w, program);
+                }
+                1 => write_manifest(&mut w, self.manifest()),
+                2 => text.write_text_section(&mut w),
+                3 => text.write_spans_section(&mut w),
+                4 => text.write_symbols_section(&mut w),
+                _ => text.write_postings_section(&mut w),
+            }
+            sections.push(w.into_bytes());
+        }
 
-        let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + 8);
+        let mut dir = WireWriter::new();
+        dir.put_u8(SECTION_COUNT as u8);
+        for (id, blob) in sections.iter().enumerate() {
+            dir.put_u8(id as u8);
+            dir.put_len(blob.len());
+            dir.put_u64(fnv1a64_wide(blob));
+        }
+        let dir = dir.into_bytes();
+        let dir_sum = fnv1a64_wide(&dir);
+        let payload_len = dir.len() + sections.iter().map(Vec::len).sum::<usize>();
+
+        let mut out = Vec::with_capacity(HEADER_LEN + payload_len + 8);
         out.extend_from_slice(&SNAPSHOT_MAGIC);
         out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
-        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-        out.extend_from_slice(&payload);
-        out.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+        out.extend_from_slice(&(payload_len as u64).to_le_bytes());
+        out.extend_from_slice(&dir);
+        for blob in &sections {
+            out.extend_from_slice(blob);
+        }
+        out.extend_from_slice(&dir_sum.to_le_bytes());
         out
     }
 
@@ -131,6 +215,12 @@ impl AppArtifacts {
     /// fresh engine on `backend` (the backend is runtime configuration
     /// and not part of the format). Total: every corruption mode maps
     /// to a [`SnapshotError`].
+    ///
+    /// **Lazy**: only the manifest section decodes now (plus the
+    /// program section's count prefix). The program blob and the
+    /// structurally-validated text/index sections materialize when
+    /// something first reads them — see the module docs and
+    /// [`BytecodeText::from_sections`].
     pub fn from_snapshot(
         bytes: &[u8],
         backend: BackendChoice,
@@ -162,20 +252,65 @@ impl AppArtifacts {
         }
         let payload = &bytes[HEADER_LEN..HEADER_LEN + payload_len];
         let stored = u64::from_le_bytes(bytes[total - 8..].try_into().expect("8 bytes"));
-        if fnv1a64(payload) != stored {
+
+        // Section directory: count, then (id, len, checksum) per
+        // section, ids dense and in order. The trailing checksum covers
+        // exactly these directory bytes; each blob is covered by its
+        // entry — one hash pass over the file in total.
+        let mut r = WireReader::new(payload);
+        if r.get_u8()? as usize != SECTION_COUNT {
+            return Err(malformed("unexpected section count"));
+        }
+        let mut entries = Vec::with_capacity(SECTION_COUNT);
+        for id in 0..SECTION_COUNT {
+            if r.get_u8()? as usize != id {
+                return Err(malformed("section directory out of order"));
+            }
+            let len = r.get_len(1)?;
+            let sum = r.get_u64()?;
+            entries.push((len, sum));
+        }
+        let mut off = payload.len() - r.remaining();
+        if fnv1a64_wide(&payload[..off]) != stored {
             return Err(SnapshotError::ChecksumMismatch);
         }
-
-        let mut r = WireReader::new(payload);
-        let program = wire::read_program(&mut r)?;
-        let manifest = read_manifest(&mut r)?;
-        let text = BytecodeText::read_wire(&mut r)?;
-        if !r.is_empty() {
-            return Err(SnapshotError::Decode(WireError::Malformed(
-                "unconsumed payload bytes".into(),
-            )));
+        let mut blobs: Vec<&[u8]> = Vec::with_capacity(SECTION_COUNT);
+        for &(len, sum) in &entries {
+            let end = off.checked_add(len).ok_or(SnapshotError::Truncated)?;
+            if end > payload.len() {
+                return Err(SnapshotError::Truncated);
+            }
+            let blob = &payload[off..end];
+            if fnv1a64_wide(blob) != sum {
+                return Err(SnapshotError::ChecksumMismatch);
+            }
+            blobs.push(blob);
+            off = end;
         }
-        Ok(AppArtifacts::from_parts(program, manifest, text, backend))
+        if off != payload.len() {
+            return Err(malformed("unconsumed payload bytes"));
+        }
+
+        // Program section: read the count prefix now, defer the decode.
+        let mut pr = WireReader::new(blobs[0]);
+        let class_count = pr.get_len(1)?;
+        let method_count = pr.get_len(1)?;
+        let program_blob = blobs[0][blobs[0].len() - pr.remaining()..].to_vec();
+        let manifest = decode_section(blobs[1], read_manifest)?;
+        let text = BytecodeText::from_sections(
+            blobs[2].to_vec(),
+            blobs[3].to_vec(),
+            blobs[4].to_vec(),
+            blobs[5].to_vec(),
+        )?;
+        Ok(AppArtifacts::from_deferred_parts(
+            program_blob,
+            class_count,
+            method_count,
+            manifest,
+            text,
+            backend,
+        ))
     }
 }
 
@@ -228,6 +363,34 @@ mod tests {
     }
 
     #[test]
+    fn restore_is_lazy_until_first_search() {
+        let a = sample_artifacts();
+        let bytes = a.to_snapshot();
+        let b = AppArtifacts::from_snapshot(&bytes, BackendChoice::default()).unwrap();
+        // Manifest-level facts are served without touching the program,
+        // text, or posting sections.
+        let text = b.engine().text();
+        assert!(!b.is_program_materialized());
+        assert!(!text.is_body_materialized());
+        assert!(!text.is_index_materialized());
+        assert_eq!(b.manifest().package(), a.manifest().package());
+        assert_eq!(b.estimated_bytes(), a.estimated_bytes());
+        assert!(!b.is_program_materialized());
+        assert!(!text.is_body_materialized());
+        assert!(!text.is_index_materialized());
+        // Running an analysis materializes on demand — and answers
+        // exactly as a fresh parse does.
+        let tool = Backdroid::with_options(BackdroidOptions::default());
+        let restored = tool.analyze_artifacts(&b);
+        assert!(b.is_program_materialized());
+        assert!(b.engine().text().is_index_materialized());
+        assert_eq!(
+            restored.sink_reports,
+            tool.analyze_artifacts(&a).sink_reports
+        );
+    }
+
+    #[test]
     fn one_snapshot_serves_both_backends_identically() {
         let a = sample_artifacts();
         let bytes = a.to_snapshot();
@@ -266,8 +429,20 @@ mod tests {
         assert!(matches!(
             AppArtifacts::from_snapshot(&bad, BackendChoice::default()).unwrap_err(),
             SnapshotError::VersionMismatch {
-                found: 2,
-                expected: 1
+                found: 3,
+                expected: 2
+            }
+        ));
+
+        // A version-1 file (the pre-sectioned format) is stale, not
+        // corrupt — still rejected with a version mismatch.
+        let mut bad = bytes.clone();
+        bad[8] = 1;
+        assert!(matches!(
+            AppArtifacts::from_snapshot(&bad, BackendChoice::default()).unwrap_err(),
+            SnapshotError::VersionMismatch {
+                found: 1,
+                expected: 2
             }
         ));
 
@@ -309,7 +484,7 @@ mod tests {
             (
                 SnapshotError::VersionMismatch {
                     found: 9,
-                    expected: 1,
+                    expected: 2,
                 },
                 "version 9",
             ),

@@ -71,6 +71,33 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
+/// Lane-widened FNV-1a: the same xor-multiply chain as [`fnv1a64`] but
+/// over 8-byte little-endian lanes (zero-padded tail, input length
+/// folded into the seed), roughly an order of magnitude faster on bulk
+/// data. The snapshot container checksums its section blobs with this.
+/// Not interchangeable with [`fnv1a64`] — the two hash the same bytes
+/// to different values.
+///
+/// A single corrupted lane is always detected: each step is bijective
+/// in the accumulator, so two states that diverge never re-converge on
+/// identical remaining input.
+pub fn fnv1a64_wide(bytes: &[u8]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ (bytes.len() as u64).wrapping_mul(PRIME);
+    let mut lanes = bytes.chunks_exact(8);
+    for lane in &mut lanes {
+        let w = u64::from_le_bytes(lane.try_into().expect("8-byte lane"));
+        h = (h ^ w).wrapping_mul(PRIME);
+    }
+    let tail = lanes.remainder();
+    if !tail.is_empty() {
+        let mut last = [0u8; 8];
+        last[..tail.len()].copy_from_slice(tail);
+        h = (h ^ u64::from_le_bytes(last)).wrapping_mul(PRIME);
+    }
+    h
+}
+
 // ---------------------------------------------------------------------
 // Primitives
 // ---------------------------------------------------------------------
@@ -143,6 +170,12 @@ impl WireWriter {
     /// An `f64`, bit-exact (NaN payloads round-trip).
     pub fn put_f64(&mut self, v: f64) {
         self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// A fixed-width `u64`, little-endian — used for checksums, where a
+    /// varint would let equal values encode at different widths.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Raw bytes with a varint length prefix.
@@ -242,6 +275,17 @@ impl<'a> WireReader<'a> {
         raw.copy_from_slice(&self.buf[self.pos..self.pos + 8]);
         self.pos += 8;
         Ok(f64::from_bits(u64::from_le_bytes(raw)))
+    }
+
+    /// A fixed-width little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, WireError> {
+        if self.remaining() < 8 {
+            return Err(WireError::Truncated);
+        }
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&self.buf[self.pos..self.pos + 8]);
+        self.pos += 8;
+        Ok(u64::from_le_bytes(raw))
     }
 
     /// Length-prefixed raw bytes.
@@ -1133,5 +1177,24 @@ mod tests {
         assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
         assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
         assert_ne!(fnv1a64(b"snapshot"), fnv1a64(b"snapsho t"));
+    }
+
+    #[test]
+    fn fnv1a64_wide_detects_flips_and_length_changes() {
+        // Deterministic, and a function of content at every position —
+        // including the zero-padded tail, which the folded-in length
+        // disambiguates from genuine trailing zero bytes.
+        let data: Vec<u8> = (0u32..1000).map(|i| (i % 251) as u8).collect();
+        assert_eq!(fnv1a64_wide(&data), fnv1a64_wide(&data.clone()));
+        for i in [0usize, 7, 8, 500, 993, 999] {
+            let mut bad = data.clone();
+            bad[i] ^= 0x40;
+            assert_ne!(fnv1a64_wide(&bad), fnv1a64_wide(&data), "flip at {i}");
+        }
+        let mut extended = data.clone();
+        extended.push(0);
+        assert_ne!(fnv1a64_wide(&extended), fnv1a64_wide(&data));
+        assert_ne!(fnv1a64_wide(b"ab"), fnv1a64_wide(b"ab\0"));
+        assert_ne!(fnv1a64_wide(b"snapshot"), fnv1a64(b"snapshot"));
     }
 }

@@ -98,7 +98,7 @@ impl SearchBackend for LinearScan {
         let needle = cmd.needle();
         let guard = cmd.line_guard();
         let mut hits = Vec::new();
-        for (i, line) in text.lines().iter().enumerate() {
+        for (i, line) in text.lines().enumerate() {
             if !line.contains(needle.as_str()) || !guard(line) {
                 continue;
             }
@@ -140,7 +140,7 @@ impl SearchBackend for Indexed {
         let mut hits = Vec::new();
         for &i in candidates {
             let i = i as usize;
-            let line = &text.lines()[i];
+            let line = text.line(i);
             if !line.contains(needle.as_str()) || !guard(line) {
                 continue;
             }
@@ -172,7 +172,7 @@ impl SearchBackend for Indexed {
         };
         for &i in candidates {
             let i = i as usize;
-            let line = &text.lines()[i];
+            let line = text.line(i);
             let trimmed = line.trim_start();
             // Class-descriptor headers only *define* the section owner;
             // the linear scan skips them before its contains check.

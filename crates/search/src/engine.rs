@@ -40,8 +40,10 @@ pub enum SearchCmd {
 }
 
 impl SearchCmd {
-    /// The canonical textual command, used as the cache key (mirrors the
-    /// "raw search commands" cache granularity of §IV-F).
+    /// The canonical textual command (mirrors the "raw search commands"
+    /// the paper's tool logs). Used for display and diagnostics; the
+    /// command cache keys on the [`SearchCmd`] value itself, so the hot
+    /// path never formats this string.
     pub fn canonical(&self) -> String {
         match self {
             SearchCmd::InvokeOf(m) => format!("invoke:{}", method_ref_string(m)),
@@ -186,7 +188,7 @@ struct EngineShared {
     text: BytecodeText,
     backend: Box<dyn SearchBackend>,
     backend_choice: BackendChoice,
-    cmd_cache: Vec<Mutex<HashMap<String, Vec<Hit>>>>,
+    cmd_cache: Vec<Mutex<HashMap<SearchCmd, Vec<Hit>>>>,
     class_use_cache: Vec<Mutex<HashMap<ClassName, Vec<ClassName>>>>,
     stats: SharedStats,
     caching: AtomicBool,
@@ -259,7 +261,7 @@ impl SearchEngine {
         // backend adds its own postings_touched measure on top.
         s.stats
             .lines_scanned
-            .fetch_add(s.text.lines().len() as u64, Ordering::Relaxed);
+            .fetch_add(s.text.line_count() as u64, Ordering::Relaxed);
         let mut local = CacheStats::default();
         let hits = s.backend.search(&s.text, cmd, &mut local);
         s.stats
@@ -275,17 +277,18 @@ impl SearchEngine {
         if !s.caching.load(Ordering::Relaxed) {
             return self.execute(cmd);
         }
-        let key = cmd.canonical();
         // Single-flight: the shard lock is held across the backend call so
-        // a concurrent requester of the same key waits and replays the
-        // cached hits instead of re-executing (and re-charging) it.
-        let mut shard = s.cmd_cache[shard_of(&key)].lock().expect("cache poisoned");
-        if let Some(hits) = shard.get(&key) {
+        // a concurrent requester of the same command waits and replays the
+        // cached hits instead of re-executing (and re-charging) it. The
+        // cache keys on the command value itself — no canonical-string
+        // formatting on either the hit or the miss path.
+        let mut shard = s.cmd_cache[shard_of(cmd)].lock().expect("cache poisoned");
+        if let Some(hits) = shard.get(cmd) {
             s.stats.hits.fetch_add(1, Ordering::Relaxed);
             return hits.clone();
         }
         let hits = self.execute(cmd);
-        shard.insert(key, hits.clone());
+        shard.insert(cmd.clone(), hits.clone());
         hits
     }
 
@@ -300,7 +303,7 @@ impl SearchEngine {
         let execute = || {
             s.stats
                 .lines_scanned
-                .fetch_add(s.text.lines().len() as u64, Ordering::Relaxed);
+                .fetch_add(s.text.line_count() as u64, Ordering::Relaxed);
             let mut local = CacheStats::default();
             let out = s.backend.classes_using(&s.text, target, &mut local);
             s.stats
@@ -337,7 +340,7 @@ pub(crate) fn classes_using_scan(text: &BytecodeText, target: &ClassName) -> Vec
     };
     // Track the current class while scanning headers.
     let mut current_class: Option<ClassName> = None;
-    for (i, line) in text.lines().iter().enumerate() {
+    for (i, line) in text.lines().enumerate() {
         let trimmed = line.trim_start();
         if let Some(rest) = trimmed.strip_prefix("Class descriptor  : '") {
             if let Some(d) = rest.strip_suffix('\'') {
@@ -534,7 +537,7 @@ mod tests {
         assert_eq!(stats.commands, n as u64);
         // Exactly one execution was charged, no matter the interleaving.
         assert_eq!(stats.hits, n as u64 - 1);
-        assert_eq!(stats.lines_scanned, e.text().lines().len() as u64);
+        assert_eq!(stats.lines_scanned, e.text().line_count() as u64);
     }
 
     #[test]

@@ -15,9 +15,12 @@
 //! * [`Indexed`] *(default)* — posting lists ([`SearchIndex`]) built by
 //!   one tokenization pass over the text indexed by
 //!   [`BytecodeText::index`] (lazily, on the first indexed query) and
-//!   keyed by the tokens [`SearchCmd::canonical`] defines; each query
-//!   touches only candidate lines, re-verified with the oracle's exact
-//!   needle + guard predicate, so the two backends are **hit-for-hit
+//!   keyed by tokens **interned** into a [`SymbolTable`] (dense `u32`
+//!   ids over one string arena), so a probe hashes the needle once and
+//!   compares at most one arena slice — no key formatting or
+//!   per-query allocation on the hot path; each query touches only
+//!   candidate lines, re-verified with the oracle's exact needle +
+//!   guard predicate, so the two backends are **hit-for-hit
 //!   identical** while indexed work scales with matches instead of app
 //!   size.
 //!
@@ -39,8 +42,9 @@
 //! app in parallel:
 //!
 //! * the command cache and the class-level "invoked by" cache are
-//!   **sharded** — 16 lock-striped hash maps keyed by the canonical
-//!   command text, so concurrent tasks rarely contend;
+//!   **sharded** — 16 lock-striped hash maps keyed by the command
+//!   value itself, so concurrent tasks rarely contend and a cache hit
+//!   never formats a key string;
 //! * cache fills are **single-flight** — the shard lock is held across
 //!   the backend call, so N tasks missing the same key charge exactly
 //!   one execution and N−1 hits, keeping [`CacheStats`] (and therefore
@@ -49,7 +53,10 @@
 //! * statistics are engine-wide atomic counters; [`CacheStats::since`]
 //!   recovers a per-analysis delta from a long-lived shared engine;
 //! * the posting lists build lazily through a `OnceLock`, so the first
-//!   indexed query from any thread pays the one tokenization pass.
+//!   indexed query from any thread pays the one tokenization pass —
+//!   and a text restored from snapshot sections
+//!   ([`BytecodeText::from_sections`]) defers even the arena copy and
+//!   posting decode until something reads them.
 //!
 //! ```
 //! use backdroid_search::{BackendChoice, BytecodeText, SearchCmd, SearchEngine};
@@ -83,9 +90,14 @@
 pub mod backend;
 mod engine;
 mod index;
+mod symbol;
 mod text;
 
 pub use backend::{BackendChoice, Indexed, LinearScan, SearchBackend};
 pub use engine::{CacheStats, Hit, SearchCmd, SearchEngine};
 pub use index::SearchIndex;
+pub use symbol::{Sym, SymbolTable};
 pub use text::{parse_proto, BytecodeText, MethodSpan};
+
+#[doc(hidden)]
+pub use index::string_keyed_postings;

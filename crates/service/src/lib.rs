@@ -59,8 +59,6 @@ pub mod shard;
 pub mod store;
 pub mod transport;
 
-#[allow(deprecated)]
-pub use service::SinkClass;
 pub use service::{AppAnalysis, Service, ServiceConfig, ServiceError, ServiceStats};
 pub use shard::{PoolStats, Responder, ShardPool, ShardPoolConfig};
 pub use store::{AppStore, DiskTier, Fetch, StoreStats};

@@ -17,48 +17,6 @@ use backdroid_core::{
 };
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// A queryable sink class — the closed pre-registry enum.
-///
-/// Deprecated: requests now name [`DetectorRegistry`] detector ids
-/// directly (plain strings on the wire), so any registered detector is
-/// queryable without touching this crate. The legacy wire names
-/// (`"crypto"` / `"ssl"`) are detector ids in every built-in registry
-/// and keep parsing unchanged.
-#[deprecated(note = "query detectors by id string via `Service::query_detectors`")]
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum SinkClass {
-    /// Crypto-misuse sinks (`crypto.*`, e.g. `Cipher.getInstance`).
-    Crypto,
-    /// SSL-misconfiguration sinks (`ssl.*`, the verifier setters).
-    Ssl,
-}
-
-#[allow(deprecated)]
-impl SinkClass {
-    /// Parses the wire name (`"crypto"` / `"ssl"`).
-    pub fn parse(s: &str) -> Option<SinkClass> {
-        match s {
-            "crypto" => Some(SinkClass::Crypto),
-            "ssl" => Some(SinkClass::Ssl),
-            _ => None,
-        }
-    }
-
-    /// The wire name.
-    pub fn name(self) -> &'static str {
-        match self {
-            SinkClass::Crypto => "crypto",
-            SinkClass::Ssl => "ssl",
-        }
-    }
-
-    /// Whether a registry sink id (`crypto.cipher`, `ssl.verifier.*`)
-    /// belongs to this class.
-    pub fn matches(self, sink_id: &str) -> bool {
-        sink_id.starts_with(self.name()) && sink_id[self.name().len()..].starts_with('.')
-    }
-}
-
 /// Service configuration.
 #[derive(Clone, Debug)]
 pub struct ServiceConfig {
@@ -301,18 +259,6 @@ impl Service {
         self.run(app_id, detectors)
     }
 
-    /// Analysis of one app restricted to the given sink classes.
-    #[deprecated(note = "query detectors by id string via `Service::query_detectors`")]
-    #[allow(deprecated)]
-    pub fn query_sinks(
-        &self,
-        app_id: &str,
-        classes: &[SinkClass],
-    ) -> Result<AppAnalysis, ServiceError> {
-        let ids: Vec<&str> = classes.iter().map(|c| c.name()).collect();
-        self.query_detectors(app_id, &ids)
-    }
-
     /// Batched multi-app analysis: fans the apps out over
     /// `batch_threads` workers against the shared store and returns the
     /// per-app outcomes **in request order** — deterministic for any
@@ -417,18 +363,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn sink_class_parsing_and_matching() {
-        assert_eq!(SinkClass::parse("crypto"), Some(SinkClass::Crypto));
-        assert_eq!(SinkClass::parse("ssl"), Some(SinkClass::Ssl));
-        assert_eq!(SinkClass::parse("sms"), None);
-        assert!(SinkClass::Crypto.matches("crypto.cipher"));
-        assert!(!SinkClass::Crypto.matches("cryptographic.other"));
-        assert!(SinkClass::Ssl.matches("ssl.verifier.factory"));
-        assert!(!SinkClass::Ssl.matches("crypto.cipher"));
-    }
-
-    #[test]
     fn analyze_twice_is_warm_and_identical() {
         let service = small_service(u64::MAX);
         let a = service.analyze_app("1").unwrap();
@@ -466,15 +400,6 @@ mod tests {
         // Empty id list = every registered detector.
         let empty = service.query_detectors("0", &[] as &[&str]).unwrap();
         assert_eq!(empty.report.sink_reports, all.report.sink_reports);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_query_sinks_forwards_to_query_detectors() {
-        let service = small_service(u64::MAX);
-        let via_class = service.query_sinks("0", &[SinkClass::Crypto]).unwrap();
-        let via_id = service.query_detectors("0", &["crypto"]).unwrap();
-        assert_eq!(via_class.report.sink_reports, via_id.report.sink_reports);
     }
 
     #[test]

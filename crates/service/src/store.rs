@@ -758,12 +758,21 @@ mod tests {
         assert_eq!(fetch, Fetch::Miss);
         assert_eq!(store.stats().disk_invalidations, 2);
 
+        // A stale older format (a leftover version-1 file from before
+        // the sectioned layout): invalidate and reparse, never serve.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[8] = 1;
+        std::fs::write(&path, &bytes).unwrap();
+        let (_, fetch) = store.get("a").unwrap();
+        assert_eq!(fetch, Fetch::Miss, "stale-version snapshot must not serve");
+        assert_eq!(store.stats().disk_invalidations, 3);
+
         // Truncate: same again.
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes[..bytes.len() / 3]).unwrap();
         let (_, fetch) = store.get("a").unwrap();
         assert_eq!(fetch, Fetch::Miss);
-        assert_eq!(store.stats().disk_invalidations, 3);
+        assert_eq!(store.stats().disk_invalidations, 4);
 
         // The re-written snapshot serves again.
         assert_eq!(store.get("a").unwrap().1, Fetch::Disk);
