@@ -195,6 +195,16 @@ impl AppArtifacts {
         self.program.is_materialized()
     }
 
+    /// How many of this image's lazily-restorable sections (IR program,
+    /// text arena, posting-list index) are currently materialized,
+    /// `0..=3`. Always `3` for fresh builds; a manifest-only snapshot
+    /// restore reports `0` until first touch. This is the
+    /// `lazy_sections_materialized` measure the observability layer
+    /// exports and the snapshot benchmark bands.
+    pub fn materialized_sections(&self) -> u64 {
+        self.is_program_materialized() as u64 + self.engine.text().materialized_sections()
+    }
+
     /// The app's manifest.
     pub fn manifest(&self) -> &Manifest {
         &self.manifest

@@ -121,6 +121,23 @@ impl SinkCacheStats {
     }
 }
 
+/// Wall-clock time spent in each pipeline phase of one analysis
+/// (paper §III: locate → slice → forward/judge), in nanoseconds.
+/// Slice and verdict time are summed across sink tasks, so the totals
+/// are commutative and thread-count independent in *coverage* — the
+/// values themselves are wall-clock and belong in observability
+/// exports only, never in deterministic report output.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct PhaseTimings {
+    /// Time locating sink call sites by bytecode search.
+    pub locate_ns: u64,
+    /// Time slicing sinks backward into SSGs (summed over sites).
+    pub slice_ns: u64,
+    /// Time in forward propagation + detector verdicts (summed over
+    /// sites).
+    pub verdict_ns: u64,
+}
+
 /// The whole-app analysis report.
 #[derive(Clone, Debug)]
 pub struct AppReport {
@@ -140,6 +157,9 @@ pub struct AppReport {
     pub loop_stats: LoopStats,
     /// Sink API call caching statistics (§IV-F).
     pub sink_cache: SinkCacheStats,
+    /// Per-phase wall-clock timings (observability only — wall-clock
+    /// values never appear in deterministic report output).
+    pub phases: PhaseTimings,
 }
 
 impl AppReport {
@@ -168,8 +188,9 @@ pub struct Backdroid {
 /// the report (`None` when the §IV-F skip rule fired in-task).
 type SiteOutcome = (usize, Option<SinkReport>);
 
-/// One sink task's results plus the task's private loop counters.
-type TaskResult = (Vec<SiteOutcome>, LoopStats);
+/// One sink task's results plus the task's private loop counters and
+/// its `(slice_ns, verdict_ns)` wall-clock phase split.
+type TaskResult = (Vec<SiteOutcome>, LoopStats, u64, u64);
 
 impl Backdroid {
     /// Creates a tool with the paper's default configuration — BackDroid
@@ -226,14 +247,19 @@ impl Backdroid {
 
     /// Runs one sink site: slice backward, propagate forward, judge via
     /// the detector registry's rule for the sink.
+    /// Returns the report plus the site's `(slice_ns, verdict_ns)`
+    /// wall-clock split for [`PhaseTimings`].
     fn analyze_site(
         &self,
         ctx: &mut TaskContext<'_>,
         site: &SinkSite,
         sinks: &SinkRegistry,
-    ) -> SinkReport {
+    ) -> (SinkReport, u64, u64) {
         let spec = &sinks.sinks()[site.spec_idx];
+        let slice_started = Instant::now();
         let result = slice_sink(ctx, self.options.slicer, &site.method, site.stmt_idx, spec);
+        let slice_ns = slice_started.elapsed().as_nanos() as u64;
+        let verdict_started = Instant::now();
         let mut forward = ForwardAnalysis::new(ctx.program);
         let values = forward.run(&result.ssg, spec);
         let verdict = self
@@ -241,7 +267,8 @@ impl Backdroid {
             .detectors
             .judge(&spec.id, &values)
             .expect("located sink spec belongs to the options' detector registry");
-        SinkReport {
+        let verdict_ns = verdict_started.elapsed().as_nanos() as u64;
+        let report = SinkReport {
             sink_id: spec.id.to_string(),
             site_method: site.method.clone(),
             stmt_idx: site.stmt_idx,
@@ -250,7 +277,8 @@ impl Backdroid {
             param_values: values,
             verdict,
             ssg_units: result.ssg.units().len(),
-        }
+        };
+        (report, slice_ns, verdict_ns)
     }
 
     /// The sink-task scheduler (see the module docs for the determinism
@@ -269,11 +297,16 @@ impl Backdroid {
 
         let sinks = self.options.detectors.sink_registry();
         let mut locate_ctx = TaskContext::from_parts(program, manifest, engine.clone());
+        let locate_started = Instant::now();
         let sites: Vec<SinkSite> = locate_sinks(
             &mut locate_ctx,
             &sinks,
             self.options.hierarchy_initial_search,
         );
+        let mut phases = PhaseTimings {
+            locate_ns: locate_started.elapsed().as_nanos() as u64,
+            ..PhaseTimings::default()
+        };
         let mut loop_stats = locate_ctx.loops;
 
         // Group sink sites by containing method: the §IV-F skip rule only
@@ -302,6 +335,7 @@ impl Backdroid {
         let run_group = |group: &[usize]| -> TaskResult {
             let mut ctx = TaskContext::from_parts(program, manifest, engine.clone());
             let mut out = Vec::with_capacity(group.len());
+            let (mut slice_ns, mut verdict_ns) = (0u64, 0u64);
             for &i in group {
                 let site = &sites[i];
                 let skip = proven_unreachable
@@ -312,7 +346,10 @@ impl Backdroid {
                     out.push((i, None));
                     continue;
                 }
-                let report = self.analyze_site(&mut ctx, site, &sinks);
+                let (report, site_slice_ns, site_verdict_ns) =
+                    self.analyze_site(&mut ctx, site, &sinks);
+                slice_ns += site_slice_ns;
+                verdict_ns += site_verdict_ns;
                 if !report.reachable {
                     proven_unreachable
                         .lock()
@@ -321,7 +358,7 @@ impl Backdroid {
                 }
                 out.push((i, Some(report)));
             }
-            (out, ctx.loops)
+            (out, ctx.loops, slice_ns, verdict_ns)
         };
 
         let threads = self.options.intra_threads.clamp(1, groups.len().max(1));
@@ -355,8 +392,10 @@ impl Backdroid {
         // Reassemble per-site outcomes in sink-site order and merge the
         // per-task loop counters (commutative sums).
         let mut outcomes: Vec<Option<SinkReport>> = (0..sites.len()).map(|_| None).collect();
-        for (list, loops) in task_results {
+        for (list, loops, slice_ns, verdict_ns) in task_results {
             loop_stats.merge(&loops);
+            phases.slice_ns += slice_ns;
+            phases.verdict_ns += verdict_ns;
             for (i, outcome) in list {
                 outcomes[i] = outcome;
             }
@@ -390,6 +429,7 @@ impl Backdroid {
             cache_stats: engine.stats().since(&stats_before),
             loop_stats,
             sink_cache,
+            phases,
         }
     }
 }

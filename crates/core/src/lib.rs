@@ -83,7 +83,9 @@ pub use backtrack::{find_callers, CallerEdge, ChainStep, EdgeKind, Reached};
 pub use context::{AppArtifacts, TaskContext};
 pub use detect::{judge_cipher, judge_verifier, Verdict};
 pub use detector::{DetectorError, DetectorRegistry, DetectorSpec, RuleFn, VerdictRule};
-pub use engine::{AppReport, Backdroid, BackdroidOptions, SinkCacheStats, SinkReport};
+pub use engine::{
+    AppReport, Backdroid, BackdroidOptions, PhaseTimings, SinkCacheStats, SinkReport,
+};
 pub use forward::{fold_binop, DataflowValue, ForwardAnalysis};
 pub use leak::{default_leak_sinks, default_sources, detect_leaks, Leak, LeakSinkSpec, SourceSpec};
 pub use locate::{locate_sinks, SinkSite};

@@ -1,0 +1,317 @@
+//! The tracing half of the observability substrate: per-request span
+//! trees recorded into a bounded ring buffer, exportable as JSONL.
+//!
+//! A request becomes a *trace*: a root span plus child phase spans
+//! (queue wait, store fetch, analysis phases, emit), each carrying two
+//! attribute sets — **deterministic** attrs (`attrs`: the request op,
+//! app id, phase structure — pure functions of the workload) and
+//! **wall** attrs (`wall`: durations, fetch tiers, shard indices —
+//! facts of one particular run). The normalized export keeps only the
+//! deterministic skeleton, sorts by `(trace, span)`, and zeroes
+//! timestamps, so two replays of the same workload — at any shard
+//! count — render byte-identical JSONL that CI can `diff`.
+//!
+//! The ring is lock-free on the claim path: a fetch-add cursor picks
+//! the slot, and each slot is its own tiny mutex held only for the
+//! record swap. When the ring wraps, the oldest spans are overwritten
+//! and counted in [`Tracer::dropped`] — a wrapped ring is no longer
+//! replay-diffable, so size the capacity to the workload (the CLI
+//! default is ample for the CI replay files).
+
+use crate::escape_json;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One closed span: a node of a per-request trace tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// The trace this span belongs to (the request sequence number).
+    pub trace_id: u64,
+    /// This span's id, unique and dense within the trace (`0` = root).
+    pub span_id: u32,
+    /// The parent span's id; `None` for the root.
+    pub parent: Option<u32>,
+    /// The phase name (`"request"`, `"queue"`, `"fetch"`, ...).
+    pub name: String,
+    /// Deterministic attributes — pure functions of the workload; kept
+    /// by the normalized export.
+    pub attrs: Vec<(String, String)>,
+    /// Wall-clock / topology attributes (durations, fetch tier, shard
+    /// index); dropped by the normalized export.
+    pub wall: Vec<(String, String)>,
+    /// Start offset in nanoseconds since the tracer's origin.
+    pub start_ns: u64,
+    /// End offset in nanoseconds since the tracer's origin.
+    pub end_ns: u64,
+}
+
+fn render_attrs(attrs: &[(String, String)]) -> String {
+    let fields: Vec<String> = attrs
+        .iter()
+        .map(|(k, v)| format!("\"{}\":\"{}\"", escape_json(k), escape_json(v)))
+        .collect();
+    format!("{{{}}}", fields.join(","))
+}
+
+impl SpanRecord {
+    fn render(&self, normalized: bool) -> String {
+        let parent = match self.parent {
+            Some(p) => p.to_string(),
+            None => "null".into(),
+        };
+        let mut out = format!(
+            "{{\"trace\":{},\"span\":{},\"parent\":{parent},\"name\":\"{}\",\"attrs\":{}",
+            self.trace_id,
+            self.span_id,
+            escape_json(&self.name),
+            render_attrs(&self.attrs),
+        );
+        if normalized {
+            out.push_str(",\"start\":0,\"end\":0}");
+        } else {
+            out.push_str(&format!(
+                ",\"wall\":{},\"start\":{},\"end\":{}}}",
+                render_attrs(&self.wall),
+                self.start_ns,
+                self.end_ns
+            ));
+        }
+        out
+    }
+}
+
+/// A bounded ring of closed spans, shared by every worker of a serving
+/// topology. See the module docs for the determinism contract.
+#[derive(Debug)]
+pub struct Tracer {
+    slots: Vec<Mutex<Option<SpanRecord>>>,
+    cursor: AtomicU64,
+    origin: Instant,
+}
+
+impl Tracer {
+    /// A tracer whose ring holds up to `capacity` spans (minimum 1).
+    pub fn with_capacity(capacity: usize) -> Tracer {
+        let capacity = capacity.max(1);
+        Tracer {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            cursor: AtomicU64::new(0),
+            origin: Instant::now(),
+        }
+    }
+
+    /// Starts building the span tree for one request.
+    pub fn begin(&self, trace_id: u64) -> TraceBuilder {
+        TraceBuilder {
+            trace_id,
+            origin: self.origin,
+            spans: Vec::with_capacity(4),
+        }
+    }
+
+    /// Records one closed span into the ring.
+    pub fn record(&self, span: SpanRecord) {
+        let claim = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let slot = (claim % self.slots.len() as u64) as usize;
+        *self.slots[slot].lock().expect("trace slot lock") = Some(span);
+    }
+
+    /// Total spans recorded (including any later overwritten).
+    pub fn recorded(&self) -> u64 {
+        self.cursor.load(Ordering::Relaxed)
+    }
+
+    /// Spans lost to ring wrap-around. Nonzero means the exports are
+    /// partial and no longer replay-diffable.
+    pub fn dropped(&self) -> u64 {
+        self.recorded().saturating_sub(self.slots.len() as u64)
+    }
+
+    /// A copy of every retained span, sorted by `(trace, span)` — the
+    /// deterministic export order.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        let mut spans: Vec<SpanRecord> = self
+            .slots
+            .iter()
+            .filter_map(|s| s.lock().expect("trace slot lock").clone())
+            .collect();
+        spans.sort_by_key(|s| (s.trace_id, s.span_id));
+        spans
+    }
+
+    /// Raw JSONL export: one span per line in `(trace, span)` order,
+    /// wall attributes and real timestamps included.
+    pub fn export_jsonl(&self) -> String {
+        self.render(false)
+    }
+
+    /// Normalized JSONL export: `(trace, span)` order, timestamps
+    /// zeroed, wall attributes dropped — byte-identical across replays
+    /// of the same workload at any shard count.
+    pub fn export_normalized_jsonl(&self) -> String {
+        self.render(true)
+    }
+
+    fn render(&self, normalized: bool) -> String {
+        let mut out = String::new();
+        for span in self.spans() {
+            out.push_str(&span.render(normalized));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Builds one request's span tree: spans open and close locally (no
+/// shared state touched), then [`TraceBuilder::finish`] publishes the
+/// whole tree to the tracer's ring in one pass. Span ids are assigned
+/// in open order, so the tree shape is deterministic whenever the
+/// open/close sequence is.
+#[derive(Debug)]
+pub struct TraceBuilder {
+    trace_id: u64,
+    origin: Instant,
+    spans: Vec<SpanRecord>,
+}
+
+impl TraceBuilder {
+    fn now_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+
+    /// The trace id this builder records under.
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
+    }
+
+    /// Opens a span under `parent` (`None` = the root) and returns its
+    /// id. The span's start time is now; it stays open until
+    /// [`TraceBuilder::close`] (or `finish`, which closes stragglers).
+    pub fn open(&mut self, parent: Option<u32>, name: &str) -> u32 {
+        let id = self.spans.len() as u32;
+        let now = self.now_ns();
+        self.spans.push(SpanRecord {
+            trace_id: self.trace_id,
+            span_id: id,
+            parent,
+            name: name.to_string(),
+            attrs: Vec::new(),
+            wall: Vec::new(),
+            start_ns: now,
+            end_ns: 0,
+        });
+        id
+    }
+
+    /// Attaches a **deterministic** attribute (kept by normalization).
+    pub fn attr(&mut self, span: u32, key: &str, value: &str) {
+        if let Some(s) = self.spans.get_mut(span as usize) {
+            s.attrs.push((key.to_string(), value.to_string()));
+        }
+    }
+
+    /// Attaches a **wall** attribute (dropped by normalization).
+    pub fn wall_attr(&mut self, span: u32, key: &str, value: &str) {
+        if let Some(s) = self.spans.get_mut(span as usize) {
+            s.wall.push((key.to_string(), value.to_string()));
+        }
+    }
+
+    /// Closes a span at the current time.
+    pub fn close(&mut self, span: u32) {
+        let now = self.now_ns();
+        if let Some(s) = self.spans.get_mut(span as usize) {
+            if s.end_ns == 0 {
+                s.end_ns = now;
+            }
+        }
+    }
+
+    /// Closes any still-open spans and publishes the tree to `tracer`.
+    pub fn finish(mut self, tracer: &Tracer) {
+        let now = self.now_ns();
+        for s in &mut self.spans {
+            if s.end_ns == 0 {
+                s.end_ns = now.max(s.start_ns);
+            }
+        }
+        for s in self.spans {
+            tracer.record(s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_tree(tracer: &Tracer, trace_id: u64) {
+        let mut tb = tracer.begin(trace_id);
+        let root = tb.open(None, "request");
+        tb.attr(root, "op", "analyze");
+        let q = tb.open(Some(root), "queue");
+        tb.wall_attr(q, "wait_us", "17");
+        tb.close(q);
+        tb.close(root);
+        tb.finish(tracer);
+    }
+
+    #[test]
+    fn spans_sort_by_trace_then_id() {
+        let tracer = Tracer::with_capacity(64);
+        demo_tree(&tracer, 2);
+        demo_tree(&tracer, 0);
+        let spans = tracer.spans();
+        let keys: Vec<(u64, u32)> = spans.iter().map(|s| (s.trace_id, s.span_id)).collect();
+        assert_eq!(keys, [(0, 0), (0, 1), (2, 0), (2, 1)]);
+        assert_eq!(tracer.recorded(), 4);
+        assert_eq!(tracer.dropped(), 0);
+    }
+
+    #[test]
+    fn normalized_export_drops_wall_facts_and_zeroes_time() {
+        let tracer = Tracer::with_capacity(8);
+        demo_tree(&tracer, 1);
+        let norm = tracer.export_normalized_jsonl();
+        assert_eq!(
+            norm,
+            "{\"trace\":1,\"span\":0,\"parent\":null,\"name\":\"request\",\
+             \"attrs\":{\"op\":\"analyze\"},\"start\":0,\"end\":0}\n\
+             {\"trace\":1,\"span\":1,\"parent\":0,\"name\":\"queue\",\
+             \"attrs\":{},\"start\":0,\"end\":0}\n"
+        );
+        let raw = tracer.export_jsonl();
+        assert!(raw.contains("\"wall\":{\"wait_us\":\"17\"}"));
+    }
+
+    #[test]
+    fn children_close_within_parents_and_finish_closes_stragglers() {
+        let tracer = Tracer::with_capacity(8);
+        let mut tb = tracer.begin(9);
+        let root = tb.open(None, "request");
+        let child = tb.open(Some(root), "fetch");
+        tb.close(child);
+        tb.finish(&tracer); // root left open on purpose
+        let spans = tracer.spans();
+        let root_span = &spans[0];
+        let child_span = &spans[1];
+        assert!(root_span.end_ns >= root_span.start_ns);
+        assert!(child_span.start_ns >= root_span.start_ns);
+        assert!(child_span.end_ns <= root_span.end_ns);
+    }
+
+    #[test]
+    fn ring_wraps_and_counts_drops() {
+        let tracer = Tracer::with_capacity(2);
+        for i in 0..5u64 {
+            let mut tb = tracer.begin(i);
+            let root = tb.open(None, "request");
+            tb.close(root);
+            tb.finish(&tracer);
+        }
+        assert_eq!(tracer.recorded(), 5);
+        assert_eq!(tracer.dropped(), 3);
+        assert_eq!(tracer.spans().len(), 2);
+    }
+}

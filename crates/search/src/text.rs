@@ -342,6 +342,15 @@ impl BytecodeText {
         self.index.is_materialized()
     }
 
+    /// How many of this text's lazy sections (body arena, posting-list
+    /// index) are currently materialized, `0..=2`. The observability
+    /// layer counts these — together with the program section — as
+    /// `lazy_sections_materialized`, the banded measure that
+    /// manifest-only restores stay parked.
+    pub fn materialized_sections(&self) -> u64 {
+        self.is_body_materialized() as u64 + self.is_index_materialized() as u64
+    }
+
     /// Wire-encodes the text-arena section: the arena, the per-line
     /// length table (offsets are implicit prefix sums), and the
     /// descriptor set in ascending order.

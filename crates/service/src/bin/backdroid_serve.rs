@@ -58,6 +58,18 @@ Sharding & socket transport:
   --connect EP         client mode: frame stdin lines to a listening server and
                        print its responses — byte-identical to a local replay
 
+Observability:
+  --trace-out PATH     write the per-request span trace as JSONL to PATH at EOF.
+                       Forces the pool path (a pool of one when unsharded), so
+                       every topology traces through the same code
+  --trace-norm         normalize the trace written by --trace-out: sorted by
+                       (trace,span), timestamps zeroed, wall attrs dropped —
+                       byte-identical across replays and shard counts
+  --trace-capacity N   span-ring capacity for --trace-out (default 65536);
+                       a wrapped ring is reported on stderr
+  (the JSONL op {\"id\":N,\"op\":\"metrics\"} returns the full registry —
+   counters, gauges, histograms with p50/p90/p99 — per shard and aggregated)
+
 Trace generation (prints a workload instead of serving):
   --emit-trace R       emit R seeded requests over the benchset and exit
   --seed S             workload seed (default 7)
@@ -174,10 +186,12 @@ fn main() {
 
     let shards = parsed_arg::<usize>("--shards", "a positive integer");
     let listen = endpoint_arg("--listen");
+    let trace_out = arg_value("--trace-out").map(std::path::PathBuf::from);
 
-    // The socket transport always serves through a pool (of one shard
-    // if --shards was not given), so both transports share one path.
-    if shards.is_some() || listen.is_some() {
+    // The socket transport and the span tracer always serve through a
+    // pool (of one shard if --shards was not given), so every topology
+    // shares one path.
+    if shards.is_some() || listen.is_some() || trace_out.is_some() {
         let pool = ShardPool::new(
             ShardPoolConfig {
                 shards: shards.unwrap_or(1),
@@ -185,12 +199,22 @@ fn main() {
                 queue_capacity: parsed_arg::<usize>("--queue-depth", "a positive integer")
                     .unwrap_or(64)
                     .max(1),
+                trace_capacity: if trace_out.is_some() {
+                    parsed_arg::<usize>("--trace-capacity", "a positive integer")
+                        .unwrap_or(65_536)
+                        .max(1)
+                } else {
+                    0
+                },
             },
             move |_| Service::over_benchset(bench, service_cfg.clone()),
         );
         match &listen {
             Some(endpoint) => serve_socket(&pool, endpoint, has_flag("--once")),
             None => serve_stdin_sharded(&pool),
+        }
+        if let Some(path) = &trace_out {
+            write_trace(&pool, path, has_flag("--trace-norm"));
         }
         print_pool_stats(&pool);
         pool.shutdown();
@@ -200,6 +224,28 @@ fn main() {
     let service = Service::over_benchset(bench, service_cfg);
     serve(&service, workers);
     print_service_stats(&service);
+}
+
+/// Writes the pool's span ring to `path` at EOF — raw JSONL, or the
+/// normalized form (`(trace,span)`-sorted, zeroed timestamps, wall
+/// attrs dropped) that replays diff byte-for-byte.
+fn write_trace(pool: &ShardPool, path: &std::path::Path, normalized: bool) {
+    let tracer = pool.tracer().expect("--trace-out enables the tracer");
+    if tracer.dropped() > 0 {
+        eprintln!(
+            "warning: span ring wrapped, {} spans lost — raise --trace-capacity",
+            tracer.dropped()
+        );
+    }
+    let jsonl = if normalized {
+        tracer.export_normalized_jsonl()
+    } else {
+        tracer.export_jsonl()
+    };
+    if let Err(e) = std::fs::write(path, jsonl) {
+        eprintln!("error: cannot write trace to {}: {e}", path.display());
+        std::process::exit(1);
+    }
 }
 
 fn print_service_stats(service: &Service) {

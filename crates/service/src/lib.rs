@@ -24,6 +24,12 @@
 //! * [`transport`] is the length-framed binary socket protocol
 //!   (`tcp:`/`unix:` endpoints) `backdroid-serve --listen`/`--connect`
 //!   speak — one JSONL line per frame, responses 1:1 in request order.
+//! * **Observability** — every layer publishes into a
+//!   [`backdroid_obs::MetricsRegistry`] (store tiers, request counters,
+//!   per-tier latency and phase histograms, pool queue waits), exposed
+//!   over the wire by the `metrics` op, and the pool can record
+//!   per-request span traces whose normalized export replays
+//!   byte-identically at any shard count.
 //!
 //! Responses are a pure function of (app, requested detectors): the
 //! store changes *where* artifacts come from, never what analysis

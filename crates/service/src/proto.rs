@@ -22,6 +22,7 @@
 use crate::service::{AppAnalysis, ServiceError};
 use backdroid_appgen::workload::{WorkloadOp, WorkloadRequest};
 use backdroid_core::{SinkReport, Verdict};
+use backdroid_obs::RegistrySnapshot;
 
 // ---------------------------------------------------------------------
 // JSON reading
@@ -369,6 +370,13 @@ pub enum RequestOp {
     /// diffs must not include this op. A sharded server renders the
     /// aggregate across every shard (live + retired).
     Stats,
+    /// Full metrics-registry snapshot: every counter, gauge, and
+    /// histogram (with derivable p50/p90/p99), as one aggregate object
+    /// plus the per-shard views (`null` for dead shards; a single entry
+    /// on an unsharded server). Operator-facing like [`RequestOp::Stats`]
+    /// — the values depend on scheduling and tiers, so replay-diffed
+    /// traces must not include this op either.
+    Metrics,
     /// Admin op: take shard N down (queue re-routed, memory tier
     /// dropped). Produces **no output** and is a no-op on an unsharded
     /// server, so a trace spliced with admin lines still diffs
@@ -444,6 +452,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             RequestOp::Batch { apps }
         }
         "stats" => RequestOp::Stats,
+        "metrics" => RequestOp::Metrics,
         "kill_shard" | "restart_shard" => {
             let shard = v
                 .get("shard")
@@ -582,6 +591,39 @@ pub fn render_batch(id: u64, items: &[Result<AppAnalysis, ServiceError>]) -> Str
 /// Renders an error response.
 pub fn render_error(id: u64, message: &str) -> String {
     format!("{{\"id\":{id},{}}}", str_field("error", message))
+}
+
+/// Renders the deterministic deadline error **with the measured queue
+/// wait** — the operator sees how far past admission the request sat,
+/// not just that it expired. Wall-clock, so deadline-carrying requests
+/// stay excluded from replay-diffed traces (they always were: expiry
+/// itself is timing-dependent).
+pub fn render_deadline_error(id: u64, queue_wait_ms: u64) -> String {
+    format!(
+        "{{\"id\":{id},{},\"queue_wait_ms\":{queue_wait_ms}}}",
+        str_field("error", "deadline exceeded")
+    )
+}
+
+/// Renders a metrics response: the aggregate registry snapshot plus the
+/// per-shard views (`null` where a shard is dead). Both are rendered by
+/// [`RegistrySnapshot::render_json`] — the same single render path the
+/// stderr stat dumps decode from.
+pub fn render_metrics(
+    id: u64,
+    aggregate: &RegistrySnapshot,
+    shards: &[Option<RegistrySnapshot>],
+) -> String {
+    let per_shard = arr(shards.iter().map(|s| match s {
+        Some(snap) => snap.render_json(),
+        None => "null".into(),
+    }));
+    format!(
+        "{{\"id\":{id},{},\"aggregate\":{},\"shards\":{}}}",
+        str_field("op", "metrics"),
+        aggregate.render_json(),
+        per_shard,
+    )
 }
 
 /// Renders a stats response: the service's request counters plus the
@@ -812,6 +854,47 @@ mod tests {
         ] {
             assert!(store.get(key).and_then(Json::as_u64).is_some(), "{key}");
         }
+    }
+
+    #[test]
+    fn metrics_op_parses_and_renders_valid_json() {
+        let r = parse_request("{\"id\":4,\"op\":\"metrics\"}").unwrap();
+        assert_eq!(r.op, RequestOp::Metrics);
+        let registry = backdroid_obs::MetricsRegistry::new();
+        registry.counter("service_requests_total").add(3);
+        registry.histogram("request_hit_us").record(100);
+        let snap = registry.snapshot();
+        let line = render_metrics(4, &snap, &[Some(snap.clone()), None]);
+        let v = parse_json(&line).unwrap();
+        assert_eq!(v.get("id").and_then(Json::as_u64), Some(4));
+        assert_eq!(v.get("op").and_then(Json::as_str), Some("metrics"));
+        let agg = v.get("aggregate").expect("aggregate object");
+        assert_eq!(
+            agg.get("service_requests_total")
+                .and_then(|m| m.get("value"))
+                .and_then(Json::as_u64),
+            Some(3)
+        );
+        assert_eq!(
+            agg.get("request_hit_us")
+                .and_then(|m| m.get("type"))
+                .and_then(Json::as_str),
+            Some("histogram")
+        );
+        let shards = v.get("shards").and_then(Json::as_arr).expect("shards");
+        assert_eq!(shards.len(), 2);
+        assert_eq!(shards[1], Json::Null, "dead shard renders null");
+    }
+
+    #[test]
+    fn deadline_error_carries_the_measured_wait() {
+        let line = render_deadline_error(3, 41);
+        let v = parse_json(&line).unwrap();
+        assert_eq!(
+            v.get("error").and_then(Json::as_str),
+            Some("deadline exceeded")
+        );
+        assert_eq!(v.get("queue_wait_ms").and_then(Json::as_u64), Some(41));
     }
 
     #[test]

@@ -15,7 +15,10 @@ use backdroid_appgen::benchset::{bench_app, BenchsetConfig};
 use backdroid_core::{
     AppArtifacts, AppReport, Backdroid, BackdroidOptions, BackendChoice, DetectorRegistry,
 };
+use backdroid_obs::{Counter, Gauge, Histogram, MetricsRegistry, RegistrySnapshot};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Service configuration.
 #[derive(Clone, Debug)]
@@ -115,6 +118,21 @@ pub struct ServiceStats {
 }
 
 impl ServiceStats {
+    /// Reads the service-level counters (and, via
+    /// [`StoreStats::from_metrics`], the store's) back out of a registry
+    /// snapshot — the one decode path every stats view shares.
+    pub fn from_metrics(snap: &RegistrySnapshot) -> ServiceStats {
+        ServiceStats {
+            requests: snap.value("service_requests_total"),
+            analyze_requests: snap.value("service_analyze_total"),
+            query_requests: snap.value("service_query_total"),
+            batch_requests: snap.value("service_batch_total"),
+            errors: snap.value("service_errors_total"),
+            peak_in_flight: snap.value("service_peak_in_flight"),
+            store: StoreStats::from_metrics(snap),
+        }
+    }
+
     /// Folds another service's counters into this one (see
     /// [`StoreStats::absorb`] for the aggregation semantics) — used by
     /// the shard pool to answer the `stats` op with fleet-wide totals.
@@ -131,15 +149,56 @@ impl ServiceStats {
     }
 }
 
-#[derive(Default)]
+/// The service's registry handles: request counters, queue-depth
+/// gauges, per-fetch-tier latency histograms (µs), pipeline-phase
+/// histograms (µs), and the search-work counters fed from each
+/// report's [`backdroid_search::CacheStats`] delta.
 struct Counters {
-    requests: AtomicU64,
-    analyze_requests: AtomicU64,
-    query_requests: AtomicU64,
-    batch_requests: AtomicU64,
-    errors: AtomicU64,
-    in_flight: AtomicU64,
-    peak_in_flight: AtomicU64,
+    requests: Counter,
+    analyze_requests: Counter,
+    query_requests: Counter,
+    batch_requests: Counter,
+    errors: Counter,
+    in_flight: Gauge,
+    peak_in_flight: Gauge,
+    request_hit_us: Histogram,
+    request_miss_us: Histogram,
+    request_disk_us: Histogram,
+    request_coalesced_us: Histogram,
+    phase_locate_us: Histogram,
+    phase_slice_us: Histogram,
+    phase_verdict_us: Histogram,
+    search_commands: Counter,
+    search_cache_hits: Counter,
+    search_lines_scanned: Counter,
+    search_postings_touched: Counter,
+    lazy_sections_materialized: Counter,
+}
+
+impl Counters {
+    fn register(registry: &MetricsRegistry) -> Counters {
+        Counters {
+            requests: registry.counter("service_requests_total"),
+            analyze_requests: registry.counter("service_analyze_total"),
+            query_requests: registry.counter("service_query_total"),
+            batch_requests: registry.counter("service_batch_total"),
+            errors: registry.counter("service_errors_total"),
+            in_flight: registry.gauge("service_in_flight"),
+            peak_in_flight: registry.gauge("service_peak_in_flight"),
+            request_hit_us: registry.histogram("request_hit_us"),
+            request_miss_us: registry.histogram("request_miss_us"),
+            request_disk_us: registry.histogram("request_disk_us"),
+            request_coalesced_us: registry.histogram("request_coalesced_us"),
+            phase_locate_us: registry.histogram("phase_locate_us"),
+            phase_slice_us: registry.histogram("phase_slice_us"),
+            phase_verdict_us: registry.histogram("phase_verdict_us"),
+            search_commands: registry.counter("search_commands_total"),
+            search_cache_hits: registry.counter("search_cache_hits_total"),
+            search_lines_scanned: registry.counter("search_lines_scanned_total"),
+            search_postings_touched: registry.counter("search_postings_touched_total"),
+            lazy_sections_materialized: registry.counter("lazy_sections_materialized_total"),
+        }
+    }
 }
 
 /// Decrements `in_flight` when the request scope ends, whatever path it
@@ -148,7 +207,7 @@ struct InFlightGuard<'a>(&'a Counters);
 
 impl Drop for InFlightGuard<'_> {
     fn drop(&mut self) {
-        self.0.in_flight.fetch_sub(1, Ordering::Relaxed);
+        self.0.in_flight.sub(1);
     }
 }
 
@@ -158,6 +217,7 @@ pub struct Service {
     store: AppStore,
     base: BackdroidOptions,
     batch_threads: usize,
+    registry: Arc<MetricsRegistry>,
     counters: Counters,
 }
 
@@ -177,14 +237,13 @@ impl Service {
         cfg: ServiceConfig,
         loader: impl Fn(&str) -> Result<AppArtifacts, String> + Send + Sync + 'static,
     ) -> Self {
-        let store = match &cfg.snapshot_dir {
-            Some(dir) => AppStore::with_disk_tier(
-                cfg.budget_bytes,
-                crate::store::DiskTier::new(dir, cfg.backend),
-                loader,
-            ),
-            None => AppStore::new(cfg.budget_bytes, loader),
-        };
+        let registry = Arc::new(MetricsRegistry::new());
+        let disk = cfg
+            .snapshot_dir
+            .as_ref()
+            .map(|dir| crate::store::DiskTier::new(dir, cfg.backend));
+        let store = AppStore::over_registry(cfg.budget_bytes, disk, Arc::clone(&registry), loader);
+        let counters = Counters::register(&registry);
         Service {
             store,
             base: BackdroidOptions {
@@ -194,7 +253,8 @@ impl Service {
                 ..BackdroidOptions::default()
             },
             batch_threads: cfg.batch_threads.max(1),
-            counters: Counters::default(),
+            registry,
+            counters,
         }
     }
 
@@ -247,7 +307,7 @@ impl Service {
             self.base.detectors.clone()
         } else {
             self.base.detectors.select(ids).map_err(|e| {
-                self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                self.counters.errors.inc();
                 match e {
                     backdroid_core::DetectorError::UnknownDetector(id) => {
                         ServiceError::UnknownDetector(id)
@@ -266,7 +326,7 @@ impl Service {
     pub fn analyze_batch(&self, app_ids: &[String]) -> Vec<Result<AppAnalysis, ServiceError>> {
         let _guard = self.begin_request(&self.counters.batch_requests);
         if app_ids.is_empty() {
-            self.counters.errors.fetch_add(1, Ordering::Relaxed);
+            self.counters.errors.inc();
             return vec![Err(ServiceError::BadRequest("empty batch".into()))];
         }
         let threads = self.batch_threads.clamp(1, app_ids.len());
@@ -304,41 +364,64 @@ impl Service {
         indexed.into_iter().map(|(_, r)| r).collect()
     }
 
-    /// Counter snapshot (service + store).
-    pub fn stats(&self) -> ServiceStats {
-        let c = &self.counters;
-        ServiceStats {
-            requests: c.requests.load(Ordering::Relaxed),
-            analyze_requests: c.analyze_requests.load(Ordering::Relaxed),
-            query_requests: c.query_requests.load(Ordering::Relaxed),
-            batch_requests: c.batch_requests.load(Ordering::Relaxed),
-            errors: c.errors.load(Ordering::Relaxed),
-            peak_in_flight: c.peak_in_flight.load(Ordering::Relaxed),
-            store: self.store.stats(),
-        }
+    /// The metrics registry the service and its store publish into —
+    /// what the wire `metrics` op and the `--trace-out` exporter read.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
     }
 
-    fn begin_request(&self, kind: &AtomicU64) -> InFlightGuard<'_> {
+    /// Counter snapshot (service + store), decoded from the registry.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats::from_metrics(&self.registry.snapshot())
+    }
+
+    fn begin_request(&self, kind: &Counter) -> InFlightGuard<'_> {
         let c = &self.counters;
-        c.requests.fetch_add(1, Ordering::Relaxed);
-        kind.fetch_add(1, Ordering::Relaxed);
-        let depth = c.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
-        c.peak_in_flight.fetch_max(depth, Ordering::Relaxed);
+        c.requests.inc();
+        kind.inc();
+        let depth = c.in_flight.add_fetch(1);
+        c.peak_in_flight.set_max(depth);
         InFlightGuard(c)
     }
 
     /// Fetches the image (warm or cold) and runs one analysis with the
-    /// given detector registry.
+    /// given detector registry, recording per-tier latency, pipeline
+    /// phase timings, search work, and lazy-restore materialization into
+    /// the registry. All of it is observability-only: the returned
+    /// [`AppAnalysis`] is untouched by the instrumentation.
     fn run(&self, app_id: &str, detectors: DetectorRegistry) -> Result<AppAnalysis, ServiceError> {
+        let started = Instant::now();
         let (artifacts, fetch) = self.store.get(app_id).map_err(|e| {
-            self.counters.errors.fetch_add(1, Ordering::Relaxed);
+            self.counters.errors.inc();
             ServiceError::Load(e)
         })?;
+        let sections_before = artifacts.materialized_sections();
         let tool = Backdroid::with_options(BackdroidOptions {
             detectors,
             ..self.base.clone()
         });
         let report = tool.analyze_artifacts(&artifacts);
+        let c = &self.counters;
+        let elapsed_us = started.elapsed().as_micros() as u64;
+        match fetch {
+            Fetch::Hit => c.request_hit_us.record(elapsed_us),
+            Fetch::Miss => c.request_miss_us.record(elapsed_us),
+            Fetch::Disk => c.request_disk_us.record(elapsed_us),
+            Fetch::Coalesced => c.request_coalesced_us.record(elapsed_us),
+        }
+        c.phase_locate_us.record(report.phases.locate_ns / 1_000);
+        c.phase_slice_us.record(report.phases.slice_ns / 1_000);
+        c.phase_verdict_us.record(report.phases.verdict_ns / 1_000);
+        c.search_commands.add(report.cache_stats.commands);
+        c.search_cache_hits.add(report.cache_stats.hits);
+        c.search_lines_scanned.add(report.cache_stats.lines_scanned);
+        c.search_postings_touched
+            .add(report.cache_stats.postings_touched);
+        c.lazy_sections_materialized.add(
+            artifacts
+                .materialized_sections()
+                .saturating_sub(sections_before),
+        );
         Ok(AppAnalysis {
             app_id: app_id.to_string(),
             app_name: artifacts.manifest().package().to_string(),

@@ -30,8 +30,9 @@
 use crate::proto::{self, parse_json, parse_request, Json, Request, RequestOp};
 use crate::service::{Service, ServiceStats};
 use backdroid_ir::wire::fnv1a64;
+use backdroid_obs::{Counter, Histogram, MetricsRegistry, RegistrySnapshot, TraceBuilder, Tracer};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
@@ -55,6 +56,10 @@ pub struct ShardPoolConfig {
     pub workers_per_shard: usize,
     /// Bounded per-shard queue depth; submission blocks when full.
     pub queue_capacity: usize,
+    /// Span-ring capacity for per-request phase tracing; `0` (the
+    /// default) disables tracing entirely. See [`backdroid_obs::Tracer`]
+    /// for the replay-diff contract.
+    pub trace_capacity: usize,
 }
 
 impl Default for ShardPoolConfig {
@@ -63,6 +68,7 @@ impl Default for ShardPoolConfig {
             shards: 4,
             workers_per_shard: 1,
             queue_capacity: 64,
+            trace_capacity: 0,
         }
     }
 }
@@ -95,6 +101,10 @@ struct Job {
     req: Request,
     respond: Responder,
     deadline: Option<Instant>,
+    /// When the job was first admitted. Survives re-routing after a
+    /// kill, so the measured queue wait covers time spent on a dead
+    /// shard's queue too.
+    enqueued: Instant,
 }
 
 struct ShardState {
@@ -127,14 +137,22 @@ struct PoolInner {
     queue_capacity: usize,
     workers_per_shard: usize,
     running: AtomicBool,
-    rerouted: AtomicU64,
-    deadline_expired: AtomicU64,
-    no_shard_errors: AtomicU64,
-    kills: AtomicU64,
-    restarts: AtomicU64,
-    /// Stats folded in from killed shards, so aggregate counters stay
-    /// monotonic across restarts.
-    retired: Mutex<ServiceStats>,
+    /// Pool-level registry: routing/admission/lifecycle counters plus
+    /// the queue-wait histogram. Folded into the aggregate `metrics`
+    /// view alongside the shards' own registries.
+    registry: Arc<MetricsRegistry>,
+    rerouted: Counter,
+    deadline_expired: Counter,
+    no_shard_errors: Counter,
+    kills: Counter,
+    restarts: Counter,
+    /// Time jobs sat queued before a worker picked them up, in µs.
+    queue_wait_us: Histogram,
+    /// Optional per-request span ring (`trace_capacity > 0`).
+    tracer: Option<Arc<Tracer>>,
+    /// Registry snapshots folded in from killed shards, so aggregate
+    /// counters stay monotonic across restarts.
+    retired: Mutex<RegistrySnapshot>,
 }
 
 /// The sharded service pool. `submit_line` may be called from any
@@ -159,19 +177,105 @@ impl std::fmt::Debug for ShardPool {
 /// on a plain service — keeping them silent means a trace spliced with
 /// admin lines still diffs byte-for-byte against an unsharded golden.
 pub fn execute_request(service: &Service, req: &Request) -> Option<String> {
-    Some(match &req.op {
+    execute_request_traced(service, req, None)
+}
+
+/// The fetch tier as a trace attribute value.
+fn fetch_name(fetch: crate::store::Fetch) -> &'static str {
+    match fetch {
+        crate::store::Fetch::Hit => "hit",
+        crate::store::Fetch::Miss => "miss",
+        crate::store::Fetch::Disk => "disk",
+        crate::store::Fetch::Coalesced => "coalesced",
+    }
+}
+
+/// Opens the synthesized phase children under `parent` for one
+/// completed analysis: `fetch` (which tier served the image) and the
+/// pipeline phases with their measured durations. Everything on them is
+/// a **wall** attribute — phase durations and tiers are facts of one
+/// run — so the normalized export keeps only the span skeleton, which
+/// is a pure function of the workload.
+fn open_analysis_spans(tb: &mut TraceBuilder, parent: u32, a: &crate::service::AppAnalysis) {
+    let fetch = tb.open(Some(parent), "fetch");
+    tb.wall_attr(fetch, "tier", fetch_name(a.fetch));
+    tb.close(fetch);
+    for (name, ns) in [
+        ("locate", a.report.phases.locate_ns),
+        ("slice", a.report.phases.slice_ns),
+        ("verdict", a.report.phases.verdict_ns),
+    ] {
+        let s = tb.open(Some(parent), name);
+        tb.wall_attr(s, "us", &(ns / 1_000).to_string());
+        tb.close(s);
+    }
+    let probe = tb.open(Some(parent), "search");
+    tb.wall_attr(
+        probe,
+        "commands",
+        &a.report.cache_stats.commands.to_string(),
+    );
+    tb.wall_attr(probe, "hits", &a.report.cache_stats.hits.to_string());
+    tb.close(probe);
+}
+
+/// [`execute_request`] plus optional span recording: when `tb` is
+/// given, the caller has opened the root `request` span (id `0`) and
+/// this runs the op inside an `exec` child, attaching per-analysis
+/// phase children. Span structure and deterministic attrs depend only
+/// on the request, never on timing or topology.
+pub fn execute_request_traced(
+    service: &Service,
+    req: &Request,
+    mut tb: Option<&mut TraceBuilder>,
+) -> Option<String> {
+    let exec = tb.as_deref_mut().map(|tb| tb.open(Some(0), "exec"));
+    let line = match &req.op {
         RequestOp::Analyze { app } => match service.analyze_app(app) {
-            Ok(a) => proto::render_analysis(req.id, "analyze", &a),
+            Ok(a) => {
+                if let (Some(tb), Some(exec)) = (tb.as_deref_mut(), exec) {
+                    open_analysis_spans(tb, exec, &a);
+                }
+                proto::render_analysis(req.id, "analyze", &a)
+            }
             Err(e) => proto::render_error(req.id, &e.to_string()),
         },
         RequestOp::Query { app, detectors } => match service.query_detectors(app, detectors) {
-            Ok(a) => proto::render_analysis(req.id, "query", &a),
+            Ok(a) => {
+                if let (Some(tb), Some(exec)) = (tb.as_deref_mut(), exec) {
+                    open_analysis_spans(tb, exec, &a);
+                }
+                proto::render_analysis(req.id, "query", &a)
+            }
             Err(e) => proto::render_error(req.id, &e.to_string()),
         },
-        RequestOp::Batch { apps } => proto::render_batch(req.id, &service.analyze_batch(apps)),
+        RequestOp::Batch { apps } => {
+            let results = service.analyze_batch(apps);
+            if let (Some(tb), Some(exec)) = (tb.as_deref_mut(), exec) {
+                for (i, result) in results.iter().enumerate() {
+                    let item = tb.open(Some(exec), "item");
+                    tb.attr(item, "index", &i.to_string());
+                    if let Ok(a) = result {
+                        open_analysis_spans(tb, item, a);
+                    }
+                    tb.close(item);
+                }
+            }
+            proto::render_batch(req.id, &results)
+        }
         RequestOp::Stats => proto::render_stats(req.id, &service.stats()),
+        RequestOp::Metrics => {
+            let snap = service.metrics().snapshot();
+            proto::render_metrics(req.id, &snap, &[Some(snap.clone())])
+        }
         RequestOp::KillShard { .. } | RequestOp::RestartShard { .. } => return None,
-    })
+    };
+    if let (Some(tb), Some(exec)) = (tb, exec) {
+        tb.close(exec);
+        let emit = tb.open(Some(0), "emit");
+        tb.close(emit);
+    }
+    Some(line)
 }
 
 impl ShardPool {
@@ -184,6 +288,7 @@ impl ShardPool {
     ) -> Self {
         let shards = cfg.shards.max(1);
         let workers_per_shard = cfg.workers_per_shard.max(1);
+        let registry = Arc::new(MetricsRegistry::new());
         let inner = Arc::new(PoolInner {
             shards: (0..shards)
                 .map(|i| Shard {
@@ -203,12 +308,16 @@ impl ShardPool {
             queue_capacity: cfg.queue_capacity.max(1),
             workers_per_shard,
             running: AtomicBool::new(true),
-            rerouted: AtomicU64::new(0),
-            deadline_expired: AtomicU64::new(0),
-            no_shard_errors: AtomicU64::new(0),
-            kills: AtomicU64::new(0),
-            restarts: AtomicU64::new(0),
-            retired: Mutex::new(ServiceStats::default()),
+            rerouted: registry.counter("pool_rerouted_total"),
+            deadline_expired: registry.counter("pool_deadline_expired_total"),
+            no_shard_errors: registry.counter("pool_no_shard_errors_total"),
+            kills: registry.counter("pool_kills_total"),
+            restarts: registry.counter("pool_restarts_total"),
+            queue_wait_us: registry.histogram("pool_queue_wait_us"),
+            registry,
+            tracer: (cfg.trace_capacity > 0)
+                .then(|| Arc::new(Tracer::with_capacity(cfg.trace_capacity))),
+            retired: Mutex::new(RegistrySnapshot::default()),
         });
         let pool = ShardPool {
             inner,
@@ -256,6 +365,10 @@ impl ShardPool {
             RequestOp::Stats => {
                 respond(seq, Some(proto::render_stats(req.id, &self.stats())));
             }
+            RequestOp::Metrics => {
+                let line = proto::render_metrics(req.id, &self.metrics(), &self.shard_metrics());
+                respond(seq, Some(line));
+            }
             &RequestOp::KillShard { shard } => {
                 self.kill_shard(shard as usize);
                 respond(seq, None);
@@ -280,6 +393,7 @@ impl ShardPool {
                         req,
                         respond: Arc::clone(respond),
                         deadline,
+                        enqueued: Instant::now(),
                     },
                 );
             }
@@ -295,14 +409,14 @@ impl ShardPool {
             match self.try_enqueue(idx, job) {
                 Ok(()) => {
                     if k > 0 {
-                        self.inner.rerouted.fetch_add(1, Ordering::Relaxed);
+                        self.inner.rerouted.inc();
                     }
                     return;
                 }
                 Err(returned) => job = returned,
             }
         }
-        self.inner.no_shard_errors.fetch_add(1, Ordering::Relaxed);
+        self.inner.no_shard_errors.inc();
         (job.respond)(
             job.seq,
             Some(proto::render_error(job.req.id, "no shard available")),
@@ -310,6 +424,9 @@ impl ShardPool {
     }
 
     /// Blocking bounded put; `Err(job)` if the shard is (or went) dead.
+    // The Err is the caller's own Job handed back for re-routing, not
+    // an error payload — boxing it would cost an allocation per submit.
+    #[allow(clippy::result_large_err)]
     fn try_enqueue(&self, idx: usize, job: Job) -> Result<(), Job> {
         let shard = &self.inner.shards[idx];
         let mut state = shard.lock();
@@ -346,9 +463,10 @@ impl ShardPool {
             shard.not_full.notify_all();
             std::mem::take(&mut state.queue)
         };
-        self.inner.kills.fetch_add(1, Ordering::Relaxed);
+        self.inner.kills.inc();
         // Wait for the workers to finish their in-flight requests and
-        // detach, then retire the service's counters and drop it.
+        // detach, then retire the service's registry snapshot and drop
+        // it.
         {
             let mut state = shard.lock();
             while state.workers > 0 || state.in_flight > 0 {
@@ -356,17 +474,13 @@ impl ShardPool {
             }
             let service = state.service.take().expect("dead shard kept a service");
             let mut retired = self.inner.retired.lock().expect("retired stats poisoned");
-            retired.absorb(&service.stats());
+            retired.absorb(&service.metrics().snapshot());
         }
         // Re-route the stranded queue through the normal router, which
         // now probes past this shard — each displaced job is counted as
         // rerouted by `route_job`'s probe.
         for job in stranded {
-            let primary = match &job.req.op {
-                RequestOp::Batch { apps } => apps.first().cloned().unwrap_or_default(),
-                RequestOp::Analyze { app } | RequestOp::Query { app, .. } => app.clone(),
-                _ => String::new(),
-            };
+            let primary = primary_app(&job.req.op);
             self.route_job(self.route(&primary), job);
         }
         true
@@ -389,7 +503,7 @@ impl ShardPool {
             state.alive = true;
             state.workers = self.inner.workers_per_shard;
         }
-        self.inner.restarts.fetch_add(1, Ordering::Relaxed);
+        self.inner.restarts.inc();
         self.spawn_workers(idx);
         true
     }
@@ -408,15 +522,52 @@ impl ShardPool {
     /// Aggregated service + store counters: the retired totals of every
     /// killed shard plus the live shards' current counters — what the
     /// JSONL `stats` op renders, so tier hit rates stay meaningful
-    /// across the whole pool.
+    /// across the whole pool. Decoded from the aggregate registry
+    /// snapshot, the same single path the `metrics` op renders.
     pub fn stats(&self) -> ServiceStats {
-        let mut agg = *self.inner.retired.lock().expect("retired stats poisoned");
+        ServiceStats::from_metrics(&self.metrics())
+    }
+
+    /// The fleet-wide aggregate registry snapshot: retired (killed)
+    /// shards, every live shard, and the pool's own `pool_*` counters
+    /// and queue-wait histogram, folded with
+    /// [`RegistrySnapshot::absorb`].
+    pub fn metrics(&self) -> RegistrySnapshot {
+        let mut agg = self
+            .inner
+            .retired
+            .lock()
+            .expect("retired stats poisoned")
+            .clone();
         for shard in &self.inner.shards {
             if let Some(service) = &shard.lock().service {
-                agg.absorb(&service.stats());
+                agg.absorb(&service.metrics().snapshot());
             }
         }
+        agg.absorb(&self.inner.registry.snapshot());
         agg
+    }
+
+    /// Per-shard registry snapshots (`None` while a shard is dead) —
+    /// the `metrics` op's `"shards"` array.
+    pub fn shard_metrics(&self) -> Vec<Option<RegistrySnapshot>> {
+        self.inner
+            .shards
+            .iter()
+            .map(|shard| {
+                shard
+                    .lock()
+                    .service
+                    .as_ref()
+                    .map(|s| s.metrics().snapshot())
+            })
+            .collect()
+    }
+
+    /// The span ring, when the pool was configured with
+    /// `trace_capacity > 0`.
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.inner.tracer.as_ref()
     }
 
     /// One live shard's own counters (`None` while it is dead) — the
@@ -431,17 +582,18 @@ impl ShardPool {
             .map(|s| s.stats())
     }
 
-    /// Routing/admission/lifecycle counters.
+    /// Routing/admission/lifecycle counters, read back off the pool's
+    /// registry handles.
     pub fn pool_stats(&self) -> PoolStats {
         let inner = &self.inner;
         PoolStats {
             shards: inner.shards.len() as u64,
             alive: inner.shards.iter().filter(|s| s.lock().alive).count() as u64,
-            rerouted: inner.rerouted.load(Ordering::Relaxed),
-            deadline_expired: inner.deadline_expired.load(Ordering::Relaxed),
-            no_shard_errors: inner.no_shard_errors.load(Ordering::Relaxed),
-            kills: inner.kills.load(Ordering::Relaxed),
-            restarts: inner.restarts.load(Ordering::Relaxed),
+            rerouted: inner.rerouted.get(),
+            deadline_expired: inner.deadline_expired.get(),
+            no_shard_errors: inner.no_shard_errors.get(),
+            kills: inner.kills.get(),
+            restarts: inner.restarts.get(),
         }
     }
 
@@ -475,6 +627,28 @@ impl Drop for ShardPool {
     }
 }
 
+/// The request op as a deterministic trace attribute value.
+fn op_name(op: &RequestOp) -> &'static str {
+    match op {
+        RequestOp::Analyze { .. } => "analyze",
+        RequestOp::Query { .. } => "query",
+        RequestOp::Batch { .. } => "batch",
+        RequestOp::Stats => "stats",
+        RequestOp::Metrics => "metrics",
+        RequestOp::KillShard { .. } => "kill_shard",
+        RequestOp::RestartShard { .. } => "restart_shard",
+    }
+}
+
+/// The routing app id: the single app, a batch's first app, or empty.
+fn primary_app(op: &RequestOp) -> String {
+    match op {
+        RequestOp::Analyze { app } | RequestOp::Query { app, .. } => app.clone(),
+        RequestOp::Batch { apps } => apps.first().cloned().unwrap_or_default(),
+        _ => String::new(),
+    }
+}
+
 fn worker_loop(inner: &PoolInner, idx: usize) {
     let shard = &inner.shards[idx];
     loop {
@@ -496,12 +670,36 @@ fn worker_loop(inner: &PoolInner, idx: usize) {
                 state = shard.not_empty.wait(state).expect("shard poisoned");
             }
         };
+        let wait = job.enqueued.elapsed();
+        inner.queue_wait_us.record(wait.as_micros() as u64);
+        let mut tb = inner.tracer.as_ref().map(|t| {
+            let mut tb = t.begin(job.seq);
+            let root = tb.open(None, "request");
+            tb.attr(root, "op", op_name(&job.req.op));
+            tb.attr(root, "app", &primary_app(&job.req.op));
+            tb.wall_attr(root, "shard", &idx.to_string());
+            let q = tb.open(Some(root), "queue");
+            tb.wall_attr(q, "wait_us", &wait.as_micros().to_string());
+            tb.close(q);
+            tb
+        });
         let response = if job.deadline.is_some_and(|d| Instant::now() > d) {
-            inner.deadline_expired.fetch_add(1, Ordering::Relaxed);
-            Some(proto::render_error(job.req.id, "deadline exceeded"))
+            inner.deadline_expired.inc();
+            if let Some(tb) = tb.as_mut() {
+                let s = tb.open(Some(0), "deadline");
+                tb.wall_attr(s, "wait_ms", &wait.as_millis().to_string());
+                tb.close(s);
+            }
+            Some(proto::render_deadline_error(
+                job.req.id,
+                wait.as_millis() as u64,
+            ))
         } else {
-            execute_request(&service, &job.req)
+            execute_request_traced(&service, &job.req, tb.as_mut())
         };
+        if let (Some(tb), Some(tracer)) = (tb, inner.tracer.as_ref()) {
+            tb.finish(tracer);
+        }
         (job.respond)(job.seq, response);
         drop(service);
         let mut state = shard.lock();
@@ -624,11 +822,21 @@ mod tests {
             &responder,
         );
         p.drain();
+        let line = seen.lock().unwrap()[&0].clone().expect("a response line");
+        let v = parse_json(&line).unwrap();
+        assert_eq!(v.get("id").and_then(Json::as_u64), Some(0));
         assert_eq!(
-            seen.lock().unwrap()[&0].as_deref(),
-            Some("{\"id\":0,\"error\":\"deadline exceeded\"}"),
+            v.get("error").and_then(Json::as_str),
+            Some("deadline exceeded")
+        );
+        assert!(
+            v.get("queue_wait_ms").and_then(Json::as_u64).is_some(),
+            "the error carries the measured queue wait: {line}"
         );
         assert_eq!(p.pool_stats().deadline_expired, 1);
+        let agg = p.metrics();
+        let hist = agg.histogram("pool_queue_wait_us").expect("wait histogram");
+        assert_eq!(hist.count, 1, "every dequeued job records its wait");
     }
 
     #[test]

@@ -39,6 +39,7 @@
 //! diffed across cold-parse, disk-warm, and memory-warm runs.
 
 use backdroid_core::{AppArtifacts, BackendChoice, SnapshotError};
+use backdroid_obs::{Counter, Gauge, MetricsRegistry, RegistrySnapshot};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -218,6 +219,30 @@ impl StoreStats {
         self.resident_apps += other.resident_apps;
     }
 
+    /// Reads the `store_*` metrics out of a registry snapshot — the one
+    /// render path every stats view (the wire `stats` op, the stderr
+    /// dumps, shard aggregation) goes through, so they can never drift.
+    pub fn from_metrics(snap: &RegistrySnapshot) -> StoreStats {
+        StoreStats {
+            hits: snap.value("store_hits_total"),
+            misses: snap.value("store_misses_total"),
+            coalesced: snap.value("store_coalesced_total"),
+            loads: snap.value("store_loads_total"),
+            load_failures: snap.value("store_load_failures_total"),
+            evictions: snap.value("store_evictions_total"),
+            bytes_evicted: snap.value("store_bytes_evicted_total"),
+            disk_hits: snap.value("store_disk_hits_total"),
+            disk_misses: snap.value("store_disk_misses_total"),
+            disk_invalidations: snap.value("store_disk_invalidations_total"),
+            disk_writes: snap.value("store_disk_writes_total"),
+            disk_bytes_written: snap.value("store_disk_bytes_written_total"),
+            disk_write_failures: snap.value("store_disk_write_failures_total"),
+            peak_resident_bytes: snap.value("store_peak_resident_bytes"),
+            resident_bytes: snap.value("store_resident_bytes"),
+            resident_apps: snap.value("store_resident_apps"),
+        }
+    }
+
     /// Warm-hit fraction over all completed requests, in `[0, 1]`.
     /// Disk hits count as requests but not as (memory-)warm hits.
     pub fn hit_rate(&self) -> f64 {
@@ -259,22 +284,50 @@ struct StoreInner {
     tick: u64,
 }
 
-#[derive(Default)]
+/// The store's counters, backed by `store_*` metrics in a shared
+/// [`MetricsRegistry`] (the observability migration of the old bare
+/// `AtomicU64` struct — same increments, same values, but exportable
+/// through the `metrics` op and the registry renderers).
 struct Counters {
-    hits: AtomicU64,
-    misses: AtomicU64,
-    coalesced: AtomicU64,
-    loads: AtomicU64,
-    load_failures: AtomicU64,
-    evictions: AtomicU64,
-    bytes_evicted: AtomicU64,
-    peak_resident_bytes: AtomicU64,
-    disk_hits: AtomicU64,
-    disk_misses: AtomicU64,
-    disk_invalidations: AtomicU64,
-    disk_writes: AtomicU64,
-    disk_bytes_written: AtomicU64,
-    disk_write_failures: AtomicU64,
+    hits: Counter,
+    misses: Counter,
+    coalesced: Counter,
+    loads: Counter,
+    load_failures: Counter,
+    evictions: Counter,
+    bytes_evicted: Counter,
+    peak_resident_bytes: Gauge,
+    resident_bytes: Gauge,
+    resident_apps: Gauge,
+    disk_hits: Counter,
+    disk_misses: Counter,
+    disk_invalidations: Counter,
+    disk_writes: Counter,
+    disk_bytes_written: Counter,
+    disk_write_failures: Counter,
+}
+
+impl Counters {
+    fn register(registry: &MetricsRegistry) -> Counters {
+        Counters {
+            hits: registry.counter("store_hits_total"),
+            misses: registry.counter("store_misses_total"),
+            coalesced: registry.counter("store_coalesced_total"),
+            loads: registry.counter("store_loads_total"),
+            load_failures: registry.counter("store_load_failures_total"),
+            evictions: registry.counter("store_evictions_total"),
+            bytes_evicted: registry.counter("store_bytes_evicted_total"),
+            peak_resident_bytes: registry.gauge("store_peak_resident_bytes"),
+            resident_bytes: registry.gauge("store_resident_bytes"),
+            resident_apps: registry.gauge("store_resident_apps"),
+            disk_hits: registry.counter("store_disk_hits_total"),
+            disk_misses: registry.counter("store_disk_misses_total"),
+            disk_invalidations: registry.counter("store_disk_invalidations_total"),
+            disk_writes: registry.counter("store_disk_writes_total"),
+            disk_bytes_written: registry.counter("store_disk_bytes_written_total"),
+            disk_write_failures: registry.counter("store_disk_write_failures_total"),
+        }
+    }
 }
 
 /// The byte-budgeted, single-flight LRU store of resident app images,
@@ -293,6 +346,7 @@ pub struct AppStore {
     loader: Box<Loader>,
     disk: Option<DiskTier>,
     inner: Mutex<StoreInner>,
+    registry: Arc<MetricsRegistry>,
     counters: Counters,
 }
 
@@ -322,13 +376,7 @@ impl AppStore {
         budget_bytes: u64,
         loader: impl Fn(&str) -> Result<AppArtifacts, String> + Send + Sync + 'static,
     ) -> Self {
-        AppStore {
-            budget_bytes,
-            loader: Box::new(loader),
-            disk: None,
-            inner: Mutex::default(),
-            counters: Counters::default(),
-        }
+        Self::over_registry(budget_bytes, None, Arc::new(MetricsRegistry::new()), loader)
     }
 
     /// Creates a two-tier store: the in-memory LRU backed by an on-disk
@@ -340,13 +388,37 @@ impl AppStore {
         disk: DiskTier,
         loader: impl Fn(&str) -> Result<AppArtifacts, String> + Send + Sync + 'static,
     ) -> Self {
+        Self::over_registry(
+            budget_bytes,
+            Some(disk),
+            Arc::new(MetricsRegistry::new()),
+            loader,
+        )
+    }
+
+    /// Creates a store whose `store_*` metrics register into a caller-
+    /// provided registry — how [`crate::Service`] keeps its own request
+    /// counters and the store's in one exportable namespace.
+    pub fn over_registry(
+        budget_bytes: u64,
+        disk: Option<DiskTier>,
+        registry: Arc<MetricsRegistry>,
+        loader: impl Fn(&str) -> Result<AppArtifacts, String> + Send + Sync + 'static,
+    ) -> Self {
+        let counters = Counters::register(&registry);
         AppStore {
             budget_bytes,
             loader: Box::new(loader),
-            disk: Some(disk),
+            disk,
             inner: Mutex::default(),
-            counters: Counters::default(),
+            registry,
+            counters,
         }
+    }
+
+    /// The metrics registry this store's counters live in.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
     }
 
     /// The configured byte budget.
@@ -388,31 +460,11 @@ impl AppStore {
         ids.into_iter().map(|(_, k)| k).collect()
     }
 
-    /// Counter snapshot plus current residency.
+    /// Counter snapshot plus current residency — read back out of the
+    /// metrics registry, the single source every stats view shares
+    /// (see [`StoreStats::from_metrics`]).
     pub fn stats(&self) -> StoreStats {
-        let (resident_bytes, resident_apps) = {
-            let inner = self.lock_inner();
-            (inner.total_bytes, inner.resident.len() as u64)
-        };
-        let c = &self.counters;
-        StoreStats {
-            hits: c.hits.load(Ordering::Relaxed),
-            misses: c.misses.load(Ordering::Relaxed),
-            coalesced: c.coalesced.load(Ordering::Relaxed),
-            loads: c.loads.load(Ordering::Relaxed),
-            load_failures: c.load_failures.load(Ordering::Relaxed),
-            evictions: c.evictions.load(Ordering::Relaxed),
-            bytes_evicted: c.bytes_evicted.load(Ordering::Relaxed),
-            peak_resident_bytes: c.peak_resident_bytes.load(Ordering::Relaxed),
-            disk_hits: c.disk_hits.load(Ordering::Relaxed),
-            disk_misses: c.disk_misses.load(Ordering::Relaxed),
-            disk_invalidations: c.disk_invalidations.load(Ordering::Relaxed),
-            disk_writes: c.disk_writes.load(Ordering::Relaxed),
-            disk_bytes_written: c.disk_bytes_written.load(Ordering::Relaxed),
-            disk_write_failures: c.disk_write_failures.load(Ordering::Relaxed),
-            resident_bytes,
-            resident_apps,
-        }
+        StoreStats::from_metrics(&self.registry.snapshot())
     }
 
     /// Returns the resident image for `app_id`, loading it single-flight
@@ -440,11 +492,11 @@ impl AppStore {
         };
         match step {
             Step::Ready(artifacts) => {
-                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                self.counters.hits.inc();
                 Ok((artifacts, Fetch::Hit))
             }
             Step::Wait(slot) => {
-                self.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+                self.counters.coalesced.inc();
                 let mut done = slot.result.lock().expect("load slot poisoned");
                 while done.is_none() {
                     done = slot.ready.wait(done).expect("load slot poisoned");
@@ -478,22 +530,22 @@ impl AppStore {
         if let Some(disk) = &self.disk {
             match disk.load(app_id) {
                 Ok(Some(artifacts)) => {
-                    c.disk_hits.fetch_add(1, Ordering::Relaxed);
+                    c.disk_hits.inc();
                     let artifacts = self.insert(app_id, artifacts);
                     return Ok((artifacts, Fetch::Disk));
                 }
                 Ok(None) => {
-                    c.disk_misses.fetch_add(1, Ordering::Relaxed);
+                    c.disk_misses.inc();
                 }
                 Err(_) => {
                     // Truncated / corrupt / version-bumped snapshot:
                     // invalidate it and fall back to a fresh parse.
-                    c.disk_invalidations.fetch_add(1, Ordering::Relaxed);
+                    c.disk_invalidations.inc();
                     disk.invalidate(app_id);
                 }
             }
         }
-        c.misses.fetch_add(1, Ordering::Relaxed);
+        c.misses.inc();
         match (self.loader)(app_id) {
             Ok(artifacts) => {
                 // Publish before persisting: once `insert` returns, the
@@ -513,7 +565,7 @@ impl AppStore {
                 Ok((artifacts, Fetch::Miss))
             }
             Err(e) => {
-                c.load_failures.fetch_add(1, Ordering::Relaxed);
+                c.load_failures.inc();
                 self.lock_inner().loading.remove(app_id);
                 Err(e)
             }
@@ -540,11 +592,13 @@ impl AppStore {
                     last_used: tick,
                 },
             );
-            self.counters.loads.fetch_add(1, Ordering::Relaxed);
+            self.counters.loads.inc();
             let victims = self.evict_to_budget(&mut inner);
-            self.counters
-                .peak_resident_bytes
-                .fetch_max(inner.total_bytes, Ordering::Relaxed);
+            self.counters.peak_resident_bytes.set_max(inner.total_bytes);
+            // Publish residency into the registry while still holding
+            // the lock, so the gauges always agree with the store state.
+            self.counters.resident_bytes.set(inner.total_bytes);
+            self.counters.resident_apps.set(inner.resident.len() as u64);
             victims
         };
         if let Some(disk) = &self.disk {
@@ -564,15 +618,11 @@ impl AppStore {
         let Some(disk) = &self.disk else { return };
         match disk.store(app_id, artifacts) {
             Ok(written) => {
-                self.counters.disk_writes.fetch_add(1, Ordering::Relaxed);
-                self.counters
-                    .disk_bytes_written
-                    .fetch_add(written, Ordering::Relaxed);
+                self.counters.disk_writes.inc();
+                self.counters.disk_bytes_written.add(written);
             }
             Err(_) => {
-                self.counters
-                    .disk_write_failures
-                    .fetch_add(1, Ordering::Relaxed);
+                self.counters.disk_write_failures.inc();
             }
         }
     }
@@ -593,10 +643,8 @@ impl AppStore {
             let Some(key) = victim else { break };
             let gone = inner.resident.remove(&key).expect("victim just seen");
             inner.total_bytes -= gone.bytes;
-            self.counters.evictions.fetch_add(1, Ordering::Relaxed);
-            self.counters
-                .bytes_evicted
-                .fetch_add(gone.bytes, Ordering::Relaxed);
+            self.counters.evictions.inc();
+            self.counters.bytes_evicted.add(gone.bytes);
             victims.push((key, gone.artifacts));
         }
         victims

@@ -1,0 +1,70 @@
+//! A tour of the observability layer: drive a small serving session,
+//! then read the same [`backdroid_obs::MetricsRegistry`] three ways —
+//! typed lookups, the deterministic JSON renderer (what the wire-level
+//! `metrics` op returns), and the Prometheus text exposition.
+//!
+//! Every layer of the serving stack publishes into one registry per
+//! service: the store's tier counters and residency gauges, the
+//! request/phase latency histograms, and (sharded) the pool's queue
+//! waits. Histograms are log2-bucketed with exact sums, so means are
+//! exact and p50/p90/p99 come from bucket upper bounds.
+
+use backdroid_appgen::benchset::BenchsetConfig;
+use backdroid_service::{Service, ServiceConfig};
+
+fn main() {
+    let service = Service::over_benchset(
+        BenchsetConfig::sized(6, 0.05),
+        ServiceConfig {
+            budget_bytes: 64 * 1024 * 1024,
+            ..ServiceConfig::default()
+        },
+    );
+
+    // A little traffic so the histograms have something to say: two
+    // cold loads, a warm re-analysis, and a per-detector query.
+    for id in ["0", "1", "0"] {
+        service.analyze_app(id).expect("analysis");
+    }
+    service.query_detectors("1", &["crypto"]).expect("query");
+
+    let snap = service.metrics().snapshot();
+
+    // 1. Typed lookups: counters and gauges by name, histograms with
+    //    exact means and bucketed quantiles.
+    println!("== typed lookups ==");
+    println!(
+        "requests={} hits={} misses={} resident_bytes={}",
+        snap.value("service_requests_total"),
+        snap.value("store_hits_total"),
+        snap.value("store_misses_total"),
+        snap.value("store_resident_bytes"),
+    );
+    if let Some(h) = snap.histogram("request_miss_us") {
+        println!(
+            "cold loads: n={} mean={:.0} us p99<={} us",
+            h.count,
+            h.mean(),
+            h.quantile_upper(0.99)
+        );
+    }
+    if let Some(h) = snap.histogram("request_hit_us") {
+        println!(
+            "warm hits:  n={} mean={:.0} us p99<={} us",
+            h.count,
+            h.mean(),
+            h.quantile_upper(0.99)
+        );
+    }
+
+    // 2. The JSON renderer — deterministic (sorted names, nonzero
+    //    buckets only), exactly what `{"id":1,"op":"metrics"}` returns
+    //    over the JSONL or framed-socket transports.
+    println!("\n== render_json ==");
+    println!("{}", snap.render_json());
+
+    // 3. Prometheus text exposition: `# TYPE` lines, cumulative
+    //    `_bucket{le=...}` series, `_sum`/`_count` — scrapeable as-is.
+    println!("\n== render_prometheus ==");
+    print!("{}", snap.render_prometheus());
+}

@@ -42,6 +42,7 @@ fn main() {
             shards: 3,
             workers_per_shard: 2,
             queue_capacity: 8,
+            ..ShardPoolConfig::default()
         },
         move |_| {
             Service::over_benchset(

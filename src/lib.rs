@@ -12,6 +12,9 @@
 //! * [`backdroid_manifest`] — components, entry points, lifecycle tables
 //! * [`backdroid_search`] — the on-the-fly bytecode search engine with
 //!   selectable backends (linear grep oracle vs inverted index)
+//! * [`backdroid_obs`] — zero-dependency observability: the atomic
+//!   metrics registry (counters, gauges, log2 histograms) and the
+//!   per-request span tracer every serving layer publishes into
 //! * [`backdroid_appgen`] — deterministic app/corpus generation
 //! * [`backdroid_core`] — BackDroid itself
 //! * [`backdroid_wholeapp`] — the Amandroid/FlowDroid-style comparators
@@ -36,6 +39,7 @@ pub use backdroid_core;
 pub use backdroid_dex;
 pub use backdroid_ir;
 pub use backdroid_manifest;
+pub use backdroid_obs;
 pub use backdroid_search;
 pub use backdroid_service;
 pub use backdroid_wholeapp;

@@ -1,0 +1,216 @@
+//! Observability-layer invariants, tier-1 enforced.
+//!
+//! Three families of checks:
+//!
+//! * **Histogram bucket math** (property-based): the log2 histogram
+//!   must preserve exact counts and sums, place every value inside its
+//!   bucket's bounds, keep quantile upper bounds monotone, and merge
+//!   (`absorb`) exactly — the arithmetic every latency tier and the
+//!   `queue_wait_p99_buckets` baseline band lean on.
+//! * **Span-tree well-formedness**: every trace recorded by a
+//!   [`ShardPool`] run has exactly one root named `request`, parents
+//!   that exist and precede their children, and monotone timestamps.
+//! * **Normalized-trace determinism**: the normalized JSONL export
+//!   (what `backdroid-serve --trace-out --trace-norm` writes) is
+//!   byte-identical across two replays of the same workload *and*
+//!   across shard counts — the span skeleton is a pure function of
+//!   the workload, never of scheduling or topology.
+
+use backdroid_appgen::benchset::BenchsetConfig;
+use backdroid_appgen::workload::{self, WorkloadConfig};
+use backdroid_obs::{bucket_of, bucket_upper_bound, Histogram, SpanRecord};
+use backdroid_service::proto::workload_request_line;
+use backdroid_service::{Responder, Service, ServiceConfig, ShardPool, ShardPoolConfig};
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------
+// Histogram bucket math (property-based)
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Recording never loses or invents samples: bucket totals, the
+    /// count, and the exact sum all agree with the raw input.
+    #[test]
+    fn histogram_preserves_count_and_sum(
+        values in prop::collection::vec(0u64..1_000_000_000, 0..200)
+    ) {
+        let h = Histogram::default();
+        for &v in &values {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        prop_assert_eq!(s.count, values.len() as u64);
+        prop_assert_eq!(s.sum, values.iter().sum::<u64>());
+        prop_assert_eq!(s.buckets.iter().sum::<u64>(), s.count);
+        if !values.is_empty() {
+            let exact = values.iter().sum::<u64>() as f64 / values.len() as f64;
+            prop_assert!((s.mean() - exact).abs() < 1e-6);
+        }
+    }
+
+    /// Every value lands strictly inside its bucket's half-open range:
+    /// above the previous bucket's upper bound, at or below its own.
+    #[test]
+    fn bucket_bounds_contain_their_values(v in any::<u64>()) {
+        let k = bucket_of(v);
+        prop_assert!(v <= bucket_upper_bound(k));
+        if k > 0 {
+            prop_assert!(v > bucket_upper_bound(k - 1));
+        }
+    }
+
+    /// Quantile upper bounds are monotone in q and never exceed the
+    /// bucket ceiling of the true maximum.
+    #[test]
+    fn quantile_uppers_are_monotone_and_bounded(
+        values in prop::collection::vec(0u64..(1u64 << 40), 1..200)
+    ) {
+        let h = Histogram::default();
+        for &v in &values {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let p50 = s.quantile_upper(0.50);
+        let p90 = s.quantile_upper(0.90);
+        let p99 = s.quantile_upper(0.99);
+        prop_assert!(p50 <= p90);
+        prop_assert!(p90 <= p99);
+        let max = *values.iter().max().unwrap();
+        prop_assert!(p99 <= bucket_upper_bound(bucket_of(max)));
+        let min = *values.iter().min().unwrap();
+        prop_assert!(p50 >= min);
+    }
+
+    /// `absorb` merges two histograms exactly: bucketwise counts, the
+    /// total count, and the exact sum all add.
+    #[test]
+    fn absorb_merges_exactly(
+        a in prop::collection::vec(0u64..1_000_000, 0..100),
+        b in prop::collection::vec(0u64..1_000_000, 0..100),
+    ) {
+        let ha = Histogram::default();
+        for &v in &a {
+            ha.record(v);
+        }
+        let hb = Histogram::default();
+        for &v in &b {
+            hb.record(v);
+        }
+        let mut merged = ha.snapshot();
+        merged.absorb(&hb.snapshot());
+        let hall = Histogram::default();
+        for &v in a.iter().chain(b.iter()) {
+            hall.record(v);
+        }
+        let expect = hall.snapshot();
+        prop_assert_eq!(merged.count, expect.count);
+        prop_assert_eq!(merged.sum, expect.sum);
+        prop_assert_eq!(merged.buckets, expect.buckets);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Span traces from a real pool run
+// ---------------------------------------------------------------------
+
+/// Replay the seeded workload through a traced pool and hand back the
+/// normalized export plus the raw spans.
+fn traced_replay(shards: usize) -> (String, Vec<SpanRecord>) {
+    let bench = BenchsetConfig::sized(5, 0.04);
+    let trace = workload::generate(WorkloadConfig {
+        apps: bench.count,
+        requests: 30,
+        seed: 11,
+        ..WorkloadConfig::default()
+    });
+    let pool = ShardPool::new(
+        ShardPoolConfig {
+            shards,
+            workers_per_shard: 2,
+            queue_capacity: 64,
+            trace_capacity: 4096,
+        },
+        move |_| {
+            Service::over_benchset(
+                bench,
+                ServiceConfig {
+                    budget_bytes: u64::MAX,
+                    ..ServiceConfig::default()
+                },
+            )
+        },
+    );
+    let responder: Responder = Arc::new(|_, _| {});
+    for (seq, req) in trace.iter().enumerate() {
+        pool.submit_line(
+            seq as u64,
+            &workload_request_line(seq as u64, req),
+            &responder,
+        );
+    }
+    pool.drain();
+    let tracer = Arc::clone(pool.tracer().expect("trace_capacity > 0 builds a tracer"));
+    pool.shutdown();
+    assert_eq!(tracer.dropped(), 0, "ring must not wrap in this test");
+    (tracer.export_normalized_jsonl(), tracer.spans())
+}
+
+/// Every recorded trace is a well-formed tree: one `request` root,
+/// parents that exist and precede their children, known span names,
+/// and monotone timestamps on every closed span.
+#[test]
+fn span_trees_are_well_formed() {
+    let known: HashSet<&str> = [
+        "request", "queue", "exec", "emit", "fetch", "locate", "slice", "verdict", "search",
+        "item", "deadline",
+    ]
+    .into_iter()
+    .collect();
+    let (_, spans) = traced_replay(4);
+    assert!(!spans.is_empty(), "the replay must record spans");
+    let mut by_trace: HashMap<u64, Vec<&SpanRecord>> = HashMap::new();
+    for s in &spans {
+        by_trace.entry(s.trace_id).or_default().push(s);
+    }
+    for (trace_id, spans) in &by_trace {
+        let ids: HashSet<u32> = spans.iter().map(|s| s.span_id).collect();
+        assert_eq!(
+            ids.len(),
+            spans.len(),
+            "trace {trace_id}: duplicate span ids"
+        );
+        let roots: Vec<_> = spans.iter().filter(|s| s.parent.is_none()).collect();
+        assert_eq!(roots.len(), 1, "trace {trace_id}: exactly one root");
+        assert_eq!(roots[0].name, "request");
+        for s in spans {
+            assert!(known.contains(s.name.as_str()), "unknown span {:?}", s.name);
+            if let Some(p) = s.parent {
+                assert!(ids.contains(&p), "trace {trace_id}: dangling parent {p}");
+                assert!(p < s.span_id, "trace {trace_id}: parent opened after child");
+            }
+            assert!(
+                s.end_ns >= s.start_ns,
+                "trace {trace_id}: span {:?} closed before it opened",
+                s.name
+            );
+        }
+    }
+}
+
+/// The normalized export is byte-identical across two replays of the
+/// same workload and across 1 vs 4 shards — span skeletons depend on
+/// the workload alone, so CI can diff `--trace-out --trace-norm` files.
+#[test]
+fn normalized_trace_is_byte_identical_across_replays_and_shard_counts() {
+    let (one_a, _) = traced_replay(1);
+    let (one_b, _) = traced_replay(1);
+    let (four, _) = traced_replay(4);
+    assert!(!one_a.is_empty());
+    assert_eq!(one_a, one_b, "same workload, same shards: must not drift");
+    assert_eq!(
+        one_a, four,
+        "shard count must not leak into normalized traces"
+    );
+}

@@ -65,6 +65,7 @@ fn sharded_replay(
             shards,
             workers_per_shard: 2,
             queue_capacity: 8,
+            ..ShardPoolConfig::default()
         },
         move |_| Service::over_benchset(bench, service_config(backend)),
     );
@@ -137,6 +138,7 @@ fn stats_and_admin_lines_splice_cleanly_into_traces() {
             shards: 2,
             workers_per_shard: 1,
             queue_capacity: 8,
+            ..ShardPoolConfig::default()
         },
         move |_| Service::over_benchset(bench, service_config(backend)),
     );

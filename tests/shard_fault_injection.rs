@@ -107,6 +107,7 @@ fn killing_a_shard_mid_burst_loses_nothing_and_restarts_disk_warm() {
             shards: 3,
             workers_per_shard: 1,
             queue_capacity: 4,
+            ..ShardPoolConfig::default()
         },
         move |_| {
             Service::over_benchset(
@@ -238,6 +239,7 @@ fn killing_every_shard_yields_deterministic_errors_not_hangs() {
             shards: 2,
             workers_per_shard: 1,
             queue_capacity: 4,
+            ..ShardPoolConfig::default()
         },
         move |_| Service::over_benchset(bench, ServiceConfig::default()),
     );
