@@ -33,6 +33,7 @@ pub mod benchset;
 pub mod dataset;
 pub mod filler;
 pub mod fixtures;
+pub mod mutate;
 pub mod scenario;
 pub mod workload;
 
@@ -40,6 +41,7 @@ use backdroid_dex::{apk_size_bytes, dump_image, DexImage};
 use backdroid_ir::Program;
 use backdroid_manifest::Manifest;
 
+pub use mutate::{mutate_version, VersionMutation};
 pub use scenario::{Mechanism, Scenario, SinkKind};
 
 /// Which baseline (whole-app tool) weakness a ground-truth item exploits,

@@ -31,7 +31,7 @@ pub fn advanced_search(ctx: &mut TaskContext<'_>, callee: &MethodSig) -> Vec<Cal
     let alloc_hits = ctx.engine.run(&SearchCmd::NewInstanceOf(class.clone()));
     let mut edges = Vec::new();
     for hit in alloc_hits {
-        let Some(body) = ctx.program.method(&hit.method).and_then(|m| m.body()) else {
+        let Some(body) = ctx.method(&hit.method).and_then(|m| m.body()) else {
             continue;
         };
         // Find allocation statements of the class inside the hit method.
@@ -95,7 +95,7 @@ fn propagate(
     if depth > MAX_FORWARD_DEPTH {
         return;
     }
-    let Some(body) = ctx.program.method(method).and_then(|m| m.body()) else {
+    let Some(body) = ctx.method(method).and_then(|m| m.body()) else {
         return;
     };
     let stmts = body.stmts().to_vec();
@@ -234,7 +234,7 @@ fn handle_invoke(
         ctx.loops.record(LoopKind::InnerForward);
         return;
     }
-    let Some(callee_body) = ctx.program.method(&resolved).and_then(|m| m.body()) else {
+    let Some(callee_body) = ctx.method(&resolved).and_then(|m| m.body()) else {
         return;
     };
     // Map tainted argument positions (and receiver) to the callee's

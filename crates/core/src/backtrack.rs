@@ -148,7 +148,6 @@ fn direct_search(
                 continue;
             }
             let site = ctx
-                .program
                 .method(&hit.method)
                 .and_then(|m| m.body())
                 .and_then(|b| b.call_sites_of(sig).first().copied());

@@ -12,13 +12,15 @@
 //! share the index, caches, and statistics), and the task's private loop
 //! counters.
 
+use crate::chunks::{chunk_key, ChunkManifest};
 use crate::loops::LoopStats;
-use backdroid_dex::{dump_image, DexImage};
+use backdroid_dex::{dump_image, dump_image_with_marks, DexImage};
 use backdroid_ir::wire::{self, WireReader};
-use backdroid_ir::Program;
+use backdroid_ir::{Class, ClassName, Method, MethodSig, Program};
 use backdroid_manifest::Manifest;
-use backdroid_search::{BackendChoice, BytecodeText, SearchEngine};
-use std::sync::{Mutex, OnceLock};
+use backdroid_search::{BackendChoice, BytecodeText, ClassSegment, SearchEngine, TokenCache};
+use std::collections::BTreeSet;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// The IR-program half of the artifacts, restorable lazily.
 ///
@@ -94,6 +96,11 @@ pub struct AppArtifacts {
     program: LazyProgram,
     manifest: Manifest,
     engine: SearchEngine,
+    /// The per-class chunk manifest (see [`crate::chunks`]). Fresh
+    /// builds compute it lazily from the program; a snapshot restore
+    /// decodes it from its own section, so version diffing never
+    /// forces the program decode.
+    chunk_manifest: OnceLock<ChunkManifest>,
 }
 
 /// Encode → disassemble → index: the shared preprocessing step of §III,
@@ -119,7 +126,44 @@ impl AppArtifacts {
             program: LazyProgram::ready(program),
             manifest,
             engine,
+            chunk_manifest: OnceLock::new(),
         }
+    }
+
+    /// Builds the artifacts for a **new version** of an app whose prior
+    /// version's per-class token streams are cached: classes whose
+    /// chunk keys appear in `cache` skip tokenization entirely, and the
+    /// resulting index is **byte-identical** to a from-scratch build
+    /// (one shared code path scans and replays — see
+    /// [`BytecodeText::index_with_token_cache`]).
+    ///
+    /// Returns the artifacts, the new version's token cache (for the
+    /// *next* update), and how many classes were served from `cache`.
+    pub fn with_backend_cached(
+        program: Program,
+        manifest: Manifest,
+        backend: BackendChoice,
+        cache: &TokenCache,
+    ) -> (Self, TokenCache, usize) {
+        let image = DexImage::encode(&program);
+        let (dump, marks) = dump_image_with_marks(&image);
+        let segments: Vec<ClassSegment> = marks
+            .iter()
+            .map(|m| ClassSegment {
+                key: chunk_key(program.class(&m.name).expect("mark names a program class")),
+                start: m.line_start,
+                end: m.line_end,
+            })
+            .collect();
+        let (text, next_cache, reused) =
+            BytecodeText::index_with_token_cache(&dump, &segments, cache);
+        let artifacts = AppArtifacts {
+            program: LazyProgram::ready(program),
+            manifest,
+            engine: SearchEngine::with_backend(text, backend),
+            chunk_manifest: OnceLock::new(),
+        };
+        (artifacts, next_cache, reused)
     }
 
     /// Builds the artifacts over an already-disassembled dump (lets tests
@@ -143,6 +187,7 @@ impl AppArtifacts {
             program: LazyProgram::ready(program),
             manifest,
             engine: SearchEngine::with_backend(text, backend),
+            chunk_manifest: OnceLock::new(),
         }
     }
 
@@ -158,11 +203,15 @@ impl AppArtifacts {
         manifest: Manifest,
         text: BytecodeText,
         backend: BackendChoice,
+        chunk_manifest: ChunkManifest,
     ) -> Self {
+        let cell = OnceLock::new();
+        cell.set(chunk_manifest).expect("fresh cell");
         AppArtifacts {
             program: LazyProgram::deferred(program_blob, class_count, method_count),
             manifest,
             engine: SearchEngine::with_backend(text, backend),
+            chunk_manifest: cell,
         }
     }
 
@@ -178,6 +227,7 @@ impl AppArtifacts {
             program: LazyProgram::ready(program),
             manifest,
             engine: SearchEngine::with_backend(BytecodeText::index(dump), backend),
+            chunk_manifest: OnceLock::new(),
         }
     }
 
@@ -208,6 +258,14 @@ impl AppArtifacts {
     /// The app's manifest.
     pub fn manifest(&self) -> &Manifest {
         &self.manifest
+    }
+
+    /// The per-class chunk manifest. Snapshot restores decode it from
+    /// its own section; fresh builds compute (and memoize) it from the
+    /// program on first touch.
+    pub fn chunk_manifest(&self) -> &ChunkManifest {
+        self.chunk_manifest
+            .get_or_init(|| ChunkManifest::of_program(self.program()))
     }
 
     /// The shared bytecode search engine (one index + cache for every
@@ -244,8 +302,26 @@ impl AppArtifacts {
             manifest: &self.manifest,
             engine: self.engine.clone(),
             loops: LoopStats::default(),
+            trace: None,
         }
     }
+}
+
+/// The program-side half of a sink site's dependency footprint: which
+/// method bodies and class definitions one analysis actually read.
+///
+/// Together with the search-side [`backdroid_search::SearchTrace`] this
+/// is what lets the delta analyzer prove a prior verdict unaffected by
+/// a method-body-only app update: hierarchy and signature queries are
+/// invariant under such updates, so only *body reads* (recorded here)
+/// and *search answers* (recorded there) can change a verdict.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct DepTrace {
+    /// Methods whose bodies the task fetched.
+    pub methods: BTreeSet<MethodSig>,
+    /// Classes the task looked up wholesale (e.g. off-path `<clinit>`
+    /// collection reads the class definition, then its initializer).
+    pub classes: BTreeSet<ClassName>,
 }
 
 /// Everything one analysis task needs: the shared app artifacts plus the
@@ -264,6 +340,10 @@ pub struct TaskContext<'a> {
     pub engine: SearchEngine,
     /// Loop-detection counters accumulated by this task.
     pub loops: LoopStats,
+    /// Dependency recorder, set by the delta-capture scheduler for the
+    /// duration of one sink site. `None` (the default) records nothing
+    /// and costs nothing.
+    trace: Option<Arc<Mutex<DepTrace>>>,
 }
 
 impl<'a> TaskContext<'a> {
@@ -279,7 +359,40 @@ impl<'a> TaskContext<'a> {
             manifest,
             engine,
             loops: LoopStats::default(),
+            trace: None,
         }
+    }
+
+    /// Scopes a dependency recorder to this context (delta capture).
+    pub(crate) fn set_trace(&mut self, trace: Option<Arc<Mutex<DepTrace>>>) {
+        self.trace = trace;
+    }
+
+    /// Looks up a method, recording the access when a dependency trace
+    /// is active. Analysis passes whose results depend on method
+    /// *bodies* must come through here (or [`TaskContext::class`])
+    /// rather than `ctx.program` directly — the delta analyzer's
+    /// verdict-reuse proof is built from exactly these records.
+    pub fn method(&self, sig: &MethodSig) -> Option<&'a Method> {
+        if let Some(t) = &self.trace {
+            t.lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .methods
+                .insert(sig.clone());
+        }
+        self.program.method(sig)
+    }
+
+    /// Looks up a class definition, recording the access when a
+    /// dependency trace is active (see [`TaskContext::method`]).
+    pub fn class(&self, name: &ClassName) -> Option<&'a Class> {
+        if let Some(t) = &self.trace {
+            t.lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .classes
+                .insert(name.clone());
+        }
+        self.program.class(name)
     }
 }
 

@@ -24,7 +24,8 @@
 //!   deterministic post-pass over sink-site order that also drops any
 //!   redundantly produced report.
 
-use crate::context::{AppArtifacts, TaskContext};
+use crate::chunks::{classify_delta, DeltaKind};
+use crate::context::{AppArtifacts, DepTrace, TaskContext};
 use crate::detect::Verdict;
 use crate::detector::DetectorRegistry;
 use crate::forward::{DataflowValue, ForwardAnalysis};
@@ -33,12 +34,15 @@ use crate::loops::LoopStats;
 use crate::sinks::SinkRegistry;
 use crate::slicer::{slice_sink, SlicerConfig};
 use backdroid_dex::{dump_image, DexImage};
-use backdroid_ir::{MethodSig, Program};
+use backdroid_ir::{ClassName, MethodSig, Program};
 use backdroid_manifest::Manifest;
-use backdroid_search::{BackendChoice, BytecodeText, CacheStats, SearchEngine};
-use std::collections::{HashMap, HashSet};
+use backdroid_search::{
+    BackendChoice, BytecodeText, CacheStats, SearchCmd, SearchEngine, SearchTrace,
+};
+use std::cell::RefCell;
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Tool options. `Default` reproduces the paper's configuration,
@@ -184,13 +188,76 @@ pub struct Backdroid {
     options: BackdroidOptions,
 }
 
-/// One sink site's scheduler outcome: its index in sink-site order plus
-/// the report (`None` when the §IV-F skip rule fired in-task).
-type SiteOutcome = (usize, Option<SinkReport>);
+/// One sink site's scheduler outcome: its index in sink-site order, the
+/// report (`None` when the §IV-F skip rule fired in-task), and — in
+/// delta-capture mode — the site's recorded dependency footprint.
+type SiteOutcome = (usize, Option<SinkReport>, Option<SiteTrace>);
 
 /// One sink task's results plus the task's private loop counters and
 /// its `(slice_ns, verdict_ns)` wall-clock phase split.
 type TaskResult = (Vec<SiteOutcome>, LoopStats, u64, u64);
+
+/// One sink site's full dependency footprint: the method bodies and
+/// class definitions the analysis read ([`DepTrace`]) plus every search
+/// command and `classes_using` target it issued
+/// ([`backdroid_search::SearchTrace`]).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct SiteTrace {
+    /// Program-side reads (bodies, class definitions).
+    pub deps: DepTrace,
+    /// Search-side queries.
+    pub search: SearchTrace,
+}
+
+/// Everything a later incremental run needs from one analysis: the
+/// located sink sites, their pre-post-pass outcomes, and per-site
+/// dependency traces. Produced by [`Backdroid::analyze_artifacts_traced`]
+/// (and by every [`Backdroid::analyze_delta`] call, for the *next*
+/// update); valid only for the same tool options it was captured with —
+/// `analyze_delta` verifies that and falls back to a full run otherwise.
+#[derive(Clone, Debug)]
+pub struct DeltaBase {
+    sites: Vec<SinkSite>,
+    outcomes: Vec<Option<SinkReport>>,
+    traces: Vec<Option<SiteTrace>>,
+    detector_ids: Vec<String>,
+    hierarchy_initial_search: bool,
+}
+
+impl DeltaBase {
+    /// Number of sink sites the base run located.
+    pub fn site_count(&self) -> usize {
+        self.sites.len()
+    }
+}
+
+/// What one [`Backdroid::analyze_delta`] run did — the serving layer
+/// exports these as `sinks_reused` / `sinks_reanalyzed` /
+/// `delta_full_fallback_total` metrics.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct DeltaStats {
+    /// The update was structural (or the base was unusable), so every
+    /// sink was re-analyzed from scratch.
+    pub full_fallback: bool,
+    /// Sink sites whose prior verdicts were replayed.
+    pub sinks_reused: usize,
+    /// Sink sites analyzed fresh this run.
+    pub sinks_reanalyzed: usize,
+}
+
+/// A delta planner: maps the located sites to per-site instructions
+/// before the scheduler fans out.
+type SitePlanner<'a> = &'a dyn Fn(&[SinkSite]) -> Vec<SitePlan>;
+
+/// The scheduler's per-site instruction in delta mode.
+enum SitePlan {
+    /// Slice/propagate/judge as usual.
+    Fresh,
+    /// Replay this prior outcome (and carry its still-valid trace
+    /// forward into the new [`DeltaBase`]). Boxed: a reused site's
+    /// payload dwarfs the no-data `Fresh` variant.
+    Reuse(Box<(SinkReport, SiteTrace)>),
+}
 
 impl Backdroid {
     /// Creates a tool with the paper's default configuration — BackDroid
@@ -246,21 +313,37 @@ impl Backdroid {
     }
 
     /// Runs one sink site: slice backward, propagate forward, judge via
-    /// the detector registry's rule for the sink.
-    /// Returns the report plus the site's `(slice_ns, verdict_ns)`
-    /// wall-clock split for [`PhaseTimings`].
+    /// the detector registry's rule for the sink. With `capture` set,
+    /// every body read and search query is recorded into the returned
+    /// [`SiteTrace`] (recording observes only — reports are identical
+    /// either way). Returns the report plus the site's
+    /// `(slice_ns, verdict_ns)` wall-clock split for [`PhaseTimings`].
     fn analyze_site(
         &self,
         ctx: &mut TaskContext<'_>,
         site: &SinkSite,
         sinks: &SinkRegistry,
-    ) -> (SinkReport, u64, u64) {
+        capture: bool,
+    ) -> (SinkReport, Option<SiteTrace>, u64, u64) {
+        let recorders = if capture {
+            let deps = Arc::new(Mutex::new(DepTrace::default()));
+            let search = Arc::new(Mutex::new(SearchTrace::default()));
+            let plain_engine = ctx.engine.clone();
+            ctx.set_trace(Some(Arc::clone(&deps)));
+            ctx.engine = plain_engine.with_recorder(Arc::clone(&search));
+            Some((deps, search, plain_engine))
+        } else {
+            None
+        };
         let spec = &sinks.sinks()[site.spec_idx];
         let slice_started = Instant::now();
         let result = slice_sink(ctx, self.options.slicer, &site.method, site.stmt_idx, spec);
         let slice_ns = slice_started.elapsed().as_nanos() as u64;
         let verdict_started = Instant::now();
         let mut forward = ForwardAnalysis::new(ctx.program);
+        if let Some((deps, _, _)) = &recorders {
+            forward.set_trace(Some(Arc::clone(deps)));
+        }
         let values = forward.run(&result.ssg, spec);
         let verdict = self
             .options
@@ -278,7 +361,16 @@ impl Backdroid {
             verdict,
             ssg_units: result.ssg.units().len(),
         };
-        (report, slice_ns, verdict_ns)
+        drop(forward);
+        let trace = recorders.map(|(deps, search, plain_engine)| {
+            ctx.set_trace(None);
+            ctx.engine = plain_engine;
+            SiteTrace {
+                deps: std::mem::take(&mut *deps.lock().unwrap_or_else(|e| e.into_inner())),
+                search: std::mem::take(&mut *search.lock().unwrap_or_else(|e| e.into_inner())),
+            }
+        });
+        (report, trace, slice_ns, verdict_ns)
     }
 
     /// The sink-task scheduler (see the module docs for the determinism
@@ -293,6 +385,196 @@ impl Backdroid {
         engine: &SearchEngine,
         started: Instant,
     ) -> AppReport {
+        self.run_sites(program, manifest, engine, started, false, None)
+            .0
+    }
+
+    /// [`Backdroid::analyze_artifacts`] plus delta capture: records each
+    /// sink site's dependency footprint and returns the [`DeltaBase`] a
+    /// later [`Backdroid::analyze_delta`] replays verdicts from. The
+    /// report is identical to the untraced run's.
+    pub fn analyze_artifacts_traced(&self, artifacts: &AppArtifacts) -> (AppReport, DeltaBase) {
+        let (report, base, _) = self.run_sites(
+            artifacts.program(),
+            artifacts.manifest(),
+            artifacts.engine(),
+            Instant::now(),
+            true,
+            None,
+        );
+        (report, base.expect("capture mode produces a base"))
+    }
+
+    /// Incremental analysis of an app update (the delta path): analyzes
+    /// `new` re-running only the sink sites an update could have
+    /// affected, replaying prior verdicts for the rest.
+    ///
+    /// **Invariant** (enforced by `tests/delta_equivalence.rs` on both
+    /// backends): the returned report is byte-for-byte identical — over
+    /// the deterministic report surface (sites, reachability, values,
+    /// verdicts, skip decisions) — to a from-scratch analysis of `new`.
+    ///
+    /// Verdict reuse engages only for **method-body-only** updates
+    /// (see [`crate::chunks::classify_delta`]): hierarchy, signature,
+    /// and manifest queries are provably unchanged there, so a prior
+    /// verdict is replayed iff the site's recorded body/class reads
+    /// avoid every changed method and its recorded search queries
+    /// answer identically over the old and new images. Structural
+    /// updates, a missing/mismatched `base`, or a changed manifest fall
+    /// back to re-analyzing every site — still byte-identical, by
+    /// determinism.
+    ///
+    /// Always returns a fresh [`DeltaBase`] for the next update in the
+    /// chain.
+    pub fn analyze_delta(
+        &self,
+        old: &AppArtifacts,
+        base: Option<&DeltaBase>,
+        new: &AppArtifacts,
+    ) -> (AppReport, DeltaBase, DeltaStats) {
+        let started = Instant::now();
+        let full = |this: &Backdroid| {
+            let (report, base, _) = this.run_sites(
+                new.program(),
+                new.manifest(),
+                new.engine(),
+                started,
+                true,
+                None,
+            );
+            let reanalyzed = base.as_ref().map_or(0, DeltaBase::site_count);
+            (
+                report,
+                base.expect("capture mode produces a base"),
+                DeltaStats {
+                    full_fallback: true,
+                    sinks_reused: 0,
+                    sinks_reanalyzed: reanalyzed,
+                },
+            )
+        };
+
+        let Some(base) = base else { return full(self) };
+        if base
+            .detector_ids
+            .iter()
+            .map(String::as_str)
+            .ne(self.options.detectors.ids())
+            || base.hierarchy_initial_search != self.options.hierarchy_initial_search
+            || old.manifest() != new.manifest()
+        {
+            return full(self);
+        }
+        let changed_methods: BTreeSet<MethodSig> =
+            match classify_delta(old.program(), new.program()) {
+                DeltaKind::Identity => BTreeSet::new(),
+                DeltaKind::BodyOnly { changed_methods } => changed_methods,
+                DeltaKind::Structural => return full(self),
+            };
+        let changed_classes: BTreeSet<ClassName> =
+            changed_methods.iter().map(|m| m.class().clone()).collect();
+
+        // Memoized exact checks: a traced search answer is "unchanged"
+        // iff re-running it over the old and new images yields the same
+        // hit-method sequence (line numbers may shift with unrelated
+        // edits; no analysis pass reads them). The old engine's §IV-F
+        // caches make the old side cheap; the new side pre-warms the
+        // caches the fresh subset will use anyway.
+        let cmd_ok: RefCell<HashMap<SearchCmd, bool>> = RefCell::new(HashMap::new());
+        let use_ok: RefCell<HashMap<ClassName, bool>> = RefCell::new(HashMap::new());
+        let identity = changed_methods.is_empty();
+        let same_cmd = |cmd: &SearchCmd| -> bool {
+            if identity {
+                return true;
+            }
+            if let Some(&ok) = cmd_ok.borrow().get(cmd) {
+                return ok;
+            }
+            let a = old.engine().run(cmd);
+            let b = new.engine().run(cmd);
+            let ok = a.len() == b.len() && a.iter().zip(&b).all(|(x, y)| x.method == y.method);
+            cmd_ok.borrow_mut().insert(cmd.clone(), ok);
+            ok
+        };
+        let same_use = |target: &ClassName| -> bool {
+            if identity {
+                return true;
+            }
+            if let Some(&ok) = use_ok.borrow().get(target) {
+                return ok;
+            }
+            let ok = old.engine().classes_using(target) == new.engine().classes_using(target);
+            use_ok.borrow_mut().insert(target.clone(), ok);
+            ok
+        };
+
+        let by_key: HashMap<(usize, &MethodSig, usize), usize> = base
+            .sites
+            .iter()
+            .enumerate()
+            .map(|(j, s)| ((s.spec_idx, &s.method, s.stmt_idx), j))
+            .collect();
+        let planner = |sites: &[SinkSite]| -> Vec<SitePlan> {
+            sites
+                .iter()
+                .map(|site| {
+                    if changed_methods.contains(&site.method) {
+                        return SitePlan::Fresh;
+                    }
+                    let Some(&j) = by_key.get(&(site.spec_idx, &site.method, site.stmt_idx)) else {
+                        return SitePlan::Fresh;
+                    };
+                    if base.sites[j] != *site {
+                        return SitePlan::Fresh;
+                    }
+                    let (Some(outcome), Some(trace)) = (&base.outcomes[j], &base.traces[j]) else {
+                        // In-task-skipped sites carry no verdict of their
+                        // own; the post-pass resettles them.
+                        return SitePlan::Fresh;
+                    };
+                    let untouched = trace.deps.methods.is_disjoint(&changed_methods)
+                        && trace.deps.classes.is_disjoint(&changed_classes)
+                        && trace.search.cmds.iter().all(&same_cmd)
+                        && trace.search.class_uses.iter().all(&same_use);
+                    if untouched {
+                        SitePlan::Reuse(Box::new((outcome.clone(), trace.clone())))
+                    } else {
+                        SitePlan::Fresh
+                    }
+                })
+                .collect()
+        };
+
+        let (report, new_base, reused) = self.run_sites(
+            new.program(),
+            new.manifest(),
+            new.engine(),
+            started,
+            true,
+            Some(&planner),
+        );
+        let new_base = new_base.expect("capture mode produces a base");
+        let stats = DeltaStats {
+            full_fallback: false,
+            sinks_reused: reused,
+            sinks_reanalyzed: new_base.site_count() - reused,
+        };
+        (report, new_base, stats)
+    }
+
+    /// The scheduler core shared by full, traced, and delta runs.
+    /// `planner` (delta mode) maps located sites to per-site plans;
+    /// `capture` additionally records dependency traces and returns a
+    /// [`DeltaBase`]. Returns `(report, base, sites_reused)`.
+    fn run_sites(
+        &self,
+        program: &Program,
+        manifest: &Manifest,
+        engine: &SearchEngine,
+        started: Instant,
+        capture: bool,
+        planner: Option<SitePlanner<'_>>,
+    ) -> (AppReport, Option<DeltaBase>, usize) {
         let stats_before = engine.stats();
 
         let sinks = self.options.detectors.sink_registry();
@@ -332,6 +614,11 @@ impl Backdroid {
         // holds for any finer-grained scheduling this may grow into.
         let proven_unreachable: Mutex<HashSet<MethodSig>> = Mutex::new(HashSet::new());
 
+        // Delta mode: per-site plans, computed once over the freshly
+        // located sites. A reused verdict participates in the skip rule
+        // exactly like a freshly computed one.
+        let plans: Option<Vec<SitePlan>> = planner.map(|p| p(&sites));
+
         let run_group = |group: &[usize]| -> TaskResult {
             let mut ctx = TaskContext::from_parts(program, manifest, engine.clone());
             let mut out = Vec::with_capacity(group.len());
@@ -343,11 +630,22 @@ impl Backdroid {
                     .expect("proven-unreachable set poisoned")
                     .contains(&site.method);
                 if skip {
-                    out.push((i, None));
+                    out.push((i, None, None));
                     continue;
                 }
-                let (report, site_slice_ns, site_verdict_ns) =
-                    self.analyze_site(&mut ctx, site, &sinks);
+                if let Some(SitePlan::Reuse(reused)) = plans.as_ref().map(|p| &p[i]) {
+                    let (outcome, trace) = reused.as_ref();
+                    if !outcome.reachable {
+                        proven_unreachable
+                            .lock()
+                            .expect("proven-unreachable set poisoned")
+                            .insert(site.method.clone());
+                    }
+                    out.push((i, Some(outcome.clone()), Some(trace.clone())));
+                    continue;
+                }
+                let (report, trace, site_slice_ns, site_verdict_ns) =
+                    self.analyze_site(&mut ctx, site, &sinks, capture);
                 slice_ns += site_slice_ns;
                 verdict_ns += site_verdict_ns;
                 if !report.reachable {
@@ -356,7 +654,7 @@ impl Backdroid {
                         .expect("proven-unreachable set poisoned")
                         .insert(site.method.clone());
                 }
-                out.push((i, Some(report)));
+                out.push((i, Some(report), trace));
             }
             (out, ctx.loops, slice_ns, verdict_ns)
         };
@@ -392,14 +690,43 @@ impl Backdroid {
         // Reassemble per-site outcomes in sink-site order and merge the
         // per-task loop counters (commutative sums).
         let mut outcomes: Vec<Option<SinkReport>> = (0..sites.len()).map(|_| None).collect();
+        let mut traces: Vec<Option<SiteTrace>> = (0..sites.len()).map(|_| None).collect();
         for (list, loops, slice_ns, verdict_ns) in task_results {
             loop_stats.merge(&loops);
             phases.slice_ns += slice_ns;
             phases.verdict_ns += verdict_ns;
-            for (i, outcome) in list {
+            for (i, outcome, trace) in list {
                 outcomes[i] = outcome;
+                traces[i] = trace;
             }
         }
+
+        // A site counts as reused only if its prior verdict actually
+        // landed (a Reuse plan pre-empted by an in-task skip is neither
+        // reused nor reanalyzed).
+        let reused = plans.as_ref().map_or(0, |plans| {
+            plans
+                .iter()
+                .zip(&outcomes)
+                .filter(|(p, o)| matches!(p, SitePlan::Reuse(..)) && o.is_some())
+                .count()
+        });
+
+        // Delta base: pre-post-pass outcomes, so a later update replays
+        // the skip rule against the same inputs a cold run would see.
+        let base = capture.then(|| DeltaBase {
+            sites: sites.clone(),
+            outcomes: outcomes.clone(),
+            traces,
+            detector_ids: self
+                .options
+                .detectors
+                .ids()
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            hierarchy_initial_search: self.options.hierarchy_initial_search,
+        });
 
         // Deterministic §IV-F post-pass: replay the sequential skip rule
         // over sink-site order. A report produced for a site the rule
@@ -423,13 +750,14 @@ impl Backdroid {
             reports.push(report);
         }
 
-        AppReport {
+        let report = AppReport {
             sink_reports: reports,
             analysis_time: started.elapsed(),
             cache_stats: engine.stats().since(&stats_before),
             loop_stats,
             sink_cache,
             phases,
-        }
+        };
+        (report, base, reused)
     }
 }

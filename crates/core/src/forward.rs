@@ -95,6 +95,10 @@ impl fmt::Display for DataflowValue {
 /// The forward propagation state and driver.
 pub struct ForwardAnalysis<'p> {
     program: &'p Program,
+    /// Dependency recorder for the delta analyzer — forward propagation
+    /// reads callee bodies when binding parameters, and those reads are
+    /// part of a sink site's footprint.
+    trace: Option<std::sync::Arc<std::sync::Mutex<crate::context::DepTrace>>>,
     /// Per-flow fact map: (method, local) → fact.
     locals: HashMap<(MethodSig, LocalId), DataflowValue>,
     /// One global fact map for static fields (§V-B).
@@ -115,6 +119,7 @@ impl<'p> ForwardAnalysis<'p> {
     pub fn new(program: &'p Program) -> Self {
         ForwardAnalysis {
             program,
+            trace: None,
             locals: HashMap::new(),
             statics: HashMap::new(),
             members: HashMap::new(),
@@ -122,6 +127,15 @@ impl<'p> ForwardAnalysis<'p> {
             arrays: HashMap::new(),
             rets: HashMap::new(),
         }
+    }
+
+    /// Attaches the delta analyzer's dependency recorder; every callee
+    /// body this analysis reads is added to the trace.
+    pub fn set_trace(
+        &mut self,
+        trace: Option<std::sync::Arc<std::sync::Mutex<crate::context::DepTrace>>>,
+    ) {
+        self.trace = trace;
     }
 
     /// Runs the propagation over `ssg` and returns the dataflow values of
@@ -214,6 +228,12 @@ impl<'p> ForwardAnalysis<'p> {
     /// Binds caller arguments (and receiver) to the callee's identity
     /// locals.
     fn bind_params(&mut self, caller: &MethodSig, ie: &InvokeExpr, callee: &MethodSig) -> bool {
+        if let Some(t) = &self.trace {
+            t.lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .methods
+                .insert(callee.clone());
+        }
         let Some(body) = self.program.method(callee).and_then(|m| m.body()) else {
             return false;
         };

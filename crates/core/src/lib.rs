@@ -62,6 +62,7 @@
 
 pub mod advanced;
 pub mod backtrack;
+pub mod chunks;
 pub mod clinit;
 pub mod context;
 pub mod detect;
@@ -80,11 +81,16 @@ pub mod ssg;
 
 pub use backdroid_search::BackendChoice;
 pub use backtrack::{find_callers, CallerEdge, ChainStep, EdgeKind, Reached};
-pub use context::{AppArtifacts, TaskContext};
+pub use chunks::{
+    apply_delta, chunk_key, class_chunk_bytes, classify_delta, ChunkError, ChunkManifest,
+    ChunkStore, DeltaKind, DeltaManifest,
+};
+pub use context::{AppArtifacts, DepTrace, TaskContext};
 pub use detect::{judge_cipher, judge_verifier, Verdict};
 pub use detector::{DetectorError, DetectorRegistry, DetectorSpec, RuleFn, VerdictRule};
 pub use engine::{
-    AppReport, Backdroid, BackdroidOptions, PhaseTimings, SinkCacheStats, SinkReport,
+    AppReport, Backdroid, BackdroidOptions, DeltaBase, DeltaStats, PhaseTimings, SinkCacheStats,
+    SinkReport, SiteTrace,
 };
 pub use forward::{fold_binop, DataflowValue, ForwardAnalysis};
 pub use leak::{default_leak_sinks, default_sources, detect_leaks, Leak, LeakSinkSpec, SourceSpec};

@@ -37,7 +37,7 @@ pub fn resolve_reflective_calls(ctx: &mut TaskContext<'_>) -> Vec<ReflectiveCall
         .run(&SearchCmd::MethodNameCall("invoke".to_string()));
     let mut out = Vec::new();
     for hit in hits {
-        let Some(body) = ctx.program.method(&hit.method).and_then(|m| m.body()) else {
+        let Some(body) = ctx.method(&hit.method).and_then(|m| m.body()) else {
             continue;
         };
         for (idx, stmt) in body.stmts().iter().enumerate() {

@@ -82,13 +82,7 @@ struct BackwardSlicer<'c, 'p> {
 
 impl BackwardSlicer<'_, '_> {
     fn run(&mut self, sink_method: &MethodSig, sink_stmt: usize, spec: &SinkSpec) {
-        let Some(body) = self
-            .ctx
-            .program
-            .method(sink_method)
-            .and_then(|m| m.body())
-            .cloned()
-        else {
+        let Some(body) = self.ctx.method(sink_method).and_then(|m| m.body()).cloned() else {
             return;
         };
         let Some(stmt) = body.stmt(sink_stmt).cloned() else {
@@ -137,13 +131,7 @@ impl BackwardSlicer<'_, '_> {
         if !self.seen_frames.insert((method.clone(), from, digest)) {
             return;
         }
-        let Some(body) = self
-            .ctx
-            .program
-            .method(method)
-            .and_then(|m| m.body())
-            .cloned()
-        else {
+        let Some(body) = self.ctx.method(method).and_then(|m| m.body()).cloned() else {
             return;
         };
 
@@ -399,13 +387,7 @@ impl BackwardSlicer<'_, '_> {
             if hit.method.is_clinit() {
                 continue;
             }
-            let Some(body) = self
-                .ctx
-                .program
-                .method(&hit.method)
-                .and_then(|m| m.body())
-                .cloned()
-            else {
+            let Some(body) = self.ctx.method(&hit.method).and_then(|m| m.body()).cloned() else {
                 continue;
             };
             for (idx, stmt) in body.stmts().iter().enumerate() {
@@ -465,13 +447,7 @@ impl BackwardSlicer<'_, '_> {
             self.ctx.loops.record(LoopKind::InnerBackward);
             return;
         }
-        let Some(body) = self
-            .ctx
-            .program
-            .method(&callee)
-            .and_then(|m| m.body())
-            .cloned()
-        else {
+        let Some(body) = self.ctx.method(&callee).and_then(|m| m.body()).cloned() else {
             return;
         };
         guard.push(callee.clone());
@@ -548,7 +524,6 @@ impl BackwardSlicer<'_, '_> {
         }
         let Some(body) = self
             .ctx
-            .program
             .method(&edge.caller)
             .and_then(|m| m.body())
             .cloned()
@@ -576,7 +551,7 @@ impl BackwardSlicer<'_, '_> {
         for step in &edge.via_chain {
             if let (Some(s), Some(b)) = (
                 step.site_stmt,
-                self.ctx.program.method(&step.method).and_then(|m| m.body()),
+                self.ctx.method(&step.method).and_then(|m| m.body()),
             ) {
                 if let Some(stmt) = b.stmt(s).cloned() {
                     let u = self.ssg.add_unit(step.method.clone(), s, stmt);
@@ -652,13 +627,7 @@ impl BackwardSlicer<'_, '_> {
                 vec![],
                 backdroid_ir::Type::Void,
             );
-            let Some(body) = self
-                .ctx
-                .program
-                .method(&sig)
-                .and_then(|m| m.body())
-                .cloned()
-            else {
+            let Some(body) = self.ctx.method(&sig).and_then(|m| m.body()).cloned() else {
                 continue;
             };
             // Scan the predecessor for writes to the leftover fields.
@@ -695,7 +664,7 @@ impl BackwardSlicer<'_, '_> {
     fn add_off_path_clinits(&mut self) {
         let unresolved: Vec<FieldSig> = self.ssg.unresolved_statics().iter().cloned().collect();
         for field in unresolved {
-            let Some(class) = self.ctx.program.class(field.class()) else {
+            let Some(class) = self.ctx.class(field.class()) else {
                 continue;
             };
             let Some(clinit) = class.clinit() else {

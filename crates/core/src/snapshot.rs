@@ -35,6 +35,7 @@
 //!  3  spans     method spans + line → span map          on first touch
 //!  4  symbols   interned search tokens                  on first touch
 //!  5  postings  flattened posting lists + owners        on first touch
+//!  6  chunks    per-class chunk manifest                eagerly
 //! ```
 //!
 //! Each section is independently checksummed, but only the manifest is
@@ -77,14 +78,16 @@ pub const SNAPSHOT_MAGIC: [u8; 8] = *b"BDSNAP\r\n";
 /// The current snapshot format version. Bump on **any** payload layout
 /// change: readers reject other versions and the store re-parses.
 /// Version 2 introduced the section directory and the interned,
-/// arena-backed text sections.
-pub const SNAPSHOT_VERSION: u32 = 2;
+/// arena-backed text sections; version 3 added the per-class chunk
+/// manifest section that anchors incremental updates
+/// (see [`crate::chunks`]).
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 /// Bytes before the payload: magic + version + payload length.
 const HEADER_LEN: usize = 8 + 4 + 8;
 
 /// Number of payload sections; ids `0..SECTION_COUNT` in order.
-const SECTION_COUNT: usize = 6;
+const SECTION_COUNT: usize = 7;
 
 /// Why a snapshot failed to load. Every variant is an expected runtime
 /// condition for the disk tier (partially written file, stale format,
@@ -182,7 +185,8 @@ impl AppArtifacts {
                 2 => text.write_text_section(&mut w),
                 3 => text.write_spans_section(&mut w),
                 4 => text.write_symbols_section(&mut w),
-                _ => text.write_postings_section(&mut w),
+                5 => text.write_postings_section(&mut w),
+                _ => self.chunk_manifest().write(&mut w),
             }
             sections.push(w.into_bytes());
         }
@@ -303,6 +307,10 @@ impl AppArtifacts {
             blobs[4].to_vec(),
             blobs[5].to_vec(),
         )?;
+        let chunk_manifest = decode_section(blobs[6], crate::chunks::ChunkManifest::read)?;
+        if chunk_manifest.len() != class_count {
+            return Err(malformed("chunk manifest disagrees with class count"));
+        }
         Ok(AppArtifacts::from_deferred_parts(
             program_blob,
             class_count,
@@ -310,6 +318,7 @@ impl AppArtifacts {
             manifest,
             text,
             backend,
+            chunk_manifest,
         ))
     }
 }
@@ -429,20 +438,20 @@ mod tests {
         assert!(matches!(
             AppArtifacts::from_snapshot(&bad, BackendChoice::default()).unwrap_err(),
             SnapshotError::VersionMismatch {
-                found: 3,
-                expected: 2
+                found: 4,
+                expected: 3
             }
         ));
 
-        // A version-1 file (the pre-sectioned format) is stale, not
-        // corrupt — still rejected with a version mismatch.
+        // A version-2 file (the pre-chunk-manifest format) is stale,
+        // not corrupt — still rejected with a version mismatch.
         let mut bad = bytes.clone();
-        bad[8] = 1;
+        bad[8] = 2;
         assert!(matches!(
             AppArtifacts::from_snapshot(&bad, BackendChoice::default()).unwrap_err(),
             SnapshotError::VersionMismatch {
-                found: 1,
-                expected: 2
+                found: 2,
+                expected: 3
             }
         ));
 

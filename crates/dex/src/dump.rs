@@ -413,7 +413,33 @@ pub fn dump_dex(dex: &DexFile) -> String {
 /// Disassembles all dex files of a (merged multidex) image into one
 /// plaintext, as BackDroid's preprocessing step does (paper §III step 1).
 pub fn dump_image(image: &DexImage) -> String {
+    dump_image_with_marks(image).0
+}
+
+/// One class's extent within a [`dump_image`] plaintext: lines
+/// `[line_start, line_end)` are exactly the class's rendered block
+/// (banner through trailing blank line). The `Opened 'classesN.dex'`
+/// header lines sit between marks and belong to no class.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ClassMark {
+    /// The class rendered in this line range.
+    pub name: ClassName,
+    /// First line of the class block (0-based, inclusive).
+    pub line_start: u32,
+    /// One past the last line of the class block (exclusive).
+    pub line_end: u32,
+}
+
+/// Like [`dump_image`], but also reports each class's line extent.
+///
+/// The plaintext is byte-identical to [`dump_image`]'s; the marks let
+/// the incremental indexer attribute token scans to classes without
+/// re-parsing the dump (class blocks can contain adversarial string
+/// constants, so textual boundary sniffing is not trustworthy).
+pub fn dump_image_with_marks(image: &DexImage) -> (String, Vec<ClassMark>) {
     let mut out = String::new();
+    let mut marks = Vec::new();
+    let mut line = 0u32;
     for (i, f) in image.files().iter().enumerate() {
         let _ = writeln!(
             out,
@@ -424,9 +450,26 @@ pub fn dump_image(image: &DexImage) -> String {
                 (i + 1).to_string()
             }
         );
-        out.push_str(&dump_dex(f));
+        line += 1;
+        let mut r = Renderer {
+            dex: f,
+            out: String::new(),
+            abs: 0x1000,
+        };
+        for (idx, class) in f.class_defs().iter().enumerate() {
+            let before = r.out.len();
+            r.render_class(idx, class);
+            let rendered = r.out[before..].bytes().filter(|&b| b == b'\n').count() as u32;
+            marks.push(ClassMark {
+                name: class.name.clone(),
+                line_start: line,
+                line_end: line + rendered,
+            });
+            line += rendered;
+        }
+        out.push_str(&r.out);
     }
-    out
+    (out, marks)
 }
 
 #[cfg(test)]

@@ -149,6 +149,13 @@ impl Method {
         self.body.as_ref()
     }
 
+    /// Mutable access to the body, if concrete — the handle version
+    /// mutation uses to rewrite statements in place while keeping the
+    /// signature (and therefore every caller) intact.
+    pub fn body_mut(&mut self) -> Option<&mut MethodBody> {
+        self.body.as_mut()
+    }
+
     /// Whether the method is a "signature method" in the paper's sense
     /// (§IV-A): static, private, or a constructor — cases where the basic
     /// signature-based bytecode search is sound because the call site must
@@ -304,6 +311,20 @@ impl Class {
     /// Looks up a declared method by exact signature.
     pub fn find_method(&self, sig: &MethodSig) -> Option<&Method> {
         self.methods.iter().find(|m| m.sig() == sig)
+    }
+
+    /// Mutable lookup by exact signature. Declaration order (and hence
+    /// the dump/chunk encoding order) is unaffected by edits through
+    /// this handle.
+    pub fn find_method_mut(&mut self, sig: &MethodSig) -> Option<&mut Method> {
+        self.methods.iter_mut().find(|m| m.sig() == sig)
+    }
+
+    /// Removes a declared method by exact signature, preserving the
+    /// declaration order of the rest.
+    pub fn remove_method(&mut self, sig: &MethodSig) -> Option<Method> {
+        let idx = self.methods.iter().position(|m| m.sig() == sig)?;
+        Some(self.methods.remove(idx))
     }
 
     /// Looks up a declared method matching `sig`'s sub-signature (name +

@@ -8,7 +8,7 @@ use crate::types::{ClassName, MethodSig};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// An immutable-after-construction program: every class in the app's DEX.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, PartialEq, Debug, Default)]
 pub struct Program {
     classes: BTreeMap<ClassName, Class>,
 }
@@ -31,6 +31,20 @@ impl Program {
     /// Looks up a class by name.
     pub fn class(&self, name: &ClassName) -> Option<&Class> {
         self.classes.get(name)
+    }
+
+    /// Removes a class definition, returning it if present. Used by the
+    /// version-delta path to apply `removed` entries of a delta manifest.
+    pub fn remove_class(&mut self, name: &ClassName) -> Option<Class> {
+        self.classes.remove(name)
+    }
+
+    /// Inserts or replaces a class definition, returning the previous
+    /// definition if one existed. Unlike [`Program::add_class`] this does
+    /// not panic on duplicates — delta application overwrites changed
+    /// classes in place.
+    pub fn replace_class(&mut self, class: Class) -> Option<Class> {
+        self.classes.insert(class.name().clone(), class)
     }
 
     /// Whether the class is defined in the app (vs platform-only).

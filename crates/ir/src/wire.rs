@@ -939,7 +939,10 @@ fn read_method(r: &mut WireReader<'_>) -> Result<Method, WireError> {
     Ok(Method::from_parts(sig, modifiers, body))
 }
 
-fn write_class(w: &mut WireWriter, c: &Class) {
+/// Encodes one class definition — the unit of the content-addressed
+/// chunk store: a class's chunk key is a checksum over exactly these
+/// bytes, so equal classes chunk identically across program versions.
+pub fn write_class(w: &mut WireWriter, c: &Class) {
     write_class_name(w, c.name());
     match c.superclass() {
         Some(s) => {
@@ -964,7 +967,10 @@ fn write_class(w: &mut WireWriter, c: &Class) {
     }
 }
 
-fn read_class(r: &mut WireReader<'_>) -> Result<Class, WireError> {
+/// Decodes one class definition written by [`write_class`], validating
+/// the same invariants the program decoder enforces (methods declared on
+/// this class, no duplicate signatures).
+pub fn read_class(r: &mut WireReader<'_>) -> Result<Class, WireError> {
     let name = read_class_name(r)?;
     let superclass = if r.get_bool()? {
         Some(read_class_name(r)?)

@@ -175,7 +175,7 @@ impl Component {
 }
 
 /// The parsed manifest of one app.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct Manifest {
     package: String,
     components: BTreeMap<ClassName, Component>,

@@ -14,8 +14,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// One search command. Each corresponds to a grep the paper's tool issues
-/// over the dexdump text.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+/// over the dexdump text. Ordered so dependency traces can hold command
+/// sets deterministically.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum SearchCmd {
     /// Invocations of an exact method signature (the basic signature
     /// search of §IV-A).
@@ -194,6 +195,27 @@ struct EngineShared {
     caching: AtomicBool,
 }
 
+/// Everything one analysis task asked the search engine: the command
+/// set and the class-level "invoked by" targets. The delta analyzer
+/// records one per sink site, then decides whether an app update could
+/// have changed any recorded answer — if not (and the site's method
+/// footprint is also untouched), the prior verdict is replayed.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct SearchTrace {
+    /// Distinct [`SearchEngine::run`] commands issued.
+    pub cmds: std::collections::BTreeSet<SearchCmd>,
+    /// Distinct [`SearchEngine::classes_using`] targets queried.
+    pub class_uses: std::collections::BTreeSet<ClassName>,
+}
+
+impl SearchTrace {
+    /// Folds another trace into this one.
+    pub fn merge(&mut self, other: &SearchTrace) {
+        self.cmds.extend(other.cmds.iter().cloned());
+        self.class_uses.extend(other.class_uses.iter().cloned());
+    }
+}
+
 /// The per-app search engine: a cheaply cloneable **handle** on one
 /// indexed dump, its caches, and its execution backend.
 ///
@@ -205,9 +227,16 @@ struct EngineShared {
 /// the rest wait on the shard and replay the cached hits. Consequently
 /// `lines_scanned` / `postings_touched` are charged once per unique
 /// uncached command — deterministic under any thread interleaving.
+///
+/// A handle may additionally carry a [`SearchTrace`] recorder
+/// ([`SearchEngine::with_recorder`]): recording is a per-handle
+/// property (clones of a recording handle keep recording; the original
+/// un-recorded handle does not), so the delta analyzer can scope a
+/// trace to one sink site without affecting concurrent tasks.
 #[derive(Clone, Debug)]
 pub struct SearchEngine {
     shared: Arc<EngineShared>,
+    recorder: Option<Arc<Mutex<SearchTrace>>>,
 }
 
 impl SearchEngine {
@@ -229,6 +258,17 @@ impl SearchEngine {
                 stats: SharedStats::default(),
                 caching: AtomicBool::new(true),
             }),
+            recorder: None,
+        }
+    }
+
+    /// A handle over the same shared engine that records every command
+    /// and `classes_using` target into `trace`. Recording never changes
+    /// results, caching, or statistics — it only observes.
+    pub fn with_recorder(&self, trace: Arc<Mutex<SearchTrace>>) -> SearchEngine {
+        SearchEngine {
+            shared: Arc::clone(&self.shared),
+            recorder: Some(trace),
         }
     }
 
@@ -272,6 +312,12 @@ impl SearchEngine {
 
     /// Runs (or replays from cache) a search command.
     pub fn run(&self, cmd: &SearchCmd) -> Vec<Hit> {
+        if let Some(rec) = &self.recorder {
+            rec.lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .cmds
+                .insert(cmd.clone());
+        }
         let s = &self.shared;
         s.stats.commands.fetch_add(1, Ordering::Relaxed);
         if !s.caching.load(Ordering::Relaxed) {
@@ -298,6 +344,12 @@ impl SearchEngine {
     /// the containing method's class) with `Superclass`/`Interfaces`
     /// header hits.
     pub fn classes_using(&self, target: &ClassName) -> Vec<ClassName> {
+        if let Some(rec) = &self.recorder {
+            rec.lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .class_uses
+                .insert(target.clone());
+        }
         let s = &self.shared;
         s.stats.commands.fetch_add(1, Ordering::Relaxed);
         let execute = || {

@@ -18,6 +18,12 @@
 //! stays resident) produces the golden direct-analysis run the CI
 //! service-smoke and shard-smoke legs diff the others against. Service,
 //! store, and pool statistics go to stderr at EOF.
+//!
+//! App updates are first-class ops: `put_version` publishes a seeded
+//! mutated version (persisted as content-addressed per-class chunks
+//! under the snapshot dir), and `analyze_delta` re-analyzes only what
+//! the update could have changed — rendering the same bytes as a full
+//! `analyze` of that version, which the CI delta-smoke leg replay-diffs.
 
 use backdroid_appgen::benchset::BenchsetConfig;
 use backdroid_appgen::workload::{self, WorkloadConfig};
@@ -69,6 +75,15 @@ Observability:
                        a wrapped ring is reported on stderr
   (the JSONL op {\"id\":N,\"op\":\"metrics\"} returns the full registry —
    counters, gauges, histograms with p50/p90/p99 — per shard and aggregated)
+
+Incremental updates (JSONL ops over any transport):
+  {\"id\":N,\"op\":\"put_version\",\"app\":A,\"seed\":S}
+                       publish a seeded mutated version of app A; replies with
+                       the new version number and the per-class chunk delta
+  {\"id\":N,\"op\":\"analyze_delta\",\"app\":A}
+                       re-analyze only what the last update could have changed,
+                       reusing prior verdicts — byte-identical to a full
+                       \"analyze\" of the same version (modulo the echoed op)
 
 Trace generation (prints a workload instead of serving):
   --emit-trace R       emit R seeded requests over the benchset and exit

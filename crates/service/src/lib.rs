@@ -65,7 +65,10 @@ pub mod shard;
 pub mod store;
 pub mod transport;
 
-pub use service::{AppAnalysis, Service, ServiceConfig, ServiceError, ServiceStats};
+pub use proto::{Op, Reply};
+pub use service::{
+    AppAnalysis, PutVersionOutcome, Service, ServiceConfig, ServiceError, ServiceStats,
+};
 pub use shard::{PoolStats, Responder, ShardPool, ShardPoolConfig};
 pub use store::{AppStore, DiskTier, Fetch, StoreStats};
 pub use transport::{Endpoint, FrameReader, OrderedEmitter};

@@ -1,6 +1,11 @@
-//! The line-delimited JSON request/response protocol `backdroid-serve`
-//! speaks on stdin/stdout, plus the deterministic response renderer the
-//! equivalence tests reuse.
+//! The typed request/response protocol every transport of
+//! `backdroid-serve` speaks: one [`Op`] enum for everything a client
+//! can ask, one [`Reply`] enum for everything the server can answer,
+//! and exactly one decode path ([`parse_request`]) and one encode path
+//! ([`Reply::encode`]) between them. The JSONL stdin/stdout loop, the
+//! length-framed socket transport, and the shard pool all carry the
+//! same encoded lines — a framed payload *is* a JSONL line — so adding
+//! an op here makes it available on every transport at once.
 //!
 //! The vendored `serde` stand-in has neither a serializer nor a
 //! deserializer, so this module carries a small hand-rolled JSON reader
@@ -10,6 +15,8 @@
 //! {"id":0,"op":"analyze","app":"3"}
 //! {"id":1,"op":"query","app":"3","sinks":["crypto"]}
 //! {"id":2,"op":"batch","apps":["0","1","0"]}
+//! {"id":3,"op":"put_version","app":"3","seed":7}
+//! {"id":4,"op":"analyze_delta","app":"3"}
 //! ```
 //!
 //! Responses mirror the request `id` and contain **only deterministic
@@ -17,7 +24,8 @@
 //! engine-wide cache counters, or the warm/cold fetch outcome, all of
 //! which depend on scheduling when the server runs multiple workers.
 //! That is what lets CI diff server output byte-for-byte across worker
-//! counts, search backends, and store budgets.
+//! counts, search backends, store budgets — and, for `analyze_delta`,
+//! across an incrementally updated server and a from-scratch one.
 
 use crate::service::{AppAnalysis, ServiceError};
 use backdroid_appgen::workload::{WorkloadOp, WorkloadRequest};
@@ -331,7 +339,7 @@ pub struct Request {
     /// Caller-chosen id echoed in the response.
     pub id: u64,
     /// The operation.
-    pub op: RequestOp,
+    pub op: Op,
     /// Optional deadline in milliseconds from submission. A sharded
     /// server answers a request still queued past its deadline with a
     /// deterministic `"deadline exceeded"` error instead of analyzing
@@ -339,9 +347,10 @@ pub struct Request {
     pub deadline_ms: Option<u64>,
 }
 
-/// The protocol operations.
+/// The protocol operations — the request half of the [`Op`]/[`Reply`]
+/// pair every transport shares.
 #[derive(Clone, PartialEq, Debug)]
-pub enum RequestOp {
+pub enum Op {
     /// Full-registry analysis of one app.
     Analyze {
         /// App id (benchset index for `backdroid-serve`).
@@ -373,7 +382,7 @@ pub enum RequestOp {
     /// Full metrics-registry snapshot: every counter, gauge, and
     /// histogram (with derivable p50/p90/p99), as one aggregate object
     /// plus the per-shard views (`null` for dead shards; a single entry
-    /// on an unsharded server). Operator-facing like [`RequestOp::Stats`]
+    /// on an unsharded server). Operator-facing like [`Op::Stats`]
     /// — the values depend on scheduling and tiers, so replay-diffed
     /// traces must not include this op either.
     Metrics,
@@ -387,10 +396,33 @@ pub enum RequestOp {
     },
     /// Admin op: bring shard N back disk-warm over the shared snapshot
     /// directory. Silent and unsharded-safe, like
-    /// [`RequestOp::KillShard`].
+    /// [`Op::KillShard`].
     RestartShard {
         /// The shard index to restart.
         shard: u64,
+    },
+    /// Publishes version *n+1* of an app: the server mutates the app's
+    /// current program with the deterministic update generator
+    /// (`backdroid_appgen::mutate_version`), persists the new version's
+    /// per-class chunks, and swaps the served image. The response
+    /// carries only deterministic fields (version number, ground-truth
+    /// delta class counts) so update traces replay byte-for-byte.
+    PutVersion {
+        /// App id.
+        app: String,
+        /// Update-generator seed — same current version + same seed ⇒
+        /// the same next version on every server.
+        seed: u64,
+    },
+    /// Incremental full-registry analysis of the app's current version,
+    /// reusing prior verdicts where the update provably cannot have
+    /// changed them. The response body is **byte-identical** to what a
+    /// from-scratch analysis of the same version would report — only
+    /// the echoed op differs from [`Op::Analyze`] — so delta-warm and
+    /// cold servers diff clean.
+    AnalyzeDelta {
+        /// App id.
+        app: String,
     },
 }
 
@@ -421,7 +453,15 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         app_id_of(v.get("app").ok_or("request needs an \"app\" field")?)
     };
     let op = match op_name {
-        "analyze" => RequestOp::Analyze { app: app()? },
+        "analyze" => Op::Analyze { app: app()? },
+        "analyze_delta" => Op::AnalyzeDelta { app: app()? },
+        "put_version" => Op::PutVersion {
+            app: app()?,
+            seed: v
+                .get("seed")
+                .and_then(Json::as_u64)
+                .ok_or("put_version needs a non-negative integer \"seed\"")?,
+        },
         "query" => {
             let detectors = match v.get("sinks") {
                 None => Vec::new(),
@@ -436,7 +476,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                     })
                     .collect::<Result<Vec<_>, _>>()?,
             };
-            RequestOp::Query {
+            Op::Query {
                 app: app()?,
                 detectors,
             }
@@ -449,19 +489,19 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 .iter()
                 .map(app_id_of)
                 .collect::<Result<Vec<_>, _>>()?;
-            RequestOp::Batch { apps }
+            Op::Batch { apps }
         }
-        "stats" => RequestOp::Stats,
-        "metrics" => RequestOp::Metrics,
+        "stats" => Op::Stats,
+        "metrics" => Op::Metrics,
         "kill_shard" | "restart_shard" => {
             let shard = v
                 .get("shard")
                 .and_then(Json::as_u64)
                 .ok_or("admin ops need a non-negative integer \"shard\"")?;
             if op_name == "kill_shard" {
-                RequestOp::KillShard { shard }
+                Op::KillShard { shard }
             } else {
-                RequestOp::RestartShard { shard }
+                Op::RestartShard { shard }
             }
         }
         other => return Err(format!("unknown op {other:?}")),
@@ -564,8 +604,10 @@ fn analysis_fields(a: &AppAnalysis) -> String {
     )
 }
 
-/// Renders a single-app response (`op` is echoed: `"analyze"` or
-/// `"query"`).
+/// Renders a single-app response (`op` is echoed: `"analyze"`,
+/// `"query"`, or `"analyze_delta"` — the body is the same shape for all
+/// three, which is what lets CI byte-diff a delta-warm server against a
+/// from-scratch one).
 pub fn render_analysis(id: u64, op: &str, a: &AppAnalysis) -> String {
     format!(
         "{{\"id\":{id},{},{}}}",
@@ -665,6 +707,120 @@ pub fn render_stats(id: u64, stats: &crate::service::ServiceStats) -> String {
     )
 }
 
+/// Renders a put_version acknowledgement: the new version number plus
+/// the ground-truth delta class counts — all pure functions of (current
+/// version, seed), so update traces replay byte-for-byte.
+pub fn render_put_version(id: u64, o: &crate::service::PutVersionOutcome) -> String {
+    format!(
+        "{{\"id\":{id},{},{},\"version\":{},\"classes_changed\":{},\"classes_added\":{},\
+         \"classes_removed\":{}}}",
+        str_field("op", "put_version"),
+        str_field("app", &o.app_id),
+        o.version,
+        o.classes_changed,
+        o.classes_added,
+        o.classes_removed,
+    )
+}
+
+// ---------------------------------------------------------------------
+// The typed reply
+// ---------------------------------------------------------------------
+
+/// The response half of the [`Op`]/[`Reply`] pair: everything the
+/// server can say, as one typed enum with [`Reply::encode`] as the
+/// single wire encoder shared by the JSONL stdin/stdout loop, the
+/// length-framed socket transport, and the shard pool.
+#[derive(Debug)]
+pub enum Reply {
+    /// A single-app analysis. The echoed `op` string (`"analyze"`,
+    /// `"query"`, or `"analyze_delta"`) is the only part that varies —
+    /// the body renders identically, which is what lets delta responses
+    /// diff byte-for-byte against from-scratch ones.
+    Analysis {
+        /// The request id, echoed.
+        id: u64,
+        /// The op name to echo.
+        op: &'static str,
+        /// The analysis to render.
+        analysis: AppAnalysis,
+    },
+    /// A batch response: one result object (or error object) per
+    /// requested app, in request order.
+    Batch {
+        /// The request id, echoed.
+        id: u64,
+        /// Per-app outcomes, in request order.
+        items: Vec<Result<AppAnalysis, ServiceError>>,
+    },
+    /// Service + store counter snapshot.
+    Stats {
+        /// The request id, echoed.
+        id: u64,
+        /// The counters to render.
+        stats: crate::service::ServiceStats,
+    },
+    /// Metrics-registry snapshots: the aggregate plus per-shard views.
+    Metrics {
+        /// The request id, echoed.
+        id: u64,
+        /// The cross-shard aggregate snapshot.
+        aggregate: RegistrySnapshot,
+        /// Per-shard snapshots (`None` renders `null` for dead shards).
+        shards: Vec<Option<RegistrySnapshot>>,
+    },
+    /// Acknowledgement of a published app version.
+    PutVersion {
+        /// The request id, echoed.
+        id: u64,
+        /// The deterministic outcome fields.
+        outcome: crate::service::PutVersionOutcome,
+    },
+    /// A deterministic error.
+    Error {
+        /// The request id, echoed.
+        id: u64,
+        /// The error message.
+        message: String,
+    },
+    /// The deadline-exceeded error, with the measured queue wait.
+    DeadlineExpired {
+        /// The request id, echoed.
+        id: u64,
+        /// How long the request sat queued, in milliseconds.
+        queue_wait_ms: u64,
+    },
+    /// No output — admin ops acknowledge silently so traces spliced
+    /// with admin lines still diff byte-for-byte against any golden.
+    Silent,
+}
+
+impl Reply {
+    /// Encodes the reply as its wire line — the one encode path every
+    /// transport shares. `None` means "send nothing": the JSONL loop
+    /// prints no line and the framed transport sends an empty frame.
+    /// Each arm delegates to the corresponding public renderer, so the
+    /// bytes are exactly what the pre-enum render functions produced.
+    pub fn encode(&self) -> Option<String> {
+        match self {
+            Reply::Analysis { id, op, analysis } => Some(render_analysis(*id, op, analysis)),
+            Reply::Batch { id, items } => Some(render_batch(*id, items)),
+            Reply::Stats { id, stats } => Some(render_stats(*id, stats)),
+            Reply::Metrics {
+                id,
+                aggregate,
+                shards,
+            } => Some(render_metrics(*id, aggregate, shards)),
+            Reply::PutVersion { id, outcome } => Some(render_put_version(*id, outcome)),
+            Reply::Error { id, message } => Some(render_error(*id, message)),
+            Reply::DeadlineExpired { id, queue_wait_ms } => {
+                Some(render_deadline_error(*id, *queue_wait_ms))
+            }
+            Reply::Silent => None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -714,15 +870,15 @@ mod tests {
     #[test]
     fn parses_the_three_request_ops() {
         let r = parse_request("{\"id\":0,\"op\":\"analyze\",\"app\":\"3\"}").unwrap();
-        assert_eq!(r.op, RequestOp::Analyze { app: "3".into() });
+        assert_eq!(r.op, Op::Analyze { app: "3".into() });
         // Numeric app ids normalize to their decimal string.
         let r = parse_request("{\"id\":1,\"op\":\"analyze\",\"app\":3}").unwrap();
-        assert_eq!(r.op, RequestOp::Analyze { app: "3".into() });
+        assert_eq!(r.op, Op::Analyze { app: "3".into() });
         let r = parse_request("{\"id\":2,\"op\":\"query\",\"app\":\"0\",\"sinks\":[\"crypto\"]}")
             .unwrap();
         assert_eq!(
             r.op,
-            RequestOp::Query {
+            Op::Query {
                 app: "0".into(),
                 detectors: vec!["crypto".into()]
             }
@@ -733,7 +889,7 @@ mod tests {
             .unwrap();
         assert_eq!(
             r.op,
-            RequestOp::Query {
+            Op::Query {
                 app: "0".into(),
                 detectors: vec!["webview".into()]
             }
@@ -741,7 +897,7 @@ mod tests {
         let r = parse_request("{\"id\":3,\"op\":\"batch\",\"apps\":[\"0\",1]}").unwrap();
         assert_eq!(
             r.op,
-            RequestOp::Batch {
+            Op::Batch {
                 apps: vec!["0".into(), "1".into()]
             }
         );
@@ -795,17 +951,17 @@ mod tests {
             .iter()
             .map(|l| parse_request(l).expect("trace lines must parse"))
             .collect();
-        assert_eq!(parsed[0].op, RequestOp::Analyze { app: "4".into() });
+        assert_eq!(parsed[0].op, Op::Analyze { app: "4".into() });
         assert_eq!(
             parsed[1].op,
-            RequestOp::Query {
+            Op::Query {
                 app: "2".into(),
                 detectors: vec!["crypto".into(), "ssl".into()]
             }
         );
         assert_eq!(
             parsed[2].op,
-            RequestOp::Batch {
+            Op::Batch {
                 apps: vec!["1".into(), "0".into(), "3".into()]
             }
         );
@@ -820,9 +976,9 @@ mod tests {
     #[test]
     fn admin_ops_and_deadlines_parse() {
         let r = parse_request("{\"id\":9,\"op\":\"kill_shard\",\"shard\":2}").unwrap();
-        assert_eq!(r.op, RequestOp::KillShard { shard: 2 });
+        assert_eq!(r.op, Op::KillShard { shard: 2 });
         let r = parse_request("{\"id\":10,\"op\":\"restart_shard\",\"shard\":0}").unwrap();
-        assert_eq!(r.op, RequestOp::RestartShard { shard: 0 });
+        assert_eq!(r.op, Op::RestartShard { shard: 0 });
         let r = parse_request("{\"id\":0,\"op\":\"analyze\",\"app\":\"1\",\"deadline_ms\":25}")
             .unwrap();
         assert_eq!(r.deadline_ms, Some(25));
@@ -838,7 +994,7 @@ mod tests {
     #[test]
     fn stats_op_parses_and_renders_valid_json() {
         let r = parse_request("{\"id\":9,\"op\":\"stats\"}").unwrap();
-        assert_eq!(r.op, RequestOp::Stats);
+        assert_eq!(r.op, Op::Stats);
         let line = render_stats(9, &crate::service::ServiceStats::default());
         let v = parse_json(&line).unwrap();
         assert_eq!(v.get("id").and_then(Json::as_u64), Some(9));
@@ -859,7 +1015,7 @@ mod tests {
     #[test]
     fn metrics_op_parses_and_renders_valid_json() {
         let r = parse_request("{\"id\":4,\"op\":\"metrics\"}").unwrap();
-        assert_eq!(r.op, RequestOp::Metrics);
+        assert_eq!(r.op, Op::Metrics);
         let registry = backdroid_obs::MetricsRegistry::new();
         registry.counter("service_requests_total").add(3);
         registry.histogram("request_hit_us").record(100);

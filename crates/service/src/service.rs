@@ -12,12 +12,16 @@
 
 use crate::store::{AppStore, Fetch, StoreStats};
 use backdroid_appgen::benchset::{bench_app, BenchsetConfig};
+use backdroid_appgen::mutate_version;
 use backdroid_core::{
-    AppArtifacts, AppReport, Backdroid, BackdroidOptions, BackendChoice, DetectorRegistry,
+    apply_delta, AppArtifacts, AppReport, Backdroid, BackdroidOptions, BackendChoice,
+    ChunkManifest, ChunkStore, DeltaBase, DeltaStats, DetectorRegistry,
 };
 use backdroid_obs::{Counter, Gauge, Histogram, MetricsRegistry, RegistrySnapshot};
+use backdroid_search::TokenCache;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Service configuration.
@@ -81,6 +85,24 @@ impl std::fmt::Display for ServiceError {
 }
 
 impl std::error::Error for ServiceError {}
+
+/// The deterministic outcome of a [`Service::put_version`] call: the
+/// new version number plus the class-level delta the chunk-manifest
+/// diff recorded. Pure functions of (current version, seed) — never
+/// chunk-store I/O counts, which depend on cross-app dedup.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PutVersionOutcome {
+    /// The app id the request named.
+    pub app_id: String,
+    /// The version now being served (the loader's pristine app is 1).
+    pub version: u64,
+    /// Classes present in both versions with different chunk keys.
+    pub classes_changed: usize,
+    /// Classes only the new version defines.
+    pub classes_added: usize,
+    /// Classes only the old version defined.
+    pub classes_removed: usize,
+}
 
 /// One completed per-app analysis, plus how its image was served.
 #[derive(Debug)]
@@ -173,6 +195,17 @@ struct Counters {
     search_lines_scanned: Counter,
     search_postings_touched: Counter,
     lazy_sections_materialized: Counter,
+    put_version_requests: Counter,
+    delta_requests: Counter,
+    update_latency_us: Histogram,
+    delta_analysis_us: Histogram,
+    chunks_reused: Counter,
+    chunks_written: Counter,
+    chunk_fallbacks: Counter,
+    classes_retokenized: Counter,
+    sinks_reused: Counter,
+    sinks_reanalyzed: Counter,
+    delta_full_fallbacks: Counter,
 }
 
 impl Counters {
@@ -197,6 +230,17 @@ impl Counters {
             search_lines_scanned: registry.counter("search_lines_scanned_total"),
             search_postings_touched: registry.counter("search_postings_touched_total"),
             lazy_sections_materialized: registry.counter("lazy_sections_materialized_total"),
+            put_version_requests: registry.counter("service_put_version_total"),
+            delta_requests: registry.counter("service_analyze_delta_total"),
+            update_latency_us: registry.histogram("update_latency_us"),
+            delta_analysis_us: registry.histogram("delta_analysis_us"),
+            chunks_reused: registry.counter("chunks_reused_total"),
+            chunks_written: registry.counter("chunks_written_total"),
+            chunk_fallbacks: registry.counter("chunk_full_fallback_total"),
+            classes_retokenized: registry.counter("update_classes_retokenized_total"),
+            sinks_reused: registry.counter("sinks_reused_total"),
+            sinks_reanalyzed: registry.counter("sinks_reanalyzed_total"),
+            delta_full_fallbacks: registry.counter("delta_full_fallback_total"),
         }
     }
 }
@@ -211,12 +255,46 @@ impl Drop for InFlightGuard<'_> {
     }
 }
 
+/// Everything the incremental-update path keeps per app: the pinned
+/// current image (authoritative over the store after a `put_version` —
+/// the loader still produces the pristine version), the previous
+/// version's image, the per-class token cache feeding the next
+/// incremental index build, and the last traced analysis base with the
+/// version it describes.
+#[derive(Default)]
+struct VersionState {
+    /// Version currently served; `0` = never touched by the update
+    /// path (normalized to 1 on first contact).
+    version: u64,
+    /// The image being served, held strongly so eviction can never
+    /// regress a plain `analyze` to the loader's pristine version.
+    current: Option<Arc<AppArtifacts>>,
+    /// The previously served image — the `old` side of a delta run.
+    prev: Option<Arc<AppArtifacts>>,
+    /// Chunk-keyed token streams of the current version's classes.
+    token_cache: TokenCache,
+    /// Per-site outcomes + traces from the last traced analysis.
+    base: Option<Arc<DeltaBase>>,
+    /// Which version `base` was captured against.
+    base_version: u64,
+}
+
 /// The resident multi-app analysis service. `Send + Sync`; share one
 /// instance across every request-handling thread.
 pub struct Service {
     store: AppStore,
     base: BackdroidOptions,
     batch_threads: usize,
+    /// Content-addressed per-class chunk store under
+    /// `<snapshot_dir>/chunks`; absent without a snapshot directory
+    /// (updates then skip persistence but behave identically).
+    chunks: Option<ChunkStore>,
+    versions: Mutex<HashMap<String, VersionState>>,
+    /// Per-app update locks: `put_version` is a read-mutate-publish over
+    /// the served version, so two concurrent updates to the same app
+    /// must chain, not both build on the version they jointly read.
+    /// Distinct apps update in parallel.
+    update_locks: Mutex<HashMap<String, Arc<Mutex<()>>>>,
     registry: Arc<MetricsRegistry>,
     counters: Counters,
 }
@@ -244,8 +322,15 @@ impl Service {
             .map(|dir| crate::store::DiskTier::new(dir, cfg.backend));
         let store = AppStore::over_registry(cfg.budget_bytes, disk, Arc::clone(&registry), loader);
         let counters = Counters::register(&registry);
+        let chunks = cfg
+            .snapshot_dir
+            .as_ref()
+            .and_then(|dir| ChunkStore::open(dir.join("chunks")).ok());
         Service {
             store,
+            chunks,
+            versions: Mutex::default(),
+            update_locks: Mutex::default(),
             base: BackdroidOptions {
                 backend: cfg.backend,
                 intra_threads: cfg.intra_threads.max(1),
@@ -364,6 +449,170 @@ impl Service {
         indexed.into_iter().map(|(_, r)| r).collect()
     }
 
+    /// Publishes version *n+1* of an app: mutates the current program
+    /// with the deterministic update generator, records the chunk-level
+    /// delta, persists the new version's chunks (when a chunk store is
+    /// configured) and round-trips the program through
+    /// [`apply_delta`] — unchanged classes cloned from the resident
+    /// prior, changed/added ones decoded from their chunks — falling
+    /// back to the in-memory mutated program if any chunk is missing or
+    /// corrupt. The new search index is built through the per-class
+    /// token cache, so only touched classes re-tokenize, and the store
+    /// swaps to the new image under its epoch guard.
+    pub fn put_version(&self, app_id: &str, seed: u64) -> Result<PutVersionOutcome, ServiceError> {
+        let _guard = self.begin_request(&self.counters.put_version_requests);
+        let app_lock = {
+            let mut locks = self.update_locks.lock().expect("update locks poisoned");
+            Arc::clone(locks.entry(app_id.to_string()).or_default())
+        };
+        let _update_guard = app_lock.lock().expect("update lock poisoned");
+        let started = Instant::now();
+        let (current, _) = self.fetch_current(app_id)?;
+        let (mutated, _mutation) = mutate_version(current.program(), seed);
+        let prior_manifest = current.chunk_manifest().clone();
+        let next_manifest = ChunkManifest::of_program(&mutated);
+        let delta = prior_manifest.diff(&next_manifest);
+        let c = &self.counters;
+        c.chunks_reused.add(delta.unchanged.len() as u64);
+        c.chunks_written
+            .add((delta.changed.len() + delta.added.len()) as u64);
+        let program = match &self.chunks {
+            Some(store) => {
+                let _ = store.put_program(&mutated);
+                match apply_delta(current.program(), &prior_manifest, &next_manifest, store) {
+                    Ok(p) => p,
+                    Err(_) => {
+                        // Garbage or truncation in the chunk store:
+                        // serve the full in-memory program instead —
+                        // same bytes, no chunk reuse.
+                        c.chunk_fallbacks.inc();
+                        mutated
+                    }
+                }
+            }
+            None => mutated,
+        };
+        let mut versions = self.versions.lock().expect("version map poisoned");
+        let state = versions.entry(app_id.to_string()).or_default();
+        if state.version == 0 {
+            state.version = 1;
+        }
+        let (artifacts, next_cache, tokens_reused) = AppArtifacts::with_backend_cached(
+            program,
+            current.manifest().clone(),
+            self.base.backend,
+            &state.token_cache,
+        );
+        c.classes_retokenized
+            .add((next_cache.len().saturating_sub(tokens_reused)) as u64);
+        let arc = self.store.put(app_id, artifacts);
+        state.version += 1;
+        state.prev = Some(current);
+        state.current = Some(arc);
+        state.token_cache = next_cache;
+        if state.base_version + 1 != state.version {
+            // The base no longer describes the version just displaced;
+            // the next delta run re-captures from scratch.
+            state.base = None;
+        }
+        let outcome = PutVersionOutcome {
+            app_id: app_id.to_string(),
+            version: state.version,
+            classes_changed: delta.changed.len(),
+            classes_added: delta.added.len(),
+            classes_removed: delta.removed.len(),
+        };
+        drop(versions);
+        c.update_latency_us
+            .record(started.elapsed().as_micros() as u64);
+        Ok(outcome)
+    }
+
+    /// Incremental full-registry analysis of the app's current version.
+    /// With a traced base from the previous version, only sinks whose
+    /// recorded dependencies intersect the update are re-analyzed
+    /// ([`Backdroid::analyze_delta`]); without one, a full traced run
+    /// captures the base for next time. Either way the report — and
+    /// therefore the wire response body — is **byte-identical** to a
+    /// from-scratch analysis of the same version.
+    pub fn analyze_delta(&self, app_id: &str) -> Result<AppAnalysis, ServiceError> {
+        let _guard = self.begin_request(&self.counters.delta_requests);
+        let started = Instant::now();
+        let (current, fetch) = self.fetch_current(app_id)?;
+        let (old, base) = {
+            let versions = self.versions.lock().expect("version map poisoned");
+            match versions.get(app_id) {
+                Some(state) if state.base.is_some() => {
+                    let base = state.base.clone();
+                    if state.base_version == state.version.max(1) {
+                        // Base describes the served version: an identity
+                        // delta reuses every verdict.
+                        (Some(Arc::clone(&current)), base)
+                    } else if state.base_version + 1 == state.version {
+                        (state.prev.clone(), base)
+                    } else {
+                        (None, None)
+                    }
+                }
+                _ => (None, None),
+            }
+        };
+        let tool = Backdroid::with_options(self.base.clone());
+        let sections_before = current.materialized_sections();
+        let (report, new_base, stats) = match old {
+            Some(old) => tool.analyze_delta(&old, base.as_deref(), &current),
+            None => {
+                let (report, new_base) = tool.analyze_artifacts_traced(&current);
+                let reanalyzed = new_base.site_count();
+                (
+                    report,
+                    new_base,
+                    DeltaStats {
+                        full_fallback: true,
+                        sinks_reused: 0,
+                        sinks_reanalyzed: reanalyzed,
+                    },
+                )
+            }
+        };
+        let c = &self.counters;
+        if stats.full_fallback {
+            c.delta_full_fallbacks.inc();
+        }
+        c.sinks_reused.add(stats.sinks_reused as u64);
+        c.sinks_reanalyzed.add(stats.sinks_reanalyzed as u64);
+        c.delta_analysis_us
+            .record(started.elapsed().as_micros() as u64);
+        c.search_commands.add(report.cache_stats.commands);
+        c.search_cache_hits.add(report.cache_stats.hits);
+        c.search_lines_scanned.add(report.cache_stats.lines_scanned);
+        c.search_postings_touched
+            .add(report.cache_stats.postings_touched);
+        c.lazy_sections_materialized.add(
+            current
+                .materialized_sections()
+                .saturating_sub(sections_before),
+        );
+        {
+            let mut versions = self.versions.lock().expect("version map poisoned");
+            let state = versions.entry(app_id.to_string()).or_default();
+            if state.version == 0 {
+                state.version = 1;
+            }
+            if state.current.is_none() {
+                state.current = Some(Arc::clone(&current));
+            }
+            state.base = Some(Arc::new(new_base));
+            state.base_version = state.version;
+        }
+        Ok(AppAnalysis {
+            app_id: app_id.to_string(),
+            app_name: current.manifest().package().to_string(),
+            report,
+            fetch,
+        })
+    }
+
     /// The metrics registry the service and its store publish into —
     /// what the wire `metrics` op and the `--trace-out` exporter read.
     pub fn metrics(&self) -> &Arc<MetricsRegistry> {
@@ -384,6 +633,25 @@ impl Service {
         InFlightGuard(c)
     }
 
+    /// The image currently served for `app_id`: the version pinned by
+    /// the update path if one exists (counted as a warm hit — it is
+    /// held in memory), else whatever tier of the store answers. Every
+    /// analyzing op goes through this, so `analyze`, `query`, and
+    /// `analyze_delta` always agree on which version an app is at.
+    fn fetch_current(&self, app_id: &str) -> Result<(Arc<AppArtifacts>, Fetch), ServiceError> {
+        let pinned = {
+            let versions = self.versions.lock().expect("version map poisoned");
+            versions.get(app_id).and_then(|s| s.current.clone())
+        };
+        if let Some(current) = pinned {
+            return Ok((current, Fetch::Hit));
+        }
+        self.store.get(app_id).map_err(|e| {
+            self.counters.errors.inc();
+            ServiceError::Load(e)
+        })
+    }
+
     /// Fetches the image (warm or cold) and runs one analysis with the
     /// given detector registry, recording per-tier latency, pipeline
     /// phase timings, search work, and lazy-restore materialization into
@@ -391,10 +659,7 @@ impl Service {
     /// [`AppAnalysis`] is untouched by the instrumentation.
     fn run(&self, app_id: &str, detectors: DetectorRegistry) -> Result<AppAnalysis, ServiceError> {
         let started = Instant::now();
-        let (artifacts, fetch) = self.store.get(app_id).map_err(|e| {
-            self.counters.errors.inc();
-            ServiceError::Load(e)
-        })?;
+        let (artifacts, fetch) = self.fetch_current(app_id)?;
         let sections_before = artifacts.materialized_sections();
         let tool = Backdroid::with_options(BackdroidOptions {
             detectors,
@@ -535,5 +800,163 @@ mod tests {
         let batch = service.analyze_batch(&[]);
         assert!(matches!(batch[0], Err(ServiceError::BadRequest(_))));
         assert_eq!(service.stats().errors, 3);
+    }
+
+    /// Replays the same update chain on a fresh service and returns a
+    /// plain from-scratch analysis of the final version — the oracle
+    /// every delta result must match byte-for-byte.
+    fn from_scratch(app: &str, seeds: &[u64]) -> AppAnalysis {
+        let service = small_service(u64::MAX);
+        for &s in seeds {
+            service.put_version(app, s).unwrap();
+        }
+        service.analyze_app(app).unwrap()
+    }
+
+    /// The wire bytes of an analysis with id/op pinned, so two
+    /// analyses compare on body content alone.
+    fn body(a: &AppAnalysis) -> String {
+        crate::proto::render_analysis(1, "analyze", a)
+    }
+
+    #[test]
+    fn put_version_is_deterministic_and_counts_the_class_delta() {
+        let service = small_service(u64::MAX);
+        let v2 = service.put_version("1", 7).unwrap();
+        assert_eq!(v2.version, 2);
+        assert!(
+            v2.classes_changed + v2.classes_added + v2.classes_removed > 0,
+            "an update touches at least one class"
+        );
+        let v3 = service.put_version("1", 8).unwrap();
+        assert_eq!(v3.version, 3);
+        // The same seed chain on a fresh service reproduces the same
+        // versions and the same per-class delta counts.
+        let replay = small_service(u64::MAX);
+        assert_eq!(replay.put_version("1", 7).unwrap(), v2);
+        assert_eq!(replay.put_version("1", 8).unwrap(), v3);
+    }
+
+    #[test]
+    fn analyze_delta_matches_from_scratch_at_every_version() {
+        let service = small_service(u64::MAX);
+        // v1: no base exists — the delta op falls back to a full traced
+        // run and captures the base for the next update.
+        let d1 = service.analyze_delta("1").unwrap();
+        assert_eq!(body(&d1), body(&from_scratch("1", &[])));
+        let seeds = [7u64, 8, 9];
+        for (i, &seed) in seeds.iter().enumerate() {
+            service.put_version("1", seed).unwrap();
+            let delta = service.analyze_delta("1").unwrap();
+            let fresh = from_scratch("1", &seeds[..=i]);
+            assert_eq!(
+                body(&delta),
+                body(&fresh),
+                "delta report diverged at version {}",
+                i + 2
+            );
+        }
+        let snap = service.metrics().snapshot();
+        assert!(
+            snap.value("delta_full_fallback_total") >= 1,
+            "the v1 run lacked a base"
+        );
+        assert!(
+            snap.value("chunks_reused_total") > 0,
+            "most classes survive an update unchanged"
+        );
+    }
+
+    /// First `n` seeds (from 0) whose mutation of the given benchset
+    /// app chain is body-only — the shape eligible for verdict reuse.
+    fn body_only_seeds(app_index: usize, n: usize) -> Vec<u64> {
+        let bench = BenchsetConfig::sized(6, 0.04);
+        let mut program = bench_app(app_index, bench).app.program;
+        let mut seeds = Vec::new();
+        let mut seed = 0u64;
+        while seeds.len() < n {
+            let (next, label) = mutate_version(&program, seed);
+            if label.is_body_only() {
+                seeds.push(seed);
+                program = next;
+            }
+            seed += 1;
+        }
+        seeds
+    }
+
+    #[test]
+    fn body_only_updates_reuse_prior_verdicts() {
+        let seeds = body_only_seeds(1, 2);
+        let service = small_service(u64::MAX);
+        service.analyze_delta("1").unwrap(); // captures the v1 base
+        let mut applied = Vec::new();
+        for &seed in &seeds {
+            service.put_version("1", seed).unwrap();
+            applied.push(seed);
+            let delta = service.analyze_delta("1").unwrap();
+            assert_eq!(body(&delta), body(&from_scratch("1", &applied)));
+        }
+        let snap = service.metrics().snapshot();
+        assert_eq!(
+            snap.value("delta_full_fallback_total"),
+            1,
+            "only the v1 run lacked a base; body-only updates keep it"
+        );
+        assert!(
+            snap.value("sinks_reused_total") > 0,
+            "untouched sinks replay their prior verdicts"
+        );
+    }
+
+    #[test]
+    fn updates_survive_eviction_because_the_current_version_is_pinned() {
+        // Zero budget and no disk tier: the store would re-run the
+        // loader (which only knows v1) on every request. The service
+        // pins the current version, so updates still stick.
+        let service = small_service(0);
+        service.analyze_app("1").unwrap();
+        let v2 = service.put_version("1", 7).unwrap();
+        assert_eq!(v2.version, 2);
+        let a = service.analyze_app("1").unwrap();
+        assert_eq!(a.fetch, Fetch::Hit, "the pinned image serves warm");
+        let b = service.analyze_delta("1").unwrap();
+        assert_eq!(body(&a), body(&b));
+    }
+
+    #[test]
+    fn chunk_store_damage_falls_back_to_the_full_program() {
+        let dir = std::env::temp_dir().join(format!(
+            "backdroid-service-chunk-test-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let service = Service::over_benchset(
+            BenchsetConfig::sized(6, 0.04),
+            ServiceConfig {
+                snapshot_dir: Some(dir.clone()),
+                ..ServiceConfig::default()
+            },
+        );
+        service.put_version("2", 11).unwrap();
+        // Replace the chunk directory with a plain file: every chunk
+        // write and read now fails, so the update must serve the
+        // in-memory program instead of the chunk round-trip.
+        let chunks = dir.join("chunks");
+        std::fs::remove_dir_all(&chunks).unwrap();
+        std::fs::write(&chunks, b"junk").unwrap();
+        let v3 = service.put_version("2", 12).unwrap();
+        assert_eq!(v3.version, 3);
+        assert_eq!(
+            service
+                .metrics()
+                .snapshot()
+                .value("chunk_full_fallback_total"),
+            1
+        );
+        // The fallback never changes what is served.
+        let served = service.analyze_app("2").unwrap();
+        assert_eq!(body(&served), body(&from_scratch("2", &[11, 12])));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

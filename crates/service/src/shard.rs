@@ -27,11 +27,11 @@
 //! `tests/shard_equivalence.rs` and `tests/shard_fault_injection.rs`
 //! tiers enforce exactly that.
 
-use crate::proto::{self, parse_json, parse_request, Json, Request, RequestOp};
+use crate::proto::{parse_json, parse_request, Json, Op, Reply, Request};
 use crate::service::{Service, ServiceStats};
 use backdroid_ir::wire::fnv1a64;
 use backdroid_obs::{Counter, Histogram, MetricsRegistry, RegistrySnapshot, TraceBuilder, Tracer};
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
@@ -113,6 +113,12 @@ struct ShardState {
     service: Option<Arc<Service>>,
     alive: bool,
     in_flight: usize,
+    /// Apps with a job currently executing. Workers skip queued jobs
+    /// whose apps appear here (or earlier in the queue), so same-app
+    /// requests run one at a time in submission order — without that,
+    /// a `put_version` could race the requests around it and a multi-
+    /// worker replay would not be byte-identical to the direct golden.
+    busy: HashSet<String>,
     /// Worker threads currently attached to this shard.
     workers: usize,
 }
@@ -230,26 +236,66 @@ pub fn execute_request_traced(
     mut tb: Option<&mut TraceBuilder>,
 ) -> Option<String> {
     let exec = tb.as_deref_mut().map(|tb| tb.open(Some(0), "exec"));
-    let line = match &req.op {
-        RequestOp::Analyze { app } => match service.analyze_app(app) {
+    let reply = match &req.op {
+        Op::Analyze { app } => match service.analyze_app(app) {
             Ok(a) => {
                 if let (Some(tb), Some(exec)) = (tb.as_deref_mut(), exec) {
                     open_analysis_spans(tb, exec, &a);
                 }
-                proto::render_analysis(req.id, "analyze", &a)
+                Reply::Analysis {
+                    id: req.id,
+                    op: "analyze",
+                    analysis: a,
+                }
             }
-            Err(e) => proto::render_error(req.id, &e.to_string()),
+            Err(e) => Reply::Error {
+                id: req.id,
+                message: e.to_string(),
+            },
         },
-        RequestOp::Query { app, detectors } => match service.query_detectors(app, detectors) {
+        Op::AnalyzeDelta { app } => match service.analyze_delta(app) {
             Ok(a) => {
                 if let (Some(tb), Some(exec)) = (tb.as_deref_mut(), exec) {
                     open_analysis_spans(tb, exec, &a);
                 }
-                proto::render_analysis(req.id, "query", &a)
+                Reply::Analysis {
+                    id: req.id,
+                    op: "analyze_delta",
+                    analysis: a,
+                }
             }
-            Err(e) => proto::render_error(req.id, &e.to_string()),
+            Err(e) => Reply::Error {
+                id: req.id,
+                message: e.to_string(),
+            },
         },
-        RequestOp::Batch { apps } => {
+        Op::PutVersion { app, seed } => match service.put_version(app, *seed) {
+            Ok(outcome) => Reply::PutVersion {
+                id: req.id,
+                outcome,
+            },
+            Err(e) => Reply::Error {
+                id: req.id,
+                message: e.to_string(),
+            },
+        },
+        Op::Query { app, detectors } => match service.query_detectors(app, detectors) {
+            Ok(a) => {
+                if let (Some(tb), Some(exec)) = (tb.as_deref_mut(), exec) {
+                    open_analysis_spans(tb, exec, &a);
+                }
+                Reply::Analysis {
+                    id: req.id,
+                    op: "query",
+                    analysis: a,
+                }
+            }
+            Err(e) => Reply::Error {
+                id: req.id,
+                message: e.to_string(),
+            },
+        },
+        Op::Batch { apps } => {
             let results = service.analyze_batch(apps);
             if let (Some(tb), Some(exec)) = (tb.as_deref_mut(), exec) {
                 for (i, result) in results.iter().enumerate() {
@@ -261,21 +307,37 @@ pub fn execute_request_traced(
                     tb.close(item);
                 }
             }
-            proto::render_batch(req.id, &results)
+            Reply::Batch {
+                id: req.id,
+                items: results,
+            }
         }
-        RequestOp::Stats => proto::render_stats(req.id, &service.stats()),
-        RequestOp::Metrics => {
+        Op::Stats => Reply::Stats {
+            id: req.id,
+            stats: service.stats(),
+        },
+        Op::Metrics => {
             let snap = service.metrics().snapshot();
-            proto::render_metrics(req.id, &snap, &[Some(snap.clone())])
+            Reply::Metrics {
+                id: req.id,
+                aggregate: snap.clone(),
+                shards: vec![Some(snap)],
+            }
         }
-        RequestOp::KillShard { .. } | RequestOp::RestartShard { .. } => return None,
+        Op::KillShard { .. } | Op::RestartShard { .. } => Reply::Silent,
     };
+    if matches!(reply, Reply::Silent) {
+        // Silent ops emit nothing, so the `exec`/`emit` spans are not
+        // recorded either — a trace spliced with admin lines still diffs
+        // byte-for-byte against an unsharded golden.
+        return None;
+    }
     if let (Some(tb), Some(exec)) = (tb, exec) {
         tb.close(exec);
         let emit = tb.open(Some(0), "emit");
         tb.close(emit);
     }
-    Some(line)
+    reply.encode()
 }
 
 impl ShardPool {
@@ -297,6 +359,7 @@ impl ShardPool {
                         service: Some(Arc::new(factory(i))),
                         alive: true,
                         in_flight: 0,
+                        busy: HashSet::new(),
                         workers: workers_per_shard,
                     }),
                     not_empty: Condvar::new(),
@@ -341,9 +404,10 @@ impl ShardPool {
     }
 
     /// Submits one input line. Parse errors, `stats`, and the admin ops
-    /// are answered on the calling thread; analyze/query/batch jobs are
-    /// routed to their shard's queue (blocking while it is full). Every
-    /// submission produces exactly one `respond(seq, …)` call.
+    /// are answered on the calling thread; per-app jobs (analyze, query,
+    /// batch, put_version, analyze_delta) are routed to their shard's
+    /// queue (blocking while it is full). Every submission produces
+    /// exactly one `respond(seq, …)` call.
     pub fn submit_line(&self, seq: u64, line: &str, respond: &Responder) {
         let line = line.trim();
         if line.is_empty() {
@@ -357,32 +421,41 @@ impl ShardPool {
                     .ok()
                     .and_then(|v| v.get("id").and_then(Json::as_u64))
                     .unwrap_or(0);
-                respond(seq, Some(proto::render_error(id, &e)));
+                let reply = Reply::Error { id, message: e };
+                respond(seq, reply.encode());
                 return;
             }
         };
         match &req.op {
-            RequestOp::Stats => {
-                respond(seq, Some(proto::render_stats(req.id, &self.stats())));
-            }
-            RequestOp::Metrics => {
-                let line = proto::render_metrics(req.id, &self.metrics(), &self.shard_metrics());
-                respond(seq, Some(line));
-            }
-            &RequestOp::KillShard { shard } => {
-                self.kill_shard(shard as usize);
-                respond(seq, None);
-            }
-            &RequestOp::RestartShard { shard } => {
-                self.restart_shard(shard as usize);
-                respond(seq, None);
-            }
-            RequestOp::Analyze { .. } | RequestOp::Query { .. } | RequestOp::Batch { .. } => {
-                let primary = match &req.op {
-                    RequestOp::Batch { apps } => apps.first().cloned().unwrap_or_default(),
-                    RequestOp::Analyze { app } | RequestOp::Query { app, .. } => app.clone(),
-                    _ => unreachable!(),
+            Op::Stats => {
+                let reply = Reply::Stats {
+                    id: req.id,
+                    stats: self.stats(),
                 };
+                respond(seq, reply.encode());
+            }
+            Op::Metrics => {
+                let reply = Reply::Metrics {
+                    id: req.id,
+                    aggregate: self.metrics(),
+                    shards: self.shard_metrics(),
+                };
+                respond(seq, reply.encode());
+            }
+            &Op::KillShard { shard } => {
+                self.kill_shard(shard as usize);
+                respond(seq, Reply::Silent.encode());
+            }
+            &Op::RestartShard { shard } => {
+                self.restart_shard(shard as usize);
+                respond(seq, Reply::Silent.encode());
+            }
+            Op::Analyze { .. }
+            | Op::AnalyzeDelta { .. }
+            | Op::PutVersion { .. }
+            | Op::Query { .. }
+            | Op::Batch { .. } => {
+                let primary = primary_app(&req.op);
                 let deadline = req
                     .deadline_ms
                     .map(|ms| Instant::now() + Duration::from_millis(ms));
@@ -417,10 +490,11 @@ impl ShardPool {
             }
         }
         self.inner.no_shard_errors.inc();
-        (job.respond)(
-            job.seq,
-            Some(proto::render_error(job.req.id, "no shard available")),
-        );
+        let reply = Reply::Error {
+            id: job.req.id,
+            message: "no shard available".to_string(),
+        };
+        (job.respond)(job.seq, reply.encode());
     }
 
     /// Blocking bounded put; `Err(job)` if the shard is (or went) dead.
@@ -628,24 +702,43 @@ impl Drop for ShardPool {
 }
 
 /// The request op as a deterministic trace attribute value.
-fn op_name(op: &RequestOp) -> &'static str {
+fn op_name(op: &Op) -> &'static str {
     match op {
-        RequestOp::Analyze { .. } => "analyze",
-        RequestOp::Query { .. } => "query",
-        RequestOp::Batch { .. } => "batch",
-        RequestOp::Stats => "stats",
-        RequestOp::Metrics => "metrics",
-        RequestOp::KillShard { .. } => "kill_shard",
-        RequestOp::RestartShard { .. } => "restart_shard",
+        Op::Analyze { .. } => "analyze",
+        Op::AnalyzeDelta { .. } => "analyze_delta",
+        Op::PutVersion { .. } => "put_version",
+        Op::Query { .. } => "query",
+        Op::Batch { .. } => "batch",
+        Op::Stats => "stats",
+        Op::Metrics => "metrics",
+        Op::KillShard { .. } => "kill_shard",
+        Op::RestartShard { .. } => "restart_shard",
     }
 }
 
 /// The routing app id: the single app, a batch's first app, or empty.
-fn primary_app(op: &RequestOp) -> String {
+fn primary_app(op: &Op) -> String {
     match op {
-        RequestOp::Analyze { app } | RequestOp::Query { app, .. } => app.clone(),
-        RequestOp::Batch { apps } => apps.first().cloned().unwrap_or_default(),
+        Op::Analyze { app }
+        | Op::AnalyzeDelta { app }
+        | Op::PutVersion { app, .. }
+        | Op::Query { app, .. } => app.clone(),
+        Op::Batch { apps } => apps.first().cloned().unwrap_or_default(),
         _ => String::new(),
+    }
+}
+
+/// Every app an op reads or writes — what the per-app ordering guard
+/// serializes on. A batch holds all of its apps so it cannot interleave
+/// with an update to any of them.
+fn job_apps(op: &Op) -> Vec<String> {
+    match op {
+        Op::Analyze { app }
+        | Op::AnalyzeDelta { app }
+        | Op::PutVersion { app, .. }
+        | Op::Query { app, .. } => vec![app.clone()],
+        Op::Batch { apps } => apps.clone(),
+        _ => Vec::new(),
     }
 }
 
@@ -660,7 +753,29 @@ fn worker_loop(inner: &PoolInner, idx: usize) {
                     shard.settled.notify_all();
                     return;
                 }
-                if let Some(job) = state.queue.pop_front() {
+                // Pick the first job none of whose apps is executing or
+                // claimed by an *earlier* queued job — the scan keeps
+                // same-app jobs in submission order even when a busy
+                // app forces a later job to jump ahead.
+                let pick = {
+                    let mut claimed: HashSet<String> = HashSet::new();
+                    let mut pick = None;
+                    for (i, queued) in state.queue.iter().enumerate() {
+                        let apps = job_apps(&queued.req.op);
+                        if apps
+                            .iter()
+                            .all(|a| !state.busy.contains(a) && !claimed.contains(a))
+                        {
+                            pick = Some(i);
+                            break;
+                        }
+                        claimed.extend(apps);
+                    }
+                    pick
+                };
+                if let Some(i) = pick {
+                    let job = state.queue.remove(i).expect("picked index in range");
+                    state.busy.extend(job_apps(&job.req.op));
                     state.in_flight += 1;
                     shard.not_full.notify_all();
                     let service =
@@ -690,10 +805,11 @@ fn worker_loop(inner: &PoolInner, idx: usize) {
                 tb.wall_attr(s, "wait_ms", &wait.as_millis().to_string());
                 tb.close(s);
             }
-            Some(proto::render_deadline_error(
-                job.req.id,
-                wait.as_millis() as u64,
-            ))
+            Reply::DeadlineExpired {
+                id: job.req.id,
+                queue_wait_ms: wait.as_millis() as u64,
+            }
+            .encode()
         } else {
             execute_request_traced(&service, &job.req, tb.as_mut())
         };
@@ -703,7 +819,14 @@ fn worker_loop(inner: &PoolInner, idx: usize) {
         (job.respond)(job.seq, response);
         drop(service);
         let mut state = shard.lock();
+        for app in job_apps(&job.req.op) {
+            state.busy.remove(&app);
+        }
         state.in_flight -= 1;
+        // Queued jobs skipped while this job's apps were busy are now
+        // eligible — wake the workers parked on an apparently non-empty
+        // queue.
+        shard.not_empty.notify_all();
         if state.in_flight == 0 {
             // Wakes both `drain` (queue empty, nothing in flight) and a
             // `kill_shard` waiting out the in-flight work.
@@ -861,5 +984,63 @@ mod tests {
             "retired counters keep the aggregate monotonic across restarts"
         );
         assert_eq!(after.analyze_requests, before.analyze_requests);
+    }
+
+    #[test]
+    fn same_app_updates_execute_in_submission_order_across_workers() {
+        // An update chain interleaved with reads, raced by 4 workers on
+        // one shard, must answer byte-for-byte like the serial 1-worker
+        // pool: the per-app ordering guard keeps same-app jobs
+        // sequential while the other app's jobs still overlap freely.
+        let bench = BenchsetConfig::sized(6, 0.04);
+        let mk = move |workers: usize| {
+            ShardPool::new(
+                ShardPoolConfig {
+                    shards: 1,
+                    workers_per_shard: workers,
+                    ..ShardPoolConfig::default()
+                },
+                move |_| {
+                    Service::over_benchset(
+                        bench,
+                        ServiceConfig {
+                            budget_bytes: u64::MAX,
+                            ..ServiceConfig::default()
+                        },
+                    )
+                },
+            )
+        };
+        let mut lines = Vec::new();
+        let mut id = 0u64;
+        for seed in [11u64, 12, 13] {
+            for app in ["1", "2"] {
+                for op in [
+                    format!("\"op\":\"put_version\",\"app\":\"{app}\",\"seed\":{seed}"),
+                    format!("\"op\":\"analyze_delta\",\"app\":\"{app}\""),
+                    format!("\"op\":\"analyze\",\"app\":\"{app}\""),
+                ] {
+                    lines.push(format!("{{\"id\":{id},{op}}}"));
+                    id += 1;
+                }
+            }
+        }
+        let run = |workers: usize| {
+            let p = mk(workers);
+            let (responder, seen) = collecting_responder();
+            for (seq, line) in lines.iter().enumerate() {
+                p.submit_line(seq as u64, line, &responder);
+            }
+            p.drain();
+            let seen = seen.lock().unwrap();
+            (0..lines.len() as u64)
+                .map(|s| seen[&s].clone())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            run(4),
+            run(1),
+            "racing workers must not reorder same-app updates"
+        );
     }
 }

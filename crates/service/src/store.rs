@@ -30,13 +30,20 @@
 //! requests first try to deserialize a versioned, checksummed
 //! [`AppArtifacts`] snapshot from disk ([`Fetch::Disk`]); only absent or
 //! invalid snapshots fall through to the loader, whose result is
-//! published to the memory tier and then written back. The load slot
-//! makes that write effectively single-flight on the load path;
-//! eviction spilling can race it, which stays safe because every write
-//! goes through a writer-unique temp file and an atomic rename of
-//! identical content. Responses are identical across all three tiers —
-//! the snapshot format round-trips byte-identically — so replays can be
-//! diffed across cold-parse, disk-warm, and memory-warm runs.
+//! published to the memory tier and then written back. Every write goes
+//! through a writer-unique temp file and an atomic rename, so a crashed
+//! writer can never leave a half-snapshot — but atomicity alone stopped
+//! being enough once [`AppStore::put`] made snapshot *content* version-
+//! dependent: an eviction spill of version *n* racing a `put` of version
+//! *n+1* could re-write the stale image after the put invalidated it.
+//! Snapshot writes therefore go through a **per-app write guard** plus a
+//! per-app **epoch**: `put` bumps the epoch before touching disk, and
+//! every spill re-checks, under the guard, that the epoch it captured
+//! when it obtained the image is still current — a stale spill skips
+//! (counted by `store_disk_stale_spills_total`). Responses are identical
+//! across all three tiers — the snapshot format round-trips
+//! byte-identically — so replays can be diffed across cold-parse,
+//! disk-warm, and memory-warm runs.
 
 use backdroid_core::{AppArtifacts, BackendChoice, SnapshotError};
 use backdroid_obs::{Counter, Gauge, MetricsRegistry, RegistrySnapshot};
@@ -274,12 +281,18 @@ struct Resident {
     bytes: u64,
     /// Monotonic recency stamp; the minimum is the LRU victim.
     last_used: u64,
+    /// The app's version epoch when this image was produced; a spill of
+    /// this image is valid only while the epoch is still current.
+    epoch: u64,
 }
 
 #[derive(Default)]
 struct StoreInner {
     resident: HashMap<String, Resident>,
     loading: HashMap<String, Arc<LoadSlot>>,
+    /// Per-app version epoch, bumped by [`AppStore::put`]. Absent means
+    /// epoch 0 (the loader's pristine version).
+    epochs: HashMap<String, u64>,
     total_bytes: u64,
     tick: u64,
 }
@@ -305,6 +318,7 @@ struct Counters {
     disk_writes: Counter,
     disk_bytes_written: Counter,
     disk_write_failures: Counter,
+    disk_stale_spills: Counter,
 }
 
 impl Counters {
@@ -326,6 +340,7 @@ impl Counters {
             disk_writes: registry.counter("store_disk_writes_total"),
             disk_bytes_written: registry.counter("store_disk_bytes_written_total"),
             disk_write_failures: registry.counter("store_disk_write_failures_total"),
+            disk_stale_spills: registry.counter("store_disk_stale_spills_total"),
         }
     }
 }
@@ -346,6 +361,14 @@ pub struct AppStore {
     loader: Box<Loader>,
     disk: Option<DiskTier>,
     inner: Mutex<StoreInner>,
+    /// Per-app snapshot write guards: every disk write (first-load write,
+    /// eviction spill, `put` re-write) serializes through the app's guard
+    /// and re-validates the epoch inside it, so a spill captured against
+    /// an older version can never clobber a newer snapshot. Guards are
+    /// acquired only while `inner` is *not* held (lock order: guard, then
+    /// inner), and the map itself is touched only long enough to clone an
+    /// `Arc`.
+    write_guards: Mutex<HashMap<String, Arc<Mutex<()>>>>,
     registry: Arc<MetricsRegistry>,
     counters: Counters,
 }
@@ -359,11 +382,14 @@ impl std::fmt::Debug for AppStore {
     }
 }
 
-/// What the locking phase of `get` decided to do.
+/// What the locking phase of `get` decided to do. `Load` carries the
+/// app's epoch at decision time: the image this load produces belongs to
+/// that version, and both its residency and its snapshot write are
+/// dropped if a [`AppStore::put`] bumps the epoch mid-load.
 enum Step {
     Ready(Arc<AppArtifacts>),
     Wait(Arc<LoadSlot>),
-    Load(Arc<LoadSlot>),
+    Load(Arc<LoadSlot>, u64),
 }
 
 impl AppStore {
@@ -411,6 +437,7 @@ impl AppStore {
             loader: Box::new(loader),
             disk,
             inner: Mutex::default(),
+            write_guards: Mutex::default(),
             registry,
             counters,
         }
@@ -487,7 +514,8 @@ impl AppStore {
                     ready: Condvar::new(),
                 });
                 inner.loading.insert(app_id.to_string(), Arc::clone(&slot));
-                Step::Load(slot)
+                let epoch = inner.epochs.get(app_id).copied().unwrap_or(0);
+                Step::Load(slot, epoch)
             }
         };
         match step {
@@ -505,8 +533,8 @@ impl AppStore {
                     .expect("checked above")
                     .map(|(a, _)| (a, Fetch::Coalesced))
             }
-            Step::Load(slot) => {
-                let outcome = self.load_and_insert(app_id);
+            Step::Load(slot, epoch) => {
+                let outcome = self.load_and_insert(app_id, epoch);
                 // Publish after the store settled: a racing request either
                 // still holds this slot (and wakes with the shared result)
                 // or arrived after `loading` was cleared and sees the
@@ -524,14 +552,19 @@ impl AppStore {
     /// snapshot. Returns the image (which the caller holds by `Arc`
     /// even if the store immediately evicted it) and how it was
     /// produced.
-    fn load_and_insert(&self, app_id: &str) -> Result<(Arc<AppArtifacts>, Fetch), String> {
+    fn load_and_insert(
+        &self,
+        app_id: &str,
+        epoch: u64,
+    ) -> Result<(Arc<AppArtifacts>, Fetch), String> {
         let c = &self.counters;
         // Disk tier first: a valid snapshot skips the parse entirely.
         if let Some(disk) = &self.disk {
             match disk.load(app_id) {
                 Ok(Some(artifacts)) => {
                     c.disk_hits.inc();
-                    let artifacts = self.insert(app_id, artifacts);
+                    c.loads.inc();
+                    let artifacts = self.insert_at(app_id, artifacts, epoch);
                     return Ok((artifacts, Fetch::Disk));
                 }
                 Ok(None) => {
@@ -548,20 +581,16 @@ impl AppStore {
         c.misses.inc();
         match (self.loader)(app_id) {
             Ok(artifacts) => {
-                // Publish before persisting: once `insert` returns, the
-                // image is resident and racing requests take warm hits
-                // instead of parking on the load slot for the duration
-                // of the snapshot write. The insert's eviction pass may
-                // already have spilled this id (zero-budget stores evict
-                // immediately), hence the existence check.
-                let artifacts = self.insert(app_id, artifacts);
-                if self
-                    .disk
-                    .as_ref()
-                    .is_some_and(|d| !d.path_for(app_id).exists())
-                {
-                    self.spill(app_id, &artifacts);
-                }
+                // Publish before persisting: once `insert_at` returns,
+                // the image is resident and racing requests take warm
+                // hits instead of parking on the load slot for the
+                // duration of the snapshot write. The write itself is
+                // guarded and epoch-checked, so if a `put` replaced the
+                // app mid-load this stale image neither sticks in memory
+                // nor reaches disk.
+                c.loads.inc();
+                let artifacts = self.insert_at(app_id, artifacts, epoch);
+                self.spill_guarded(app_id, &artifacts, epoch);
                 Ok((artifacts, Fetch::Miss))
             }
             Err(e) => {
@@ -572,27 +601,37 @@ impl AppStore {
         }
     }
 
-    /// Inserts a freshly produced image, evicts down to the budget, and
-    /// spills any victim whose snapshot went missing — all snapshot I/O
-    /// happens outside the store lock.
-    fn insert(&self, app_id: &str, artifacts: AppArtifacts) -> Arc<AppArtifacts> {
+    /// Inserts a freshly produced image belonging to version `epoch`,
+    /// evicts down to the budget, and spills any victim whose snapshot
+    /// went missing — all snapshot I/O happens outside the store lock.
+    /// If the app's epoch moved past `epoch` while the image was being
+    /// produced (a concurrent [`AppStore::put`]), the image is returned
+    /// to its requester but **not** made resident: the request began
+    /// against the old version and may keep it, but the store must not
+    /// shadow the newer one.
+    fn insert_at(&self, app_id: &str, artifacts: AppArtifacts, epoch: u64) -> Arc<AppArtifacts> {
         let bytes = artifacts.estimated_bytes();
         let artifacts = Arc::new(artifacts);
         let victims = {
             let mut inner = self.lock_inner();
             inner.loading.remove(app_id);
+            if inner.epochs.get(app_id).copied().unwrap_or(0) != epoch {
+                return artifacts;
+            }
             inner.tick += 1;
             let tick = inner.tick;
             inner.total_bytes += bytes;
-            inner.resident.insert(
+            if let Some(old) = inner.resident.insert(
                 app_id.to_string(),
                 Resident {
                     artifacts: Arc::clone(&artifacts),
                     bytes,
                     last_used: tick,
+                    epoch,
                 },
-            );
-            self.counters.loads.inc();
+            ) {
+                inner.total_bytes -= old.bytes;
+            }
             let victims = self.evict_to_budget(&mut inner);
             self.counters.peak_resident_bytes.set_max(inner.total_bytes);
             // Publish residency into the registry while still holding
@@ -601,21 +640,43 @@ impl AppStore {
             self.counters.resident_apps.set(inner.resident.len() as u64);
             victims
         };
-        if let Some(disk) = &self.disk {
-            for (id, gone) in &victims {
-                if !disk.path_for(id).exists() {
-                    self.spill(id, gone);
-                }
-            }
+        for (id, gone, victim_epoch) in &victims {
+            self.spill_guarded(id, gone, *victim_epoch);
         }
         artifacts
     }
 
-    /// Writes `artifacts` to the disk tier (if configured), counting
-    /// bytes written; failures are counted and otherwise ignored — the
-    /// snapshot tier is a cache, never a correctness dependency.
-    fn spill(&self, app_id: &str, artifacts: &AppArtifacts) {
+    /// The app's per-snapshot write guard, created on first use.
+    fn write_guard(&self, app_id: &str) -> Arc<Mutex<()>> {
+        let mut guards = self.write_guards.lock().expect("write guards poisoned");
+        Arc::clone(guards.entry(app_id.to_string()).or_default())
+    }
+
+    /// The app's current version epoch.
+    fn current_epoch(&self, app_id: &str) -> u64 {
+        self.lock_inner().epochs.get(app_id).copied().unwrap_or(0)
+    }
+
+    /// Writes `artifacts` to the disk tier (if configured) under the
+    /// app's write guard, re-validating inside the guard that `epoch` is
+    /// still the app's current version — the fix for the old
+    /// check-then-write race where an eviction spill of version *n*
+    /// could re-create a snapshot a concurrent `put` of version *n+1*
+    /// had just invalidated. An existing snapshot is left alone (it was
+    /// written under the same guard for the same epoch, so its content
+    /// is already current). Failures are counted and otherwise ignored —
+    /// the snapshot tier is a cache, never a correctness dependency.
+    fn spill_guarded(&self, app_id: &str, artifacts: &AppArtifacts, epoch: u64) {
         let Some(disk) = &self.disk else { return };
+        let guard = self.write_guard(app_id);
+        let _held = guard.lock().expect("snapshot write guard poisoned");
+        if self.current_epoch(app_id) != epoch {
+            self.counters.disk_stale_spills.inc();
+            return;
+        }
+        if disk.path_for(app_id).exists() {
+            return;
+        }
         match disk.store(app_id, artifacts) {
             Ok(written) => {
                 self.counters.disk_writes.inc();
@@ -627,12 +688,50 @@ impl AppStore {
         }
     }
 
+    /// Publishes a **new version** of `app_id`: bumps the app's epoch
+    /// (detaching any in-flight load or spill of the old version),
+    /// drops the old resident image, invalidates the old snapshot under
+    /// the write guard, then inserts and persists the new image. This
+    /// is the serving path of an app *update* — see
+    /// [`crate::Service::put_version`].
+    ///
+    /// The loader still produces the app's *pristine* version, so after
+    /// a `put` the updated image is authoritative only while it is
+    /// resident or disk-warm; callers that update apps should configure
+    /// a disk tier or keep the returned `Arc` (the service pins the
+    /// current version per app for exactly this reason).
+    pub fn put(&self, app_id: &str, artifacts: AppArtifacts) -> Arc<AppArtifacts> {
+        let epoch = {
+            let mut inner = self.lock_inner();
+            let slot = inner.epochs.entry(app_id.to_string()).or_insert(0);
+            *slot += 1;
+            let epoch = *slot;
+            if let Some(old) = inner.resident.remove(app_id) {
+                inner.total_bytes -= old.bytes;
+                self.counters.resident_bytes.set(inner.total_bytes);
+                self.counters.resident_apps.set(inner.resident.len() as u64);
+            }
+            epoch
+        };
+        if let Some(disk) = &self.disk {
+            // Invalidate under the guard so a concurrent guarded spill
+            // cannot slip between the removal and the new write; any
+            // spill still carrying the old epoch now skips itself.
+            let guard = self.write_guard(app_id);
+            let _held = guard.lock().expect("snapshot write guard poisoned");
+            disk.invalidate(app_id);
+        }
+        let artifacts = self.insert_at(app_id, artifacts, epoch);
+        self.spill_guarded(app_id, &artifacts, epoch);
+        artifacts
+    }
+
     /// Evicts least-recently-used images until the resident total fits
     /// the budget, returning the victims so the caller can spill them to
     /// the disk tier outside the lock. The entry just inserted carries
     /// the newest recency stamp, so it goes last — and does go, if it
     /// alone overflows the budget.
-    fn evict_to_budget(&self, inner: &mut StoreInner) -> Vec<(String, Arc<AppArtifacts>)> {
+    fn evict_to_budget(&self, inner: &mut StoreInner) -> Vec<(String, Arc<AppArtifacts>, u64)> {
         let mut victims = Vec::new();
         while inner.total_bytes > self.budget_bytes {
             let victim = inner
@@ -645,7 +744,7 @@ impl AppStore {
             inner.total_bytes -= gone.bytes;
             self.counters.evictions.inc();
             self.counters.bytes_evicted.add(gone.bytes);
-            victims.push((key, gone.artifacts));
+            victims.push((key, gone.artifacts, gone.epoch));
         }
         victims
     }
@@ -884,5 +983,92 @@ mod tests {
         assert_eq!(stats.loads, 1);
         assert_eq!(stats.hits + stats.misses + stats.coalesced, n);
         assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn put_replaces_resident_image_and_snapshot() {
+        let scratch = ScratchDir::new("put");
+        let tier = DiskTier::new(&scratch.0, backdroid_core::BackendChoice::default());
+        let store = AppStore::with_disk_tier(u64::MAX, tier, tiny_loader(3));
+        let (v1, fetch) = store.get("a").unwrap();
+        assert_eq!(fetch, Fetch::Miss);
+        let v2 = tiny_loader(6)("a").unwrap();
+        let v2_classes = v2.program().class_count();
+        assert_ne!(v1.program().class_count(), v2_classes);
+        store.put("a", v2);
+        // The resident image is the new version.
+        let (now, fetch) = store.get("a").unwrap();
+        assert_eq!(fetch, Fetch::Hit);
+        assert_eq!(now.program().class_count(), v2_classes);
+        // And so is the snapshot: a fresh store over the same directory
+        // restores the updated version, not the loader's pristine one.
+        let tier = DiskTier::new(&scratch.0, backdroid_core::BackendChoice::default());
+        let cold = AppStore::with_disk_tier(u64::MAX, tier, tiny_loader(3));
+        let (restored, fetch) = cold.get("a").unwrap();
+        assert_eq!(fetch, Fetch::Disk);
+        assert_eq!(restored.program().class_count(), v2_classes);
+    }
+
+    #[test]
+    fn stale_spill_cannot_resurrect_an_old_snapshot() {
+        let scratch = ScratchDir::new("stale");
+        let tier = DiskTier::new(&scratch.0, backdroid_core::BackendChoice::default());
+        let path = tier.path_for("a");
+        let store = AppStore::with_disk_tier(u64::MAX, tier, tiny_loader(3));
+        let (v1, _) = store.get("a").unwrap(); // epoch 0, snapshot written
+        store.put("a", tiny_loader(6)("a").unwrap()); // epoch 1
+        let v2_bytes = std::fs::read(&path).unwrap();
+        // Replay the racing eviction spill of the old image exactly as
+        // the eviction path would issue it: the epoch it captured when
+        // the image was inserted (0) is no longer current, so even with
+        // the snapshot file missing the write must be skipped.
+        std::fs::remove_file(&path).unwrap();
+        store.spill_guarded("a", &v1, 0);
+        assert!(!path.exists(), "stale spill must not re-create the file");
+        assert_eq!(
+            store
+                .metrics()
+                .snapshot()
+                .value("store_disk_stale_spills_total"),
+            1
+        );
+        // A spill carrying the current epoch restores the new version.
+        let (current, _) = store.get("a").unwrap();
+        store.spill_guarded("a", &current, 1);
+        assert_eq!(std::fs::read(&path).unwrap(), v2_bytes);
+    }
+
+    #[test]
+    fn interleaved_puts_gets_and_evictions_leave_the_final_version_on_disk() {
+        let scratch = ScratchDir::new("race");
+        let bytes = one_image_bytes(3);
+        let tier = DiskTier::new(&scratch.0, backdroid_core::BackendChoice::default());
+        // Room for about one image: every insertion evicts, so put-path
+        // writes and eviction spills interleave constantly.
+        let store = AppStore::with_disk_tier(bytes + bytes / 2, tier, tiny_loader(3));
+        store.get("a").unwrap();
+        let final_version = tiny_loader(7)("a").unwrap();
+        let final_classes = final_version.program().class_count();
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                for classes in [4, 5, 6] {
+                    store.put("a", tiny_loader(classes)("a").unwrap());
+                }
+                store.put("a", final_version);
+            });
+            scope.spawn(|| {
+                for _ in 0..8 {
+                    store.get("b").unwrap();
+                    store.get("c").unwrap();
+                }
+            });
+        });
+        // Whatever interleaving of spills and puts happened, the disk
+        // tier must hold the last published version of `a`.
+        let tier = DiskTier::new(&scratch.0, backdroid_core::BackendChoice::default());
+        let cold = AppStore::with_disk_tier(u64::MAX, tier, tiny_loader(3));
+        let (restored, fetch) = cold.get("a").unwrap();
+        assert_eq!(fetch, Fetch::Disk, "the final put left a snapshot behind");
+        assert_eq!(restored.program().class_count(), final_classes);
     }
 }

@@ -1,0 +1,204 @@
+//! The incremental-analysis invariant: a delta run over an app update
+//! chain is **byte-identical** — on the wire-rendered response surface —
+//! to a from-scratch analysis of the same version, on both search
+//! backends.
+//!
+//! Three layers:
+//!
+//! * a proptest walking fuzzed `mutate_version` chains (v1 → v2 → … →
+//!   vN, arbitrary seeds, so body-only, structural, and mixed updates
+//!   all occur) comparing every delta report against a freshly built
+//!   from-scratch image;
+//! * a proptest proving the content-addressed chunk store reconstructs
+//!   every version of a chain exactly (`apply_delta` over the prior
+//!   image + the delta's chunks ≡ the mutated program);
+//! * deterministic damage tests: truncated or garbage chunks are
+//!   detected (checksum/decode failure) and surface as an error the
+//!   caller answers with a full reparse — never silently served.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use backdroid_appgen::{mutate_version, AppSpec, Mechanism, Scenario, SinkKind};
+use backdroid_core::{
+    apply_delta, AppArtifacts, AppReport, Backdroid, BackdroidOptions, BackendChoice,
+    ChunkManifest, ChunkStore,
+};
+use backdroid_service::proto::render_analysis;
+use backdroid_service::{AppAnalysis, Fetch};
+use proptest::prelude::*;
+
+/// A small app with real sink scenarios, so verdicts exist to reuse.
+fn base_app(extra_scenario: bool) -> backdroid_appgen::AndroidApp {
+    let mut spec = AppSpec::named("com.delta.app")
+        .with_seed(3)
+        .with_scenario(Scenario::new(
+            Mechanism::DirectEntry,
+            SinkKind::Cipher,
+            true,
+        ))
+        .with_filler(6, 4, 5);
+    if extra_scenario {
+        spec = spec.with_scenario(Scenario::new(
+            Mechanism::CallbackOnClick,
+            SinkKind::SslVerifier,
+            false,
+        ));
+    }
+    spec.generate()
+}
+
+/// The exact bytes the serving layer would emit for this report — the
+/// surface CI replay-diffs, and therefore the equivalence that matters.
+fn wire(report: AppReport) -> String {
+    let a = AppAnalysis {
+        app_id: "app".into(),
+        app_name: "com.delta.app".into(),
+        report,
+        fetch: Fetch::Hit,
+    };
+    render_analysis(1, "analyze", &a)
+}
+
+/// Walks `seeds` as an update chain under one backend, asserting at
+/// every version that the delta report (verdict reuse engaged wherever
+/// the planner allows) renders to the same bytes as a from-scratch
+/// analysis of a freshly built image.
+fn check_chain(app: &backdroid_appgen::AndroidApp, seeds: &[u64], backend: BackendChoice) {
+    let tool = Backdroid::with_options(BackdroidOptions {
+        backend,
+        ..BackdroidOptions::default()
+    });
+    let mut program = app.program.clone();
+    let mut old = AppArtifacts::with_backend(program.clone(), app.manifest.clone(), backend);
+    let (_, mut base) = tool.analyze_artifacts_traced(&old);
+    for &seed in seeds {
+        let (next, _) = mutate_version(&program, seed);
+        let new = AppArtifacts::with_backend(next.clone(), app.manifest.clone(), backend);
+        let (delta_report, new_base, stats) = tool.analyze_delta(&old, Some(&base), &new);
+        let scratch = AppArtifacts::with_backend(next.clone(), app.manifest.clone(), backend);
+        let fresh = tool.analyze_artifacts(&scratch);
+        assert_eq!(
+            delta_report.sink_reports, fresh.sink_reports,
+            "delta verdicts diverged (backend {backend:?}, seed {seed})"
+        );
+        assert_eq!(
+            wire(delta_report),
+            wire(fresh),
+            "wire bytes diverged (backend {backend:?}, seed {seed}, \
+             full_fallback={})",
+            stats.full_fallback
+        );
+        program = next;
+        old = new;
+        base = new_base;
+    }
+}
+
+/// A scratch directory unique per call (no tempfile crate in the
+/// vendored stack); the caller removes it.
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "backdroid-delta-eq-{tag}-{}-{n}",
+        std::process::id()
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Fuzzed chains: delta ≡ from-scratch at every version, both
+    /// backends, any update mix.
+    #[test]
+    fn delta_matches_from_scratch_over_fuzzed_chains(
+        extra in any::<bool>(),
+        seeds in prop::collection::vec(any::<u64>(), 1..4),
+    ) {
+        let app = base_app(extra);
+        check_chain(&app, &seeds, BackendChoice::LinearScan);
+        check_chain(&app, &seeds, BackendChoice::Indexed);
+    }
+
+    /// The chunk store reconstructs every version of a fuzzed chain
+    /// exactly: unchanged classes cloned from the prior image,
+    /// changed/added ones decoded from their content-addressed chunks.
+    #[test]
+    fn chunks_reconstruct_every_version(seeds in prop::collection::vec(any::<u64>(), 1..5)) {
+        let app = base_app(false);
+        let dir = scratch_dir("roundtrip");
+        let store = ChunkStore::open(&dir).unwrap();
+        let mut prior = app.program.clone();
+        let mut prior_manifest = ChunkManifest::of_program(&prior);
+        store.put_program(&prior).unwrap();
+        for &seed in &seeds {
+            let (next, _) = mutate_version(&prior, seed);
+            let next_manifest = ChunkManifest::of_program(&next);
+            store.put_program(&next).unwrap();
+            let rebuilt = apply_delta(&prior, &prior_manifest, &next_manifest, &store).unwrap();
+            prop_assert_eq!(&rebuilt, &next, "chunk round-trip diverged at seed {}", seed);
+            prior = next;
+            prior_manifest = next_manifest;
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Identity update: a base captured on the same image replays without a
+/// full fallback and yields the same bytes.
+#[test]
+fn identity_delta_reuses_and_matches() {
+    let app = base_app(true);
+    let backend = BackendChoice::default();
+    let tool = Backdroid::with_options(BackdroidOptions {
+        backend,
+        ..BackdroidOptions::default()
+    });
+    let old = AppArtifacts::with_backend(app.program.clone(), app.manifest.clone(), backend);
+    let (_, base) = tool.analyze_artifacts_traced(&old);
+    let new = AppArtifacts::with_backend(app.program.clone(), app.manifest.clone(), backend);
+    let (report, _, stats) = tool.analyze_delta(&old, Some(&base), &new);
+    assert!(!stats.full_fallback);
+    assert!(stats.sinks_reused > 0, "identity updates replay verdicts");
+    let scratch = AppArtifacts::with_backend(app.program.clone(), app.manifest.clone(), backend);
+    assert_eq!(wire(report), wire(tool.analyze_artifacts(&scratch)));
+}
+
+/// Damaged chunks — truncated to zero bytes or overwritten with
+/// same-length garbage — fail checksum/decode validation, so
+/// `apply_delta` errors instead of serving a corrupt class, and the
+/// caller's full-reparse fallback still produces correct bytes.
+#[test]
+fn damaged_chunks_are_detected_not_served() {
+    let app = base_app(false);
+    let dir = scratch_dir("damage");
+    let store = ChunkStore::open(&dir).unwrap();
+    let v1 = app.program.clone();
+    let m1 = ChunkManifest::of_program(&v1);
+    store.put_program(&v1).unwrap();
+    let (v2, _) = mutate_version(&v1, 42);
+    let m2 = ChunkManifest::of_program(&v2);
+    store.put_program(&v2).unwrap();
+    assert_eq!(apply_delta(&v1, &m1, &m2, &store).unwrap(), v2);
+
+    // Truncate every stored chunk.
+    let entries: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.is_file())
+        .collect();
+    assert!(!entries.is_empty(), "the store persisted chunks");
+    for path in &entries {
+        std::fs::write(path, b"").unwrap();
+    }
+    apply_delta(&v1, &m1, &m2, &store).expect_err("truncated chunks must not decode");
+
+    // Same-length garbage: caught by the wide checksum, not just length.
+    for path in &entries {
+        let len = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        let junk = vec![0xA5u8; len.max(16) as usize];
+        std::fs::write(path, junk).unwrap();
+    }
+    apply_delta(&v1, &m1, &m2, &store).expect_err("garbage chunks must not decode");
+    std::fs::remove_dir_all(&dir).ok();
+}
